@@ -1,0 +1,51 @@
+//! Host wall-clock comparison of the three implementations of the same
+//! computation: the simulated-GPU FP64 pipeline, the mSTAMP/(MP)^N CPU
+//! baseline, and the brute-force oracle — the sanity check that the
+//! optimized streaming formulation is asymptotically ahead of brute force
+//! (O(n²·d) vs O(n²·d·m)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdmp_core::baseline::{brute_force, mstamp};
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let data_cfg = SyntheticConfig {
+        n_subsequences: 192,
+        dims: 4,
+        m: 32,
+        pattern: Pattern::Sine,
+        embeddings: 2,
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed: 5,
+    };
+    let pair = generate_pair(&data_cfg);
+    let m = data_cfg.m;
+
+    let mut group = c.benchmark_group("implementations_fp64");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function(BenchmarkId::new("gpu_pipeline", "fp64"), |b| {
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        b.iter(|| {
+            run_with_mode(black_box(&pair.reference), &pair.query, &cfg, &mut sys)
+                .unwrap()
+                .profile
+        })
+    });
+    group.bench_function(BenchmarkId::new("mstamp_cpu", "fp64"), |b| {
+        b.iter(|| mstamp(black_box(&pair.reference), &pair.query, m, None, None))
+    });
+    group.bench_function(BenchmarkId::new("brute_force", "fp64"), |b| {
+        b.iter(|| brute_force(black_box(&pair.reference), &pair.query, m, None))
+    });
+    group.finish();
+}
+
+criterion_group!(baseline_benches, bench_baselines);
+criterion_main!(baseline_benches);

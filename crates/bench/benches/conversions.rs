@@ -1,0 +1,63 @@
+//! Throughput of the software float formats — the conversion and arithmetic
+//! primitives every functional reduced-precision experiment is built on.
+//! Useful for spotting regressions in the `from_f64` rounding fast path,
+//! which dominates functional run time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdmp_precision::{Bf16, Flex, Half, Real, Tf32};
+use std::hint::black_box;
+
+fn bench_conversions(c: &mut Criterion) {
+    let inputs: Vec<f64> = (0..4096)
+        .map(|i| ((i as f64) * 0.37).sin() * 100.0 + 0.001 * i as f64)
+        .collect();
+
+    fn round_trip<T: Real>(xs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &x in xs {
+            acc += T::from_f64(x).to_f64();
+        }
+        acc
+    }
+
+    let mut group = c.benchmark_group("round_trip_4096");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function(BenchmarkId::from_parameter("f32"), |b| {
+        b.iter(|| round_trip::<f32>(black_box(&inputs)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("half"), |b| {
+        b.iter(|| round_trip::<Half>(black_box(&inputs)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("bf16"), |b| {
+        b.iter(|| round_trip::<Bf16>(black_box(&inputs)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("tf32"), |b| {
+        b.iter(|| round_trip::<Tf32>(black_box(&inputs)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("flex_5_10"), |b| {
+        b.iter(|| round_trip::<Flex<5, 10>>(black_box(&inputs)))
+    });
+    group.finish();
+
+    fn fma_chain<T: Real>(xs: &[f64]) -> f64 {
+        let mut acc = T::zero();
+        let a = T::from_f64(0.999);
+        for &x in xs {
+            acc = acc.mul_add(a, T::from_f64(x));
+        }
+        acc.to_f64()
+    }
+
+    let mut group = c.benchmark_group("fma_chain_4096");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function(BenchmarkId::from_parameter("f64"), |b| {
+        b.iter(|| fma_chain::<f64>(black_box(&inputs)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("half"), |b| {
+        b.iter(|| fma_chain::<Half>(black_box(&inputs)))
+    });
+    group.finish();
+}
+
+criterion_group!(conversion_benches, bench_conversions);
+criterion_main!(conversion_benches);

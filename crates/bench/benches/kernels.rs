@@ -1,0 +1,103 @@
+//! Wall-clock Criterion benches of the three per-iteration kernels in the
+//! host (functional) implementation, per precision. These measure the
+//! *simulator's* host performance — the paper-scale GPU timings come from
+//! the calibrated model (`repro fig4` etc.); this harness tracks that the
+//! functional engine itself stays fast enough for the accuracy experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdmp_core::kernels::{dist_row, sort_scan_row, update_profile_row, DistParams};
+use mdmp_core::precalc::{compute_stats, initial_qt, SeriesDevice};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_precision::{Half, Real};
+use std::hint::black_box;
+
+fn test_pair(n: usize, d: usize, m: usize) -> (MultiDimSeries, MultiDimSeries) {
+    let cfg = SyntheticConfig {
+        n_subsequences: n,
+        dims: d,
+        m,
+        pattern: Pattern::Sine,
+        embeddings: 2,
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed: 11,
+    };
+    let pair = generate_pair(&cfg);
+    (pair.reference, pair.query)
+}
+
+fn bench_row_kernels<T: Real>(c: &mut Criterion, label: &str) {
+    let (n, d, m) = (4096usize, 16usize, 32usize);
+    let (r, q) = test_pair(n, d, m);
+    let rd = SeriesDevice::<T>::load(&r, 0, r.len());
+    let qd = SeriesDevice::<T>::load(&q, 0, q.len());
+    let rs = compute_stats(&rd, m, false);
+    let qs = compute_stats(&qd, m, false);
+    let (row0, col0) = initial_qt(&rd, &rs, &qd, &qs, m, false);
+    let params = DistParams::<T>::new(m, true, 0, 0, None);
+    let d_pad = d.next_power_of_two();
+
+    let mut qt_prev = vec![T::zero(); n * d];
+    let mut qt_next = vec![T::zero(); n * d];
+    let mut dist = vec![T::zero(); n * d];
+    let mut scanned = vec![T::zero(); n * d_pad];
+    let mut p_plane = vec![T::infinity(); n * d];
+    let mut i_plane = vec![-1i64; n * d];
+
+    let mut group = c.benchmark_group("row_kernels");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("dist_calc", label), |b| {
+        b.iter(|| {
+            dist_row(
+                black_box(1),
+                &row0,
+                &col0,
+                &qt_prev,
+                &mut qt_next,
+                &mut dist,
+                &rs,
+                &qs,
+                &params,
+            );
+        })
+    });
+    group.bench_function(BenchmarkId::new("sort_incl_scan", label), |b| {
+        b.iter(|| sort_scan_row(black_box(&dist), &mut scanned, n, d))
+    });
+    group.bench_function(BenchmarkId::new("update_mat_prof", label), |b| {
+        b.iter(|| update_profile_row(black_box(&scanned), &mut p_plane, &mut i_plane, n, d, 1))
+    });
+    group.finish();
+    std::mem::swap(&mut qt_prev, &mut qt_next);
+}
+
+fn bench_precalc(c: &mut Criterion) {
+    let (n, d, m) = (8192usize, 16usize, 64usize);
+    let (r, _) = test_pair(n, d, m);
+    let mut group = c.benchmark_group("precalculation");
+    group.sample_size(20);
+    group.bench_function("fp64_plain", |b| {
+        let dev = SeriesDevice::<f64>::load(&r, 0, r.len());
+        b.iter(|| compute_stats(black_box(&dev), m, false))
+    });
+    group.bench_function("fp16_plain", |b| {
+        let dev = SeriesDevice::<Half>::load(&r, 0, r.len());
+        b.iter(|| compute_stats(black_box(&dev), m, false))
+    });
+    group.bench_function("fp16_kahan", |b| {
+        let dev = SeriesDevice::<Half>::load(&r, 0, r.len());
+        b.iter(|| compute_stats(black_box(&dev), m, true))
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_row_kernels::<f64>(c, "fp64");
+    bench_row_kernels::<f32>(c, "fp32");
+    bench_row_kernels::<Half>(c, "fp16");
+    bench_precalc(c);
+}
+
+criterion_group!(kernel_benches, benches);
+criterion_main!(kernel_benches);

@@ -1,0 +1,97 @@
+//! Ablation of the data-layout design choice (§III-A "Data Layout"): the
+//! paper stores the active row-planes dimension-wise (elements of one
+//! dimension contiguous). On the GPU that choice drives memory coalescing;
+//! on the host it decides cache-line utilization, so the wall-clock
+//! contrast between the two layouts is measurable here too.
+//!
+//! The bench compares the production dimension-major `dist`-style update +
+//! fiber gather against a time-major (interleaved, `j`-major) variant of
+//! the same arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+struct Inputs {
+    n_q: usize,
+    d: usize,
+    dfq: Vec<f64>,
+    dgq: Vec<f64>,
+    inv_q: Vec<f64>,
+    qt_prev: Vec<f64>,
+}
+
+fn inputs(n_q: usize, d: usize) -> Inputs {
+    let gen = |off: usize| -> Vec<f64> {
+        (0..n_q * d)
+            .map(|i| (((i * 2654435761 + off) % 1000) as f64) / 1000.0 + 0.1)
+            .collect()
+    };
+    Inputs {
+        n_q,
+        d,
+        dfq: gen(1),
+        dgq: gen(2),
+        inv_q: gen(3),
+        qt_prev: gen(4),
+    }
+}
+
+/// Production layout: dimension-major (`k * n_q + j`) — unit-stride inner
+/// loop over `j`.
+fn dist_dimension_major(inp: &Inputs, qt_next: &mut [f64], dist: &mut [f64]) {
+    let (n_q, d) = (inp.n_q, inp.d);
+    for k in 0..d {
+        let base = k * n_q;
+        let dfr = 0.37;
+        let dgr = 0.53;
+        let inv_r = 1.21;
+        for j in 1..n_q {
+            let qt = inp.qt_prev[base + j - 1]
+                + dfr * inp.dgq[base + j]
+                + inp.dfq[base + j] * dgr;
+            qt_next[base + j] = qt;
+            let gap = (1.0 - qt * inv_r * inp.inv_q[base + j]).max(0.0);
+            dist[base + j] = (32.0 * gap).sqrt();
+        }
+    }
+}
+
+/// Time-major layout (`j * d + k`) — stride-`d` access per dimension, the
+/// layout the paper rejects.
+fn dist_time_major(inp: &Inputs, qt_next: &mut [f64], dist: &mut [f64]) {
+    let (n_q, d) = (inp.n_q, inp.d);
+    for k in 0..d {
+        let dfr = 0.37;
+        let dgr = 0.53;
+        let inv_r = 1.21;
+        for j in 1..n_q {
+            let idx = j * d + k;
+            let prev = (j - 1) * d + k;
+            let qt = inp.qt_prev[prev] + dfr * inp.dgq[idx] + inp.dfq[idx] * dgr;
+            qt_next[idx] = qt;
+            let gap = (1.0 - qt * inv_r * inp.inv_q[idx]).max(0.0);
+            dist[idx] = (32.0 * gap).sqrt();
+        }
+    }
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    for (n_q, d) in [(1usize << 14, 16usize), (1 << 12, 64)] {
+        let inp = inputs(n_q, d);
+        let mut qt_next = vec![0.0; n_q * d];
+        let mut dist = vec![0.0; n_q * d];
+        let mut group = c.benchmark_group(format!("layout_n{n_q}_d{d}"));
+        group.throughput(Throughput::Elements((n_q * d) as u64));
+        group.sample_size(30);
+        group.bench_function(BenchmarkId::from_parameter("dimension_major"), |b| {
+            b.iter(|| dist_dimension_major(black_box(&inp), &mut qt_next, &mut dist))
+        });
+        group.bench_function(BenchmarkId::from_parameter("time_major"), |b| {
+            b.iter(|| dist_time_major(black_box(&inp), &mut qt_next, &mut dist))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(layout_benches, bench_layouts);
+criterion_main!(layout_benches);

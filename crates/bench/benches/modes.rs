@@ -1,0 +1,64 @@
+//! End-to-end functional runs per precision mode and per tile count — the
+//! wall-clock counterpart of Fig. 5/7. Software-emulated binary16 is
+//! expected to be *slower* than f64 on the host; the modelled GPU times
+//! (printed by `repro fig7`) carry the paper's performance story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let data_cfg = SyntheticConfig {
+        n_subsequences: 512,
+        dims: 8,
+        m: 16,
+        pattern: Pattern::Sine,
+        embeddings: 2,
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed: 3,
+    };
+    let pair = generate_pair(&data_cfg);
+    let mut group = c.benchmark_group("full_run_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for mode in PrecisionMode::PAPER_MODES {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let cfg = MdmpConfig::new(16, mode);
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+            b.iter(|| {
+                run_with_mode(
+                    black_box(&pair.reference),
+                    black_box(&pair.query),
+                    &cfg,
+                    &mut sys,
+                )
+                .unwrap()
+                .profile
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("full_run_tiles");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for tiles in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(tiles), &tiles, |b, &tiles| {
+            let cfg = MdmpConfig::new(16, PrecisionMode::Fp32).with_tiles(tiles);
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+            b.iter(|| {
+                run_with_mode(&pair.reference, &pair.query, &cfg, &mut sys)
+                    .unwrap()
+                    .profile
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(mode_benches, bench_modes);
+criterion_main!(mode_benches);

@@ -1,0 +1,51 @@
+//! Ablation bench for the sorting design choice of §III-A/§IV: the paper's
+//! custom Bitonic network (cooperative, O(log² d) depth) versus the
+//! "batch-based" alternative where one thread sorts one fiber with a
+//! general comparison sort. On the host the batch variant is the standard
+//! library sort; the relevant signal is the relative cost across fiber
+//! widths d.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdmp_core::kernels::bitonic_sort;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn fibers(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect()
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let n = 4096;
+    for d in [8usize, 64, 256] {
+        let data = fibers(n, d, d as u64);
+        let mut group = c.benchmark_group(format!("sort_d{d}"));
+        group.throughput(Throughput::Elements((n * d) as u64));
+        group.sample_size(20);
+        group.bench_with_input(BenchmarkId::new("bitonic", d), &data, |b, data| {
+            b.iter(|| {
+                let mut work = data.clone();
+                for fiber in &mut work {
+                    bitonic_sort(black_box(fiber));
+                }
+                work
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_unstable", d), &data, |b, data| {
+            b.iter(|| {
+                let mut work = data.clone();
+                for fiber in &mut work {
+                    fiber.sort_unstable_by(|a, b| a.total_cmp(b));
+                }
+                work
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(sort_benches, bench_sorts);
+criterion_main!(sort_benches);

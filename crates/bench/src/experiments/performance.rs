@@ -1,0 +1,256 @@
+//! Modelled performance experiments at the paper's full problem sizes:
+//! Fig. 4 (kernel breakdown), Fig. 5 (DGX-1 scaling), Fig. 6 (machine
+//! comparison), the §I/§V-C headline speedups and the §V-C utilization
+//! report.
+
+use crate::report::ExperimentTable;
+use mdmp_core::{estimate_run, MdmpConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem, KernelClass, UtilizationReport};
+use mdmp_precision::PrecisionMode;
+
+fn estimate_seconds(
+    spec: DeviceSpec,
+    gpus: usize,
+    n: usize,
+    d: usize,
+    m: usize,
+    mode: PrecisionMode,
+    tiles: usize,
+) -> f64 {
+    let mut sys = GpuSystem::homogeneous(spec, gpus);
+    let cfg = MdmpConfig::new(m, mode).with_tiles(tiles);
+    estimate_run(n, n, d, &cfg, &mut sys)
+        .expect("estimate failed")
+        .modeled_seconds
+}
+
+/// Fig. 4: kernel execution time of the single-tile implementation on one
+/// A100 (FP64), sweeping n (d=2⁶, m=2⁶) and d (n=2¹⁶, m=2⁶).
+pub fn fig4() -> Vec<ExperimentTable> {
+    let header = [
+        "point",
+        "precalc_s",
+        "dist_calc_s",
+        "sort_scan_s",
+        "update_s",
+        "total_s",
+    ];
+    let mut by_n = ExperimentTable::new(
+        "fig4_kernel_time_vs_n",
+        "Fig. 4 left: kernel time breakdown vs n (A100, FP64, 1 tile, d=2^6, m=2^6)",
+        &header,
+    );
+    let mut by_d = ExperimentTable::new(
+        "fig4_kernel_time_vs_d",
+        "Fig. 4 right: kernel time breakdown vs d (A100, FP64, 1 tile, n=2^16, m=2^6)",
+        &header,
+    );
+    let cfg = MdmpConfig::new(64, PrecisionMode::Fp64);
+    for n_pow in 13..=16u32 {
+        let n = 1usize << n_pow;
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let est = estimate_run(n, n, 64, &cfg, &mut sys).unwrap();
+        by_n.push(format!("n=2^{n_pow}"), breakdown_cells(&est.ledger, est.modeled_seconds));
+    }
+    for d_pow in 3..=6u32 {
+        let d = 1usize << d_pow;
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let est = estimate_run(1 << 16, 1 << 16, d, &cfg, &mut sys).unwrap();
+        by_d.push(format!("d=2^{d_pow}"), breakdown_cells(&est.ledger, est.modeled_seconds));
+    }
+    vec![by_n, by_d]
+}
+
+fn breakdown_cells(ledger: &mdmp_gpu_sim::CostLedger, total: f64) -> Vec<f64> {
+    vec![
+        ledger.seconds(KernelClass::Precalc),
+        ledger.seconds(KernelClass::DistCalc),
+        ledger.seconds(KernelClass::SortScan),
+        ledger.seconds(KernelClass::UpdateProfile),
+        total,
+    ]
+}
+
+/// Fig. 5: execution time and parallel efficiency on the DGX-1 (1–8 V100)
+/// with 16 tiles (n=2¹⁶, d=2⁸), for all five precision modes.
+pub fn fig5() -> Vec<ExperimentTable> {
+    let n = 1 << 16;
+    let d = 256;
+    let m = 64;
+    let tiles = 16;
+
+    let mut header: Vec<String> = vec!["gpus".into()];
+    for mode in PrecisionMode::PAPER_MODES {
+        header.push(format!("t_{mode}_s"));
+    }
+    header.push("efficiency_FP64".into());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut scaling = ExperimentTable::new(
+        "fig5_dgx1_scaling",
+        "Fig. 5: execution time on 1-8 V100 GPUs, 16 tiles (n=2^16, d=2^8) and FP64 parallel efficiency",
+        &header_refs,
+    );
+
+    let mut t1_fp64 = 0.0;
+    for gpus in 1..=8usize {
+        let mut cells = Vec::new();
+        let mut eff = 0.0;
+        for mode in PrecisionMode::PAPER_MODES {
+            let t = estimate_seconds(DeviceSpec::v100(), gpus, n, d, m, mode, tiles);
+            if mode == PrecisionMode::Fp64 {
+                if gpus == 1 {
+                    t1_fp64 = t;
+                }
+                eff = t1_fp64 / (gpus as f64 * t);
+            }
+            cells.push(t);
+        }
+        cells.push(eff);
+        scaling.push(format!("{gpus}"), cells);
+    }
+
+    // Kernel breakdown per mode on one V100 (the left bar stack of Fig. 5).
+    let mut breakdown = ExperimentTable::new(
+        "fig5_kernel_breakdown",
+        "Fig. 5 inset: kernel breakdown per precision mode on one V100 (n=2^16, d=2^8, 16 tiles)",
+        &[
+            "mode",
+            "precalc_s",
+            "dist_calc_s",
+            "sort_scan_s",
+            "update_s",
+            "total_s",
+        ],
+    );
+    for mode in PrecisionMode::PAPER_MODES {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::v100(), 1);
+        let cfg = MdmpConfig::new(m, mode).with_tiles(tiles);
+        let est = estimate_run(n, n, d, &cfg, &mut sys).unwrap();
+        breakdown.push(
+            mode.label(),
+            breakdown_cells(&est.ledger, est.modeled_seconds),
+        );
+    }
+    vec![scaling, breakdown]
+}
+
+/// Fig. 6: FP64 execution time across the 16-core CPU, V100 and A100,
+/// sweeping n, d, and m.
+pub fn fig6() -> Vec<ExperimentTable> {
+    let machines: [(&str, DeviceSpec); 3] = [
+        ("CPU", DeviceSpec::skylake_16c()),
+        ("V100", DeviceSpec::v100()),
+        ("A100", DeviceSpec::a100()),
+    ];
+    let header = ["point", "CPU_s", "V100_s", "A100_s"];
+
+    let mut by_n = ExperimentTable::new(
+        "fig6_machines_vs_n",
+        "Fig. 6 left: FP64 time vs n (d=2^6, m=2^6) on CPU / V100 / A100",
+        &header,
+    );
+    for n_pow in 12..=16u32 {
+        let n = 1usize << n_pow;
+        let cells: Vec<f64> = machines
+            .iter()
+            .map(|(_, spec)| {
+                estimate_seconds(spec.clone(), 1, n, 64, 64, PrecisionMode::Fp64, 1)
+            })
+            .collect();
+        by_n.push(format!("n=2^{n_pow}"), cells);
+    }
+
+    let mut by_d = ExperimentTable::new(
+        "fig6_machines_vs_d",
+        "Fig. 6 middle: FP64 time vs d (n=2^16, m=2^6)",
+        &header,
+    );
+    for d_pow in 3..=6u32 {
+        let d = 1usize << d_pow;
+        let cells: Vec<f64> = machines
+            .iter()
+            .map(|(_, spec)| {
+                estimate_seconds(spec.clone(), 1, 1 << 16, d, 64, PrecisionMode::Fp64, 1)
+            })
+            .collect();
+        by_d.push(format!("d=2^{d_pow}"), cells);
+    }
+
+    let mut by_m = ExperimentTable::new(
+        "fig6_machines_vs_m",
+        "Fig. 6 right: FP64 time vs m (n=2^16, d=2^6) — flat, m-independent",
+        &header,
+    );
+    for m_pow in 3..=6u32 {
+        let m = 1usize << m_pow;
+        let cells: Vec<f64> = machines
+            .iter()
+            .map(|(_, spec)| {
+                estimate_seconds(spec.clone(), 1, 1 << 16, 64, m, PrecisionMode::Fp64, 1)
+            })
+            .collect();
+        by_m.push(format!("m=2^{m_pow}"), cells);
+    }
+    vec![by_n, by_d, by_m]
+}
+
+/// The headline numbers of §I: speedups at (n=2¹⁶, d=2⁶, m=2⁶).
+pub fn headline() -> ExperimentTable {
+    let n = 1 << 16;
+    let (d, m) = (64, 64);
+    let t_cpu = estimate_seconds(DeviceSpec::skylake_16c(), 1, n, d, m, PrecisionMode::Fp64, 1);
+    let t_v100 = estimate_seconds(DeviceSpec::v100(), 1, n, d, m, PrecisionMode::Fp64, 1);
+    let t_a100 = estimate_seconds(DeviceSpec::a100(), 1, n, d, m, PrecisionMode::Fp64, 1);
+    let t_a100_16 = estimate_seconds(DeviceSpec::a100(), 1, n, d, m, PrecisionMode::Fp16, 1);
+    let t1 = estimate_seconds(DeviceSpec::a100(), 1, n, d, m, PrecisionMode::Fp64, 16);
+    let t4 = estimate_seconds(DeviceSpec::a100(), 4, n, d, m, PrecisionMode::Fp64, 16);
+
+    let mut t = ExperimentTable::new(
+        "headline_speedups",
+        "Headline results (n=2^16, d=2^6, m=2^6): paper reports 54x (A100/CPU), 41.6x (V100/CPU), 1.4x (FP16/FP64 on A100), 3.8x (4 A100s, 16 tiles)",
+        &["quantity", "modeled", "paper"],
+    );
+    t.push("A100_vs_CPU_FP64", vec![t_cpu / t_a100, 54.0]);
+    t.push("V100_vs_CPU_FP64", vec![t_cpu / t_v100, 41.6]);
+    t.push("FP16_vs_FP64_A100", vec![t_a100 / t_a100_16, 1.4]);
+    t.push("4xA100_speedup", vec![t1 / t4, 3.8]);
+    t.push(
+        "4xA100_efficiency",
+        vec![t1 / (4.0 * t4), 0.95],
+    );
+    t
+}
+
+/// §V-C "Resource Utilization": Nsight-Compute-style achieved-throughput
+/// report per kernel per mode on one A100 at (n=2¹⁶, d=2⁶, m=2⁶).
+pub fn utilization() -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "utilization",
+        "V-C resource utilization on A100 (n=2^16, d=2^6): achieved DRAM %% of peak and SM op-rate %% per kernel; paper: dist/update >80%% DRAM in FP64, ~60%% FP32, ~30%% FP16; sort ~70%% compute",
+        &["kernel_mode", "time_s", "dram_pct", "sm_pct"],
+    );
+    for mode in [PrecisionMode::Fp64, PrecisionMode::Fp32, PrecisionMode::Fp16] {
+        let spec = DeviceSpec::a100();
+        let mut sys = GpuSystem::homogeneous(spec.clone(), 1);
+        let cfg = MdmpConfig::new(64, mode);
+        let est = estimate_run(1 << 16, 1 << 16, 64, &cfg, &mut sys).unwrap();
+        let report = UtilizationReport::from_ledger(&spec, &est.ledger);
+        for class in [
+            KernelClass::DistCalc,
+            KernelClass::SortScan,
+            KernelClass::UpdateProfile,
+        ] {
+            if let Some(row) = report.class(class) {
+                table.push(
+                    format!("{}_{}", class.label(), mode.label()),
+                    vec![
+                        row.seconds,
+                        row.dram_fraction * 100.0,
+                        row.sm_fraction * 100.0,
+                    ],
+                );
+            }
+        }
+    }
+    table
+}

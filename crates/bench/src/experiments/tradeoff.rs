@@ -1,0 +1,97 @@
+//! Fig. 7: the accuracy–performance tradeoff when increasing the number of
+//! tiles from 1 to 1024.
+//!
+//! Two coupled tables: the modelled execution time at the paper's scale
+//! (n=2¹⁶, d=2⁶, m=2⁶ on one A100), and the functional accuracy at a
+//! scaled problem size — more tiles restart the Eq. 1 recurrence more
+//! often, so the FP16-family accuracy climbs with the tile count while the
+//! time first dips (stream overlap) and then rises (merge overhead).
+
+use super::run_profile;
+use crate::report::ExperimentTable;
+use mdmp_core::baseline::mstamp;
+use mdmp_core::{estimate_run, MdmpConfig};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_metrics::{embedded_recall, relative_accuracy};
+use mdmp_precision::PrecisionMode;
+
+/// Modelled time vs tile count at paper scale, per mode.
+pub fn fig7_time() -> ExperimentTable {
+    let mut header: Vec<String> = vec!["tiles".into()];
+    for mode in PrecisionMode::PAPER_MODES {
+        header.push(format!("t_{mode}_s"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = ExperimentTable::new(
+        "fig7_time_vs_tiles",
+        "Fig. 7 x-axis: modeled execution time vs tile count (A100, n=2^16, d=2^6, m=2^6)",
+        &header_refs,
+    );
+    for tiles in [1usize, 4, 16, 64, 256, 1024] {
+        let mut cells = Vec::new();
+        for mode in PrecisionMode::PAPER_MODES {
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+            let cfg = MdmpConfig::new(64, mode).with_tiles(tiles);
+            cells.push(
+                estimate_run(1 << 16, 1 << 16, 64, &cfg, &mut sys)
+                    .unwrap()
+                    .modeled_seconds,
+            );
+        }
+        table.push(format!("{tiles}"), cells);
+    }
+    table
+}
+
+/// Functional accuracy vs tile count at scaled size, per mode: relative
+/// accuracy `A` and embedded-motif recall.
+pub fn fig7_accuracy(quick: bool) -> ExperimentTable {
+    let (n, d, m) = if quick { (512, 4, 16) } else { (1024, 8, 32) };
+    let tile_counts: &[usize] = if quick {
+        &[1, 4, 16, 64]
+    } else {
+        &[1, 4, 16, 64, 256]
+    };
+    let cfg = SyntheticConfig {
+        n_subsequences: n,
+        dims: d,
+        m,
+        pattern: Pattern::Sine,
+        embeddings: 4,
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed: 0xF16,
+    };
+    let pair = generate_pair(&cfg);
+    let reference = mstamp(&pair.reference, &pair.query, m, None, None);
+
+    let mut header: Vec<String> = vec!["tiles".into()];
+    for mode in PrecisionMode::PAPER_MODES {
+        header.push(format!("A_{mode}"));
+        header.push(format!("Remb_{mode}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = ExperimentTable::new(
+        "fig7_accuracy_vs_tiles",
+        &format!("Fig. 7 y-axis: functional accuracy vs tile count (n={n}, d={d}, m={m}; paper scale n=2^16, d=2^6, m=2^6)"),
+        &header_refs,
+    );
+    for &tiles in tile_counts {
+        let mut cells = Vec::new();
+        for mode in PrecisionMode::PAPER_MODES {
+            let profile = run_profile(&pair.reference, &pair.query, m, mode, tiles);
+            cells.push(relative_accuracy(&reference, &profile) * 100.0);
+            let (recall, _, _) = embedded_recall(
+                &profile,
+                d - 1,
+                &pair.query_locs,
+                &pair.reference_locs,
+                0,
+            );
+            cells.push(recall * 100.0);
+        }
+        table.push(format!("{tiles}"), cells);
+    }
+    table
+}

@@ -1,0 +1,22 @@
+//! # mdmp-bench
+//!
+//! The reproduction harness. [`experiments`] contains one function per
+//! table/figure of the paper's evaluation; the `repro` binary exposes them
+//! as subcommands (`repro fig2`, `repro fig5`, `repro all`, …) and writes
+//! each result table to `results/*.csv`.
+//!
+//! Two kinds of experiments coexist (see EXPERIMENTS.md):
+//!
+//! * **functional** — real computation in the selected precision at a
+//!   scaled-down problem size (software binary16 is ~20× slower than native
+//!   arithmetic), for every accuracy figure;
+//! * **modelled** — the calibrated cost model at the paper's full problem
+//!   sizes, for every performance figure.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{print_table, save_table, ExperimentTable};

@@ -1,0 +1,136 @@
+//! Result-table formatting and persistence.
+
+use std::io;
+use std::path::PathBuf;
+
+/// A labelled table of experiment results: string row labels + numeric
+/// columns.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    /// Experiment identifier ("fig2-n-sweep", …).
+    pub name: String,
+    /// Human description shown above the table and in the CSV comment.
+    pub description: String,
+    /// Column headers, first column is the row label.
+    pub header: Vec<String>,
+    /// Rows: label + numeric cells.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ExperimentTable {
+    /// Create an empty table.
+    pub fn new(name: &str, description: &str, header: &[&str]) -> ExperimentTable {
+        ExperimentTable {
+            name: name.to_string(),
+            description: description.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, cells: Vec<f64>) {
+        assert_eq!(
+            cells.len() + 1,
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Fetch a cell by row label and column name (for assertions in tests).
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<f64> {
+        let col = self.header.iter().position(|h| h == column)?;
+        if col == 0 {
+            return None;
+        }
+        let row = self.rows.iter().find(|(l, _)| l == row_label)?;
+        row.1.get(col - 1).copied()
+    }
+}
+
+/// Print a table to stdout in aligned columns.
+pub fn print_table(table: &ExperimentTable) {
+    println!("\n== {} — {}", table.name, table.description);
+    let label_w = table
+        .rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain([table.header[0].len()])
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    print!("{:<label_w$}", table.header[0]);
+    for h in &table.header[1..] {
+        print!(" {h:>14}");
+    }
+    println!();
+    for (label, cells) in &table.rows {
+        print!("{label:<label_w$}");
+        for c in cells {
+            if c.abs() >= 1e5 || (c.abs() < 1e-3 && *c != 0.0) {
+                print!(" {c:>14.4e}");
+            } else {
+                print!(" {c:>14.4}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Directory for result CSVs (created on demand): `./results`.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Persist a table to `results/<name>.csv`.
+pub fn save_table(table: &ExperimentTable) -> io::Result<PathBuf> {
+    let path = results_dir().join(format!("{}.csv", table.name));
+    let header: Vec<&str> = table.header.iter().map(|s| s.as_str()).collect();
+    let file = std::fs::File::create(&path)?;
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "# {}", table.description)?;
+    writeln!(w, "{}", header.join(","))?;
+    for (label, cells) in &table.rows {
+        let mut line = vec![label.clone()];
+        line.extend(cells.iter().map(|c| format!("{c}")));
+        writeln!(w, "{}", line.join(","))?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+/// Print and save in one step; IO errors are reported but not fatal.
+pub fn emit(table: &ExperimentTable) {
+    print_table(table);
+    match save_table(table) {
+        Ok(path) => println!("   -> saved {}", path.display()),
+        Err(e) => eprintln!("   !! could not save table: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip_and_cell_lookup() {
+        let mut t = ExperimentTable::new("t", "test table", &["mode", "a", "b"]);
+        t.push("FP64", vec![1.0, 2.0]);
+        t.push("FP16", vec![3.0, 4.0]);
+        assert_eq!(t.cell("FP16", "b"), Some(4.0));
+        assert_eq!(t.cell("FP16", "mode"), None);
+        assert_eq!(t.cell("FP8", "a"), None);
+        assert_eq!(t.cell("FP64", "c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = ExperimentTable::new("t", "d", &["mode", "a"]);
+        t.push("x", vec![1.0, 2.0]);
+    }
+}

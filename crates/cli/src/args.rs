@@ -1,0 +1,205 @@
+//! A small, dependency-free argument parser: `--key value` and `--flag`
+//! options after a subcommand, with typed accessors and helpful errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Parsed command line: a subcommand plus its options.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Argument-parsing/validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parse raw arguments (without the program name).
+    pub fn parse(raw: &[String]) -> Result<ParsedArgs, ArgError> {
+        let mut iter = raw.iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a subcommand before options, found '{command}'"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{arg}' (options start with --)"
+                )));
+            };
+            if key.is_empty() {
+                return Err(ArgError("empty option name '--'".into()));
+            }
+            // `--key=value` form.
+            if let Some((k, v)) = key.split_once('=') {
+                if options.insert(k.to_string(), v.to_string()).is_some() {
+                    return Err(ArgError(format!("option --{k} given twice")));
+                }
+                continue;
+            }
+            // `--key value` if the next token is not an option; else a flag.
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().unwrap().clone();
+                    if options.insert(key.to_string(), value).is_some() {
+                        return Err(ArgError(format!("option --{key} given twice")));
+                    }
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Ok(ParsedArgs {
+            command,
+            options,
+            flags,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// A required typed option.
+    pub fn require<T: FromStr>(&self, key: &str) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        self.consumed.borrow_mut().push(key.to_string());
+        let raw = self
+            .options
+            .get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))?;
+        raw.parse()
+            .map_err(|e| ArgError(format!("invalid value for --{key}: {e}")))
+    }
+
+    /// An optional typed option with a default.
+    pub fn get_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        self.consumed.borrow_mut().push(key.to_string());
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| ArgError(format!("invalid value for --{key}: {e}"))),
+        }
+    }
+
+    /// An optional typed option.
+    pub fn get<T: FromStr>(&self, key: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        self.consumed.borrow_mut().push(key.to_string());
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| ArgError(format!("invalid value for --{key}: {e}"))),
+        }
+    }
+
+    /// A boolean flag (present or absent).
+    pub fn flag(&self, key: &str) -> bool {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// After reading everything, reject unknown options (typo guard).
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ArgError(format!(
+                    "unknown option --{key} for command '{}'",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ParsedArgs, ArgError> {
+        let raw: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        ParsedArgs::parse(&raw)
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["compute", "--m", "64", "--self-join", "--tiles=16"]).unwrap();
+        assert_eq!(a.command, "compute");
+        assert_eq!(a.require::<usize>("m").unwrap(), 64);
+        assert_eq!(a.get_or::<usize>("tiles", 1).unwrap(), 16);
+        assert!(a.flag("self-join"));
+        assert!(!a.flag("verbose"));
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn missing_required_option() {
+        let a = parse(&["compute"]).unwrap();
+        let err = a.require::<usize>("m").unwrap_err();
+        assert!(err.to_string().contains("--m"));
+    }
+
+    #[test]
+    fn invalid_typed_value() {
+        let a = parse(&["compute", "--m", "abc"]).unwrap();
+        assert!(a.require::<usize>("m").is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse(&["x", "--m", "1", "--m", "2"]).is_err());
+        assert!(parse(&["x", "--m=1", "--m=2"]).is_err());
+    }
+
+    #[test]
+    fn missing_subcommand_and_positional_garbage() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--m", "1"]).is_err());
+        assert!(parse(&["cmd", "stray"]).is_err());
+    }
+
+    #[test]
+    fn unknown_option_detected() {
+        let a = parse(&["compute", "--m", "64", "--typo", "1"]).unwrap();
+        let _ = a.require::<usize>("m");
+        let err = a.reject_unknown().unwrap_err();
+        assert!(err.to_string().contains("--typo"));
+    }
+
+    #[test]
+    fn defaults_and_optionals() {
+        let a = parse(&["estimate", "--n", "1024"]).unwrap();
+        assert_eq!(a.get_or::<String>("mode", "fp64".into()).unwrap(), "fp64");
+        assert_eq!(a.get::<usize>("gpus").unwrap(), None);
+        assert_eq!(a.require::<usize>("n").unwrap(), 1024);
+    }
+}

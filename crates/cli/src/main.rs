@@ -1,0 +1,38 @@
+//! `mdmp` — the command-line interface of the reduced-precision
+//! multi-dimensional matrix profile reproduction.
+//!
+//! Run `mdmp` without arguments for usage.
+
+mod args;
+mod commands;
+mod profile_io;
+
+use args::ParsedArgs;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print!("{}", commands::usage());
+        std::process::exit(if raw.is_empty() { 2 } else { 0 });
+    }
+    let parsed = match ParsedArgs::parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "compute" => commands::compute(&parsed),
+        "motifs" => commands::mine(&parsed, false),
+        "discords" => commands::mine(&parsed, true),
+        "generate" => commands::generate(&parsed),
+        "estimate" => commands::estimate(&parsed),
+        "info" => commands::info(),
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,137 @@
+//! CSV persistence for computed matrix profiles.
+//!
+//! Format: a comment header, then one row per query segment:
+//! `j, P_1, …, P_d, I_1, …, I_d` — profile values for the 1- to
+//! d-dimensional profiles followed by the matching reference indices.
+
+use mdmp_core::MatrixProfile;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write a profile to CSV.
+pub fn write_profile(path: &Path, profile: &MatrixProfile) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let d = profile.dims();
+    writeln!(
+        w,
+        "# mdmp matrix profile: n_query={} dims={}",
+        profile.n_query(),
+        d
+    )?;
+    let mut header = vec!["j".to_string()];
+    header.extend((0..d).map(|k| format!("P_{}", k + 1)));
+    header.extend((0..d).map(|k| format!("I_{}", k + 1)));
+    writeln!(w, "{}", header.join(","))?;
+    for j in 0..profile.n_query() {
+        let mut row = vec![j.to_string()];
+        row.extend((0..d).map(|k| format!("{}", profile.value(j, k))));
+        row.extend((0..d).map(|k| format!("{}", profile.index(j, k))));
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Read a profile written by [`write_profile`].
+pub fn read_profile(path: &Path) -> io::Result<MatrixProfile> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut rows: Vec<(Vec<f64>, Vec<i64>)> = Vec::new();
+    let mut d = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('j') {
+            continue;
+        }
+        let cells: Vec<&str> = t.split(',').collect();
+        let bad = |msg: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {msg}", lineno + 1),
+            )
+        };
+        if cells.len() < 3 || cells.len().is_multiple_of(2) {
+            return Err(bad("expected columns j, P_1.., I_1.."));
+        }
+        let row_d = (cells.len() - 1) / 2;
+        if d == 0 {
+            d = row_d;
+        } else if d != row_d {
+            return Err(bad("inconsistent column count"));
+        }
+        let mut p = Vec::with_capacity(d);
+        for c in &cells[1..1 + d] {
+            p.push(c.parse::<f64>().map_err(|e| bad(&e.to_string()))?);
+        }
+        let mut i = Vec::with_capacity(d);
+        for c in &cells[1 + d..] {
+            i.push(c.parse::<i64>().map_err(|e| bad(&e.to_string()))?);
+        }
+        rows.push((p, i));
+    }
+    if rows.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no profile rows in file",
+        ));
+    }
+    let n = rows.len();
+    let mut p_plane = vec![0.0; n * d];
+    let mut i_plane = vec![0i64; n * d];
+    for (j, (p, i)) in rows.into_iter().enumerate() {
+        for k in 0..d {
+            p_plane[k * n + j] = p[k];
+            i_plane[k * n + j] = i[k];
+        }
+    }
+    Ok(MatrixProfile::from_raw(p_plane, i_plane, n, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mdmp_cli_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn profile_round_trip() {
+        let profile = MatrixProfile::from_raw(
+            vec![1.5, 2.5, 3.5, 0.25, 0.5, 0.75],
+            vec![10, 11, 12, 20, 21, 22],
+            3,
+            2,
+        );
+        let path = tmp("roundtrip.csv");
+        write_profile(&path, &profile).unwrap();
+        let back = read_profile(&path).unwrap();
+        assert_eq!(back, profile);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trip_preserves_infinity_and_unset() {
+        let profile = MatrixProfile::new_unset(2, 1);
+        let path = tmp("unset.csv");
+        write_profile(&path, &profile).unwrap();
+        let back = read_profile(&path).unwrap();
+        assert!(back.value(0, 0).is_infinite());
+        assert_eq!(back.index(1, 0), -1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_and_empty() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "0,1.0,2.0,3,4\n1,1.0,3\n").unwrap();
+        assert!(read_profile(&path).is_err());
+        std::fs::write(&path, "# nothing\n").unwrap();
+        assert!(read_profile(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,262 @@
+//! Downstream analysis on a computed matrix profile: motif discovery,
+//! discord (anomaly) detection, and motif subspace identification — the
+//! applications the paper's introduction motivates (pattern mining,
+//! anomaly inspection, similarity search).
+
+use crate::profile::MatrixProfile;
+use mdmp_data::stats::znorm_distance;
+use mdmp_data::MultiDimSeries;
+
+/// A discovered motif: the query segment, its best reference match and the
+/// (k+1)-dimensional inclusive-average distance between them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Motif {
+    /// Query segment position.
+    pub query_pos: usize,
+    /// Matched reference segment position.
+    pub match_pos: usize,
+    /// The (k+1)-dimensional profile distance.
+    pub distance: f64,
+    /// Dimensionality index `k` (the motif spans `k+1` dimensions).
+    pub k: usize,
+}
+
+/// A discord (anomaly): the query segment whose *best* match is worst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discord {
+    /// Query segment position.
+    pub query_pos: usize,
+    /// Its (distant) nearest-neighbour distance.
+    pub distance: f64,
+    /// Dimensionality index `k`.
+    pub k: usize,
+}
+
+/// The `top` lowest-distance, mutually non-overlapping motifs of the
+/// k-dimensional profile. Two motifs overlap when either their query or
+/// their match segments are closer than `m`.
+pub fn top_motifs(profile: &MatrixProfile, k: usize, m: usize, top: usize) -> Vec<Motif> {
+    assert!(k < profile.dims(), "dimension out of range");
+    let mut candidates: Vec<Motif> = profile
+        .profile_dim(k)
+        .iter()
+        .zip(profile.index_dim(k))
+        .enumerate()
+        .filter(|(_, (p, i))| p.is_finite() && **i >= 0)
+        .map(|(j, (&p, &i))| Motif {
+            query_pos: j,
+            match_pos: i as usize,
+            distance: p,
+            k,
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
+    let mut picked: Vec<Motif> = Vec::new();
+    for c in candidates {
+        let overlaps = picked.iter().any(|p| {
+            c.query_pos.abs_diff(p.query_pos) < m || c.match_pos.abs_diff(p.match_pos) < m
+        });
+        if !overlaps {
+            picked.push(c);
+            if picked.len() == top {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+/// The `top` highest-distance, non-overlapping discords of the
+/// k-dimensional profile (entries with no finite match are skipped —
+/// absence of a match is a data artefact, not an anomaly score).
+pub fn top_discords(profile: &MatrixProfile, k: usize, m: usize, top: usize) -> Vec<Discord> {
+    assert!(k < profile.dims(), "dimension out of range");
+    let mut candidates: Vec<Discord> = profile
+        .profile_dim(k)
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_finite())
+        .map(|(j, &p)| Discord {
+            query_pos: j,
+            distance: p,
+            k,
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.distance.partial_cmp(&a.distance).unwrap());
+    let mut picked: Vec<Discord> = Vec::new();
+    for c in candidates {
+        if picked
+            .iter()
+            .all(|p| c.query_pos.abs_diff(p.query_pos) >= m)
+        {
+            picked.push(c);
+            if picked.len() == top {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+/// The motif **subspace**: which `k+1` dimensions the (k+1)-dimensional
+/// match between query segment `query_pos` and reference segment
+/// `match_pos` is composed of — the dimensions with the smallest per-
+/// dimension z-normalized distances (the dimensions the sorted inclusive
+/// average of Eq. 2 selected). Returned sorted by distance, ascending.
+pub fn motif_subspace(
+    reference: &MultiDimSeries,
+    query: &MultiDimSeries,
+    m: usize,
+    query_pos: usize,
+    match_pos: usize,
+    k: usize,
+) -> Vec<usize> {
+    let d = reference.dims();
+    assert_eq!(d, query.dims(), "dimensionality mismatch");
+    assert!(k < d, "k out of range");
+    assert!(match_pos + m <= reference.len(), "match segment out of range");
+    assert!(query_pos + m <= query.len(), "query segment out of range");
+    let mut dims: Vec<(usize, f64)> = (0..d)
+        .map(|dim| {
+            let dist = znorm_distance(
+                &reference.dim(dim)[match_pos..match_pos + m],
+                &query.dim(dim)[query_pos..query_pos + m],
+            );
+            (dim, dist)
+        })
+        .collect();
+    dims.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    dims.truncate(k + 1);
+    dims.into_iter().map(|(dim, _)| dim).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_with_mode;
+    use crate::MdmpConfig;
+    use mdmp_data::rng::{fill_gaussian, seeded};
+    use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+    use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+    use mdmp_precision::PrecisionMode;
+
+    fn run_pair(
+        n: usize,
+        d: usize,
+        m: usize,
+        seed: u64,
+    ) -> (mdmp_data::SyntheticPair, MatrixProfile) {
+        let pair = generate_pair(&SyntheticConfig {
+            n_subsequences: n,
+            dims: d,
+            m,
+            pattern: Pattern::DampedOsc,
+            embeddings: 3,
+            noise: 0.25,
+            pattern_amplitude: 1.3,
+            seed,
+        });
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
+        let run = run_with_mode(&pair.reference, &pair.query, &cfg, &mut sys).unwrap();
+        (pair, run.profile)
+    }
+
+    #[test]
+    fn top_motif_is_the_embedded_pattern() {
+        let (pair, profile) = run_pair(1024, 3, 32, 8);
+        let motifs = top_motifs(&profile, 2, 32, 3);
+        assert!(!motifs.is_empty());
+        let best = motifs[0];
+        // The best motif pairs a query embedding with a reference embedding.
+        assert!(
+            pair.query_locs.iter().any(|&l| best.query_pos.abs_diff(l) < 32),
+            "best motif query {} not near embeddings {:?}",
+            best.query_pos,
+            pair.query_locs
+        );
+        assert!(
+            pair.reference_locs
+                .iter()
+                .any(|&l| best.match_pos.abs_diff(l) < 32),
+            "best motif match {} not near embeddings {:?}",
+            best.match_pos,
+            pair.reference_locs
+        );
+        // Distances ascend and picks don't overlap.
+        for w in motifs.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+            assert!(w[0].query_pos.abs_diff(w[1].query_pos) >= 32);
+        }
+    }
+
+    #[test]
+    fn discord_finds_an_injected_anomaly() {
+        // A self-join where one window is replaced by a unique spike burst.
+        let n = 512;
+        let m = 16;
+        let mut rng = seeded(9);
+        let mut x = vec![0.0; n + m - 1];
+        // Periodic base signal: everything matches something.
+        for (t, v) in x.iter_mut().enumerate() {
+            *v = (t as f64 * 0.7).sin();
+        }
+        let mut noise = vec![0.0; x.len()];
+        fill_gaussian(&mut rng, &mut noise, 0.05);
+        for (v, nz) in x.iter_mut().zip(&noise) {
+            *v += nz;
+        }
+        // The anomaly: an alternating spike burst at position 300.
+        for t in 0..m {
+            x[300 + t] = if t % 2 == 0 { 4.0 } else { -4.0 };
+        }
+        let series = mdmp_data::MultiDimSeries::univariate(x);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64).self_join();
+        let run = run_with_mode(&series, &series, &cfg, &mut sys).unwrap();
+        let discords = top_discords(&run.profile, 0, m, 1);
+        assert_eq!(discords.len(), 1);
+        assert!(
+            discords[0].query_pos.abs_diff(300) < m,
+            "discord at {} not near the injected anomaly at 300",
+            discords[0].query_pos
+        );
+    }
+
+    #[test]
+    fn subspace_selects_the_motif_dimensions() {
+        // Embed a pattern in dimensions 0 and 2 only; dimension 1 is noise.
+        let n = 400;
+        let m = 24;
+        let mut rng = seeded(17);
+        let mut dims: Vec<Vec<f64>> = (0..3)
+            .map(|_| {
+                let mut v = vec![0.0; n + m - 1];
+                fill_gaussian(&mut rng, &mut v, 0.3);
+                v
+            })
+            .collect();
+        let shape = Pattern::Sine.render(m);
+        for dim in [0usize, 2] {
+            for (t, &s) in shape.iter().enumerate() {
+                dims[dim][100 + t] += 1.5 * s; // reference embedding
+                dims[dim][300 + t] += 1.5 * s; // query embedding
+            }
+        }
+        let series = mdmp_data::MultiDimSeries::from_dims(dims);
+        let subspace = motif_subspace(&series, &series, m, 300, 100, 1);
+        assert_eq!(subspace.len(), 2);
+        assert!(subspace.contains(&0), "subspace {subspace:?} misses dim 0");
+        assert!(subspace.contains(&2), "subspace {subspace:?} misses dim 2");
+    }
+
+    #[test]
+    fn motif_list_respects_top_limit_and_unset_entries() {
+        let (_, profile) = run_pair(256, 2, 16, 10);
+        let motifs = top_motifs(&profile, 1, 16, 2);
+        assert!(motifs.len() <= 2);
+        let discords = top_discords(&profile, 1, 16, 100);
+        // Non-overlap cap: at most ~n/m picks.
+        assert!(discords.len() <= 256 / 16 + 1);
+    }
+}

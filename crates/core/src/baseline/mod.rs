@@ -1,0 +1,14 @@
+//! Baseline implementations the paper compares against:
+//!
+//! * [`brute`] — a direct O(n²·d·m) computation, used as an independent
+//!   correctness oracle for the streaming kernels;
+//! * [`mstamp`] — an mSTAMP/(MP)^N-style CPU implementation in FP64 (the
+//!   "state-of-the-art CPU-based implementation" of the paper's
+//!   comparisons), independently coded with a standard sort and serial
+//!   scan so it cross-validates the custom Bitonic/fan-in kernels.
+
+pub mod brute;
+pub mod mstamp;
+
+pub use brute::brute_force;
+pub use mstamp::mstamp;

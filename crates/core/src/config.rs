@@ -1,0 +1,163 @@
+//! Run configuration and error types.
+
+use crate::tiling::TileSchedule;
+use mdmp_gpu_sim::AllocError;
+use mdmp_precision::PrecisionMode;
+use std::fmt;
+
+/// Configuration of a matrix-profile computation (the tunables of
+/// Pseudocode 1 + 2 plus the precision mode of §III-C).
+#[derive(Debug, Clone)]
+pub struct MdmpConfig {
+    /// Segment (subsequence) length `m`.
+    pub m: usize,
+    /// Precision mode.
+    pub mode: PrecisionMode,
+    /// Number of tiles `n_tiles` (1 = single-tile algorithm). Tiles are laid
+    /// out on a near-square 2-D grid over the distance matrix.
+    pub n_tiles: usize,
+    /// Clamp `1 − corr` at zero before the square root in Eq. 1 — guards
+    /// against NaN distances when reduced-precision rounding pushes the
+    /// correlation above 1 (the same guard SCAMP applies). On by default;
+    /// the ablation benches toggle it.
+    pub clamp: bool,
+    /// For self-joins: trivial-match exclusion zone half-width. `None` for
+    /// AB-joins (query ≠ reference), which is the paper's setting.
+    pub exclusion_zone: Option<usize>,
+    /// Tile→device scheduling policy (the paper uses static Round-robin).
+    pub schedule: TileSchedule,
+}
+
+impl MdmpConfig {
+    /// An AB-join configuration with a single tile.
+    pub fn new(m: usize, mode: PrecisionMode) -> MdmpConfig {
+        MdmpConfig {
+            m,
+            mode,
+            n_tiles: 1,
+            clamp: true,
+            exclusion_zone: None,
+            schedule: TileSchedule::RoundRobin,
+        }
+    }
+
+    /// Set the tile count (builder style).
+    pub fn with_tiles(mut self, n_tiles: usize) -> MdmpConfig {
+        self.n_tiles = n_tiles;
+        self
+    }
+
+    /// Select the tile scheduling policy (builder style).
+    pub fn with_schedule(mut self, schedule: TileSchedule) -> MdmpConfig {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Configure a self-join with the standard `⌈m/4⌉` exclusion zone.
+    pub fn self_join(mut self) -> MdmpConfig {
+        self.exclusion_zone = Some(self.m.div_ceil(4).max(1));
+        self
+    }
+
+    /// Validate against the input sizes.
+    pub fn validate(&self, n_ref: usize, n_query: usize) -> Result<(), MdmpError> {
+        if self.m < 2 {
+            return Err(MdmpError::BadConfig(format!(
+                "segment length m must be at least 2, got {}",
+                self.m
+            )));
+        }
+        if n_ref == 0 || n_query == 0 {
+            return Err(MdmpError::BadConfig(
+                "series shorter than the segment length".into(),
+            ));
+        }
+        if self.n_tiles == 0 {
+            return Err(MdmpError::BadConfig("n_tiles must be at least 1".into()));
+        }
+        if self.n_tiles > n_ref * n_query {
+            return Err(MdmpError::BadConfig(format!(
+                "n_tiles {} exceeds the number of distance-matrix cells",
+                self.n_tiles
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Errors of the matrix-profile driver.
+#[derive(Debug, Clone)]
+pub enum MdmpError {
+    /// Invalid configuration or input shape.
+    BadConfig(String),
+    /// A tile's working set exceeds device memory (tiling too coarse).
+    OutOfDeviceMemory {
+        /// Index of the offending tile.
+        tile: usize,
+        /// The underlying allocation failure.
+        cause: AllocError,
+    },
+    /// Reference and query dimensionality differ.
+    DimensionalityMismatch {
+        /// Reference dimensionality.
+        reference: usize,
+        /// Query dimensionality.
+        query: usize,
+    },
+}
+
+impl fmt::Display for MdmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdmpError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MdmpError::OutOfDeviceMemory { tile, cause } => {
+                write!(f, "tile {tile} does not fit in device memory: {cause}")
+            }
+            MdmpError::DimensionalityMismatch { reference, query } => write!(
+                f,
+                "reference has {reference} dimensions but query has {query}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MdmpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = MdmpConfig::new(64, PrecisionMode::Fp16);
+        assert_eq!(cfg.m, 64);
+        assert_eq!(cfg.n_tiles, 1);
+        assert!(cfg.clamp);
+        assert!(cfg.exclusion_zone.is_none());
+        let tiled = cfg.clone().with_tiles(16);
+        assert_eq!(tiled.n_tiles, 16);
+        let sj = cfg.self_join();
+        assert_eq!(sj.exclusion_zone, Some(16));
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let cfg = MdmpConfig::new(1, PrecisionMode::Fp64);
+        assert!(matches!(cfg.validate(10, 10), Err(MdmpError::BadConfig(_))));
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64).with_tiles(0);
+        assert!(cfg.validate(10, 10).is_err());
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64).with_tiles(1000);
+        assert!(cfg.validate(4, 4).is_err());
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+        assert!(cfg.validate(10, 10).is_ok());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = MdmpError::DimensionalityMismatch {
+            reference: 4,
+            query: 8,
+        };
+        assert!(e.to_string().contains("4 dimensions"));
+    }
+}

@@ -1,0 +1,357 @@
+//! The multi-tile, multi-GPU driver (Pseudocode 2).
+//!
+//! Tiles are assigned Round-robin to the system's devices, issued on
+//! per-device streams (transfers overlap compute, full-device kernels
+//! serialize), executed functionally on the host, and merged on the CPU
+//! with min/argmin. The modelled time is the slowest device's makespan plus
+//! the CPU merge.
+
+use crate::config::{MdmpConfig, MdmpError};
+use crate::profile::MatrixProfile;
+use crate::tile_exec::execute_tile;
+use crate::tiling::{assign_tiles_weighted, compute_tile_list, Tile};
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::{
+    CostLedger, DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel,
+};
+use mdmp_precision::{Bf16, Format, Fp8E4M3, Fp8E5M2, Half, PrecisionMode, Real, Tf32};
+use std::time::Instant;
+
+/// Host-side fixed cost per tile (stream setup, allocation, result
+/// handling) — the overhead that makes very high tile counts slightly
+/// slower in Fig. 7 ("the final merging of tiles … is executed by the CPU,
+/// which results in an overhead increasing with the number of tiles").
+pub const HOST_PER_TILE_OVERHEAD: f64 = 2.0e-3;
+
+/// Concurrent streams hide launch/barrier gaps behind other tiles' compute:
+/// with two or more resident tiles the host issues launches ahead and the
+/// device work queue never drains, leaving ~1/16 of the nominal per-launch
+/// cost visible. A single tile has nothing to overlap with. This is the
+/// source of the initial speed-up when going from 1 tile to many in Fig. 7.
+pub const OVERHEAD_OVERLAP_CAP: u64 = 16;
+
+/// The result of a full matrix-profile run.
+#[derive(Debug)]
+pub struct MdmpRun {
+    /// The merged matrix profile (global reference indices).
+    pub profile: MatrixProfile,
+    /// Aggregated per-kernel-class accounting (all devices + merge).
+    pub ledger: CostLedger,
+    /// Modelled end-to-end seconds: slowest device makespan + CPU merge.
+    pub modeled_seconds: f64,
+    /// Modelled CPU merge seconds (including per-tile host overhead).
+    pub merge_seconds: f64,
+    /// Modelled makespan per device.
+    pub device_makespans: Vec<f64>,
+    /// Wall-clock seconds of the functional (host) execution.
+    pub wall_seconds: f64,
+}
+
+impl MdmpRun {
+    /// Parallel efficiency with respect to a single-device makespan
+    /// (`t₁ / (p · t_p)`), the metric of Fig. 5.
+    pub fn parallel_efficiency(&self, single_device_seconds: f64) -> f64 {
+        let p = self.device_makespans.len() as f64;
+        single_device_seconds / (p * self.modeled_seconds)
+    }
+}
+
+/// Run the multi-dimensional matrix profile in the configured precision
+/// mode on the given (simulated) GPU system.
+pub fn run_with_mode(
+    reference: &MultiDimSeries,
+    query: &MultiDimSeries,
+    cfg: &MdmpConfig,
+    system: &mut GpuSystem,
+) -> Result<MdmpRun, MdmpError> {
+    match cfg.mode {
+        PrecisionMode::Fp64 => run_generic::<f64, f64>(reference, query, cfg, system, false),
+        PrecisionMode::Fp32 => run_generic::<f32, f32>(reference, query, cfg, system, false),
+        PrecisionMode::Fp16 => run_generic::<Half, Half>(reference, query, cfg, system, false),
+        PrecisionMode::Mixed => run_generic::<f32, Half>(reference, query, cfg, system, false),
+        PrecisionMode::Fp16c => run_generic::<Half, Half>(reference, query, cfg, system, true),
+        PrecisionMode::Bf16 => run_generic::<Bf16, Bf16>(reference, query, cfg, system, false),
+        PrecisionMode::Tf32 => run_generic::<Tf32, Tf32>(reference, query, cfg, system, false),
+        // FP8 extension modes: FP32 precalculation by construction.
+        PrecisionMode::Fp8E4M3 => {
+            run_generic::<f32, Fp8E4M3>(reference, query, cfg, system, false)
+        }
+        PrecisionMode::Fp8E5M2 => {
+            run_generic::<f32, Fp8E5M2>(reference, query, cfg, system, false)
+        }
+    }
+}
+
+fn run_generic<P: Real, M: Real>(
+    reference: &MultiDimSeries,
+    query: &MultiDimSeries,
+    cfg: &MdmpConfig,
+    system: &mut GpuSystem,
+    kahan: bool,
+) -> Result<MdmpRun, MdmpError> {
+    if reference.dims() != query.dims() {
+        return Err(MdmpError::DimensionalityMismatch {
+            reference: reference.dims(),
+            query: query.dims(),
+        });
+    }
+    if reference.len() < cfg.m || query.len() < cfg.m {
+        return Err(MdmpError::BadConfig(
+            "series shorter than the segment length".into(),
+        ));
+    }
+    let n_r = reference.n_segments(cfg.m);
+    let n_q = query.n_segments(cfg.m);
+    cfg.validate(n_r, n_q)?;
+    let d = reference.dims();
+    let tiles = compute_tile_list(n_r, n_q, cfg.n_tiles)?;
+
+    system.reset();
+    let n_gpu = system.device_count();
+    let overlap = overlap_factor(tiles.len(), n_gpu);
+    let weights: Vec<f64> = (0..n_gpu)
+        .map(|i| {
+            let spec = &system.device(i).spec;
+            spec.mem_bandwidth * spec.mem_eff_fp64
+        })
+        .collect();
+    let assignment = assign_tiles_weighted(&tiles, &weights, cfg.schedule);
+    let mut streams = vec![0usize; n_gpu];
+    let mut global = MatrixProfile::new_unset(n_q, d);
+    let wall_start = Instant::now();
+
+    for tile in &tiles {
+        let out = execute_tile::<P, M>(reference, query, tile, cfg, kahan);
+        let dev_idx = assignment[tile.index];
+        submit_tile_costs(
+            system,
+            dev_idx,
+            streams[dev_idx],
+            tile.index,
+            &out.kernel_costs,
+            out.h2d_bytes,
+            out.d2h_bytes,
+            out.device_bytes,
+            overlap,
+        )?;
+        streams[dev_idx] += 1;
+        global.merge_min_columns(&out.profile, tile.col0);
+    }
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let (merge_seconds, merge_cost) = merge_model(&tiles, d, cfg.mode.main_format());
+    let mut ledger = system.total_ledger();
+    ledger.record(&merge_cost, merge_seconds);
+    let device_makespans: Vec<f64> = (0..n_gpu)
+        .map(|i| system.device(i).timeline.makespan())
+        .collect();
+    let makespan = device_makespans.iter().copied().fold(0.0, f64::max);
+
+    Ok(MdmpRun {
+        profile: global,
+        ledger,
+        modeled_seconds: makespan + merge_seconds,
+        merge_seconds,
+        device_makespans,
+        wall_seconds,
+    })
+}
+
+/// Overhead-overlap factor for a run (see [`OVERHEAD_OVERLAP_CAP`]): full
+/// stream pipelining once a device holds at least two tiles.
+pub(crate) fn overlap_factor(n_tiles: usize, n_gpu: usize) -> u64 {
+    let per_device = n_tiles.div_ceil(n_gpu) as u64;
+    if per_device >= 2 {
+        OVERHEAD_OVERLAP_CAP
+    } else {
+        1
+    }
+}
+
+/// Submit one tile's transfers and kernels to a device timeline, checking
+/// device memory. Shared by the functional driver and the cost estimator.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn submit_tile_costs(
+    system: &mut GpuSystem,
+    dev_idx: usize,
+    stream: usize,
+    tile_index: usize,
+    kernel_costs: &[KernelCost],
+    h2d: u64,
+    d2h: u64,
+    device_bytes: u64,
+    overlap: u64,
+) -> Result<(), MdmpError> {
+    let dev = system.device_mut(dev_idx);
+    let alloc = dev
+        .memory
+        .alloc(device_bytes)
+        .map_err(|cause| MdmpError::OutOfDeviceMemory {
+            tile: tile_index,
+            cause,
+        })?;
+    dev.submit_transfer(stream, h2d, true);
+    for cost in kernel_costs {
+        let mut c = *cost;
+        c.launches /= overlap;
+        c.barriers /= overlap;
+        dev.submit_kernel(stream, c);
+    }
+    dev.submit_transfer(stream, d2h, false);
+    // One-tile-at-a-time residency model: the working set is released once
+    // the tile's results are on the host (DESIGN.md §2).
+    dev.memory.free(alloc);
+    Ok(())
+}
+
+/// CPU merge model: stream every tile's result through the host merge
+/// (min/argmin) plus the fixed per-tile host overhead.
+pub(crate) fn merge_model(tiles: &[Tile], d: usize, format: Format) -> (f64, KernelCost) {
+    let result_elems: u64 = tiles.iter().map(|t| (t.cols * d) as u64).sum();
+    let value_bytes = format.bytes() as u64 + 8; // value + index
+    let mut cost = KernelCost::new(KernelClass::Merge, Format::Fp64);
+    cost.bytes_read = 2 * result_elems * value_bytes; // tile result + accumulator
+    cost.bytes_written = result_elems * value_bytes / 2;
+    cost.flops = result_elems;
+    let cpu = TimingModel::new(DeviceSpec::skylake_16c());
+    let seconds = cpu.kernel_seconds(&cost) + tiles.len() as f64 * HOST_PER_TILE_OVERHEAD;
+    (seconds, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdmp_data::synthetic::{generate_pair, SyntheticConfig};
+    use mdmp_gpu_sim::DeviceSpec;
+
+    fn small_pair(n: usize, d: usize, m: usize) -> (MultiDimSeries, MultiDimSeries) {
+        let cfg = SyntheticConfig {
+            n_subsequences: n,
+            dims: d,
+            m,
+            pattern: mdmp_data::Pattern::Sine,
+            embeddings: 2,
+            noise: 0.3,
+            pattern_amplitude: 1.0,
+            seed: 77,
+        };
+        let pair = generate_pair(&cfg);
+        (pair.reference, pair.query)
+    }
+
+    #[test]
+    fn single_tile_equals_multi_tile_in_fp64() {
+        let (r, q) = small_pair(200, 3, 16);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg1 = MdmpConfig::new(16, PrecisionMode::Fp64);
+        let run1 = run_with_mode(&r, &q, &cfg1, &mut sys).unwrap();
+        let cfg9 = MdmpConfig::new(16, PrecisionMode::Fp64).with_tiles(9);
+        let run9 = run_with_mode(&r, &q, &cfg9, &mut sys).unwrap();
+        for k in 0..3 {
+            for j in 0..run1.profile.n_query() {
+                assert!(
+                    (run1.profile.value(j, k) - run9.profile.value(j, k)).abs() < 1e-9,
+                    "P[{j}][{k}] differs across tilings"
+                );
+                assert_eq!(
+                    run1.profile.index(j, k),
+                    run9.profile.index(j, k),
+                    "I[{j}][{k}] differs across tilings"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_gpu_gives_same_result_and_smaller_makespan() {
+        let (r, q) = small_pair(240, 2, 16);
+        let cfg = MdmpConfig::new(16, PrecisionMode::Fp64).with_tiles(16);
+        let mut sys1 = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let run1 = run_with_mode(&r, &q, &cfg, &mut sys1).unwrap();
+        let mut sys4 = GpuSystem::homogeneous(DeviceSpec::a100(), 4);
+        let run4 = run_with_mode(&r, &q, &cfg, &mut sys4).unwrap();
+        assert_eq!(run1.profile, run4.profile, "results independent of GPU count");
+        let m1 = run1.device_makespans[0];
+        let m4 = run4.device_makespans.iter().copied().fold(0.0, f64::max);
+        assert!(
+            m4 < m1 * 0.35,
+            "4 GPUs should be ~4x faster: {m1} vs {m4}"
+        );
+    }
+
+    #[test]
+    fn reduced_precision_modes_all_run() {
+        let (r, q) = small_pair(128, 2, 8);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        for mode in PrecisionMode::ALL {
+            let cfg = MdmpConfig::new(8, mode).with_tiles(4);
+            let run = run_with_mode(&r, &q, &cfg, &mut sys)
+                .unwrap_or_else(|e| panic!("{mode} failed: {e}"));
+            assert_eq!(run.profile.n_query(), 128);
+            assert!(
+                run.profile.unset_fraction() < 0.01,
+                "{mode}: too many unset entries"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_time_reduced_precision_is_faster() {
+        let (r, q) = small_pair(256, 4, 16);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let t64 = run_with_mode(&r, &q, &MdmpConfig::new(16, PrecisionMode::Fp64), &mut sys)
+            .unwrap()
+            .modeled_seconds;
+        let t16 = run_with_mode(&r, &q, &MdmpConfig::new(16, PrecisionMode::Fp16), &mut sys)
+            .unwrap()
+            .modeled_seconds;
+        assert!(t16 < t64, "FP16 modeled time {t16} not below FP64 {t64}");
+    }
+
+    #[test]
+    fn ledger_contains_all_kernel_classes() {
+        let (r, q) = small_pair(128, 2, 8);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let run = run_with_mode(&r, &q, &MdmpConfig::new(8, PrecisionMode::Fp64), &mut sys)
+            .unwrap();
+        for class in [
+            KernelClass::Precalc,
+            KernelClass::DistCalc,
+            KernelClass::SortScan,
+            KernelClass::UpdateProfile,
+            KernelClass::Merge,
+        ] {
+            assert!(
+                run.ledger.seconds(class) > 0.0,
+                "{class:?} missing from ledger"
+            );
+        }
+    }
+
+    #[test]
+    fn dimensionality_mismatch_rejected() {
+        let (r, _) = small_pair(64, 2, 8);
+        let (_, q) = small_pair(64, 3, 8);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let err = run_with_mode(&r, &q, &MdmpConfig::new(8, PrecisionMode::Fp64), &mut sys);
+        assert!(matches!(err, Err(MdmpError::DimensionalityMismatch { .. })));
+    }
+
+    #[test]
+    fn overlap_factor_behaviour() {
+        assert_eq!(overlap_factor(1, 1), 1);
+        assert_eq!(overlap_factor(2, 1), 16);
+        assert_eq!(overlap_factor(16, 1), 16);
+        assert_eq!(overlap_factor(16, 4), 16);
+        assert_eq!(overlap_factor(4, 4), 1);
+    }
+
+    #[test]
+    fn merge_model_scales_with_tiles() {
+        let tiles_few = compute_tile_list(1000, 1000, 4).unwrap();
+        let tiles_many = compute_tile_list(1000, 1000, 400).unwrap();
+        let (t_few, _) = merge_model(&tiles_few, 16, Format::Fp64);
+        let (t_many, _) = merge_model(&tiles_many, 16, Format::Fp64);
+        assert!(t_many > t_few);
+    }
+}

@@ -1,0 +1,278 @@
+//! The `dist_calc` kernel: one row (plane) of the 3-D distance matrix per
+//! invocation, via the mean-centered streaming dot product of Eq. 1:
+//!
+//! ```text
+//! QT[i,j,k] = QT[i−1,j−1,k] + df_r[i,k]·dg_q[j,k] + df_q[j,k]·dg_r[i,k]
+//! D[i,j,k]  = sqrt( 2m · (1 − QT[i,j,k] · inv_r[i,k] · inv_q[j,k]) )
+//! ```
+//!
+//! Each simulated thread computes one `(j, k)` element of the plane; the
+//! elements of a row are mutually independent (the recurrence couples
+//! *successive rows* along diagonals), so the row is embarrassingly
+//! parallel. Row 0 and column 0 come from the precalculation's naive dot
+//! products.
+
+use crate::precalc::Stats;
+use mdmp_gpu_sim::{KernelClass, KernelCost};
+use mdmp_precision::{Format, Real};
+use rayon::prelude::*;
+
+/// Scalar parameters of the distance computation.
+#[derive(Debug, Clone, Copy)]
+pub struct DistParams<T: Real> {
+    /// `2m` in the working precision.
+    pub two_m: T,
+    /// Clamp `1 − corr` at zero before the square root.
+    pub clamp: bool,
+    /// Global index of the tile's first reference segment.
+    pub row_offset: usize,
+    /// Global index of the tile's first query segment.
+    pub col_offset: usize,
+    /// Self-join trivial-match exclusion half-width (`None` = AB-join).
+    pub exclusion: Option<usize>,
+}
+
+impl<T: Real> DistParams<T> {
+    /// Build parameters for a tile.
+    pub fn new(
+        m: usize,
+        clamp: bool,
+        row_offset: usize,
+        col_offset: usize,
+        exclusion: Option<usize>,
+    ) -> DistParams<T> {
+        DistParams {
+            two_m: T::from_usize(2 * m),
+            clamp,
+            row_offset,
+            col_offset,
+            exclusion,
+        }
+    }
+}
+
+/// Compute row `i` of the tile's distance matrix.
+///
+/// * `qt_row0` — precalculated `QT` for row 0 (`d × n_q`), used when `i == 0`;
+/// * `qt_col0` — precalculated `QT` for column 0 (`d × n_r`), used at `j == 0`;
+/// * `qt_prev` — the previous row's `QT` (`d × n_q`);
+/// * `qt_next` — output `QT` for this row;
+/// * `dist` — output distances for this row (`d × n_q`, dimension-major).
+#[allow(clippy::too_many_arguments)]
+pub fn dist_row<T: Real>(
+    i: usize,
+    qt_row0: &[T],
+    qt_col0: &[T],
+    qt_prev: &[T],
+    qt_next: &mut [T],
+    dist: &mut [T],
+    rstats: &Stats<T>,
+    qstats: &Stats<T>,
+    params: &DistParams<T>,
+) {
+    let n_r = rstats.n;
+    let n_q = qstats.n;
+    debug_assert!(i < n_r);
+    debug_assert_eq!(qt_next.len(), n_q * rstats.d);
+    let one = T::one();
+    let zero = T::zero();
+    let global_i = params.row_offset + i;
+
+    qt_next
+        .par_chunks_mut(n_q)
+        .zip(dist.par_chunks_mut(n_q))
+        .enumerate()
+        .for_each(|(k, (qt_k, dist_k))| {
+            let dfr = rstats.df[k * n_r + i];
+            let dgr = rstats.dg[k * n_r + i];
+            let inv_r = rstats.inv[k * n_r + i];
+            let dfq = &qstats.df[k * n_q..(k + 1) * n_q];
+            let dgq = &qstats.dg[k * n_q..(k + 1) * n_q];
+            let inv_q = &qstats.inv[k * n_q..(k + 1) * n_q];
+            let row0_k = &qt_row0[k * n_q..(k + 1) * n_q];
+            let prev_k = &qt_prev[k * n_q..(k + 1) * n_q];
+            for j in 0..n_q {
+                let qt = if i == 0 {
+                    row0_k[j]
+                } else if j == 0 {
+                    qt_col0[k * n_r + i]
+                } else {
+                    prev_k[j - 1] + dfr * dgq[j] + dfq[j] * dgr
+                };
+                qt_k[j] = qt;
+                let corr_gap = one - qt * inv_r * inv_q[j];
+                // Clamp only *finite* overshoot (corr marginally above 1
+                // from rounding). A NaN gap — flat windows, overflowed
+                // intermediates — must stay NaN so it can never win the
+                // min-update; `max(NaN, 0)` would silently turn broken
+                // statistics into perfect matches.
+                let gap = if params.clamp && corr_gap < zero {
+                    zero
+                } else {
+                    corr_gap
+                };
+                let mut dval = (params.two_m * gap).sqrt();
+                if let Some(excl) = params.exclusion {
+                    let global_j = params.col_offset + j;
+                    if global_i.abs_diff(global_j) < excl {
+                        dval = T::infinity();
+                    }
+                }
+                dist_k[j] = dval;
+            }
+        });
+}
+
+/// Cost of one `dist_calc` launch over an `n_q × d` plane.
+///
+/// Effective DRAM traffic: read the previous QT plane, write the new QT
+/// plane and the distance plane (the per-row `df/dg/inv` operand vectors are
+/// charged as L2-resident — at paper scale they are ~n·d·B ≈ 33 MB, within
+/// the A100's 40 MB L2). 8 FLOPs per element (two FMAs, normalize, sqrt).
+pub fn dist_cost(n_q: usize, d: usize, format: Format) -> KernelCost {
+    let elems = (n_q * d) as u64;
+    let b = format.bytes() as u64;
+    KernelCost {
+        class: KernelClass::DistCalc,
+        format,
+        bytes_read: elems * b,
+        bytes_written: 2 * elems * b,
+        flops: 8 * elems,
+        smem_ops: 0,
+        launches: 1,
+        barriers: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precalc::{compute_stats, initial_qt, SeriesDevice};
+    use mdmp_data::stats::znorm_distance;
+    use mdmp_data::MultiDimSeries;
+
+    fn series(seed: u64, d: usize, len: usize) -> MultiDimSeries {
+        let dims: Vec<Vec<f64>> = (0..d)
+            .map(|k| {
+                (0..len)
+                    .map(|t| {
+                        let x = (t as f64 + seed as f64 * 13.0) * (0.11 + 0.03 * k as f64);
+                        x.sin() + 0.3 * (x * 0.7).cos()
+                    })
+                    .collect()
+            })
+            .collect();
+        MultiDimSeries::from_dims(dims)
+    }
+
+    /// Full streaming pass in f64 must reproduce brute-force z-norm
+    /// distances — validates Eq. 1 and the df/dg update formula end to end.
+    #[test]
+    fn streaming_distances_match_brute_force_f64() {
+        let m = 12;
+        let r = series(1, 2, 90);
+        let q = series(2, 2, 80);
+        let rd = SeriesDevice::<f64>::load(&r, 0, 90);
+        let qd = SeriesDevice::<f64>::load(&q, 0, 80);
+        let rs = compute_stats(&rd, m, false);
+        let qs = compute_stats(&qd, m, false);
+        let (row0, col0) = initial_qt(&rd, &rs, &qd, &qs, m, false);
+        let n_r = rs.n;
+        let n_q = qs.n;
+        let d = 2;
+        let params = DistParams::<f64>::new(m, true, 0, 0, None);
+
+        let mut qt_prev = vec![0.0; n_q * d];
+        let mut qt_next = vec![0.0; n_q * d];
+        let mut dist = vec![0.0; n_q * d];
+        for i in 0..n_r {
+            dist_row(i, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &rs, &qs, &params);
+            for k in 0..d {
+                for j in 0..n_q {
+                    let expected =
+                        znorm_distance(&r.dim(k)[i..i + m], &q.dim(k)[j..j + m]);
+                    let got = dist[k * n_q + j];
+                    // sqrt amplifies f64 rounding near zero distances:
+                    // |err(D)| ~ sqrt(2m·eps) ~ 1e-7, so compare at 1e-6.
+                    assert!(
+                        (got - expected).abs() < 1e-6,
+                        "D[{i},{j},{k}] = {got}, expected {expected}"
+                    );
+                }
+            }
+            std::mem::swap(&mut qt_prev, &mut qt_next);
+        }
+    }
+
+    #[test]
+    fn clamp_prevents_nan_from_correlation_overshoot() {
+        // Construct stats that make corr slightly exceed 1.
+        let m = 4;
+        let stats = Stats::<f64> {
+            n: 1,
+            d: 1,
+            mu: vec![0.0],
+            inv: vec![1.0],
+            df: vec![0.0],
+            dg: vec![0.0],
+        };
+        let params_clamp = DistParams::<f64>::new(m, true, 0, 0, None);
+        let params_raw = DistParams::<f64>::new(m, false, 0, 0, None);
+        let row0 = vec![1.0 + 1e-9]; // corr > 1
+        let col0 = vec![1.0 + 1e-9];
+        let qt_prev = vec![0.0];
+        let mut qt_next = vec![0.0];
+        let mut dist = vec![0.0];
+        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &stats, &stats, &params_clamp);
+        assert_eq!(dist[0], 0.0, "clamped overshoot gives zero distance");
+        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &stats, &stats, &params_raw);
+        assert!(dist[0].is_nan(), "unclamped overshoot gives NaN");
+    }
+
+    #[test]
+    fn exclusion_zone_marks_trivial_matches_infinite() {
+        let m = 8;
+        let s = series(3, 1, 60);
+        let dev = SeriesDevice::<f64>::load(&s, 0, 60);
+        let st = compute_stats(&dev, m, false);
+        let (row0, col0) = initial_qt(&dev, &st, &dev, &st, m, false);
+        let n = st.n;
+        let params = DistParams::<f64>::new(m, true, 0, 0, Some(2));
+        let qt_prev = vec![0.0; n];
+        let mut qt_next = vec![0.0; n];
+        let mut dist = vec![0.0; n];
+        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &st, &st, &params);
+        assert!(dist[0].is_infinite(), "self-match excluded");
+        assert!(dist[1].is_infinite(), "|i-j| = 1 < 2 excluded");
+        assert!(dist[2].is_finite());
+    }
+
+    #[test]
+    fn row_offset_shifts_exclusion() {
+        // Tile starting at global row 10: row i=0 is global row 10, so the
+        // excluded columns sit around j = 10.
+        let m = 8;
+        let s = series(4, 1, 80);
+        let dev = SeriesDevice::<f64>::load(&s, 0, 80);
+        let st = compute_stats(&dev, m, false);
+        let (row0, col0) = initial_qt(&dev, &st, &dev, &st, m, false);
+        let n = st.n;
+        let params = DistParams::<f64>::new(m, true, 10, 0, Some(1));
+        let qt_prev = vec![0.0; n];
+        let mut qt_next = vec![0.0; n];
+        let mut dist = vec![0.0; n];
+        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &st, &st, &params);
+        assert!(dist[10].is_infinite());
+        assert!(dist[9].is_finite());
+        assert!(dist[11].is_finite());
+    }
+
+    #[test]
+    fn cost_traffic_scales_with_format() {
+        let c64 = dist_cost(1024, 16, Format::Fp64);
+        let c16 = dist_cost(1024, 16, Format::Fp16);
+        assert_eq!(c64.bytes(), 4 * c16.bytes());
+        assert_eq!(c64.flops, c16.flops);
+        assert_eq!(c64.launches, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The `sort_&_incl_scan` kernel: Bitonic sort of each length-`d` fiber of
+//! the distance plane in ascending order, followed by an inclusive scan
+//! turned into inclusive averages (Eq. 2).
+//!
+//! The paper uses a custom O(log² d)-depth Bitonic network and an O(log d)
+//! fan-in (Hillis–Steele) inclusive scan, with threads of a group
+//! cooperating on one fiber and coarse-grained synchronization between
+//! stages (§III-A). The functional implementation executes the **identical
+//! comparator network and scan association order** — this matters in reduced
+//! precision, where the scan's addition order changes the rounding — and the
+//! cost model charges one group barrier per network stage.
+
+use mdmp_gpu_sim::{KernelClass, KernelCost};
+use mdmp_precision::{Format, Real};
+use rayon::prelude::*;
+
+/// Number of compare-exchange stages of a Bitonic network over `len`
+/// (power-of-two) elements: `log·(log+1)/2`.
+pub fn bitonic_stage_count(len: usize) -> usize {
+    assert!(len.is_power_of_two(), "bitonic length must be a power of two");
+    let lg = len.trailing_zeros() as usize;
+    lg * (lg + 1) / 2
+}
+
+/// In-place ascending Bitonic sort of a power-of-two slice, using the
+/// total order (−∞ < finite < +∞ < NaN) so reduced-precision overflow
+/// artifacts sort deterministically to the tail like `+∞` padding.
+pub fn bitonic_sort<T: Real>(a: &mut [T]) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "bitonic length must be a power of two");
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = (i & k) == 0;
+                    let out_of_order = match a[i].total_order(a[l]) {
+                        core::cmp::Ordering::Greater => ascending,
+                        core::cmp::Ordering::Less => !ascending,
+                        core::cmp::Ordering::Equal => false,
+                    };
+                    if out_of_order {
+                        a.swap(i, l);
+                    }
+                }
+            }
+            j >>= 1;
+        }
+        k <<= 1;
+    }
+}
+
+/// Hillis–Steele inclusive scan over the first `d` entries of `col`,
+/// followed by conversion to inclusive averages: `col[k] ← (Σ_{l≤k} col[l])
+/// / (k+1)`. The descending inner loop reads only not-yet-updated (old)
+/// values, which is exactly the double-buffered fan-in order of the GPU
+/// kernel.
+pub fn inclusive_scan_avg<T: Real>(col: &mut [T], d: usize) {
+    debug_assert!(d <= col.len());
+    let mut s = 1;
+    while s < d {
+        let mut k = d - 1;
+        loop {
+            if k >= s {
+                col[k] += col[k - s];
+            }
+            if k == 0 {
+                break;
+            }
+            k -= 1;
+        }
+        s <<= 1;
+    }
+    for (k, v) in col.iter_mut().take(d).enumerate() {
+        *v = *v / T::from_usize(k + 1);
+    }
+}
+
+/// Process one distance plane: for every query column `j`, gather the `d`
+/// distances, Bitonic-sort ascending, inclusive-scan-average, and store the
+/// result in the `j`-major output plane (`n_q × d_pad`, padded with +∞).
+///
+/// `dist` is dimension-major (`d × n_q`); `out` is `j`-major with stride
+/// `d_pad = next_power_of_two(d)`.
+pub fn sort_scan_row<T: Real>(dist: &[T], out: &mut [T], n_q: usize, d: usize) {
+    let d_pad = d.next_power_of_two();
+    debug_assert_eq!(dist.len(), n_q * d);
+    debug_assert_eq!(out.len(), n_q * d_pad);
+    out.par_chunks_mut(d_pad).enumerate().for_each(|(j, col)| {
+        for k in 0..d {
+            col[k] = dist[k * n_q + j];
+        }
+        for pad in col.iter_mut().take(d_pad).skip(d) {
+            *pad = T::infinity();
+        }
+        bitonic_sort(col);
+        inclusive_scan_avg(col, d);
+    });
+}
+
+/// Cost of one `sort_&_incl_scan` launch over an `n_q × d` plane.
+///
+/// DRAM: read the distance plane, write the scanned plane. Shared-memory
+/// work per column: `(d_pad/2)` compare-exchanges per network stage, plus
+/// `d_pad` adds per scan step and the final `d` divisions. Barriers: one
+/// per Bitonic stage plus one per scan step (coarse-grained synchronization,
+/// §III-A).
+pub fn sort_scan_cost(n_q: usize, d: usize, format: Format) -> KernelCost {
+    let d_pad = d.next_power_of_two();
+    let lg = d_pad.trailing_zeros() as u64;
+    let stages = bitonic_stage_count(d_pad) as u64;
+    let b = format.bytes() as u64;
+    let elems = (n_q * d) as u64;
+    let ce_ops = n_q as u64 * (d_pad as u64 / 2) * stages;
+    let scan_ops = n_q as u64 * (d_pad as u64 * lg + d as u64);
+    KernelCost {
+        class: KernelClass::SortScan,
+        format,
+        bytes_read: elems * b,
+        bytes_written: elems * b,
+        flops: 0,
+        smem_ops: ce_ops + scan_ops,
+        launches: 1,
+        barriers: stages + lg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdmp_precision::Half;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn stage_count_formula() {
+        assert_eq!(bitonic_stage_count(2), 1);
+        assert_eq!(bitonic_stage_count(4), 3);
+        assert_eq!(bitonic_stage_count(64), 21);
+        assert_eq!(bitonic_stage_count(256), 36);
+    }
+
+    #[test]
+    fn bitonic_sorts_random_arrays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let len = 1usize << rng.gen_range(0..8);
+            let mut a: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let mut expected = a.clone();
+            expected.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            bitonic_sort(&mut a);
+            assert_eq!(a, expected);
+        }
+    }
+
+    #[test]
+    fn bitonic_handles_inf_and_nan_deterministically() {
+        let mut a = vec![3.0, f64::NAN, f64::INFINITY, -1.0, f64::NEG_INFINITY, 0.0, 2.0, f64::NAN];
+        bitonic_sort(&mut a);
+        assert_eq!(a[0], f64::NEG_INFINITY);
+        assert_eq!(&a[1..4], &[-1.0, 0.0, 2.0]);
+        assert_eq!(a[4], 3.0);
+        assert_eq!(a[5], f64::INFINITY);
+        assert!(a[6].is_nan() && a[7].is_nan());
+    }
+
+    #[test]
+    fn bitonic_sorts_half_precision() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a: Vec<Half> = (0..64)
+            .map(|_| Half::from_f64(rng.gen_range(-10.0..10.0)))
+            .collect();
+        bitonic_sort(&mut a);
+        for w in a.windows(2) {
+            assert!(w[0].to_f64() <= w[1].to_f64());
+        }
+    }
+
+    #[test]
+    fn scan_average_matches_serial_reference_in_f64() {
+        let mut col = vec![4.0, 1.0, 3.0, 2.0, 7.0, 5.0, 0.5, 6.0];
+        let orig = col.clone();
+        inclusive_scan_avg(&mut col, 8);
+        let mut running = 0.0;
+        for (k, &v) in orig.iter().enumerate() {
+            running += v;
+            assert!(
+                (col[k] - running / (k + 1) as f64).abs() < 1e-12,
+                "scan avg at {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_partial_d_ignores_padding() {
+        let mut col = vec![1.0, 2.0, 3.0, f64::INFINITY];
+        inclusive_scan_avg(&mut col, 3);
+        assert_eq!(col[0], 1.0);
+        assert_eq!(col[1], 1.5);
+        assert_eq!(col[2], 2.0);
+        assert!(col[3].is_infinite(), "padding untouched");
+    }
+
+    #[test]
+    fn sort_scan_row_end_to_end() {
+        // 3 dims (padded to 4), 2 columns.
+        // dist plane (k-major): k0 = [3, 10], k1 = [1, 30], k2 = [2, 20]
+        let dist = vec![3.0, 10.0, 1.0, 30.0, 2.0, 20.0];
+        let mut out = vec![0.0; 2 * 4];
+        sort_scan_row(&dist, &mut out, 2, 3);
+        // Column 0: sorted [1,2,3] -> averages [1, 1.5, 2].
+        assert_eq!(&out[0..3], &[1.0, 1.5, 2.0]);
+        // Column 1: sorted [10,20,30] -> [10, 15, 20].
+        assert_eq!(&out[4..7], &[10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn hillis_steele_association_order_differs_from_serial_in_half() {
+        // In f16, fan-in scan and serial scan can round differently; both
+        // must still be within a few ulps of the exact value.
+        let vals: Vec<f64> = (0..16).map(|i| 1.0 + (i as f64) * 0.097).collect();
+        let mut fan: Vec<Half> = vals.iter().map(|&v| Half::from_f64(v)).collect();
+        inclusive_scan_avg(&mut fan, 16);
+        let exact_last: f64 = vals.iter().sum::<f64>() / 16.0;
+        let got = fan[15].to_f64();
+        assert!(
+            (got - exact_last).abs() / exact_last < 0.01,
+            "fan-in scan too inaccurate: {got} vs {exact_last}"
+        );
+    }
+
+    #[test]
+    fn cost_barriers_match_network_depth() {
+        let c = sort_scan_cost(1024, 64, Format::Fp64);
+        assert_eq!(c.barriers, 21 + 6);
+        assert_eq!(c.launches, 1);
+        let c256 = sort_scan_cost(1024, 256, Format::Fp16);
+        assert_eq!(c256.barriers, 36 + 8);
+        // Barriers are independent of precision; traffic is not.
+        assert_eq!(sort_scan_cost(1024, 64, Format::Fp16).barriers, 27);
+        assert!(c.bytes() > sort_scan_cost(1024, 64, Format::Fp16).bytes());
+    }
+
+    #[test]
+    fn non_pow2_d_pads_cost_and_data() {
+        let c = sort_scan_cost(10, 6, Format::Fp64);
+        // d_pad = 8: 3·4/2 = 6 stages + 3 scan steps.
+        assert_eq!(c.barriers, 9);
+        let dist = vec![1.0; 10 * 6];
+        let mut out = vec![0.0; 10 * 8];
+        sort_scan_row(&dist, &mut out, 10, 6);
+        // All-equal distances: averages all 1.0.
+        assert!(out[0..6].iter().all(|&v| (v - 1.0_f64).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,145 @@
+//! The `update_mat_prof` kernel: merge the current iteration's inclusive-
+//! average distances into the running matrix profile with a column-wise
+//! min/argmin (Eq. 3).
+//!
+//! Each simulated thread owns one `(j, k)` profile element — embarrassingly
+//! parallel, like the precalculation (§III-A). The update is strictly-less,
+//! so among equal distances the earliest reference row wins, giving
+//! deterministic indices; a NaN distance never wins.
+
+use mdmp_gpu_sim::{KernelClass, KernelCost};
+use mdmp_precision::{Format, Real};
+use rayon::prelude::*;
+
+/// Merge one scanned plane into the running profile.
+///
+/// * `scanned` — `j`-major plane (`n_q × d_pad`) from `sort_scan_row`;
+/// * `p_plane` — running profile values (`d × n_q`, working precision);
+/// * `i_plane` — running index plane (`d × n_q`, global reference indices);
+/// * `global_row` — the global reference-segment index of this iteration.
+pub fn update_profile_row<T: Real>(
+    scanned: &[T],
+    p_plane: &mut [T],
+    i_plane: &mut [i64],
+    n_q: usize,
+    d: usize,
+    global_row: i64,
+) {
+    let d_pad = d.next_power_of_two();
+    debug_assert_eq!(scanned.len(), n_q * d_pad);
+    debug_assert_eq!(p_plane.len(), n_q * d);
+    p_plane
+        .par_chunks_mut(n_q)
+        .zip(i_plane.par_chunks_mut(n_q))
+        .enumerate()
+        .for_each(|(k, (pk, ik))| {
+            for j in 0..n_q {
+                let v = scanned[j * d_pad + k];
+                if v < pk[j] {
+                    pk[j] = v;
+                    ik[j] = global_row;
+                }
+            }
+        });
+}
+
+/// Cost of one `update_mat_prof` launch over an `n_q × d` plane.
+///
+/// DRAM: read the scanned plane and the profile plane; profile writes are
+/// sparse after the first iterations (only improvements are written back),
+/// charged at half a plane of values plus half a plane of 8-byte indices.
+/// One comparison per element.
+pub fn update_cost(n_q: usize, d: usize, format: Format) -> KernelCost {
+    let elems = (n_q * d) as u64;
+    let b = format.bytes() as u64;
+    KernelCost {
+        class: KernelClass::UpdateProfile,
+        format,
+        bytes_read: 2 * elems * b,
+        bytes_written: elems * b / 2 + elems * 8 / 2,
+        flops: elems,
+        smem_ops: 0,
+        launches: 1,
+        barriers: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdmp_precision::Half;
+
+    #[test]
+    fn min_update_with_indices() {
+        // 2 dims (d_pad = 2), 3 columns; scanned is j-major.
+        let scanned = vec![
+            5.0, 9.0, // j=0: k0=5, k1=9
+            1.0, 2.0, // j=1
+            7.0, 7.0, // j=2
+        ];
+        let mut p = vec![6.0, 3.0, 7.0, 10.0, 1.0, 7.0]; // k-major
+        let mut i = vec![0i64, 0, 0, 0, 0, 0];
+        update_profile_row(&scanned, &mut p, &mut i, 3, 2, 42);
+        assert_eq!(p, vec![5.0, 1.0, 7.0, 9.0, 1.0, 7.0]);
+        // Strictly-less: ties (7.0 at j=2) keep the old index.
+        assert_eq!(i, vec![42, 42, 0, 42, 0, 0]);
+    }
+
+    #[test]
+    fn nan_never_updates() {
+        let scanned = vec![f64::NAN, f64::NAN];
+        let mut p = vec![5.0, f64::INFINITY];
+        let mut i = vec![7i64, -1];
+        update_profile_row(&scanned, &mut p, &mut i, 1, 2, 9);
+        assert_eq!(p[0], 5.0);
+        assert!(p[1].is_infinite());
+        assert_eq!(i, vec![7, -1]);
+    }
+
+    #[test]
+    fn infinity_replaced_by_finite() {
+        let scanned = vec![3.5, 4.5];
+        let mut p = vec![f64::INFINITY, f64::INFINITY];
+        let mut i = vec![-1i64, -1];
+        update_profile_row(&scanned, &mut p, &mut i, 1, 2, 0);
+        assert_eq!(p, vec![3.5, 4.5]);
+        assert_eq!(i, vec![0, 0]);
+    }
+
+    #[test]
+    fn works_in_half_precision() {
+        let scanned: Vec<Half> = [1.5, 2.5, 0.5, 9.0]
+            .iter()
+            .map(|&v| Half::from_f64(v))
+            .collect();
+        let mut p = vec![Half::from_f64(2.0); 4];
+        let mut i = vec![-1i64; 4];
+        // 2 columns, 2 dims, d_pad = 2.
+        update_profile_row(&scanned, &mut p, &mut i, 2, 2, 3);
+        assert_eq!(p[0].to_f64(), 1.5); // k0, j0
+        assert_eq!(p[1].to_f64(), 0.5); // k0, j1
+        assert_eq!(p[2].to_f64(), 2.0); // k1, j0 unchanged (2.5 > 2.0)
+        assert_eq!(p[3].to_f64(), 2.0); // k1, j1 unchanged (9 > 2)
+        assert_eq!(i, vec![3, 3, -1, -1]);
+    }
+
+    #[test]
+    fn padded_dims_are_skipped() {
+        // d = 3, d_pad = 4: the padding slot (k=3) must never be read as a
+        // real dimension.
+        let scanned = vec![1.0, 2.0, 3.0, f64::INFINITY];
+        let mut p = vec![9.0; 3];
+        let mut i = vec![-1i64; 3];
+        update_profile_row(&scanned, &mut p, &mut i, 1, 3, 5);
+        assert_eq!(p, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cost_shape() {
+        let c = update_cost(100, 8, Format::Fp32);
+        assert_eq!(c.class, KernelClass::UpdateProfile);
+        assert_eq!(c.flops, 800);
+        assert!(c.bytes_written > 0);
+        assert_eq!(c.barriers, 0);
+    }
+}

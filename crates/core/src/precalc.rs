@@ -1,0 +1,401 @@
+//! The `precalculation` kernel (Pseudocode 1, line 2).
+//!
+//! For each dimension it prepares, in a single pass, the intermediate
+//! vectors the streaming update of Eq. 1 consumes — `df`, `dg`, the rolling
+//! means `μ` and the inverse segment norms `d⁻¹` — plus the initial
+//! correlation row `QT_r` (row 0 of the tile) and column `QT_q` (column 0)
+//! via naive mean-centered dot products.
+//!
+//! Everything is computed **in the precalculation precision `T`** with one
+//! rounding per operation. The rolling statistics use windowed running sums
+//! (add the entering sample, subtract the leaving one), so their rounding
+//! error accumulates over the series length — this is the cancellation-prone
+//! step the paper's Mixed mode lifts to FP32 and the FP16C mode repairs with
+//! Kahan compensated summation (§III-C). The variance is evaluated as
+//! `Σx² − (Σx)·μ`, which in FP16 exhibits exactly the "severe cancellations"
+//! §III-C describes.
+
+use mdmp_data::MultiDimSeries;
+use mdmp_precision::{KahanSum, Real};
+
+/// A window of the input series converted to the device format `T` — the
+/// result of the H2D copy in Pseudocode 1, line 1.
+#[derive(Debug, Clone)]
+pub struct SeriesDevice<T: Real> {
+    /// Dimension-major samples, `d × len`.
+    pub x: Vec<T>,
+    /// Samples per dimension.
+    pub len: usize,
+    /// Dimensionality.
+    pub d: usize,
+}
+
+impl<T: Real> SeriesDevice<T> {
+    /// Convert the time window `[start, start+len)` of a host series.
+    pub fn load(series: &MultiDimSeries, start: usize, len: usize) -> SeriesDevice<T> {
+        assert!(start + len <= series.len(), "window exceeds series");
+        let d = series.dims();
+        let mut x = Vec::with_capacity(d * len);
+        for k in 0..d {
+            let dim = &series.dim(k)[start..start + len];
+            x.extend(dim.iter().map(|&v| T::from_f64(v)));
+        }
+        SeriesDevice { x, len, d }
+    }
+
+    /// Samples of dimension `k`.
+    pub fn dim(&self, k: usize) -> &[T] {
+        &self.x[k * self.len..(k + 1) * self.len]
+    }
+
+    /// Number of length-`m` segments.
+    pub fn n_segments(&self, m: usize) -> usize {
+        assert!(m <= self.len, "segment longer than window");
+        self.len - m + 1
+    }
+}
+
+/// Per-dimension rolling statistics in precision `T` (dimension-major,
+/// `d × n` each).
+#[derive(Debug, Clone)]
+pub struct Stats<T: Real> {
+    /// Number of segments.
+    pub n: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Rolling means `μ[i]`.
+    pub mu: Vec<T>,
+    /// Inverse centered norms `1 / ‖seg_i − μ_i‖`.
+    pub inv: Vec<T>,
+    /// `df[i] = (x[i+m−1] − x[i−1]) / 2` (0 at i = 0).
+    pub df: Vec<T>,
+    /// `dg[i] = (x[i+m−1] − μ[i]) + (x[i−1] − μ[i−1])` (0 at i = 0).
+    pub dg: Vec<T>,
+}
+
+impl<T: Real> Stats<T> {
+    /// Convert to another precision `M` (the Mixed mode's FP32 → FP16 step;
+    /// exact widening through f64, one rounding into `M`).
+    pub fn convert<M: Real>(&self) -> Stats<M> {
+        Stats {
+            n: self.n,
+            d: self.d,
+            mu: self.mu.iter().map(|&v| M::from_f64(v.to_f64())).collect(),
+            inv: self.inv.iter().map(|&v| M::from_f64(v.to_f64())).collect(),
+            df: self.df.iter().map(|&v| M::from_f64(v.to_f64())).collect(),
+            dg: self.dg.iter().map(|&v| M::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+/// A running sum that is either plain (one rounding per add) or Kahan
+/// compensated — the switch between the FP16 and FP16C precalculation.
+enum RunningSum<T: Real> {
+    Plain(T),
+    Kahan(KahanSum<T>),
+}
+
+impl<T: Real> RunningSum<T> {
+    fn new(kahan: bool) -> RunningSum<T> {
+        if kahan {
+            RunningSum::Kahan(KahanSum::new())
+        } else {
+            RunningSum::Plain(T::zero())
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, x: T) {
+        match self {
+            RunningSum::Plain(s) => *s += x,
+            RunningSum::Kahan(k) => k.add(x),
+        }
+    }
+
+    #[inline]
+    fn value(&self) -> T {
+        match self {
+            RunningSum::Plain(s) => *s,
+            RunningSum::Kahan(k) => k.value(),
+        }
+    }
+}
+
+/// Compute the rolling statistics of every dimension in precision `T`.
+///
+/// `kahan = true` selects the compensated-summation variant (FP16C mode).
+pub fn compute_stats<T: Real>(dev: &SeriesDevice<T>, m: usize, kahan: bool) -> Stats<T> {
+    assert!(m >= 2, "segment length must be at least 2");
+    let n = dev.n_segments(m);
+    let d = dev.d;
+    let m_inv = T::one() / T::from_usize(m);
+    let mut mu = vec![T::zero(); d * n];
+    let mut inv = vec![T::zero(); d * n];
+    let mut df = vec![T::zero(); d * n];
+    let mut dg = vec![T::zero(); d * n];
+    let half = T::from_f64(0.5);
+
+    for k in 0..d {
+        let x = dev.dim(k);
+        let mu_k = &mut mu[k * n..(k + 1) * n];
+        let inv_k = &mut inv[k * n..(k + 1) * n];
+        let df_k = &mut df[k * n..(k + 1) * n];
+        let dg_k = &mut dg[k * n..(k + 1) * n];
+
+        let mut sum = RunningSum::new(kahan);
+        let mut sumsq = RunningSum::new(kahan);
+        for &v in &x[..m] {
+            sum.add(v);
+            sumsq.add(v * v);
+        }
+        for i in 0..n {
+            if i > 0 {
+                let enter = x[i + m - 1];
+                let leave = x[i - 1];
+                sum.add(enter);
+                sum.add(-leave);
+                sumsq.add(enter * enter);
+                sumsq.add(-(leave * leave));
+            }
+            let s = sum.value();
+            let mui = s * m_inv;
+            mu_k[i] = mui;
+            // ‖seg − μ‖² = Σx² − (Σx)·μ — the cancellation-prone form.
+            let ss = sumsq.value() - s * mui;
+            inv_k[i] = T::one() / ss.sqrt();
+            if i > 0 {
+                df_k[i] = half * (x[i + m - 1] - x[i - 1]);
+                dg_k[i] = (x[i + m - 1] - mu_k[i]) + (x[i - 1] - mu_k[i - 1]);
+            }
+        }
+    }
+    Stats { n, d, mu, inv, df, dg }
+}
+
+/// Mean-centered dot product of the segment at `a_start` in `a` and the
+/// segment at `b_start` in `b` (dimension `k`), in precision `T`.
+#[allow(clippy::too_many_arguments)]
+fn centered_dot<T: Real>(
+    a: &[T],
+    a_start: usize,
+    mu_a: T,
+    b: &[T],
+    b_start: usize,
+    mu_b: T,
+    m: usize,
+    kahan: bool,
+) -> T {
+    let mut acc = RunningSum::new(kahan);
+    for t in 0..m {
+        acc.add((a[a_start + t] - mu_a) * (b[b_start + t] - mu_b));
+    }
+    acc.value()
+}
+
+/// Initial correlations: `QT_r` (row 0: reference segment 0 against every
+/// query segment) and `QT_q` (column 0: every reference segment against
+/// query segment 0), dimension-major.
+pub fn initial_qt<T: Real>(
+    refd: &SeriesDevice<T>,
+    rstats: &Stats<T>,
+    qd: &SeriesDevice<T>,
+    qstats: &Stats<T>,
+    m: usize,
+    kahan: bool,
+) -> (Vec<T>, Vec<T>) {
+    let n_r = rstats.n;
+    let n_q = qstats.n;
+    let d = refd.d;
+    assert_eq!(qd.d, d, "dimensionality mismatch");
+    let mut row0 = vec![T::zero(); d * n_q];
+    let mut col0 = vec![T::zero(); d * n_r];
+    for k in 0..d {
+        let rx = refd.dim(k);
+        let qx = qd.dim(k);
+        let mu_r = &rstats.mu[k * n_r..(k + 1) * n_r];
+        let mu_q = &qstats.mu[k * n_q..(k + 1) * n_q];
+        let row0_k = &mut row0[k * n_q..(k + 1) * n_q];
+        for (j, slot) in row0_k.iter_mut().enumerate() {
+            *slot = centered_dot(rx, 0, mu_r[0], qx, j, mu_q[j], m, kahan);
+        }
+        let col0_k = &mut col0[k * n_r..(k + 1) * n_r];
+        for (i, slot) in col0_k.iter_mut().enumerate() {
+            *slot = centered_dot(rx, i, mu_r[i], qx, 0, mu_q[0], m, kahan);
+        }
+    }
+    (row0, col0)
+}
+
+/// Convert an initial-QT buffer to the main-loop precision.
+pub fn convert_qt<P: Real, M: Real>(qt: &[P]) -> Vec<M> {
+    qt.iter().map(|&v| M::from_f64(v.to_f64())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdmp_data::stats::{rolling_mean, rolling_std};
+    use mdmp_precision::Half;
+
+    fn test_series(d: usize, len: usize) -> MultiDimSeries {
+        let dims: Vec<Vec<f64>> = (0..d)
+            .map(|k| {
+                (0..len)
+                    .map(|t| ((t * (k + 3)) as f64 * 0.37).sin() + 0.1 * (t as f64 % 7.0))
+                    .collect()
+            })
+            .collect();
+        MultiDimSeries::from_dims(dims)
+    }
+
+    #[test]
+    fn f64_stats_match_reference_rolling_stats() {
+        let series = test_series(3, 200);
+        let m = 16;
+        let dev = SeriesDevice::<f64>::load(&series, 0, 200);
+        let stats = compute_stats(&dev, m, false);
+        assert_eq!(stats.n, 185);
+        for k in 0..3 {
+            let mu_ref = rolling_mean(series.dim(k), m);
+            let sd_ref = rolling_std(series.dim(k), m);
+            for i in 0..stats.n {
+                let mu = stats.mu[k * stats.n + i];
+                assert!((mu - mu_ref[i]).abs() < 1e-10, "mu[{k}][{i}]");
+                // inv = 1 / (σ·√m)
+                let inv_ref = 1.0 / (sd_ref[i] * (m as f64).sqrt());
+                let inv = stats.inv[k * stats.n + i];
+                assert!(
+                    (inv - inv_ref).abs() / inv_ref < 1e-9,
+                    "inv[{k}][{i}]: {inv} vs {inv_ref}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn df_dg_definitions() {
+        let series = test_series(1, 64);
+        let m = 8;
+        let dev = SeriesDevice::<f64>::load(&series, 0, 64);
+        let stats = compute_stats(&dev, m, false);
+        let x = series.dim(0);
+        assert_eq!(stats.df[0], 0.0);
+        assert_eq!(stats.dg[0], 0.0);
+        for i in 1..stats.n {
+            let df = 0.5 * (x[i + m - 1] - x[i - 1]);
+            let dg = (x[i + m - 1] - stats.mu[i]) + (x[i - 1] - stats.mu[i - 1]);
+            assert!((stats.df[i] - df).abs() < 1e-12);
+            assert!((stats.dg[i] - dg).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn window_offset_slices_correctly() {
+        let series = test_series(2, 300);
+        let dev_full = SeriesDevice::<f64>::load(&series, 0, 300);
+        let dev_win = SeriesDevice::<f64>::load(&series, 100, 50);
+        assert_eq!(dev_win.len, 50);
+        assert_eq!(dev_win.dim(1)[0], dev_full.dim(1)[100]);
+        let m = 8;
+        let stats_win = compute_stats(&dev_win, m, false);
+        let stats_full = compute_stats(&dev_full, m, false);
+        // Window stats equal the full-series stats at the offset.
+        for i in 0..stats_win.n {
+            assert!(
+                (stats_win.mu[i] - stats_full.mu[100 + i]).abs() < 1e-12,
+                "offset stats must match"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_qt_matches_direct_computation() {
+        let series_r = test_series(2, 100);
+        let series_q = test_series(2, 120);
+        let m = 10;
+        let rd = SeriesDevice::<f64>::load(&series_r, 0, 100);
+        let qd = SeriesDevice::<f64>::load(&series_q, 0, 120);
+        let rs = compute_stats(&rd, m, false);
+        let qs = compute_stats(&qd, m, false);
+        let (row0, col0) = initial_qt(&rd, &rs, &qd, &qs, m, false);
+        // Direct check at a few positions.
+        for k in 0..2 {
+            let rx = series_r.dim(k);
+            let qx = series_q.dim(k);
+            for j in [0usize, 5, 50, 110] {
+                let mu_r: f64 = rx[0..m].iter().sum::<f64>() / m as f64;
+                let mu_q: f64 = qx[j..j + m].iter().sum::<f64>() / m as f64;
+                let direct: f64 = (0..m).map(|t| (rx[t] - mu_r) * (qx[j + t] - mu_q)).sum();
+                assert!(
+                    (row0[k * qs.n + j] - direct).abs() < 1e-9,
+                    "row0[{k}][{j}]"
+                );
+            }
+            for i in [0usize, 7, 90] {
+                let mu_r: f64 = rx[i..i + m].iter().sum::<f64>() / m as f64;
+                let mu_q: f64 = qx[0..m].iter().sum::<f64>() / m as f64;
+                let direct: f64 = (0..m).map(|t| (rx[i + t] - mu_r) * (qx[t] - mu_q)).sum();
+                assert!(
+                    (col0[k * rs.n + i] - direct).abs() < 1e-9,
+                    "col0[{k}][{i}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kahan_improves_fp16_means_on_long_windows() {
+        // A long series with a drifting mean stresses the running sums.
+        let len = 4096 + 63;
+        let x: Vec<f64> = (0..len)
+            .map(|t| 1.0 + 0.3 * ((t as f64) * 0.01).sin() + 0.2 * ((t * 13 % 17) as f64 / 17.0))
+            .collect();
+        let series = MultiDimSeries::univariate(x.clone());
+        let m = 64;
+        let dev = SeriesDevice::<Half>::load(&series, 0, len);
+        let plain = compute_stats(&dev, m, false);
+        let comp = compute_stats(&dev, m, true);
+        let exact = rolling_mean(&x, m);
+        let err = |stats: &Stats<Half>| -> f64 {
+            stats
+                .mu
+                .iter()
+                .zip(&exact)
+                .map(|(&a, &b)| (a.to_f64() - b).abs())
+                .sum::<f64>()
+                / exact.len() as f64
+        };
+        let e_plain = err(&plain);
+        let e_comp = err(&comp);
+        assert!(
+            e_comp < e_plain * 0.6,
+            "kahan should reduce mean error: plain {e_plain}, comp {e_comp}"
+        );
+    }
+
+    #[test]
+    fn stats_conversion_rounds_to_target() {
+        let series = test_series(1, 64);
+        let dev = SeriesDevice::<f32>::load(&series, 0, 64);
+        let stats32 = compute_stats(&dev, 8, false);
+        let stats16: Stats<Half> = stats32.convert();
+        assert_eq!(stats16.n, stats32.n);
+        for i in 0..stats16.n {
+            let expected = Half::from_f64(stats32.mu[i] as f64).to_f64();
+            assert_eq!(stats16.mu[i].to_f64(), expected);
+        }
+    }
+
+    #[test]
+    fn flat_window_produces_infinite_inv() {
+        let mut x = vec![1.0; 40];
+        x[30] = 2.0; // keep later windows non-flat
+        let series = MultiDimSeries::univariate(x);
+        let dev = SeriesDevice::<f64>::load(&series, 0, 40);
+        let stats = compute_stats(&dev, 8, false);
+        assert!(
+            !stats.inv[0].is_finite(),
+            "flat window must yield non-finite inverse norm (ill-conditioned case, §V-B)"
+        );
+    }
+}

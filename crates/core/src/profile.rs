@@ -1,0 +1,213 @@
+//! The matrix profile result type.
+//!
+//! For a d-dimensional query with `n` segments, the multi-dimensional matrix
+//! profile is `P ∈ R^{n×d}` with index matrix `I ∈ Z^{n×d}`: `P[j][k]` is the
+//! smallest (k+1)-dimensional inclusive-average distance of query segment
+//! `j` to any reference segment, and `I[j][k]` is the reference segment
+//! achieving it (Eq. 3).
+//!
+//! Values are stored dimension-major (`k`-major) in `f64` regardless of the
+//! compute precision — results are widened exactly on the device→host copy,
+//! as the paper's implementation does.
+
+/// A computed multi-dimensional matrix profile with its index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    p: Vec<f64>,
+    i: Vec<i64>,
+    n_query: usize,
+    dims: usize,
+}
+
+impl MatrixProfile {
+    /// An "empty" profile: all distances +∞, all indices −1.
+    pub fn new_unset(n_query: usize, dims: usize) -> MatrixProfile {
+        assert!(n_query > 0 && dims > 0, "profile dimensions must be positive");
+        MatrixProfile {
+            p: vec![f64::INFINITY; n_query * dims],
+            i: vec![-1; n_query * dims],
+            n_query,
+            dims,
+        }
+    }
+
+    /// Construct from raw dimension-major buffers.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths do not equal `n_query * dims`.
+    pub fn from_raw(p: Vec<f64>, i: Vec<i64>, n_query: usize, dims: usize) -> MatrixProfile {
+        assert_eq!(p.len(), n_query * dims, "P buffer length mismatch");
+        assert_eq!(i.len(), n_query * dims, "I buffer length mismatch");
+        MatrixProfile {
+            p,
+            i,
+            n_query,
+            dims,
+        }
+    }
+
+    /// Number of query segments `n`.
+    pub fn n_query(&self) -> usize {
+        self.n_query
+    }
+
+    /// Dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Profile value for query segment `j` at dimensionality `k+1`.
+    pub fn value(&self, j: usize, k: usize) -> f64 {
+        self.p[self.idx(j, k)]
+    }
+
+    /// Matching reference segment for query segment `j` at dimensionality
+    /// `k+1` (−1 when unset).
+    pub fn index(&self, j: usize, k: usize) -> i64 {
+        self.i[self.idx(j, k)]
+    }
+
+    /// The k-th dimensional profile vector (all query positions).
+    pub fn profile_dim(&self, k: usize) -> &[f64] {
+        assert!(k < self.dims, "dimension {k} out of range");
+        &self.p[k * self.n_query..(k + 1) * self.n_query]
+    }
+
+    /// The k-th dimensional index vector.
+    pub fn index_dim(&self, k: usize) -> &[i64] {
+        assert!(k < self.dims, "dimension {k} out of range");
+        &self.i[k * self.n_query..(k + 1) * self.n_query]
+    }
+
+    /// Merge another profile's entries into this one with min/argmin —
+    /// the CPU-side `merge` of Pseudocode 2. Strictly-smaller wins, so the
+    /// first-merged tile keeps ties (tiles are merged in ascending
+    /// row-offset order for determinism).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge_min(&mut self, other: &MatrixProfile) {
+        assert_eq!(self.n_query, other.n_query, "merge: query length mismatch");
+        assert_eq!(self.dims, other.dims, "merge: dimensionality mismatch");
+        for idx in 0..self.p.len() {
+            if other.p[idx] < self.p[idx] {
+                self.p[idx] = other.p[idx];
+                self.i[idx] = other.i[idx];
+            }
+        }
+    }
+
+    /// Merge a tile's profile that covers only query columns
+    /// `[col0, col0 + other.n_query)` of this profile.
+    pub fn merge_min_columns(&mut self, other: &MatrixProfile, col0: usize) {
+        assert_eq!(self.dims, other.dims, "merge: dimensionality mismatch");
+        assert!(
+            col0 + other.n_query <= self.n_query,
+            "merge: column window out of range"
+        );
+        for k in 0..self.dims {
+            let base_s = k * self.n_query + col0;
+            let base_o = k * other.n_query;
+            for jj in 0..other.n_query {
+                if other.p[base_o + jj] < self.p[base_s + jj] {
+                    self.p[base_s + jj] = other.p[base_o + jj];
+                    self.i[base_s + jj] = other.i[base_o + jj];
+                }
+            }
+        }
+    }
+
+    /// Mutable access to the raw dimension-major value and index planes —
+    /// for building custom profiles (oracles, adapters) without copying.
+    pub fn planes_mut(&mut self) -> (&mut [f64], &mut [i64]) {
+        (&mut self.p, &mut self.i)
+    }
+
+    /// Fraction of entries that are still unset (+∞) — all-NaN degenerate
+    /// inputs leave entries unset, a diagnosable condition.
+    pub fn unset_fraction(&self) -> f64 {
+        let unset = self.p.iter().filter(|v| v.is_infinite()).count();
+        unset as f64 / self.p.len() as f64
+    }
+
+    fn idx(&self, j: usize, k: usize) -> usize {
+        assert!(j < self.n_query, "query index {j} out of range");
+        assert!(k < self.dims, "dimension {k} out of range");
+        k * self.n_query + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_unset_state() {
+        let p = MatrixProfile::new_unset(4, 2);
+        assert_eq!(p.n_query(), 4);
+        assert_eq!(p.dims(), 2);
+        assert!(p.value(0, 0).is_infinite());
+        assert_eq!(p.index(3, 1), -1);
+        assert_eq!(p.unset_fraction(), 1.0);
+    }
+
+    #[test]
+    fn merge_min_takes_smaller_with_index() {
+        let mut a = MatrixProfile::from_raw(vec![1.0, 5.0, 3.0, 7.0], vec![10, 11, 12, 13], 2, 2);
+        let b = MatrixProfile::from_raw(vec![2.0, 4.0, 3.0, 6.0], vec![20, 21, 22, 23], 2, 2);
+        a.merge_min(&b);
+        assert_eq!(a.value(0, 0), 1.0);
+        assert_eq!(a.index(0, 0), 10);
+        assert_eq!(a.value(1, 0), 4.0);
+        assert_eq!(a.index(1, 0), 21);
+        // Tie keeps the first (self) entry.
+        assert_eq!(a.index(0, 1), 12);
+        assert_eq!(a.value(1, 1), 6.0);
+        assert_eq!(a.index(1, 1), 23);
+    }
+
+    #[test]
+    fn merge_min_columns_windows_into_place() {
+        let mut acc = MatrixProfile::new_unset(5, 2);
+        let tile = MatrixProfile::from_raw(vec![1.0, 2.0, 3.0, 4.0], vec![7, 8, 9, 10], 2, 2);
+        acc.merge_min_columns(&tile, 2);
+        assert!(acc.value(1, 0).is_infinite());
+        assert_eq!(acc.value(2, 0), 1.0);
+        assert_eq!(acc.value(3, 0), 2.0);
+        assert_eq!(acc.index(2, 1), 9);
+        assert!(acc.value(4, 1).is_infinite());
+    }
+
+    #[test]
+    fn dim_slices() {
+        let p = MatrixProfile::from_raw(vec![1.0, 2.0, 3.0, 4.0], vec![0, 1, 2, 3], 2, 2);
+        assert_eq!(p.profile_dim(0), &[1.0, 2.0]);
+        assert_eq!(p.profile_dim(1), &[3.0, 4.0]);
+        assert_eq!(p.index_dim(1), &[2, 3]);
+    }
+
+    #[test]
+    fn nan_never_wins_merge() {
+        let mut a = MatrixProfile::from_raw(vec![5.0], vec![1], 1, 1);
+        let b = MatrixProfile::from_raw(vec![f64::NAN], vec![2], 1, 1);
+        a.merge_min(&b);
+        assert_eq!(a.value(0, 0), 5.0);
+        assert_eq!(a.index(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length mismatch")]
+    fn merge_shape_mismatch_panics() {
+        let mut a = MatrixProfile::new_unset(2, 1);
+        let b = MatrixProfile::new_unset(3, 1);
+        a.merge_min(&b);
+    }
+
+    #[test]
+    fn unset_fraction_counts() {
+        let mut p = MatrixProfile::new_unset(2, 1);
+        let t = MatrixProfile::from_raw(vec![1.0, f64::INFINITY], vec![0, -1], 2, 1);
+        p.merge_min(&t);
+        assert_eq!(p.unset_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,329 @@
+//! Online (streaming) matrix profile maintenance — incremental updates as
+//! new samples arrive, in the spirit of STAMPI (Yeh et al. [22] §VII),
+//! built on the tile machinery:
+//!
+//! * appending **query** samples adds new profile columns: one delta tile
+//!   covering all reference rows × the new columns;
+//! * appending **reference** samples can improve *every* column: one delta
+//!   tile covering the new rows × all columns, min-merged into the running
+//!   profile.
+//!
+//! Because a delta tile is a standalone tile (own precalculation), the
+//! streamed result in FP64 is exactly the batch result; in reduced
+//! precision it corresponds to a batch run whose tile boundaries follow the
+//! arrival pattern — the error-bounding property of §III-B for free.
+//!
+//! Note: appends *extend* the series; samples within `m − 1` of the old end
+//! create segments spanning old and new data, which the delta tiles cover
+//! by re-reading the last `m − 1` old samples.
+
+use crate::config::{MdmpConfig, MdmpError};
+use crate::profile::MatrixProfile;
+use crate::tile_exec::execute_tile;
+use crate::tiling::Tile;
+use mdmp_data::MultiDimSeries;
+use mdmp_precision::{Bf16, Fp8E4M3, Fp8E5M2, Half, PrecisionMode, Tf32};
+
+/// An incrementally maintained matrix profile over growing series.
+///
+/// ```
+/// use mdmp_core::{MdmpConfig, StreamingProfile};
+/// use mdmp_data::MultiDimSeries;
+/// use mdmp_precision::PrecisionMode;
+///
+/// let wave = |off: usize, n: usize| -> Vec<f64> {
+///     (0..n).map(|t| ((t + off) as f64 * 0.3).sin() + 0.01 * t as f64).collect()
+/// };
+/// let reference = MultiDimSeries::univariate(wave(0, 128));
+/// let query = MultiDimSeries::univariate(wave(40, 64));
+/// let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+/// let mut sp = StreamingProfile::new(reference, query, cfg).unwrap();
+/// let before = sp.n_query();
+/// sp.append_query(&[wave(104, 16)]);
+/// assert_eq!(sp.n_query(), before + 16);
+/// assert!(sp.profile().value(0, 0).is_finite());
+/// ```
+#[derive(Debug)]
+pub struct StreamingProfile {
+    cfg: MdmpConfig,
+    reference: MultiDimSeries,
+    query: MultiDimSeries,
+    profile: MatrixProfile,
+}
+
+impl StreamingProfile {
+    /// Start from initial series (computed as one batch tile).
+    ///
+    /// The configuration's `n_tiles` is ignored — streaming defines its own
+    /// tiling by arrival order.
+    pub fn new(
+        reference: MultiDimSeries,
+        query: MultiDimSeries,
+        cfg: MdmpConfig,
+    ) -> Result<StreamingProfile, MdmpError> {
+        if reference.dims() != query.dims() {
+            return Err(MdmpError::DimensionalityMismatch {
+                reference: reference.dims(),
+                query: query.dims(),
+            });
+        }
+        if reference.len() < cfg.m || query.len() < cfg.m {
+            return Err(MdmpError::BadConfig(
+                "series shorter than the segment length".into(),
+            ));
+        }
+        let n_r = reference.n_segments(cfg.m);
+        let n_q = query.n_segments(cfg.m);
+        let mut sp = StreamingProfile {
+            profile: MatrixProfile::new_unset(n_q, reference.dims()),
+            cfg,
+            reference,
+            query,
+        };
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            rows: n_r,
+            col0: 0,
+            cols: n_q,
+        };
+        let out = sp.run_tile(&tile);
+        sp.profile.merge_min_columns(&out, 0);
+        Ok(sp)
+    }
+
+    /// The current profile.
+    pub fn profile(&self) -> &MatrixProfile {
+        &self.profile
+    }
+
+    /// Current number of query segments.
+    pub fn n_query(&self) -> usize {
+        self.query.n_segments(self.cfg.m)
+    }
+
+    /// Current number of reference segments.
+    pub fn n_reference(&self) -> usize {
+        self.reference.n_segments(self.cfg.m)
+    }
+
+    /// Append samples to the query (one slice per dimension) and extend the
+    /// profile with the new columns.
+    ///
+    /// # Panics
+    /// Panics if `new_samples` does not have one equally-long slice per
+    /// dimension.
+    pub fn append_query(&mut self, new_samples: &[Vec<f64>]) {
+        let old_n_q = self.n_query();
+        self.query = append_series(&self.query, new_samples);
+        let n_q = self.n_query();
+        if n_q == old_n_q {
+            return;
+        }
+        // Grow the profile: new columns start unset.
+        let mut grown = MatrixProfile::new_unset(n_q, self.query.dims());
+        grown.merge_min_columns(&self.profile, 0);
+        self.profile = grown;
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            rows: self.n_reference(),
+            col0: old_n_q,
+            cols: n_q - old_n_q,
+        };
+        let out = self.run_tile(&tile);
+        self.profile.merge_min_columns(&out, old_n_q);
+    }
+
+    /// Append samples to the reference and fold the new rows into every
+    /// column of the profile.
+    pub fn append_reference(&mut self, new_samples: &[Vec<f64>]) {
+        let old_n_r = self.n_reference();
+        self.reference = append_series(&self.reference, new_samples);
+        let n_r = self.n_reference();
+        if n_r == old_n_r {
+            return;
+        }
+        let tile = Tile {
+            index: 0,
+            row0: old_n_r,
+            rows: n_r - old_n_r,
+            col0: 0,
+            cols: self.n_query(),
+        };
+        let out = self.run_tile(&tile);
+        self.profile.merge_min_columns(&out, 0);
+    }
+
+    fn run_tile(&self, tile: &Tile) -> MatrixProfile {
+        let kahan = self.cfg.mode.compensated_precalc();
+        macro_rules! run {
+            ($p:ty, $m:ty) => {
+                execute_tile::<$p, $m>(&self.reference, &self.query, tile, &self.cfg, kahan)
+                    .profile
+            };
+        }
+        match self.cfg.mode {
+            PrecisionMode::Fp64 => run!(f64, f64),
+            PrecisionMode::Fp32 => run!(f32, f32),
+            PrecisionMode::Fp16 => run!(Half, Half),
+            PrecisionMode::Mixed => run!(f32, Half),
+            PrecisionMode::Fp16c => run!(Half, Half),
+            PrecisionMode::Bf16 => run!(Bf16, Bf16),
+            PrecisionMode::Tf32 => run!(Tf32, Tf32),
+            PrecisionMode::Fp8E4M3 => run!(f32, Fp8E4M3),
+            PrecisionMode::Fp8E5M2 => run!(f32, Fp8E5M2),
+        }
+    }
+}
+
+fn append_series(series: &MultiDimSeries, new_samples: &[Vec<f64>]) -> MultiDimSeries {
+    assert_eq!(
+        new_samples.len(),
+        series.dims(),
+        "append needs one slice per dimension"
+    );
+    let add = new_samples[0].len();
+    assert!(
+        new_samples.iter().all(|s| s.len() == add),
+        "appended slices must have equal lengths"
+    );
+    let mut dims = Vec::with_capacity(series.dims());
+    for (k, extra) in new_samples.iter().enumerate() {
+        let mut v = series.dim(k).to_vec();
+        v.extend_from_slice(extra);
+        dims.push(v);
+    }
+    MultiDimSeries::from_dims(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_with_mode;
+    use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+    use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+
+    fn series_pair(n: usize) -> (MultiDimSeries, MultiDimSeries) {
+        let pair = generate_pair(&SyntheticConfig {
+            n_subsequences: n,
+            dims: 2,
+            m: 12,
+            pattern: Pattern::Sine,
+            embeddings: 2,
+            noise: 0.3,
+            pattern_amplitude: 1.0,
+            seed: 31,
+        });
+        (pair.reference, pair.query)
+    }
+
+    fn split_tail(series: &MultiDimSeries, tail: usize) -> (MultiDimSeries, Vec<Vec<f64>>) {
+        let keep = series.len() - tail;
+        let head = series.window(0, keep);
+        let tail_slices: Vec<Vec<f64>> = (0..series.dims())
+            .map(|k| series.dim(k)[keep..].to_vec())
+            .collect();
+        (head, tail_slices)
+    }
+
+    fn batch_fp64(r: &MultiDimSeries, q: &MultiDimSeries, m: usize) -> MatrixProfile {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        run_with_mode(r, q, &MdmpConfig::new(m, PrecisionMode::Fp64), &mut sys)
+            .unwrap()
+            .profile
+    }
+
+    #[test]
+    fn streamed_query_appends_match_batch_fp64() {
+        let (r, q) = series_pair(200);
+        let (q_head, q_tail) = split_tail(&q, 60);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp64);
+        let mut sp = StreamingProfile::new(r.clone(), q_head, cfg).unwrap();
+        // Stream the tail in three chunks.
+        for chunk in q_tail_chunks(&q_tail, 3) {
+            sp.append_query(&chunk);
+        }
+        let expected = batch_fp64(&r, &q, 12);
+        assert_profiles_close(sp.profile(), &expected);
+    }
+
+    #[test]
+    fn streamed_reference_appends_match_batch_fp64() {
+        let (r, q) = series_pair(180);
+        let (r_head, r_tail) = split_tail(&r, 50);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp64);
+        let mut sp = StreamingProfile::new(r_head, q.clone(), cfg).unwrap();
+        for chunk in q_tail_chunks(&r_tail, 2) {
+            sp.append_reference(&chunk);
+        }
+        let expected = batch_fp64(&r, &q, 12);
+        assert_profiles_close(sp.profile(), &expected);
+    }
+
+    #[test]
+    fn interleaved_appends_match_batch() {
+        let (r, q) = series_pair(160);
+        let (r_head, r_tail) = split_tail(&r, 40);
+        let (q_head, q_tail) = split_tail(&q, 40);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp64);
+        let mut sp = StreamingProfile::new(r_head, q_head, cfg).unwrap();
+        sp.append_query(&q_tail_chunks(&q_tail, 2)[0]);
+        sp.append_reference(&q_tail_chunks(&r_tail, 2)[0]);
+        sp.append_query(&q_tail_chunks(&q_tail, 2)[1]);
+        sp.append_reference(&q_tail_chunks(&r_tail, 2)[1]);
+        let expected = batch_fp64(&r, &q, 12);
+        assert_profiles_close(sp.profile(), &expected);
+    }
+
+    #[test]
+    fn tiny_append_below_segment_length_still_extends() {
+        let (r, q) = series_pair(100);
+        let (q_head, q_tail) = split_tail(&q, 5);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp64);
+        let mut sp = StreamingProfile::new(r.clone(), q_head, cfg).unwrap();
+        let before = sp.n_query();
+        sp.append_query(&q_tail);
+        assert_eq!(sp.n_query(), before + 5);
+        let expected = batch_fp64(&r, &q, 12);
+        assert_profiles_close(sp.profile(), &expected);
+    }
+
+    #[test]
+    fn reduced_precision_streaming_runs() {
+        let (r, q) = series_pair(150);
+        let (q_head, q_tail) = split_tail(&q, 30);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Mixed);
+        let mut sp = StreamingProfile::new(r, q_head, cfg).unwrap();
+        sp.append_query(&q_tail);
+        assert!(sp.profile().unset_fraction() < 0.01);
+    }
+
+    fn q_tail_chunks(tail: &[Vec<f64>], parts: usize) -> Vec<Vec<Vec<f64>>> {
+        let len = tail[0].len();
+        let base = len / parts;
+        let mut out = Vec::new();
+        let mut start = 0;
+        for p in 0..parts {
+            let end = if p == parts - 1 { len } else { start + base };
+            out.push(tail.iter().map(|d| d[start..end].to_vec()).collect());
+            start = end;
+        }
+        out
+    }
+
+    fn assert_profiles_close(got: &MatrixProfile, expected: &MatrixProfile) {
+        assert_eq!(got.n_query(), expected.n_query());
+        for k in 0..expected.dims() {
+            for j in 0..expected.n_query() {
+                assert!(
+                    (got.value(j, k) - expected.value(j, k)).abs() < 1e-7,
+                    "P[{j}][{k}]: {} vs {}",
+                    got.value(j, k),
+                    expected.value(j, k)
+                );
+                assert_eq!(got.index(j, k), expected.index(j, k), "I[{j}][{k}]");
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Functional execution of one tile — the single-tile algorithm of
+//! Pseudocode 1, generic over the precalculation precision `P` and the
+//! main-loop precision `M`.
+//!
+//! The mode table (§III-C / Fig. 1):
+//!
+//! | mode  | `P`   | `M`   | kahan |
+//! |-------|-------|-------|-------|
+//! | FP64  | `f64` | `f64` | no    |
+//! | FP32  | `f32` | `f32` | no    |
+//! | FP16  | `Half`| `Half`| no    |
+//! | Mixed | `f32` | `Half`| no    |
+//! | FP16C | `Half`| `Half`| yes   |
+
+use crate::config::MdmpConfig;
+use crate::kernels::{
+    self, dist_cost, dist_row, sort_scan_cost, sort_scan_row, update_cost, update_profile_row,
+    DistParams,
+};
+use crate::precalc::{compute_stats, convert_qt, initial_qt, SeriesDevice, Stats};
+use crate::profile::MatrixProfile;
+use crate::tiling::Tile;
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::KernelCost;
+use mdmp_precision::Real;
+
+/// The functional result of one tile plus the costs to charge the device.
+#[derive(Debug)]
+pub struct TileOutput {
+    /// Profile over this tile's query columns, with **global** reference
+    /// indices in the index plane.
+    pub profile: MatrixProfile,
+    /// Aggregated kernel costs in submission order
+    /// (precalc, dist·rows, sort·rows, update·rows).
+    pub kernel_costs: Vec<KernelCost>,
+    /// H2D bytes for this tile's input windows.
+    pub h2d_bytes: u64,
+    /// D2H bytes for this tile's results.
+    pub d2h_bytes: u64,
+    /// Device-memory working set of the tile.
+    pub device_bytes: u64,
+}
+
+/// Execute one tile functionally and collect its modelled costs.
+pub fn execute_tile<P: Real, M: Real>(
+    reference: &MultiDimSeries,
+    query: &MultiDimSeries,
+    tile: &Tile,
+    cfg: &MdmpConfig,
+    kahan: bool,
+) -> TileOutput {
+    let m = cfg.m;
+    let d = reference.dims();
+    let d_pad = d.next_power_of_two();
+    let n_r = tile.rows;
+    let n_q = tile.cols;
+
+    // H2D copy: the tile's input windows, converted to the precalc format.
+    let refd = SeriesDevice::<P>::load(reference, tile.row0, n_r + m - 1);
+    let qd = SeriesDevice::<P>::load(query, tile.col0, n_q + m - 1);
+
+    // precalculation (in P, optionally compensated), then conversion to M.
+    let rstats_p = compute_stats(&refd, m, kahan);
+    let qstats_p = compute_stats(&qd, m, kahan);
+    let (qt_row0_p, qt_col0_p) = initial_qt(&refd, &rstats_p, &qd, &qstats_p, m, kahan);
+    let rstats: Stats<M> = rstats_p.convert();
+    let qstats: Stats<M> = qstats_p.convert();
+    let qt_row0: Vec<M> = convert_qt(&qt_row0_p);
+    let qt_col0: Vec<M> = convert_qt(&qt_col0_p);
+
+    // Working planes in the main-loop precision.
+    let mut qt_prev = vec![M::zero(); n_q * d];
+    let mut qt_next = vec![M::zero(); n_q * d];
+    let mut dist_plane = vec![M::zero(); n_q * d];
+    let mut scanned = vec![M::zero(); n_q * d_pad];
+    let mut p_plane = vec![M::infinity(); n_q * d];
+    let mut i_plane = vec![-1i64; n_q * d];
+
+    let params = DistParams::<M>::new(m, cfg.clamp, tile.row0, tile.col0, cfg.exclusion_zone);
+
+    // Main iteration loop (Pseudocode 1, lines 3-7).
+    for i in 0..n_r {
+        dist_row(
+            i, &qt_row0, &qt_col0, &qt_prev, &mut qt_next, &mut dist_plane, &rstats, &qstats,
+            &params,
+        );
+        sort_scan_row(&dist_plane, &mut scanned, n_q, d);
+        update_profile_row(
+            &scanned,
+            &mut p_plane,
+            &mut i_plane,
+            n_q,
+            d,
+            (tile.row0 + i) as i64,
+        );
+        std::mem::swap(&mut qt_prev, &mut qt_next);
+    }
+
+    // D2H: widen the profile exactly to f64.
+    let p_f64: Vec<f64> = p_plane.iter().map(|&v| v.to_f64()).collect();
+    let profile = MatrixProfile::from_raw(p_f64, i_plane, n_q, d);
+
+    let (kernel_costs, h2d_bytes, d2h_bytes, device_bytes) = tile_cost_bundle(tile, d, cfg, kahan);
+
+    TileOutput {
+        profile,
+        kernel_costs,
+        h2d_bytes,
+        d2h_bytes,
+        device_bytes,
+    }
+}
+
+/// The modelled costs of one tile, independent of functional execution —
+/// shared by [`execute_tile`] and the paper-scale estimator
+/// (`crate::estimate`).
+///
+/// Returns `(kernel costs in submission order, H2D bytes, D2H bytes,
+/// device working-set bytes)`.
+pub fn tile_cost_bundle(
+    tile: &Tile,
+    d: usize,
+    cfg: &MdmpConfig,
+    kahan: bool,
+) -> (Vec<KernelCost>, u64, u64, u64) {
+    let m = cfg.m;
+    let n_r = tile.rows;
+    let n_q = tile.cols;
+    let main_fmt = cfg.mode.main_format();
+    let pre_fmt = cfg.mode.precalc_format();
+    let rows = n_r as u64;
+    let kernel_costs = vec![
+        kernels::precalc_cost(n_r, n_q, m, d, pre_fmt, kahan),
+        dist_cost(n_q, d, main_fmt).repeated(rows),
+        sort_scan_cost(n_q, d, main_fmt).repeated(rows),
+        update_cost(n_q, d, main_fmt).repeated(rows),
+    ];
+    (
+        kernel_costs,
+        kernels::h2d_bytes(n_r, n_q, m, d, pre_fmt),
+        kernels::d2h_bytes(n_q, d, main_fmt),
+        kernels::tile_device_bytes(n_r, n_q, m, d, main_fmt),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::compute_tile_list;
+    use mdmp_data::stats::znorm_distance;
+    use mdmp_precision::{Half, PrecisionMode};
+
+    fn series(seed: u64, d: usize, len: usize) -> MultiDimSeries {
+        let dims: Vec<Vec<f64>> = (0..d)
+            .map(|k| {
+                (0..len)
+                    .map(|t| {
+                        let x = t as f64 * (0.13 + 0.02 * k as f64) + seed as f64;
+                        x.sin() + 0.4 * (2.3 * x).cos()
+                    })
+                    .collect()
+            })
+            .collect();
+        MultiDimSeries::from_dims(dims)
+    }
+
+    /// Brute-force multi-dim matrix profile in f64 for validation.
+    fn brute(reference: &MultiDimSeries, query: &MultiDimSeries, m: usize) -> MatrixProfile {
+        let d = reference.dims();
+        let n_r = reference.n_segments(m);
+        let n_q = query.n_segments(m);
+        let mut profile = MatrixProfile::new_unset(n_q, d);
+        let (p, idx) = profile.planes_mut();
+        for j in 0..n_q {
+            for i in 0..n_r {
+                let mut ds: Vec<f64> = (0..d)
+                    .map(|k| {
+                        znorm_distance(
+                            &reference.dim(k)[i..i + m],
+                            &query.dim(k)[j..j + m],
+                        )
+                    })
+                    .collect();
+                ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut run = 0.0;
+                for k in 0..d {
+                    run += ds[k];
+                    let avg = run / (k + 1) as f64;
+                    if avg < p[k * n_q + j] {
+                        p[k * n_q + j] = avg;
+                        idx[k * n_q + j] = i as i64;
+                    }
+                }
+            }
+        }
+        profile
+    }
+
+    #[test]
+    fn fp64_tile_matches_brute_force() {
+        let m = 10;
+        let r = series(1, 3, 80);
+        let q = series(5, 3, 70);
+        let tile = compute_tile_list(r.n_segments(m), q.n_segments(m), 1).unwrap()[0];
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
+        let out = execute_tile::<f64, f64>(&r, &q, &tile, &cfg, false);
+        let expected = brute(&r, &q, m);
+        for k in 0..3 {
+            for j in 0..q.n_segments(m) {
+                assert!(
+                    (out.profile.value(j, k) - expected.value(j, k)).abs() < 1e-7,
+                    "P[{j}][{k}]: {} vs {}",
+                    out.profile.value(j, k),
+                    expected.value(j, k)
+                );
+                assert_eq!(
+                    out.profile.index(j, k),
+                    expected.index(j, k),
+                    "I[{j}][{k}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_with_offsets_matches_brute_force_submatrix() {
+        let m = 8;
+        let r = series(2, 2, 100);
+        let q = series(9, 2, 100);
+        let tile = Tile { index: 0, row0: 20, rows: 30, col0: 40, cols: 25 };
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
+        let out = execute_tile::<f64, f64>(&r, &q, &tile, &cfg, false);
+        assert_eq!(out.profile.n_query(), 25);
+        // Compare against brute force restricted to the tile's rows.
+        let n_q = q.n_segments(m);
+        let full = brute(&r, &q, m);
+        let _ = (n_q, full);
+        for k in 0..2 {
+            for jj in 0..25 {
+                let j = 40 + jj;
+                // Recompute restricted min over rows 20..50.
+                let mut best = f64::INFINITY;
+                let mut best_i = -1i64;
+                for i in 20..50 {
+                    let mut ds: Vec<f64> = (0..2)
+                        .map(|kk| {
+                            znorm_distance(&r.dim(kk)[i..i + m], &q.dim(kk)[j..j + m])
+                        })
+                        .collect();
+                    ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let avg: f64 = ds[..=k].iter().sum::<f64>() / (k + 1) as f64;
+                    if avg < best {
+                        best = avg;
+                        best_i = i as i64;
+                    }
+                }
+                assert!(
+                    (out.profile.value(jj, k) - best).abs() < 1e-7,
+                    "tile P[{jj}][{k}]"
+                );
+                assert_eq!(out.profile.index(jj, k), best_i, "tile I[{jj}][{k}] (global)");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_precision_stays_close_on_small_tiles() {
+        let m = 12;
+        let r = series(3, 2, 120);
+        let q = series(7, 2, 120);
+        let tile = compute_tile_list(r.n_segments(m), q.n_segments(m), 1).unwrap()[0];
+        let cfg64 = MdmpConfig::new(m, PrecisionMode::Fp64);
+        let cfg16 = MdmpConfig::new(m, PrecisionMode::Fp16);
+        let cfg32 = MdmpConfig::new(m, PrecisionMode::Fp32);
+        let ref_out = execute_tile::<f64, f64>(&r, &q, &tile, &cfg64, false);
+        let out16 = execute_tile::<Half, Half>(&r, &q, &tile, &cfg16, false);
+        let out32 = execute_tile::<f32, f32>(&r, &q, &tile, &cfg32, false);
+        let n_q = q.n_segments(m);
+        let avg_err = |out: &TileOutput| {
+            let mut total = 0.0;
+            for k in 0..2 {
+                for j in 0..n_q {
+                    let a = ref_out.profile.value(j, k);
+                    let b = out.profile.value(j, k);
+                    if a > 1e-6 {
+                        total += (a - b).abs() / a;
+                    }
+                }
+            }
+            total / (2 * n_q) as f64
+        };
+        // FP16 degrades visibly (the near-zero distances of this periodic
+        // series amplify the 2^-10 roundoff through the sqrt), FP32 stays
+        // essentially exact, and the ordering FP32 < FP16 must hold — the
+        // precision hierarchy of Fig. 2.
+        let e16 = avg_err(&out16);
+        let e32 = avg_err(&out32);
+        assert!(e32 < 1e-3, "FP32 should be near-exact: {e32}");
+        assert!(e16 > e32, "FP16 must be worse than FP32");
+        assert!(e16 < 1.5, "FP16 on a 100-row tile must stay in the right ballpark: {e16}");
+    }
+
+    #[test]
+    fn mixed_mode_types_compose() {
+        let m = 8;
+        let r = series(4, 2, 60);
+        let q = series(8, 2, 60);
+        let tile = compute_tile_list(r.n_segments(m), q.n_segments(m), 1).unwrap()[0];
+        let mut cfg = MdmpConfig::new(m, PrecisionMode::Mixed);
+        cfg.mode = PrecisionMode::Mixed;
+        // P = f32, M = Half.
+        let out = execute_tile::<f32, Half>(&r, &q, &tile, &cfg, false);
+        assert_eq!(out.profile.n_query(), q.n_segments(m));
+        assert!(out.profile.unset_fraction() < 1e-9);
+        // Costs: precalc in FP32 bytes, main kernels in FP16 bytes.
+        assert_eq!(out.kernel_costs[0].format, mdmp_precision::Format::Fp32);
+        assert_eq!(out.kernel_costs[1].format, mdmp_precision::Format::Fp16);
+    }
+
+    #[test]
+    fn kernel_costs_aggregate_rows() {
+        let m = 8;
+        let r = series(4, 2, 60);
+        let q = series(8, 2, 60);
+        let n_r = r.n_segments(m);
+        let tile = compute_tile_list(n_r, q.n_segments(m), 1).unwrap()[0];
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
+        let out = execute_tile::<f64, f64>(&r, &q, &tile, &cfg, false);
+        assert_eq!(out.kernel_costs.len(), 4);
+        assert_eq!(out.kernel_costs[1].launches, n_r as u64);
+        assert_eq!(out.kernel_costs[2].launches, n_r as u64);
+        assert!(out.h2d_bytes > 0 && out.d2h_bytes > 0 && out.device_bytes > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The tiling scheme of Pseudocode 2 (`compute_tile_list`).
+//!
+//! The distance matrix is partitioned into a near-square 2-D grid of
+//! `n_tiles` tiles. Each tile is a standalone matrix profile over a
+//! reference-row block and a query-column block, so (a) the device-memory
+//! working set is decoupled from the problem size, (b) tiles parallelize
+//! across GPUs, and (c) the precalculation restart at every tile boundary
+//! bounds rounding-error propagation to the tile extent (§III-B).
+
+use crate::config::MdmpError;
+
+/// Tile→device scheduling policy.
+///
+/// The paper statically assigns tiles Round-robin (Pseudocode 2,
+/// `assign_tile`), which is perfectly balanced only when the device count
+/// divides the tile count — the cause of the efficiency dips at odd GPU
+/// counts in Fig. 5. [`TileSchedule::Balanced`] is this reproduction's
+/// ablation: greedy longest-processing-time-style assignment by accumulated
+/// tile area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TileSchedule {
+    /// Static Round-robin, as in the paper.
+    #[default]
+    RoundRobin,
+    /// Greedy: each tile goes to the device with the least accumulated
+    /// work (tile area as the work proxy).
+    Balanced,
+}
+
+/// Assign each tile to a device index under the given policy.
+///
+/// Equal-speed devices use weight 1.0 each; heterogeneous systems pass a
+/// throughput proxy per device (see [`assign_tiles_weighted`]).
+pub fn assign_tiles(tiles: &[Tile], n_devices: usize, schedule: TileSchedule) -> Vec<usize> {
+    assign_tiles_weighted(tiles, &vec![1.0; n_devices], schedule)
+}
+
+/// Weighted assignment: `weights[i]` is a relative throughput of device `i`
+/// (e.g. its effective memory bandwidth). Round-robin ignores the weights
+/// (the paper's static scheme is speed-oblivious); Balanced greedily sends
+/// each tile to the device with the smallest *normalized* accumulated work
+/// `load / weight` — which matters for odd tile distributions and for
+/// mixed-generation (V100 + A100) systems.
+pub fn assign_tiles_weighted(
+    tiles: &[Tile],
+    weights: &[f64],
+    schedule: TileSchedule,
+) -> Vec<usize> {
+    let n_devices = weights.len();
+    assert!(n_devices > 0, "need at least one device");
+    assert!(
+        weights.iter().all(|&w| w > 0.0),
+        "device weights must be positive"
+    );
+    match schedule {
+        TileSchedule::RoundRobin => tiles.iter().map(|t| t.index % n_devices).collect(),
+        TileSchedule::Balanced => {
+            let mut load = vec![0.0f64; n_devices];
+            tiles
+                .iter()
+                .map(|t| {
+                    let dev = (0..n_devices)
+                        .min_by(|&a, &b| {
+                            (load[a] / weights[a])
+                                .partial_cmp(&(load[b] / weights[b]))
+                                .unwrap()
+                        })
+                        .unwrap();
+                    load[dev] += (t.rows as f64) * (t.cols as f64);
+                    dev
+                })
+                .collect()
+        }
+    }
+}
+
+/// One tile of the distance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Position in the tile list (assignment order).
+    pub index: usize,
+    /// First reference-segment row covered.
+    pub row0: usize,
+    /// Number of reference rows.
+    pub rows: usize,
+    /// First query-segment column covered.
+    pub col0: usize,
+    /// Number of query columns.
+    pub cols: usize,
+}
+
+/// Factor `n_tiles` into a near-square `(grid_rows, grid_cols)` with
+/// `grid_rows ≤ grid_cols` and `grid_rows · grid_cols = n_tiles`.
+///
+/// The paper sweeps powers of four (1, 4, 16, …, 1024 in Fig. 7/10), which
+/// factor into exact squares; other counts get the divisor pair closest to
+/// square.
+pub fn grid_shape(n_tiles: usize) -> (usize, usize) {
+    assert!(n_tiles > 0, "n_tiles must be positive");
+    let mut best = (1, n_tiles);
+    let mut r = 1;
+    while r * r <= n_tiles {
+        if n_tiles.is_multiple_of(r) {
+            best = (r, n_tiles / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+fn split_blocks(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    // Balanced contiguous blocks: the first (total % parts) blocks get one
+    // extra element.
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Partition an `n_r × n_q` distance matrix into `n_tiles` tiles
+/// (Pseudocode 2, line 1). Tiles are ordered row-major, which is also the
+/// deterministic merge order.
+pub fn compute_tile_list(n_r: usize, n_q: usize, n_tiles: usize) -> Result<Vec<Tile>, MdmpError> {
+    let (gr, gc) = grid_shape(n_tiles);
+    if gr > n_r || gc > n_q {
+        return Err(MdmpError::BadConfig(format!(
+            "tile grid {gr}x{gc} does not fit a {n_r}x{n_q} distance matrix"
+        )));
+    }
+    let row_blocks = split_blocks(n_r, gr);
+    let col_blocks = split_blocks(n_q, gc);
+    let mut tiles = Vec::with_capacity(n_tiles);
+    for &(row0, rows) in &row_blocks {
+        for &(col0, cols) in &col_blocks {
+            tiles.push(Tile {
+                index: tiles.len(),
+                row0,
+                rows,
+                col0,
+                cols,
+            });
+        }
+    }
+    Ok(tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_matches_pseudocode_2() {
+        let tiles = compute_tile_list(64, 64, 16).unwrap();
+        let assign = assign_tiles(&tiles, 3, TileSchedule::RoundRobin);
+        assert_eq!(&assign[..6], &[0, 1, 2, 0, 1, 2]);
+        let max_load = (0..3)
+            .map(|d| assign.iter().filter(|&&a| a == d).count())
+            .max()
+            .unwrap();
+        assert_eq!(max_load, 6, "16 tiles on 3 devices: worst gets 6");
+    }
+
+    #[test]
+    fn balanced_schedule_evens_out_odd_device_counts() {
+        let tiles = compute_tile_list(600, 600, 16).unwrap();
+        for n_dev in [3usize, 5, 7] {
+            let rr = assign_tiles(&tiles, n_dev, TileSchedule::RoundRobin);
+            let bal = assign_tiles(&tiles, n_dev, TileSchedule::Balanced);
+            let area = |assign: &[usize], dev: usize| -> usize {
+                tiles
+                    .iter()
+                    .zip(assign)
+                    .filter(|(_, &a)| a == dev)
+                    .map(|(t, _)| t.rows * t.cols)
+                    .sum()
+            };
+            let max_rr = (0..n_dev).map(|d| area(&rr, d)).max().unwrap();
+            let max_bal = (0..n_dev).map(|d| area(&bal, d)).max().unwrap();
+            assert!(
+                max_bal <= max_rr,
+                "{n_dev} devices: balanced {max_bal} worse than round-robin {max_rr}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_balanced_respects_device_speeds() {
+        // Two devices, one 3x faster: it should receive ~3x the area.
+        let tiles = compute_tile_list(1200, 1200, 16).unwrap();
+        let assign = assign_tiles_weighted(&tiles, &[3.0, 1.0], TileSchedule::Balanced);
+        let area = |dev: usize| -> f64 {
+            tiles
+                .iter()
+                .zip(&assign)
+                .filter(|(_, &a)| a == dev)
+                .map(|(t, _)| (t.rows * t.cols) as f64)
+                .sum()
+        };
+        let ratio = area(0) / area(1);
+        assert!(
+            (2.0..=4.5).contains(&ratio),
+            "fast device should take ~3x the work, got {ratio:.2}"
+        );
+        // Round-robin ignores the weights entirely.
+        let rr = assign_tiles_weighted(&tiles, &[3.0, 1.0], TileSchedule::RoundRobin);
+        let rr_count0 = rr.iter().filter(|&&d| d == 0).count();
+        assert_eq!(rr_count0, 8);
+    }
+
+    #[test]
+    fn every_tile_gets_a_valid_device() {
+        let tiles = compute_tile_list(100, 100, 9).unwrap();
+        for schedule in [TileSchedule::RoundRobin, TileSchedule::Balanced] {
+            let assign = assign_tiles(&tiles, 4, schedule);
+            assert_eq!(assign.len(), 9);
+            assert!(assign.iter().all(|&d| d < 4));
+        }
+    }
+
+    #[test]
+    fn grid_shapes_for_power_of_four() {
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(1024), (32, 32));
+    }
+
+    #[test]
+    fn grid_shapes_for_other_counts() {
+        assert_eq!(grid_shape(2), (1, 2));
+        assert_eq!(grid_shape(6), (2, 3));
+        assert_eq!(grid_shape(12), (3, 4));
+        assert_eq!(grid_shape(7), (1, 7));
+    }
+
+    #[test]
+    fn tiles_partition_the_matrix_exactly() {
+        let tiles = compute_tile_list(1000, 700, 12).unwrap();
+        assert_eq!(tiles.len(), 12);
+        // Coverage check: every cell covered exactly once.
+        let row_sum: usize = tiles.iter().filter(|t| t.col0 == 0).map(|t| t.rows).sum();
+        let col_sum: usize = tiles.iter().filter(|t| t.row0 == 0).map(|t| t.cols).sum();
+        assert_eq!(row_sum, 1000);
+        assert_eq!(col_sum, 700);
+        let area: usize = tiles.iter().map(|t| t.rows * t.cols).sum();
+        assert_eq!(area, 1000 * 700);
+        // Balanced: extents differ by at most 1 per axis.
+        let rmin = tiles.iter().map(|t| t.rows).min().unwrap();
+        let rmax = tiles.iter().map(|t| t.rows).max().unwrap();
+        assert!(rmax - rmin <= 1);
+    }
+
+    #[test]
+    fn single_tile_covers_everything() {
+        let tiles = compute_tile_list(64, 64, 1).unwrap();
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], Tile { index: 0, row0: 0, rows: 64, col0: 0, cols: 64 });
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let tiles = compute_tile_list(10, 10, 9).unwrap(); // 3x3 grid
+        let rows: Vec<usize> = tiles.iter().filter(|t| t.col0 == 0).map(|t| t.rows).collect();
+        assert_eq!(rows, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn too_many_tiles_rejected() {
+        assert!(compute_tile_list(2, 2, 16).is_err());
+    }
+
+    #[test]
+    fn tile_order_is_row_major() {
+        let tiles = compute_tile_list(100, 100, 4).unwrap();
+        assert_eq!((tiles[0].row0, tiles[0].col0), (0, 0));
+        assert_eq!((tiles[1].row0, tiles[1].col0), (0, 50));
+        assert_eq!((tiles[2].row0, tiles[2].col0), (50, 0));
+        assert_eq!((tiles[3].row0, tiles[3].col0), (50, 50));
+        for (i, t) in tiles.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+    }
+}

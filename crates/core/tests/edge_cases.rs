@@ -1,0 +1,216 @@
+//! Edge-case coverage of the core pipeline: boundary shapes, degenerate
+//! inputs, and the overflow scenario the paper's min-max normalization
+//! guards against.
+
+use mdmp_core::baseline::brute_force;
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::rng::{fill_gaussian, seeded};
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+
+fn noise_series(seed: u64, d: usize, len: usize, amplitude: f64) -> MultiDimSeries {
+    let mut rng = seeded(seed);
+    let dims: Vec<Vec<f64>> = (0..d)
+        .map(|_| {
+            let mut v = vec![0.0; len];
+            fill_gaussian(&mut rng, &mut v, amplitude);
+            v
+        })
+        .collect();
+    MultiDimSeries::from_dims(dims)
+}
+
+fn run(
+    r: &MultiDimSeries,
+    q: &MultiDimSeries,
+    cfg: &MdmpConfig,
+) -> mdmp_core::MatrixProfile {
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    run_with_mode(r, q, cfg, &mut sys).unwrap().profile
+}
+
+#[test]
+fn minimum_segment_length_m2() {
+    let r = noise_series(1, 2, 40, 1.0);
+    let q = noise_series(2, 2, 30, 1.0);
+    let cfg = MdmpConfig::new(2, PrecisionMode::Fp64);
+    let profile = run(&r, &q, &cfg);
+    let bf = brute_force(&r, &q, 2, None);
+    for k in 0..2 {
+        for j in 0..profile.n_query() {
+            // m=2 distances are coarse and near-ties abound; values must
+            // agree, indices may flip between equally-good candidates.
+            assert!((profile.value(j, k) - bf.value(j, k)).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn one_dimensional_series_like_the_turbine_case() {
+    // d = 1: the sort network degenerates to the identity, the scan to a
+    // division by one — the pipeline must still be exact.
+    let r = noise_series(3, 1, 200, 1.0);
+    let q = noise_series(4, 1, 150, 1.0);
+    let cfg = MdmpConfig::new(16, PrecisionMode::Fp64).with_tiles(4);
+    let profile = run(&r, &q, &cfg);
+    let bf = brute_force(&r, &q, 16, None);
+    for j in 0..profile.n_query() {
+        assert!((profile.value(j, 0) - bf.value(j, 0)).abs() < 1e-6);
+        assert_eq!(profile.index(j, 0), bf.index(j, 0));
+    }
+}
+
+#[test]
+fn non_power_of_two_dimensionality() {
+    // d = 6 pads the sort fibers to 8 with +inf sentinels.
+    let r = noise_series(5, 6, 80, 1.0);
+    let q = noise_series(6, 6, 80, 1.0);
+    let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+    let profile = run(&r, &q, &cfg);
+    let bf = brute_force(&r, &q, 8, None);
+    for k in 0..6 {
+        for j in 0..profile.n_query() {
+            assert!(
+                (profile.value(j, k) - bf.value(j, k)).abs() < 1e-6,
+                "P[{j}][{k}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_reference_segment() {
+    // n_r = 1: every query segment matches reference segment 0.
+    let r = noise_series(7, 2, 16, 1.0); // len == m -> one segment
+    let q = noise_series(8, 2, 60, 1.0);
+    let cfg = MdmpConfig::new(16, PrecisionMode::Fp64);
+    let profile = run(&r, &q, &cfg);
+    for k in 0..2 {
+        for j in 0..profile.n_query() {
+            assert_eq!(profile.index(j, k), 0);
+            assert!(profile.value(j, k).is_finite());
+        }
+    }
+}
+
+#[test]
+fn single_query_segment() {
+    let r = noise_series(9, 2, 100, 1.0);
+    let q = noise_series(10, 2, 8, 1.0); // one query segment
+    let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+    let profile = run(&r, &q, &cfg);
+    assert_eq!(profile.n_query(), 1);
+    let bf = brute_force(&r, &q, 8, None);
+    assert_eq!(profile.index(0, 1), bf.index(0, 1));
+}
+
+#[test]
+fn maximal_tiling_one_cell_rows() {
+    // As many tiles as the grid allows on a tiny problem.
+    let r = noise_series(11, 2, 20, 1.0);
+    let q = noise_series(12, 2, 20, 1.0);
+    let m = 8;
+    let n = 13; // segments per side
+    let cfg1 = MdmpConfig::new(m, PrecisionMode::Fp64);
+    let cfg_many = MdmpConfig::new(m, PrecisionMode::Fp64).with_tiles(n * n);
+    let a = run(&r, &q, &cfg1);
+    let b = run(&r, &q, &cfg_many);
+    // Per-tile precalculation computes row/column inits by direct dot
+    // products where the single tile streams, so values agree to f64
+    // rounding, and the argmin indices are identical.
+    for k in 0..2 {
+        for j in 0..a.n_query() {
+            assert!((a.value(j, k) - b.value(j, k)).abs() < 1e-9);
+            assert_eq!(a.index(j, k), b.index(j, k));
+        }
+    }
+}
+
+#[test]
+fn flat_series_stays_unset_with_or_without_clamp() {
+    // Constant input: zero variance, non-finite inverse norms, NaN
+    // correlations. The clamp only rescues *finite* overshoot, so the NaN
+    // propagates and no entry ever wins the min-update — degenerate data
+    // is visible as unset entries rather than fabricated matches.
+    let r = MultiDimSeries::from_dims(vec![vec![5.0; 64]]);
+    let q = MultiDimSeries::from_dims(vec![vec![5.0; 64]]);
+    for clamp in [true, false] {
+        let mut cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+        cfg.clamp = clamp;
+        let profile = run(&r, &q, &cfg);
+        assert_eq!(profile.unset_fraction(), 1.0, "clamp={clamp}");
+    }
+}
+
+#[test]
+fn half_flat_series_flat_region_stays_unset() {
+    let mut x = vec![1.0; 200];
+    let mut rng = seeded(13);
+    let mut tail = vec![0.0; 100];
+    fill_gaussian(&mut rng, &mut tail, 1.0);
+    x[100..].copy_from_slice(&tail);
+    let s = MultiDimSeries::univariate(x);
+    // Self-join with the exclusion zone so live segments cannot trivially
+    // match themselves.
+    let cfg = MdmpConfig::new(8, PrecisionMode::Fp64).self_join();
+    let profile = run(&s, &s, &cfg);
+    // Live-region columns find finite nonzero matches to other live
+    // segments (never to a flat reference window — those are NaN).
+    assert!(profile.value(150, 0).is_finite());
+    assert!(profile.value(150, 0) > 0.0);
+    let live_match = profile.index(150, 0) as usize;
+    assert!(live_match >= 93, "live column must match a live segment");
+    // Flat-region columns have no valid match at all.
+    assert!(!profile.value(20, 0).is_finite());
+    assert_eq!(profile.index(20, 0), -1);
+}
+
+#[test]
+fn large_magnitude_data_overflows_fp16_but_not_after_normalization() {
+    // The paper min-max normalizes the turbine data "to avoid overflow in
+    // reduced precision computation" (Fig. 11). Reproduce the rationale:
+    // raw data with magnitude ~3000 overflows binary16 intermediates
+    // (sum of squares over a window exceeds 65504), normalized data works.
+    let mut rng = seeded(14);
+    let mut raw = vec![0.0; 300];
+    fill_gaussian(&mut rng, &mut raw, 1.0);
+    let big: Vec<f64> = raw.iter().map(|v| 3000.0 + 800.0 * v).collect();
+    let big_series = MultiDimSeries::univariate(big.clone());
+    let mut norm_series = MultiDimSeries::univariate(big);
+    norm_series.min_max_normalize();
+
+    // Overflowed FP16 intermediates (window sums of squares ~1.4e8 >>
+    // 65504) yield NaN statistics; with NaN-propagating clamp semantics
+    // the profile stays unset — the failure is visible, not silent.
+    let cfg16 = MdmpConfig::new(16, PrecisionMode::Fp16);
+    let raw16 = run(&big_series, &big_series, &cfg16);
+    assert!(
+        raw16.unset_fraction() > 0.9,
+        "unnormalized FP16 must overflow visibly: {} unset",
+        raw16.unset_fraction()
+    );
+    let norm16 = run(&norm_series, &norm_series, &cfg16);
+    assert!(
+        norm16.unset_fraction() < 0.05,
+        "normalized FP16 must work: {} unset",
+        norm16.unset_fraction()
+    );
+}
+
+#[test]
+fn rectangular_join_n_r_much_larger_than_n_q() {
+    let r = noise_series(15, 3, 500, 1.0);
+    let q = noise_series(16, 3, 40, 1.0);
+    let cfg = MdmpConfig::new(8, PrecisionMode::Fp32).with_tiles(8);
+    let profile = run(&r, &q, &cfg);
+    assert_eq!(profile.n_query(), 33);
+    assert!(profile.unset_fraction() < 1e-9);
+    // Indices must lie within the reference range.
+    for k in 0..3 {
+        for j in 0..33 {
+            let i = profile.index(j, k);
+            assert!((0..493).contains(&i), "index {i} out of range");
+        }
+    }
+}

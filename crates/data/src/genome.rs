@@ -1,0 +1,263 @@
+//! Synthetic genome sequences for the Genome-in-a-Bottle case study (§VI-B).
+//!
+//! The paper encodes genome sequences as integer-valued time series
+//! (A→1, C→2, T→3, G→4) and treats 16 chromosomes as the 16 dimensions of a
+//! multi-dimensional series (n = 2¹⁸, d = 2⁴, m = 2⁷ — m chosen to match the
+//! shortest gene length). The generator produces random base sequences with
+//! repeated "gene" motifs copied (with point mutations) to several loci, so
+//! matrix-profile self-similarity is recoverable exactly as in the real
+//! data.
+
+use crate::rng::seeded;
+use crate::series::MultiDimSeries;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A DNA base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    /// Adenine.
+    A,
+    /// Cytosine.
+    C,
+    /// Thymine.
+    T,
+    /// Guanine.
+    G,
+}
+
+impl Base {
+    /// All four bases.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::T, Base::G];
+
+    /// The paper's encoding: A→1, C→2, T→3, G→4.
+    pub fn encode(self) -> f64 {
+        match self {
+            Base::A => 1.0,
+            Base::C => 2.0,
+            Base::T => 3.0,
+            Base::G => 4.0,
+        }
+    }
+
+    /// Decode an encoded value (nearest base).
+    ///
+    /// # Panics
+    /// Panics if the value is not in `[0.5, 4.5)`.
+    pub fn decode(v: f64) -> Base {
+        match v.round() as i64 {
+            1 => Base::A,
+            2 => Base::C,
+            3 => Base::T,
+            4 => Base::G,
+            other => panic!("value {other} is not a valid base encoding"),
+        }
+    }
+
+    /// Character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::T => 'T',
+            Base::G => 'G',
+        }
+    }
+}
+
+/// Encode a base string into a time-series vector.
+pub fn encode_sequence(bases: &[Base]) -> Vec<f64> {
+    bases.iter().map(|b| b.encode()).collect()
+}
+
+/// Parse a textual sequence ("ACGT…") into bases; non-ACGT characters are
+/// rejected.
+pub fn parse_sequence(s: &str) -> Result<Vec<Base>, String> {
+    s.chars()
+        .map(|c| match c.to_ascii_uppercase() {
+            'A' => Ok(Base::A),
+            'C' => Ok(Base::C),
+            'T' => Ok(Base::T),
+            'G' => Ok(Base::G),
+            other => Err(format!("invalid base character '{other}'")),
+        })
+        .collect()
+}
+
+/// Configuration of a synthetic genome dataset.
+#[derive(Debug, Clone)]
+pub struct GenomeConfig {
+    /// Samples per chromosome channel (paper: n = 2¹⁸ segments).
+    pub len: usize,
+    /// Number of chromosome channels (paper: d = 2⁴ = 16).
+    pub channels: usize,
+    /// Length of the repeated gene motifs (paper: m = 2⁷ = 128, the shortest
+    /// gene length in practice).
+    pub gene_len: usize,
+    /// Number of gene motifs; each is copied to 2 loci per channel.
+    pub genes: usize,
+    /// Point-mutation probability applied to gene copies.
+    pub mutation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GenomeConfig {
+    /// §VI-B parameters at reproduction scale (`len` shrunk from 2¹⁸).
+    pub fn default_case_study(len: usize) -> GenomeConfig {
+        GenomeConfig {
+            len,
+            channels: 16,
+            gene_len: 128,
+            genes: 8,
+            mutation_rate: 0.02,
+            seed: 0x6E0E,
+        }
+    }
+}
+
+/// A generated genome dataset: encoded series plus the gene copy locations.
+#[derive(Debug, Clone)]
+pub struct GenomeDataset {
+    /// The encoded 16-channel series.
+    pub series: MultiDimSeries,
+    /// Per channel: (gene id, start position) of every inserted copy.
+    pub gene_copies: Vec<Vec<(usize, usize)>>,
+}
+
+/// Generate a synthetic genome dataset.
+pub fn generate(cfg: &GenomeConfig) -> GenomeDataset {
+    assert!(cfg.gene_len > 0 && cfg.len > 4 * cfg.gene_len && cfg.channels > 0);
+    let mut rng = seeded(cfg.seed);
+    let genes: Vec<Vec<Base>> = (0..cfg.genes)
+        .map(|_| random_bases(&mut rng, cfg.gene_len))
+        .collect();
+
+    let mut gene_copies = Vec::with_capacity(cfg.channels);
+    let mut dims = Vec::with_capacity(cfg.channels);
+    for _ in 0..cfg.channels {
+        let mut seq = random_bases(&mut rng, cfg.len);
+        let mut copies = Vec::new();
+        for (gid, gene) in genes.iter().enumerate() {
+            for _ in 0..2 {
+                let start = rng.gen_range(0..cfg.len - cfg.gene_len);
+                for (t, &b) in gene.iter().enumerate() {
+                    seq[start + t] = if rng.gen::<f64>() < cfg.mutation_rate {
+                        Base::ALL[rng.gen_range(0..4)]
+                    } else {
+                        b
+                    };
+                }
+                copies.push((gid, start));
+            }
+        }
+        copies.sort_unstable_by_key(|&(_, s)| s);
+        gene_copies.push(copies);
+        dims.push(encode_sequence(&seq));
+    }
+    GenomeDataset {
+        series: MultiDimSeries::from_dims(dims),
+        gene_copies,
+    }
+}
+
+fn random_bases(rng: &mut StdRng, len: usize) -> Vec<Base> {
+    (0..len).map(|_| Base::ALL[rng.gen_range(0..4)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_paper() {
+        assert_eq!(Base::A.encode(), 1.0);
+        assert_eq!(Base::C.encode(), 2.0);
+        assert_eq!(Base::T.encode(), 3.0);
+        assert_eq!(Base::G.encode(), 4.0);
+        for b in Base::ALL {
+            assert_eq!(Base::decode(b.encode()), b);
+        }
+    }
+
+    #[test]
+    fn parse_and_chars_round_trip() {
+        let seq = parse_sequence("ACgtTA").unwrap();
+        let s: String = seq.iter().map(|b| b.to_char()).collect();
+        assert_eq!(s, "ACGTTA");
+        assert!(parse_sequence("ACGX").is_err());
+    }
+
+    #[test]
+    fn generated_values_are_valid_encodings() {
+        let cfg = GenomeConfig {
+            len: 2000,
+            channels: 4,
+            gene_len: 64,
+            genes: 2,
+            mutation_rate: 0.02,
+            seed: 5,
+        };
+        let ds = generate(&cfg);
+        assert_eq!(ds.series.dims(), 4);
+        assert_eq!(ds.series.len(), 2000);
+        for k in 0..4 {
+            for &v in ds.series.dim(k) {
+                assert!((1.0..=4.0).contains(&v));
+                assert_eq!(v, v.round());
+            }
+        }
+    }
+
+    #[test]
+    fn gene_copies_are_similar_pairs() {
+        let cfg = GenomeConfig {
+            len: 4000,
+            channels: 2,
+            gene_len: 100,
+            genes: 1,
+            mutation_rate: 0.0,
+            seed: 11,
+        };
+        let ds = generate(&cfg);
+        let copies = &ds.gene_copies[0];
+        // One gene × two copies per channel.
+        assert_eq!(copies.len(), 2);
+        let (_, s1) = copies[0];
+        let (_, s2) = copies[1];
+        let d0 = ds.series.dim(0);
+        // Without mutations, non-overlapping copies are identical.
+        if s1.abs_diff(s2) >= cfg.gene_len {
+            for t in 0..cfg.gene_len {
+                assert_eq!(d0[s1 + t], d0[s2 + t]);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_rate_perturbs_copies() {
+        let cfg = GenomeConfig {
+            len: 4000,
+            channels: 1,
+            gene_len: 200,
+            genes: 1,
+            mutation_rate: 0.5,
+            seed: 12,
+        };
+        let ds = generate(&cfg);
+        let copies = &ds.gene_copies[0];
+        let (_, s1) = copies[0];
+        let (_, s2) = copies[1];
+        if s1.abs_diff(s2) >= cfg.gene_len {
+            let d0 = ds.series.dim(0);
+            let diff = (0..cfg.gene_len).filter(|&t| d0[s1 + t] != d0[s2 + t]).count();
+            assert!(diff > 20, "heavy mutation should perturb many positions");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid base encoding")]
+    fn decode_rejects_garbage() {
+        let _ = Base::decode(9.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Synthetic stand-in for the HPC-ODA application-classification dataset
+//! (§VI-A).
+//!
+//! The real dataset contains performance-counter time series (branch
+//! instructions, cache misses, …) recorded at 1 Hz on 16 compute nodes while
+//! labelled benchmarks (HPL, AMG, LAMMPS, …) run. The generator reproduces
+//! its *structure*: 16 sensors whose joint signature differs per application
+//! class, a phase schedule of applications with idle gaps, and per-sensor
+//! noise. The nearest-neighbour classifier of Fig. 8/9 works on exactly
+//! these properties.
+
+use crate::rng::{gaussian, seeded};
+use crate::series::MultiDimSeries;
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// The application classes of the HPC-ODA Application Classification segment
+/// (legend of Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppClass {
+    /// Idle / no application.
+    None,
+    /// Kripke transport proxy.
+    Kripke,
+    /// LAMMPS molecular dynamics.
+    Lammps,
+    /// HPL / Linpack.
+    Linpack,
+    /// AMG algebraic multigrid.
+    Amg,
+    /// PENNANT hydrodynamics.
+    Pennant,
+    /// Quicksilver Monte Carlo.
+    Quicksilver,
+}
+
+impl AppClass {
+    /// All classes.
+    pub const ALL: [AppClass; 7] = [
+        AppClass::None,
+        AppClass::Kripke,
+        AppClass::Lammps,
+        AppClass::Linpack,
+        AppClass::Amg,
+        AppClass::Pennant,
+        AppClass::Quicksilver,
+    ];
+
+    /// Display label as in Fig. 8.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppClass::None => "None",
+            AppClass::Kripke => "Kripke",
+            AppClass::Lammps => "LAMMPS",
+            AppClass::Linpack => "linpack",
+            AppClass::Amg => "AMG",
+            AppClass::Pennant => "PENNANT",
+            AppClass::Quicksilver => "Quicksilver",
+        }
+    }
+
+    fn id(self) -> usize {
+        match self {
+            AppClass::None => 0,
+            AppClass::Kripke => 1,
+            AppClass::Lammps => 2,
+            AppClass::Linpack => 3,
+            AppClass::Amg => 4,
+            AppClass::Pennant => 5,
+            AppClass::Quicksilver => 6,
+        }
+    }
+
+    /// Deterministic per-sensor signature of this class: (base level,
+    /// oscillation amplitude, oscillation period in samples).
+    ///
+    /// Idle (`None`) is near-zero on every sensor; each application has a
+    /// distinctive per-sensor fingerprint derived from a hash of
+    /// (class, sensor).
+    pub fn signature(self, sensor: usize) -> (f64, f64, f64) {
+        if self == AppClass::None {
+            // Idle nodes still show a weak OS-noise pattern (daemon wakeups,
+            // timer ticks) — enough structure for the classifier to learn
+            // the idle class, as it does on the real HPC-ODA traces.
+            let h = splitmix(sensor as u64 * 31 + 7);
+            return (0.08, 0.12, 24.0 + 24.0 * unit(h));
+        }
+        let h = splitmix(self.id() as u64 * 1469 + sensor as u64 * 9973);
+        let base = 0.3 + 0.7 * unit(h);
+        let amp = 0.3 + 0.5 * unit(splitmix(h));
+        let period = 8.0 + 24.0 * unit(splitmix(h ^ 0xABCD));
+        (base, amp, period)
+    }
+
+    /// Waveform value of this class on a sensor at phase angle `phase`
+    /// (radians of the fundamental).
+    ///
+    /// The matrix profile z-normalizes every segment, which erases the base
+    /// level and the amplitude — so the class fingerprint must live in the
+    /// *shape*: each (class, sensor) mixes the fundamental with a second
+    /// harmonic and a clipped (square-ish) component with class-specific
+    /// weights.
+    pub fn waveform(self, sensor: usize, phase: f64) -> f64 {
+        let h = splitmix(self.id() as u64 * 7919 + sensor as u64 * 271);
+        let w2 = unit(h);
+        let w_sq = unit(splitmix(h));
+        let phi = unit(splitmix(h ^ 0x5A5A)) * std::f64::consts::TAU;
+        let fundamental = phase.sin();
+        let harmonic = w2 * (2.0 * phase + phi).sin();
+        let square = w_sq * (3.0 * phase.sin()).clamp(-1.0, 1.0);
+        fundamental + harmonic + square
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Configuration of the synthetic HPC-ODA-like dataset.
+#[derive(Debug, Clone)]
+pub struct HpcOdaConfig {
+    /// Number of sensors (the paper selects 16 distinct sensors).
+    pub sensors: usize,
+    /// Samples per application phase (1 Hz sampling in the original).
+    pub phase_len: usize,
+    /// Number of scheduled phases.
+    pub phases: usize,
+    /// Per-sensor measurement noise (σ).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HpcOdaConfig {
+    /// A configuration mirroring the §VI-A setup at reproducible scale.
+    pub fn default_case_study() -> HpcOdaConfig {
+        HpcOdaConfig {
+            sensors: 16,
+            phase_len: 256,
+            phases: 48,
+            noise: 0.08,
+            seed: 0x0DA,
+        }
+    }
+
+    /// Total samples.
+    pub fn total_len(&self) -> usize {
+        self.phase_len * self.phases
+    }
+}
+
+/// A labelled multi-sensor dataset.
+#[derive(Debug, Clone)]
+pub struct HpcOdaDataset {
+    /// The sensor time series (dimension = sensor).
+    pub series: MultiDimSeries,
+    /// Ground-truth class per sample.
+    pub labels: Vec<AppClass>,
+    /// The phase schedule (class per phase).
+    pub schedule: Vec<AppClass>,
+    /// Samples per phase.
+    pub phase_len: usize,
+}
+
+impl HpcOdaDataset {
+    /// Split into (reference, query) halves along time, as the paper splits
+    /// the day of operational data into two half-days.
+    pub fn split_half(&self) -> (HpcOdaDataset, HpcOdaDataset) {
+        let half = self.series.len() / 2;
+        let first = HpcOdaDataset {
+            series: self.series.window(0, half),
+            labels: self.labels[..half].to_vec(),
+            schedule: self.schedule.clone(),
+            phase_len: self.phase_len,
+        };
+        let second = HpcOdaDataset {
+            series: self.series.window(half, self.series.len() - half),
+            labels: self.labels[half..].to_vec(),
+            schedule: self.schedule.clone(),
+            phase_len: self.phase_len,
+        };
+        (first, second)
+    }
+}
+
+/// Generate a labelled dataset per the configuration.
+pub fn generate(cfg: &HpcOdaConfig) -> HpcOdaDataset {
+    assert!(cfg.sensors > 0 && cfg.phase_len > 1 && cfg.phases > 0);
+    let mut rng = seeded(cfg.seed);
+    let len = cfg.total_len();
+    let mut series = MultiDimSeries::zeros(cfg.sensors, len);
+    // Schedule: random classes, with idle gaps interspersed so the timeline
+    // looks like Fig. 8 (benchmarks separated by None).
+    let mut schedule = Vec::with_capacity(cfg.phases);
+    for p in 0..cfg.phases {
+        if p % 4 == 3 {
+            schedule.push(AppClass::None);
+        } else {
+            let apps = &AppClass::ALL[1..];
+            schedule.push(apps[rng.gen_range(0..apps.len())]);
+        }
+    }
+    let mut labels = Vec::with_capacity(len);
+    for &class in &schedule {
+        labels.extend(std::iter::repeat_n(class, cfg.phase_len));
+    }
+    for sensor in 0..cfg.sensors {
+        let dim = series.dim_mut(sensor);
+        for (p, &class) in schedule.iter().enumerate() {
+            let (base, amp, period) = class.signature(sensor);
+            let start = p * cfg.phase_len;
+            for t in 0..cfg.phase_len {
+                let phase = TAU * (t as f64) / period;
+                dim[start + t] = base
+                    + amp * class.waveform(sensor, phase)
+                    + cfg.noise * gaussian(&mut rng);
+            }
+        }
+    }
+    HpcOdaDataset {
+        series,
+        labels,
+        schedule,
+        phase_len: cfg.phase_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels_align() {
+        let cfg = HpcOdaConfig {
+            sensors: 16,
+            phase_len: 64,
+            phases: 8,
+            noise: 0.05,
+            seed: 1,
+        };
+        let ds = generate(&cfg);
+        assert_eq!(ds.series.dims(), 16);
+        assert_eq!(ds.series.len(), 512);
+        assert_eq!(ds.labels.len(), 512);
+        assert_eq!(ds.schedule.len(), 8);
+        // Every 4th phase is idle.
+        assert_eq!(ds.schedule[3], AppClass::None);
+        assert_eq!(ds.schedule[7], AppClass::None);
+    }
+
+    #[test]
+    fn signatures_are_class_separable() {
+        // Mean sensor level during a class phase must differ across classes
+        // by more than the noise, for at least most sensors.
+        let a = AppClass::Kripke;
+        let b = AppClass::Linpack;
+        let mut distinct = 0;
+        for sensor in 0..16 {
+            let (ba, _, _) = a.signature(sensor);
+            let (bb, _, _) = b.signature(sensor);
+            if (ba - bb).abs() > 0.1 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 8, "only {distinct}/16 sensors separate the classes");
+    }
+
+    #[test]
+    fn idle_is_weak_but_structured() {
+        for sensor in 0..16 {
+            let (base, amp, period) = AppClass::None.signature(sensor);
+            assert!(base < 0.1, "idle base level stays low");
+            assert!(amp > 0.05 && amp < 0.2, "idle keeps a weak signature");
+            assert!(period > 8.0);
+        }
+        // Idle amplitude is well below every application class.
+        for class in &AppClass::ALL[1..] {
+            for sensor in 0..16 {
+                let (_, amp, _) = class.signature(sensor);
+                assert!(amp > 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn split_half_partitions_time() {
+        let ds = generate(&HpcOdaConfig::default_case_study());
+        let (r, q) = ds.split_half();
+        assert_eq!(r.series.len() + q.series.len(), ds.series.len());
+        assert_eq!(r.labels.len(), r.series.len());
+        assert_eq!(q.labels.len(), q.series.len());
+        assert_eq!(r.series.dim(0)[0], ds.series.dim(0)[0]);
+        assert_eq!(
+            q.series.dim(3)[0],
+            ds.series.dim(3)[ds.series.len() / 2]
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = HpcOdaConfig::default_case_study();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(AppClass::Lammps.label(), "LAMMPS");
+        assert_eq!(AppClass::ALL.len(), 7);
+    }
+}

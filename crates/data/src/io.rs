@@ -1,0 +1,156 @@
+//! Plain-text persistence for series and experiment outputs.
+//!
+//! CSV keeps the repository free of binary blobs and lets every generated
+//! dataset and result table be inspected with standard tooling. One column
+//! per dimension, one row per time step, `#`-prefixed header comments.
+
+use crate::series::MultiDimSeries;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write a series as CSV (one column per dimension).
+pub fn write_csv(path: &Path, series: &MultiDimSeries) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# mdmp series: dims={} len={}", series.dims(), series.len())?;
+    for t in 0..series.len() {
+        for k in 0..series.dims() {
+            if k > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{}", series.value(k, t))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read a series written by [`write_csv`] (or any headerless numeric CSV
+/// with consistent column counts).
+pub fn read_csv(path: &Path) -> io::Result<MultiDimSeries> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let values: Result<Vec<f64>, _> = trimmed.split(',').map(|v| v.trim().parse()).collect();
+        let values = values.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        if columns.is_empty() {
+            columns = vec![Vec::new(); values.len()];
+        } else if values.len() != columns.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {} columns, found {}",
+                    lineno + 1,
+                    columns.len(),
+                    values.len()
+                ),
+            ));
+        }
+        for (c, v) in columns.iter_mut().zip(values) {
+            c.push(v);
+        }
+    }
+    if columns.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no data rows in CSV",
+        ));
+    }
+    Ok(MultiDimSeries::from_dims(columns))
+}
+
+/// Write a generic result table: a header row and `f64` data rows, with a
+/// comment describing the experiment — the format the `repro` binary uses
+/// for every figure's data.
+pub fn write_table(
+    path: &Path,
+    comment: &str,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# {comment}")?;
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mdmp_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let s = MultiDimSeries::from_dims(vec![
+            vec![1.0, 2.5, -3.0],
+            vec![0.125, 1e-9, 4.0],
+        ]);
+        let p = tmp("round_trip.csv");
+        write_csv(&p, &s).unwrap();
+        let back = read_csv(&p).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "1,2\n3\n").unwrap();
+        let err = read_csv(&p).unwrap_err();
+        assert!(err.to_string().contains("expected 2 columns"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let p = tmp("garbage.csv");
+        std::fs::write(&p, "1,abc\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn read_rejects_empty() {
+        let p = tmp("empty.csv");
+        std::fs::write(&p, "# only a comment\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn table_writer_format() {
+        let p = tmp("table.csv");
+        write_table(
+            &p,
+            "fig-x test",
+            &["n", "accuracy"],
+            &[vec![1024.0, 0.99], vec![2048.0, 0.97]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.starts_with("# fig-x test\nn,accuracy\n1024,0.99\n"));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! # mdmp-data
+//!
+//! Input-data substrate for the matrix-profile reproduction: the
+//! [`MultiDimSeries`] container (dimension-wise layout, §III-A "Data
+//! Layout") and generators for every dataset the paper evaluates on:
+//!
+//! * [`synthetic`] — the stress-test dataset of §V-A: random noise with
+//!   repeating patterns (eight primitive shapes, Fig. 3) injected at known
+//!   random locations;
+//! * [`hpcoda`] — a synthetic stand-in for the HPC-ODA application-
+//!   classification traces of §VI-A (16 sensors, labelled phases);
+//! * [`genome`] — synthetic genome sequences encoded A→1, C→2, T→3, G→4 as
+//!   in the GIAB case study of §VI-B;
+//! * [`turbine`] — gas-turbine startup traces with the two startup shapes of
+//!   §VI-C and the pair taxonomy of Table I.
+//!
+//! Substitutions of real datasets by generators are documented in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod genome;
+pub mod hpcoda;
+pub mod io;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod synthetic;
+pub mod turbine;
+
+pub use series::MultiDimSeries;
+pub use synthetic::{Pattern, SyntheticConfig, SyntheticPair};

@@ -1,0 +1,337 @@
+//! The multi-dimensional time series container.
+//!
+//! Storage uses the paper's **dimension-wise layout** (§III-A): consecutive
+//! samples of one dimension are contiguous, i.e. `data[k * len + t]` for
+//! dimension `k` and time `t`. This is the layout the simulated kernels
+//! consume directly, so slicing a dimension is free.
+
+use std::fmt;
+
+/// A synchronously sampled `d`-dimensional real-valued time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDimSeries {
+    data: Vec<f64>,
+    len: usize,
+    dims: usize,
+}
+
+impl MultiDimSeries {
+    /// A zero-filled series with `dims` dimensions of `len` samples.
+    pub fn zeros(dims: usize, len: usize) -> MultiDimSeries {
+        assert!(dims > 0, "need at least one dimension");
+        MultiDimSeries {
+            data: vec![0.0; dims * len],
+            len,
+            dims,
+        }
+    }
+
+    /// Build from per-dimension sample vectors (all must share a length).
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or lengths differ.
+    pub fn from_dims(dims: Vec<Vec<f64>>) -> MultiDimSeries {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        let len = dims[0].len();
+        assert!(
+            dims.iter().all(|d| d.len() == len),
+            "all dimensions must have the same length"
+        );
+        let d = dims.len();
+        let mut data = Vec::with_capacity(d * len);
+        for dim in &dims {
+            data.extend_from_slice(dim);
+        }
+        MultiDimSeries { data, len, dims: d }
+    }
+
+    /// Build a 1-dimensional series (the turbine case study has d = 1).
+    pub fn univariate(samples: Vec<f64>) -> MultiDimSeries {
+        let len = samples.len();
+        MultiDimSeries {
+            data: samples,
+            len,
+            dims: 1,
+        }
+    }
+
+    /// Samples per dimension.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dimensions `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of segments of length `m`: `n = len − m + 1`.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero or longer than the series.
+    pub fn n_segments(&self, m: usize) -> usize {
+        assert!(m > 0, "segment length must be positive");
+        assert!(
+            m <= self.len,
+            "segment length {m} exceeds series length {}",
+            self.len
+        );
+        self.len - m + 1
+    }
+
+    /// The samples of dimension `k`.
+    pub fn dim(&self, k: usize) -> &[f64] {
+        assert!(k < self.dims, "dimension {k} out of range");
+        &self.data[k * self.len..(k + 1) * self.len]
+    }
+
+    /// Mutable samples of dimension `k`.
+    pub fn dim_mut(&mut self, k: usize) -> &mut [f64] {
+        assert!(k < self.dims, "dimension {k} out of range");
+        &mut self.data[k * self.len..(k + 1) * self.len]
+    }
+
+    /// One sample.
+    pub fn value(&self, k: usize, t: usize) -> f64 {
+        self.dim(k)[t]
+    }
+
+    /// The raw dimension-major buffer.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The time range `[start, start+len)` of every dimension as a new
+    /// series — how tile input slices are cut (Pseudocode 2).
+    pub fn window(&self, start: usize, len: usize) -> MultiDimSeries {
+        assert!(
+            start + len <= self.len,
+            "window [{start}, {}) exceeds series length {}",
+            start + len,
+            self.len
+        );
+        let mut out = MultiDimSeries::zeros(self.dims, len);
+        for k in 0..self.dims {
+            out.dim_mut(k).copy_from_slice(&self.dim(k)[start..start + len]);
+        }
+        out
+    }
+
+    /// The leading `count` dimensions as a new series (dimensionality
+    /// sweeps of Fig. 2 / Fig. 4 reuse one generated dataset).
+    pub fn take_dims(&self, count: usize) -> MultiDimSeries {
+        assert!(count >= 1 && count <= self.dims, "invalid dimension count");
+        let mut out = MultiDimSeries::zeros(count, self.len);
+        for k in 0..count {
+            out.dim_mut(k).copy_from_slice(self.dim(k));
+        }
+        out
+    }
+
+    /// Min-max normalize each dimension to `[0, 1]` in place — applied to the
+    /// turbine data "to avoid overflow in reduced precision computation"
+    /// (Fig. 11 caption). Constant dimensions map to all-zeros.
+    pub fn min_max_normalize(&mut self) {
+        for k in 0..self.dims {
+            let dim = self.dim_mut(k);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &x in dim.iter() {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let range = hi - lo;
+            if range > 0.0 {
+                for x in dim.iter_mut() {
+                    *x = (*x - lo) / range;
+                }
+            } else {
+                for x in dim.iter_mut() {
+                    *x = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Memory footprint of this series when stored with `bytes_per_elem`
+    /// bytes per value (device-copy sizing).
+    pub fn storage_bytes(&self, bytes_per_elem: usize) -> u64 {
+        (self.data.len() * bytes_per_elem) as u64
+    }
+
+    /// Number of non-finite samples (NaN/±∞) across all dimensions —
+    /// sensor dropouts in monitoring data.
+    pub fn non_finite_count(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_finite()).count()
+    }
+
+    /// Repair sensor dropouts in place: every non-finite run is replaced by
+    /// linear interpolation between its finite neighbours (constant
+    /// extrapolation at the edges). A dimension with no finite sample at
+    /// all becomes zeros. Returns the number of repaired samples.
+    ///
+    /// Matrix-profile statistics are poisoned by a single NaN in a window
+    /// (the whole window's distance becomes NaN and can never match), so
+    /// monitoring pipelines should repair dropouts before mining.
+    pub fn interpolate_non_finite(&mut self) -> usize {
+        let mut repaired = 0;
+        for k in 0..self.dims {
+            let dim = self.dim_mut(k);
+            let n = dim.len();
+            let mut t = 0;
+            while t < n {
+                if dim[t].is_finite() {
+                    t += 1;
+                    continue;
+                }
+                // Find the extent of the non-finite run [t, end).
+                let mut end = t;
+                while end < n && !dim[end].is_finite() {
+                    end += 1;
+                }
+                let left = if t > 0 { Some(dim[t - 1]) } else { None };
+                let right = if end < n { Some(dim[end]) } else { None };
+                match (left, right) {
+                    (Some(l), Some(r)) => {
+                        let run = (end - t + 1) as f64;
+                        for (step, v) in dim[t..end].iter_mut().enumerate() {
+                            let w = (step + 1) as f64 / run;
+                            *v = l + (r - l) * w;
+                        }
+                    }
+                    (Some(l), None) => dim[t..end].fill(l),
+                    (None, Some(r)) => dim[t..end].fill(r),
+                    (None, None) => dim[t..end].fill(0.0),
+                }
+                repaired += end - t;
+                t = end;
+            }
+        }
+        repaired
+    }
+}
+
+impl fmt::Display for MultiDimSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MultiDimSeries(d={}, len={})", self.dims, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_layout() {
+        let s = MultiDimSeries::from_dims(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dim(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.dim(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.value(1, 2), 6.0);
+        // Dimension-wise layout: dim 0 contiguous, then dim 1.
+        assert_eq!(s.raw(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn segment_count() {
+        let s = MultiDimSeries::zeros(1, 100);
+        assert_eq!(s.n_segments(10), 91);
+        assert_eq!(s.n_segments(100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series length")]
+    fn segment_count_rejects_long_m() {
+        let s = MultiDimSeries::zeros(1, 10);
+        let _ = s.n_segments(11);
+    }
+
+    #[test]
+    fn window_slices_every_dimension() {
+        let s = MultiDimSeries::from_dims(vec![
+            (0..10).map(|x| x as f64).collect(),
+            (0..10).map(|x| (x * 10) as f64).collect(),
+        ]);
+        let w = s.window(3, 4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.dim(0), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(w.dim(1), &[30.0, 40.0, 50.0, 60.0]);
+    }
+
+    #[test]
+    fn take_dims_prefix() {
+        let s = MultiDimSeries::from_dims(vec![vec![1.0; 5], vec![2.0; 5], vec![3.0; 5]]);
+        let t = s.take_dims(2);
+        assert_eq!(t.dims(), 2);
+        assert_eq!(t.dim(1), &[2.0; 5]);
+    }
+
+    #[test]
+    fn min_max_normalization() {
+        let mut s = MultiDimSeries::from_dims(vec![vec![0.0, 50.0, 100.0], vec![7.0, 7.0, 7.0]]);
+        s.min_max_normalize();
+        assert_eq!(s.dim(0), &[0.0, 0.5, 1.0]);
+        assert_eq!(s.dim(1), &[0.0, 0.0, 0.0], "constant dim maps to zeros");
+    }
+
+    #[test]
+    fn mutation_through_dim_mut() {
+        let mut s = MultiDimSeries::zeros(2, 3);
+        s.dim_mut(1)[2] = 9.0;
+        assert_eq!(s.value(1, 2), 9.0);
+        assert_eq!(s.value(0, 2), 0.0);
+    }
+
+    #[test]
+    fn interpolation_repairs_interior_runs() {
+        let mut s = MultiDimSeries::from_dims(vec![vec![
+            1.0,
+            f64::NAN,
+            f64::NAN,
+            4.0,
+            5.0,
+            f64::INFINITY,
+            7.0,
+        ]]);
+        assert_eq!(s.non_finite_count(), 3);
+        let repaired = s.interpolate_non_finite();
+        assert_eq!(repaired, 3);
+        assert_eq!(s.dim(0), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s.non_finite_count(), 0);
+    }
+
+    #[test]
+    fn interpolation_extrapolates_edges() {
+        let mut s = MultiDimSeries::from_dims(vec![vec![f64::NAN, f64::NAN, 3.0, f64::NAN]]);
+        s.interpolate_non_finite();
+        assert_eq!(s.dim(0), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn interpolation_zeroes_fully_dead_dimension() {
+        let mut s = MultiDimSeries::from_dims(vec![vec![f64::NAN; 4], vec![1.0; 4]]);
+        let repaired = s.interpolate_non_finite();
+        assert_eq!(repaired, 4);
+        assert_eq!(s.dim(0), &[0.0; 4]);
+        assert_eq!(s.dim(1), &[1.0; 4], "healthy dimension untouched");
+    }
+
+    #[test]
+    fn interpolation_noop_on_clean_data() {
+        let mut s = MultiDimSeries::from_dims(vec![vec![1.0, 2.0, 3.0]]);
+        assert_eq!(s.interpolate_non_finite(), 0);
+        assert_eq!(s.dim(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn storage_sizing() {
+        let s = MultiDimSeries::zeros(4, 1000);
+        assert_eq!(s.storage_bytes(8), 32_000);
+        assert_eq!(s.storage_bytes(2), 8_000);
+    }
+}

@@ -1,0 +1,135 @@
+//! Reference (f64) rolling statistics and normalization helpers.
+//!
+//! These are *host-side* utilities for generators, metrics and tests. The
+//! reduced-precision rolling statistics of the matrix-profile pipeline live
+//! in `mdmp-core::precalc`, where their rounding behaviour is part of the
+//! experiment.
+
+/// Rolling mean of every length-`m` window: output length `len − m + 1`.
+///
+/// # Panics
+/// Panics if `m == 0` or `m > x.len()`.
+pub fn rolling_mean(x: &[f64], m: usize) -> Vec<f64> {
+    assert!(m > 0 && m <= x.len(), "invalid window length");
+    let n = x.len() - m + 1;
+    let inv = 1.0 / m as f64;
+    let mut out = Vec::with_capacity(n);
+    let mut sum: f64 = x[..m].iter().sum();
+    out.push(sum * inv);
+    for i in 1..n {
+        sum += x[i + m - 1] - x[i - 1];
+        out.push(sum * inv);
+    }
+    out
+}
+
+/// Rolling population standard deviation of every length-`m` window,
+/// computed stably via the two-pass formula per window.
+pub fn rolling_std(x: &[f64], m: usize) -> Vec<f64> {
+    let means = rolling_mean(x, m);
+    means
+        .iter()
+        .enumerate()
+        .map(|(i, &mu)| {
+            let ss: f64 = x[i..i + m].iter().map(|&v| (v - mu) * (v - mu)).sum();
+            (ss / m as f64).sqrt()
+        })
+        .collect()
+}
+
+/// Z-normalize a segment: zero mean, unit standard deviation. A flat segment
+/// (σ = 0) returns all zeros.
+pub fn znormalize(seg: &[f64]) -> Vec<f64> {
+    let m = seg.len() as f64;
+    let mu = seg.iter().sum::<f64>() / m;
+    let var = seg.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / m;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        return vec![0.0; seg.len()];
+    }
+    seg.iter().map(|&v| (v - mu) / sd).collect()
+}
+
+/// Z-normalized Euclidean distance between two equal-length segments — the
+/// brute-force ground truth the streaming kernels are verified against.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn znorm_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "segment length mismatch");
+    let za = znormalize(a);
+    let zb = znormalize(b);
+    za.iter()
+        .zip(&zb)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Pearson correlation between two equal-length segments.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "segment length mismatch");
+    let za = znormalize(a);
+    let zb = znormalize(b);
+    za.iter().zip(&zb).map(|(x, y)| x * y).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_mean_matches_direct() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).sin() * 3.0 + i as f64).collect();
+        let m = 5;
+        let rm = rolling_mean(&x, m);
+        assert_eq!(rm.len(), 16);
+        for (i, &mu) in rm.iter().enumerate() {
+            let direct: f64 = x[i..i + m].iter().sum::<f64>() / m as f64;
+            assert!((mu - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rolling_std_matches_direct() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 7 % 13) as f64) * 0.3).collect();
+        let m = 8;
+        let rs = rolling_std(&x, m);
+        for (i, &sd) in rs.iter().enumerate() {
+            let mu: f64 = x[i..i + m].iter().sum::<f64>() / m as f64;
+            let var: f64 = x[i..i + m].iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / m as f64;
+            assert!((sd - var.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn znormalize_properties() {
+        let seg = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let z = znormalize(&seg);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        assert_eq!(znormalize(&[3.0; 10]), vec![0.0; 10]);
+    }
+
+    #[test]
+    fn znorm_distance_and_pearson_identity() {
+        // dist² = 2m(1 − ρ), the identity Eq. 1 exploits.
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2 + 0.7).cos() + 0.1 * i as f64).collect();
+        let d = znorm_distance(&a, &b);
+        let rho = pearson(&a, &b);
+        let m = a.len() as f64;
+        assert!((d * d - 2.0 * m * (1.0 - rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_segments_have_zero_distance_and_unit_correlation() {
+        let a: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        // Affine copies are identical after z-normalization.
+        let b: Vec<f64> = a.iter().map(|&v| 3.0 * v + 10.0).collect();
+        assert!(znorm_distance(&a, &b) < 1e-9);
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! Gas-turbine startup traces for the §VI-C case study.
+//!
+//! The paper analyses turbine-speed time series from two heavy-duty gas
+//! turbines (GT1, GT2) to detect startup events. Two startup shapes exist
+//! (Fig. 11): **P1** — a fast S-curve run-up with a small overshoot, and
+//! **P2** — a staged run-up with intermediate holds. Series are min-max
+//! normalized "to avoid overflow in reduced precision computation".
+//!
+//! The generator reproduces the taxonomy of Table I: per turbine, 65 series
+//! containing P1, 65 containing P2, and 5 containing both, combined into
+//! ordered pairs in four categories.
+
+use crate::rng::{fill_gaussian, seeded};
+use crate::series::MultiDimSeries;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The two startup shapes of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Startup {
+    /// Fast S-curve run-up with overshoot (simpler shape).
+    P1,
+    /// Staged run-up with two intermediate holds (more complex shape).
+    P2,
+}
+
+impl Startup {
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Startup::P1 => "P1",
+            Startup::P2 => "P2",
+        }
+    }
+
+    /// Speed profile (0–100 %) at phase `x ∈ [0, 1)` of the startup window.
+    pub fn speed(self, x: f64) -> f64 {
+        match self {
+            Startup::P1 => {
+                // Logistic run-up plus a damped overshoot around x = 0.6.
+                let ramp = 100.0 / (1.0 + (-14.0 * (x - 0.45)).exp());
+                let z = (x - 0.62) / 0.06;
+                let overshoot = 6.0 * (-0.5 * z * z).exp();
+                (ramp + overshoot).min(106.0)
+            }
+            Startup::P2 => {
+                // Staged: 0 → 30 (hold) → 70 (hold) → 100.
+                let stage = |from: f64, to: f64, a: f64, b: f64| {
+                    let t = ((x - a) / (b - a)).clamp(0.0, 1.0);
+                    from + (to - from) * (3.0 * t * t - 2.0 * t * t * t)
+                };
+                if x < 0.25 {
+                    stage(0.0, 30.0, 0.0, 0.25)
+                } else if x < 0.40 {
+                    30.0
+                } else if x < 0.60 {
+                    stage(30.0, 70.0, 0.40, 0.60)
+                } else if x < 0.75 {
+                    70.0
+                } else {
+                    stage(70.0, 100.0, 0.75, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Render over `m` samples.
+    pub fn render(self, m: usize) -> Vec<f64> {
+        (0..m).map(|t| self.speed(t as f64 / m as f64)).collect()
+    }
+}
+
+/// What a generated series contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// One P1 startup.
+    OnlyP1,
+    /// One P2 startup.
+    OnlyP2,
+    /// Both startups (the 5 "both" series of Table I).
+    Both,
+}
+
+/// The four pair categories of Table I / Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairClass {
+    /// P1-series paired with P1-series.
+    P1VsP1,
+    /// P2-series paired with P2-series.
+    P2VsP2,
+    /// Both-series paired with P1-series.
+    BothVsP1,
+    /// Both-series paired with P2-series.
+    BothVsP2,
+}
+
+impl PairClass {
+    /// All categories in Table I order.
+    pub const ALL: [PairClass; 4] = [
+        PairClass::P1VsP1,
+        PairClass::P2VsP2,
+        PairClass::BothVsP1,
+        PairClass::BothVsP2,
+    ];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PairClass::P1VsP1 => "P1-P1",
+            PairClass::P2VsP2 => "P2-P2",
+            PairClass::BothVsP1 => "both-P1",
+            PairClass::BothVsP2 => "both-P2",
+        }
+    }
+}
+
+/// Dataset sizing of §VI-C: per turbine, 65 series with P1, 65 with P2 and
+/// 5 with both.
+pub const SERIES_PER_KIND: usize = 65;
+/// Number of "both" series per turbine.
+pub const BOTH_SERIES: usize = 5;
+
+/// Table I: number of ordered input pairs per category.
+///
+/// * Within one turbine: ordered pairs of distinct same-kind series,
+///   `65 × 64 = 4160`; both-vs-kind: `5 × 65 = 325`.
+/// * Across the two turbines: all combinations, `65 × 65 = 4225` and
+///   `5 × 65 × 2 = 650`.
+pub fn table1_counts() -> [(PairClass, usize, usize, usize); 4] {
+    let n = SERIES_PER_KIND;
+    let b = BOTH_SERIES;
+    [
+        (PairClass::P1VsP1, n * (n - 1), n * (n - 1), n * n),
+        (PairClass::P2VsP2, n * (n - 1), n * (n - 1), n * n),
+        (PairClass::BothVsP1, b * n, b * n, b * n * 2),
+        (PairClass::BothVsP2, b * n, b * n, b * n * 2),
+    ]
+}
+
+/// Configuration of the turbine trace generator.
+#[derive(Debug, Clone)]
+pub struct TurbineConfig {
+    /// Number of segments `n` per series (paper: 2¹⁶; scaled here).
+    pub n_subsequences: usize,
+    /// Segment length `m` (paper: 2¹¹).
+    pub m: usize,
+    /// Idle-speed measurement noise (% of rated speed).
+    pub noise: f64,
+    /// Turbine identifier (1 or 2) — shifts the shape slightly so GT1/GT2
+    /// patterns differ as real machines do.
+    pub turbine: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TurbineConfig {
+    /// §VI-C parameters at reproduction scale.
+    pub fn default_case_study(n: usize, m: usize, turbine: u8, seed: u64) -> TurbineConfig {
+        TurbineConfig {
+            n_subsequences: n,
+            m,
+            noise: 1.0,
+            turbine,
+            seed,
+        }
+    }
+}
+
+/// One generated turbine series: min-max-normalized speed trace with the
+/// startup locations (segment indices).
+#[derive(Debug, Clone)]
+pub struct TurbineSeries {
+    /// The 1-dimensional normalized speed trace.
+    pub series: MultiDimSeries,
+    /// Startup kind(s) and their segment start locations.
+    pub events: Vec<(Startup, usize)>,
+    /// Segment length used at generation.
+    pub m: usize,
+}
+
+/// Generate one series of the requested kind.
+pub fn generate_series(kind: SeriesKind, cfg: &TurbineConfig) -> TurbineSeries {
+    let mut rng = seeded(cfg.seed);
+    let len = cfg.n_subsequences + cfg.m - 1;
+    let mut speed = vec![0.0f64; len];
+    // Idle rumble around 3% speed.
+    fill_gaussian(&mut rng, &mut speed, cfg.noise);
+    for s in speed.iter_mut() {
+        *s = (*s + 3.0).max(0.0);
+    }
+    let events = match kind {
+        SeriesKind::OnlyP1 => vec![(Startup::P1, place(&mut rng, cfg, &[]))],
+        SeriesKind::OnlyP2 => vec![(Startup::P2, place(&mut rng, cfg, &[]))],
+        SeriesKind::Both => {
+            let a = place(&mut rng, cfg, &[]);
+            let b = place(&mut rng, cfg, &[a]);
+            vec![(Startup::P1, a), (Startup::P2, b)]
+        }
+    };
+    for &(startup, loc) in &events {
+        let shape = startup.render(cfg.m);
+        // GT2's machines run up marginally differently.
+        let machine_skew = if cfg.turbine == 2 { 0.97 } else { 1.0 };
+        for (t, &v) in shape.iter().enumerate() {
+            speed[loc + t] = v * machine_skew + cfg.noise * 0.5 * crate::rng::gaussian(&mut rng);
+        }
+    }
+    let mut series = MultiDimSeries::univariate(speed);
+    // Min-max normalization (Fig. 11) guards FP16 against overflow.
+    series.min_max_normalize();
+    TurbineSeries {
+        series,
+        events,
+        m: cfg.m,
+    }
+}
+
+fn place(rng: &mut StdRng, cfg: &TurbineConfig, avoid: &[usize]) -> usize {
+    loop {
+        let loc = rng.gen_range(0..cfg.n_subsequences);
+        if avoid.iter().all(|&a| loc.abs_diff(a) >= 2 * cfg.m) {
+            return loc;
+        }
+    }
+}
+
+/// Build the (query kind, reference kind) for a pair category; the query is
+/// the series whose startup we try to locate in the reference.
+pub fn pair_kinds(class: PairClass) -> (SeriesKind, SeriesKind) {
+    match class {
+        PairClass::P1VsP1 => (SeriesKind::OnlyP1, SeriesKind::OnlyP1),
+        PairClass::P2VsP2 => (SeriesKind::OnlyP2, SeriesKind::OnlyP2),
+        PairClass::BothVsP1 => (SeriesKind::Both, SeriesKind::OnlyP1),
+        PairClass::BothVsP2 => (SeriesKind::Both, SeriesKind::OnlyP2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1_counts();
+        assert_eq!(rows[0], (PairClass::P1VsP1, 4160, 4160, 4225));
+        assert_eq!(rows[1], (PairClass::P2VsP2, 4160, 4160, 4225));
+        assert_eq!(rows[2], (PairClass::BothVsP1, 325, 325, 650));
+        assert_eq!(rows[3], (PairClass::BothVsP2, 325, 325, 650));
+    }
+
+    #[test]
+    fn startup_shapes_are_monotone_run_ups() {
+        for s in [Startup::P1, Startup::P2] {
+            let shape = s.render(512);
+            assert!(shape[0] < 5.0, "{s:?} starts near idle");
+            assert!(shape[511] > 95.0, "{s:?} ends near rated speed");
+        }
+        // P2 has holds: its derivative is ~zero mid-way.
+        let p2 = Startup::P2.render(1000);
+        let mid = 320; // inside the 30% hold
+        assert!((p2[mid] - p2[mid + 10]).abs() < 0.5);
+    }
+
+    #[test]
+    fn shapes_differ() {
+        let a = Startup::P1.render(256);
+        let b = Startup::P2.render(256);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / 256.0;
+        assert!(diff > 5.0, "P1 and P2 should differ substantially: {diff}");
+    }
+
+    #[test]
+    fn generated_series_is_normalized_with_events() {
+        let cfg = TurbineConfig::default_case_study(4096, 256, 1, 7);
+        let ts = generate_series(SeriesKind::Both, &cfg);
+        assert_eq!(ts.series.dims(), 1);
+        assert_eq!(ts.events.len(), 2);
+        let d = ts.series.dim(0);
+        let lo = d.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+        // Startup regions reach high normalized speed.
+        for &(_, loc) in &ts.events {
+            let peak = d[loc..loc + cfg.m].iter().copied().fold(0.0, f64::max);
+            assert!(peak > 0.8, "startup at {loc} not visible, peak {peak}");
+        }
+    }
+
+    #[test]
+    fn only_series_have_one_event_of_right_kind() {
+        let cfg = TurbineConfig::default_case_study(2048, 128, 2, 9);
+        let p1 = generate_series(SeriesKind::OnlyP1, &cfg);
+        assert_eq!(p1.events.len(), 1);
+        assert_eq!(p1.events[0].0, Startup::P1);
+        let p2 = generate_series(SeriesKind::OnlyP2, &cfg);
+        assert_eq!(p2.events[0].0, Startup::P2);
+    }
+
+    #[test]
+    fn pair_kind_mapping() {
+        assert_eq!(
+            pair_kinds(PairClass::BothVsP2),
+            (SeriesKind::Both, SeriesKind::OnlyP2)
+        );
+        assert_eq!(PairClass::BothVsP1.label(), "both-P1");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the workload generators.
+
+use mdmp_data::genome::{self, GenomeConfig};
+use mdmp_data::rng::{gaussian, seeded, spaced_positions};
+use mdmp_data::stats::{rolling_mean, rolling_std, znorm_distance};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_data::turbine::{self, SeriesKind, TurbineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spaced_positions_always_respect_gap(
+        seed in 0u64..1000,
+        count in 1usize..8,
+        gap_factor in 1usize..6,
+    ) {
+        let max = 4096;
+        let gap = gap_factor * 50;
+        prop_assume!(count * gap <= max);
+        let mut rng = seeded(seed);
+        let pos = spaced_positions(&mut rng, count, max, gap);
+        prop_assert_eq!(pos.len(), count);
+        for w in pos.windows(2) {
+            prop_assert!(w[1] - w[0] >= gap);
+        }
+        prop_assert!(pos.iter().all(|&p| p < max));
+    }
+
+    #[test]
+    fn synthetic_pair_embeddings_are_recoverable(
+        seed in 0u64..200,
+        pattern_idx in 0usize..8,
+    ) {
+        let cfg = SyntheticConfig {
+            n_subsequences: 512,
+            dims: 2,
+            m: 32,
+            pattern: Pattern::ALL[pattern_idx],
+            embeddings: 2,
+            noise: 0.25,
+            pattern_amplitude: 1.3,
+            seed,
+        };
+        let pair = generate_pair(&cfg);
+        // Every query embedding is much closer to some reference embedding
+        // than the typical noise distance sqrt(2m) ≈ 8.
+        for &q in &pair.query_locs {
+            let best = pair.reference_locs.iter().map(|&r| {
+                (0..2).map(|k| znorm_distance(
+                    &pair.query.dim(k)[q..q + 32],
+                    &pair.reference.dim(k)[r..r + 32],
+                )).sum::<f64>() / 2.0
+            }).fold(f64::INFINITY, f64::min);
+            prop_assert!(best < 6.0, "embedding unrecoverable: {}", best);
+        }
+    }
+
+    #[test]
+    fn rolling_stats_agree_with_direct_computation(
+        seed in 0u64..500,
+        m in 2usize..20,
+    ) {
+        let mut rng = seeded(seed);
+        let x: Vec<f64> = (0..100).map(|_| gaussian(&mut rng) * 3.0 + 1.0).collect();
+        let means = rolling_mean(&x, m);
+        let stds = rolling_std(&x, m);
+        prop_assert_eq!(means.len(), 100 - m + 1);
+        for i in 0..means.len() {
+            let mu: f64 = x[i..i + m].iter().sum::<f64>() / m as f64;
+            prop_assert!((means[i] - mu).abs() < 1e-10);
+            let var: f64 = x[i..i + m].iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / m as f64;
+            prop_assert!((stds[i] - var.sqrt()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn turbine_series_always_normalized_with_visible_startup(
+        seed in 0u64..100,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [SeriesKind::OnlyP1, SeriesKind::OnlyP2, SeriesKind::Both][kind_idx];
+        let cfg = TurbineConfig::default_case_study(1024, 128, 1 + (seed % 2) as u8, seed);
+        let ts = turbine::generate_series(kind, &cfg);
+        let d0 = ts.series.dim(0);
+        let lo = d0.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d0.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(lo, 0.0);
+        prop_assert_eq!(hi, 1.0);
+        let expected_events = if kind == SeriesKind::Both { 2 } else { 1 };
+        prop_assert_eq!(ts.events.len(), expected_events);
+        for &(_, loc) in &ts.events {
+            let peak = d0[loc..loc + 128].iter().copied().fold(0.0, f64::max);
+            prop_assert!(peak > 0.7, "startup at {} invisible (peak {})", loc, peak);
+        }
+    }
+
+    #[test]
+    fn genome_values_always_encode_bases(seed in 0u64..100) {
+        let cfg = GenomeConfig {
+            len: 1500,
+            channels: 3,
+            gene_len: 64,
+            genes: 2,
+            mutation_rate: 0.05,
+            seed,
+        };
+        let ds = genome::generate(&cfg);
+        for k in 0..3 {
+            for &v in ds.series.dim(k) {
+                prop_assert!(v == 1.0 || v == 2.0 || v == 3.0 || v == 4.0);
+            }
+        }
+        // Every channel holds 2 copies of each of the 2 genes.
+        for copies in &ds.gene_copies {
+            prop_assert_eq!(copies.len(), 4);
+        }
+    }
+}

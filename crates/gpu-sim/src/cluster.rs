@@ -1,0 +1,172 @@
+//! Multi-node cluster model — the paper's §VII outlook ("our implementation
+//! could be further extended to multiple nodes, e.g. using MPI or a
+//! Cloud-based solution").
+//!
+//! A [`ClusterSystem`] is a set of nodes, each a [`GpuSystem`], connected by
+//! an interconnect with finite bandwidth and latency. The communication
+//! model is MPI-shaped: the input series are broadcast to every node before
+//! compute, and the per-node partial profiles are combined with a binary
+//! tree reduction (`⌈log₂ nodes⌉` rounds of point-to-point transfers).
+
+use crate::device::DeviceSpec;
+use crate::executor::GpuSystem;
+
+/// Interconnect description (defaults model 100 Gbit/s InfiniBand).
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    /// Point-to-point bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-message latency in seconds.
+    pub latency: f64,
+}
+
+impl Default for Interconnect {
+    fn default() -> Interconnect {
+        Interconnect {
+            bandwidth: 12.5e9, // 100 Gbit/s
+            latency: 2.0e-6,
+        }
+    }
+}
+
+impl Interconnect {
+    /// Time for one point-to-point message of `bytes`.
+    pub fn message_seconds(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Time for a binary-tree broadcast of `bytes` to `nodes` nodes.
+    pub fn broadcast_seconds(&self, bytes: u64, nodes: usize) -> f64 {
+        if nodes <= 1 {
+            return 0.0;
+        }
+        let rounds = usize::BITS - (nodes - 1).leading_zeros();
+        rounds as f64 * self.message_seconds(bytes)
+    }
+
+    /// Time for a binary-tree reduction of `bytes` from `nodes` nodes
+    /// (the min/argmin combine itself is charged by the caller).
+    pub fn reduce_seconds(&self, bytes: u64, nodes: usize) -> f64 {
+        self.broadcast_seconds(bytes, nodes)
+    }
+}
+
+/// A cluster of identical GPU nodes.
+#[derive(Debug)]
+pub struct ClusterSystem {
+    nodes: Vec<GpuSystem>,
+    gpus_per_node: usize,
+    /// The interconnect between nodes.
+    pub interconnect: Interconnect,
+}
+
+impl ClusterSystem {
+    /// A cluster of `nodes` nodes with `gpus_per_node` identical GPUs each.
+    pub fn homogeneous(
+        spec: DeviceSpec,
+        nodes: usize,
+        gpus_per_node: usize,
+        interconnect: Interconnect,
+    ) -> ClusterSystem {
+        assert!(nodes > 0 && gpus_per_node > 0, "cluster must be non-empty");
+        ClusterSystem {
+            nodes: (0..nodes)
+                .map(|_| GpuSystem::homogeneous(spec.clone(), gpus_per_node))
+                .collect(),
+            gpus_per_node,
+            interconnect,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total GPUs across the cluster.
+    pub fn total_devices(&self) -> usize {
+        self.nodes.len() * self.gpus_per_node
+    }
+
+    /// Map a global device index to `(node, local device)`.
+    pub fn locate(&self, global_device: usize) -> (usize, usize) {
+        assert!(global_device < self.total_devices(), "device out of range");
+        (
+            global_device / self.gpus_per_node,
+            global_device % self.gpus_per_node,
+        )
+    }
+
+    /// Access a node's GPU system.
+    pub fn node(&self, idx: usize) -> &GpuSystem {
+        &self.nodes[idx]
+    }
+
+    /// Mutable access to a node's GPU system.
+    pub fn node_mut(&mut self, idx: usize) -> &mut GpuSystem {
+        &mut self.nodes[idx]
+    }
+
+    /// Slowest node's compute makespan (nodes run concurrently).
+    pub fn compute_makespan(&self) -> f64 {
+        self.nodes.iter().map(|n| n.makespan()).fold(0.0, f64::max)
+    }
+
+    /// Reset every node.
+    pub fn reset(&mut self) {
+        for n in &mut self.nodes {
+            n.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{KernelClass, KernelCost};
+    use mdmp_precision::Format;
+
+    #[test]
+    fn geometry_and_locate() {
+        let c = ClusterSystem::homogeneous(DeviceSpec::a100(), 3, 4, Interconnect::default());
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.total_devices(), 12);
+        assert_eq!(c.locate(0), (0, 0));
+        assert_eq!(c.locate(5), (1, 1));
+        assert_eq!(c.locate(11), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "device out of range")]
+    fn locate_rejects_out_of_range() {
+        let c = ClusterSystem::homogeneous(DeviceSpec::a100(), 2, 2, Interconnect::default());
+        let _ = c.locate(4);
+    }
+
+    #[test]
+    fn interconnect_times() {
+        let net = Interconnect::default();
+        // 12.5 GB at 12.5 GB/s ≈ 1 s point to point.
+        assert!((net.message_seconds(12_500_000_000) - 1.0).abs() < 1e-3);
+        // Broadcast to 1 node is free; to 2 nodes one round; to 5 nodes 3.
+        assert_eq!(net.broadcast_seconds(1000, 1), 0.0);
+        let one_round = net.message_seconds(1000);
+        assert!((net.broadcast_seconds(1000, 2) - one_round).abs() < 1e-15);
+        assert!((net.broadcast_seconds(1000, 5) - 3.0 * one_round).abs() < 1e-15);
+        assert!((net.broadcast_seconds(1000, 8) - 3.0 * one_round).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nodes_run_concurrently() {
+        let spec = DeviceSpec::a100();
+        let mut c = ClusterSystem::homogeneous(spec.clone(), 2, 1, Interconnect::default());
+        let mut cost = KernelCost::new(KernelClass::DistCalc, Format::Fp64);
+        let model = crate::timing::TimingModel::new(spec);
+        cost.bytes_read = (model.spec().mem_bandwidth * model.mem_efficiency(Format::Fp64)) as u64;
+        c.node_mut(0).device_mut(0).submit_kernel(0, cost);
+        c.node_mut(1).device_mut(0).submit_kernel(0, cost);
+        assert!((c.compute_makespan() - 1.0).abs() < 0.01, "{}", c.compute_makespan());
+        c.reset();
+        assert_eq!(c.compute_makespan(), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Device specifications and kernel launch configurations.
+//!
+//! The presets reproduce the hardware of the paper's evaluation (§V-A):
+//!
+//! * **V100** (DGX-1 at LRZ): 7.8 TFLOP/s FP64, 32 GB, 900 GB/s, 80 SMs;
+//! * **A100** (Raven at MPCDF): 9.7 TFLOP/s FP64, 40 GB, 1555 GB/s, 108 SMs;
+//! * **Skylake 16-core CPU** — the host the state-of-the-art (MP)^N baseline
+//!   runs on, modelled with the same cost vocabulary so Fig. 6 can compare
+//!   all three machines.
+
+use mdmp_precision::Format;
+
+/// Whether a [`DeviceSpec`] models a GPU or the CPU baseline machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// A CUDA-capable GPU.
+    Gpu,
+    /// A multicore CPU (used for the (MP)^N baseline and the tile merge).
+    Cpu,
+}
+
+/// Static description of one compute device.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. "NVIDIA A100".
+    pub name: &'static str,
+    /// GPU or CPU.
+    pub kind: DeviceKind,
+    /// Number of streaming multiprocessors (cores for a CPU).
+    pub sms: u32,
+    /// Resident warps per SM used by the paper's launch configurations.
+    pub warps_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Peak DRAM bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Peak FP64 throughput in FLOP/s.
+    pub fp64_flops: f64,
+    /// Sustained simple-operation rate of the SMs (compare-exchange, integer
+    /// and address arithmetic) in op/s — governs the shared-memory-resident
+    /// Bitonic sort + scan kernel.
+    pub sm_op_rate: f64,
+    /// Fixed cost of one kernel launch in seconds.
+    pub launch_overhead: f64,
+    /// Fixed cost of one coarse-grained group barrier in seconds
+    /// (cooperative-groups sync in the sort/scan kernel).
+    pub barrier_overhead: f64,
+    /// Host→device copy bandwidth in bytes/second (PCIe / NVLink).
+    pub h2d_bandwidth: f64,
+    /// Device→host copy bandwidth in bytes/second.
+    pub d2h_bandwidth: f64,
+    /// Maximum concurrently usable streams (the implementation caps at 16,
+    /// §IV).
+    pub max_streams: usize,
+    /// Fraction of peak DRAM bandwidth the FP64 matrix-profile kernels
+    /// achieve on this device — the paper reports ~80% DRAM throughput for
+    /// `dist_calc`/`update_mat_prof` on A100 (§V-C); V100 saturates its
+    /// narrower HBM slightly better; the CPU baseline achieves far less on
+    /// this cache-unfriendly workload (calibrated against the paper's 54×
+    /// A100-vs-CPU headline).
+    pub mem_eff_fp64: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla V100 (SXM2 32 GB) as in the DGX-1 system of §V-A.
+    pub fn v100() -> DeviceSpec {
+        DeviceSpec {
+            name: "NVIDIA V100",
+            kind: DeviceKind::Gpu,
+            sms: 80,
+            warps_per_sm: 64,
+            warp_size: 32,
+            mem_bytes: 32 * (1 << 30),
+            mem_bandwidth: 900.0e9,
+            fp64_flops: 7.8e12,
+            sm_op_rate: 11.0e12,
+            launch_overhead: 5.0e-6,
+            barrier_overhead: 0.35e-6,
+            h2d_bandwidth: 12.0e9,
+            d2h_bandwidth: 12.0e9,
+            max_streams: 16,
+            mem_eff_fp64: 0.92,
+        }
+    }
+
+    /// NVIDIA Tesla A100 (SXM4 40 GB) as in the Raven system of §V-A.
+    pub fn a100() -> DeviceSpec {
+        DeviceSpec {
+            name: "NVIDIA A100",
+            kind: DeviceKind::Gpu,
+            sms: 108,
+            warps_per_sm: 64,
+            warp_size: 32,
+            mem_bytes: 40 * (1 << 30),
+            mem_bandwidth: 1555.0e9,
+            fp64_flops: 9.7e12,
+            sm_op_rate: 14.0e12,
+            launch_overhead: 4.0e-6,
+            barrier_overhead: 0.3e-6,
+            h2d_bandwidth: 25.0e9,
+            d2h_bandwidth: 25.0e9,
+            max_streams: 16,
+            mem_eff_fp64: 0.82,
+        }
+    }
+
+    /// The 16-core Intel Skylake node that runs the (MP)^N CPU baseline.
+    ///
+    /// `mem_bandwidth` is the 6-channel DDR4-2666 peak; the (low) efficiency
+    /// the baseline achieves on this cache-unfriendly workload is part of
+    /// the [`crate::TimingModel`] calibration, not of the spec.
+    pub fn skylake_16c() -> DeviceSpec {
+        DeviceSpec {
+            name: "Intel 16-core CPU",
+            kind: DeviceKind::Cpu,
+            sms: 16,
+            warps_per_sm: 2,
+            warp_size: 8, // AVX-512 f64 lanes
+            mem_bytes: 192 * (1 << 30),
+            mem_bandwidth: 128.0e9,
+            fp64_flops: 1.18e12, // 16 cores × 2.3 GHz × 32 DP FLOP/cycle
+            sm_op_rate: 0.30e12,
+            launch_overhead: 0.0,
+            barrier_overhead: 2.0e-6,
+            h2d_bandwidth: f64::INFINITY,
+            d2h_bandwidth: f64::INFINITY,
+            max_streams: 1,
+            mem_eff_fp64: 0.14,
+        }
+    }
+
+    /// Peak FLOP/s for a given format: the vector pipelines run FP32 at 2×
+    /// and FP16/BF16 at 4× the FP64 rate (TF32 is modelled at the FP32 rate
+    /// since the paper's kernels do not use tensor cores). CPUs get 2× for
+    /// FP32 and no speedup for 16-bit formats.
+    pub fn peak_flops(&self, format: Format) -> f64 {
+        match self.kind {
+            DeviceKind::Gpu => self.fp64_flops * format.flops_ratio_vs_fp64(),
+            DeviceKind::Cpu => match format {
+                Format::Fp64 => self.fp64_flops,
+                _ => self.fp64_flops * 2.0,
+            },
+        }
+    }
+
+    /// Total simultaneously resident threads at the paper's tuned launch
+    /// configuration (163,840 on V100; 221,184 on A100 — §V-A).
+    pub fn resident_threads(&self) -> usize {
+        (self.sms * self.warps_per_sm * self.warp_size) as usize
+    }
+
+    /// The kernel launch configuration the paper tunes for this device
+    /// (§IV: "on V100 we use 64 as grid size and 2560 as block size; on A100
+    /// we use 64 as grid size and 3456 as block size").
+    pub fn tuned_launch(&self) -> LaunchConfig {
+        match self.name {
+            "NVIDIA V100" => LaunchConfig::new(64, 2560),
+            "NVIDIA A100" => LaunchConfig::new(64, 3456),
+            _ => {
+                let threads = self.resident_threads();
+                LaunchConfig::new(64, threads.div_ceil(64))
+            }
+        }
+    }
+}
+
+/// A kernel launch configuration: `<<<grid, block>>>` in CUDA notation.
+///
+/// Grid-stride loops make the kernels correct for *any* configuration
+/// (§III-A "Grid-Stride Loops"); this struct mostly feeds the performance
+/// model and the thread-assignment helpers in [`crate::grid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks.
+    pub grid_size: usize,
+    /// Threads per block.
+    pub block_size: usize,
+}
+
+impl LaunchConfig {
+    /// Create a launch configuration.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(grid_size: usize, block_size: usize) -> LaunchConfig {
+        assert!(grid_size > 0, "grid size must be positive");
+        assert!(block_size > 0, "block size must be positive");
+        LaunchConfig {
+            grid_size,
+            block_size,
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_size * self.block_size
+    }
+
+    /// Number of grid-stride iterations a single thread performs to cover
+    /// `n` items.
+    pub fn iterations_per_thread(&self, n: usize) -> usize {
+        n.div_ceil(self.total_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thread_counts() {
+        // §V-A: 163,840 threads on V100; 221,184 on A100.
+        assert_eq!(DeviceSpec::v100().resident_threads(), 163_840);
+        assert_eq!(DeviceSpec::a100().resident_threads(), 221_184);
+        assert_eq!(DeviceSpec::v100().tuned_launch().total_threads(), 163_840);
+        assert_eq!(DeviceSpec::a100().tuned_launch().total_threads(), 221_184);
+    }
+
+    #[test]
+    fn paper_device_headline_specs() {
+        let v = DeviceSpec::v100();
+        assert_eq!(v.sms, 80);
+        assert_eq!(v.mem_bytes, 32 << 30);
+        assert!((v.mem_bandwidth - 900.0e9).abs() < 1.0);
+        let a = DeviceSpec::a100();
+        assert_eq!(a.sms, 108);
+        assert_eq!(a.mem_bytes, 40 << 30);
+        assert!((a.fp64_flops - 9.7e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn format_flops_scaling() {
+        let a = DeviceSpec::a100();
+        assert_eq!(a.peak_flops(Format::Fp32), 2.0 * a.fp64_flops);
+        assert_eq!(a.peak_flops(Format::Fp16), 4.0 * a.fp64_flops);
+        let c = DeviceSpec::skylake_16c();
+        assert_eq!(c.peak_flops(Format::Fp16), 2.0 * c.fp64_flops);
+    }
+
+    #[test]
+    fn grid_stride_iteration_math() {
+        let cfg = LaunchConfig::new(64, 3456);
+        assert_eq!(cfg.iterations_per_thread(221_184), 1);
+        assert_eq!(cfg.iterations_per_thread(221_185), 2);
+        assert_eq!(cfg.iterations_per_thread(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size must be positive")]
+    fn zero_grid_panics() {
+        let _ = LaunchConfig::new(0, 128);
+    }
+}

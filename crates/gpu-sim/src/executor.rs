@@ -1,0 +1,203 @@
+//! Multi-device system: owns per-device timelines, memory trackers and cost
+//! ledgers, and provides the round-robin tile assignment of Pseudocode 2.
+
+use crate::cost::{CostLedger, KernelCost};
+use crate::device::DeviceSpec;
+use crate::memory::MemoryTracker;
+use crate::stream::{DeviceTimeline, Op, OpRecord};
+use crate::timing::TimingModel;
+
+/// One simulated device with its timeline, memory and profiler state.
+#[derive(Debug)]
+pub struct SimDevice {
+    /// The device's static description.
+    pub spec: DeviceSpec,
+    /// Timing model bound to the spec.
+    pub model: TimingModel,
+    /// Stream/engine timeline.
+    pub timeline: DeviceTimeline,
+    /// Device-memory budget tracker.
+    pub memory: MemoryTracker,
+    /// Per-kernel-class accounting.
+    pub ledger: CostLedger,
+}
+
+impl SimDevice {
+    /// Build a device from a spec.
+    pub fn new(spec: DeviceSpec) -> SimDevice {
+        let model = TimingModel::new(spec.clone());
+        let timeline = DeviceTimeline::new(spec.max_streams);
+        let memory = MemoryTracker::new(spec.mem_bytes);
+        SimDevice {
+            spec,
+            model,
+            timeline,
+            memory,
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// Submit a kernel on a logical stream; records cost and returns the
+    /// scheduled interval.
+    pub fn submit_kernel(&mut self, stream: usize, cost: KernelCost) -> OpRecord {
+        let record = self.timeline.submit(stream, &Op::Kernel { cost }, &self.model);
+        self.ledger.record(&cost, record.duration());
+        record
+    }
+
+    /// Submit a host→device or device→host transfer on a logical stream.
+    pub fn submit_transfer(&mut self, stream: usize, bytes: u64, to_device: bool) -> OpRecord {
+        let op = if to_device {
+            Op::H2d { bytes }
+        } else {
+            Op::D2h { bytes }
+        };
+        self.timeline.submit(stream, &op, &self.model)
+    }
+}
+
+/// A node with one or more simulated devices (e.g. 8×V100 for the DGX-1
+/// experiments, 4×A100 for Raven).
+#[derive(Debug)]
+pub struct GpuSystem {
+    devices: Vec<SimDevice>,
+}
+
+impl GpuSystem {
+    /// A system of `n` identical devices.
+    pub fn homogeneous(spec: DeviceSpec, n: usize) -> GpuSystem {
+        assert!(n > 0, "need at least one device");
+        GpuSystem {
+            devices: (0..n).map(|_| SimDevice::new(spec.clone())).collect(),
+        }
+    }
+
+    /// A system from explicit specs.
+    pub fn new(specs: Vec<DeviceSpec>) -> GpuSystem {
+        assert!(!specs.is_empty(), "need at least one device");
+        GpuSystem {
+            devices: specs.into_iter().map(SimDevice::new).collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Access a device.
+    pub fn device(&self, idx: usize) -> &SimDevice {
+        &self.devices[idx]
+    }
+
+    /// Mutable access to a device.
+    pub fn device_mut(&mut self, idx: usize) -> &mut SimDevice {
+        &mut self.devices[idx]
+    }
+
+    /// The static Round-robin tile→device assignment of Pseudocode 2
+    /// (`assign_tile`): tile `t` runs on device `t mod n_gpu`.
+    pub fn assign_round_robin(n_tiles: usize, n_gpus: usize) -> Vec<usize> {
+        (0..n_tiles).map(|t| t % n_gpus).collect()
+    }
+
+    /// Completion time of the whole system: the slowest device's makespan
+    /// (devices run concurrently).
+    pub fn makespan(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.timeline.makespan())
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate ledger across all devices.
+    pub fn total_ledger(&self) -> CostLedger {
+        let mut total = CostLedger::new();
+        for d in &self.devices {
+            total.absorb(&d.ledger);
+        }
+        total
+    }
+
+    /// Reset all timelines and ledgers (fresh experiment, same hardware).
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            d.timeline.reset();
+            d.ledger = CostLedger::new();
+            d.memory.free_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{KernelClass, KernelCost};
+    use mdmp_precision::Format;
+
+    fn one_second_kernel(spec: &DeviceSpec) -> KernelCost {
+        let model = TimingModel::new(spec.clone());
+        let bw = spec.mem_bandwidth * model.mem_efficiency(Format::Fp64);
+        let mut c = KernelCost::new(KernelClass::DistCalc, Format::Fp64);
+        c.bytes_read = bw as u64;
+        c
+    }
+
+    #[test]
+    fn round_robin_assignment_matches_pseudocode_2() {
+        assert_eq!(GpuSystem::assign_round_robin(6, 2), vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(GpuSystem::assign_round_robin(5, 3), vec![0, 1, 2, 0, 1]);
+        // 16 tiles on 3 GPUs: device 0 gets 6 tiles, the imbalance behind
+        // the paper's odd-GPU-count efficiency dip.
+        let a = GpuSystem::assign_round_robin(16, 3);
+        let count0 = a.iter().filter(|&&d| d == 0).count();
+        assert_eq!(count0, 6);
+    }
+
+    #[test]
+    fn devices_run_concurrently() {
+        let spec = DeviceSpec::a100();
+        let k = one_second_kernel(&spec);
+        let mut sys = GpuSystem::homogeneous(spec, 4);
+        // 8 tiles round-robin on 4 devices: 2 kernels each, makespan ~2 s.
+        for (tile, dev) in GpuSystem::assign_round_robin(8, 4).into_iter().enumerate() {
+            sys.device_mut(dev).submit_kernel(tile, k);
+        }
+        assert!((sys.makespan() - 2.0).abs() < 0.05, "{}", sys.makespan());
+        // Serialized total across devices is ~8 s.
+        assert!((sys.total_ledger().total_seconds() - 8.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn imbalanced_assignment_shows_in_makespan() {
+        let spec = DeviceSpec::a100();
+        let k = one_second_kernel(&spec);
+        let mut sys = GpuSystem::homogeneous(spec, 3);
+        for (tile, dev) in GpuSystem::assign_round_robin(16, 3).into_iter().enumerate() {
+            sys.device_mut(dev).submit_kernel(tile, k);
+        }
+        // Device 0 has 6 tiles -> makespan ~6 s; perfect split would be 5.33.
+        assert!((sys.makespan() - 6.0).abs() < 0.05);
+        let efficiency = 16.0 / (3.0 * sys.makespan());
+        assert!((efficiency - 0.889).abs() < 0.02);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let spec = DeviceSpec::a100();
+        let k = one_second_kernel(&spec);
+        let mut sys = GpuSystem::homogeneous(spec, 1);
+        sys.device_mut(0).submit_kernel(0, k);
+        let _ = sys.device_mut(0).memory.alloc(128).unwrap();
+        sys.reset();
+        assert_eq!(sys.makespan(), 0.0);
+        assert_eq!(sys.total_ledger().total_seconds(), 0.0);
+        assert_eq!(sys.device(0).memory.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_system_panics() {
+        let _ = GpuSystem::new(vec![]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Functional grid-stride execution.
+//!
+//! The paper structures every kernel as a grid-stride loop (§III-A) so that
+//! any launch configuration is correct and memory accesses coalesce. The
+//! helpers here execute the same iteration spaces on the host:
+//!
+//! * [`par_for_each`] / [`par_map_inplace`] — data-parallel execution over an
+//!   index space via rayon (the semantics of independent GPU threads);
+//! * [`thread_items`] — the exact index sequence a given simulated thread
+//!   would process, for tests and for the layout/coalescing ablation;
+//! * [`grid_stride_serial`] — run the loop exactly in GPU thread order on
+//!   one core (used to prove order-independence in tests).
+
+use crate::device::LaunchConfig;
+use rayon::prelude::*;
+
+/// Minimum items per rayon task; prevents pathological task spam for the
+/// small-`d` kernels.
+const MIN_CHUNK: usize = 1024;
+
+/// Execute `f(i)` for every `i in 0..n` in parallel.
+///
+/// Item independence is the caller's contract (the same contract the CUDA
+/// kernels have); rayon guarantees data-race freedom for the captured state.
+pub fn par_for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    if n == 0 {
+        return;
+    }
+    (0..n)
+        .into_par_iter()
+        .with_min_len(MIN_CHUNK)
+        .for_each(f);
+}
+
+/// Fill `out[i] = f(i)` in parallel — the shape of `dist_calc` and
+/// `update_mat_prof`, where each thread owns one output element.
+pub fn par_map_inplace<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    out.par_iter_mut()
+        .with_min_len(MIN_CHUNK)
+        .enumerate()
+        .for_each(|(i, slot)| *slot = f(i));
+}
+
+/// Parallel iteration over chunks: each task gets `(chunk_start, &mut chunk)`.
+/// Used by kernels whose natural work unit is a column group (sort/scan).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    data.par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, slice)| f(ci * chunk, slice));
+}
+
+/// The indices thread `tid` of a grid-stride loop over `n` items visits:
+/// `tid, tid + T, tid + 2T, …` with `T` total threads.
+pub fn thread_items(cfg: LaunchConfig, tid: usize, n: usize) -> impl Iterator<Item = usize> {
+    let stride = cfg.total_threads();
+    (0..)
+        .map(move |k| tid + k * stride)
+        .take_while(move |&i| i < n)
+}
+
+/// Run `f` over `0..n` in exact simulated-GPU order (all threads' first
+/// grid-stride iteration, then all second iterations, …). Serial; used to
+/// demonstrate order-independence of kernels in tests.
+pub fn grid_stride_serial<F>(cfg: LaunchConfig, n: usize, mut f: F)
+where
+    F: FnMut(usize),
+{
+    let stride = cfg.total_threads();
+    let rounds = cfg.iterations_per_thread(n);
+    for round in 0..rounds {
+        for tid in 0..stride {
+            let i = round * stride + tid;
+            if i < n {
+                f(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn par_for_each_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_each(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_inplace_matches_serial() {
+        let mut out = vec![0u64; 5000];
+        par_map_inplace(&mut out, |i| (i * i) as u64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_cover_all_without_overlap() {
+        let mut data = vec![0u32; 1037]; // deliberately not a multiple
+        par_chunks_mut(&mut data, 64, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start + k) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn thread_items_partition_the_index_space() {
+        let cfg = LaunchConfig::new(2, 3); // 6 threads
+        let n = 20;
+        let mut seen = vec![false; n];
+        for tid in 0..cfg.total_threads() {
+            for i in thread_items(cfg, tid, n) {
+                assert!(!seen[i], "index {i} visited twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Thread 0 gets 0, 6, 12, 18.
+        let t0: Vec<usize> = thread_items(cfg, 0, n).collect();
+        assert_eq!(t0, vec![0, 6, 12, 18]);
+    }
+
+    #[test]
+    fn serial_grid_order_covers_everything() {
+        let cfg = LaunchConfig::new(4, 8);
+        let n = 100;
+        let mut count = vec![0u8; n];
+        grid_stride_serial(cfg, n, |i| count[i] += 1);
+        assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_work_is_fine() {
+        par_for_each(0, |_| panic!("must not be called"));
+        let mut empty: Vec<u8> = vec![];
+        par_map_inplace(&mut empty, |_| 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Device-memory accounting.
+//!
+//! The tiling scheme exists partly because "despite the limited device
+//! memory, our algorithm can process arbitrary large problems" (§III-B).
+//! [`MemoryTracker`] enforces the 32 GB (V100) / 40 GB (A100) capacities so
+//! the tile planner in `mdmp-core` can verify that a tile's working set
+//! fits, and reports peak usage for the capacity experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned when an allocation would exceed device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Requested size in bytes.
+    pub requested: u64,
+    /// Bytes currently in use.
+    pub in_use: u64,
+    /// Device capacity in bytes.
+    pub capacity: u64,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} B in use of {} B capacity",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Handle for a tracked allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllocationId(u64);
+
+/// Tracks logical device-memory allocations against a capacity.
+///
+/// "Logical" because functional data lives in ordinary host `Vec`s; the
+/// tracker models only the *budget* a real GPU run would consume.
+#[derive(Debug)]
+pub struct MemoryTracker {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    next_id: u64,
+    live: BTreeMap<u64, u64>,
+}
+
+impl MemoryTracker {
+    /// A tracker with the given capacity in bytes.
+    pub fn new(capacity: u64) -> MemoryTracker {
+        MemoryTracker {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            next_id: 0,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Reserve `bytes`; fails if the device would run out of memory.
+    pub fn alloc(&mut self, bytes: u64) -> Result<AllocationId, AllocError> {
+        let fits = self
+            .in_use
+            .checked_add(bytes)
+            .is_some_and(|total| total <= self.capacity);
+        if !fits {
+            return Err(AllocError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id.0, bytes);
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(id)
+    }
+
+    /// Release a previous allocation.
+    ///
+    /// # Panics
+    /// Panics on double free or unknown id (a logic error in the caller).
+    pub fn free(&mut self, id: AllocationId) {
+        let bytes = self
+            .live
+            .remove(&id.0)
+            .expect("free of unknown or already-freed allocation");
+        self.in_use -= bytes;
+    }
+
+    /// Release every live allocation (end of a tile's lifetime).
+    pub fn free_all(&mut self) {
+        self.live.clear();
+        self.in_use = 0;
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark since construction.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Whether a hypothetical additional allocation would fit right now.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        self.in_use.saturating_add(bytes) <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut t = MemoryTracker::new(1000);
+        let a = t.alloc(400).unwrap();
+        let b = t.alloc(500).unwrap();
+        assert_eq!(t.in_use(), 900);
+        assert_eq!(t.peak(), 900);
+        t.free(a);
+        assert_eq!(t.in_use(), 500);
+        let c = t.alloc(450).unwrap();
+        assert_eq!(t.in_use(), 950);
+        assert_eq!(t.peak(), 950);
+        t.free(b);
+        t.free(c);
+        assert_eq!(t.in_use(), 0);
+        assert_eq!(t.peak(), 950);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut t = MemoryTracker::new(100);
+        let _a = t.alloc(80).unwrap();
+        let err = t.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn would_fit_and_free_all() {
+        let mut t = MemoryTracker::new(100);
+        assert!(t.would_fit(100));
+        let _ = t.alloc(60).unwrap();
+        assert!(!t.would_fit(50));
+        t.free_all();
+        assert!(t.would_fit(100));
+        assert_eq!(t.peak(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-freed")]
+    fn double_free_panics() {
+        let mut t = MemoryTracker::new(100);
+        let a = t.alloc(10).unwrap();
+        t.free(a);
+        t.free(a);
+    }
+
+    #[test]
+    fn overflow_guard() {
+        let mut t = MemoryTracker::new(u64::MAX);
+        let _ = t.alloc(u64::MAX - 1).unwrap();
+        assert!(t.alloc(u64::MAX).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The calibrated roofline timing model.
+//!
+//! A [`KernelCost`] is converted to seconds as
+//!
+//! ```text
+//! t = max( bytes / (BW_peak · eff_mem(format)),
+//!          flops / FLOPS_peak(format),
+//!          smem_ops · op_cost(format) / sm_op_rate )
+//!     + launches · t_launch + barriers · t_barrier
+//! ```
+//!
+//! ## Calibration
+//!
+//! Constants are anchored to the quantitative data in the paper:
+//!
+//! * **eff_mem** — §V-C (Nsight): `dist_calc`/`update_mat_prof` sustain
+//!   ~80% DRAM throughput in FP64, ~60% in FP32 and ~30–35% in the FP16
+//!   family (reduced-precision kernels become latency-bound, which is why
+//!   the overall FP16 speedup saturates at ~1.4× rather than 4×).
+//! * **op_cost** — the sort kernel is L1/compute bound (>80% L1/TEX, ~70%
+//!   SM) and nearly precision-independent ("the performance improvements in
+//!   reduced precision modes is minimal" for `sort_&_incl_scan`).
+//! * **barrier/launch overheads** (in [`DeviceSpec`]) and the CPU's
+//!   `mem_eff_fp64` — set so the headline results hold: ~54× A100 vs CPU,
+//!   ~42× V100 vs CPU in FP64, and ~1.4–1.5× FP16 vs FP64 on A100 at
+//!   (n=2¹⁶, d=2⁶, m=2⁶).
+
+use crate::cost::KernelCost;
+#[cfg(test)]
+use crate::cost::KernelClass;
+use crate::device::{DeviceKind, DeviceSpec};
+use mdmp_precision::Format;
+
+/// Converts kernel costs to modelled seconds for one device.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    spec: DeviceSpec,
+}
+
+impl TimingModel {
+    /// Build a model for a device.
+    pub fn new(spec: DeviceSpec) -> TimingModel {
+        TimingModel { spec }
+    }
+
+    /// The device this model describes.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Achieved fraction of peak DRAM bandwidth for a kernel of the given
+    /// format (§V-C calibration; see module docs).
+    pub fn mem_efficiency(&self, format: Format) -> f64 {
+        let format_factor = match self.spec.kind {
+            DeviceKind::Gpu => match format {
+                Format::Fp64 => 1.0,
+                Format::Fp32 | Format::Tf32 => 0.73,
+                Format::Fp16 | Format::Bf16 => 0.43,
+                // 8-bit kernels are even more latency-bound than FP16.
+                Format::Fp8E4M3 | Format::Fp8E5M2 => 0.28,
+            },
+            // The CPU baseline runs FP64 only; no format derating.
+            DeviceKind::Cpu => 1.0,
+        };
+        self.spec.mem_eff_fp64 * format_factor
+    }
+
+    /// Cost (in generic "op units") of one shared-memory compare-exchange or
+    /// scan step in the sort kernel. Weakly precision-dependent: the kernel
+    /// is dominated by addressing, predication and synchronization rather
+    /// than by the width of the compared values.
+    pub fn smem_op_cost(&self, format: Format) -> f64 {
+        match self.spec.kind {
+            DeviceKind::Gpu => match format {
+                Format::Fp64 => 15.0,
+                Format::Fp32 | Format::Tf32 => 8.0,
+                Format::Fp16 | Format::Bf16 => 5.4,
+                Format::Fp8E4M3 | Format::Fp8E5M2 => 5.0,
+            },
+            DeviceKind::Cpu => 6.0,
+        }
+    }
+
+    /// Modelled duration of a kernel execution (or an aggregate of many
+    /// launches folded into one [`KernelCost`]).
+    pub fn kernel_seconds(&self, cost: &KernelCost) -> f64 {
+        let bw = self.spec.mem_bandwidth * self.mem_efficiency(cost.format);
+        let mem_t = cost.bytes() as f64 / bw;
+        let flop_t = cost.flops as f64 / self.spec.peak_flops(cost.format);
+        let smem_t =
+            cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
+        let base = mem_t.max(flop_t).max(smem_t);
+        base + cost.launches as f64 * self.spec.launch_overhead
+            + cost.barriers as f64 * self.spec.barrier_overhead
+    }
+
+    /// Modelled duration of a host↔device transfer.
+    pub fn transfer_seconds(&self, bytes: u64, to_device: bool) -> f64 {
+        let bw = if to_device {
+            self.spec.h2d_bandwidth
+        } else {
+            self.spec.d2h_bandwidth
+        };
+        if bw.is_infinite() {
+            0.0
+        } else {
+            // ~10 µs of fixed per-copy latency (driver + DMA setup).
+            bytes as f64 / bw + 10.0e-6
+        }
+    }
+
+    /// Which resource bounds the kernel under this model — the vocabulary of
+    /// the paper's §V-C resource-utilization discussion.
+    pub fn bounding_resource(&self, cost: &KernelCost) -> Resource {
+        let bw = self.spec.mem_bandwidth * self.mem_efficiency(cost.format);
+        let mem_t = cost.bytes() as f64 / bw;
+        let flop_t = cost.flops as f64 / self.spec.peak_flops(cost.format);
+        let smem_t =
+            cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
+        let overhead = cost.launches as f64 * self.spec.launch_overhead
+            + cost.barriers as f64 * self.spec.barrier_overhead;
+        let base = mem_t.max(flop_t).max(smem_t);
+        if overhead > base {
+            Resource::Synchronization
+        } else if mem_t >= flop_t && mem_t >= smem_t {
+            Resource::DramBandwidth
+        } else if smem_t >= flop_t {
+            Resource::SharedMemory
+        } else {
+            Resource::Compute
+        }
+    }
+}
+
+/// The resource that bounds a kernel (cf. §V-C "Resource Utilization").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// Device-memory bandwidth bound (dist_calc / update_mat_prof in FP64).
+    DramBandwidth,
+    /// Shared-memory / L1 throughput bound (the sort kernel's compare net).
+    SharedMemory,
+    /// Floating-point throughput bound.
+    Compute,
+    /// Dominated by launch + barrier overhead.
+    Synchronization,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn dist_like(format: Format, n: u64, d: u64) -> KernelCost {
+        let elems = n * n * d;
+        let b = format.bytes() as u64;
+        KernelCost {
+            class: KernelClass::DistCalc,
+            format,
+            bytes_read: 2 * elems * b,
+            bytes_written: elems * b,
+            flops: 8 * elems,
+            smem_ops: 0,
+            launches: n,
+            barriers: 0,
+        }
+    }
+
+    #[test]
+    fn reduced_precision_is_faster_but_sublinear() {
+        let model = TimingModel::new(DeviceSpec::a100());
+        let t64 = model.kernel_seconds(&dist_like(Format::Fp64, 1 << 14, 64));
+        let t32 = model.kernel_seconds(&dist_like(Format::Fp32, 1 << 14, 64));
+        let t16 = model.kernel_seconds(&dist_like(Format::Fp16, 1 << 14, 64));
+        assert!(t32 < t64);
+        assert!(t16 < t32);
+        // 4× fewer bytes must NOT give 4× speedup (efficiency derating).
+        assert!(t64 / t16 < 3.0, "fp16 speedup {} should be < 3x", t64 / t16);
+        assert!(t64 / t16 > 1.5);
+    }
+
+    #[test]
+    fn a100_beats_v100_beats_cpu() {
+        let c = dist_like(Format::Fp64, 1 << 14, 64);
+        let ta = TimingModel::new(DeviceSpec::a100()).kernel_seconds(&c);
+        let tv = TimingModel::new(DeviceSpec::v100()).kernel_seconds(&c);
+        let tc = TimingModel::new(DeviceSpec::skylake_16c()).kernel_seconds(&c);
+        assert!(ta < tv);
+        assert!(tv < tc);
+        assert!(tc / ta > 20.0, "CPU should be far slower: {}", tc / ta);
+    }
+
+    #[test]
+    fn barriers_are_precision_independent_overhead() {
+        let model = TimingModel::new(DeviceSpec::a100());
+        let mut c64 = KernelCost::new(KernelClass::SortScan, Format::Fp64);
+        c64.barriers = 1_000_000;
+        let mut c16 = KernelCost::new(KernelClass::SortScan, Format::Fp16);
+        c16.barriers = 1_000_000;
+        let t64 = model.kernel_seconds(&c64);
+        let t16 = model.kernel_seconds(&c16);
+        assert!((t64 - t16).abs() < 1e-12);
+        assert!((t64 - 0.3).abs() < 1e-9, "1M barriers at 0.3us = 0.3s");
+    }
+
+    #[test]
+    fn bounding_resource_classification() {
+        let model = TimingModel::new(DeviceSpec::a100());
+        let c = dist_like(Format::Fp64, 1 << 14, 64);
+        assert_eq!(model.bounding_resource(&c), Resource::DramBandwidth);
+
+        let mut sort = KernelCost::new(KernelClass::SortScan, Format::Fp64);
+        sort.smem_ops = 1 << 40;
+        assert_eq!(model.bounding_resource(&sort), Resource::SharedMemory);
+
+        let mut sync = KernelCost::new(KernelClass::SortScan, Format::Fp64);
+        sync.barriers = 1 << 20;
+        sync.smem_ops = 10;
+        assert_eq!(model.bounding_resource(&sync), Resource::Synchronization);
+
+        let mut comp = KernelCost::new(KernelClass::Precalc, Format::Fp64);
+        comp.flops = 1 << 40;
+        comp.bytes_read = 8;
+        assert_eq!(model.bounding_resource(&comp), Resource::Compute);
+    }
+
+    #[test]
+    fn transfer_model() {
+        let model = TimingModel::new(DeviceSpec::a100());
+        let t = model.transfer_seconds(25_000_000_000, true);
+        assert!((t - 1.0).abs() < 1e-3, "25 GB at 25 GB/s ≈ 1 s, got {t}");
+        let cpu = TimingModel::new(DeviceSpec::skylake_16c());
+        assert_eq!(cpu.transfer_seconds(1 << 30, true), 0.0);
+    }
+
+    #[test]
+    fn cpu_mem_efficiency_has_no_format_derating() {
+        let cpu = TimingModel::new(DeviceSpec::skylake_16c());
+        assert_eq!(cpu.mem_efficiency(Format::Fp64), cpu.mem_efficiency(Format::Fp16));
+    }
+}

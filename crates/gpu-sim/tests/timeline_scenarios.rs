@@ -1,0 +1,98 @@
+//! Scenario tests of the device timeline: realistic multi-tile pipelines
+//! and their overlap behaviour.
+
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel};
+use mdmp_precision::Format;
+
+fn seconds_of_dram(model: &TimingModel, secs: f64, format: Format) -> KernelCost {
+    let bw = model.spec().mem_bandwidth * model.mem_efficiency(format);
+    let mut c = KernelCost::new(KernelClass::DistCalc, format);
+    c.bytes_read = (secs * bw) as u64;
+    c
+}
+
+#[test]
+fn pipelined_tiles_hide_all_interior_transfers() {
+    // 8 tiles, each 0.2 s H2D + 1 s compute + 0.1 s D2H on its own stream:
+    // only the first H2D and last D2H stick out of the compute train.
+    let spec = DeviceSpec::a100();
+    let model = TimingModel::new(spec.clone());
+    let mut sys = GpuSystem::homogeneous(spec.clone(), 1);
+    let k = seconds_of_dram(&model, 1.0, Format::Fp64);
+    let h2d = (0.2 * spec.h2d_bandwidth) as u64;
+    let d2h = (0.1 * spec.d2h_bandwidth) as u64;
+    for tile in 0..8usize {
+        let dev = sys.device_mut(0);
+        dev.submit_transfer(tile, h2d, true);
+        dev.submit_kernel(tile, k);
+        dev.submit_transfer(tile, d2h, false);
+    }
+    let makespan = sys.makespan();
+    // Ideal: 0.2 (first copy) + 8x1.0 compute + 0.1 (last copy) = 8.3 s.
+    assert!(
+        (8.25..8.6).contains(&makespan),
+        "expected ~8.3 s pipelined, got {makespan}"
+    );
+}
+
+#[test]
+fn copy_engines_are_independent_directions() {
+    let spec = DeviceSpec::a100();
+    let mut sys = GpuSystem::homogeneous(spec.clone(), 1);
+    let bytes_1s_up = spec.h2d_bandwidth as u64;
+    let bytes_1s_down = spec.d2h_bandwidth as u64;
+    // Stream 0 uploads while stream 1 downloads: full overlap.
+    sys.device_mut(0).submit_transfer(0, bytes_1s_up, true);
+    sys.device_mut(0).submit_transfer(1, bytes_1s_down, false);
+    assert!(sys.makespan() < 1.1, "up/down engines overlap: {}", sys.makespan());
+    // Two uploads on different streams share the H2D engine: serialize.
+    sys.reset();
+    sys.device_mut(0).submit_transfer(0, bytes_1s_up, true);
+    sys.device_mut(0).submit_transfer(1, bytes_1s_up, true);
+    assert!(sys.makespan() > 1.9, "same engine serializes: {}", sys.makespan());
+}
+
+#[test]
+fn ledger_times_equal_timeline_busy_time_for_serial_work() {
+    let spec = DeviceSpec::v100();
+    let model = TimingModel::new(spec.clone());
+    let mut sys = GpuSystem::homogeneous(spec, 1);
+    let k = seconds_of_dram(&model, 0.5, Format::Fp32);
+    for i in 0..4 {
+        sys.device_mut(0).submit_kernel(i, k);
+    }
+    let ledger_total = sys.total_ledger().total_seconds();
+    let busy = sys.device(0).timeline.compute_busy();
+    assert!((ledger_total - busy).abs() < 1e-9);
+    assert!((busy - 2.0).abs() < 0.01);
+}
+
+#[test]
+fn format_mixture_on_one_device_accumulates_per_class() {
+    let spec = DeviceSpec::a100();
+    let model = TimingModel::new(spec.clone());
+    let mut sys = GpuSystem::homogeneous(spec, 1);
+    sys.device_mut(0)
+        .submit_kernel(0, seconds_of_dram(&model, 1.0, Format::Fp64));
+    sys.device_mut(0)
+        .submit_kernel(0, seconds_of_dram(&model, 1.0, Format::Fp16));
+    let ledger = sys.total_ledger();
+    let dist = ledger.entry(KernelClass::DistCalc).unwrap();
+    assert!((dist.seconds - 2.0).abs() < 0.01);
+    // The FP16 kernel moved fewer bytes for the same seconds.
+    assert!(dist.bytes > 0);
+}
+
+#[test]
+fn heterogeneous_system_makespan_follows_the_slowest_device() {
+    let mut sys = GpuSystem::new(vec![DeviceSpec::a100(), DeviceSpec::v100()]);
+    // The same physical cost lands on both devices.
+    let mut cost = KernelCost::new(KernelClass::DistCalc, Format::Fp64);
+    cost.bytes_read = 1_275_000_000_000; // ~1 s on A100, longer on V100
+    sys.device_mut(0).submit_kernel(0, cost);
+    sys.device_mut(1).submit_kernel(0, cost);
+    let a = sys.device(0).timeline.makespan();
+    let v = sys.device(1).timeline.makespan();
+    assert!(v > a, "V100 must be slower for equal work");
+    assert!((sys.makespan() - v).abs() < 1e-12);
+}

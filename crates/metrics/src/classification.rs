@@ -1,0 +1,278 @@
+//! Nearest-neighbour classification on matrix-profile indices and its
+//! F-score (§VI-A, Fig. 8/9).
+//!
+//! The classifier is the paper's: a query segment takes the label of its
+//! best-matching reference segment (the matrix-profile index at full
+//! dimensionality). The F-score is the macro-averaged harmonic mean of
+//! per-class precision and recall (Tharwat [19]).
+
+use mdmp_core::MatrixProfile;
+use std::collections::BTreeMap;
+
+/// Classify every query segment by the label of its matched reference
+/// segment at profile dimension `k`. Unset indices map to `None`.
+///
+/// `ref_labels` holds one label per reference **sample**; a segment takes
+/// the label at its start position.
+pub fn nn_classify<L: Copy>(
+    profile: &MatrixProfile,
+    k: usize,
+    ref_labels: &[L],
+) -> Vec<Option<L>> {
+    assert!(k < profile.dims(), "dimension out of range");
+    profile
+        .index_dim(k)
+        .iter()
+        .map(|&i| {
+            if i < 0 {
+                None
+            } else {
+                let i = i as usize;
+                assert!(i < ref_labels.len(), "index {i} beyond reference labels");
+                Some(ref_labels[i])
+            }
+        })
+        .collect()
+}
+
+/// Per-class counts and derived scores of a classification run.
+#[derive(Debug, Clone)]
+pub struct ClassificationReport<L: Ord + Copy> {
+    per_class: BTreeMap<L, ClassCounts>,
+    confusion: BTreeMap<(L, L), usize>,
+    misses: BTreeMap<L, usize>,
+    correct: usize,
+    total: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassCounts {
+    tp: usize,
+    fp: usize,
+    fn_: usize,
+}
+
+impl<L: Ord + Copy> ClassificationReport<L> {
+    /// Build a report from predictions and ground truth (`None` predictions
+    /// count as wrong for the true class).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or empty input.
+    pub fn new(predicted: &[Option<L>], truth: &[L]) -> ClassificationReport<L> {
+        assert_eq!(predicted.len(), truth.len(), "length mismatch");
+        assert!(!truth.is_empty(), "empty classification");
+        let mut per_class: BTreeMap<L, ClassCounts> = BTreeMap::new();
+        let mut confusion: BTreeMap<(L, L), usize> = BTreeMap::new();
+        let mut misses: BTreeMap<L, usize> = BTreeMap::new();
+        let mut correct = 0usize;
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match p {
+                Some(p) if p == t => {
+                    per_class.entry(t).or_default().tp += 1;
+                    *confusion.entry((t, p)).or_default() += 1;
+                    correct += 1;
+                }
+                Some(p) => {
+                    per_class.entry(t).or_default().fn_ += 1;
+                    per_class.entry(p).or_default().fp += 1;
+                    *confusion.entry((t, p)).or_default() += 1;
+                }
+                None => {
+                    per_class.entry(t).or_default().fn_ += 1;
+                    *misses.entry(t).or_default() += 1;
+                }
+            }
+        }
+        ClassificationReport {
+            per_class,
+            confusion,
+            misses,
+            correct,
+            total: truth.len(),
+        }
+    }
+
+    /// Confusion count: how often `truth` was predicted as `predicted`.
+    pub fn confusion(&self, truth: L, predicted: L) -> usize {
+        self.confusion.get(&(truth, predicted)).copied().unwrap_or(0)
+    }
+
+    /// How often `truth` received no prediction at all (unset index).
+    pub fn missed(&self, truth: L) -> usize {
+        self.misses.get(&truth).copied().unwrap_or(0)
+    }
+
+    /// Overall accuracy (fraction of correct predictions).
+    pub fn accuracy(&self) -> f64 {
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Precision of one class (`tp / (tp + fp)`; 0 when never predicted).
+    pub fn precision(&self, class: L) -> f64 {
+        let c = self.counts(class);
+        if c.tp + c.fp == 0 {
+            0.0
+        } else {
+            c.tp as f64 / (c.tp + c.fp) as f64
+        }
+    }
+
+    /// Recall of one class (`tp / (tp + fn)`; 0 when absent from truth).
+    pub fn recall(&self, class: L) -> f64 {
+        let c = self.counts(class);
+        if c.tp + c.fn_ == 0 {
+            0.0
+        } else {
+            c.tp as f64 / (c.tp + c.fn_) as f64
+        }
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall).
+    pub fn f1(&self, class: L) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F-score over the classes present in the ground truth.
+    pub fn macro_f1(&self) -> f64 {
+        let classes: Vec<L> = self
+            .per_class
+            .iter()
+            .filter(|(_, c)| c.tp + c.fn_ > 0)
+            .map(|(&l, _)| l)
+            .collect();
+        if classes.is_empty() {
+            return 0.0;
+        }
+        classes.iter().map(|&l| self.f1(l)).sum::<f64>() / classes.len() as f64
+    }
+
+    /// All classes seen (truth or predictions), sorted.
+    pub fn classes(&self) -> Vec<L> {
+        self.per_class.keys().copied().collect()
+    }
+
+    fn counts(&self, class: L) -> ClassCounts {
+        self.per_class.get(&class).copied().unwrap_or_default()
+    }
+}
+
+impl<L: Ord + Copy + std::fmt::Debug> std::fmt::Display for ClassificationReport<L> {
+    /// Render the confusion matrix (rows = truth, columns = predicted).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let classes = self.classes();
+        write!(f, "{:>12}", "truth\\pred")?;
+        for c in &classes {
+            write!(f, " {:>10}", format!("{c:?}"))?;
+        }
+        writeln!(f, " {:>10}", "(none)")?;
+        for t in &classes {
+            write!(f, "{:>12}", format!("{t:?}"))?;
+            for p in &classes {
+                write!(f, " {:>10}", self.confusion(*t, *p))?;
+            }
+            writeln!(f, " {:>10}", self.missed(*t))?;
+        }
+        writeln!(
+            f,
+            "accuracy {:.3}, macro-F1 {:.3} over {} samples",
+            self.accuracy(),
+            self.macro_f1(),
+            self.total
+        )
+    }
+}
+
+/// Convenience: the macro F-score of predictions against ground truth —
+/// the `F_classification` metric of Fig. 9.
+pub fn f_score<L: Ord + Copy>(predicted: &[Option<L>], truth: &[L]) -> f64 {
+    ClassificationReport::new(predicted, truth).macro_f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classification() {
+        let truth = vec![1u8, 2, 1, 3];
+        let pred: Vec<Option<u8>> = truth.iter().map(|&t| Some(t)).collect();
+        let report = ClassificationReport::new(&pred, &truth);
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.macro_f1(), 1.0);
+        assert_eq!(report.precision(1), 1.0);
+        assert_eq!(report.recall(3), 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // truth:  a a a b b
+        // pred:   a a b b a
+        let truth = vec!['a', 'a', 'a', 'b', 'b'];
+        let pred = vec![Some('a'), Some('a'), Some('b'), Some('b'), Some('a')];
+        let r = ClassificationReport::new(&pred, &truth);
+        assert!((r.accuracy() - 0.6).abs() < 1e-12);
+        // a: tp=2, fp=1, fn=1 -> p = 2/3, r = 2/3, f1 = 2/3
+        assert!((r.precision('a') - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.recall('a') - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.f1('a') - 2.0 / 3.0).abs() < 1e-12);
+        // b: tp=1, fp=1, fn=1 -> f1 = 0.5
+        assert!((r.f1('b') - 0.5).abs() < 1e-12);
+        assert!((r.macro_f1() - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_renders() {
+        let truth = vec!['a', 'a', 'a', 'b', 'b'];
+        let pred = vec![Some('a'), Some('a'), Some('b'), Some('b'), None];
+        let r = ClassificationReport::new(&pred, &truth);
+        assert_eq!(r.confusion('a', 'a'), 2);
+        assert_eq!(r.confusion('a', 'b'), 1);
+        assert_eq!(r.confusion('b', 'b'), 1);
+        assert_eq!(r.confusion('b', 'a'), 0);
+        assert_eq!(r.missed('b'), 1);
+        assert_eq!(r.missed('a'), 0);
+        let rendered = r.to_string();
+        assert!(rendered.contains("accuracy"));
+        assert!(rendered.contains("'a'"));
+    }
+
+    #[test]
+    fn none_predictions_count_as_misses() {
+        let truth = vec![1u8, 1];
+        let pred = vec![Some(1u8), None];
+        let r = ClassificationReport::new(&pred, &truth);
+        assert_eq!(r.accuracy(), 0.5);
+        assert_eq!(r.recall(1), 0.5);
+        assert_eq!(r.precision(1), 1.0, "no false positives for class 1");
+    }
+
+    #[test]
+    fn predicted_only_classes_do_not_enter_macro_f1() {
+        let truth = vec![1u8, 1];
+        let pred = vec![Some(2u8), Some(1)];
+        let r = ClassificationReport::new(&pred, &truth);
+        // Class 2 has no truth instances: excluded from the macro average.
+        let f1_1 = r.f1(1);
+        assert!((r.macro_f1() - f1_1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nn_classifier_maps_indices_to_labels() {
+        let profile = MatrixProfile::from_raw(vec![0.1, 0.2, 0.3], vec![0, 5, -1], 3, 1);
+        let labels = vec!['x', 'x', 'y', 'y', 'y', 'z'];
+        let pred = nn_classify(&profile, 0, &labels);
+        assert_eq!(pred, vec![Some('x'), Some('z'), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ClassificationReport::new(&[Some(1u8)], &[1u8, 2]);
+    }
+}

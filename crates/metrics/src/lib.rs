@@ -1,0 +1,28 @@
+//! # mdmp-metrics
+//!
+//! The accuracy metrics of the paper's evaluation (§V-A):
+//!
+//! **Numerical accuracy** — comparing a reduced-precision result to the FP64
+//! reference:
+//! * [`recall_rate`] — fraction of matching matrix-profile indices (R);
+//! * [`relative_accuracy`] — `A = 1 − E` with `E` the relative discrepancy
+//!   of the profile values.
+//!
+//! **Practical accuracy** — task-level quality regardless of numerical
+//! differences:
+//! * [`embedded_recall`] — recall of embedded-motif detection
+//!   (R_embedded), with a tolerance parameter that generalizes to the
+//!   relaxed variant (R^r_embedded, tolerance = `r · m`);
+//! * [`classification`] — nearest-neighbour classification on matrix-profile
+//!   indices with per-class precision/recall and (macro) F-score.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod classification;
+pub mod numerical;
+pub mod practical;
+
+pub use classification::{f_score, nn_classify, ClassificationReport};
+pub use numerical::{recall_rate, relative_accuracy, relative_error};
+pub use practical::{embedded_recall, relaxed_tolerance};

@@ -1,0 +1,131 @@
+//! Numerical accuracy metrics: recall rate `R` and relative accuracy `A`
+//! (Fig. 2, Fig. 10).
+
+use mdmp_core::MatrixProfile;
+
+/// Recall rate `R`: the ratio of matching matrix-profile indices to the
+/// total number of indices (§V-A, after Cheng et al.).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn recall_rate(reference: &MatrixProfile, test: &MatrixProfile) -> f64 {
+    assert_eq!(reference.n_query(), test.n_query(), "shape mismatch");
+    assert_eq!(reference.dims(), test.dims(), "shape mismatch");
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for k in 0..reference.dims() {
+        let ri = reference.index_dim(k);
+        let ti = test.index_dim(k);
+        for (a, b) in ri.iter().zip(ti) {
+            total += 1;
+            if a == b {
+                matches += 1;
+            }
+        }
+    }
+    matches as f64 / total as f64
+}
+
+/// Relative error `E`: mean relative discrepancy of the profile values
+/// against the reference. Entries where the reference is non-finite are
+/// skipped; a non-finite test value against a finite reference counts as
+/// error 1 (fully wrong). Each entry's contribution is capped at 1 so a
+/// single overflow cannot dominate the mean.
+pub fn relative_error(reference: &MatrixProfile, test: &MatrixProfile) -> f64 {
+    assert_eq!(reference.n_query(), test.n_query(), "shape mismatch");
+    assert_eq!(reference.dims(), test.dims(), "shape mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for k in 0..reference.dims() {
+        let rp = reference.profile_dim(k);
+        let tp = test.profile_dim(k);
+        for (&a, &b) in rp.iter().zip(tp) {
+            if !a.is_finite() {
+                continue;
+            }
+            count += 1;
+            if !b.is_finite() {
+                total += 1.0;
+                continue;
+            }
+            let denom = a.abs().max(1e-12);
+            total += ((a - b).abs() / denom).min(1.0);
+        }
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    total / count as f64
+}
+
+/// Relative accuracy `A = 1 − E`, reported in percent in the paper
+/// (Zhu et al. [25]); clamped to `[0, 1]`.
+pub fn relative_accuracy(reference: &MatrixProfile, test: &MatrixProfile) -> f64 {
+    (1.0 - relative_error(reference, test)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(p: Vec<f64>, i: Vec<i64>, n: usize, d: usize) -> MatrixProfile {
+        MatrixProfile::from_raw(p, i, n, d)
+    }
+
+    #[test]
+    fn identical_profiles_are_perfect() {
+        let a = profile(vec![1.0, 2.0, 3.0, 4.0], vec![5, 6, 7, 8], 2, 2);
+        assert_eq!(recall_rate(&a, &a), 1.0);
+        assert_eq!(relative_accuracy(&a, &a), 1.0);
+        assert_eq!(relative_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_index_matches() {
+        let a = profile(vec![1.0; 4], vec![1, 2, 3, 4], 2, 2);
+        let b = profile(vec![1.0; 4], vec![1, 2, 9, 4], 2, 2);
+        assert_eq!(recall_rate(&a, &b), 0.75);
+    }
+
+    #[test]
+    fn relative_error_is_mean_of_capped_discrepancies() {
+        let a = profile(vec![1.0, 2.0], vec![0, 0], 2, 1);
+        let b = profile(vec![1.1, 2.0], vec![0, 0], 2, 1);
+        // (0.1/1.0 + 0)/2 = 0.05
+        assert!((relative_error(&a, &b) - 0.05).abs() < 1e-12);
+        assert!((relative_accuracy(&a, &b) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_entries_cap_at_one() {
+        let a = profile(vec![1.0, 1.0], vec![0, 0], 2, 1);
+        let b = profile(vec![1e9, 1.0], vec![0, 0], 2, 1);
+        assert!((relative_error(&a, &b) - 0.5).abs() < 1e-12);
+        let c = profile(vec![f64::NAN, 1.0], vec![0, 0], 2, 1);
+        assert!((relative_error(&a, &c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unset_reference_entries_are_skipped() {
+        let a = profile(vec![f64::INFINITY, 2.0], vec![-1, 0], 2, 1);
+        let b = profile(vec![f64::INFINITY, 2.0], vec![-1, 0], 2, 1);
+        assert_eq!(relative_error(&a, &b), 0.0);
+        assert_eq!(relative_accuracy(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn accuracy_clamped_to_unit_interval() {
+        let a = profile(vec![1.0], vec![0], 1, 1);
+        let b = profile(vec![5.0], vec![0], 1, 1);
+        let acc = relative_accuracy(&a, &b);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = profile(vec![1.0], vec![0], 1, 1);
+        let b = profile(vec![1.0, 2.0], vec![0, 0], 2, 1);
+        let _ = recall_rate(&a, &b);
+    }
+}

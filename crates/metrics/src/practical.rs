@@ -1,0 +1,113 @@
+//! Practical accuracy for pattern detection: `R_embedded` (Fig. 3) and the
+//! relaxed variant `R^r_embedded` (Fig. 12).
+//!
+//! For series with patterns embedded at known locations, a detection is
+//! successful when the matrix-profile index at a query embedding points to
+//! a reference embedding. The relaxed variant accepts an index within
+//! `tolerance` samples of the true location, with the relaxation factor `r`
+//! defined as `tolerance / m` (§V-A).
+
+use mdmp_core::MatrixProfile;
+
+/// The tolerance (in samples) corresponding to relaxation factor `r` for
+/// segment length `m`, e.g. `r = 0.05` → 5% of the window (Fig. 12).
+pub fn relaxed_tolerance(r: f64, m: usize) -> usize {
+    assert!(r >= 0.0, "relaxation factor must be non-negative");
+    (r * m as f64).round() as usize
+}
+
+/// Recall of embedded-motif detection.
+///
+/// For every query embedding location, look up the matrix-profile index at
+/// that query position (dimension `k`) and count the detection as
+/// successful if it lies within `tolerance` samples of **any** reference
+/// embedding location. `tolerance = 0` is the strict `R_embedded` of
+/// Fig. 3; `tolerance = relaxed_tolerance(r, m)` gives `R^r_embedded`.
+///
+/// Returns `(recall, hits, total)`.
+pub fn embedded_recall(
+    profile: &MatrixProfile,
+    k: usize,
+    query_locs: &[usize],
+    reference_locs: &[usize],
+    tolerance: usize,
+) -> (f64, usize, usize) {
+    assert!(k < profile.dims(), "dimension out of range");
+    assert!(!query_locs.is_empty(), "no query embeddings given");
+    let idx = profile.index_dim(k);
+    let mut hits = 0usize;
+    for &q in query_locs {
+        assert!(q < profile.n_query(), "query location out of range");
+        let found = idx[q];
+        if found < 0 {
+            continue;
+        }
+        let found = found as usize;
+        if reference_locs
+            .iter()
+            .any(|&r| found.abs_diff(r) <= tolerance)
+        {
+            hits += 1;
+        }
+    }
+    (hits as f64 / query_locs.len() as f64, hits, query_locs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with_indices(indices: Vec<i64>) -> MatrixProfile {
+        let n = indices.len();
+        MatrixProfile::from_raw(vec![1.0; n], indices, n, 1)
+    }
+
+    #[test]
+    fn strict_recall_requires_exact_location() {
+        let p = profile_with_indices(vec![0, 10, 20, 30, 40, 55]);
+        // Query embeddings at positions 1 and 5; reference embeddings at 10 and 50.
+        let (r, hits, total) = embedded_recall(&p, 0, &[1, 5], &[10, 50], 0);
+        assert_eq!(hits, 1); // position 1 -> 10 exact; position 5 -> 55 != 50
+        assert_eq!(total, 2);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_recall_accepts_nearby_indices() {
+        let p = profile_with_indices(vec![0, 10, 20, 30, 40, 55]);
+        let tol = relaxed_tolerance(0.05, 128); // 6 samples
+        assert_eq!(tol, 6);
+        let (r, hits, _) = embedded_recall(&p, 0, &[1, 5], &[10, 50], tol);
+        assert_eq!(hits, 2); // 55 within 6 of 50
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn unset_index_never_counts() {
+        let p = profile_with_indices(vec![-1, -1]);
+        let (r, hits, _) = embedded_recall(&p, 0, &[0, 1], &[0], 1000);
+        assert_eq!(hits, 0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn any_reference_location_is_a_hit() {
+        let p = profile_with_indices(vec![77]);
+        let (r, _, _) = embedded_recall(&p, 0, &[0], &[5, 77, 200], 0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn tolerance_math() {
+        assert_eq!(relaxed_tolerance(0.0, 128), 0);
+        assert_eq!(relaxed_tolerance(0.5, 128), 64);
+        assert_eq!(relaxed_tolerance(0.1, 2048), 205);
+    }
+
+    #[test]
+    #[should_panic(expected = "query location out of range")]
+    fn out_of_range_query_panics() {
+        let p = profile_with_indices(vec![0, 1]);
+        let _ = embedded_recall(&p, 0, &[10], &[0], 0);
+    }
+}

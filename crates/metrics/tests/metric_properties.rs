@@ -1,0 +1,92 @@
+//! Property tests of the accuracy metrics.
+
+use mdmp_core::MatrixProfile;
+use mdmp_metrics::{embedded_recall, f_score, recall_rate, relative_accuracy, relative_error};
+use proptest::prelude::*;
+
+fn arbitrary_profile(n: usize, d: usize, seed: u64) -> MatrixProfile {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let p: Vec<f64> = (0..n * d).map(|_| next() * 10.0).collect();
+    let i: Vec<i64> = (0..n * d).map(|_| (next() * 100.0) as i64).collect();
+    MatrixProfile::from_raw(p, i, n, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_are_bounded_and_reflexive(seed in 0u64..10_000, n in 1usize..40, d in 1usize..5) {
+        let a = arbitrary_profile(n, d, seed);
+        let b = arbitrary_profile(n, d, seed ^ 0xFFFF);
+        // Bounds.
+        let r = recall_rate(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let acc = relative_accuracy(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // Reflexivity.
+        prop_assert_eq!(recall_rate(&a, &a), 1.0);
+        prop_assert_eq!(relative_error(&a, &a), 0.0);
+        prop_assert_eq!(relative_accuracy(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn perturbation_monotonicity(seed in 0u64..1_000, eps_pow in 1i32..10) {
+        // Growing multiplicative perturbation never increases accuracy.
+        let a = arbitrary_profile(20, 2, seed);
+        let perturb = |scale: f64| {
+            let p: Vec<f64> = (0..20 * 2)
+                .map(|idx| a.value(idx % 20, idx / 20) * scale)
+                .collect();
+            let i: Vec<i64> = (0..20 * 2)
+                .map(|idx| a.index(idx % 20, idx / 20))
+                .collect();
+            MatrixProfile::from_raw(p, i, 20, 2)
+        };
+        let small = perturb(1.0 + 2f64.powi(-eps_pow - 1));
+        let large = perturb(1.0 + 2f64.powi(-eps_pow));
+        prop_assert!(
+            relative_accuracy(&a, &small) >= relative_accuracy(&a, &large) - 1e-12
+        );
+        // Indices unchanged: recall stays perfect under value perturbation.
+        prop_assert_eq!(recall_rate(&a, &large), 1.0);
+    }
+
+    #[test]
+    fn embedded_recall_monotone_in_tolerance(
+        seed in 0u64..1_000,
+        tol_a in 0usize..10,
+        tol_b in 0usize..10,
+    ) {
+        let profile = arbitrary_profile(50, 1, seed);
+        let query_locs = [3usize, 17, 40];
+        let ref_locs = [10usize, 45, 80];
+        let (lo, hi) = if tol_a <= tol_b { (tol_a, tol_b) } else { (tol_b, tol_a) };
+        let (r_lo, _, _) = embedded_recall(&profile, 0, &query_locs, &ref_locs, lo);
+        let (r_hi, _, _) = embedded_recall(&profile, 0, &query_locs, &ref_locs, hi);
+        prop_assert!(r_hi >= r_lo, "recall must grow with tolerance");
+    }
+
+    #[test]
+    fn f_score_bounds_and_perfect_case(seed in 0u64..1_000, n in 1usize..60) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 33) as usize
+        };
+        let truth: Vec<u8> = (0..n).map(|_| (next() % 4) as u8).collect();
+        let perfect: Vec<Option<u8>> = truth.iter().map(|&t| Some(t)).collect();
+        prop_assert_eq!(f_score(&perfect, &truth), 1.0);
+        let noisy: Vec<Option<u8>> = truth
+            .iter()
+            .map(|&t| if next() % 3 == 0 { None } else { Some((t + (next() % 2) as u8) % 4) })
+            .collect();
+        let f = f_score(&noisy, &truth);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

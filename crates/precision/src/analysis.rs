@@ -1,0 +1,142 @@
+//! Rounding-error analysis for the iterative QT computation (§V-B).
+//!
+//! The paper traces reduced-precision inaccuracy to the streaming dot-product
+//! recurrence of Eq. 1: unrolled, a QT entry after `n` update steps is a
+//! length-O(n) inner product, whose classical forward error bound is
+//! `|fl(xᵀy) − xᵀy| ≤ γₙ · |x|ᵀ|y|` with `γₙ = n·ε / (1 − n·ε)` (Higham;
+//! the paper cites the mixed-precision variant of Yang, Fox & Sanders). Two
+//! consequences drive the paper's design:
+//!
+//! * **Machine error** — ε₁₆ = 2⁻¹⁰ makes γₙ reach 100% at n ≈ 1024: a
+//!   single-tile FP16 run on long series is meaningless, matching the ~5%
+//!   relative accuracy of FP16 in Fig. 2.
+//! * **Tile size** — the tiling scheme restarts the recurrence every tile,
+//!   so the effective `n` in γₙ is the tile height. This is the knob the
+//!   accuracy–performance tradeoff of Fig. 7 turns.
+
+use crate::PrecisionMode;
+
+/// The classical dot-product error factor `γₙ = n·ε / (1 − n·ε)`.
+///
+/// Returns `f64::INFINITY` once `n·ε ≥ 1` (the bound is vacuous there, which
+/// for binary16 happens at n = 1024).
+pub fn gamma(n: usize, epsilon: f64) -> f64 {
+    let ne = n as f64 * epsilon;
+    if ne >= 1.0 {
+        f64::INFINITY
+    } else {
+        ne / (1.0 - ne)
+    }
+}
+
+/// Forward error bound for the QT recurrence after `steps` diagonal updates
+/// in a format with unit roundoff `epsilon`. Each step contributes 4 FLOPs
+/// (two FMAs) to the running value, so the effective inner-product length is
+/// `2·steps`.
+pub fn qt_error_bound(steps: usize, epsilon: f64) -> f64 {
+    gamma(2 * steps, epsilon)
+}
+
+/// Predicted relative-error bound of a tiled run: the recurrence restarts at
+/// every tile boundary, so only the tile height enters the bound.
+pub fn tiled_qt_error_bound(n: usize, n_tiles: usize, epsilon: f64) -> f64 {
+    assert!(n_tiles > 0, "n_tiles must be positive");
+    let tile_height = n.div_ceil(n_tiles);
+    qt_error_bound(tile_height, epsilon)
+}
+
+/// Smallest number of tiles for which the tiled error bound drops below
+/// `target` (a relative error, e.g. 0.05 for 95% relative accuracy).
+///
+/// Returns `None` if even one-row tiles cannot meet the target (i.e. the
+/// format's ε itself is too large).
+pub fn recommended_tiles(n: usize, mode: PrecisionMode, target: f64) -> Option<usize> {
+    let eps = mode.main_format().epsilon();
+    if qt_error_bound(1, eps) > target {
+        return None;
+    }
+    // The bound is monotone in tile height; binary search over n_tiles.
+    let mut lo = 1usize; // may fail
+    let mut hi = n.max(1); // guaranteed to succeed (tile height 1)
+    if tiled_qt_error_bound(n, lo, eps) <= target {
+        return Some(1);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if tiled_qt_error_bound(n, mid, eps) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Condition-number heuristic of the distance formulation in Eq. 1 for a
+/// segment with mean `mu` and standard deviation `sigma` (§V-B: "the
+/// condition number … implies an ill-conditioned formulation for the flat
+/// regions"): flat segments (σ → 0) make the normalised correlation
+/// ill-conditioned, large-deviation segments push `QT` toward overflow.
+pub fn segment_condition_indicator(mu: f64, sigma: f64, m: usize) -> f64 {
+    if sigma <= 0.0 {
+        return f64::INFINITY;
+    }
+    // |QT| scales like m·(|mu|² + sigma²) before normalisation; dividing by
+    // m·sigma² gives the amplification of relative input error.
+    (mu * mu + sigma * sigma) / (sigma * sigma) * (m as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::Format;
+
+    #[test]
+    fn gamma_monotone_and_vacuous_point() {
+        let eps = Format::Fp16.epsilon();
+        assert!(gamma(10, eps) < gamma(100, eps));
+        assert!(gamma(1023, eps).is_finite());
+        assert!(gamma(1024, eps).is_infinite(), "n·ε = 1 at n = 1024 for FP16");
+        assert!(gamma(1 << 20, Format::Fp64.epsilon()) < 1e-9);
+    }
+
+    #[test]
+    fn tiling_shrinks_the_bound() {
+        let eps = Format::Fp16.epsilon();
+        let n = 1 << 16;
+        let one_tile = tiled_qt_error_bound(n, 1, eps);
+        let tiles_256 = tiled_qt_error_bound(n, 256, eps);
+        let tiles_1024 = tiled_qt_error_bound(n, 1024, eps);
+        assert!(one_tile.is_infinite());
+        assert!(tiles_256.is_finite());
+        assert!(tiles_1024 < tiles_256);
+        assert!(tiles_1024 < 0.2, "height-64 tiles: γ₁₂₈ ≈ 0.14, got {tiles_1024}");
+    }
+
+    #[test]
+    fn recommended_tiles_hits_target() {
+        let n = 1 << 16;
+        let tiles = recommended_tiles(n, PrecisionMode::Fp16, 0.5).unwrap();
+        assert!(tiles > 1);
+        let eps = Format::Fp16.epsilon();
+        assert!(tiled_qt_error_bound(n, tiles, eps) <= 0.5);
+        if tiles > 1 {
+            assert!(tiled_qt_error_bound(n, tiles - 1, eps) > 0.5);
+        }
+        // FP64 needs no tiling for any sane target.
+        assert_eq!(recommended_tiles(n, PrecisionMode::Fp64, 1e-6), Some(1));
+    }
+
+    #[test]
+    fn recommended_tiles_unreachable_target() {
+        assert_eq!(recommended_tiles(1 << 16, PrecisionMode::Fp16, 1e-9), None);
+    }
+
+    #[test]
+    fn flat_segments_are_ill_conditioned() {
+        assert!(segment_condition_indicator(1.0, 0.0, 64).is_infinite());
+        let flat = segment_condition_indicator(5.0, 0.01, 64);
+        let lively = segment_condition_indicator(5.0, 1.0, 64);
+        assert!(flat > lively);
+    }
+}

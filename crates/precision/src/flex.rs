@@ -1,0 +1,471 @@
+//! Parametric ("FlexFloat-style") reduced-precision floats.
+//!
+//! The paper's related work (§II) cites Fernandez's matrix-profile study
+//! with FlexFloat [18], a software library for transprecision computing
+//! with arbitrary exponent/mantissa widths. [`Flex<E, M>`] provides the
+//! same capability natively: an IEEE-754-style binary float with `E`
+//! exponent bits and `M` explicit mantissa bits (plus sign), with
+//! round-to-nearest-even conversions, subnormals, infinities and NaN.
+//!
+//! Two aliases wire the contemporary 8-bit formats into the precision-mode
+//! system as extension studies beyond the paper's BF16/TF32 outlook:
+//! [`Fp8E4M3`] and [`Fp8E5M2`] (IEEE-style variants: unlike the OCP FP8
+//! spec, E4M3 here keeps its all-ones exponent reserved for Inf/NaN).
+//!
+//! ```
+//! use mdmp_precision::{Flex, Half, Real};
+//!
+//! // Flex<5, 10> is bit-compatible with binary16.
+//! let x = 1.0 / 3.0;
+//! assert_eq!(Flex::<5, 10>::from_f64(x).to_f64(), Half::from_f64(x).to_f64());
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An IEEE-754-style float with `E` exponent bits and `M` explicit mantissa
+/// bits, stored in the low `1 + E + M` bits of a `u32`.
+///
+/// Constraints (asserted at construction): `1 ≤ E ≤ 8`, `1 ≤ M ≤ 23`,
+/// so every value widens exactly to `f64`.
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct Flex<const E: u32, const M: u32>(u32);
+
+/// IEEE-style FP8 with 4 exponent and 3 mantissa bits.
+pub type Fp8E4M3 = Flex<4, 3>;
+/// IEEE-style FP8 with 5 exponent and 2 mantissa bits.
+pub type Fp8E5M2 = Flex<5, 2>;
+
+impl<const E: u32, const M: u32> Flex<E, M> {
+    const _VALID: () = assert!(E >= 1 && E <= 8 && M >= 1 && M <= 23);
+
+    /// Exponent bias `2^(E−1) − 1`.
+    pub const BIAS: i32 = (1 << (E - 1)) - 1;
+    /// Largest unbiased exponent of a normal value.
+    pub const EMAX: i32 = Self::BIAS;
+    /// Smallest unbiased exponent of a normal value, `1 − bias`.
+    pub const EMIN: i32 = 1 - Self::BIAS;
+    /// Total storage bits.
+    pub const BITS: u32 = 1 + E + M;
+
+    const SIGN_MASK: u32 = 1 << (E + M);
+    const EXP_MASK: u32 = ((1 << E) - 1) << M;
+    const FRAC_MASK: u32 = (1 << M) - 1;
+
+    /// Positive zero.
+    pub const ZERO: Self = Flex(0);
+    /// Positive infinity.
+    pub const INFINITY: Self = Flex(Self::EXP_MASK);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Self = Flex(Self::SIGN_MASK | Self::EXP_MASK);
+    /// A quiet NaN.
+    pub const NAN: Self = Flex(Self::EXP_MASK | (1 << (M - 1)));
+
+    /// Construct from raw bits (low `1+E+M` bits used).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        Flex(bits & (Self::SIGN_MASK | Self::EXP_MASK | Self::FRAC_MASK))
+    }
+
+    /// The raw bits.
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Round an `f64` to this format, round-to-nearest-even.
+    pub fn from_f64(x: f64) -> Self {
+        // Force the geometry check (associated consts are lazy).
+        #[allow(clippy::let_unit_value)]
+        let _ = Self::_VALID;
+        let bits = x.to_bits();
+        let sign = if bits >> 63 != 0 { Self::SIGN_MASK } else { 0 };
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & 0x000F_FFFF_FFFF_FFFF;
+
+        if exp == 0x7FF {
+            return if frac != 0 {
+                Flex(sign | Self::NAN.0)
+            } else {
+                Flex(sign | Self::EXP_MASK)
+            };
+        }
+        if exp == 0 {
+            // f64 subnormals (< 2^-1022) underflow in every supported format.
+            return Flex(sign);
+        }
+        let e = exp - 1023;
+        if e > Self::EMAX {
+            return Flex(sign | Self::EXP_MASK);
+        }
+        if e >= Self::EMIN {
+            // Normal candidate: keep M bits, RNE on the remaining 52−M.
+            let drop = 52 - M;
+            let mut m = (frac >> drop) as u32;
+            let rest = frac & ((1u64 << drop) - 1);
+            let halfway = 1u64 << (drop - 1);
+            let mut e_t = (e + Self::BIAS) as u32;
+            if rest > halfway || (rest == halfway && (m & 1) == 1) {
+                m += 1;
+                if m == (1 << M) {
+                    m = 0;
+                    e_t += 1;
+                    if e_t >= (1 << E) - 1 {
+                        return Flex(sign | Self::EXP_MASK);
+                    }
+                }
+            }
+            return Flex(sign | (e_t << M) | m);
+        }
+        // Subnormal (or underflow): quantum is 2^(EMIN − M).
+        let sig = (1u64 << 52) | frac;
+        let shift_i = 52 + (Self::EMIN - M as i32) - e;
+        if shift_i >= 64 {
+            return Flex(sign);
+        }
+        let shift = shift_i as u32;
+        debug_assert!(shift >= 1);
+        let mut m = (sig >> shift) as u32;
+        let rest = sig & ((1u64 << shift) - 1);
+        let halfway = 1u64 << (shift - 1);
+        if rest > halfway || (rest == halfway && (m & 1) == 1) {
+            m += 1; // may carry into the smallest normal — a valid encoding
+        }
+        Flex(sign | m)
+    }
+
+    /// Widen to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        let sign = if self.0 & Self::SIGN_MASK != 0 { -1.0 } else { 1.0 };
+        let exp = (self.0 & Self::EXP_MASK) >> M;
+        let frac = self.0 & Self::FRAC_MASK;
+        if exp == (1 << E) - 1 {
+            return if frac != 0 {
+                f64::NAN
+            } else {
+                sign * f64::INFINITY
+            };
+        }
+        if exp == 0 {
+            return sign * frac as f64 * 2f64.powi(Self::EMIN - M as i32);
+        }
+        let significand = 1.0 + frac as f64 / (1u64 << M) as f64;
+        sign * significand * 2f64.powi(exp as i32 - Self::BIAS)
+    }
+
+    /// `true` for NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & Self::EXP_MASK) == Self::EXP_MASK && (self.0 & Self::FRAC_MASK) != 0
+    }
+
+    /// `true` for finite values.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & Self::EXP_MASK) != Self::EXP_MASK
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Flex(self.0 & !Self::SIGN_MASK)
+    }
+
+    /// Square root (rounded through the exact f64 widening).
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_f64(self.to_f64().sqrt())
+    }
+
+    /// Fused multiply-add with one final rounding.
+    #[inline]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Self::from_f64(self.to_f64().mul_add(a.to_f64(), b.to_f64()))
+    }
+
+    /// IEEE `minNum`-style minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self.is_nan() {
+            other
+        } else if other.is_nan() || self.to_f64() <= other.to_f64() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// IEEE `maxNum`-style maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self.is_nan() {
+            other
+        } else if other.is_nan() || self.to_f64() >= other.to_f64() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total order for sorting: −∞ < finite < +∞ < NaN, −0 < +0.
+    #[inline]
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        fn key<const E: u32, const M: u32>(h: Flex<E, M>) -> i64 {
+            if h.is_nan() {
+                return i64::MAX;
+            }
+            let bits = h.0 as i64;
+            let sign = 1i64 << (E + M);
+            if bits & sign != 0 {
+                -(bits & (sign - 1)) - 1
+            } else {
+                bits
+            }
+        }
+        key(*self).cmp(&key(*other))
+    }
+}
+
+macro_rules! flex_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl<const E: u32, const M: u32> $trait for Flex<E, M> {
+            type Output = Flex<E, M>;
+            #[inline]
+            fn $method(self, rhs: Flex<E, M>) -> Flex<E, M> {
+                Flex::from_f64(self.to_f64() $op rhs.to_f64())
+            }
+        }
+        impl<const E: u32, const M: u32> $assign_trait for Flex<E, M> {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Flex<E, M>) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+flex_binop!(Add, add, +, AddAssign, add_assign);
+flex_binop!(Sub, sub, -, SubAssign, sub_assign);
+flex_binop!(Mul, mul, *, MulAssign, mul_assign);
+flex_binop!(Div, div, /, DivAssign, div_assign);
+
+impl<const E: u32, const M: u32> Neg for Flex<E, M> {
+    type Output = Flex<E, M>;
+    #[inline]
+    fn neg(self) -> Flex<E, M> {
+        Flex(self.0 ^ Self::SIGN_MASK)
+    }
+}
+
+impl<const E: u32, const M: u32> PartialEq for Flex<E, M> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        if self.is_nan() || other.is_nan() {
+            return false;
+        }
+        self.to_f64() == other.to_f64()
+    }
+}
+
+impl<const E: u32, const M: u32> PartialOrd for Flex<E, M> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl<const E: u32, const M: u32> fmt::Debug for Flex<E, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}flex<{E},{M}>", self.to_f64())
+    }
+}
+
+impl<const E: u32, const M: u32> fmt::Display for Flex<E, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const E: u32, const M: u32> crate::Real for Flex<E, M> {
+    const NAME: &'static str = "FLEX";
+    const BYTES: usize = if 1 + E + M <= 8 {
+        1
+    } else if 1 + E + M <= 16 {
+        2
+    } else {
+        4
+    };
+    const EPSILON: f64 = 1.0 / (1u64 << M) as f64;
+    const MAX_FINITE: f64 =
+        (2.0 - 1.0 / (1u64 << M) as f64) * (1u128 << ((1 << (E - 1)) - 1)) as f64;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Flex::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Flex::to_f64(self)
+    }
+    #[inline]
+    fn infinity() -> Self {
+        Self::INFINITY
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        Self::NEG_INFINITY
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Flex::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Flex::abs(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Flex::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Flex::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Flex::is_finite(self)
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        Flex::min(self, other)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        Flex::max(self, other)
+    }
+    #[inline]
+    fn total_order(self, other: Self) -> Ordering {
+        self.total_cmp(&other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Half, Real};
+
+    /// Flex<5,10> must agree with the dedicated binary16 implementation on
+    /// every one of the 65536 bit patterns' widened values, and on rounding
+    /// a dense sample of f64 inputs.
+    #[test]
+    fn flex_5_10_matches_half_exactly() {
+        for bits in 0u16..=0xFFFF {
+            let h = Half::from_bits(bits);
+            let fx = Flex::<5, 10>::from_bits(bits as u32);
+            if h.is_nan() {
+                assert!(fx.is_nan(), "bits {bits:#06x}");
+            } else {
+                assert_eq!(h.to_f64(), fx.to_f64(), "bits {bits:#06x}");
+            }
+        }
+        let mut x = -70000.0f64;
+        while x < 70000.0 {
+            let h = Half::from_f64(x);
+            let fx = Flex::<5, 10>::from_f64(x);
+            assert_eq!(h.to_bits() as u32, fx.to_bits(), "x = {x}");
+            x += 13.37;
+        }
+        // Subnormal range too.
+        let mut x = -1e-4f64;
+        while x < 1e-4 {
+            assert_eq!(
+                Half::from_f64(x).to_bits() as u32,
+                Flex::<5, 10>::from_f64(x).to_bits(),
+                "x = {x}"
+            );
+            x += 3.1e-7;
+        }
+    }
+
+    #[test]
+    fn fp8_e4m3_constants() {
+        assert_eq!(Fp8E4M3::BIAS, 7);
+        assert_eq!(Fp8E4M3::EMAX, 7);
+        // Max finite (IEEE-style): (2 - 2^-3) * 2^7 = 240.
+        assert_eq!(<Fp8E4M3 as Real>::MAX_FINITE, 240.0);
+        assert_eq!(<Fp8E4M3 as Real>::EPSILON, 0.125);
+        assert_eq!(<Fp8E4M3 as Real>::BYTES, 1);
+        assert_eq!(Fp8E4M3::from_f64(240.0).to_f64(), 240.0);
+        assert!(!Fp8E4M3::from_f64(260.0).is_finite());
+    }
+
+    #[test]
+    fn fp8_e5m2_range_vs_precision_tradeoff() {
+        // E5M2 trades mantissa for range: max (2-2^-2)*2^15 = 57344.
+        assert_eq!(<Fp8E5M2 as Real>::MAX_FINITE, 57344.0);
+        assert!(Fp8E5M2::from_f64(30000.0).is_finite());
+        assert!(!Fp8E4M3::from_f64(30000.0).is_finite());
+        // E4M3 is more precise near 1.
+        let x = 1.1;
+        let e4 = (Fp8E4M3::from_f64(x).to_f64() - x).abs();
+        let e5 = (Fp8E5M2::from_f64(x).to_f64() - x).abs();
+        assert!(e4 <= e5);
+    }
+
+    #[test]
+    fn fp8_round_trips() {
+        for bits in 0u32..=0xFF {
+            let v = Fp8E4M3::from_bits(bits);
+            if v.is_nan() {
+                assert!(Fp8E4M3::from_f64(v.to_f64()).is_nan());
+            } else {
+                assert_eq!(Fp8E4M3::from_f64(v.to_f64()).to_bits(), bits, "{bits:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp8_arithmetic_and_swamping() {
+        let one = Fp8E4M3::from_f64(1.0);
+        let mut acc = Fp8E4M3::ZERO;
+        for _ in 0..64 {
+            acc += one;
+        }
+        // 8-bit accumulator stalls at 2^(M+1) = 16.
+        assert_eq!(acc.to_f64(), 16.0);
+    }
+
+    #[test]
+    fn real_trait_contract_for_fp8() {
+        let two = Fp8E4M3::from_f64(2.0);
+        assert_eq!((two * two).to_f64(), 4.0);
+        assert_eq!(Fp8E4M3::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(two.mul_add(two, Fp8E4M3::from_f64(1.0)).to_f64(), 5.0);
+        assert!(Fp8E4M3::from_f64(f64::NAN).is_nan());
+        use core::cmp::Ordering;
+        assert_eq!(
+            Fp8E4M3::NAN.total_cmp(&Fp8E4M3::INFINITY),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Fp8E4M3::from_f64(-0.0).total_cmp(&Fp8E4M3::ZERO),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn odd_geometry_flex_formats() {
+        // A 6-bit float: E=3, M=2 — bias 3, max (2-0.25)*2^3 = 14.
+        type Tiny = Flex<3, 2>;
+        assert_eq!(<Tiny as Real>::MAX_FINITE, 14.0);
+        assert_eq!(Tiny::from_f64(14.0).to_f64(), 14.0);
+        assert!(!Tiny::from_f64(16.0).is_finite());
+        // Subnormal quantum 2^(EMIN-M) = 2^(-2-2) = 1/16.
+        assert_eq!(Tiny::from_f64(1.0 / 16.0).to_f64(), 1.0 / 16.0);
+        // 0.025 is below half the quantum: flushes to zero; 0.04 rounds up.
+        assert_eq!(Tiny::from_f64(0.025).to_f64(), 0.0);
+        assert_eq!(Tiny::from_f64(0.04).to_f64(), 0.0625);
+    }
+}

@@ -1,0 +1,181 @@
+//! Kahan compensated summation (Kahan 1965), the "improved arithmetic" of the
+//! paper's **FP16C** mode.
+//!
+//! The precalculation step of the matrix profile builds rolling statistics
+//! via long cumulative sums. In binary16 those sums suffer catastrophic
+//! swamping (an accumulator of magnitude 2¹¹ absorbs unit addends entirely —
+//! see the `accumulation_stalls_at_2_pow_11` test on [`crate::Half`]).
+//! Compensated summation carries the rounding error of each step in a
+//! correction term, recovering roughly the accuracy of twice the working
+//! precision at the cost of 4 ops per addend — negligible here because
+//! precalculation is O(n·d) while the main loop is O(n²·d) (§III-C).
+
+use crate::Real;
+
+/// A running compensated sum in precision `T`.
+///
+/// ```
+/// use mdmp_precision::{Half, KahanSum, Real};
+///
+/// // Plain FP16 summation of 4096 ones stalls at 2048; Kahan gets it right.
+/// let mut plain = Half::zero();
+/// let mut comp = KahanSum::<Half>::new();
+/// for _ in 0..4096 {
+///     plain += Half::one();
+///     comp.add(Half::one());
+/// }
+/// assert_eq!(plain.to_f64(), 2048.0);
+/// assert_eq!(comp.value().to_f64(), 4096.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum<T: Real> {
+    sum: T,
+    /// Running compensation: the negated accumulated rounding error.
+    c: T,
+}
+
+impl<T: Real> KahanSum<T> {
+    /// An empty sum.
+    pub fn new() -> Self {
+        KahanSum {
+            sum: T::zero(),
+            c: T::zero(),
+        }
+    }
+
+    /// Start from an existing value with zero compensation.
+    pub fn from_value(v: T) -> Self {
+        KahanSum {
+            sum: v,
+            c: T::zero(),
+        }
+    }
+
+    /// Add one term, updating the compensation (classic Kahan step).
+    #[inline]
+    pub fn add(&mut self, x: T) {
+        let y = x - self.c;
+        let t = self.sum + y;
+        // (t - sum) is the part of y that made it into the sum; subtracting y
+        // recovers (negated) what was lost to rounding.
+        self.c = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> T {
+        self.sum
+    }
+
+    /// The current compensation term (diagnostic).
+    #[inline]
+    pub fn compensation(&self) -> T {
+        self.c
+    }
+}
+
+/// Compensated sum of a slice in precision `T`.
+pub fn kahan_sum<T: Real>(xs: &[T]) -> T {
+    let mut acc = KahanSum::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+/// Compensated dot product of two slices in precision `T`: products are
+/// rounded in `T` (as the GPU's half-precision multiplier would), the
+/// accumulation is compensated.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn kahan_dot<T: Real>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len(), "kahan_dot: length mismatch");
+    let mut acc = KahanSum::new();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc.add(x * y);
+    }
+    acc.value()
+}
+
+/// Plain (uncompensated) dot product in precision `T`, for comparison and for
+/// the non-compensated precalculation paths.
+pub fn plain_dot<T: Real>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len(), "plain_dot: length mismatch");
+    let mut acc = T::zero();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn kahan_exact_on_exact_data() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(kahan_sum(&xs), 499_500.0);
+    }
+
+    #[test]
+    fn kahan_beats_plain_in_half_precision() {
+        // Sum n copies of a value that is not a power of two.
+        let x = Half::from_f64(0.1);
+        let n = 2000usize;
+        let xs = vec![x; n];
+        let plain: Half = {
+            let mut acc = Half::ZERO;
+            for &v in &xs {
+                acc += v;
+            }
+            acc
+        };
+        let comp = kahan_sum(&xs);
+        let exact = x.to_f64() * n as f64;
+        let err_plain = (plain.to_f64() - exact).abs();
+        let err_comp = (comp.to_f64() - exact).abs();
+        assert!(
+            err_comp * 4.0 < err_plain,
+            "compensation should cut the error substantially: plain {err_plain}, comp {err_comp}"
+        );
+    }
+
+    #[test]
+    fn kahan_dot_matches_f64_reference_in_half() {
+        let a: Vec<f64> = (0..512).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+        let b: Vec<f64> = (0..512).map(|i| ((i * 61) % 97) as f64 / 97.0).collect();
+        let ah: Vec<Half> = a.iter().map(|&x| Half::from_f64(x)).collect();
+        let bh: Vec<Half> = b.iter().map(|&x| Half::from_f64(x)).collect();
+        // Reference on the *rounded* inputs, so only accumulation error counts.
+        let reference: f64 = ah
+            .iter()
+            .zip(&bh)
+            .map(|(x, y)| x.to_f64() * y.to_f64())
+            .sum();
+        let comp = kahan_dot(&ah, &bh).to_f64();
+        let plain = plain_dot(&ah, &bh).to_f64();
+        assert!((comp - reference).abs() <= (plain - reference).abs());
+        assert!((comp - reference).abs() / reference.abs() < 1e-2);
+    }
+
+    #[test]
+    fn compensation_term_tracks_lost_bits() {
+        let mut acc = KahanSum::<Half>::new();
+        acc.add(Half::from_f64(2048.0));
+        acc.add(Half::ONE); // lost by plain f16 addition
+        assert_eq!(acc.value().to_f64(), 2048.0);
+        assert_eq!(acc.compensation().to_f64(), -1.0);
+        acc.add(Half::ONE);
+        assert_eq!(acc.value().to_f64(), 2050.0, "carried compensation reappears");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = kahan_dot::<f64>(&[1.0], &[1.0, 2.0]);
+    }
+}

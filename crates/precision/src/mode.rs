@@ -1,0 +1,260 @@
+//! The run-time precision-mode selector (§III-C of the paper).
+//!
+//! A mode fixes three things: the storage-and-arithmetic format of the main
+//! loop (`dist_calc`, `sort_&_incl_scan`, `update_mat_prof`), the format of
+//! the precalculation step, and whether precalculation uses Kahan
+//! compensation. The five paper modes plus the two named extensions:
+//!
+//! | mode  | precalculation       | main loop |
+//! |-------|----------------------|-----------|
+//! | FP64  | FP64                 | FP64      |
+//! | FP32  | FP32                 | FP32      |
+//! | FP16  | FP16                 | FP16      |
+//! | Mixed | FP32                 | FP16      |
+//! | FP16C | FP16 + compensation  | FP16      |
+//! | BF16  | BF16                 | BF16      |
+//! | TF32  | TF32                 | TF32      |
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A floating-point format identifier (storage + arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// IEEE binary64.
+    Fp64,
+    /// IEEE binary32.
+    Fp32,
+    /// IEEE binary16.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// TensorFloat-32 (stored in 32 bits).
+    Tf32,
+    /// 8-bit float, 4 exponent / 3 mantissa bits (IEEE-style E4M3).
+    Fp8E4M3,
+    /// 8-bit float, 5 exponent / 2 mantissa bits (IEEE-style E5M2).
+    Fp8E5M2,
+}
+
+impl Format {
+    /// Bytes per element in device memory.
+    pub fn bytes(self) -> usize {
+        match self {
+            Format::Fp64 => 8,
+            Format::Fp32 | Format::Tf32 => 4,
+            Format::Fp16 | Format::Bf16 => 2,
+            Format::Fp8E4M3 | Format::Fp8E5M2 => 1,
+        }
+    }
+
+    /// Unit roundoff ε of the format.
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Format::Fp64 => 2f64.powi(-52),
+            Format::Fp32 => 2f64.powi(-23),
+            Format::Fp16 | Format::Tf32 => 2f64.powi(-10),
+            Format::Bf16 => 2f64.powi(-7),
+            Format::Fp8E4M3 => 2f64.powi(-3),
+            Format::Fp8E5M2 => 2f64.powi(-2),
+        }
+    }
+
+    /// Throughput of this format relative to FP64 on the modelled GPUs
+    /// (vector pipelines: FP32 2×, FP16 4×; BF16 like FP16; TF32 like FP32).
+    pub fn flops_ratio_vs_fp64(self) -> f64 {
+        match self {
+            Format::Fp64 => 1.0,
+            Format::Fp32 | Format::Tf32 => 2.0,
+            Format::Fp16 | Format::Bf16 => 4.0,
+            // 8-bit vector throughput modelled like the 16-bit formats
+            // (the paper's kernels do not use tensor cores).
+            Format::Fp8E4M3 | Format::Fp8E5M2 => 4.0,
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Format::Fp64 => "FP64",
+            Format::Fp32 => "FP32",
+            Format::Fp16 => "FP16",
+            Format::Bf16 => "BF16",
+            Format::Tf32 => "TF32",
+            Format::Fp8E4M3 => "FP8-E4M3",
+            Format::Fp8E5M2 => "FP8-E5M2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A precision mode: the paper's five configurations plus the BF16/TF32
+/// extensions it names as future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrecisionMode {
+    /// Everything in IEEE binary64 — the reference configuration.
+    Fp64,
+    /// Everything in IEEE binary32.
+    Fp32,
+    /// Everything in IEEE binary16 — fastest, largest numerical error.
+    Fp16,
+    /// FP32 precalculation, FP16 main loop ("Mixed" in the paper).
+    Mixed,
+    /// FP16 precalculation **with Kahan compensated summation**, FP16 main
+    /// loop ("FP16C" in the paper).
+    Fp16c,
+    /// Everything in bfloat16 (extension).
+    Bf16,
+    /// Everything in TF32 (extension).
+    Tf32,
+    /// FP32 precalculation, FP8-E4M3 main loop (extension; plain FP8 cannot
+    /// survive the precalculation's cancellations at all).
+    Fp8E4M3,
+    /// FP32 precalculation, FP8-E5M2 main loop (extension).
+    Fp8E5M2,
+}
+
+impl PrecisionMode {
+    /// The five modes evaluated in the paper, in the paper's plot order.
+    pub const PAPER_MODES: [PrecisionMode; 5] = [
+        PrecisionMode::Fp64,
+        PrecisionMode::Fp32,
+        PrecisionMode::Fp16,
+        PrecisionMode::Mixed,
+        PrecisionMode::Fp16c,
+    ];
+
+    /// All supported modes including the extensions.
+    pub const ALL: [PrecisionMode; 9] = [
+        PrecisionMode::Fp64,
+        PrecisionMode::Fp32,
+        PrecisionMode::Fp16,
+        PrecisionMode::Mixed,
+        PrecisionMode::Fp16c,
+        PrecisionMode::Bf16,
+        PrecisionMode::Tf32,
+        PrecisionMode::Fp8E4M3,
+        PrecisionMode::Fp8E5M2,
+    ];
+
+    /// Format used by the main iteration loop (and for storing the active
+    /// row-planes of the distance matrix).
+    pub fn main_format(self) -> Format {
+        match self {
+            PrecisionMode::Fp64 => Format::Fp64,
+            PrecisionMode::Fp32 => Format::Fp32,
+            PrecisionMode::Fp16 | PrecisionMode::Mixed | PrecisionMode::Fp16c => Format::Fp16,
+            PrecisionMode::Bf16 => Format::Bf16,
+            PrecisionMode::Tf32 => Format::Tf32,
+            PrecisionMode::Fp8E4M3 => Format::Fp8E4M3,
+            PrecisionMode::Fp8E5M2 => Format::Fp8E5M2,
+        }
+    }
+
+    /// Format used by the precalculation step.
+    pub fn precalc_format(self) -> Format {
+        match self {
+            PrecisionMode::Mixed => Format::Fp32,
+            // The FP8 extension modes are mixed by construction: a running
+            // sum in 2-3 mantissa bits is meaningless.
+            PrecisionMode::Fp8E4M3 | PrecisionMode::Fp8E5M2 => Format::Fp32,
+            other => other.main_format(),
+        }
+    }
+
+    /// Whether precalculation uses Kahan compensated summation.
+    pub fn compensated_precalc(self) -> bool {
+        matches!(self, PrecisionMode::Fp16c)
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecisionMode::Fp64 => "FP64",
+            PrecisionMode::Fp32 => "FP32",
+            PrecisionMode::Fp16 => "FP16",
+            PrecisionMode::Mixed => "Mixed",
+            PrecisionMode::Fp16c => "FP16C",
+            PrecisionMode::Bf16 => "BF16",
+            PrecisionMode::Tf32 => "TF32",
+            PrecisionMode::Fp8E4M3 => "FP8-E4M3",
+            PrecisionMode::Fp8E5M2 => "FP8-E5M2",
+        }
+    }
+}
+
+impl fmt::Display for PrecisionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PrecisionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fp64" | "f64" | "double" => Ok(PrecisionMode::Fp64),
+            "fp32" | "f32" | "single" => Ok(PrecisionMode::Fp32),
+            "fp16" | "f16" | "half" => Ok(PrecisionMode::Fp16),
+            "mixed" => Ok(PrecisionMode::Mixed),
+            "fp16c" | "f16c" => Ok(PrecisionMode::Fp16c),
+            "bf16" | "bfloat16" => Ok(PrecisionMode::Bf16),
+            "tf32" => Ok(PrecisionMode::Tf32),
+            "fp8-e4m3" | "fp8e4m3" | "e4m3" => Ok(PrecisionMode::Fp8E4M3),
+            "fp8-e5m2" | "fp8e5m2" | "e5m2" => Ok(PrecisionMode::Fp8E5M2),
+            other => Err(format!(
+                "unknown precision mode '{other}' (expected one of fp64, fp32, fp16, mixed, fp16c, bf16, tf32)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mode_table() {
+        // Fig. 1 of the paper: precalculation / main-loop formats per mode.
+        use PrecisionMode::*;
+        assert_eq!(Fp64.precalc_format(), Format::Fp64);
+        assert_eq!(Fp64.main_format(), Format::Fp64);
+        assert_eq!(Fp32.precalc_format(), Format::Fp32);
+        assert_eq!(Fp32.main_format(), Format::Fp32);
+        assert_eq!(Fp16.precalc_format(), Format::Fp16);
+        assert_eq!(Fp16.main_format(), Format::Fp16);
+        assert_eq!(Mixed.precalc_format(), Format::Fp32);
+        assert_eq!(Mixed.main_format(), Format::Fp16);
+        assert_eq!(Fp16c.precalc_format(), Format::Fp16);
+        assert_eq!(Fp16c.main_format(), Format::Fp16);
+        assert!(Fp16c.compensated_precalc());
+        assert!(!Fp16.compensated_precalc());
+        assert!(!Mixed.compensated_precalc());
+    }
+
+    #[test]
+    fn format_properties() {
+        assert_eq!(Format::Fp64.bytes(), 8);
+        assert_eq!(Format::Fp16.bytes(), 2);
+        assert_eq!(Format::Tf32.bytes(), 4);
+        assert!(Format::Fp16.epsilon() > Format::Fp32.epsilon());
+        assert_eq!(Format::Fp16.flops_ratio_vs_fp64(), 4.0);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for mode in PrecisionMode::ALL {
+            let parsed: PrecisionMode = mode.label().parse().unwrap();
+            assert_eq!(parsed, mode);
+        }
+        assert!("fp8".parse::<PrecisionMode>().is_err());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = PrecisionMode::PAPER_MODES.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, ["FP64", "FP32", "FP16", "Mixed", "FP16C"]);
+    }
+}

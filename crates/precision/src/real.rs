@@ -1,0 +1,485 @@
+//! The [`Real`] trait: the generic scalar abstraction all matrix-profile
+//! kernels are written against.
+//!
+//! `mdmp-core` instantiates every kernel once per precision mode; the trait
+//! keeps that code monomorphic (no dynamic dispatch on the hot path) while
+//! letting a single implementation cover FP64, FP32, FP16, BF16 and TF32 —
+//! mirroring how the paper's CUDA code is templated over the data type.
+
+use crate::{Bf16, Half, Tf32};
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A floating point scalar usable in the matrix profile kernels.
+///
+/// Implementations exist for [`f64`], [`f32`], [`Half`], [`Bf16`] and
+/// [`Tf32`]. All conversions in and out go through `f64`, which represents
+/// every value of every supported format exactly.
+pub trait Real:
+    Copy
+    + Clone
+    + Default
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + 'static
+{
+    /// Human-readable format name ("FP64", "FP16", …).
+    const NAME: &'static str;
+    /// Storage size per element in bytes — drives the simulated memory
+    /// traffic, hence the bandwidth advantage of the reduced formats.
+    const BYTES: usize;
+    /// Unit roundoff ε (2⁻⁵², 2⁻²³, 2⁻¹⁰ for FP64/FP32/FP16 as quoted in
+    /// §V-B of the paper).
+    const EPSILON: f64;
+    /// Largest finite value, as `f64`.
+    const MAX_FINITE: f64;
+
+    /// Round an `f64` to this format (round-to-nearest-even).
+    fn from_f64(x: f64) -> Self;
+    /// Widen to `f64` exactly.
+    fn to_f64(self) -> f64;
+
+    /// Additive identity.
+    fn zero() -> Self {
+        Self::from_f64(0.0)
+    }
+    /// Multiplicative identity.
+    fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+    /// Positive infinity (used as the sort sentinel).
+    fn infinity() -> Self;
+    /// Negative infinity.
+    fn neg_infinity() -> Self;
+
+    /// Square root in this precision.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `self * a + b` with the rounding the target hardware's FMA provides.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Reciprocal `1/self` in this precision.
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+
+    /// `true` for NaN.
+    fn is_nan(self) -> bool;
+    /// `true` for finite values.
+    fn is_finite(self) -> bool;
+
+    /// IEEE `minNum` minimum (NaN loses).
+    fn min(self, other: Self) -> Self;
+    /// IEEE `maxNum` maximum (NaN loses).
+    fn max(self, other: Self) -> Self;
+
+    /// Total order for the sort network: −∞ < finite < +∞ < NaN.
+    fn total_order(self, other: Self) -> core::cmp::Ordering;
+
+    /// Convert a small non-negative integer (segment length, dimension
+    /// index, …) into this format.
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+}
+
+impl Real for f64 {
+    const NAME: &'static str = "FP64";
+    const BYTES: usize = 8;
+    const EPSILON: f64 = 2.220446049250313e-16; // 2^-52
+    const MAX_FINITE: f64 = f64::MAX;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn infinity() -> Self {
+        f64::INFINITY
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        f64::NEG_INFINITY
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        self.is_nan()
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        self.is_finite()
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline]
+    fn total_order(self, other: Self) -> core::cmp::Ordering {
+        // Collapse -0/+0 and order NaN last regardless of sign, matching the
+        // behaviour of the reduced formats' comparator.
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => core::cmp::Ordering::Equal,
+            (true, false) => core::cmp::Ordering::Greater,
+            (false, true) => core::cmp::Ordering::Less,
+            (false, false) => self.total_cmp(&other),
+        }
+    }
+}
+
+impl Real for f32 {
+    const NAME: &'static str = "FP32";
+    const BYTES: usize = 4;
+    const EPSILON: f64 = 1.1920928955078125e-7; // 2^-23
+    const MAX_FINITE: f64 = f32::MAX as f64;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn infinity() -> Self {
+        f32::INFINITY
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        f32::NEG_INFINITY
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.mul_add(a, b)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        self.is_nan()
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        self.is_finite()
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline]
+    fn total_order(self, other: Self) -> core::cmp::Ordering {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => core::cmp::Ordering::Equal,
+            (true, false) => core::cmp::Ordering::Greater,
+            (false, true) => core::cmp::Ordering::Less,
+            (false, false) => self.total_cmp(&other),
+        }
+    }
+}
+
+impl Real for Half {
+    const NAME: &'static str = "FP16";
+    const BYTES: usize = 2;
+    const EPSILON: f64 = 0.0009765625; // 2^-10
+    const MAX_FINITE: f64 = 65504.0;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Half::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Half::to_f64(self)
+    }
+    #[inline]
+    fn infinity() -> Self {
+        Half::INFINITY
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        Half::NEG_INFINITY
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Half::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Half::abs(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Half::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Half::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Half::is_finite(self)
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        Half::min(self, other)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        Half::max(self, other)
+    }
+    #[inline]
+    fn total_order(self, other: Self) -> core::cmp::Ordering {
+        self.total_cmp(&other)
+    }
+}
+
+impl Real for Bf16 {
+    const NAME: &'static str = "BF16";
+    const BYTES: usize = 2;
+    const EPSILON: f64 = 0.0078125; // 2^-7
+    const MAX_FINITE: f64 = 3.3895313892515355e38;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Bf16::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Bf16::to_f64(self)
+    }
+    #[inline]
+    fn infinity() -> Self {
+        Bf16::INFINITY
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        Bf16::NEG_INFINITY
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Bf16::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Bf16::abs(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Bf16::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Bf16::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Bf16::is_finite(self)
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        Bf16::min(self, other)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        Bf16::max(self, other)
+    }
+    #[inline]
+    fn total_order(self, other: Self) -> core::cmp::Ordering {
+        self.total_cmp(&other)
+    }
+}
+
+impl Real for Tf32 {
+    const NAME: &'static str = "TF32";
+    const BYTES: usize = 4; // TF32 occupies a full 32-bit word in memory
+    const EPSILON: f64 = 0.0009765625; // 2^-10 (10 explicit mantissa bits)
+    const MAX_FINITE: f64 = f32::MAX as f64;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Tf32::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Tf32::to_f64(self)
+    }
+    #[inline]
+    fn infinity() -> Self {
+        Tf32::INFINITY
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        Tf32::NEG_INFINITY
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Tf32::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Tf32::abs(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Tf32::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Tf32::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Tf32::is_finite(self)
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        Tf32::min(self, other)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        Tf32::max(self, other)
+    }
+    #[inline]
+    fn total_order(self, other: Self) -> core::cmp::Ordering {
+        self.total_cmp(&other)
+    }
+}
+
+/// Convert a slice of `f64` into any [`Real`] format (one rounding per
+/// element), as the host→device copy of a reduced-precision run does.
+pub fn convert_slice<T: Real>(src: &[f64]) -> Vec<T> {
+    src.iter().map(|&x| T::from_f64(x)).collect()
+}
+
+/// Widen a slice of any [`Real`] format back to `f64` exactly.
+pub fn widen_slice<T: Real>(src: &[T]) -> Vec<f64> {
+    src.iter().map(|&x| x.to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_contract<T: Real>() {
+        assert_eq!(T::zero().to_f64(), 0.0);
+        assert_eq!(T::one().to_f64(), 1.0);
+        assert!(T::infinity().to_f64().is_infinite());
+        assert!(T::neg_infinity().to_f64() < 0.0);
+        assert!(T::from_f64(f64::NAN).is_nan());
+        assert!(!T::infinity().is_finite());
+        let two = T::from_f64(2.0);
+        assert_eq!((T::one() + T::one()).to_f64(), 2.0);
+        assert_eq!((two * two).to_f64(), 4.0);
+        assert_eq!((two - T::one()).to_f64(), 1.0);
+        assert_eq!((T::from_f64(6.0) / two).to_f64(), 3.0);
+        assert_eq!((-two).to_f64(), -2.0);
+        assert_eq!(T::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(T::from_f64(-3.0).abs().to_f64(), 3.0);
+        assert_eq!(two.mul_add(two, T::one()).to_f64(), 5.0);
+        assert_eq!(two.recip().to_f64(), 0.5);
+        assert_eq!(T::one().min(two).to_f64(), 1.0);
+        assert_eq!(T::one().max(two).to_f64(), 2.0);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        // Rounding sanity: epsilon really is the distance from 1.0 upward.
+        let next = T::from_f64(1.0 + T::EPSILON);
+        assert!(next.to_f64() > 1.0);
+        let below = T::from_f64(1.0 + T::EPSILON / 4.0);
+        assert_eq!(below.to_f64(), 1.0, "{}: eps/4 above 1.0 must round down", T::NAME);
+        // Total order sends NaN last and infinities to the ends.
+        use core::cmp::Ordering;
+        assert_eq!(T::neg_infinity().total_order(T::zero()), Ordering::Less);
+        assert_eq!(T::infinity().total_order(T::zero()), Ordering::Greater);
+        assert_eq!(T::from_f64(f64::NAN).total_order(T::infinity()), Ordering::Greater);
+    }
+
+    #[test]
+    fn trait_contract_f64() {
+        check_contract::<f64>();
+    }
+
+    #[test]
+    fn trait_contract_f32() {
+        check_contract::<f32>();
+    }
+
+    #[test]
+    fn trait_contract_half() {
+        check_contract::<Half>();
+    }
+
+    #[test]
+    fn trait_contract_bf16() {
+        check_contract::<Bf16>();
+    }
+
+    #[test]
+    fn trait_contract_tf32() {
+        check_contract::<Tf32>();
+    }
+
+    #[test]
+    fn bytes_and_epsilon_constants() {
+        assert_eq!(<f64 as Real>::BYTES, 8);
+        assert_eq!(<f32 as Real>::BYTES, 4);
+        assert_eq!(<Half as Real>::BYTES, 2);
+        assert_eq!(<Bf16 as Real>::BYTES, 2);
+        assert_eq!(<Tf32 as Real>::BYTES, 4);
+        assert_eq!(<f64 as Real>::EPSILON, 2f64.powi(-52));
+        assert_eq!(<f32 as Real>::EPSILON, 2f64.powi(-23));
+        assert_eq!(<Half as Real>::EPSILON, 2f64.powi(-10));
+        assert_eq!(<Bf16 as Real>::EPSILON, 2f64.powi(-7));
+        assert_eq!(<Tf32 as Real>::EPSILON, 2f64.powi(-10));
+    }
+
+    #[test]
+    fn convert_and_widen_slices() {
+        let src = vec![0.0, 1.0, -2.5, 1.0 / 3.0];
+        let halves: Vec<Half> = convert_slice(&src);
+        let back = widen_slice(&halves);
+        assert_eq!(back[0], 0.0);
+        assert_eq!(back[1], 1.0);
+        assert_eq!(back[2], -2.5);
+        assert!((back[3] - 1.0 / 3.0).abs() < 1e-3);
+    }
+}

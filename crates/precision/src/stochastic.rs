@@ -1,0 +1,216 @@
+//! Stochastic rounding — an extension study on the reduced-precision theme.
+//!
+//! Round-to-nearest is *biased* for long accumulations: once the running
+//! sum grows past `x / ε`, further addends round away entirely (the
+//! swamping the paper's FP16C mode fights with Kahan compensation).
+//! Stochastic rounding (round up with probability proportional to the
+//! fractional position between the two neighbouring representable values)
+//! is unbiased in expectation, which is why it is popular in low-precision
+//! ML training. This module provides stochastically rounded conversion and
+//! accumulation for [`Half`], with a deterministic counter-based RNG so
+//! results stay reproducible.
+
+use crate::Half;
+
+/// A small counter-based RNG (splitmix64) so stochastic rounding is
+/// reproducible and `Send + Sync` without shared state.
+#[derive(Debug, Clone)]
+pub struct SrRng {
+    state: u64,
+}
+
+impl SrRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> SrRng {
+        SrRng { state: seed }
+    }
+
+    /// Next uniform value in `[0, 1)`.
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Round an `f64` to binary16 **stochastically**: if `x` lies between the
+/// representable neighbours `lo ≤ x ≤ hi`, round up with probability
+/// `(x − lo) / (hi − lo)`. Exactly representable values never move;
+/// out-of-range values saturate like round-to-nearest.
+pub fn round_stochastic(x: f64, rng: &mut SrRng) -> Half {
+    if !x.is_finite() {
+        return Half::from_f64(x);
+    }
+    let nearest = Half::from_f64(x);
+    let nv = nearest.to_f64();
+    if nv == x || !nearest.is_finite() {
+        return nearest;
+    }
+    // The other neighbour lies on the opposite side of x.
+    let (lo, hi) = if nv < x {
+        (nearest, next_up(nearest))
+    } else {
+        (next_down(nearest), nearest)
+    };
+    let (lov, hiv) = (lo.to_f64(), hi.to_f64());
+    if !lo.is_finite() || !hi.is_finite() || hiv == lov {
+        return nearest;
+    }
+    let p_up = (x - lov) / (hiv - lov);
+    if rng.next_unit() < p_up {
+        hi
+    } else {
+        lo
+    }
+}
+
+/// The next representable binary16 above `h` (+∞ stays put).
+pub fn next_up(h: Half) -> Half {
+    let bits = h.to_bits();
+    if h.is_nan() || (bits & 0x7FFF) == 0x7C00 && bits < 0x8000 {
+        return h;
+    }
+    if bits == 0x8000 {
+        // -0 -> smallest positive subnormal
+        return Half::from_bits(0x0001);
+    }
+    if bits & 0x8000 != 0 {
+        Half::from_bits(bits - 1)
+    } else {
+        Half::from_bits(bits + 1)
+    }
+}
+
+/// The next representable binary16 below `h` (−∞ stays put).
+pub fn next_down(h: Half) -> Half {
+    -next_up(-h)
+}
+
+/// A running binary16 sum with stochastically rounded additions: the
+/// unbiased alternative to both the plain and the Kahan accumulator.
+#[derive(Debug, Clone)]
+pub struct StochasticSum {
+    sum: Half,
+    rng: SrRng,
+}
+
+impl StochasticSum {
+    /// An empty sum with a seed.
+    pub fn new(seed: u64) -> StochasticSum {
+        StochasticSum {
+            sum: Half::ZERO,
+            rng: SrRng::new(seed),
+        }
+    }
+
+    /// Add a term: the exact f64 sum of the current value and the addend is
+    /// stochastically rounded back to binary16.
+    pub fn add(&mut self, x: Half) {
+        let exact = self.sum.to_f64() + x.to_f64();
+        self.sum = round_stochastic(exact, &mut self.rng);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> Half {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_never_move() {
+        let mut rng = SrRng::new(1);
+        for v in [0.0, 1.0, -2.5, 65504.0, 2f64.powi(-24)] {
+            for _ in 0..20 {
+                assert_eq!(round_stochastic(v, &mut rng).to_f64(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_to_one_of_the_two_neighbours() {
+        let mut rng = SrRng::new(2);
+        let x = 1.0 + 0.3 * 2f64.powi(-10); // 30% of the way to the next value
+        let lo = 1.0;
+        let hi = 1.0 + 2f64.powi(-10);
+        let mut up = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let r = round_stochastic(x, &mut rng).to_f64();
+            assert!(r == lo || r == hi, "unexpected value {r}");
+            if r == hi {
+                up += 1;
+            }
+        }
+        let p = up as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.02, "P(up) should be ~0.3, got {p}");
+    }
+
+    #[test]
+    fn expectation_is_unbiased() {
+        let mut rng = SrRng::new(3);
+        let x = 2.0 + 0.77 * 2f64.powi(-9); // between 2 and 2+ulp(2)
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| round_stochastic(x, &mut rng).to_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - x).abs() < 2f64.powi(-9) * 0.02,
+            "mean {mean} should approximate {x}"
+        );
+    }
+
+    #[test]
+    fn next_up_down_walk_the_grid() {
+        assert_eq!(next_up(Half::ZERO).to_bits(), 0x0001);
+        assert_eq!(next_down(Half::ZERO).to_bits(), 0x8001);
+        assert_eq!(next_up(Half::from_f64(1.0)).to_f64(), 1.0 + 2f64.powi(-10));
+        assert_eq!(next_down(Half::from_f64(1.0)).to_f64(), 1.0 - 2f64.powi(-11));
+        assert_eq!(next_up(Half::MAX).to_f64(), f64::INFINITY);
+        assert_eq!(next_up(Half::INFINITY).to_f64(), f64::INFINITY);
+        // Round trip: down(up(x)) == x for normal values.
+        let x = Half::from_f64(3.140625);
+        assert_eq!(next_down(next_up(x)).to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn stochastic_sum_escapes_swamping() {
+        // Plain RNE summation of 8192 ones stalls at 2048; the stochastic
+        // accumulator keeps growing (each add has probability ~1/ulp of
+        // rounding up) and lands near the true value in expectation.
+        let mut plain = Half::ZERO;
+        let mut sr = StochasticSum::new(7);
+        let n = 8192;
+        for _ in 0..n {
+            plain += Half::ONE;
+            sr.add(Half::ONE);
+        }
+        assert_eq!(plain.to_f64(), 2048.0);
+        let got = sr.value().to_f64();
+        assert!(
+            (got - n as f64).abs() < n as f64 * 0.15,
+            "stochastic sum should track ~{n}, got {got}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut s = StochasticSum::new(seed);
+            for i in 0..100 {
+                s.add(Half::from_f64(0.1 + (i % 7) as f64 * 0.01));
+            }
+            s.value().to_bits()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,236 @@
+//! TF32 ("TensorFloat-32"): NVIDIA Ampere's tensor-core input format with the
+//! 8-bit exponent of binary32 and a 10-bit explicit significand. Named by the
+//! paper (§VII) as a future extension.
+//!
+//! On hardware, TF32 values occupy a 32-bit register whose low 13 mantissa
+//! bits are ignored by the tensor cores. We model that directly: a [`Tf32`]
+//! stores an `f32` that is always quantized to a 10-bit significand
+//! (round-to-nearest-even on the discarded 13 bits), and every arithmetic
+//! result is re-quantized.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A TensorFloat-32 number (f32 range, 11-bit significand precision).
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct Tf32(f32);
+
+/// Quantize an `f32` to a 10-bit explicit significand, RNE.
+fn quantize(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    // Round-to-nearest-even on the low 13 bits; carry may ripple into the
+    // exponent, which correctly rounds up to the next binade or to infinity.
+    let rounded = bits.wrapping_add(0x0FFF + ((bits >> 13) & 1)) & !0x1FFF;
+    let q = f32::from_bits(rounded);
+    if q.is_nan() {
+        x // quantization cannot create NaN from a finite value; keep input
+    } else {
+        q
+    }
+}
+
+impl Tf32 {
+    /// Positive zero.
+    pub const ZERO: Tf32 = Tf32(0.0);
+    /// One.
+    pub const ONE: Tf32 = Tf32(1.0);
+    /// Positive infinity.
+    pub const INFINITY: Tf32 = Tf32(f32::INFINITY);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Tf32 = Tf32(f32::NEG_INFINITY);
+    /// A quiet NaN.
+    pub const NAN: Tf32 = Tf32(f32::NAN);
+
+    /// Round an `f64` to the nearest TF32 value.
+    #[inline]
+    pub fn from_f64(x: f64) -> Tf32 {
+        // f64 -> f32 -> 10-bit chain; same double-rounding argument as Bf16.
+        Tf32(quantize(x as f32))
+    }
+
+    /// Round an `f32` to the nearest TF32 value.
+    #[inline]
+    pub fn from_f32(x: f32) -> Tf32 {
+        Tf32(quantize(x))
+    }
+
+    /// The quantized `f32` payload (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0
+    }
+
+    /// Widen to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// `true` for NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.0.is_nan()
+    }
+
+    /// `true` for finite values.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Tf32 {
+        Tf32(self.0.abs())
+    }
+
+    /// Square root, re-quantized.
+    #[inline]
+    pub fn sqrt(self) -> Tf32 {
+        Tf32::from_f64(self.to_f64().sqrt())
+    }
+
+    /// Fused multiply-add with a single final quantization.
+    #[inline]
+    pub fn mul_add(self, a: Tf32, b: Tf32) -> Tf32 {
+        Tf32::from_f64(self.to_f64().mul_add(a.to_f64(), b.to_f64()))
+    }
+
+    /// IEEE `minNum` minimum.
+    #[inline]
+    pub fn min(self, other: Tf32) -> Tf32 {
+        Tf32(self.0.min(other.0))
+    }
+
+    /// IEEE `maxNum` maximum.
+    #[inline]
+    pub fn max(self, other: Tf32) -> Tf32 {
+        Tf32(self.0.max(other.0))
+    }
+
+    /// Total order for sorting: −∞ < finite < +∞ < NaN.
+    #[inline]
+    pub fn total_cmp(&self, other: &Tf32) -> Ordering {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.total_cmp(&other.0),
+        }
+    }
+}
+
+macro_rules! tf32_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for Tf32 {
+            type Output = Tf32;
+            #[inline]
+            fn $method(self, rhs: Tf32) -> Tf32 {
+                Tf32::from_f64(self.to_f64() $op rhs.to_f64())
+            }
+        }
+        impl $assign_trait for Tf32 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Tf32) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+tf32_binop!(Add, add, +, AddAssign, add_assign);
+tf32_binop!(Sub, sub, -, SubAssign, sub_assign);
+tf32_binop!(Mul, mul, *, MulAssign, mul_assign);
+tf32_binop!(Div, div, /, DivAssign, div_assign);
+
+impl Neg for Tf32 {
+    type Output = Tf32;
+    #[inline]
+    fn neg(self) -> Tf32 {
+        Tf32(-self.0)
+    }
+}
+
+impl PartialEq for Tf32 {
+    #[inline]
+    fn eq(&self, other: &Tf32) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Tf32 {
+    #[inline]
+    fn partial_cmp(&self, other: &Tf32) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Tf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}tf32", self.0)
+    }
+}
+
+impl fmt::Display for Tf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_keeps_10_bits() {
+        let x = Tf32::from_f64(1.0 + 2f64.powi(-10));
+        assert_eq!(x.to_f64(), 1.0 + 2f64.powi(-10));
+        // Halfway between 1.0 and 1+2^-10: ties to even -> 1.0.
+        let y = Tf32::from_f64(1.0 + 2f64.powi(-11));
+        assert_eq!(y.to_f64(), 1.0);
+        // Below a quarter ulp rounds down.
+        let z = Tf32::from_f64(1.0 + 2f64.powi(-13));
+        assert_eq!(z.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn range_is_f32_like() {
+        let big = Tf32::from_f64(1.0e30);
+        assert!(big.is_finite());
+        assert!((big.to_f64() - 1.0e30).abs() / 1.0e30 < 2f64.powi(-10));
+        assert!(!Tf32::from_f64(1.0e40).is_finite());
+    }
+
+    #[test]
+    fn arithmetic_requantizes() {
+        let a = Tf32::from_f64(1.0);
+        let b = Tf32::from_f64(2f64.powi(-12));
+        assert_eq!((a + b).to_f64(), 1.0, "sub-ulp addend must vanish");
+        let mut acc = Tf32::ZERO;
+        for _ in 0..4096 {
+            acc += Tf32::ONE;
+        }
+        assert_eq!(acc.to_f64(), 2048.0, "accumulation stalls at 2^11");
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        assert!(Tf32::NAN.is_nan());
+        assert!((Tf32::INFINITY + Tf32::ONE).to_f64().is_infinite());
+        assert!((Tf32::INFINITY - Tf32::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn total_cmp_sorts_nan_last() {
+        let mut v = [Tf32::NAN, Tf32::ONE, Tf32::NEG_INFINITY];
+        v.sort_by(Tf32::total_cmp);
+        assert!(v[0].to_f64().is_infinite() && v[0].to_f64() < 0.0);
+        assert_eq!(v[1].to_f64(), 1.0);
+        assert!(v[2].is_nan());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the from-scratch float formats.
+
+use mdmp_precision::{Bf16, Flex, Half, Real, Tf32};
+use proptest::prelude::*;
+
+/// `Flex<8, 23>` has exactly the geometry of IEEE binary32, so its rounding
+/// must agree with the hardware's `f64 → f32` conversion bit for bit.
+fn flex32_matches_hardware(x: f64) -> Result<(), TestCaseError> {
+    let hw = x as f32;
+    let fx = Flex::<8, 23>::from_f64(x);
+    if hw.is_nan() {
+        prop_assert!(fx.is_nan());
+    } else {
+        prop_assert_eq!(
+            hw as f64,
+            fx.to_f64(),
+            "x = {}: hardware {} vs flex {}",
+            x,
+            hw,
+            fx.to_f64()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn flex_8_23_equals_f32_everywhere(x in any::<f64>()) {
+        flex32_matches_hardware(x)?;
+    }
+
+    #[test]
+    fn flex_8_23_equals_f32_in_subnormal_range(x in -1.0e-37..1.0e-37_f64) {
+        flex32_matches_hardware(x)?;
+    }
+
+    /// Rounding is monotone: a ≤ b implies round(a) ≤ round(b).
+    #[test]
+    fn half_rounding_is_monotone(a in -1.0e5..1.0e5_f64, b in -1.0e5..1.0e5_f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Half::from_f64(lo).to_f64() <= Half::from_f64(hi).to_f64());
+    }
+
+    #[test]
+    fn bf16_rounding_is_monotone(a in -1.0e30..1.0e30_f64, b in -1.0e30..1.0e30_f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f64(lo).to_f64() <= Bf16::from_f64(hi).to_f64());
+    }
+
+    /// Negation is exact in every format (sign-bit flip).
+    #[test]
+    fn negation_is_exact(x in -60000.0..60000.0_f64) {
+        prop_assert_eq!((-Half::from_f64(x)).to_f64(), -Half::from_f64(x).to_f64());
+        prop_assert_eq!((-Bf16::from_f64(x)).to_f64(), -Bf16::from_f64(x).to_f64());
+        prop_assert_eq!((-Tf32::from_f64(x)).to_f64(), -Tf32::from_f64(x).to_f64());
+    }
+
+    /// Addition commutes (each operation is a deterministic rounding of the
+    /// exact sum).
+    #[test]
+    fn addition_commutes(a in -100.0..100.0_f64, b in -100.0..100.0_f64) {
+        let (ha, hb) = (Half::from_f64(a), Half::from_f64(b));
+        prop_assert_eq!((ha + hb).to_f64(), (hb + ha).to_f64());
+        let (ta, tb) = (Tf32::from_f64(a), Tf32::from_f64(b));
+        prop_assert_eq!((ta + tb).to_f64(), (tb + ta).to_f64());
+    }
+
+    /// x + 0 == x and x * 1 == x for representable x.
+    #[test]
+    fn additive_multiplicative_identities(x in -60000.0..60000.0_f64) {
+        let h = Half::from_f64(x);
+        prop_assert_eq!((h + Half::ZERO).to_f64(), h.to_f64());
+        prop_assert_eq!((h * Half::ONE).to_f64(), h.to_f64());
+    }
+
+    /// total_cmp is transitive and consistent with the widened order.
+    #[test]
+    fn total_order_is_lawful(
+        a in any::<u16>(),
+        b in any::<u16>(),
+        c in any::<u16>(),
+    ) {
+        use std::cmp::Ordering;
+        let (ha, hb, hc) = (Half::from_bits(a), Half::from_bits(b), Half::from_bits(c));
+        // Antisymmetry.
+        prop_assert_eq!(ha.total_cmp(&hb), hb.total_cmp(&ha).reverse());
+        // Transitivity.
+        if ha.total_cmp(&hb) != Ordering::Greater && hb.total_cmp(&hc) != Ordering::Greater {
+            prop_assert_ne!(ha.total_cmp(&hc), Ordering::Greater);
+        }
+        // Consistency with the numeric order on non-NaN values.
+        if !ha.is_nan() && !hb.is_nan() && ha.to_f64() < hb.to_f64() {
+            prop_assert_eq!(ha.total_cmp(&hb), Ordering::Less);
+        }
+    }
+
+    /// Kahan summation satisfies its classical error bound
+    /// `|err| ≤ 2ε·Σ|xᵢ| + O(nε²)` — independent of n, unlike plain
+    /// summation whose bound grows linearly. (Plain summation can win on
+    /// individual lucky inputs, so per-case dominance is NOT a property.)
+    #[test]
+    fn kahan_satisfies_compensated_bound(
+        values in prop::collection::vec(-10.0..10.0_f64, 8..200)
+    ) {
+        use mdmp_precision::KahanSum;
+        let hs: Vec<Half> = values.iter().map(|&v| Half::from_f64(v)).collect();
+        let exact: f64 = hs.iter().map(|h| h.to_f64()).sum();
+        let sum_abs: f64 = hs.iter().map(|h| h.to_f64().abs()).sum();
+        let mut kahan = KahanSum::<Half>::new();
+        for &h in &hs {
+            kahan.add(h);
+        }
+        let err_kahan = (kahan.value().to_f64() - exact).abs();
+        let eps = 2f64.powi(-11); // unit roundoff of binary16
+        let n = hs.len() as f64;
+        let bound = (2.0 * eps + 6.0 * n * eps * eps) * sum_abs
+            + exact.abs() * eps; // final representation rounding
+        prop_assert!(err_kahan <= bound + 1e-12,
+            "kahan error {} exceeds compensated bound {} (exact {})",
+            err_kahan, bound, exact);
+    }
+
+    /// On long same-sign accumulations (the matrix-profile precalculation
+    /// pattern), Kahan IS strictly better than plain FP16 summation once
+    /// swamping kicks in.
+    #[test]
+    fn kahan_beats_plain_on_long_positive_sums(
+        x in 0.5..2.0_f64,
+        n in 3000usize..6000,
+    ) {
+        use mdmp_precision::KahanSum;
+        let h = Half::from_f64(x);
+        let exact = h.to_f64() * n as f64;
+        let mut plain = Half::ZERO;
+        let mut kahan = KahanSum::<Half>::new();
+        for _ in 0..n {
+            plain += h;
+            kahan.add(h);
+        }
+        let err_plain = (plain.to_f64() - exact).abs();
+        let err_kahan = (kahan.value().to_f64() - exact).abs();
+        prop_assert!(err_kahan < err_plain,
+            "n={}: kahan {} not better than plain {}", n, err_kahan, err_plain);
+    }
+
+    /// Widening then re-rounding is the identity for every format
+    /// (idempotent rounding).
+    #[test]
+    fn tf32_quantization_idempotent(x in any::<f32>()) {
+        let t = Tf32::from_f32(x);
+        prop_assert_eq!(Tf32::from_f64(t.to_f64()).to_f64(), t.to_f64());
+    }
+
+    /// Flex formats respect their advertised MAX_FINITE: values beyond it
+    /// (past the rounding midpoint) overflow to infinity, values at it stay
+    /// finite.
+    #[test]
+    fn flex_overflow_boundary(scale in 1.0001f64..1.5) {
+        type F = Flex<4, 3>;
+        let max = <F as Real>::MAX_FINITE;
+        prop_assert!(F::from_f64(max).is_finite());
+        prop_assert!(!F::from_f64(max * 1.07 * scale).is_finite());
+    }
+}

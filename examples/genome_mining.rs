@@ -1,0 +1,66 @@
+//! The §VI-B case study: mining repeated "gene" motifs in integer-encoded
+//! genome sequences (A→1, C→2, T→3, G→4), where reduced precision shines
+//! because the alphabet is tiny — and where tiling recovers FP16 accuracy.
+//!
+//! ```sh
+//! cargo run --release --example genome_mining
+//! ```
+
+use mdmp_core::baseline::mstamp;
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::genome::{generate, GenomeConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_metrics::recall_rate;
+use mdmp_precision::PrecisionMode;
+
+fn main() {
+    let cfg = GenomeConfig {
+        len: 2048 + 127,
+        channels: 8,
+        gene_len: 128,
+        genes: 4,
+        mutation_rate: 0.02,
+        seed: 0x6E0E,
+    };
+    let ds = generate(&cfg);
+    let m = cfg.gene_len;
+    println!(
+        "synthetic genome: {} channels x {} bases, {} genes x 2 copies each (m = {m})",
+        ds.series.dims(),
+        ds.series.len(),
+        cfg.genes
+    );
+
+    // FP64 CPU reference for the recall metric.
+    let reference = mstamp(&ds.series, &ds.series, m, None, None);
+
+    println!("\nrecall of the matrix-profile index vs tile count:");
+    println!("tiles   FP16      Mixed     FP16C");
+    for tiles in [1usize, 4, 16] {
+        print!("{tiles:<6}");
+        for mode in [PrecisionMode::Fp16, PrecisionMode::Mixed, PrecisionMode::Fp16c] {
+            let run_cfg = MdmpConfig::new(m, mode).with_tiles(tiles);
+            let mut system = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+            let run = run_with_mode(&ds.series, &ds.series, &run_cfg, &mut system)
+                .expect("genome run failed");
+            print!("  {:>7.2}%", recall_rate(&reference, &run.profile) * 100.0);
+        }
+        println!();
+    }
+
+    // Show that a gene copy pair is discovered: the profile index at one
+    // copy should point at (or near) the other copy of the same gene.
+    println!("\ndiscovered gene-copy pairs (channel 0):");
+    let copies = &ds.gene_copies[0];
+    let k = ds.series.dims() - 1;
+    for &(gene, start) in copies.iter().take(4) {
+        if start < reference.n_query() {
+            println!(
+                "  gene {gene} copy at {start:>5}: 1-dim best match at {:>5} (distance {:.3})",
+                reference.index(start, 0),
+                reference.value(start, 0)
+            );
+        }
+    }
+    let _ = k;
+}

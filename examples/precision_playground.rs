@@ -1,0 +1,51 @@
+//! A tour of the reduced-precision substrate: binary16 rounding behaviour,
+//! swamping, Kahan compensation, and the tile-size error-bound model that
+//! motivates the paper's tiling scheme.
+//!
+//! ```sh
+//! cargo run --release --example precision_playground
+//! ```
+
+use mdmp_precision::{analysis, Bf16, Half, KahanSum, PrecisionMode, Tf32};
+
+fn main() {
+    println!("== binary16 basics");
+    println!("  1/3 in FP16      : {}", Half::from_f64(1.0 / 3.0));
+    println!("  max finite       : {}", Half::MAX);
+    println!("  65504 + 1        : {}", Half::MAX + Half::ONE);
+    println!("  65504 * 2        : {}", Half::MAX * Half::from_f64(2.0));
+    println!("  2^-24 (min subn.): {}", Half::MIN_POSITIVE_SUBNORMAL);
+
+    println!("\n== swamping: summing 4096 ones");
+    let mut plain = Half::ZERO;
+    let mut kahan = KahanSum::<Half>::new();
+    for _ in 0..4096 {
+        plain += Half::ONE;
+        kahan.add(Half::ONE);
+    }
+    println!("  plain FP16 sum   : {plain}   (stalls at 2^11!)");
+    println!("  Kahan FP16 sum   : {}", kahan.value());
+
+    println!("\n== the same value in every format");
+    let x = std::f64::consts::PI;
+    println!("  f64  : {x:.17}");
+    println!("  f32  : {:.17}", x as f32 as f64);
+    println!("  TF32 : {:.17}", Tf32::from_f64(x).to_f64());
+    println!("  FP16 : {:.17}", Half::from_f64(x).to_f64());
+    println!("  BF16 : {:.17}", Bf16::from_f64(x).to_f64());
+
+    println!("\n== dot-product error bound e ~ n*eps (Section V-B)");
+    for n in [256usize, 1024, 4096, 65536] {
+        let b16 = analysis::qt_error_bound(n, 2f64.powi(-10));
+        let b32 = analysis::qt_error_bound(n, 2f64.powi(-23));
+        println!("  recurrence length {n:>6}: FP16 bound {b16:>10.4}, FP32 bound {b32:.2e}");
+    }
+
+    println!("\n== tiles needed for a 5% FP16 error bound");
+    for n in [4096usize, 16384, 65536] {
+        match analysis::recommended_tiles(n, PrecisionMode::Fp16, 0.05) {
+            Some(tiles) => println!("  n = {n:>6}: {tiles} tiles"),
+            None => println!("  n = {n:>6}: unreachable in FP16"),
+        }
+    }
+}

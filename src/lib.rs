@@ -1,0 +1,43 @@
+//! # mdmp-suite
+//!
+//! Facade crate of the reproduction of *Exploiting Reduced Precision for
+//! GPU-based Time Series Mining* (Ju, Raoofy, Yang, Laure, Schulz —
+//! IPDPS 2022). Re-exports the workspace crates under one roof and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! * [`precision`] — from-scratch binary16 / bfloat16 / TF32 arithmetic,
+//!   Kahan summation, precision modes, error-bound analysis;
+//! * [`gpu`] — the software GPU execution model (devices, streams, memory,
+//!   calibrated roofline timing);
+//! * [`data`] — the multi-dimensional series container and the workload
+//!   generators for all case studies;
+//! * [`core`] — the multi-dimensional matrix profile: single-tile and
+//!   multi-tile/multi-GPU algorithms, all precision modes, baselines;
+//! * [`metrics`] — the paper's accuracy metrics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mdmp_suite::core::{run_with_mode, MdmpConfig};
+//! use mdmp_suite::data::synthetic::{generate_pair, SyntheticConfig};
+//! use mdmp_suite::gpu::{DeviceSpec, GpuSystem};
+//! use mdmp_suite::precision::PrecisionMode;
+//!
+//! let mut data_cfg = SyntheticConfig::paper_default();
+//! data_cfg.n_subsequences = 256;
+//! data_cfg.dims = 4;
+//! data_cfg.m = 16;
+//! let pair = generate_pair(&data_cfg);
+//!
+//! let cfg = MdmpConfig::new(16, PrecisionMode::Mixed).with_tiles(4);
+//! let mut system = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+//! let run = run_with_mode(&pair.reference, &pair.query, &cfg, &mut system).unwrap();
+//! assert!(run.profile.value(0, 3).is_finite());
+//! ```
+
+pub use mdmp_core as core;
+pub use mdmp_data as data;
+pub use mdmp_gpu_sim as gpu;
+pub use mdmp_metrics as metrics;
+pub use mdmp_precision as precision;

@@ -1,0 +1,99 @@
+//! Determinism and device-invariance guarantees: results must not depend on
+//! how many (simulated) GPUs execute the tiles, on repeated execution, or
+//! on the host thread count — the properties that make the accuracy
+//! experiments meaningful.
+
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+
+fn data() -> mdmp_data::SyntheticPair {
+    generate_pair(&SyntheticConfig {
+        n_subsequences: 600,
+        dims: 3,
+        m: 24,
+        pattern: Pattern::Chirp,
+        embeddings: 2,
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed: 99,
+    })
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let p = data();
+    for mode in PrecisionMode::PAPER_MODES {
+        let cfg = MdmpConfig::new(24, mode).with_tiles(9);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let a = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+        let b = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+        assert_eq!(a.profile, b.profile, "{mode} not deterministic");
+    }
+}
+
+#[test]
+fn results_invariant_to_gpu_count() {
+    let p = data();
+    for mode in [PrecisionMode::Fp64, PrecisionMode::Fp16] {
+        let cfg = MdmpConfig::new(24, mode).with_tiles(16);
+        let mut profiles = Vec::new();
+        for gpus in [1usize, 2, 3, 8] {
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::v100(), gpus);
+            let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+            profiles.push(run.profile);
+        }
+        for other in &profiles[1..] {
+            assert_eq!(&profiles[0], other, "{mode}: result depends on GPU count");
+        }
+    }
+}
+
+#[test]
+fn results_invariant_to_device_generation() {
+    // V100 vs A100 changes the *timing model* only, never the arithmetic —
+    // "our implementation has a stable accuracy regardless of the GPU
+    // generation" (§V-A).
+    let p = data();
+    let cfg = MdmpConfig::new(24, PrecisionMode::Fp16).with_tiles(4);
+    let mut v = GpuSystem::homogeneous(DeviceSpec::v100(), 1);
+    let mut a = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let rv = run_with_mode(&p.reference, &p.query, &cfg, &mut v).unwrap();
+    let ra = run_with_mode(&p.reference, &p.query, &cfg, &mut a).unwrap();
+    assert_eq!(rv.profile, ra.profile);
+    assert!(ra.modeled_seconds < rv.modeled_seconds, "A100 is modelled faster");
+}
+
+#[test]
+fn results_invariant_to_rayon_thread_count() {
+    // Kernels only parallelize over independent elements, so a 2-thread
+    // pool must agree bitwise with the default pool.
+    let p = data();
+    let cfg = MdmpConfig::new(24, PrecisionMode::Fp16c).with_tiles(4);
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let default_pool = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+    let small_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .unwrap()
+        .install(|| {
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+            run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap()
+        });
+    assert_eq!(default_pool.profile, small_pool.profile);
+}
+
+#[test]
+fn modeled_time_is_deterministic() {
+    let p = data();
+    let cfg = MdmpConfig::new(24, PrecisionMode::Fp32).with_tiles(16);
+    let mut t = Vec::new();
+    for _ in 0..3 {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+        t.push((run.modeled_seconds, run.merge_seconds));
+    }
+    assert_eq!(t[0], t[1]);
+    assert_eq!(t[1], t[2]);
+}

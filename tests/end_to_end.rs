@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through the simulated-GPU matrix profile to the paper's metrics.
+
+use mdmp_core::baseline::{brute_force, mstamp};
+use mdmp_core::{run_with_mode, MdmpConfig, MdmpError};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_metrics::{embedded_recall, recall_rate, relative_accuracy};
+use mdmp_precision::PrecisionMode;
+
+fn pair(n: usize, d: usize, m: usize, seed: u64) -> mdmp_data::SyntheticPair {
+    generate_pair(&SyntheticConfig {
+        n_subsequences: n,
+        dims: d,
+        m,
+        pattern: Pattern::GaussBump,
+        embeddings: 3,
+        noise: 0.3,
+        pattern_amplitude: 1.1,
+        seed,
+    })
+}
+
+#[test]
+fn fp64_gpu_pipeline_agrees_with_both_baselines() {
+    let p = pair(160, 3, 12, 1);
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let cfg = MdmpConfig::new(12, PrecisionMode::Fp64).with_tiles(4);
+    let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+    let ms = mstamp(&p.reference, &p.query, 12, None, None);
+    let bf = brute_force(&p.reference, &p.query, 12, None);
+    assert!(recall_rate(&ms, &run.profile) > 0.999);
+    assert!(relative_accuracy(&ms, &run.profile) > 0.999999);
+    assert!(recall_rate(&bf, &run.profile) > 0.999);
+    assert!(relative_accuracy(&bf, &ms) > 0.999999);
+}
+
+#[test]
+fn precision_hierarchy_holds() {
+    // FP32 at least as accurate as Mixed/FP16C, which beat plain FP16 —
+    // the ordering of Fig. 2 (checked on relative accuracy with slack for
+    // near-tie noise).
+    let p = pair(1024, 4, 16, 2);
+    let reference = mstamp(&p.reference, &p.query, 16, None, None);
+    let acc = |mode: PrecisionMode| {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg = MdmpConfig::new(16, mode);
+        let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+        relative_accuracy(&reference, &run.profile)
+    };
+    let a32 = acc(PrecisionMode::Fp32);
+    let a16 = acc(PrecisionMode::Fp16);
+    let a_mixed = acc(PrecisionMode::Mixed);
+    let a16c = acc(PrecisionMode::Fp16c);
+    assert!(a32 > 0.9999, "FP32 ~ exact, got {a32}");
+    assert!(a_mixed >= a16, "Mixed {a_mixed} must not lose to FP16 {a16}");
+    assert!(a16c >= a16, "FP16C {a16c} must not lose to FP16 {a16}");
+    assert!(a16 > 0.9, "FP16 at n=1024 stays usable, got {a16}");
+}
+
+#[test]
+fn tiling_improves_fp16_accuracy() {
+    let p = pair(2048, 4, 16, 3);
+    let reference = mstamp(&p.reference, &p.query, 16, None, None);
+    let acc = |tiles: usize| {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg = MdmpConfig::new(16, PrecisionMode::Fp16).with_tiles(tiles);
+        let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+        relative_accuracy(&reference, &run.profile)
+    };
+    let one = acc(1);
+    let many = acc(64);
+    assert!(
+        many > one,
+        "64 tiles should improve FP16 accuracy: {one} -> {many}"
+    );
+}
+
+#[test]
+fn embedded_motifs_found_in_all_paper_modes() {
+    let p = pair(1024, 4, 32, 4);
+    for mode in PrecisionMode::PAPER_MODES {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg = MdmpConfig::new(32, mode);
+        let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
+        let (recall, _, _) =
+            embedded_recall(&run.profile, 3, &p.query_locs, &p.reference_locs, 2);
+        assert!(
+            recall >= 2.0 / 3.0,
+            "{mode}: embedded recall {recall} too low"
+        );
+    }
+}
+
+#[test]
+fn extension_modes_bf16_tf32_run_and_rank_sensibly() {
+    let p = pair(512, 3, 16, 5);
+    let reference = mstamp(&p.reference, &p.query, 16, None, None);
+    let acc = |mode: PrecisionMode| {
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let run = run_with_mode(&p.reference, &p.query, &MdmpConfig::new(16, mode), &mut sys)
+            .unwrap();
+        relative_accuracy(&reference, &run.profile)
+    };
+    let tf32 = acc(PrecisionMode::Tf32);
+    let bf16 = acc(PrecisionMode::Bf16);
+    let fp16 = acc(PrecisionMode::Fp16);
+    // TF32 has FP16's mantissa with FP32's range: at least as good as FP16.
+    assert!(tf32 >= fp16 - 1e-6, "TF32 {tf32} vs FP16 {fp16}");
+    // BF16 (8-bit significand) is the least accurate format.
+    assert!(bf16 <= fp16 + 0.02, "BF16 {bf16} should not beat FP16 {fp16}");
+    assert!(bf16 > 0.5, "BF16 still produces usable output, got {bf16}");
+}
+
+#[test]
+fn self_join_never_matches_itself() {
+    let p = pair(400, 2, 16, 6);
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let cfg = MdmpConfig::new(16, PrecisionMode::Fp64).self_join();
+    let run = run_with_mode(&p.reference, &p.reference, &cfg, &mut sys).unwrap();
+    let excl = cfg.exclusion_zone.unwrap();
+    for k in 0..2 {
+        for j in 0..run.profile.n_query() {
+            let i = run.profile.index(j, k);
+            assert!(i >= 0);
+            assert!(
+                (i as usize).abs_diff(j) >= excl,
+                "trivial match at ({j}, {i}) with exclusion {excl}"
+            );
+        }
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let p = pair(64, 2, 8, 7);
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    // m larger than the series.
+    let bad = MdmpConfig::new(100_000, PrecisionMode::Fp64);
+    assert!(matches!(
+        run_with_mode(&p.reference, &p.query, &bad, &mut sys),
+        Err(MdmpError::BadConfig(_))
+    ));
+    // Too many tiles.
+    let bad_tiles = MdmpConfig::new(8, PrecisionMode::Fp64).with_tiles(1 << 20);
+    assert!(run_with_mode(&p.reference, &p.query, &bad_tiles, &mut sys).is_err());
+}
+
+#[test]
+fn oom_is_detected_for_oversized_tiles() {
+    // A device with a tiny memory cannot hold the single-tile working set.
+    let mut tiny_spec = DeviceSpec::a100();
+    tiny_spec.mem_bytes = 1 << 10;
+    let mut sys = GpuSystem::new(vec![tiny_spec]);
+    let p = pair(256, 2, 8, 8);
+    let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+    match run_with_mode(&p.reference, &p.query, &cfg, &mut sys) {
+        Err(MdmpError::OutOfDeviceMemory { tile, .. }) => assert_eq!(tile, 0),
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}

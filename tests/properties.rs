@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use mdmp_core::baseline::brute_force;
+use mdmp_core::kernels::{bitonic_sort, inclusive_scan_avg};
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::{Half, PrecisionMode};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e4..1.0e4_f64,
+        -1.0..1.0_f64,
+        Just(0.0),
+        Just(-0.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// binary16 round trip: widening a rounded value and re-rounding is the
+    /// identity (rounding is idempotent).
+    #[test]
+    fn f16_rounding_is_idempotent(x in any::<f64>()) {
+        let h = Half::from_f64(x);
+        let rt = Half::from_f64(h.to_f64());
+        if h.is_nan() {
+            prop_assert!(rt.is_nan());
+        } else {
+            prop_assert_eq!(h.to_bits(), rt.to_bits());
+        }
+    }
+
+    /// Rounding never moves a finite value by more than half a ulp
+    /// (relative ~2^-11 for normals within range).
+    #[test]
+    fn f16_rounding_error_bounded(x in -60000.0..60000.0_f64) {
+        let h = Half::from_f64(x).to_f64();
+        if x.abs() >= 2f64.powi(-14) {
+            prop_assert!((h - x).abs() <= x.abs() * 2f64.powi(-11) + 1e-30,
+                "{x} -> {h}");
+        } else {
+            // Subnormal quantum is 2^-24.
+            prop_assert!((h - x).abs() <= 2f64.powi(-25) * 1.0000001);
+        }
+    }
+
+    /// f16 ordering agrees with f64 ordering of the widened values.
+    #[test]
+    fn f16_order_homomorphism(a in finite_f64(), b in finite_f64()) {
+        let (ha, hb) = (Half::from_f64(a), Half::from_f64(b));
+        if ha.to_f64() < hb.to_f64() {
+            prop_assert!(ha < hb);
+        }
+        if ha.to_f64() == hb.to_f64() {
+            prop_assert!(ha == hb);
+        }
+    }
+
+    /// The Bitonic network sorts arbitrary f64 data exactly like the
+    /// standard library sort.
+    #[test]
+    fn bitonic_matches_std_sort(mut xs in prop::collection::vec(finite_f64(), 1..=128)) {
+        let pad = xs.len().next_power_of_two();
+        xs.resize(pad, f64::INFINITY);
+        let mut expected = xs.clone();
+        expected.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        bitonic_sort(&mut xs);
+        prop_assert_eq!(xs, expected);
+    }
+
+    /// The fan-in inclusive scan average equals the serial prefix average
+    /// in f64.
+    #[test]
+    fn scan_avg_matches_serial(xs in prop::collection::vec(-100.0..100.0_f64, 1..=64)) {
+        let d = xs.len();
+        let mut col = xs.clone();
+        col.resize(d.next_power_of_two(), f64::INFINITY);
+        inclusive_scan_avg(&mut col, d);
+        let mut run = 0.0;
+        for (k, &x) in xs.iter().enumerate() {
+            run += x;
+            prop_assert!((col[k] - run / (k + 1) as f64).abs() < 1e-9,
+                "k={k}: {} vs {}", col[k], run / (k + 1) as f64);
+        }
+    }
+
+    /// FP64 streaming pipeline equals brute force on random series, for
+    /// random shapes and any tiling.
+    #[test]
+    fn pipeline_matches_brute_force(
+        seed in 0u64..1000,
+        n_extra in 0usize..40,
+        d in 1usize..4,
+        m in 4usize..10,
+        tiles in 1usize..5,
+    ) {
+        let len = 50 + n_extra + m;
+        let dims: Vec<Vec<f64>> = (0..d).map(|k| {
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            (0..len).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            }).collect()
+        }).collect();
+        let series = MultiDimSeries::from_dims(dims.clone());
+        let series_q = MultiDimSeries::from_dims(
+            dims.iter().map(|v| v.iter().rev().copied().collect()).collect()
+        );
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let cfg = MdmpConfig::new(m, PrecisionMode::Fp64).with_tiles(tiles);
+        let run = run_with_mode(&series, &series_q, &cfg, &mut sys).unwrap();
+        let bf = brute_force(&series, &series_q, m, None);
+        for k in 0..d {
+            for j in 0..run.profile.n_query() {
+                prop_assert!((run.profile.value(j, k) - bf.value(j, k)).abs() < 1e-6,
+                    "P[{j}][{k}] pipeline {} vs brute {}", run.profile.value(j, k), bf.value(j, k));
+                prop_assert_eq!(run.profile.index(j, k), bf.index(j, k),
+                    "I[{}][{}]", j, k);
+            }
+        }
+    }
+
+    /// Profile values are monotone non-decreasing in the dimensionality k
+    /// (inclusive averages of a sorted ascending sequence), in every mode.
+    #[test]
+    fn profile_monotone_in_k(seed in 0u64..100) {
+        let len = 96;
+        let d = 3;
+        let m = 8;
+        let dims: Vec<Vec<f64>> = (0..d).map(|k| {
+            (0..len).map(|t| ((t as f64 + seed as f64) * (0.21 + 0.05 * k as f64)).sin()).collect()
+        }).collect();
+        let series = MultiDimSeries::from_dims(dims);
+        for mode in [PrecisionMode::Fp64, PrecisionMode::Fp16] {
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+            let cfg = MdmpConfig::new(m, mode);
+            let run = run_with_mode(&series, &series, &cfg, &mut sys).unwrap();
+            for j in 0..run.profile.n_query() {
+                for k in 1..d {
+                    let lo = run.profile.value(j, k - 1);
+                    let hi = run.profile.value(j, k);
+                    if lo.is_finite() && hi.is_finite() {
+                        // Allow one reduced-precision ulp of slack.
+                        prop_assert!(hi >= lo - lo.abs() * 2e-3 - 1e-3,
+                            "{mode}: P[{j}][{}]={lo} > P[{j}][{k}]={hi}", k - 1);
+                    }
+                }
+            }
+        }
+    }
+}
