@@ -46,9 +46,7 @@ fn dist_dimension_major(inp: &Inputs, qt_next: &mut [f64], dist: &mut [f64]) {
         let dgr = 0.53;
         let inv_r = 1.21;
         for j in 1..n_q {
-            let qt = inp.qt_prev[base + j - 1]
-                + dfr * inp.dgq[base + j]
-                + inp.dfq[base + j] * dgr;
+            let qt = inp.qt_prev[base + j - 1] + dfr * inp.dgq[base + j] + inp.dfq[base + j] * dgr;
             qt_next[base + j] = qt;
             let gap = (1.0 - qt * inv_r * inp.inv_q[base + j]).max(0.0);
             dist[base + j] = (32.0 * gap).sqrt();

@@ -70,7 +70,14 @@ pub fn fig2(quick: bool) -> Vec<ExperimentTable> {
         usize,
         usize,
     ) = if quick {
-        (vec![256, 512, 1024], vec![4, 8, 16], vec![8, 16, 32], 512, 8, 16)
+        (
+            vec![256, 512, 1024],
+            vec![4, 8, 16],
+            vec![8, 16, 32],
+            512,
+            8,
+            16,
+        )
     } else {
         // Sized for a single-core functional run (software FP16); the
         // paper-scale n=2^16 error behaviour is covered analytically by
@@ -151,13 +158,8 @@ pub fn fig3(quick: bool) -> ExperimentTable {
                 // Full-dimensional profile (k = d−1): the embedding spans
                 // all dimensions, so the d-dimensional profile is the
                 // detector.
-                let (recall, _, _) = embedded_recall(
-                    &profile,
-                    d - 1,
-                    &pair.query_locs,
-                    &pair.reference_locs,
-                    0,
-                );
+                let (recall, _, _) =
+                    embedded_recall(&profile, d - 1, &pair.query_locs, &pair.reference_locs, 0);
                 cells[mi] += recall * 100.0 / repeats as f64;
             }
         }

@@ -11,9 +11,7 @@ use mdmp_core::baseline::mstamp;
 use mdmp_core::{estimate_run, run_with_mode, MdmpConfig};
 use mdmp_data::genome::{self, GenomeConfig};
 use mdmp_data::hpcoda::{self, HpcOdaConfig};
-use mdmp_data::turbine::{
-    self, pair_kinds, table1_counts, PairClass, SeriesKind, TurbineConfig,
-};
+use mdmp_data::turbine::{self, pair_kinds, table1_counts, PairClass, SeriesKind, TurbineConfig};
 use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
 use mdmp_metrics::{f_score, nn_classify, recall_rate, relaxed_tolerance};
 use mdmp_precision::PrecisionMode;
@@ -90,8 +88,8 @@ pub fn fig10(quick: bool) -> Vec<ExperimentTable> {
     let gcfg = GenomeConfig::default_case_study(len);
     let ds = genome::generate(&gcfg);
     let m = gcfg.gene_len; // 128, the paper's m = 2^7
-    // Self-similarity mining: reference = query (AB-join of the series with
-    // itself across channels; the paper pairs trio datasets).
+                           // Self-similarity mining: reference = query (AB-join of the series with
+                           // itself across channels; the paper pairs trio datasets).
     let reference = mstamp(&ds.series, &ds.series, m, None, None);
     let tile_counts: &[usize] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 64] };
 
@@ -152,7 +150,11 @@ pub fn table1() -> ExperimentTable {
 /// Fig. 12: relaxed recall (r = 5%) of startup detection per pair category
 /// and precision mode, for pairs within GT1 and across both turbines.
 pub fn fig12(quick: bool) -> Vec<ExperimentTable> {
-    let (n, m, pairs_per_class) = if quick { (1024, 128, 2) } else { (2048, 256, 3) };
+    let (n, m, pairs_per_class) = if quick {
+        (1024, 128, 2)
+    } else {
+        (2048, 256, 3)
+    };
     let tol = relaxed_tolerance(0.05, m);
 
     let mut out = Vec::new();

@@ -16,9 +16,7 @@
 use super::run_profile;
 use crate::report::ExperimentTable;
 use mdmp_core::baseline::mstamp;
-use mdmp_core::{
-    estimate_cluster, estimate_run, run_with_mode, MdmpConfig, TileSchedule,
-};
+use mdmp_core::{estimate_cluster, estimate_run, run_with_mode, MdmpConfig, TileSchedule};
 use mdmp_data::hpcoda::{self, AppClass, HpcOdaConfig};
 use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
 use mdmp_data::turbine::Startup;
@@ -45,11 +43,7 @@ pub fn multinode() -> ExperimentTable {
         if nodes == 1 {
             t1 = run.modeled_seconds;
         }
-        let compute = run
-            .node_makespans
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
+        let compute = run.node_makespans.iter().copied().fold(0.0, f64::max);
         table.push(
             format!("{nodes}"),
             vec![
@@ -83,7 +77,9 @@ pub fn schedule_ablation() -> ExperimentTable {
         let cfg = MdmpConfig::new(64, PrecisionMode::Fp64)
             .with_tiles(64)
             .with_schedule(schedule);
-        estimate_run(n, n, d, &cfg, &mut sys).unwrap().modeled_seconds
+        estimate_run(n, n, d, &cfg, &mut sys)
+            .unwrap()
+            .modeled_seconds
     };
     let systems: Vec<(&str, Vec<DeviceSpec>)> = vec![
         ("4xA100", vec![DeviceSpec::a100(); 4]),
@@ -191,7 +187,11 @@ pub fn clamp_ablation(quick: bool) -> ExperimentTable {
         &format!("Ablation: correlation-overshoot clamp on/off per mode, exact-repeat genome data (n={}, d={}, m={m})", ds.series.n_segments(m), ds.series.dims()),
         &["mode_clamp", "A_pct", "R_pct", "unset_pct"],
     );
-    for mode in [PrecisionMode::Fp32, PrecisionMode::Fp16, PrecisionMode::Mixed] {
+    for mode in [
+        PrecisionMode::Fp32,
+        PrecisionMode::Fp16,
+        PrecisionMode::Mixed,
+    ] {
         for clamp in [true, false] {
             let mut cfg = MdmpConfig::new(m, mode);
             cfg.clamp = clamp;
@@ -306,8 +306,7 @@ pub fn anytime_convergence(quick: bool) -> ExperimentTable {
     for fraction in [0.05, 0.1, 0.25, 0.5, 1.0] {
         let (profile, progress) =
             scrimp_anytime(&pair.reference, &pair.query, m, fraction, None, 11);
-        let total_cells = (pair.reference.n_segments(m) as u64)
-            * (pair.query.n_segments(m) as u64);
+        let total_cells = (pair.reference.n_segments(m) as u64) * (pair.query.n_segments(m) as u64);
         table.push(
             format!("{fraction}"),
             vec![
@@ -341,10 +340,7 @@ pub fn fig11() -> Vec<ExperimentTable> {
     );
     let rendered: Vec<Vec<f64>> = Pattern::ALL.iter().map(|p| p.render(256)).collect();
     for t in 0..256 {
-        primitives.push(
-            format!("{t}"),
-            rendered.iter().map(|r| r[t]).collect(),
-        );
+        primitives.push(format!("{t}"), rendered.iter().map(|r| r[t]).collect());
     }
     vec![startups, primitives]
 }

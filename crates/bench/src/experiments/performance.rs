@@ -50,13 +50,19 @@ pub fn fig4() -> Vec<ExperimentTable> {
         let n = 1usize << n_pow;
         let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
         let est = estimate_run(n, n, 64, &cfg, &mut sys).unwrap();
-        by_n.push(format!("n=2^{n_pow}"), breakdown_cells(&est.ledger, est.modeled_seconds));
+        by_n.push(
+            format!("n=2^{n_pow}"),
+            breakdown_cells(&est.ledger, est.modeled_seconds),
+        );
     }
     for d_pow in 3..=6u32 {
         let d = 1usize << d_pow;
         let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
         let est = estimate_run(1 << 16, 1 << 16, d, &cfg, &mut sys).unwrap();
-        by_d.push(format!("d=2^{d_pow}"), breakdown_cells(&est.ledger, est.modeled_seconds));
+        by_d.push(
+            format!("d=2^{d_pow}"),
+            breakdown_cells(&est.ledger, est.modeled_seconds),
+        );
     }
     vec![by_n, by_d]
 }
@@ -153,9 +159,7 @@ pub fn fig6() -> Vec<ExperimentTable> {
         let n = 1usize << n_pow;
         let cells: Vec<f64> = machines
             .iter()
-            .map(|(_, spec)| {
-                estimate_seconds(spec.clone(), 1, n, 64, 64, PrecisionMode::Fp64, 1)
-            })
+            .map(|(_, spec)| estimate_seconds(spec.clone(), 1, n, 64, 64, PrecisionMode::Fp64, 1))
             .collect();
         by_n.push(format!("n=2^{n_pow}"), cells);
     }
@@ -198,7 +202,15 @@ pub fn fig6() -> Vec<ExperimentTable> {
 pub fn headline() -> ExperimentTable {
     let n = 1 << 16;
     let (d, m) = (64, 64);
-    let t_cpu = estimate_seconds(DeviceSpec::skylake_16c(), 1, n, d, m, PrecisionMode::Fp64, 1);
+    let t_cpu = estimate_seconds(
+        DeviceSpec::skylake_16c(),
+        1,
+        n,
+        d,
+        m,
+        PrecisionMode::Fp64,
+        1,
+    );
     let t_v100 = estimate_seconds(DeviceSpec::v100(), 1, n, d, m, PrecisionMode::Fp64, 1);
     let t_a100 = estimate_seconds(DeviceSpec::a100(), 1, n, d, m, PrecisionMode::Fp64, 1);
     let t_a100_16 = estimate_seconds(DeviceSpec::a100(), 1, n, d, m, PrecisionMode::Fp16, 1);
@@ -214,10 +226,7 @@ pub fn headline() -> ExperimentTable {
     t.push("V100_vs_CPU_FP64", vec![t_cpu / t_v100, 41.6]);
     t.push("FP16_vs_FP64_A100", vec![t_a100 / t_a100_16, 1.4]);
     t.push("4xA100_speedup", vec![t1 / t4, 3.8]);
-    t.push(
-        "4xA100_efficiency",
-        vec![t1 / (4.0 * t4), 0.95],
-    );
+    t.push("4xA100_efficiency", vec![t1 / (4.0 * t4), 0.95]);
     t
 }
 
@@ -229,7 +238,11 @@ pub fn utilization() -> ExperimentTable {
         "V-C resource utilization on A100 (n=2^16, d=2^6): achieved DRAM %% of peak and SM op-rate %% per kernel; paper: dist/update >80%% DRAM in FP64, ~60%% FP32, ~30%% FP16; sort ~70%% compute",
         &["kernel_mode", "time_s", "dram_pct", "sm_pct"],
     );
-    for mode in [PrecisionMode::Fp64, PrecisionMode::Fp32, PrecisionMode::Fp16] {
+    for mode in [
+        PrecisionMode::Fp64,
+        PrecisionMode::Fp32,
+        PrecisionMode::Fp16,
+    ] {
         let spec = DeviceSpec::a100();
         let mut sys = GpuSystem::homogeneous(spec.clone(), 1);
         let cfg = MdmpConfig::new(64, mode);

@@ -82,13 +82,8 @@ pub fn fig7_accuracy(quick: bool) -> ExperimentTable {
         for mode in PrecisionMode::PAPER_MODES {
             let profile = run_profile(&pair.reference, &pair.query, m, mode, tiles);
             cells.push(relative_accuracy(&reference, &profile) * 100.0);
-            let (recall, _, _) = embedded_recall(
-                &profile,
-                d - 1,
-                &pair.query_locs,
-                &pair.reference_locs,
-                0,
-            );
+            let (recall, _, _) =
+                embedded_recall(&profile, d - 1, &pair.query_locs, &pair.reference_locs, 0);
             cells.push(recall * 100.0);
         }
         table.push(format!("{tiles}"), cells);

@@ -126,7 +126,12 @@ fn extended_modes_rank_by_mantissa_width() {
     let t = extensions::extended_modes(true);
     let a = |mode: &str| t.cell(mode, "A_pct").unwrap();
     assert!(a("FP64") >= a("FP16") - 1e-9);
-    assert!(a("FP16") > a("BF16"), "FP16 {} vs BF16 {}", a("FP16"), a("BF16"));
+    assert!(
+        a("FP16") > a("BF16"),
+        "FP16 {} vs BF16 {}",
+        a("FP16"),
+        a("BF16")
+    );
     assert!(a("BF16") > a("FP8-E4M3"));
     assert!(a("FP8-E4M3") > a("FP8-E5M2"));
     // TF32 matches FP16 accuracy (same 11-bit significand) but not worse.

@@ -3,9 +3,7 @@
 
 use crate::args::ParsedArgs;
 use crate::profile_io;
-use mdmp_core::{
-    estimate_run, run_with_mode, top_discords, top_motifs, MdmpConfig, TileSchedule,
-};
+use mdmp_core::{estimate_run, run_with_mode, top_discords, top_motifs, MdmpConfig, TileSchedule};
 use mdmp_data::io as data_io;
 use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
 use mdmp_gpu_sim::{DeviceSpec, GpuSystem, UtilizationReport};
@@ -18,7 +16,7 @@ fn err<E: std::fmt::Display>(e: E) -> String {
     e.to_string()
 }
 
-fn device_spec(name: &str) -> Result<DeviceSpec, String> {
+pub fn device_spec(name: &str) -> Result<DeviceSpec, String> {
     match name.to_ascii_lowercase().as_str() {
         "a100" => Ok(DeviceSpec::a100()),
         "v100" => Ok(DeviceSpec::v100()),
@@ -42,7 +40,11 @@ fn build_config(args: &ParsedArgs, m: usize) -> Result<MdmpConfig, String> {
         .parse()
         .map_err(err)?;
     let tiles: usize = args.get_or("tiles", 1).map_err(err)?;
-    let sched = schedule(&args.get_or::<String>("schedule", "rr".into()).map_err(err)?)?;
+    let sched = schedule(
+        &args
+            .get_or::<String>("schedule", "rr".into())
+            .map_err(err)?,
+    )?;
     let mut cfg = MdmpConfig::new(m, mode)
         .with_tiles(tiles)
         .with_schedule(sched);
@@ -62,9 +64,14 @@ pub fn compute(args: &ParsedArgs) -> CmdResult {
     let m: usize = args.require("m").map_err(err)?;
     let output: PathBuf = args.require("output").map_err(err)?;
     let gpus: usize = args.get_or("gpus", 1).map_err(err)?;
-    let device = device_spec(&args.get_or::<String>("device", "a100".into()).map_err(err)?)?;
+    let device = device_spec(
+        &args
+            .get_or::<String>("device", "a100".into())
+            .map_err(err)?,
+    )?;
     let report = args.flag("report");
     let anytime: Option<f64> = args.get("anytime").map_err(err)?;
+    let seed: u64 = args.get_or("seed", 42).map_err(err)?;
     let repair = args.flag("repair-dropouts");
     let mut cfg = build_config(args, m)?;
     args.reject_unknown().map_err(err)?;
@@ -94,14 +101,8 @@ pub fn compute(args: &ParsedArgs) -> CmdResult {
             "anytime (SCRIMP-style, FP64): {} vs {} (m={m}, fraction {fraction})",
             reference, query
         );
-        let (profile, progress) = mdmp_core::scrimp_anytime(
-            &reference,
-            &query,
-            m,
-            fraction,
-            cfg.exclusion_zone,
-            42,
-        );
+        let (profile, progress) =
+            mdmp_core::scrimp_anytime(&reference, &query, m, fraction, cfg.exclusion_zone, seed);
         profile_io::write_profile(&output, &profile).map_err(err)?;
         println!(
             "wrote {} after {}/{} diagonals ({} cells)",
@@ -227,7 +228,11 @@ pub fn generate(args: &ParsedArgs) -> CmdResult {
             data_io::write_csv(&output, &ts.series).map_err(err)?;
             println!("wrote {} (startups at {:?})", output.display(), ts.events);
         }
-        other => return Err(format!("unknown kind '{other}' (synthetic, genome, turbine)")),
+        other => {
+            return Err(format!(
+                "unknown kind '{other}' (synthetic, genome, turbine)"
+            ))
+        }
     }
     Ok(())
 }
@@ -244,7 +249,11 @@ pub fn estimate(args: &ParsedArgs) -> CmdResult {
     let d: usize = args.get_or("d", 64).map_err(err)?;
     let m: usize = args.get_or("m", 64).map_err(err)?;
     let gpus: usize = args.get_or("gpus", 1).map_err(err)?;
-    let device = device_spec(&args.get_or::<String>("device", "a100".into()).map_err(err)?)?;
+    let device = device_spec(
+        &args
+            .get_or::<String>("device", "a100".into())
+            .map_err(err)?,
+    )?;
     let cfg = build_config(args, m)?;
     args.reject_unknown().map_err(err)?;
 
@@ -265,7 +274,11 @@ pub fn estimate(args: &ParsedArgs) -> CmdResult {
 /// `mdmp info` — supported devices and precision modes.
 pub fn info() -> CmdResult {
     println!("devices:");
-    for spec in [DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::skylake_16c()] {
+    for spec in [
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::skylake_16c(),
+    ] {
         println!(
             "  {:<18} {:>3} SMs, {:>5.1} GB, {:>7.0} GB/s, {:>4.1} TFLOP/s FP64",
             spec.name,
@@ -303,13 +316,20 @@ COMMANDS:
             [--mode fp64|fp32|fp16|mixed|fp16c|bf16|tf32|e4m3|e5m2]
             [--tiles N] [--gpus N] [--device a100|v100|cpu]
             [--schedule rr|balanced] [--self-join] [--no-clamp] [--report]
-            [--anytime FRACTION] [--repair-dropouts]
+            [--anytime FRACTION] [--seed S] [--repair-dropouts]
   motifs    --profile <csv> --m <len> [--top N] [--k DIMS]
   discords  --profile <csv> --m <len> [--top N] [--k DIMS]
   generate  --kind synthetic|genome|turbine --output <csv>
             [--n N] [--d D] [--m M] [--pattern 0..7] [--seed S] [--len L]
   estimate  --n <segments> [--d D] [--m M] [--mode ..] [--tiles N]
             [--gpus N] [--device a100|v100|cpu] [--schedule rr|balanced]
+  serve     [--addr HOST:PORT] [--workers N] [--devices N] [--queue N]
+            [--device a100|v100|cpu] [--cache-mb MB]
+  submit    [--addr HOST:PORT] --m <len> [--mode ..] [--tiles N] [--gpus N]
+            [--priority high|normal|low] [--retries N] [--wait] [--timeout S]
+            with --reference <csv> [--query <csv>] (server-side paths), or
+            synthetic: [--n N] [--d D] [--pattern 0..7] [--noise X] [--seed S]
+  status    [--addr HOST:PORT] [--id JOB] [--metrics] [--shutdown | --abort]
   info      list devices and precision modes
 "
     .to_string()
@@ -400,8 +420,17 @@ mod tests {
     fn compute_without_query_is_a_self_join() {
         let data = tmp("selfjoin.csv");
         let gen = parsed(&[
-            "generate", "--kind", "synthetic", "--n", "128", "--d", "1", "--m", "8",
-            "--output", data.to_str().unwrap(),
+            "generate",
+            "--kind",
+            "synthetic",
+            "--n",
+            "128",
+            "--d",
+            "1",
+            "--m",
+            "8",
+            "--output",
+            data.to_str().unwrap(),
         ]);
         generate(&gen).unwrap();
         let out = tmp("selfjoin_profile.csv");
@@ -429,8 +458,17 @@ mod tests {
     fn anytime_compute_writes_a_partial_profile() {
         let data = tmp("anytime.csv");
         let gen = parsed(&[
-            "generate", "--kind", "synthetic", "--n", "200", "--d", "2", "--m", "16",
-            "--output", data.to_str().unwrap(),
+            "generate",
+            "--kind",
+            "synthetic",
+            "--n",
+            "200",
+            "--d",
+            "2",
+            "--m",
+            "16",
+            "--output",
+            data.to_str().unwrap(),
         ]);
         generate(&gen).unwrap();
         let out = tmp("anytime_profile.csv");
@@ -453,6 +491,52 @@ mod tests {
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(tmp("anytime_query.csv")).ok();
+    }
+
+    #[test]
+    fn anytime_seed_controls_the_diagonal_order() {
+        let data = tmp("seeded.csv");
+        let gen = parsed(&[
+            "generate",
+            "--kind",
+            "synthetic",
+            "--n",
+            "200",
+            "--d",
+            "1",
+            "--m",
+            "16",
+            "--output",
+            data.to_str().unwrap(),
+        ]);
+        generate(&gen).unwrap();
+        let run = |seed: &str, tag: &str| {
+            let out = tmp(&format!("seeded_profile_{tag}.csv"));
+            let comp = parsed(&[
+                "compute",
+                "--reference",
+                data.to_str().unwrap(),
+                "--m",
+                "16",
+                "--anytime",
+                "0.3",
+                "--seed",
+                seed,
+                "--output",
+                out.to_str().unwrap(),
+            ]);
+            compute(&comp).unwrap();
+            let text = std::fs::read_to_string(&out).unwrap();
+            std::fs::remove_file(&out).ok();
+            text
+        };
+        let a1 = run("7", "a1");
+        let a2 = run("7", "a2");
+        let b = run("8", "b");
+        assert_eq!(a1, a2, "same seed must repeat the same partial profile");
+        assert_ne!(a1, b, "different seeds must sample different diagonals");
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(tmp("seeded_query.csv")).ok();
     }
 
     #[test]
@@ -485,7 +569,10 @@ mod tests {
         ]);
         compute(&comp).unwrap();
         let profile = profile_io::read_profile(&out).unwrap();
-        assert!(profile.unset_fraction() < 0.05, "repair should fix the NaN window");
+        assert!(
+            profile.unset_fraction() < 0.05,
+            "repair should fix the NaN window"
+        );
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&out).ok();
     }
@@ -501,11 +588,27 @@ mod tests {
     fn bad_inputs_produce_errors_not_panics() {
         assert!(device_spec("tpu").is_err());
         assert!(schedule("magic").is_err());
-        let comp = parsed(&["compute", "--reference", "/nonexistent.csv", "--m", "8", "--output", "/tmp/x.csv"]);
+        let comp = parsed(&[
+            "compute",
+            "--reference",
+            "/nonexistent.csv",
+            "--m",
+            "8",
+            "--output",
+            "/tmp/x.csv",
+        ]);
         assert!(compute(&comp).is_err());
         let gen = parsed(&["generate", "--kind", "nope", "--output", "/tmp/x.csv"]);
         assert!(generate(&gen).is_err());
-        let gen2 = parsed(&["generate", "--kind", "synthetic", "--pattern", "99", "--output", "/tmp/x.csv"]);
+        let gen2 = parsed(&[
+            "generate",
+            "--kind",
+            "synthetic",
+            "--pattern",
+            "99",
+            "--output",
+            "/tmp/x.csv",
+        ]);
         assert!(generate(&gen2).is_err());
     }
 

@@ -6,6 +6,7 @@
 mod args;
 mod commands;
 mod profile_io;
+mod serve;
 
 use args::ParsedArgs;
 
@@ -28,8 +29,14 @@ fn main() {
         "discords" => commands::mine(&parsed, true),
         "generate" => commands::generate(&parsed),
         "estimate" => commands::estimate(&parsed),
+        "serve" => serve::serve(&parsed),
+        "submit" => serve::submit(&parsed),
+        "status" => serve::status(&parsed),
         "info" => commands::info(),
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::usage())),
+        other => Err(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::usage()
+        )),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

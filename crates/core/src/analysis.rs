@@ -114,7 +114,10 @@ pub fn motif_subspace(
     let d = reference.dims();
     assert_eq!(d, query.dims(), "dimensionality mismatch");
     assert!(k < d, "k out of range");
-    assert!(match_pos + m <= reference.len(), "match segment out of range");
+    assert!(
+        match_pos + m <= reference.len(),
+        "match segment out of range"
+    );
     assert!(query_pos + m <= query.len(), "query segment out of range");
     let mut dims: Vec<(usize, f64)> = (0..d)
         .map(|dim| {
@@ -170,7 +173,9 @@ mod tests {
         let best = motifs[0];
         // The best motif pairs a query embedding with a reference embedding.
         assert!(
-            pair.query_locs.iter().any(|&l| best.query_pos.abs_diff(l) < 32),
+            pair.query_locs
+                .iter()
+                .any(|&l| best.query_pos.abs_diff(l) < 32),
             "best motif query {} not near embeddings {:?}",
             best.query_pos,
             pair.query_locs

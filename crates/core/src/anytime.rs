@@ -81,7 +81,10 @@ pub fn scrimp_anytime(
     seed: u64,
 ) -> (MatrixProfile, AnytimeProgress) {
     assert_eq!(reference.dims(), query.dims(), "dimensionality mismatch");
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     assert!(m >= 2 && reference.len() >= m && query.len() >= m);
     let d = reference.dims();
     let n_r = reference.n_segments(m);
@@ -205,8 +208,7 @@ mod tests {
     #[test]
     fn full_fraction_matches_brute_force() {
         let p = pair(150);
-        let (profile, progress) =
-            scrimp_anytime(&p.reference, &p.query, 16, 1.0, None, 1);
+        let (profile, progress) = scrimp_anytime(&p.reference, &p.query, 16, 1.0, None, 1);
         assert_eq!(progress.diagonals_done, progress.diagonals_total);
         let bf = brute_force(&p.reference, &p.query, 16, None);
         for k in 0..3 {
@@ -230,8 +232,7 @@ mod tests {
         let exact = brute_force(&p.reference, &p.query, 16, None);
         let mut last = 0.0;
         for fraction in [0.1, 0.4, 1.0] {
-            let (profile, _) =
-                scrimp_anytime(&p.reference, &p.query, 16, fraction, None, 5);
+            let (profile, _) = scrimp_anytime(&p.reference, &p.query, 16, fraction, None, 5);
             let agreement = recall_like(&exact, &profile);
             assert!(
                 agreement >= last - 0.02,
@@ -247,8 +248,7 @@ mod tests {
         // The embedded motif is an extreme value: even 30% of diagonals
         // usually cover it or a near-equivalent.
         let p = pair(400);
-        let (profile, progress) =
-            scrimp_anytime(&p.reference, &p.query, 16, 0.3, None, 9);
+        let (profile, progress) = scrimp_anytime(&p.reference, &p.query, 16, 0.3, None, 9);
         assert!(progress.diagonals_done < progress.diagonals_total / 3 + 2);
         // At least half of the entries have been touched.
         assert!(profile.unset_fraction() < 0.5);

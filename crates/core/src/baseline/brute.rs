@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn self_join_exclusion_prevents_trivial_match() {
-        let x: Vec<f64> = (0..40).map(|t| (t as f64 * 0.4).sin() + 0.01 * t as f64).collect();
+        let x: Vec<f64> = (0..40)
+            .map(|t| (t as f64 * 0.4).sin() + 0.01 * t as f64)
+            .collect();
         let s = MultiDimSeries::univariate(x);
         let with_excl = brute_force(&s, &s, 8, Some(4));
         let without = brute_force(&s, &s, 8, None);
@@ -95,7 +97,11 @@ mod tests {
         for j in 0..s.n_segments(8) {
             assert!(without.value(j, 0) < 1e-9);
             assert_eq!(without.index(j, 0), j as i64);
-            assert_ne!(with_excl.index(j, 0), j as i64, "self-match must be excluded");
+            assert_ne!(
+                with_excl.index(j, 0),
+                j as i64,
+                "self-match must be excluded"
+            );
         }
     }
 

@@ -91,27 +91,16 @@ pub fn mstamp(
                     if i == 0 {
                         // Direct dot products for the block's first row.
                         for (j, slot) in qt_k.iter_mut().enumerate() {
-                            *slot = centered_dot(
-                                &rx[gi..gi + m],
-                                rs.mu[gi],
-                                &qx[j..j + m],
-                                qs.mu[j],
-                            );
+                            *slot =
+                                centered_dot(&rx[gi..gi + m], rs.mu[gi], &qx[j..j + m], qs.mu[j]);
                         }
                     } else {
                         // Streaming update, right-to-left so qt[j-1] is
                         // still the previous row's value.
                         for j in (1..n_q).rev() {
-                            qt_k[j] = qt_k[j - 1]
-                                + rs.df[gi] * qs.dg[j]
-                                + qs.df[j] * rs.dg[gi];
+                            qt_k[j] = qt_k[j - 1] + rs.df[gi] * qs.dg[j] + qs.df[j] * rs.dg[gi];
                         }
-                        qt_k[0] = centered_dot(
-                            &rx[gi..gi + m],
-                            rs.mu[gi],
-                            &qx[0..m],
-                            qs.mu[0],
-                        );
+                        qt_k[0] = centered_dot(&rx[gi..gi + m], rs.mu[gi], &qx[0..m], qs.mu[0]);
                     }
                 }
                 for j in 0..n_q {

@@ -8,13 +8,12 @@
 
 use crate::config::{MdmpConfig, MdmpError};
 use crate::profile::MatrixProfile;
-use crate::tile_exec::execute_tile;
+use crate::tile_exec::{compute_tile_precalc, execute_tile_from_precalc, TilePrecalc};
 use crate::tiling::{assign_tiles_weighted, compute_tile_list, Tile};
 use mdmp_data::MultiDimSeries;
-use mdmp_gpu_sim::{
-    CostLedger, DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel,
-};
+use mdmp_gpu_sim::{CostLedger, DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel};
 use mdmp_precision::{Bf16, Format, Fp8E4M3, Fp8E5M2, Half, PrecisionMode, Real, Tf32};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Host-side fixed cost per tile (stream setup, allocation, result
@@ -45,6 +44,22 @@ pub struct MdmpRun {
     pub device_makespans: Vec<f64>,
     /// Wall-clock seconds of the functional (host) execution.
     pub wall_seconds: f64,
+    /// Tiles whose precalculation was served from a [`PrecalcStore`].
+    pub precalc_hits: usize,
+    /// Tiles whose precalculation had to be computed.
+    pub precalc_misses: usize,
+}
+
+/// External storage for per-tile precalculation results, consulted by
+/// [`run_with_mode_cached`]. The store sees tiles by their deterministic
+/// index within the run's tiling; distinguishing runs (series, `m`,
+/// precision mode, tile count) is the caller's job — a cached-result
+/// service keys an inner store like this one by exactly that tuple.
+pub trait PrecalcStore {
+    /// A previously stored precalculation for tile `tile_index`, if any.
+    fn lookup(&mut self, tile_index: usize) -> Option<Arc<TilePrecalc>>;
+    /// Offer a freshly computed precalculation for future reuse.
+    fn store(&mut self, tile_index: usize, pre: &Arc<TilePrecalc>);
 }
 
 impl MdmpRun {
@@ -64,20 +79,44 @@ pub fn run_with_mode(
     cfg: &MdmpConfig,
     system: &mut GpuSystem,
 ) -> Result<MdmpRun, MdmpError> {
+    run_with_mode_cached(reference, query, cfg, system, None)
+}
+
+/// [`run_with_mode`] with an optional precalculation store: tiles whose
+/// precalc the store already holds skip the `Precalc` kernel entirely (no
+/// device cost, smaller H2D transfer), and fresh precalcs are offered back
+/// to the store. Hit/miss counts land in the returned [`MdmpRun`].
+pub fn run_with_mode_cached(
+    reference: &MultiDimSeries,
+    query: &MultiDimSeries,
+    cfg: &MdmpConfig,
+    system: &mut GpuSystem,
+    store: Option<&mut dyn PrecalcStore>,
+) -> Result<MdmpRun, MdmpError> {
     match cfg.mode {
-        PrecisionMode::Fp64 => run_generic::<f64, f64>(reference, query, cfg, system, false),
-        PrecisionMode::Fp32 => run_generic::<f32, f32>(reference, query, cfg, system, false),
-        PrecisionMode::Fp16 => run_generic::<Half, Half>(reference, query, cfg, system, false),
-        PrecisionMode::Mixed => run_generic::<f32, Half>(reference, query, cfg, system, false),
-        PrecisionMode::Fp16c => run_generic::<Half, Half>(reference, query, cfg, system, true),
-        PrecisionMode::Bf16 => run_generic::<Bf16, Bf16>(reference, query, cfg, system, false),
-        PrecisionMode::Tf32 => run_generic::<Tf32, Tf32>(reference, query, cfg, system, false),
+        PrecisionMode::Fp64 => run_generic::<f64, f64>(reference, query, cfg, system, false, store),
+        PrecisionMode::Fp32 => run_generic::<f32, f32>(reference, query, cfg, system, false, store),
+        PrecisionMode::Fp16 => {
+            run_generic::<Half, Half>(reference, query, cfg, system, false, store)
+        }
+        PrecisionMode::Mixed => {
+            run_generic::<f32, Half>(reference, query, cfg, system, false, store)
+        }
+        PrecisionMode::Fp16c => {
+            run_generic::<Half, Half>(reference, query, cfg, system, true, store)
+        }
+        PrecisionMode::Bf16 => {
+            run_generic::<Bf16, Bf16>(reference, query, cfg, system, false, store)
+        }
+        PrecisionMode::Tf32 => {
+            run_generic::<Tf32, Tf32>(reference, query, cfg, system, false, store)
+        }
         // FP8 extension modes: FP32 precalculation by construction.
         PrecisionMode::Fp8E4M3 => {
-            run_generic::<f32, Fp8E4M3>(reference, query, cfg, system, false)
+            run_generic::<f32, Fp8E4M3>(reference, query, cfg, system, false, store)
         }
         PrecisionMode::Fp8E5M2 => {
-            run_generic::<f32, Fp8E5M2>(reference, query, cfg, system, false)
+            run_generic::<f32, Fp8E5M2>(reference, query, cfg, system, false, store)
         }
     }
 }
@@ -88,6 +127,7 @@ fn run_generic<P: Real, M: Real>(
     cfg: &MdmpConfig,
     system: &mut GpuSystem,
     kahan: bool,
+    mut store: Option<&mut dyn PrecalcStore>,
 ) -> Result<MdmpRun, MdmpError> {
     if reference.dims() != query.dims() {
         return Err(MdmpError::DimensionalityMismatch {
@@ -120,8 +160,26 @@ fn run_generic<P: Real, M: Real>(
     let mut global = MatrixProfile::new_unset(n_q, d);
     let wall_start = Instant::now();
 
+    let mut precalc_hits = 0usize;
+    let mut precalc_misses = 0usize;
     for tile in &tiles {
-        let out = execute_tile::<P, M>(reference, query, tile, cfg, kahan);
+        let (pre, cached) = match store.as_mut().and_then(|s| s.lookup(tile.index)) {
+            Some(pre) => {
+                precalc_hits += 1;
+                (pre, true)
+            }
+            None => {
+                precalc_misses += 1;
+                let pre = Arc::new(compute_tile_precalc::<P>(
+                    reference, query, tile, cfg, kahan,
+                ));
+                if let Some(s) = store.as_mut() {
+                    s.store(tile.index, &pre);
+                }
+                (pre, false)
+            }
+        };
+        let out = execute_tile_from_precalc::<M>(&pre, tile, cfg, kahan, cached);
         let dev_idx = assignment[tile.index];
         submit_tile_costs(
             system,
@@ -154,6 +212,8 @@ fn run_generic<P: Real, M: Real>(
         merge_seconds,
         device_makespans,
         wall_seconds,
+        precalc_hits,
+        precalc_misses,
     })
 }
 
@@ -270,13 +330,13 @@ mod tests {
         let run1 = run_with_mode(&r, &q, &cfg, &mut sys1).unwrap();
         let mut sys4 = GpuSystem::homogeneous(DeviceSpec::a100(), 4);
         let run4 = run_with_mode(&r, &q, &cfg, &mut sys4).unwrap();
-        assert_eq!(run1.profile, run4.profile, "results independent of GPU count");
+        assert_eq!(
+            run1.profile, run4.profile,
+            "results independent of GPU count"
+        );
         let m1 = run1.device_makespans[0];
         let m4 = run4.device_makespans.iter().copied().fold(0.0, f64::max);
-        assert!(
-            m4 < m1 * 0.35,
-            "4 GPUs should be ~4x faster: {m1} vs {m4}"
-        );
+        assert!(m4 < m1 * 0.35, "4 GPUs should be ~4x faster: {m1} vs {m4}");
     }
 
     #[test]
@@ -312,8 +372,8 @@ mod tests {
     fn ledger_contains_all_kernel_classes() {
         let (r, q) = small_pair(128, 2, 8);
         let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
-        let run = run_with_mode(&r, &q, &MdmpConfig::new(8, PrecisionMode::Fp64), &mut sys)
-            .unwrap();
+        let run =
+            run_with_mode(&r, &q, &MdmpConfig::new(8, PrecisionMode::Fp64), &mut sys).unwrap();
         for class in [
             KernelClass::Precalc,
             KernelClass::DistCalc,
@@ -344,6 +404,44 @@ mod tests {
         assert_eq!(overlap_factor(16, 1), 16);
         assert_eq!(overlap_factor(16, 4), 16);
         assert_eq!(overlap_factor(4, 4), 1);
+    }
+
+    #[test]
+    fn cached_rerun_is_identical_and_skips_precalc() {
+        use std::collections::HashMap;
+
+        #[derive(Default)]
+        struct MapStore(HashMap<usize, Arc<crate::tile_exec::TilePrecalc>>);
+        impl PrecalcStore for MapStore {
+            fn lookup(&mut self, tile_index: usize) -> Option<Arc<crate::tile_exec::TilePrecalc>> {
+                self.0.get(&tile_index).cloned()
+            }
+            fn store(&mut self, tile_index: usize, pre: &Arc<crate::tile_exec::TilePrecalc>) {
+                self.0.insert(tile_index, Arc::clone(pre));
+            }
+        }
+
+        let (r, q) = small_pair(160, 2, 12);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp16).with_tiles(4);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let plain = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        assert_eq!(plain.precalc_hits, 0);
+
+        let mut store = MapStore::default();
+        let cold = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&mut store)).unwrap();
+        assert_eq!((cold.precalc_hits, cold.precalc_misses), (0, 4));
+        let warm = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&mut store)).unwrap();
+        assert_eq!((warm.precalc_hits, warm.precalc_misses), (4, 0));
+
+        // Bit-identical results across plain / cold / warm paths.
+        assert_eq!(plain.profile, cold.profile);
+        assert_eq!(plain.profile, warm.profile);
+        // The warm run charges no Precalc kernel time at all. (Whether the
+        // makespan drops is a device-model question — the cached arrays
+        // cost PCIe bytes roughly where the memory-bound precalc kernel
+        // cost HBM bytes — but the kernel class must vanish.)
+        assert_eq!(warm.ledger.seconds(KernelClass::Precalc), 0.0);
+        assert!(cold.ledger.seconds(KernelClass::Precalc) > 0.0);
     }
 
     #[test]

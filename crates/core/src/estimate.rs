@@ -109,9 +109,13 @@ mod tests {
         let d = 64;
         let cfg = paper_cfg(PrecisionMode::Fp64, 1);
         let mut a100 = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
-        let t_gpu = estimate_run(n, n, d, &cfg, &mut a100).unwrap().modeled_seconds;
+        let t_gpu = estimate_run(n, n, d, &cfg, &mut a100)
+            .unwrap()
+            .modeled_seconds;
         let mut cpu = GpuSystem::homogeneous(DeviceSpec::skylake_16c(), 1);
-        let t_cpu = estimate_run(n, n, d, &cfg, &mut cpu).unwrap().modeled_seconds;
+        let t_cpu = estimate_run(n, n, d, &cfg, &mut cpu)
+            .unwrap()
+            .modeled_seconds;
         let speedup = t_cpu / t_gpu;
         assert!(
             (40.0..=70.0).contains(&speedup),
@@ -126,9 +130,13 @@ mod tests {
         let d = 64;
         let cfg = paper_cfg(PrecisionMode::Fp64, 1);
         let mut v100 = GpuSystem::homogeneous(DeviceSpec::v100(), 1);
-        let t_gpu = estimate_run(n, n, d, &cfg, &mut v100).unwrap().modeled_seconds;
+        let t_gpu = estimate_run(n, n, d, &cfg, &mut v100)
+            .unwrap()
+            .modeled_seconds;
         let mut cpu = GpuSystem::homogeneous(DeviceSpec::skylake_16c(), 1);
-        let t_cpu = estimate_run(n, n, d, &cfg, &mut cpu).unwrap().modeled_seconds;
+        let t_cpu = estimate_run(n, n, d, &cfg, &mut cpu)
+            .unwrap()
+            .modeled_seconds;
         let speedup = t_cpu / t_gpu;
         assert!(
             (30.0..=55.0).contains(&speedup),
@@ -162,9 +170,13 @@ mod tests {
         let d = 64;
         let cfg = paper_cfg(PrecisionMode::Fp64, 16);
         let mut one = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
-        let t1 = estimate_run(n, n, d, &cfg, &mut one).unwrap().modeled_seconds;
+        let t1 = estimate_run(n, n, d, &cfg, &mut one)
+            .unwrap()
+            .modeled_seconds;
         let mut four = GpuSystem::homogeneous(DeviceSpec::a100(), 4);
-        let t4 = estimate_run(n, n, d, &cfg, &mut four).unwrap().modeled_seconds;
+        let t4 = estimate_run(n, n, d, &cfg, &mut four)
+            .unwrap()
+            .modeled_seconds;
         let speedup = t1 / t4;
         assert!(
             speedup > 3.6 && speedup <= 4.05,
@@ -181,13 +193,18 @@ mod tests {
         let mut t = [0.0; 9];
         for (g, slot) in t.iter_mut().enumerate().skip(1) {
             let mut sys = GpuSystem::homogeneous(DeviceSpec::v100(), g);
-            *slot = estimate_run(n, n, d, &cfg, &mut sys).unwrap().modeled_seconds;
+            *slot = estimate_run(n, n, d, &cfg, &mut sys)
+                .unwrap()
+                .modeled_seconds;
         }
         let eff = |g: usize| t[1] / (g as f64 * t[g]);
         assert!(eff(2) > 0.9);
         assert!(eff(4) > 0.9);
         assert!(eff(8) > 0.85);
-        assert!(eff(3) < eff(2), "3 GPUs less efficient than 2 (6 vs 5.33 tiles)");
+        assert!(
+            eff(3) < eff(2),
+            "3 GPUs less efficient than 2 (6 vs 5.33 tiles)"
+        );
         assert!(eff(5) < eff(4));
         assert!(eff(7) < eff(8));
     }
@@ -218,15 +235,23 @@ mod tests {
         let d = 64;
         let cfg = MdmpConfig::new(64, PrecisionMode::Fp64);
         let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
-        let t1 = estimate_run(1 << 15, 1 << 15, d, &cfg, &mut sys).unwrap().modeled_seconds;
-        let t2 = estimate_run(1 << 16, 1 << 16, d, &cfg, &mut sys).unwrap().modeled_seconds;
+        let t1 = estimate_run(1 << 15, 1 << 15, d, &cfg, &mut sys)
+            .unwrap()
+            .modeled_seconds;
+        let t2 = estimate_run(1 << 16, 1 << 16, d, &cfg, &mut sys)
+            .unwrap()
+            .modeled_seconds;
         let ratio_n = t2 / t1;
         assert!(
             (3.2..=4.3).contains(&ratio_n),
             "doubling n should ~4x the time, got {ratio_n:.2}"
         );
-        let ta = estimate_run(1 << 15, 1 << 15, 32, &cfg, &mut sys).unwrap().modeled_seconds;
-        let tb = estimate_run(1 << 15, 1 << 15, 64, &cfg, &mut sys).unwrap().modeled_seconds;
+        let ta = estimate_run(1 << 15, 1 << 15, 32, &cfg, &mut sys)
+            .unwrap()
+            .modeled_seconds;
+        let tb = estimate_run(1 << 15, 1 << 15, 64, &cfg, &mut sys)
+            .unwrap()
+            .modeled_seconds;
         let ratio_d = tb / ta;
         assert!(
             (1.5..=2.4).contains(&ratio_d),
@@ -262,7 +287,10 @@ mod tests {
         let t = estimate_run(1 << 16, 1 << 16, 64, &cfg, &mut sys)
             .unwrap()
             .modeled_seconds;
-        assert!((8.0..=25.0).contains(&t), "A100 FP64 n=2^16 d=2^6: {t:.1} s");
+        assert!(
+            (8.0..=25.0).contains(&t),
+            "A100 FP64 n=2^16 d=2^6: {t:.1} s"
+        );
     }
 
     /// More tiles first help (overhead overlap), then hurt (merge overhead)
@@ -281,6 +309,9 @@ mod tests {
         let t16 = t(16);
         let t1024 = t(1024);
         assert!(t16 < t1, "a few tiles should beat one tile: {t16} vs {t1}");
-        assert!(t1024 > t16, "1024 tiles pay merge overhead: {t1024} vs {t16}");
+        assert!(
+            t1024 > t16,
+            "1024 tiles pay merge overhead: {t1024} vs {t16}"
+        );
     }
 }

@@ -186,11 +186,20 @@ mod tests {
         let mut qt_next = vec![0.0; n_q * d];
         let mut dist = vec![0.0; n_q * d];
         for i in 0..n_r {
-            dist_row(i, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &rs, &qs, &params);
+            dist_row(
+                i,
+                &row0,
+                &col0,
+                &qt_prev,
+                &mut qt_next,
+                &mut dist,
+                &rs,
+                &qs,
+                &params,
+            );
             for k in 0..d {
                 for j in 0..n_q {
-                    let expected =
-                        znorm_distance(&r.dim(k)[i..i + m], &q.dim(k)[j..j + m]);
+                    let expected = znorm_distance(&r.dim(k)[i..i + m], &q.dim(k)[j..j + m]);
                     let got = dist[k * n_q + j];
                     // sqrt amplifies f64 rounding near zero distances:
                     // |err(D)| ~ sqrt(2m·eps) ~ 1e-7, so compare at 1e-6.
@@ -223,9 +232,29 @@ mod tests {
         let qt_prev = vec![0.0];
         let mut qt_next = vec![0.0];
         let mut dist = vec![0.0];
-        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &stats, &stats, &params_clamp);
+        dist_row(
+            0,
+            &row0,
+            &col0,
+            &qt_prev,
+            &mut qt_next,
+            &mut dist,
+            &stats,
+            &stats,
+            &params_clamp,
+        );
         assert_eq!(dist[0], 0.0, "clamped overshoot gives zero distance");
-        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &stats, &stats, &params_raw);
+        dist_row(
+            0,
+            &row0,
+            &col0,
+            &qt_prev,
+            &mut qt_next,
+            &mut dist,
+            &stats,
+            &stats,
+            &params_raw,
+        );
         assert!(dist[0].is_nan(), "unclamped overshoot gives NaN");
     }
 
@@ -241,7 +270,17 @@ mod tests {
         let qt_prev = vec![0.0; n];
         let mut qt_next = vec![0.0; n];
         let mut dist = vec![0.0; n];
-        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &st, &st, &params);
+        dist_row(
+            0,
+            &row0,
+            &col0,
+            &qt_prev,
+            &mut qt_next,
+            &mut dist,
+            &st,
+            &st,
+            &params,
+        );
         assert!(dist[0].is_infinite(), "self-match excluded");
         assert!(dist[1].is_infinite(), "|i-j| = 1 < 2 excluded");
         assert!(dist[2].is_finite());
@@ -261,7 +300,17 @@ mod tests {
         let qt_prev = vec![0.0; n];
         let mut qt_next = vec![0.0; n];
         let mut dist = vec![0.0; n];
-        dist_row(0, &row0, &col0, &qt_prev, &mut qt_next, &mut dist, &st, &st, &params);
+        dist_row(
+            0,
+            &row0,
+            &col0,
+            &qt_prev,
+            &mut qt_next,
+            &mut dist,
+            &st,
+            &st,
+            &params,
+        );
         assert!(dist[10].is_infinite());
         assert!(dist[9].is_finite());
         assert!(dist[11].is_finite());

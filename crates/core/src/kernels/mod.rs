@@ -58,6 +58,14 @@ pub fn h2d_bytes(n_r: usize, n_q: usize, m: usize, d: usize, format: Format) -> 
     (((n_r + m - 1) + (n_q + m - 1)) * d * format.bytes()) as u64
 }
 
+/// Host→device bytes when a tile's precalculation is served from a cache:
+/// instead of the raw input windows, the host ships the precomputed arrays —
+/// four rolling-statistics vectors per series plus the initial QT row and
+/// column.
+pub fn h2d_bytes_cached(n_r: usize, n_q: usize, d: usize, format: Format) -> u64 {
+    (5 * (n_r + n_q) * d * format.bytes()) as u64
+}
+
 /// Device→host result bytes for a tile (profile in the working format plus
 /// 64-bit indices).
 pub fn d2h_bytes(n_q: usize, d: usize, format: Format) -> u64 {
@@ -99,7 +107,10 @@ mod tests {
     #[test]
     fn transfer_sizes() {
         // 2 windows of (n+m-1)·d elements.
-        assert_eq!(h2d_bytes(100, 100, 8, 2, Format::Fp64), (107 * 2 * 2 * 8) as u64);
+        assert_eq!(
+            h2d_bytes(100, 100, 8, 2, Format::Fp64),
+            (107 * 2 * 2 * 8) as u64
+        );
         assert_eq!(d2h_bytes(100, 2, Format::Fp16), (100 * 2 * 10) as u64);
     }
 

@@ -17,7 +17,10 @@ use rayon::prelude::*;
 /// Number of compare-exchange stages of a Bitonic network over `len`
 /// (power-of-two) elements: `log·(log+1)/2`.
 pub fn bitonic_stage_count(len: usize) -> usize {
-    assert!(len.is_power_of_two(), "bitonic length must be a power of two");
+    assert!(
+        len.is_power_of_two(),
+        "bitonic length must be a power of two"
+    );
     let lg = len.trailing_zeros() as usize;
     lg * (lg + 1) / 2
 }
@@ -146,7 +149,7 @@ mod tests {
     fn bitonic_sorts_random_arrays() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            let len = 1usize << rng.gen_range(0..8);
+            let len = 1usize << rng.gen_range(0..8u32);
             let mut a: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
             let mut expected = a.clone();
             expected.sort_by(|x, y| x.partial_cmp(y).unwrap());
@@ -157,7 +160,16 @@ mod tests {
 
     #[test]
     fn bitonic_handles_inf_and_nan_deterministically() {
-        let mut a = vec![3.0, f64::NAN, f64::INFINITY, -1.0, f64::NEG_INFINITY, 0.0, 2.0, f64::NAN];
+        let mut a = vec![
+            3.0,
+            f64::NAN,
+            f64::INFINITY,
+            -1.0,
+            f64::NEG_INFINITY,
+            0.0,
+            2.0,
+            f64::NAN,
+        ];
         bitonic_sort(&mut a);
         assert_eq!(a[0], f64::NEG_INFINITY);
         assert_eq!(&a[1..4], &[-1.0, 0.0, 2.0]);

@@ -48,8 +48,12 @@ pub fn run_on_cluster(
     cluster: &mut ClusterSystem,
 ) -> Result<ClusterRun, MdmpError> {
     match cfg.mode {
-        PrecisionMode::Fp64 => run_cluster_generic::<f64, f64>(reference, query, cfg, cluster, false),
-        PrecisionMode::Fp32 => run_cluster_generic::<f32, f32>(reference, query, cfg, cluster, false),
+        PrecisionMode::Fp64 => {
+            run_cluster_generic::<f64, f64>(reference, query, cfg, cluster, false)
+        }
+        PrecisionMode::Fp32 => {
+            run_cluster_generic::<f32, f32>(reference, query, cfg, cluster, false)
+        }
         PrecisionMode::Fp16 => {
             run_cluster_generic::<Half, Half>(reference, query, cfg, cluster, false)
         }
@@ -139,8 +143,8 @@ fn run_cluster_generic<P: Real, M: Real>(
     let compute = node_makespans.iter().copied().fold(0.0, f64::max);
 
     // Network: broadcast both input series, reduce the partial profiles.
-    let input_bytes = ((reference.len() + query.len()) * d * cfg.mode.precalc_format().bytes())
-        as u64;
+    let input_bytes =
+        ((reference.len() + query.len()) * d * cfg.mode.precalc_format().bytes()) as u64;
     let profile_bytes = (n_q * d) as u64 * (cfg.mode.main_format().bytes() as u64 + 8);
     let broadcast_seconds = cluster.interconnect.broadcast_seconds(input_bytes, nodes);
     let reduce_seconds = cluster.interconnect.reduce_seconds(profile_bytes, nodes);
@@ -256,12 +260,8 @@ mod tests {
             let cfg = MdmpConfig::new(16, mode).with_tiles(16);
             let mut single = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
             let expected = run_with_mode(&p.reference, &p.query, &cfg, &mut single).unwrap();
-            let mut cluster = ClusterSystem::homogeneous(
-                DeviceSpec::a100(),
-                4,
-                2,
-                Interconnect::default(),
-            );
+            let mut cluster =
+                ClusterSystem::homogeneous(DeviceSpec::a100(), 4, 2, Interconnect::default());
             let got = run_on_cluster(&p.reference, &p.query, &cfg, &mut cluster).unwrap();
             assert_eq!(expected.profile, got.profile, "{mode}");
         }
@@ -272,12 +272,8 @@ mod tests {
         let cfg = MdmpConfig::new(64, PrecisionMode::Fp64).with_tiles(64);
         let n = 1 << 15;
         let t = |nodes: usize| {
-            let mut cluster = ClusterSystem::homogeneous(
-                DeviceSpec::a100(),
-                nodes,
-                4,
-                Interconnect::default(),
-            );
+            let mut cluster =
+                ClusterSystem::homogeneous(DeviceSpec::a100(), nodes, 4, Interconnect::default());
             estimate_cluster(n, n, 64, &cfg, &mut cluster)
                 .unwrap()
                 .modeled_seconds
@@ -318,12 +314,8 @@ mod tests {
         let cfg = MdmpConfig::new(64, PrecisionMode::Fp64).with_tiles(64);
         let n = 1 << 14;
         let net = |nodes: usize| {
-            let mut cluster = ClusterSystem::homogeneous(
-                DeviceSpec::a100(),
-                nodes,
-                1,
-                Interconnect::default(),
-            );
+            let mut cluster =
+                ClusterSystem::homogeneous(DeviceSpec::a100(), nodes, 1, Interconnect::default());
             let run = estimate_cluster(n, n, 16, &cfg, &mut cluster).unwrap();
             run.broadcast_seconds + run.reduce_seconds
         };

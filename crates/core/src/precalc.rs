@@ -169,7 +169,14 @@ pub fn compute_stats<T: Real>(dev: &SeriesDevice<T>, m: usize, kahan: bool) -> S
             }
         }
     }
-    Stats { n, d, mu, inv, df, dg }
+    Stats {
+        n,
+        d,
+        mu,
+        inv,
+        df,
+        dg,
+    }
 }
 
 /// Mean-centered dot product of the segment at `a_start` in `a` and the
@@ -326,19 +333,13 @@ mod tests {
                 let mu_r: f64 = rx[0..m].iter().sum::<f64>() / m as f64;
                 let mu_q: f64 = qx[j..j + m].iter().sum::<f64>() / m as f64;
                 let direct: f64 = (0..m).map(|t| (rx[t] - mu_r) * (qx[j + t] - mu_q)).sum();
-                assert!(
-                    (row0[k * qs.n + j] - direct).abs() < 1e-9,
-                    "row0[{k}][{j}]"
-                );
+                assert!((row0[k * qs.n + j] - direct).abs() < 1e-9, "row0[{k}][{j}]");
             }
             for i in [0usize, 7, 90] {
                 let mu_r: f64 = rx[i..i + m].iter().sum::<f64>() / m as f64;
                 let mu_q: f64 = qx[0..m].iter().sum::<f64>() / m as f64;
                 let direct: f64 = (0..m).map(|t| (rx[i + t] - mu_r) * (qx[t] - mu_q)).sum();
-                assert!(
-                    (col0[k * rs.n + i] - direct).abs() < 1e-9,
-                    "col0[{k}][{i}]"
-                );
+                assert!((col0[k * rs.n + i] - direct).abs() < 1e-9, "col0[{k}][{i}]");
             }
         }
     }

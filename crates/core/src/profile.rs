@@ -22,7 +22,10 @@ pub struct MatrixProfile {
 impl MatrixProfile {
     /// An "empty" profile: all distances +∞, all indices −1.
     pub fn new_unset(n_query: usize, dims: usize) -> MatrixProfile {
-        assert!(n_query > 0 && dims > 0, "profile dimensions must be positive");
+        assert!(
+            n_query > 0 && dims > 0,
+            "profile dimensions must be positive"
+        );
         MatrixProfile {
             p: vec![f64::INFINITY; n_query * dims],
             i: vec![-1; n_query * dims],

@@ -159,8 +159,7 @@ impl StreamingProfile {
         let kahan = self.cfg.mode.compensated_precalc();
         macro_rules! run {
             ($p:ty, $m:ty) => {
-                execute_tile::<$p, $m>(&self.reference, &self.query, tile, &self.cfg, kahan)
-                    .profile
+                execute_tile::<$p, $m>(&self.reference, &self.query, tile, &self.cfg, kahan).profile
             };
         }
         match self.cfg.mode {

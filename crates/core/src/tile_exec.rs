@@ -41,6 +41,61 @@ pub struct TileOutput {
     pub device_bytes: u64,
 }
 
+/// The outputs of one tile's `precalculation` kernel, widened **exactly** to
+/// f64 (every supported format embeds in f64 without rounding).
+///
+/// Because [`Stats::convert`] and [`convert_qt`] both round through f64, a
+/// tile executed from a stored `TilePrecalc` is bit-identical to one whose
+/// precalculation ran inline — which is what makes this the cacheable unit
+/// for a result server: the cache key only needs to pin down the inputs of
+/// the precalculation (series, window `m`, precalc format, kahan flag).
+#[derive(Debug, Clone)]
+pub struct TilePrecalc {
+    /// Reference-side rolling statistics.
+    pub rstats: Stats<f64>,
+    /// Query-side rolling statistics.
+    pub qstats: Stats<f64>,
+    /// Initial correlation row `QT_r` (dimension-major, `d × n_q`).
+    pub qt_row0: Vec<f64>,
+    /// Initial correlation column `QT_q` (dimension-major, `d × n_r`).
+    pub qt_col0: Vec<f64>,
+}
+
+impl TilePrecalc {
+    /// Approximate heap footprint in bytes (for cache budgeting).
+    pub fn approx_bytes(&self) -> u64 {
+        let elems = self.rstats.mu.len() * 4
+            + self.qstats.mu.len() * 4
+            + self.qt_row0.len()
+            + self.qt_col0.len();
+        (elems * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+/// Run one tile's `precalculation` kernel in precision `P` and capture the
+/// result exactly in f64.
+pub fn compute_tile_precalc<P: Real>(
+    reference: &MultiDimSeries,
+    query: &MultiDimSeries,
+    tile: &Tile,
+    cfg: &MdmpConfig,
+    kahan: bool,
+) -> TilePrecalc {
+    let m = cfg.m;
+    // H2D copy: the tile's input windows, converted to the precalc format.
+    let refd = SeriesDevice::<P>::load(reference, tile.row0, tile.rows + m - 1);
+    let qd = SeriesDevice::<P>::load(query, tile.col0, tile.cols + m - 1);
+    let rstats_p = compute_stats(&refd, m, kahan);
+    let qstats_p = compute_stats(&qd, m, kahan);
+    let (qt_row0_p, qt_col0_p) = initial_qt(&refd, &rstats_p, &qd, &qstats_p, m, kahan);
+    TilePrecalc {
+        rstats: rstats_p.convert(),
+        qstats: qstats_p.convert(),
+        qt_row0: convert_qt(&qt_row0_p),
+        qt_col0: convert_qt(&qt_col0_p),
+    }
+}
+
 /// Execute one tile functionally and collect its modelled costs.
 pub fn execute_tile<P: Real, M: Real>(
     reference: &MultiDimSeries,
@@ -49,24 +104,35 @@ pub fn execute_tile<P: Real, M: Real>(
     cfg: &MdmpConfig,
     kahan: bool,
 ) -> TileOutput {
-    let m = cfg.m;
-    let d = reference.dims();
+    let pre = compute_tile_precalc::<P>(reference, query, tile, cfg, kahan);
+    execute_tile_from_precalc::<M>(&pre, tile, cfg, kahan, false)
+}
+
+/// Execute one tile's main loop from a (possibly cached) precalculation.
+///
+/// With `precalc_cached = true` the modelled costs omit the `Precalc`
+/// kernel and charge the (smaller) cached-array H2D transfer instead of the
+/// raw input windows — the device never sees the precalculation.
+pub fn execute_tile_from_precalc<M: Real>(
+    pre: &TilePrecalc,
+    tile: &Tile,
+    cfg: &MdmpConfig,
+    kahan: bool,
+    precalc_cached: bool,
+) -> TileOutput {
+    let d = pre.rstats.d;
     let d_pad = d.next_power_of_two();
     let n_r = tile.rows;
     let n_q = tile.cols;
+    assert_eq!(pre.rstats.n, n_r, "precalc does not match tile rows");
+    assert_eq!(pre.qstats.n, n_q, "precalc does not match tile cols");
 
-    // H2D copy: the tile's input windows, converted to the precalc format.
-    let refd = SeriesDevice::<P>::load(reference, tile.row0, n_r + m - 1);
-    let qd = SeriesDevice::<P>::load(query, tile.col0, n_q + m - 1);
-
-    // precalculation (in P, optionally compensated), then conversion to M.
-    let rstats_p = compute_stats(&refd, m, kahan);
-    let qstats_p = compute_stats(&qd, m, kahan);
-    let (qt_row0_p, qt_col0_p) = initial_qt(&refd, &rstats_p, &qd, &qstats_p, m, kahan);
-    let rstats: Stats<M> = rstats_p.convert();
-    let qstats: Stats<M> = qstats_p.convert();
-    let qt_row0: Vec<M> = convert_qt(&qt_row0_p);
-    let qt_col0: Vec<M> = convert_qt(&qt_col0_p);
+    // Narrow to the main-loop precision (one rounding, same as the inline
+    // Stats::convert / convert_qt path).
+    let rstats: Stats<M> = pre.rstats.convert();
+    let qstats: Stats<M> = pre.qstats.convert();
+    let qt_row0: Vec<M> = convert_qt(&pre.qt_row0);
+    let qt_col0: Vec<M> = convert_qt(&pre.qt_col0);
 
     // Working planes in the main-loop precision.
     let mut qt_prev = vec![M::zero(); n_q * d];
@@ -76,12 +142,19 @@ pub fn execute_tile<P: Real, M: Real>(
     let mut p_plane = vec![M::infinity(); n_q * d];
     let mut i_plane = vec![-1i64; n_q * d];
 
-    let params = DistParams::<M>::new(m, cfg.clamp, tile.row0, tile.col0, cfg.exclusion_zone);
+    let params = DistParams::<M>::new(cfg.m, cfg.clamp, tile.row0, tile.col0, cfg.exclusion_zone);
 
     // Main iteration loop (Pseudocode 1, lines 3-7).
     for i in 0..n_r {
         dist_row(
-            i, &qt_row0, &qt_col0, &qt_prev, &mut qt_next, &mut dist_plane, &rstats, &qstats,
+            i,
+            &qt_row0,
+            &qt_col0,
+            &qt_prev,
+            &mut qt_next,
+            &mut dist_plane,
+            &rstats,
+            &qstats,
             &params,
         );
         sort_scan_row(&dist_plane, &mut scanned, n_q, d);
@@ -100,7 +173,8 @@ pub fn execute_tile<P: Real, M: Real>(
     let p_f64: Vec<f64> = p_plane.iter().map(|&v| v.to_f64()).collect();
     let profile = MatrixProfile::from_raw(p_f64, i_plane, n_q, d);
 
-    let (kernel_costs, h2d_bytes, d2h_bytes, device_bytes) = tile_cost_bundle(tile, d, cfg, kahan);
+    let (kernel_costs, h2d_bytes, d2h_bytes, device_bytes) =
+        tile_cost_bundle_reused(tile, d, cfg, kahan, precalc_cached);
 
     TileOutput {
         profile,
@@ -123,21 +197,40 @@ pub fn tile_cost_bundle(
     cfg: &MdmpConfig,
     kahan: bool,
 ) -> (Vec<KernelCost>, u64, u64, u64) {
+    tile_cost_bundle_reused(tile, d, cfg, kahan, false)
+}
+
+/// [`tile_cost_bundle`] with precalc reuse: when `precalc_cached` is set,
+/// the `Precalc` kernel disappears from the submission list and the H2D
+/// transfer ships the precomputed arrays instead of the raw input windows.
+pub fn tile_cost_bundle_reused(
+    tile: &Tile,
+    d: usize,
+    cfg: &MdmpConfig,
+    kahan: bool,
+    precalc_cached: bool,
+) -> (Vec<KernelCost>, u64, u64, u64) {
     let m = cfg.m;
     let n_r = tile.rows;
     let n_q = tile.cols;
     let main_fmt = cfg.mode.main_format();
     let pre_fmt = cfg.mode.precalc_format();
     let rows = n_r as u64;
-    let kernel_costs = vec![
-        kernels::precalc_cost(n_r, n_q, m, d, pre_fmt, kahan),
-        dist_cost(n_q, d, main_fmt).repeated(rows),
-        sort_scan_cost(n_q, d, main_fmt).repeated(rows),
-        update_cost(n_q, d, main_fmt).repeated(rows),
-    ];
+    let mut kernel_costs = Vec::with_capacity(4);
+    if !precalc_cached {
+        kernel_costs.push(kernels::precalc_cost(n_r, n_q, m, d, pre_fmt, kahan));
+    }
+    kernel_costs.push(dist_cost(n_q, d, main_fmt).repeated(rows));
+    kernel_costs.push(sort_scan_cost(n_q, d, main_fmt).repeated(rows));
+    kernel_costs.push(update_cost(n_q, d, main_fmt).repeated(rows));
+    let h2d = if precalc_cached {
+        kernels::h2d_bytes_cached(n_r, n_q, d, pre_fmt)
+    } else {
+        kernels::h2d_bytes(n_r, n_q, m, d, pre_fmt)
+    };
     (
         kernel_costs,
-        kernels::h2d_bytes(n_r, n_q, m, d, pre_fmt),
+        h2d,
         kernels::d2h_bytes(n_q, d, main_fmt),
         kernels::tile_device_bytes(n_r, n_q, m, d, main_fmt),
     )
@@ -174,12 +267,7 @@ mod tests {
         for j in 0..n_q {
             for i in 0..n_r {
                 let mut ds: Vec<f64> = (0..d)
-                    .map(|k| {
-                        znorm_distance(
-                            &reference.dim(k)[i..i + m],
-                            &query.dim(k)[j..j + m],
-                        )
-                    })
+                    .map(|k| znorm_distance(&reference.dim(k)[i..i + m], &query.dim(k)[j..j + m]))
                     .collect();
                 ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 let mut run = 0.0;
@@ -213,11 +301,7 @@ mod tests {
                     out.profile.value(j, k),
                     expected.value(j, k)
                 );
-                assert_eq!(
-                    out.profile.index(j, k),
-                    expected.index(j, k),
-                    "I[{j}][{k}]"
-                );
+                assert_eq!(out.profile.index(j, k), expected.index(j, k), "I[{j}][{k}]");
             }
         }
     }
@@ -227,7 +311,13 @@ mod tests {
         let m = 8;
         let r = series(2, 2, 100);
         let q = series(9, 2, 100);
-        let tile = Tile { index: 0, row0: 20, rows: 30, col0: 40, cols: 25 };
+        let tile = Tile {
+            index: 0,
+            row0: 20,
+            rows: 30,
+            col0: 40,
+            cols: 25,
+        };
         let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
         let out = execute_tile::<f64, f64>(&r, &q, &tile, &cfg, false);
         assert_eq!(out.profile.n_query(), 25);
@@ -243,9 +333,7 @@ mod tests {
                 let mut best_i = -1i64;
                 for i in 20..50 {
                     let mut ds: Vec<f64> = (0..2)
-                        .map(|kk| {
-                            znorm_distance(&r.dim(kk)[i..i + m], &q.dim(kk)[j..j + m])
-                        })
+                        .map(|kk| znorm_distance(&r.dim(kk)[i..i + m], &q.dim(kk)[j..j + m]))
                         .collect();
                     ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
                     let avg: f64 = ds[..=k].iter().sum::<f64>() / (k + 1) as f64;
@@ -258,7 +346,11 @@ mod tests {
                     (out.profile.value(jj, k) - best).abs() < 1e-7,
                     "tile P[{jj}][{k}]"
                 );
-                assert_eq!(out.profile.index(jj, k), best_i, "tile I[{jj}][{k}] (global)");
+                assert_eq!(
+                    out.profile.index(jj, k),
+                    best_i,
+                    "tile I[{jj}][{k}] (global)"
+                );
             }
         }
     }
@@ -297,7 +389,10 @@ mod tests {
         let e32 = avg_err(&out32);
         assert!(e32 < 1e-3, "FP32 should be near-exact: {e32}");
         assert!(e16 > e32, "FP16 must be worse than FP32");
-        assert!(e16 < 1.5, "FP16 on a 100-row tile must stay in the right ballpark: {e16}");
+        assert!(
+            e16 < 1.5,
+            "FP16 on a 100-row tile must stay in the right ballpark: {e16}"
+        );
     }
 
     #[test]

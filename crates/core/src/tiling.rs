@@ -260,13 +260,26 @@ mod tests {
     fn single_tile_covers_everything() {
         let tiles = compute_tile_list(64, 64, 1).unwrap();
         assert_eq!(tiles.len(), 1);
-        assert_eq!(tiles[0], Tile { index: 0, row0: 0, rows: 64, col0: 0, cols: 64 });
+        assert_eq!(
+            tiles[0],
+            Tile {
+                index: 0,
+                row0: 0,
+                rows: 64,
+                col0: 0,
+                cols: 64
+            }
+        );
     }
 
     #[test]
     fn uneven_split_spreads_remainder() {
         let tiles = compute_tile_list(10, 10, 9).unwrap(); // 3x3 grid
-        let rows: Vec<usize> = tiles.iter().filter(|t| t.col0 == 0).map(|t| t.rows).collect();
+        let rows: Vec<usize> = tiles
+            .iter()
+            .filter(|t| t.col0 == 0)
+            .map(|t| t.rows)
+            .collect();
         assert_eq!(rows, vec![4, 3, 3]);
     }
 

@@ -21,11 +21,7 @@ fn noise_series(seed: u64, d: usize, len: usize, amplitude: f64) -> MultiDimSeri
     MultiDimSeries::from_dims(dims)
 }
 
-fn run(
-    r: &MultiDimSeries,
-    q: &MultiDimSeries,
-    cfg: &MdmpConfig,
-) -> mdmp_core::MatrixProfile {
+fn run(r: &MultiDimSeries, q: &MultiDimSeries, cfg: &MdmpConfig) -> mdmp_core::MatrixProfile {
     let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
     run_with_mode(r, q, cfg, &mut sys).unwrap().profile
 }

@@ -143,7 +143,7 @@ pub fn generate(cfg: &GenomeConfig) -> GenomeDataset {
                 let start = rng.gen_range(0..cfg.len - cfg.gene_len);
                 for (t, &b) in gene.iter().enumerate() {
                     seq[start + t] = if rng.gen::<f64>() < cfg.mutation_rate {
-                        Base::ALL[rng.gen_range(0..4)]
+                        Base::ALL[rng.gen_range(0..4usize)]
                     } else {
                         b
                     };
@@ -162,7 +162,9 @@ pub fn generate(cfg: &GenomeConfig) -> GenomeDataset {
 }
 
 fn random_bases(rng: &mut StdRng, len: usize) -> Vec<Base> {
-    (0..len).map(|_| Base::ALL[rng.gen_range(0..4)]).collect()
+    (0..len)
+        .map(|_| Base::ALL[rng.gen_range(0..4usize)])
+        .collect()
 }
 
 #[cfg(test)]
@@ -250,7 +252,9 @@ mod tests {
         let (_, s2) = copies[1];
         if s1.abs_diff(s2) >= cfg.gene_len {
             let d0 = ds.series.dim(0);
-            let diff = (0..cfg.gene_len).filter(|&t| d0[s1 + t] != d0[s2 + t]).count();
+            let diff = (0..cfg.gene_len)
+                .filter(|&t| d0[s1 + t] != d0[s2 + t])
+                .count();
             assert!(diff > 20, "heavy mutation should perturb many positions");
         }
     }

@@ -219,9 +219,8 @@ pub fn generate(cfg: &HpcOdaConfig) -> HpcOdaDataset {
             let start = p * cfg.phase_len;
             for t in 0..cfg.phase_len {
                 let phase = TAU * (t as f64) / period;
-                dim[start + t] = base
-                    + amp * class.waveform(sensor, phase)
-                    + cfg.noise * gaussian(&mut rng);
+                dim[start + t] =
+                    base + amp * class.waveform(sensor, phase) + cfg.noise * gaussian(&mut rng);
             }
         }
     }
@@ -270,7 +269,10 @@ mod tests {
                 distinct += 1;
             }
         }
-        assert!(distinct >= 8, "only {distinct}/16 sensors separate the classes");
+        assert!(
+            distinct >= 8,
+            "only {distinct}/16 sensors separate the classes"
+        );
     }
 
     #[test]
@@ -298,10 +300,7 @@ mod tests {
         assert_eq!(r.labels.len(), r.series.len());
         assert_eq!(q.labels.len(), q.series.len());
         assert_eq!(r.series.dim(0)[0], ds.series.dim(0)[0]);
-        assert_eq!(
-            q.series.dim(3)[0],
-            ds.series.dim(3)[ds.series.len() / 2]
-        );
+        assert_eq!(q.series.dim(3)[0], ds.series.dim(3)[ds.series.len() / 2]);
     }
 
     #[test]

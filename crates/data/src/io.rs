@@ -13,7 +13,12 @@ use std::path::Path;
 pub fn write_csv(path: &Path, series: &MultiDimSeries) -> io::Result<()> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
-    writeln!(w, "# mdmp series: dims={} len={}", series.dims(), series.len())?;
+    writeln!(
+        w,
+        "# mdmp series: dims={} len={}",
+        series.dims(),
+        series.len()
+    )?;
     for t in 0..series.len() {
         for k in 0..series.dims() {
             if k > 0 {
@@ -103,10 +108,7 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
-        let s = MultiDimSeries::from_dims(vec![
-            vec![1.0, 2.5, -3.0],
-            vec![0.125, 1e-9, 4.0],
-        ]);
+        let s = MultiDimSeries::from_dims(vec![vec![1.0, 2.5, -3.0], vec![0.125, 1e-9, 4.0]]);
         let p = tmp("round_trip.csv");
         write_csv(&p, &s).unwrap();
         let back = read_csv(&p).unwrap();

@@ -117,7 +117,8 @@ impl MultiDimSeries {
         );
         let mut out = MultiDimSeries::zeros(self.dims, len);
         for k in 0..self.dims {
-            out.dim_mut(k).copy_from_slice(&self.dim(k)[start..start + len]);
+            out.dim_mut(k)
+                .copy_from_slice(&self.dim(k)[start..start + len]);
         }
         out
     }

@@ -97,7 +97,11 @@ mod tests {
         let rs = rolling_std(&x, m);
         for (i, &sd) in rs.iter().enumerate() {
             let mu: f64 = x[i..i + m].iter().sum::<f64>() / m as f64;
-            let var: f64 = x[i..i + m].iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / m as f64;
+            let var: f64 = x[i..i + m]
+                .iter()
+                .map(|&v| (v - mu) * (v - mu))
+                .sum::<f64>()
+                / m as f64;
             assert!((sd - var.sqrt()).abs() < 1e-12);
         }
     }
@@ -117,7 +121,9 @@ mod tests {
     fn znorm_distance_and_pearson_identity() {
         // dist² = 2m(1 − ρ), the identity Eq. 1 exploits.
         let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).sin()).collect();
-        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2 + 0.7).cos() + 0.1 * i as f64).collect();
+        let b: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 0.2 + 0.7).cos() + 0.1 * i as f64)
+            .collect();
         let d = znorm_distance(&a, &b);
         let rho = pearson(&a, &b);
         let m = a.len() as f64;

@@ -294,7 +294,10 @@ mod tests {
         // All 8 shapes pairwise distinct.
         for (i, &a) in Pattern::ALL.iter().enumerate() {
             for &b in &Pattern::ALL[i + 1..] {
-                assert!(shape_distance(a, b, 128) > 0.05, "{a:?} vs {b:?} too similar");
+                assert!(
+                    shape_distance(a, b, 128) > 0.05,
+                    "{a:?} vs {b:?} too similar"
+                );
             }
         }
     }
@@ -332,12 +335,7 @@ mod tests {
         let mut rng = seeded(5);
         let mut random_best = f64::INFINITY;
         for _ in 0..50 {
-            let i = random_noise_segment(
-                &mut rng,
-                cfg.n_subsequences,
-                cfg.m,
-                &pair.reference_locs,
-            );
+            let i = random_noise_segment(&mut rng, cfg.n_subsequences, cfg.m, &pair.reference_locs);
             let d = znorm_distance(q_seg, &pair.reference.dim(0)[i..i + cfg.m]);
             random_best = random_best.min(d);
         }

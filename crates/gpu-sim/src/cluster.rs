@@ -165,7 +165,11 @@ mod tests {
         cost.bytes_read = (model.spec().mem_bandwidth * model.mem_efficiency(Format::Fp64)) as u64;
         c.node_mut(0).device_mut(0).submit_kernel(0, cost);
         c.node_mut(1).device_mut(0).submit_kernel(0, cost);
-        assert!((c.compute_makespan() - 1.0).abs() < 0.01, "{}", c.compute_makespan());
+        assert!(
+            (c.compute_makespan() - 1.0).abs() < 0.01,
+            "{}",
+            c.compute_makespan()
+        );
         c.reset();
         assert_eq!(c.compute_makespan(), 0.0);
     }

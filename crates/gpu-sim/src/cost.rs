@@ -97,7 +97,10 @@ impl KernelCost {
     /// Panics if `other` has a different class or format.
     pub fn merge(&mut self, other: &KernelCost) {
         assert_eq!(self.class, other.class, "cannot merge costs across classes");
-        assert_eq!(self.format, other.format, "cannot merge costs across formats");
+        assert_eq!(
+            self.format, other.format,
+            "cannot merge costs across formats"
+        );
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.flops += other.flops;

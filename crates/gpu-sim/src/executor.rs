@@ -40,7 +40,9 @@ impl SimDevice {
     /// Submit a kernel on a logical stream; records cost and returns the
     /// scheduled interval.
     pub fn submit_kernel(&mut self, stream: usize, cost: KernelCost) -> OpRecord {
-        let record = self.timeline.submit(stream, &Op::Kernel { cost }, &self.model);
+        let record = self
+            .timeline
+            .submit(stream, &Op::Kernel { cost }, &self.model);
         self.ledger.record(&cost, record.duration());
         record
     }
@@ -78,6 +80,20 @@ impl GpuSystem {
         GpuSystem {
             devices: specs.into_iter().map(SimDevice::new).collect(),
         }
+    }
+
+    /// A system assembled from already-built devices — the leasing path: a
+    /// pool owner checks devices out, wraps them in a `GpuSystem` for one
+    /// job, then reclaims them with [`GpuSystem::into_devices`].
+    pub fn from_devices(devices: Vec<SimDevice>) -> GpuSystem {
+        assert!(!devices.is_empty(), "need at least one device");
+        GpuSystem { devices }
+    }
+
+    /// Disassemble the system back into its devices (ledgers and timelines
+    /// intact), returning them to whatever pool leased them out.
+    pub fn into_devices(self) -> Vec<SimDevice> {
+        self.devices
     }
 
     /// Number of devices.
@@ -199,5 +215,20 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_system_panics() {
         let _ = GpuSystem::new(vec![]);
+    }
+
+    #[test]
+    fn lease_round_trip_preserves_device_state() {
+        let spec = DeviceSpec::a100();
+        let k = one_second_kernel(&spec);
+        let mut devices: Vec<SimDevice> = (0..2).map(|_| SimDevice::new(spec.clone())).collect();
+        devices[0].submit_kernel(0, k);
+        let sys = GpuSystem::from_devices(devices);
+        assert_eq!(sys.device_count(), 2);
+        assert!((sys.makespan() - 1.0).abs() < 0.05);
+        let devices = sys.into_devices();
+        assert_eq!(devices.len(), 2);
+        assert!((devices[0].timeline.makespan() - 1.0).abs() < 0.05);
+        assert_eq!(devices[1].timeline.makespan(), 0.0);
     }
 }

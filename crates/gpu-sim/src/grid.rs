@@ -29,10 +29,7 @@ where
     if n == 0 {
         return;
     }
-    (0..n)
-        .into_par_iter()
-        .with_min_len(MIN_CHUNK)
-        .for_each(f);
+    (0..n).into_par_iter().with_min_len(MIN_CHUNK).for_each(f);
 }
 
 /// Fill `out[i] = f(i)` in parallel — the shape of `dist_calc` and

@@ -41,10 +41,7 @@ impl ThreadOrder {
         match self {
             ThreadOrder::Forward => (0..n).collect(),
             ThreadOrder::Reverse => (0..n).rev().collect(),
-            ThreadOrder::EvenOdd => (0..n)
-                .step_by(2)
-                .chain((0..n).skip(1).step_by(2))
-                .collect(),
+            ThreadOrder::EvenOdd => (0..n).step_by(2).chain((0..n).skip(1).step_by(2)).collect(),
         }
     }
 }

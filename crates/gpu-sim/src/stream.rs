@@ -190,8 +190,20 @@ mod tests {
     fn same_stream_serializes() {
         let m = model();
         let mut tl = DeviceTimeline::new(16);
-        let a = tl.submit(0, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
-        let b = tl.submit(0, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
+        let a = tl.submit(
+            0,
+            &Op::Kernel {
+                cost: kernel_cost(1.0),
+            },
+            &m,
+        );
+        let b = tl.submit(
+            0,
+            &Op::Kernel {
+                cost: kernel_cost(1.0),
+            },
+            &m,
+        );
         assert!(b.start >= a.end);
         assert!((tl.makespan() - 2.0).abs() < 1e-6);
     }
@@ -200,8 +212,20 @@ mod tests {
     fn different_streams_still_share_the_compute_engine() {
         let m = model();
         let mut tl = DeviceTimeline::new(16);
-        tl.submit(0, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
-        tl.submit(1, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
+        tl.submit(
+            0,
+            &Op::Kernel {
+                cost: kernel_cost(1.0),
+            },
+            &m,
+        );
+        tl.submit(
+            1,
+            &Op::Kernel {
+                cost: kernel_cost(1.0),
+            },
+            &m,
+        );
         // Full-device kernels serialize even across streams.
         assert!((tl.makespan() - 2.0).abs() < 1e-6);
     }
@@ -211,8 +235,20 @@ mod tests {
         let m = model();
         let mut tl = DeviceTimeline::new(16);
         // Stream 0: 1 s kernel. Stream 1: a 1 s H2D (25 GB at 25 GB/s).
-        tl.submit(0, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
-        tl.submit(1, &Op::H2d { bytes: 25_000_000_000 }, &m);
+        tl.submit(
+            0,
+            &Op::Kernel {
+                cost: kernel_cost(1.0),
+            },
+            &m,
+        );
+        tl.submit(
+            1,
+            &Op::H2d {
+                bytes: 25_000_000_000,
+            },
+            &m,
+        );
         let makespan = tl.makespan();
         assert!(
             makespan < 1.1,
@@ -226,8 +262,20 @@ mod tests {
         let mut tl = DeviceTimeline::new(16);
         // Two tiles, each: 0.5 s H2D then 1 s kernel, on separate streams.
         for tile in 0..2 {
-            tl.submit(tile, &Op::H2d { bytes: 12_500_000_000 }, &m);
-            tl.submit(tile, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
+            tl.submit(
+                tile,
+                &Op::H2d {
+                    bytes: 12_500_000_000,
+                },
+                &m,
+            );
+            tl.submit(
+                tile,
+                &Op::Kernel {
+                    cost: kernel_cost(1.0),
+                },
+                &m,
+            );
         }
         // Serial would be 3.0 s; tile 1's copy overlaps tile 0's kernel.
         let makespan = tl.makespan();
@@ -247,7 +295,13 @@ mod tests {
     fn reset_clears_clocks() {
         let m = model();
         let mut tl = DeviceTimeline::new(4);
-        tl.submit(0, &Op::Kernel { cost: kernel_cost(1.0) }, &m);
+        tl.submit(
+            0,
+            &Op::Kernel {
+                cost: kernel_cost(1.0),
+            },
+            &m,
+        );
         assert!(tl.makespan() > 0.0);
         tl.reset();
         assert_eq!(tl.makespan(), 0.0);

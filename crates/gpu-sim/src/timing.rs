@@ -25,9 +25,9 @@
 //!   ~42× V100 vs CPU in FP64, and ~1.4–1.5× FP16 vs FP64 on A100 at
 //!   (n=2¹⁶, d=2⁶, m=2⁶).
 
-use crate::cost::KernelCost;
 #[cfg(test)]
 use crate::cost::KernelClass;
+use crate::cost::KernelCost;
 use crate::device::{DeviceKind, DeviceSpec};
 use mdmp_precision::Format;
 
@@ -87,8 +87,7 @@ impl TimingModel {
         let bw = self.spec.mem_bandwidth * self.mem_efficiency(cost.format);
         let mem_t = cost.bytes() as f64 / bw;
         let flop_t = cost.flops as f64 / self.spec.peak_flops(cost.format);
-        let smem_t =
-            cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
+        let smem_t = cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
         let base = mem_t.max(flop_t).max(smem_t);
         base + cost.launches as f64 * self.spec.launch_overhead
             + cost.barriers as f64 * self.spec.barrier_overhead
@@ -115,8 +114,7 @@ impl TimingModel {
         let bw = self.spec.mem_bandwidth * self.mem_efficiency(cost.format);
         let mem_t = cost.bytes() as f64 / bw;
         let flop_t = cost.flops as f64 / self.spec.peak_flops(cost.format);
-        let smem_t =
-            cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
+        let smem_t = cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
         let overhead = cost.launches as f64 * self.spec.launch_overhead
             + cost.barriers as f64 * self.spec.barrier_overhead;
         let base = mem_t.max(flop_t).max(smem_t);
@@ -235,6 +233,9 @@ mod tests {
     #[test]
     fn cpu_mem_efficiency_has_no_format_derating() {
         let cpu = TimingModel::new(DeviceSpec::skylake_16c());
-        assert_eq!(cpu.mem_efficiency(Format::Fp64), cpu.mem_efficiency(Format::Fp16));
+        assert_eq!(
+            cpu.mem_efficiency(Format::Fp64),
+            cpu.mem_efficiency(Format::Fp16)
+        );
     }
 }

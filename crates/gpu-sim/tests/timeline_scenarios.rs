@@ -44,12 +44,20 @@ fn copy_engines_are_independent_directions() {
     // Stream 0 uploads while stream 1 downloads: full overlap.
     sys.device_mut(0).submit_transfer(0, bytes_1s_up, true);
     sys.device_mut(0).submit_transfer(1, bytes_1s_down, false);
-    assert!(sys.makespan() < 1.1, "up/down engines overlap: {}", sys.makespan());
+    assert!(
+        sys.makespan() < 1.1,
+        "up/down engines overlap: {}",
+        sys.makespan()
+    );
     // Two uploads on different streams share the H2D engine: serialize.
     sys.reset();
     sys.device_mut(0).submit_transfer(0, bytes_1s_up, true);
     sys.device_mut(0).submit_transfer(1, bytes_1s_up, true);
-    assert!(sys.makespan() > 1.9, "same engine serializes: {}", sys.makespan());
+    assert!(
+        sys.makespan() > 1.9,
+        "same engine serializes: {}",
+        sys.makespan()
+    );
 }
 
 #[test]

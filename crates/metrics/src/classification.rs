@@ -14,11 +14,7 @@ use std::collections::BTreeMap;
 ///
 /// `ref_labels` holds one label per reference **sample**; a segment takes
 /// the label at its start position.
-pub fn nn_classify<L: Copy>(
-    profile: &MatrixProfile,
-    k: usize,
-    ref_labels: &[L],
-) -> Vec<Option<L>> {
+pub fn nn_classify<L: Copy>(profile: &MatrixProfile, k: usize, ref_labels: &[L]) -> Vec<Option<L>> {
     assert!(k < profile.dims(), "dimension out of range");
     profile
         .index_dim(k)
@@ -94,7 +90,10 @@ impl<L: Ord + Copy> ClassificationReport<L> {
 
     /// Confusion count: how often `truth` was predicted as `predicted`.
     pub fn confusion(&self, truth: L, predicted: L) -> usize {
-        self.confusion.get(&(truth, predicted)).copied().unwrap_or(0)
+        self.confusion
+            .get(&(truth, predicted))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// How often `truth` received no prediction at all (unset index).

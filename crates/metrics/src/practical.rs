@@ -50,7 +50,11 @@ pub fn embedded_recall(
             hits += 1;
         }
     }
-    (hits as f64 / query_locs.len() as f64, hits, query_locs.len())
+    (
+        hits as f64 / query_locs.len() as f64,
+        hits,
+        query_locs.len(),
+    )
 }
 
 #[cfg(test)]

@@ -96,7 +96,10 @@ mod tests {
         let eps = Format::Fp16.epsilon();
         assert!(gamma(10, eps) < gamma(100, eps));
         assert!(gamma(1023, eps).is_finite());
-        assert!(gamma(1024, eps).is_infinite(), "n·ε = 1 at n = 1024 for FP16");
+        assert!(
+            gamma(1024, eps).is_infinite(),
+            "n·ε = 1 at n = 1024 for FP16"
+        );
         assert!(gamma(1 << 20, Format::Fp64.epsilon()) < 1e-9);
     }
 
@@ -110,7 +113,10 @@ mod tests {
         assert!(one_tile.is_infinite());
         assert!(tiles_256.is_finite());
         assert!(tiles_1024 < tiles_256);
-        assert!(tiles_1024 < 0.2, "height-64 tiles: γ₁₂₈ ≈ 0.14, got {tiles_1024}");
+        assert!(
+            tiles_1024 < 0.2,
+            "height-64 tiles: γ₁₂₈ ≈ 0.14, got {tiles_1024}"
+        );
     }
 
     #[test]

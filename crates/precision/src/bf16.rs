@@ -238,7 +238,11 @@ mod tests {
                 assert!(Bf16::from_f32(b.to_f32()).is_nan());
                 continue;
             }
-            assert_eq!(Bf16::from_f32(b.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            assert_eq!(
+                Bf16::from_f32(b.to_f32()).to_bits(),
+                bits,
+                "bits {bits:#06x}"
+            );
         }
     }
 

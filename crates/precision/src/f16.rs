@@ -40,7 +40,11 @@ pub(crate) fn f64_to_f16_bits(x: f64) -> u16 {
 
     if exp == 0x7FF {
         // NaN propagates as a quiet NaN; infinity keeps its sign.
-        return if frac != 0 { sign | 0x7E00 } else { sign | 0x7C00 };
+        return if frac != 0 {
+            sign | 0x7E00
+        } else {
+            sign | 0x7C00
+        };
     }
     let e = exp - 1023; // unbiased exponent; exp==0 (f64 subnormal) maps far below f16 range
     if exp == 0 {
@@ -480,7 +484,10 @@ mod tests {
         let max = Half::MAX;
         assert!((max + max).is_infinite());
         assert!((max * Half::from_f64(2.0)).is_infinite());
-        assert!(!(max + Half::ONE).is_infinite(), "65504+1 rounds back to 65504");
+        assert!(
+            !(max + Half::ONE).is_infinite(),
+            "65504+1 rounds back to 65504"
+        );
     }
 
     #[test]

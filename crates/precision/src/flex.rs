@@ -138,7 +138,11 @@ impl<const E: u32, const M: u32> Flex<E, M> {
 
     /// Widen to `f64` exactly.
     pub fn to_f64(self) -> f64 {
-        let sign = if self.0 & Self::SIGN_MASK != 0 { -1.0 } else { 1.0 };
+        let sign = if self.0 & Self::SIGN_MASK != 0 {
+            -1.0
+        } else {
+            1.0
+        };
         let exp = (self.0 & Self::EXP_MASK) >> M;
         let frac = self.0 & Self::FRAC_MASK;
         if exp == (1 << E) - 1 {

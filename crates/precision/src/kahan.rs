@@ -170,7 +170,11 @@ mod tests {
         assert_eq!(acc.value().to_f64(), 2048.0);
         assert_eq!(acc.compensation().to_f64(), -1.0);
         acc.add(Half::ONE);
-        assert_eq!(acc.value().to_f64(), 2050.0, "carried compensation reappears");
+        assert_eq!(
+            acc.value().to_f64(),
+            2050.0,
+            "carried compensation reappears"
+        );
     }
 
     #[test]

@@ -254,7 +254,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        let labels: Vec<&str> = PrecisionMode::PAPER_MODES.iter().map(|m| m.label()).collect();
+        let labels: Vec<&str> = PrecisionMode::PAPER_MODES
+            .iter()
+            .map(|m| m.label())
+            .collect();
         assert_eq!(labels, ["FP64", "FP32", "FP16", "Mixed", "FP16C"]);
     }
 }

@@ -425,12 +425,20 @@ mod tests {
         let next = T::from_f64(1.0 + T::EPSILON);
         assert!(next.to_f64() > 1.0);
         let below = T::from_f64(1.0 + T::EPSILON / 4.0);
-        assert_eq!(below.to_f64(), 1.0, "{}: eps/4 above 1.0 must round down", T::NAME);
+        assert_eq!(
+            below.to_f64(),
+            1.0,
+            "{}: eps/4 above 1.0 must round down",
+            T::NAME
+        );
         // Total order sends NaN last and infinities to the ends.
         use core::cmp::Ordering;
         assert_eq!(T::neg_infinity().total_order(T::zero()), Ordering::Less);
         assert_eq!(T::infinity().total_order(T::zero()), Ordering::Greater);
-        assert_eq!(T::from_f64(f64::NAN).total_order(T::infinity()), Ordering::Greater);
+        assert_eq!(
+            T::from_f64(f64::NAN).total_order(T::infinity()),
+            Ordering::Greater
+        );
     }
 
     #[test]

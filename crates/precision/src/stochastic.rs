@@ -173,7 +173,10 @@ mod tests {
         assert_eq!(next_up(Half::ZERO).to_bits(), 0x0001);
         assert_eq!(next_down(Half::ZERO).to_bits(), 0x8001);
         assert_eq!(next_up(Half::from_f64(1.0)).to_f64(), 1.0 + 2f64.powi(-10));
-        assert_eq!(next_down(Half::from_f64(1.0)).to_f64(), 1.0 - 2f64.powi(-11));
+        assert_eq!(
+            next_down(Half::from_f64(1.0)).to_f64(),
+            1.0 - 2f64.powi(-11)
+        );
         assert_eq!(next_up(Half::MAX).to_f64(), f64::INFINITY);
         assert_eq!(next_up(Half::INFINITY).to_f64(), f64::INFINITY);
         // Round trip: down(up(x)) == x for normal values.

@@ -1,0 +1,303 @@
+//! The precalculation cache: per-tile [`TilePrecalc`] blocks keyed by the
+//! exact inputs of the `precalculation` kernel — the two series'
+//! fingerprints, the window `m`, the precalc precision (format + Kahan
+//! flag) and the tile count. A repeated query finds every tile's precalc
+//! in the cache and the driver skips the `Precalc` kernel entirely (see
+//! [`mdmp_core::run_with_mode_cached`]).
+//!
+//! Because [`TilePrecalc`] stores the P-precision values exactly in f64,
+//! modes sharing a precalc configuration share entries: FP32, Mixed and
+//! both FP8 modes all precalculate in FP32, so a Mixed job warms the cache
+//! for a later FP8 job over the same series.
+//!
+//! Eviction is LRU under a byte budget, whole runs at a time.
+
+use mdmp_core::{PrecalcStore, TilePrecalc};
+use mdmp_data::MultiDimSeries;
+use mdmp_precision::{Format, PrecisionMode};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a over a series' shape and raw f64 bit patterns.
+pub fn series_fingerprint(series: &MultiDimSeries) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(series.dims() as u64);
+    eat(series.len() as u64);
+    for k in 0..series.dims() {
+        for &x in series.dim(k) {
+            eat(x.to_bits());
+        }
+    }
+    h
+}
+
+/// Everything the `precalculation` kernel's output depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Reference series fingerprint.
+    pub reference: u64,
+    /// Query series fingerprint.
+    pub query: u64,
+    /// Window length `m`.
+    pub m: usize,
+    /// Precalculation format of the mode.
+    pub precalc_format: Format,
+    /// Whether the precalculation is Kahan-compensated.
+    pub kahan: bool,
+    /// Tile count (tile boundaries are derived from it deterministically).
+    pub n_tiles: usize,
+}
+
+impl CacheKey {
+    /// The key for a job over the given series and configuration.
+    pub fn for_job(
+        reference: &MultiDimSeries,
+        query: &MultiDimSeries,
+        m: usize,
+        mode: PrecisionMode,
+        n_tiles: usize,
+    ) -> CacheKey {
+        CacheKey {
+            reference: series_fingerprint(reference),
+            query: series_fingerprint(query),
+            m,
+            precalc_format: mode.precalc_format(),
+            kahan: mode.compensated_precalc(),
+            n_tiles,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    tiles: HashMap<usize, Arc<TilePrecalc>>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a tile.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Runs evicted by the byte budget.
+    pub evictions: u64,
+    /// Current size in bytes.
+    pub bytes: u64,
+    /// Cached runs.
+    pub entries: usize,
+}
+
+/// A thread-safe LRU cache of per-run tile precalculations.
+#[derive(Debug)]
+pub struct PrecalcCache {
+    inner: Mutex<HashMap<CacheKey, CacheEntry>>,
+    budget_bytes: u64,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PrecalcCache {
+    /// A cache bounded by `budget_bytes` of precalc payload.
+    pub fn new(budget_bytes: u64) -> PrecalcCache {
+        PrecalcCache {
+            inner: Mutex::new(HashMap::new()),
+            budget_bytes,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up one tile's precalc.
+    pub fn lookup(&self, key: &CacheKey, tile_index: usize) -> Option<Arc<TilePrecalc>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.inner.lock().unwrap();
+        let found = map.get_mut(key).and_then(|entry| {
+            entry.last_used = stamp;
+            entry.tiles.get(&tile_index).cloned()
+        });
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert one tile's precalc, evicting least-recently-used runs if the
+    /// byte budget is exceeded (the incoming run is never evicted).
+    pub fn insert(&self, key: &CacheKey, tile_index: usize, pre: &Arc<TilePrecalc>) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let added = pre.approx_bytes();
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(key.clone()).or_insert_with(|| CacheEntry {
+            tiles: HashMap::new(),
+            bytes: 0,
+            last_used: stamp,
+        });
+        entry.last_used = stamp;
+        if entry.tiles.insert(tile_index, Arc::clone(pre)).is_none() {
+            entry.bytes += added;
+        }
+        // Evict whole runs, oldest first, until within budget.
+        while Self::total_bytes(&map) > self.budget_bytes {
+            let Some(victim) = map
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break; // only the incoming run remains; keep it
+            };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn total_bytes(map: &HashMap<CacheKey, CacheEntry>) -> u64 {
+        map.values().map(|e| e.bytes).sum()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let map = self.inner.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: Self::total_bytes(&map),
+            entries: map.len(),
+        }
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// A [`PrecalcStore`] view of this cache scoped to one run's key, for
+    /// passing to [`mdmp_core::run_with_mode_cached`].
+    pub fn store_for<'a>(&'a self, key: CacheKey) -> RunStore<'a> {
+        RunStore { cache: self, key }
+    }
+}
+
+/// A per-run adapter binding the shared cache to one [`CacheKey`].
+pub struct RunStore<'a> {
+    cache: &'a PrecalcCache,
+    key: CacheKey,
+}
+
+impl PrecalcStore for RunStore<'_> {
+    fn lookup(&mut self, tile_index: usize) -> Option<Arc<TilePrecalc>> {
+        self.cache.lookup(&self.key, tile_index)
+    }
+
+    fn store(&mut self, tile_index: usize, pre: &Arc<TilePrecalc>) {
+        self.cache.insert(&self.key, tile_index, pre);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdmp_core::{compute_tile_precalc, MdmpConfig, Tile};
+
+    fn series(seed: u64, d: usize, len: usize) -> MultiDimSeries {
+        let dims = (0..d)
+            .map(|k| {
+                (0..len)
+                    .map(|t| ((t + k) as f64 * 0.21 + seed as f64).sin())
+                    .collect()
+            })
+            .collect();
+        MultiDimSeries::from_dims(dims)
+    }
+
+    fn sample_precalc(len: usize) -> Arc<TilePrecalc> {
+        let r = series(1, 1, len);
+        let q = series(2, 1, len);
+        let tile = Tile {
+            index: 0,
+            row0: 0,
+            rows: len - 7,
+            col0: 0,
+            cols: len - 7,
+        };
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+        Arc::new(compute_tile_precalc::<f64>(&r, &q, &tile, &cfg, false))
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_series() {
+        let a = series(1, 2, 64);
+        let b = series(2, 2, 64);
+        assert_ne!(series_fingerprint(&a), series_fingerprint(&b));
+        assert_eq!(series_fingerprint(&a), series_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn shared_precalc_format_shares_keys() {
+        let r = series(1, 2, 64);
+        let q = series(2, 2, 64);
+        // FP32 and Mixed both precalculate in FP32 without Kahan.
+        let k32 = CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp32, 4);
+        let kmx = CacheKey::for_job(&r, &q, 8, PrecisionMode::Mixed, 4);
+        assert_eq!(k32, kmx);
+        // FP16 and FP16C differ in the Kahan flag.
+        let k16 = CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp16, 4);
+        let k16c = CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp16c, 4);
+        assert_ne!(k16, k16c);
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = PrecalcCache::new(u64::MAX);
+        let r = series(1, 1, 64);
+        let q = series(2, 1, 64);
+        let key = CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp64, 1);
+        assert!(cache.lookup(&key, 0).is_none());
+        let pre = sample_precalc(64);
+        cache.insert(&key, 0, &pre);
+        assert!(cache.lookup(&key, 0).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let pre = sample_precalc(64);
+        let budget = pre.approx_bytes() * 2 + 1;
+        let cache = PrecalcCache::new(budget);
+        let r = series(1, 1, 64);
+        let mk = |seed| {
+            let q = series(seed, 1, 64);
+            CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp64, 1)
+        };
+        let (k1, k2, k3) = (mk(10), mk(20), mk(30));
+        cache.insert(&k1, 0, &pre);
+        cache.insert(&k2, 0, &pre);
+        // Touch k1 so k2 is the LRU when k3 arrives.
+        assert!(cache.lookup(&k1, 0).is_some());
+        cache.insert(&k3, 0, &pre);
+        assert!(cache.lookup(&k1, 0).is_some(), "recently used survives");
+        assert!(cache.lookup(&k2, 0).is_none(), "LRU run evicted");
+        assert!(cache.lookup(&k3, 0).is_some(), "incoming run kept");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+}

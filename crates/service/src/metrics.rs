@@ -1,0 +1,384 @@
+//! The service's observability surface: lock-free counters and gauges,
+//! log-bucketed latency histograms, per-kernel-class device seconds folded
+//! in from each job's [`mdmp_gpu_sim::CostLedger`], and two export forms —
+//! a structured [`ServiceStats`] snapshot and a Prometheus-style text page.
+
+use mdmp_gpu_sim::CostLedger;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomically accumulated f64 (bit-packed in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct FloatSum(AtomicU64);
+
+impl FloatSum {
+    /// Add a value.
+    pub fn add(&self, v: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram bucket upper bounds in seconds: 1-3 steps per decade from 1 µs
+/// to 100 s, plus +Inf.
+pub const LATENCY_BOUNDS: [f64; 17] = [
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+    100.0,
+];
+
+/// A fixed-bucket latency histogram (cumulative, Prometheus-style).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: FloatSum,
+    count: Counter,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..LATENCY_BOUNDS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum: FloatSum::default(),
+            count: Counter::default(),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation in seconds.
+    pub fn observe(&self, seconds: f64) {
+        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            if seconds <= *bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.sum.add(seconds);
+        self.count.inc();
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of observations in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+            self.count(),
+            self.sum(),
+            self.count()
+        ));
+    }
+}
+
+/// All metrics of a running service.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: Counter,
+    /// Jobs rejected by admission control (queue full).
+    pub jobs_rejected: Counter,
+    /// Jobs that finished successfully.
+    pub jobs_completed: Counter,
+    /// Jobs that exhausted their retries.
+    pub jobs_failed: Counter,
+    /// Jobs cancelled before execution.
+    pub jobs_cancelled: Counter,
+    /// Retry attempts across all jobs.
+    pub jobs_retried: Counter,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: Gauge,
+    /// Jobs executing right now.
+    pub jobs_running: Gauge,
+    /// Devices currently leased from the pool.
+    pub devices_leased: Gauge,
+    /// Precalc cache lookups that hit.
+    pub cache_hits: Counter,
+    /// Precalc cache lookups that missed.
+    pub cache_misses: Counter,
+    /// Precalc cache entries evicted by the byte budget.
+    pub cache_evictions: Counter,
+    /// Bytes currently held by the precalc cache.
+    pub cache_bytes: Gauge,
+    /// Queue wait (submit → start) per job.
+    pub queue_wait: Histogram,
+    /// Execution time (start → finish) per job.
+    pub run_seconds: Histogram,
+    /// Modelled device seconds per kernel class, accumulated over all jobs.
+    kernel_seconds: Mutex<BTreeMap<&'static str, f64>>,
+}
+
+impl MetricsRegistry {
+    /// Fold a finished job's per-kernel-class device seconds into the
+    /// running totals.
+    pub fn absorb_ledger(&self, ledger: &CostLedger) {
+        let mut map = self.kernel_seconds.lock().unwrap();
+        for (class, entry) in ledger.rows() {
+            *map.entry(class.label()).or_insert(0.0) += entry.seconds;
+        }
+    }
+
+    /// Per-kernel-class device seconds accumulated so far.
+    pub fn kernel_seconds(&self) -> BTreeMap<&'static str, f64> {
+        self.kernel_seconds.lock().unwrap().clone()
+    }
+
+    /// Cache hit rate in [0, 1] (0 with no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.get();
+        let total = hits + self.cache_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Render the Prometheus-style text exposition page.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &Counter); 9] = [
+            ("mdmp_jobs_submitted_total", &self.jobs_submitted),
+            ("mdmp_jobs_rejected_total", &self.jobs_rejected),
+            ("mdmp_jobs_completed_total", &self.jobs_completed),
+            ("mdmp_jobs_failed_total", &self.jobs_failed),
+            ("mdmp_jobs_cancelled_total", &self.jobs_cancelled),
+            ("mdmp_jobs_retried_total", &self.jobs_retried),
+            ("mdmp_precalc_cache_hits_total", &self.cache_hits),
+            ("mdmp_precalc_cache_misses_total", &self.cache_misses),
+            ("mdmp_precalc_cache_evictions_total", &self.cache_evictions),
+        ];
+        for (name, c) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        let gauges: [(&str, &Gauge); 4] = [
+            ("mdmp_queue_depth", &self.queue_depth),
+            ("mdmp_jobs_running", &self.jobs_running),
+            ("mdmp_devices_leased", &self.devices_leased),
+            ("mdmp_precalc_cache_bytes", &self.cache_bytes),
+        ];
+        for (name, g) in gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        self.queue_wait
+            .render(&mut out, "mdmp_job_queue_wait_seconds");
+        self.run_seconds.render(&mut out, "mdmp_job_run_seconds");
+        out.push_str("# TYPE mdmp_kernel_seconds_total counter\n");
+        for (label, seconds) in self.kernel_seconds() {
+            out.push_str(&format!(
+                "mdmp_kernel_seconds_total{{class=\"{label}\"}} {seconds}\n"
+            ));
+        }
+        out
+    }
+
+    /// A structured snapshot of the registry.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            jobs_submitted: self.jobs_submitted.get(),
+            jobs_rejected: self.jobs_rejected.get(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_failed: self.jobs_failed.get(),
+            jobs_cancelled: self.jobs_cancelled.get(),
+            jobs_retried: self.jobs_retried.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            jobs_running: self.jobs_running.get().max(0) as u64,
+            devices_leased: self.devices_leased.get().max(0) as u64,
+            precalc_cache_hits: self.cache_hits.get(),
+            precalc_cache_misses: self.cache_misses.get(),
+            precalc_cache_evictions: self.cache_evictions.get(),
+            precalc_cache_bytes: self.cache_bytes.get().max(0) as u64,
+            precalc_cache_hit_rate: self.cache_hit_rate(),
+            mean_queue_wait_seconds: self.queue_wait.mean(),
+            mean_run_seconds: self.run_seconds.mean(),
+            kernel_seconds: self
+                .kernel_seconds()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's metrics, exposed both
+/// in-process and over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs rejected by admission control.
+    pub jobs_rejected: u64,
+    /// Jobs completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs failed after retries.
+    pub jobs_failed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
+    /// Retry attempts.
+    pub jobs_retried: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Currently running jobs.
+    pub jobs_running: u64,
+    /// Currently leased devices.
+    pub devices_leased: u64,
+    /// Precalc cache hits.
+    pub precalc_cache_hits: u64,
+    /// Precalc cache misses.
+    pub precalc_cache_misses: u64,
+    /// Precalc cache evictions.
+    pub precalc_cache_evictions: u64,
+    /// Precalc cache size in bytes.
+    pub precalc_cache_bytes: u64,
+    /// Hit rate in [0, 1].
+    pub precalc_cache_hit_rate: f64,
+    /// Mean queue wait in seconds.
+    pub mean_queue_wait_seconds: f64,
+    /// Mean job execution time in seconds.
+    pub mean_run_seconds: f64,
+    /// Modelled device seconds per kernel class.
+    pub kernel_seconds: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_accumulate() {
+        let h = Histogram::default();
+        h.observe(2e-6);
+        h.observe(5e-4);
+        h.observe(50.0);
+        h.observe(1e9); // beyond the last bound: counted, no bucket
+        assert_eq!(h.count(), 4);
+        assert!(h.sum() > 50.0);
+        let mut text = String::new();
+        h.render(&mut text, "t");
+        assert!(text.contains("t_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("t_count 4"));
+    }
+
+    #[test]
+    fn float_sum_accumulates_under_contention() {
+        let s = FloatSum::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.add(0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.get(), 2000.0);
+    }
+
+    #[test]
+    fn stats_snapshot_and_text_agree() {
+        let m = MetricsRegistry::default();
+        m.jobs_submitted.add(3);
+        m.jobs_rejected.inc();
+        m.cache_hits.add(2);
+        m.cache_misses.add(2);
+        m.queue_depth.set(1);
+        let stats = m.stats();
+        assert_eq!(stats.jobs_submitted, 3);
+        assert_eq!(stats.precalc_cache_hit_rate, 0.5);
+        let text = m.render_text();
+        assert!(text.contains("mdmp_jobs_submitted_total 3"));
+        assert!(text.contains("mdmp_jobs_rejected_total 1"));
+        assert!(text.contains("mdmp_queue_depth 1"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The shared device pool: a fixed set of simulated GPUs that workers
+//! lease per job. A lease blocks until enough devices are free, assembles
+//! them into a [`GpuSystem`] via [`GpuSystem::from_devices`], and returns
+//! them with [`GpuSystem::into_devices`] when the job finishes.
+
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem, SimDevice};
+use std::sync::{Condvar, Mutex};
+
+/// A pool of identical simulated devices.
+#[derive(Debug)]
+pub struct DevicePool {
+    free: Mutex<Vec<SimDevice>>,
+    available: Condvar,
+    total: usize,
+}
+
+impl DevicePool {
+    /// A pool of `n` devices of the given spec.
+    pub fn new(spec: DeviceSpec, n: usize) -> DevicePool {
+        assert!(n > 0, "pool needs at least one device");
+        DevicePool {
+            free: Mutex::new((0..n).map(|_| SimDevice::new(spec.clone())).collect()),
+            available: Condvar::new(),
+            total: n,
+        }
+    }
+
+    /// Total devices the pool owns.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Devices currently free.
+    pub fn available(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Lease `n` devices as a [`GpuSystem`], blocking until they are free.
+    ///
+    /// Panics if `n` exceeds the pool size (a lease that could never be
+    /// satisfied) — callers validate at submission time.
+    pub fn lease(&self, n: usize) -> GpuSystem {
+        assert!(
+            n >= 1 && n <= self.total,
+            "lease of {n} devices from a pool of {}",
+            self.total
+        );
+        let mut free = self.free.lock().unwrap();
+        while free.len() < n {
+            free = self.available.wait(free).unwrap();
+        }
+        let split_at = free.len() - n;
+        let leased = free.split_off(split_at);
+        GpuSystem::from_devices(leased)
+    }
+
+    /// Return a leased system's devices to the pool.
+    pub fn release(&self, system: GpuSystem) {
+        let mut devices = system.into_devices();
+        let mut free = self.free.lock().unwrap();
+        free.append(&mut devices);
+        drop(free);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lease_and_release_round_trip() {
+        let pool = DevicePool::new(DeviceSpec::a100(), 3);
+        let sys = pool.lease(2);
+        assert_eq!(sys.device_count(), 2);
+        assert_eq!(pool.available(), 1);
+        pool.release(sys);
+        assert_eq!(pool.available(), 3);
+    }
+
+    #[test]
+    fn lease_blocks_until_devices_return() {
+        let pool = Arc::new(DevicePool::new(DeviceSpec::a100(), 1));
+        let sys = pool.lease(1);
+        let pool2 = Arc::clone(&pool);
+        let waiter = std::thread::spawn(move || {
+            let sys = pool2.lease(1);
+            pool2.release(sys);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "lease must block while empty");
+        pool.release(sys);
+        waiter.join().unwrap();
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lease of 5 devices")]
+    fn oversized_lease_panics() {
+        let pool = DevicePool::new(DeviceSpec::a100(), 2);
+        let _ = pool.lease(5);
+    }
+}

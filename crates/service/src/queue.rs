@@ -1,0 +1,230 @@
+//! The bounded submission queue: admission control with backpressure
+//! (submissions beyond the capacity are rejected, not buffered), priority
+//! classes with FIFO order inside each class, and a close signal that lets
+//! workers drain remaining work and exit.
+
+use crate::job::{JobId, Priority};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — back off and resubmit later.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The job description is invalid.
+    BadSpec(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "queue full (capacity {capacity}); backpressure — retry later"
+                )
+            }
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+            SubmitError::BadSpec(msg) => write!(f, "invalid job spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    /// One FIFO lane per priority class, indexed by `Priority as usize`.
+    lanes: [VecDeque<JobId>; 3],
+    closed: bool,
+}
+
+impl QueueInner {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The bounded, priority-ordered job queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            inner: Mutex::new(QueueInner::default()),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit a job, or reject it with backpressure. Never blocks.
+    pub fn push(&self, id: JobId, priority: Priority) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if inner.len() >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        inner.lanes[priority as usize].push_back(id);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Take the next job: highest priority class first, FIFO within it.
+    /// Blocks while the queue is empty; returns `None` once the queue is
+    /// closed **and** drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<JobId> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            for lane in inner.lanes.iter_mut() {
+                if let Some(id) = lane.pop_front() {
+                    return Some(id);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Remove a specific job if it is still waiting (cancellation).
+    pub fn remove(&self, id: JobId) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        for lane in inner.lanes.iter_mut() {
+            if let Some(pos) = lane.iter().position(|&j| j == id) {
+                lane.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Close the queue: no new submissions; waiting jobs stay poppable.
+    /// Wakes every blocked `pop`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Close and discard all waiting jobs, returning them (for marking as
+    /// cancelled).
+    pub fn close_and_drain(&self) -> Vec<JobId> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        let dropped = inner
+            .lanes
+            .iter_mut()
+            .flat_map(|lane| lane.drain(..).collect::<Vec<_>>())
+            .collect();
+        drop(inner);
+        self.nonempty.notify_all();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full() {
+        let q = JobQueue::new(2);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        assert_eq!(
+            q.push(3, Priority::High),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = JobQueue::new(8);
+        q.push(1, Priority::Low).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        q.push(3, Priority::High).unwrap();
+        q.push(4, Priority::Normal).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_drains() {
+        let q = JobQueue::new(4);
+        q.push(1, Priority::Normal).unwrap();
+        q.close();
+        assert_eq!(q.push(2, Priority::Normal), Err(SubmitError::ShuttingDown));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancellation_removes_waiting_jobs_only() {
+        let q = JobQueue::new(4);
+        q.push(7, Priority::Normal).unwrap();
+        assert!(q.remove(7));
+        assert!(!q.remove(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42, Priority::Normal).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_and_drain_reports_dropped_jobs() {
+        let q = JobQueue::new(4);
+        q.push(1, Priority::Low).unwrap();
+        q.push(2, Priority::High).unwrap();
+        let mut dropped = q.close_and_drain();
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![1, 2]);
+        assert_eq!(q.pop(), None);
+    }
+}

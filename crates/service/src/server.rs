@@ -1,0 +1,648 @@
+//! The TCP front end: a JSON-lines protocol over `std::net` — one request
+//! object per line in, one response object per line out, connections
+//! served by one thread each.
+//!
+//! Every request carries an `"op"`; every response carries `"ok"` (bool)
+//! plus either the op's payload or an `"error"` string. Ops:
+//!
+//! | op              | request fields                                         |
+//! |-----------------|--------------------------------------------------------|
+//! | `ping`          | —                                                      |
+//! | `submit`        | `job` object (see [`parse_job_spec`])                  |
+//! | `status`        | `id`                                                   |
+//! | `wait`          | `id`, optional `timeout_seconds`                       |
+//! | `cancel`        | `id`                                                   |
+//! | `stats`         | —                                                      |
+//! | `metrics`       | — (returns the Prometheus text page as a string)       |
+//! | `stream_open`   | `m`, `mode`, `reference`, `query` (arrays of arrays)   |
+//! | `stream_append` | `session`, `side`, `samples` (array per dimension)     |
+//! | `stream_status` | `session`                                              |
+//! | `stream_close`  | `session`                                              |
+//! | `shutdown`      | optional `drain` (default true)                        |
+
+use crate::job::{JobInput, JobOutcome, JobSpec, JobStatus, Priority};
+use crate::proto::Json;
+use crate::scheduler::Service;
+use crate::session::{AppendSide, SessionSummary};
+use mdmp_core::MdmpConfig;
+use mdmp_data::MultiDimSeries;
+use mdmp_precision::PrecisionMode;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running TCP front end.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served_shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// True once a `shutdown` request has been fully served: the service
+    /// finished shutting down (drained or aborted) AND the response line
+    /// was flushed back to the client. A host process that exits as soon
+    /// as shutdown *starts* would sever the connection mid-drain; wait on
+    /// this instead.
+    pub fn shutdown_served(&self) -> bool {
+        self.served_shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting connections and join the accept loop. Does not shut
+    /// the service itself down.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the JSON-lines protocol on
+/// it until [`Server::stop`] or service shutdown.
+pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let served_shutdown = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let served2 = Arc::clone(&served_shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("mdmp-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let svc = Arc::clone(&service);
+                let stop3 = Arc::clone(&stop2);
+                let served3 = Arc::clone(&served2);
+                let _ = std::thread::Builder::new()
+                    .name("mdmp-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(&svc, stream, &stop3, &served3);
+                    });
+            }
+        })?;
+    Ok(Server {
+        local_addr,
+        stop,
+        served_shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(
+    service: &Service,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    served_shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut shutdown_done = false;
+        let response = match Json::parse(&line) {
+            Ok(request) => {
+                let response = dispatch(service, &request, stop);
+                shutdown_done = request.get("op").and_then(Json::as_str) == Some("shutdown")
+                    && response.get("ok").and_then(Json::as_bool) == Some(true);
+                response
+            }
+            Err(e) => error_response(&format!("bad request: {e}")),
+        };
+        let written = writeln!(writer, "{response}").and_then(|_| writer.flush());
+        if shutdown_done {
+            // Mark the shutdown as served only after the response reached
+            // the socket (or the write definitively failed), so a host
+            // waiting on `Server::shutdown_served` never exits while the
+            // reply is still in flight.
+            served_shutdown.store(true, Ordering::SeqCst);
+            return written;
+        }
+        written?;
+    }
+    Ok(())
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message)),
+    ])
+}
+
+fn ok_response(mut payload: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true))];
+    pairs.append(&mut payload);
+    Json::obj(pairs)
+}
+
+fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Json {
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return error_response("missing 'op'");
+    };
+    match op {
+        "ping" => ok_response(vec![("pong", Json::Bool(true))]),
+        "submit" => {
+            let Some(job) = request.get("job") else {
+                return error_response("missing 'job'");
+            };
+            match parse_job_spec(job) {
+                Err(e) => error_response(&e),
+                Ok(spec) => match service.submit(spec) {
+                    Ok(id) => ok_response(vec![("id", Json::num(id as f64))]),
+                    Err(e) => error_response(&e.to_string()),
+                },
+            }
+        }
+        "status" => match request.get("id").and_then(Json::as_u64) {
+            None => error_response("missing numeric 'id'"),
+            Some(id) => match service.status(id) {
+                None => error_response(&format!("unknown job {id}")),
+                Some(status) => ok_response(vec![("job", status_json(&status))]),
+            },
+        },
+        "wait" => match request.get("id").and_then(Json::as_u64) {
+            None => error_response("missing numeric 'id'"),
+            Some(id) => {
+                let timeout = request
+                    .get("timeout_seconds")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(60.0)
+                    .clamp(0.0, 3600.0);
+                match service.wait(id, Duration::from_secs_f64(timeout)) {
+                    None => error_response(&format!("unknown job {id}")),
+                    Some(status) => ok_response(vec![("job", status_json(&status))]),
+                }
+            }
+        },
+        "cancel" => match request.get("id").and_then(Json::as_u64) {
+            None => error_response("missing numeric 'id'"),
+            Some(id) => ok_response(vec![("cancelled", Json::Bool(service.cancel(id)))]),
+        },
+        "stats" => ok_response(vec![("stats", stats_json(service))]),
+        "metrics" => ok_response(vec![("text", Json::str(service.metrics_text()))]),
+        "stream_open" => stream_open(service, request),
+        "stream_append" => stream_append(service, request),
+        "stream_status" => match request.get("session").and_then(Json::as_u64) {
+            None => error_response("missing numeric 'session'"),
+            Some(id) => match service.sessions.summary(id) {
+                None => error_response(&format!("unknown session {id}")),
+                Some(summary) => ok_response(vec![("session", summary_json(&summary))]),
+            },
+        },
+        "stream_close" => match request.get("session").and_then(Json::as_u64) {
+            None => error_response("missing numeric 'session'"),
+            Some(id) => ok_response(vec![("closed", Json::Bool(service.sessions.close(id)))]),
+        },
+        "shutdown" => {
+            let drain = request.get("drain").and_then(Json::as_bool).unwrap_or(true);
+            stop.store(true, Ordering::SeqCst);
+            service.shutdown(drain);
+            ok_response(vec![("stopped", Json::Bool(true))])
+        }
+        other => error_response(&format!("unknown op '{other}'")),
+    }
+}
+
+/// Parse the wire form of a job spec.
+///
+/// ```json
+/// {"input": {"kind": "synthetic", "n": 512, "d": 2, "pattern": 0,
+///            "noise": 0.3, "seed": 7},
+///  "m": 64, "mode": "fp16", "tiles": 4, "gpus": 1,
+///  "priority": "normal", "max_retries": 1}
+/// ```
+///
+/// A CSV input instead reads `{"kind": "csv", "reference": "...",
+/// "query": "..."}` (omit `query` for a self-join).
+pub fn parse_job_spec(job: &Json) -> Result<JobSpec, String> {
+    let input = job.get("input").ok_or("missing 'input'")?;
+    let kind = input
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing input 'kind'")?;
+    let input = match kind {
+        "synthetic" => JobInput::Synthetic {
+            n: input
+                .get("n")
+                .and_then(Json::as_u64)
+                .ok_or("synthetic input needs 'n'")? as usize,
+            d: input.get("d").and_then(Json::as_u64).unwrap_or(1) as usize,
+            pattern: input.get("pattern").and_then(Json::as_u64).unwrap_or(0) as usize,
+            noise: input.get("noise").and_then(Json::as_f64).unwrap_or(0.3),
+            seed: input.get("seed").and_then(Json::as_u64).unwrap_or(42),
+        },
+        "csv" => JobInput::Csv {
+            reference: input
+                .get("reference")
+                .and_then(Json::as_str)
+                .ok_or("csv input needs 'reference'")?
+                .into(),
+            query: input
+                .get("query")
+                .and_then(Json::as_str)
+                .map(std::path::PathBuf::from),
+        },
+        other => return Err(format!("unknown input kind '{other}'")),
+    };
+    let mode = match job.get("mode").and_then(Json::as_str) {
+        Some(s) => s.parse::<PrecisionMode>()?,
+        None => PrecisionMode::Fp64,
+    };
+    let priority = match job.get("priority").and_then(Json::as_str) {
+        Some(s) => s.parse::<Priority>()?,
+        None => Priority::Normal,
+    };
+    Ok(JobSpec {
+        input,
+        m: job.get("m").and_then(Json::as_u64).ok_or("missing 'm'")? as usize,
+        mode,
+        tiles: job.get("tiles").and_then(Json::as_u64).unwrap_or(1) as usize,
+        gpus: job.get("gpus").and_then(Json::as_u64).unwrap_or(1) as usize,
+        priority,
+        max_retries: job.get("max_retries").and_then(Json::as_u64).unwrap_or(0) as u32,
+    })
+}
+
+fn status_json(status: &JobStatus) -> Json {
+    let mut pairs = vec![
+        ("id", Json::num(status.id as f64)),
+        ("state", Json::str(status.state.label())),
+        ("priority", Json::str(status.priority.label())),
+        ("attempts", Json::num(status.attempts as f64)),
+        ("queue_seconds", Json::num(status.queue_seconds)),
+    ];
+    if let Some(run) = status.run_seconds {
+        pairs.push(("run_seconds", Json::num(run)));
+    }
+    if let Some(error) = &status.error {
+        pairs.push(("error", Json::str(error.clone())));
+    }
+    if let Some(outcome) = &status.outcome {
+        pairs.push(("outcome", outcome_json(outcome)));
+    }
+    Json::obj(pairs)
+}
+
+/// The wire summary of a finished job: profile shape plus the per-dimension
+/// best match (motif). The full profile stays on the server.
+fn outcome_json(outcome: &JobOutcome) -> Json {
+    let profile = &outcome.profile;
+    let mut motifs = Vec::new();
+    for k in 0..profile.dims() {
+        let mut best = (f64::INFINITY, -1i64, 0usize);
+        for j in 0..profile.n_query() {
+            let v = profile.value(j, k);
+            if v < best.0 {
+                best = (v, profile.index(j, k), j);
+            }
+        }
+        motifs.push(Json::obj(vec![
+            ("dim", Json::num(k as f64)),
+            ("query", Json::num(best.2 as f64)),
+            ("reference", Json::num(best.1 as f64)),
+            ("distance", Json::num(best.0)),
+        ]));
+    }
+    Json::obj(vec![
+        ("n_query", Json::num(profile.n_query() as f64)),
+        ("dims", Json::num(profile.dims() as f64)),
+        ("unset_fraction", Json::num(profile.unset_fraction())),
+        ("modeled_seconds", Json::num(outcome.modeled_seconds)),
+        ("wall_seconds", Json::num(outcome.wall_seconds)),
+        ("precalc_hits", Json::num(outcome.precalc_hits as f64)),
+        ("precalc_misses", Json::num(outcome.precalc_misses as f64)),
+        ("motifs", Json::Arr(motifs)),
+    ])
+}
+
+fn stats_json(service: &Service) -> Json {
+    let s = service.stats();
+    Json::obj(vec![
+        ("jobs_submitted", Json::num(s.jobs_submitted as f64)),
+        ("jobs_rejected", Json::num(s.jobs_rejected as f64)),
+        ("jobs_completed", Json::num(s.jobs_completed as f64)),
+        ("jobs_failed", Json::num(s.jobs_failed as f64)),
+        ("jobs_cancelled", Json::num(s.jobs_cancelled as f64)),
+        ("jobs_retried", Json::num(s.jobs_retried as f64)),
+        ("queue_depth", Json::num(s.queue_depth as f64)),
+        ("jobs_running", Json::num(s.jobs_running as f64)),
+        ("devices_leased", Json::num(s.devices_leased as f64)),
+        ("precalc_cache_hits", Json::num(s.precalc_cache_hits as f64)),
+        (
+            "precalc_cache_misses",
+            Json::num(s.precalc_cache_misses as f64),
+        ),
+        (
+            "precalc_cache_evictions",
+            Json::num(s.precalc_cache_evictions as f64),
+        ),
+        (
+            "precalc_cache_bytes",
+            Json::num(s.precalc_cache_bytes as f64),
+        ),
+        (
+            "precalc_cache_hit_rate",
+            Json::num(s.precalc_cache_hit_rate),
+        ),
+        (
+            "mean_queue_wait_seconds",
+            Json::num(s.mean_queue_wait_seconds),
+        ),
+        ("mean_run_seconds", Json::num(s.mean_run_seconds)),
+        (
+            "kernel_seconds",
+            Json::Obj(
+                s.kernel_seconds
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::num(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn summary_json(summary: &SessionSummary) -> Json {
+    Json::obj(vec![
+        ("session", Json::num(summary.id as f64)),
+        ("n_query", Json::num(summary.n_query as f64)),
+        ("n_reference", Json::num(summary.n_reference as f64)),
+        ("dims", Json::num(summary.dims as f64)),
+    ])
+}
+
+fn parse_series(value: &Json) -> Result<MultiDimSeries, String> {
+    let dims = value.as_arr().ok_or("series must be an array of arrays")?;
+    if dims.is_empty() {
+        return Err("series needs at least one dimension".into());
+    }
+    let mut out = Vec::with_capacity(dims.len());
+    for dim in dims {
+        let samples = dim.as_arr().ok_or("each dimension must be an array")?;
+        let mut xs = Vec::with_capacity(samples.len());
+        for s in samples {
+            xs.push(s.as_f64().ok_or("samples must be numbers")?);
+        }
+        out.push(xs);
+    }
+    Ok(MultiDimSeries::from_dims(out))
+}
+
+fn parse_samples(value: &Json) -> Result<Vec<Vec<f64>>, String> {
+    parse_series(value).map(|s| (0..s.dims()).map(|k| s.dim(k).to_vec()).collect())
+}
+
+fn stream_open(service: &Service, request: &Json) -> Json {
+    let m = match request.get("m").and_then(Json::as_u64) {
+        Some(m) if m >= 2 => m as usize,
+        _ => return error_response("missing 'm' (>= 2)"),
+    };
+    let mode = match request.get("mode").and_then(Json::as_str) {
+        Some(s) => match s.parse::<PrecisionMode>() {
+            Ok(mode) => mode,
+            Err(e) => return error_response(&e),
+        },
+        None => PrecisionMode::Fp64,
+    };
+    let reference = match request.get("reference").map(parse_series) {
+        Some(Ok(series)) => series,
+        Some(Err(e)) => return error_response(&format!("reference: {e}")),
+        None => return error_response("missing 'reference'"),
+    };
+    let query = match request.get("query").map(parse_series) {
+        Some(Ok(series)) => series,
+        Some(Err(e)) => return error_response(&format!("query: {e}")),
+        None => reference.clone(),
+    };
+    match service
+        .sessions
+        .open(reference, query, MdmpConfig::new(m, mode))
+    {
+        Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
+        Err(e) => error_response(&e),
+    }
+}
+
+fn stream_append(service: &Service, request: &Json) -> Json {
+    let Some(id) = request.get("session").and_then(Json::as_u64) else {
+        return error_response("missing numeric 'session'");
+    };
+    let side = match request.get("side").and_then(Json::as_str) {
+        Some(s) => match s.parse::<AppendSide>() {
+            Ok(side) => side,
+            Err(e) => return error_response(&e),
+        },
+        None => AppendSide::Query,
+    };
+    let samples = match request.get("samples").map(parse_samples) {
+        Some(Ok(samples)) => samples,
+        Some(Err(e)) => return error_response(&format!("samples: {e}")),
+        None => return error_response("missing 'samples'"),
+    };
+    match service.sessions.append(id, side, &samples) {
+        Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// One-shot client helper: connect, send `request` as one line, read one
+/// response line.
+pub fn request(addr: &str, request: &Json) -> io::Result<Json> {
+    let mut stream = TcpStream::connect(addr)?;
+    writeln!(stream, "{request}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Json::parse(line.trim()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServiceConfig;
+
+    fn wave(offset: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| ((t + offset) as f64 * 0.23).sin() + 0.01 * (t % 7) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn ping_submit_wait_over_tcp() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        let mut server = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let pong = request(&addr, &Json::obj(vec![("op", Json::str("ping"))])).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+
+        let job = Json::obj(vec![
+            (
+                "input",
+                Json::obj(vec![
+                    ("kind", Json::str("synthetic")),
+                    ("n", Json::num(48.0)),
+                    ("d", Json::num(1.0)),
+                    ("seed", Json::num(7.0)),
+                ]),
+            ),
+            ("m", Json::num(8.0)),
+            ("mode", Json::str("fp32")),
+        ]);
+        let submitted = request(
+            &addr,
+            &Json::obj(vec![("op", Json::str("submit")), ("job", job)]),
+        )
+        .unwrap();
+        assert_eq!(submitted.get("ok"), Some(&Json::Bool(true)), "{submitted}");
+        let id = submitted.get("id").unwrap().as_u64().unwrap();
+
+        let done = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("wait")),
+                ("id", Json::num(id as f64)),
+                ("timeout_seconds", Json::num(30.0)),
+            ]),
+        )
+        .unwrap();
+        let job = done.get("job").unwrap();
+        assert_eq!(job.get("state").unwrap().as_str(), Some("done"), "{done}");
+        let outcome = job.get("outcome").unwrap();
+        assert!(outcome.get("n_query").unwrap().as_u64().unwrap() > 0);
+
+        server.stop();
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn streaming_session_over_tcp() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        let mut server = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let series = |off: usize, n: usize| {
+            Json::Arr(vec![Json::Arr(
+                wave(off, n).into_iter().map(Json::num).collect(),
+            )])
+        };
+        let opened = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(8.0)),
+                ("reference", series(0, 80)),
+                ("query", series(29, 48)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opened.get("ok"), Some(&Json::Bool(true)), "{opened}");
+        let session = opened
+            .get("session")
+            .unwrap()
+            .get("session")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+
+        let appended = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("stream_append")),
+                ("session", Json::num(session as f64)),
+                ("side", Json::str("query")),
+                ("samples", series(77, 16)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(appended.get("ok"), Some(&Json::Bool(true)), "{appended}");
+        let n_query = appended
+            .get("session")
+            .unwrap()
+            .get("n_query")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(n_query, (48 - 8 + 1) + 16);
+
+        let closed = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("stream_close")),
+                ("session", Json::num(session as f64)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(closed.get("closed"), Some(&Json::Bool(true)));
+
+        server.stop();
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn bad_requests_get_errors() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        let mut server = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let r = request(&addr, &Json::obj(vec![("op", Json::str("nope"))])).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let r = request(&addr, &Json::obj(vec![("x", Json::num(1.0))])).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let r = request(
+            &addr,
+            &Json::obj(vec![("op", Json::str("status")), ("id", Json::num(404.0))]),
+        )
+        .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+
+        server.stop();
+        service.shutdown(true);
+    }
+}

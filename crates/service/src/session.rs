@@ -1,0 +1,205 @@
+//! Streaming sessions: long-lived [`StreamingProfile`]s owned by the
+//! service, fed by append requests. Each session wraps
+//! [`mdmp_core::streaming`] — FP64 sessions therefore match the batch
+//! result exactly no matter how arrivals are chunked.
+
+use mdmp_core::{MatrixProfile, MdmpConfig, StreamingProfile};
+use mdmp_data::MultiDimSeries;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Session identifier.
+pub type SessionId = u64;
+
+/// Which series an append extends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendSide {
+    /// Extend the query series (adds profile columns).
+    Query,
+    /// Extend the reference series (can improve every column).
+    Reference,
+}
+
+impl std::str::FromStr for AppendSide {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<AppendSide, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "query" => Ok(AppendSide::Query),
+            "reference" => Ok(AppendSide::Reference),
+            other => Err(format!("unknown side '{other}' (query, reference)")),
+        }
+    }
+}
+
+/// A shape snapshot of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Session id.
+    pub id: SessionId,
+    /// Profile columns (query segments).
+    pub n_query: usize,
+    /// Reference segments.
+    pub n_reference: usize,
+    /// Dimensionality.
+    pub dims: usize,
+}
+
+/// The service's open streaming sessions.
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    next_id: AtomicU64,
+    sessions: Mutex<HashMap<SessionId, StreamingProfile>>,
+}
+
+impl SessionManager {
+    /// An empty manager.
+    pub fn new() -> SessionManager {
+        SessionManager::default()
+    }
+
+    /// Open a session over initial series; the first batch is computed
+    /// immediately.
+    pub fn open(
+        &self,
+        reference: MultiDimSeries,
+        query: MultiDimSeries,
+        cfg: MdmpConfig,
+    ) -> Result<SessionSummary, String> {
+        let sp = StreamingProfile::new(reference, query, cfg).map_err(|e| e.to_string())?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let summary = SessionSummary {
+            id,
+            n_query: sp.n_query(),
+            n_reference: sp.n_reference(),
+            dims: sp.profile().dims(),
+        };
+        self.sessions.lock().unwrap().insert(id, sp);
+        Ok(summary)
+    }
+
+    /// Append per-dimension samples to one side of a session.
+    pub fn append(
+        &self,
+        id: SessionId,
+        side: AppendSide,
+        samples: &[Vec<f64>],
+    ) -> Result<SessionSummary, String> {
+        let mut sessions = self.sessions.lock().unwrap();
+        let sp = sessions
+            .get_mut(&id)
+            .ok_or_else(|| format!("unknown session {id}"))?;
+        if samples.len() != sp.profile().dims() {
+            return Err(format!(
+                "append carries {} dimensions, session has {}",
+                samples.len(),
+                sp.profile().dims()
+            ));
+        }
+        match side {
+            AppendSide::Query => sp.append_query(samples),
+            AppendSide::Reference => sp.append_reference(samples),
+        }
+        Ok(SessionSummary {
+            id,
+            n_query: sp.n_query(),
+            n_reference: sp.n_reference(),
+            dims: sp.profile().dims(),
+        })
+    }
+
+    /// The session's current profile (cloned snapshot).
+    pub fn profile(&self, id: SessionId) -> Option<MatrixProfile> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&id)
+            .map(|sp| sp.profile().clone())
+    }
+
+    /// The session's shape.
+    pub fn summary(&self, id: SessionId) -> Option<SessionSummary> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&id)
+            .map(|sp| SessionSummary {
+                id,
+                n_query: sp.n_query(),
+                n_reference: sp.n_reference(),
+                dims: sp.profile().dims(),
+            })
+    }
+
+    /// Close a session; returns whether it existed.
+    pub fn close(&self, id: SessionId) -> bool {
+        self.sessions.lock().unwrap().remove(&id).is_some()
+    }
+
+    /// Open sessions right now.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Whether no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdmp_precision::PrecisionMode;
+
+    fn wave(offset: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| ((t + offset) as f64 * 0.31).sin() + 0.01 * (t + offset) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn open_append_close_lifecycle() {
+        let mgr = SessionManager::new();
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+        let s = mgr
+            .open(
+                MultiDimSeries::univariate(wave(0, 96)),
+                MultiDimSeries::univariate(wave(30, 64)),
+                cfg,
+            )
+            .unwrap();
+        assert_eq!(s.n_query, 57);
+        let s2 = mgr
+            .append(s.id, AppendSide::Query, &[wave(94, 16)])
+            .unwrap();
+        assert_eq!(s2.n_query, 57 + 16);
+        let s3 = mgr
+            .append(s.id, AppendSide::Reference, &[wave(200, 12)])
+            .unwrap();
+        assert_eq!(s3.n_reference, s.n_reference + 12);
+        assert!(mgr.profile(s.id).is_some());
+        assert!(mgr.close(s.id));
+        assert!(!mgr.close(s.id));
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mgr = SessionManager::new();
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
+        let s = mgr
+            .open(
+                MultiDimSeries::univariate(wave(0, 64)),
+                MultiDimSeries::univariate(wave(9, 64)),
+                cfg,
+            )
+            .unwrap();
+        let err = mgr
+            .append(s.id, AppendSide::Query, &[wave(0, 8), wave(1, 8)])
+            .unwrap_err();
+        assert!(err.contains("dimensions"));
+        assert!(mgr.append(999, AppendSide::Query, &[wave(0, 8)]).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! End-to-end service tests: backpressure under flooding, precalc-cache
+//! hits across jobs, streaming sessions vs batch FP64, and graceful
+//! drain on shutdown.
+
+use mdmp_core::{run_with_mode, MdmpConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::GpuSystem;
+use mdmp_precision::PrecisionMode;
+use mdmp_service::{AppendSide, JobSpec, JobState, Priority, Service, ServiceConfig, SubmitError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn wave(offset: usize, n: usize, d: usize) -> Arc<MultiDimSeries> {
+    let dims = (0..d)
+        .map(|k| {
+            (0..n)
+                .map(|t| {
+                    ((t + offset) as f64 * 0.13 + k as f64).sin()
+                        + 0.03 * ((t * 7 + k * 3) % 13) as f64
+                })
+                .collect()
+        })
+        .collect();
+    Arc::new(MultiDimSeries::from_dims(dims))
+}
+
+#[test]
+fn flooding_past_the_queue_bound_is_rejected_not_buffered() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        devices: 1,
+        ..ServiceConfig::default()
+    });
+    // Sizeable jobs: the single worker cannot drain them at submission
+    // speed, so the queue must fill and admission control must kick in.
+    let reference = wave(0, 2048, 4);
+    let query = wave(57, 2048, 4);
+    let mut accepted = Vec::new();
+    let mut rejections = 0usize;
+    for _ in 0..6 {
+        let spec = JobSpec::in_memory(
+            Arc::clone(&reference),
+            Arc::clone(&query),
+            32,
+            PrecisionMode::Fp32,
+        );
+        match svc.submit(spec) {
+            Ok(id) => accepted.push(id),
+            Err(SubmitError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejections += 1;
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert!(rejections > 0, "flood must trip the queue bound");
+    assert!(svc.stats().jobs_rejected as usize == rejections);
+    // Accepted jobs still finish; rejected ones never entered the system.
+    for id in &accepted {
+        let status = svc.wait(*id, Duration::from_secs(120)).unwrap();
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.jobs_completed as usize, accepted.len());
+    assert_eq!(stats.queue_depth, 0);
+    svc.shutdown(true);
+}
+
+#[test]
+fn repeated_job_reports_precalc_cache_hits_and_identical_profile() {
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        devices: 2,
+        ..ServiceConfig::default()
+    });
+    let reference = wave(0, 512, 2);
+    let query = wave(91, 512, 2);
+    let spec = |mode| {
+        let mut s = JobSpec::in_memory(Arc::clone(&reference), Arc::clone(&query), 16, mode);
+        s.tiles = 4;
+        s
+    };
+    let cold = svc.submit(spec(PrecisionMode::Fp16)).unwrap();
+    let cold = svc.wait(cold, Duration::from_secs(120)).unwrap();
+    assert_eq!(cold.state, JobState::Done, "{:?}", cold.error);
+    let cold = cold.outcome.unwrap();
+    assert_eq!((cold.precalc_hits, cold.precalc_misses), (0, 4));
+
+    let warm = svc.submit(spec(PrecisionMode::Fp16)).unwrap();
+    let warm = svc.wait(warm, Duration::from_secs(120)).unwrap();
+    let warm = warm.outcome.unwrap();
+    // Acceptance: the second identical submission hits the precalc cache
+    // on every tile, and the profile is bit-identical.
+    assert_eq!((warm.precalc_hits, warm.precalc_misses), (4, 0));
+    assert_eq!(*warm.profile, *cold.profile);
+    let stats = svc.stats();
+    assert!(stats.precalc_cache_hits >= 4);
+    assert!(stats.precalc_cache_hit_rate > 0.0);
+
+    // A different mode with the same precalc format (FP16 + Kahan differs;
+    // FP8 shares FP32 precalc with Mixed) keyed separately or shared per
+    // the cache-key rules: Fp16c must MISS (different Kahan flag).
+    let kahan = svc.submit(spec(PrecisionMode::Fp16c)).unwrap();
+    let kahan = svc.wait(kahan, Duration::from_secs(120)).unwrap();
+    let kahan = kahan.outcome.unwrap();
+    assert_eq!((kahan.precalc_hits, kahan.precalc_misses), (0, 4));
+    svc.shutdown(true);
+}
+
+#[test]
+fn streaming_session_appends_match_batch_fp64() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 1,
+        ..ServiceConfig::default()
+    });
+    let m = 16;
+    let full_query = wave(33, 384, 2);
+    let reference = wave(0, 384, 2);
+    let cfg = MdmpConfig::new(m, PrecisionMode::Fp64);
+
+    // Open the session over a prefix of the query, then append the rest in
+    // two uneven chunks.
+    let prefix = 200;
+    let take = |series: &MultiDimSeries, lo: usize, hi: usize| {
+        MultiDimSeries::from_dims(
+            (0..series.dims())
+                .map(|k| series.dim(k)[lo..hi].to_vec())
+                .collect(),
+        )
+    };
+    let session = svc
+        .sessions
+        .open(
+            (*reference).clone(),
+            take(&full_query, 0, prefix),
+            cfg.clone(),
+        )
+        .unwrap();
+    for (lo, hi) in [(prefix, prefix + 100), (prefix + 100, 384)] {
+        let chunk = take(&full_query, lo, hi);
+        let samples: Vec<Vec<f64>> = (0..chunk.dims()).map(|k| chunk.dim(k).to_vec()).collect();
+        svc.sessions
+            .append(session.id, AppendSide::Query, &samples)
+            .unwrap();
+    }
+    let streamed = svc.sessions.profile(session.id).unwrap();
+
+    let mut system = GpuSystem::homogeneous(svc.config().device.clone(), 1);
+    let batch = run_with_mode(&reference, &full_query, &cfg, &mut system).unwrap();
+    assert_eq!(streamed.n_query(), batch.profile.n_query());
+    // Same contract as core's own streaming tests: values agree to 1e-7
+    // (the incremental QT recurrence rounds differently at chunk
+    // boundaries), match indices exactly.
+    for k in 0..streamed.dims() {
+        for j in 0..streamed.n_query() {
+            assert!(
+                (streamed.value(j, k) - batch.profile.value(j, k)).abs() < 1e-7,
+                "mismatch at query {j} dim {k}: {} vs {}",
+                streamed.value(j, k),
+                batch.profile.value(j, k)
+            );
+            assert_eq!(streamed.index(j, k), batch.profile.index(j, k));
+        }
+    }
+    svc.sessions.close(session.id);
+    svc.shutdown(true);
+}
+
+#[test]
+fn graceful_shutdown_drains_every_admitted_job() {
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        devices: 2,
+        ..ServiceConfig::default()
+    });
+    let reference = wave(0, 768, 2);
+    let query = wave(41, 768, 2);
+    let ids: Vec<_> = (0..8)
+        .map(|i| {
+            let mut spec = JobSpec::in_memory(
+                Arc::clone(&reference),
+                Arc::clone(&query),
+                16,
+                PrecisionMode::Mixed,
+            );
+            spec.priority = if i % 3 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            svc.submit(spec).unwrap()
+        })
+        .collect();
+    // Drain: every admitted job must finish; none may be dropped.
+    svc.shutdown(true);
+    for id in ids {
+        let status = svc.status(id).unwrap();
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.jobs_completed, 8);
+    assert_eq!(stats.jobs_cancelled, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.jobs_running, 0);
+    // New work after shutdown is refused.
+    let late = JobSpec::in_memory(reference, query, 16, PrecisionMode::Fp64);
+    assert!(matches!(svc.submit(late), Err(SubmitError::ShuttingDown)));
+}
+
+#[test]
+fn abort_shutdown_cancels_queued_jobs() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        devices: 1,
+        ..ServiceConfig::default()
+    });
+    let reference = wave(0, 1024, 4);
+    let query = wave(13, 1024, 4);
+    let ids: Vec<_> = (0..6)
+        .map(|_| {
+            svc.submit(JobSpec::in_memory(
+                Arc::clone(&reference),
+                Arc::clone(&query),
+                32,
+                PrecisionMode::Fp32,
+            ))
+            .unwrap()
+        })
+        .collect();
+    // Let the worker pick up its first job so the abort has something
+    // in flight to finish.
+    while svc.stats().jobs_running == 0 && svc.stats().jobs_completed == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    svc.shutdown(false);
+    let mut done = 0;
+    let mut cancelled = 0;
+    for id in ids {
+        match svc.status(id).unwrap().state {
+            JobState::Done => done += 1,
+            JobState::Cancelled => cancelled += 1,
+            other => panic!("job left in state {other}"),
+        }
+    }
+    // The single worker finishes what it started; the rest are cancelled.
+    assert!(done >= 1);
+    assert_eq!(done + cancelled, 6);
+    let stats = svc.stats();
+    assert_eq!(stats.jobs_cancelled as usize, cancelled);
+}

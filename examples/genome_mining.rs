@@ -38,7 +38,11 @@ fn main() {
     println!("tiles   FP16      Mixed     FP16C");
     for tiles in [1usize, 4, 16] {
         print!("{tiles:<6}");
-        for mode in [PrecisionMode::Fp16, PrecisionMode::Mixed, PrecisionMode::Fp16c] {
+        for mode in [
+            PrecisionMode::Fp16,
+            PrecisionMode::Mixed,
+            PrecisionMode::Fp16c,
+        ] {
             let run_cfg = MdmpConfig::new(m, mode).with_tiles(tiles);
             let mut system = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
             let run = run_with_mode(&ds.series, &ds.series, &run_cfg, &mut system)

@@ -51,7 +51,11 @@ fn main() {
             "{gpus:>4}   {:>8.2}   {speedup:>7.2}   {:>9.1}%{}",
             est.modeled_seconds,
             100.0 * speedup / gpus as f64,
-            if gpus % 2 == 1 && gpus > 1 { "   <- odd-count imbalance" } else { "" }
+            if gpus % 2 == 1 && gpus > 1 {
+                "   <- odd-count imbalance"
+            } else {
+                ""
+            }
         );
     }
 }

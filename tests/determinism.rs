@@ -62,7 +62,10 @@ fn results_invariant_to_device_generation() {
     let rv = run_with_mode(&p.reference, &p.query, &cfg, &mut v).unwrap();
     let ra = run_with_mode(&p.reference, &p.query, &cfg, &mut a).unwrap();
     assert_eq!(rv.profile, ra.profile);
-    assert!(ra.modeled_seconds < rv.modeled_seconds, "A100 is modelled faster");
+    assert!(
+        ra.modeled_seconds < rv.modeled_seconds,
+        "A100 is modelled faster"
+    );
 }
 
 #[test]

@@ -53,7 +53,10 @@ fn precision_hierarchy_holds() {
     let a_mixed = acc(PrecisionMode::Mixed);
     let a16c = acc(PrecisionMode::Fp16c);
     assert!(a32 > 0.9999, "FP32 ~ exact, got {a32}");
-    assert!(a_mixed >= a16, "Mixed {a_mixed} must not lose to FP16 {a16}");
+    assert!(
+        a_mixed >= a16,
+        "Mixed {a_mixed} must not lose to FP16 {a16}"
+    );
     assert!(a16c >= a16, "FP16C {a16c} must not lose to FP16 {a16}");
     assert!(a16 > 0.9, "FP16 at n=1024 stays usable, got {a16}");
 }
@@ -83,8 +86,7 @@ fn embedded_motifs_found_in_all_paper_modes() {
         let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
         let cfg = MdmpConfig::new(32, mode);
         let run = run_with_mode(&p.reference, &p.query, &cfg, &mut sys).unwrap();
-        let (recall, _, _) =
-            embedded_recall(&run.profile, 3, &p.query_locs, &p.reference_locs, 2);
+        let (recall, _, _) = embedded_recall(&run.profile, 3, &p.query_locs, &p.reference_locs, 2);
         assert!(
             recall >= 2.0 / 3.0,
             "{mode}: embedded recall {recall} too low"
@@ -98,8 +100,8 @@ fn extension_modes_bf16_tf32_run_and_rank_sensibly() {
     let reference = mstamp(&p.reference, &p.query, 16, None, None);
     let acc = |mode: PrecisionMode| {
         let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
-        let run = run_with_mode(&p.reference, &p.query, &MdmpConfig::new(16, mode), &mut sys)
-            .unwrap();
+        let run =
+            run_with_mode(&p.reference, &p.query, &MdmpConfig::new(16, mode), &mut sys).unwrap();
         relative_accuracy(&reference, &run.profile)
     };
     let tf32 = acc(PrecisionMode::Tf32);
@@ -108,7 +110,10 @@ fn extension_modes_bf16_tf32_run_and_rank_sensibly() {
     // TF32 has FP16's mantissa with FP32's range: at least as good as FP16.
     assert!(tf32 >= fp16 - 1e-6, "TF32 {tf32} vs FP16 {fp16}");
     // BF16 (8-bit significand) is the least accurate format.
-    assert!(bf16 <= fp16 + 0.02, "BF16 {bf16} should not beat FP16 {fp16}");
+    assert!(
+        bf16 <= fp16 + 0.02,
+        "BF16 {bf16} should not beat FP16 {fp16}"
+    );
     assert!(bf16 > 0.5, "BF16 still produces usable output, got {bf16}");
 }
 

@@ -37,8 +37,7 @@ fn four_ways_to_compute_the_same_profile_agree() {
         .unwrap()
         .profile;
 
-    let mut cluster =
-        ClusterSystem::homogeneous(DeviceSpec::v100(), 2, 2, Interconnect::default());
+    let mut cluster = ClusterSystem::homogeneous(DeviceSpec::v100(), 2, 2, Interconnect::default());
     let clustered = run_on_cluster(&p.reference, &p.query, &cfg, &mut cluster)
         .unwrap()
         .profile;
@@ -47,11 +46,17 @@ fn four_ways_to_compute_the_same_profile_agree() {
     let keep = p.query.len() - 50;
     let head = p.query.window(0, keep);
     let tail: Vec<Vec<f64>> = (0..3).map(|k| p.query.dim(k)[keep..].to_vec()).collect();
-    let mut streamed =
-        StreamingProfile::new(p.reference.clone(), head, MdmpConfig::new(m, PrecisionMode::Fp64))
-            .unwrap();
+    let mut streamed = StreamingProfile::new(
+        p.reference.clone(),
+        head,
+        MdmpConfig::new(m, PrecisionMode::Fp64),
+    )
+    .unwrap();
     streamed.append_query(&tail);
-    assert!(recall_rate(&base, streamed.profile()) > 0.999, "streaming differs");
+    assert!(
+        recall_rate(&base, streamed.profile()) > 0.999,
+        "streaming differs"
+    );
     assert!(relative_accuracy(&base, streamed.profile()) > 0.999999);
 
     let (anytime, _) = scrimp_anytime(&p.reference, &p.query, m, 1.0, None, 7);
@@ -82,7 +87,10 @@ fn balanced_schedule_gives_identical_results_on_heterogeneous_systems() {
         &mut mixed,
     )
     .unwrap();
-    assert_eq!(rr.profile, bal.profile, "scheduling must not change results");
+    assert_eq!(
+        rr.profile, bal.profile,
+        "scheduling must not change results"
+    );
     // Greedy balancing uses tile area as its work proxy; at tiny problem
     // sizes per-tile fixed overheads can cost it a sliver, so only require
     // near-parity here (the >1.2x gain at realistic scale is asserted in
@@ -116,9 +124,9 @@ fn fp8_modes_produce_usable_motifs_despite_heavy_quantization() {
         // top few (quantized distances preserve gross ordering).
         let motifs = top_motifs(&run.profile, 2, 16, 5);
         assert!(!motifs.is_empty(), "{mode}: no motifs");
-        let found = motifs.iter().any(|mo| {
-            p.query_locs.iter().any(|&l| mo.query_pos.abs_diff(l) < 16)
-        });
+        let found = motifs
+            .iter()
+            .any(|mo| p.query_locs.iter().any(|&l| mo.query_pos.abs_diff(l) < 16));
         assert!(found, "{mode}: embedded motif not in top-5");
     }
 }

@@ -9,12 +9,7 @@ use mdmp_precision::{Half, PrecisionMode};
 use proptest::prelude::*;
 
 fn finite_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1.0e4..1.0e4_f64,
-        -1.0..1.0_f64,
-        Just(0.0),
-        Just(-0.0),
-    ]
+    prop_oneof![-1.0e4..1.0e4_f64, -1.0..1.0_f64, Just(0.0), Just(-0.0),]
 }
 
 proptest! {

@@ -1,0 +1,387 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the subset of rayon's parallel-iterator API this workspace
+//! uses (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `into_par_iter`,
+//! `with_min_len`, `enumerate`, `zip`, `map`, `for_each`, `collect`,
+//! `ThreadPoolBuilder::install`, `current_num_threads`), executed by
+//! splitting the materialized item list into contiguous batches run on
+//! `std::thread::scope` workers. Every call site in this workspace only
+//! parallelizes over independent elements, so batch execution is
+//! observationally identical to rayon's work stealing — including bitwise
+//! determinism of the results.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| match t.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+/// Run `items` through `f`, split into one contiguous batch per worker.
+fn parallel_for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let workers = current_num_threads().max(1);
+    if workers == 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let per = items.len().div_ceil(workers);
+    let mut batches: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let batch: Vec<T> = it.by_ref().take(per).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for batch in batches {
+            s.spawn(move || {
+                for item in batch {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Map `items` through `f` in parallel, preserving order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().max(1);
+    if workers == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per = items.len().div_ceil(workers);
+    let mut batches: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let batch: Vec<T> = it.by_ref().take(per).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        // Batches are contiguous and handles are joined in spawn order, so
+        // concatenation preserves the original item order.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-stub worker panicked"))
+            .collect()
+    })
+}
+
+/// A "parallel" iterator: a plain iterator whose consuming adapters run on
+/// worker threads.
+pub struct Par<I: Iterator> {
+    inner: I,
+}
+
+impl<I: Iterator> Par<I> {
+    /// Minimum splitting granularity — accepted for API compatibility; the
+    /// batch executor always uses one contiguous batch per worker.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
+        Par {
+            inner: self.inner.zip(other.into_par_iter().inner),
+        }
+    }
+
+    /// Lazily map every item (the closure runs on the workers).
+    pub fn map<R, F: Fn(I::Item) -> R>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            inner: self.inner,
+            f,
+        }
+    }
+
+    /// Consume the iterator on the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        parallel_for_each(self.inner.collect(), f);
+    }
+}
+
+impl<I: Iterator> IntoIterator for Par<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.inner
+    }
+}
+
+/// A mapped parallel iterator: items are materialized sequentially, the
+/// mapping closure runs on the workers.
+pub struct ParMap<I: Iterator, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
+    /// Consume the mapped iterator on the worker threads.
+    pub fn for_each<G>(self, g: G)
+    where
+        I::Item: Send,
+        R: Send,
+        F: Sync,
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        parallel_for_each(self.inner.collect(), move |item| g(f(item)));
+    }
+
+    /// Collect the mapped results, preserving input order.
+    pub fn collect<C>(self) -> C
+    where
+        I::Item: Send,
+        R: Send,
+        F: Sync,
+        C: From<Vec<R>>,
+    {
+        parallel_map(self.inner.collect(), self.f).into()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item;
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> Par<C::IntoIter> {
+        Par {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter` — parallel iteration over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type (a shared reference).
+    type Item: 'a;
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate over `&self` in parallel.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// `par_iter_mut` — parallel iteration over exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The item type (an exclusive reference).
+    type Item: 'a;
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate over `&mut self` in parallel.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Item = <&'a mut C as IntoIterator>::Item;
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Parallel chunk iteration over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Iterate over non-overlapping mutable chunks in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Par {
+            inner: self.chunks_mut(chunk_size),
+        }
+    }
+}
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+/// Error building a thread pool (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread-count override.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker-thread count.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self
+                .num_threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        })
+    }
+}
+
+/// A "thread pool": a scoped override of the worker count used by the
+/// batch executor.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count in effect.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        POOL_THREADS.with(|t| {
+            let prev = t.get();
+            t.set(Some(self.num_threads));
+            let result = op();
+            t.set(prev);
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_covers_all_indices() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1000).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..997usize).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..997).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_and_zip_line_up() {
+        let mut a = vec![0usize; 64];
+        let mut b = vec![0usize; 64];
+        a.par_chunks_mut(8)
+            .zip(b.par_chunks_mut(8))
+            .enumerate()
+            .for_each(|(ci, (ca, cb))| {
+                for (k, v) in ca.iter_mut().enumerate() {
+                    *v = ci * 8 + k;
+                }
+                cb.copy_from_slice(ca);
+            });
+        assert_eq!(a, (0..64).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 2);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn par_iter_over_vec_refs() {
+        let blocks: Vec<usize> = (0..10).collect();
+        let out: Vec<usize> = blocks.par_iter().map(|&b| b + 1).collect();
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+}
