@@ -23,13 +23,17 @@
 //!   modes-ext   all modes incl. BF16 / TF32 / FP8                [functional]
 //!   clamp       correlation-overshoot clamp ablation             [functional]
 //!   anytime     SCRIMP-style anytime convergence extension       [functional]
+//!   scaling     host-worker scaling of the tile pipeline,
+//!               also writes BENCH_PR2.json                       [measured]
 //!   all         everything above
 //!
 //! --quick shrinks the functional problem sizes (CI-friendly).
 //! Tables are printed and saved to results/*.csv.
 //! ```
 
-use mdmp_bench::experiments::{accuracy, case_studies, extensions, performance, tradeoff};
+use mdmp_bench::experiments::{
+    accuracy, case_studies, driver_scaling, extensions, performance, tradeoff,
+};
 use mdmp_bench::report::{self, ExperimentTable};
 use std::time::Instant;
 
@@ -65,6 +69,14 @@ fn run(command: &str, quick: bool) -> bool {
         "modes-ext" => emit_all(vec![extensions::extended_modes(quick)]),
         "clamp" => emit_all(vec![extensions::clamp_ablation(quick)]),
         "anytime" => emit_all(vec![extensions::anytime_convergence(quick)]),
+        "scaling" => {
+            let table = driver_scaling::driver_scaling(quick);
+            match driver_scaling::write_bench_json(&table, std::path::Path::new("BENCH_PR2.json")) {
+                Ok(path) => println!("   -> wrote {}", path.display()),
+                Err(e) => eprintln!("   !! could not write BENCH_PR2.json: {e}"),
+            }
+            emit_all(vec![table]);
+        }
         "all" => {
             for cmd in [
                 "table1",
@@ -86,6 +98,7 @@ fn run(command: &str, quick: bool) -> bool {
                 "modes-ext",
                 "clamp",
                 "anytime",
+                "scaling",
             ] {
                 println!("\n########## repro {cmd} ##########");
                 run(cmd, quick);
@@ -109,7 +122,7 @@ fn main() {
     let commands: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if commands.is_empty() {
         eprintln!(
-            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|all> [--quick]"
+            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|all> [--quick]"
         );
         std::process::exit(2);
     }

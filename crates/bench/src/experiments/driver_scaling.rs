@@ -1,0 +1,143 @@
+//! Host-worker scaling of the concurrent tile pipeline (PR 2).
+//!
+//! Sweeps the `host_workers` knob over {1, 2, 4, N} for a ≥16-tile
+//! functional workload and reports real wall-clock (`wall_seconds`) per
+//! worker count, the speedup over the 1-worker baseline, and the
+//! buffer-pool accounting. Modelled device time is asserted invariant —
+//! the worker pool changes host wall-clock only, never the simulated
+//! schedule.
+//!
+//! These are *measured* numbers: the speedup attainable depends on the
+//! machine running the benchmark (`host_cores` in the emitted JSON). On a
+//! single-core container the parallel runs cannot beat the sequential one
+//! and the table records that honestly; on a ≥4-core host the 4-worker
+//! wall time lands at or below half the 1-worker wall time.
+
+use crate::report::ExperimentTable;
+use mdmp_core::{run_with_mode, MdmpConfig, MdmpRun};
+use mdmp_data::synthetic::{generate_pair, SyntheticConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Worker counts to sweep (the final entry is the host's parallelism).
+pub fn worker_sweep() -> Vec<usize> {
+    let n = host_cores();
+    let mut sweep = vec![1, 2, 4];
+    if !sweep.contains(&n) {
+        sweep.push(n);
+    }
+    sweep
+}
+
+/// Logical cores available to this process.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn workload(quick: bool) -> (MultiDimSeries, MultiDimSeries) {
+    let m = 32;
+    let cfg = SyntheticConfig {
+        n_subsequences: if quick { 256 } else { 1024 },
+        dims: if quick { 4 } else { 8 },
+        m,
+        pattern: mdmp_data::Pattern::Sine,
+        embeddings: if quick { 2 } else { 4 },
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed: 2022,
+    };
+    let pair = generate_pair(&cfg);
+    (pair.reference, pair.query)
+}
+
+fn timed_run(r: &MultiDimSeries, q: &MultiDimSeries, workers: usize, repeats: usize) -> MdmpRun {
+    // 16 tiles (the acceptance workload) on 4 simulated devices.
+    let cfg = MdmpConfig::new(32, PrecisionMode::Fp32)
+        .with_tiles(16)
+        .with_host_workers(workers);
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 4);
+    let mut best: Option<MdmpRun> = None;
+    for _ in 0..repeats {
+        let run = run_with_mode(r, q, &cfg, &mut sys).expect("scaling run failed");
+        if best
+            .as_ref()
+            .map(|b| run.wall_seconds < b.wall_seconds)
+            .unwrap_or(true)
+        {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// The `driver_scaling` experiment: wall-clock per worker count.
+pub fn driver_scaling(quick: bool) -> ExperimentTable {
+    let (r, q) = workload(quick);
+    let repeats = if quick { 1 } else { 3 };
+    let mut table = ExperimentTable::new(
+        "driver_scaling",
+        &format!(
+            "host wall-clock vs worker count, 16-tile FP32 workload on {} host cores \
+             (best of {repeats}); modelled device time is worker-invariant",
+            host_cores()
+        ),
+        &[
+            "workers",
+            "wall_seconds",
+            "speedup_vs_1",
+            "modeled_s",
+            "buffer_reuses",
+            "buffer_allocs",
+            "busy_max_s",
+        ],
+    );
+    let mut baseline_wall = None;
+    for workers in worker_sweep() {
+        let run = timed_run(&r, &q, workers, repeats);
+        let baseline = *baseline_wall.get_or_insert(run.wall_seconds);
+        let busy_max = run.worker_busy_seconds.iter().copied().fold(0.0, f64::max);
+        table.push(
+            format!("{workers}"),
+            vec![
+                run.wall_seconds,
+                baseline / run.wall_seconds,
+                run.modeled_seconds,
+                run.buffer_pool_reuses as f64,
+                run.buffer_pool_allocs as f64,
+                busy_max,
+            ],
+        );
+    }
+    table
+}
+
+/// Serialize the scaling table as `BENCH_PR2.json` next to `path`'s parent
+/// (pass the repo root to commit it). The JSON records the host core count
+/// so the numbers are interpretable off-machine.
+pub fn write_bench_json(table: &ExperimentTable, path: &Path) -> io::Result<PathBuf> {
+    let mut rows = String::new();
+    for (i, (label, cells)) in table.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workers\": {label}, \"wall_seconds\": {:.6}, \"speedup_vs_1\": {:.4}, \
+             \"modeled_seconds\": {:.6}, \"buffer_reuses\": {}, \"buffer_allocs\": {}}}",
+            cells[0], cells[1], cells[2], cells[3] as u64, cells[4] as u64
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"driver_scaling\",\n  \"description\": \"{}\",\n  \
+         \"host_cores\": {},\n  \"workload\": {{\"tiles\": 16, \"mode\": \"fp32\", \
+         \"devices\": 4}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        table.description.replace('"', "'"),
+        host_cores()
+    );
+    std::fs::write(path, json)?;
+    Ok(path.to_path_buf())
+}

@@ -7,9 +7,11 @@
 //! | [`tradeoff`] | Fig. 7 (accuracy–performance vs tile count) |
 //! | [`case_studies`] | Fig. 9 (HPC-ODA), Fig. 10 (genome), Fig. 12 + Table I (turbines) |
 //! | [`extensions`] | beyond-paper studies: multi-node, scheduling & clamp ablations, all-modes table, Fig. 8 timeline, Fig. 11 shapes |
+//! | [`driver_scaling`] | host-worker scaling of the concurrent tile pipeline (BENCH_PR2.json) |
 
 pub mod accuracy;
 pub mod case_studies;
+pub mod driver_scaling;
 pub mod extensions;
 pub mod performance;
 pub mod tradeoff;

@@ -40,6 +40,8 @@ fn build_config(args: &ParsedArgs, m: usize) -> Result<MdmpConfig, String> {
         .parse()
         .map_err(err)?;
     let tiles: usize = args.get_or("tiles", 1).map_err(err)?;
+    // 0 = auto: env MDMP_HOST_WORKERS if set, else one worker per GPU.
+    let host_workers: usize = args.get_or("host-workers", 0).map_err(err)?;
     let sched = schedule(
         &args
             .get_or::<String>("schedule", "rr".into())
@@ -47,7 +49,8 @@ fn build_config(args: &ParsedArgs, m: usize) -> Result<MdmpConfig, String> {
     )?;
     let mut cfg = MdmpConfig::new(m, mode)
         .with_tiles(tiles)
-        .with_schedule(sched);
+        .with_schedule(sched)
+        .with_host_workers(host_workers);
     if args.flag("self-join") {
         cfg = cfg.self_join();
     }
@@ -127,8 +130,13 @@ pub fn compute(args: &ParsedArgs) -> CmdResult {
         run.profile.dims()
     );
     println!(
-        "modeled GPU time {:.4} s (merge {:.4} s); host wall {:.2} s",
-        run.modeled_seconds, run.merge_seconds, run.wall_seconds
+        "modeled GPU time {:.4} s (merge {:.4} s); host wall {:.2} s \
+         ({} host workers, {} buffer reuses)",
+        run.modeled_seconds,
+        run.merge_seconds,
+        run.wall_seconds,
+        run.host_workers,
+        run.buffer_pool_reuses
     );
     if report {
         let util = UtilizationReport::from_ledger(&device, &run.ledger);
@@ -317,6 +325,7 @@ COMMANDS:
             [--tiles N] [--gpus N] [--device a100|v100|cpu]
             [--schedule rr|balanced] [--self-join] [--no-clamp] [--report]
             [--anytime FRACTION] [--seed S] [--repair-dropouts]
+            [--host-workers N]  (0 = auto: $MDMP_HOST_WORKERS, else #gpus)
   motifs    --profile <csv> --m <len> [--top N] [--k DIMS]
   discords  --profile <csv> --m <len> [--top N] [--k DIMS]
   generate  --kind synthetic|genome|turbine --output <csv>
@@ -324,7 +333,7 @@ COMMANDS:
   estimate  --n <segments> [--d D] [--m M] [--mode ..] [--tiles N]
             [--gpus N] [--device a100|v100|cpu] [--schedule rr|balanced]
   serve     [--addr HOST:PORT] [--workers N] [--devices N] [--queue N]
-            [--device a100|v100|cpu] [--cache-mb MB]
+            [--device a100|v100|cpu] [--cache-mb MB] [--host-workers N]
   submit    [--addr HOST:PORT] --m <len> [--mode ..] [--tiles N] [--gpus N]
             [--priority high|normal|low] [--retries N] [--wait] [--timeout S]
             with --reference <csv> [--query <csv>] (server-side paths), or

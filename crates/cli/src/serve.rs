@@ -20,6 +20,8 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
     let queue: usize = args.get_or("queue", 64).map_err(err)?;
     let devices: usize = args.get_or("devices", 2).map_err(err)?;
     let cache_mb: u64 = args.get_or("cache-mb", 256).map_err(err)?;
+    // Host worker threads per run; 0 = auto (env, else leased GPU count).
+    let host_workers: usize = args.get_or("host-workers", 0).map_err(err)?;
     let device = device_spec(
         &args
             .get_or::<String>("device", "a100".into())
@@ -36,6 +38,7 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         device: device.clone(),
         devices,
         cache_bytes: cache_mb << 20,
+        host_workers,
         ..ServiceConfig::default()
     });
     let mut server = serve_tcp(Arc::clone(&service), &addr).map_err(err)?;

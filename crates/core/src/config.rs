@@ -26,6 +26,11 @@ pub struct MdmpConfig {
     pub exclusion_zone: Option<usize>,
     /// Tile→device scheduling policy (the paper uses static Round-robin).
     pub schedule: TileSchedule,
+    /// Host worker threads executing independent tiles concurrently —
+    /// the host-side mirror of the paper's one-stream-per-tile model.
+    /// `0` means *auto*: the `MDMP_HOST_WORKERS` environment variable if
+    /// set, otherwise one worker per simulated device.
+    pub host_workers: usize,
 }
 
 impl MdmpConfig {
@@ -38,6 +43,7 @@ impl MdmpConfig {
             clamp: true,
             exclusion_zone: None,
             schedule: TileSchedule::RoundRobin,
+            host_workers: 0,
         }
     }
 
@@ -51,6 +57,32 @@ impl MdmpConfig {
     pub fn with_schedule(mut self, schedule: TileSchedule) -> MdmpConfig {
         self.schedule = schedule;
         self
+    }
+
+    /// Set the host worker-thread count (builder style); `0` restores the
+    /// auto default (env `MDMP_HOST_WORKERS`, else the device count).
+    pub fn with_host_workers(mut self, host_workers: usize) -> MdmpConfig {
+        self.host_workers = host_workers;
+        self
+    }
+
+    /// The effective worker count for a run on `n_devices` simulated
+    /// devices: an explicit `host_workers` wins, then a positive
+    /// `MDMP_HOST_WORKERS` environment override, then one worker per
+    /// device (the paper's stream-per-tile concurrency, mirrored on the
+    /// host).
+    pub fn resolved_host_workers(&self, n_devices: usize) -> usize {
+        if self.host_workers > 0 {
+            return self.host_workers;
+        }
+        if let Ok(raw) = std::env::var("MDMP_HOST_WORKERS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        n_devices.max(1)
     }
 
     /// Configure a self-join with the standard `⌈m/4⌉` exclusion zone.
@@ -150,6 +182,29 @@ mod tests {
         assert!(cfg.validate(4, 4).is_err());
         let cfg = MdmpConfig::new(8, PrecisionMode::Fp64);
         assert!(cfg.validate(10, 10).is_ok());
+    }
+
+    #[test]
+    fn host_workers_resolution_order() {
+        // Explicit setting wins regardless of the environment.
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp64).with_host_workers(3);
+        assert_eq!(cfg.resolved_host_workers(8), 3);
+        // Auto without env: one worker per device.
+        let auto = MdmpConfig::new(8, PrecisionMode::Fp64);
+        assert_eq!(auto.host_workers, 0);
+        if std::env::var("MDMP_HOST_WORKERS").is_err() {
+            assert_eq!(auto.resolved_host_workers(4), 4);
+            assert_eq!(auto.resolved_host_workers(0), 1);
+        } else {
+            // Under the CI matrix the env override must win over the
+            // device count.
+            let n: usize = std::env::var("MDMP_HOST_WORKERS")
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert_eq!(auto.resolved_host_workers(4), n);
+        }
     }
 
     #[test]

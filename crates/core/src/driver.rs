@@ -8,12 +8,16 @@
 
 use crate::config::{MdmpConfig, MdmpError};
 use crate::profile::MatrixProfile;
-use crate::tile_exec::{compute_tile_precalc, execute_tile_from_precalc, TilePrecalc};
+use crate::tile_exec::{
+    compute_tile_precalc, execute_tile_from_precalc_pooled, PlaneBuffers, TileOutput, TilePrecalc,
+};
 use crate::tiling::{assign_tiles_weighted, compute_tile_list, Tile};
 use mdmp_data::MultiDimSeries;
 use mdmp_gpu_sim::{CostLedger, DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel};
 use mdmp_precision::{Bf16, Format, Fp8E4M3, Fp8E5M2, Half, PrecisionMode, Real, Tf32};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Host-side fixed cost per tile (stream setup, allocation, result
@@ -48,6 +52,18 @@ pub struct MdmpRun {
     pub precalc_hits: usize,
     /// Tiles whose precalculation had to be computed.
     pub precalc_misses: usize,
+    /// Host worker threads the run actually used (see
+    /// [`MdmpConfig::resolved_host_workers`]).
+    pub host_workers: usize,
+    /// Per-worker wall seconds spent executing tiles (claim → result),
+    /// one entry per worker; the spread shows load imbalance.
+    pub worker_busy_seconds: Vec<f64>,
+    /// Tiles executed on already-allocated [`PlaneBuffers`] (every tile
+    /// after a worker's first).
+    pub buffer_pool_reuses: u64,
+    /// Workers that allocated a fresh set of plane buffers (at most one
+    /// allocation per worker).
+    pub buffer_pool_allocs: u64,
 }
 
 /// External storage for per-tile precalculation results, consulted by
@@ -55,11 +71,36 @@ pub struct MdmpRun {
 /// index within the run's tiling; distinguishing runs (series, `m`,
 /// precision mode, tile count) is the caller's job — a cached-result
 /// service keys an inner store like this one by exactly that tuple.
-pub trait PrecalcStore {
+///
+/// Stores are shared by the concurrent tile pipeline's worker threads, so
+/// methods take `&self` (implementors use interior mutability) and the
+/// trait requires `Send + Sync`.
+pub trait PrecalcStore: Send + Sync {
     /// A previously stored precalculation for tile `tile_index`, if any.
-    fn lookup(&mut self, tile_index: usize) -> Option<Arc<TilePrecalc>>;
+    fn lookup(&self, tile_index: usize) -> Option<Arc<TilePrecalc>>;
     /// Offer a freshly computed precalculation for future reuse.
-    fn store(&mut self, tile_index: usize, pre: &Arc<TilePrecalc>);
+    fn store(&self, tile_index: usize, pre: &Arc<TilePrecalc>);
+    /// Fetch tile `tile_index`, computing (and storing) it on a miss.
+    /// Returns the precalculation and whether it was served from the store.
+    ///
+    /// The default is lookup-compute-store without cross-thread
+    /// coordination — sufficient inside one run, where every tile is
+    /// claimed by exactly one worker. Stores shared *across* concurrent
+    /// runs (e.g. a service-wide cache) should override this with a
+    /// single-flight implementation so simultaneous misses on the same
+    /// tile compute once and record exactly one miss.
+    fn fetch_or_compute(
+        &self,
+        tile_index: usize,
+        compute: &mut dyn FnMut() -> Arc<TilePrecalc>,
+    ) -> (Arc<TilePrecalc>, bool) {
+        if let Some(pre) = self.lookup(tile_index) {
+            return (pre, true);
+        }
+        let pre = compute();
+        self.store(tile_index, &pre);
+        (pre, false)
+    }
 }
 
 impl MdmpRun {
@@ -91,7 +132,7 @@ pub fn run_with_mode_cached(
     query: &MultiDimSeries,
     cfg: &MdmpConfig,
     system: &mut GpuSystem,
-    store: Option<&mut dyn PrecalcStore>,
+    store: Option<&dyn PrecalcStore>,
 ) -> Result<MdmpRun, MdmpError> {
     match cfg.mode {
         PrecisionMode::Fp64 => run_generic::<f64, f64>(reference, query, cfg, system, false, store),
@@ -127,7 +168,7 @@ fn run_generic<P: Real, M: Real>(
     cfg: &MdmpConfig,
     system: &mut GpuSystem,
     kahan: bool,
-    mut store: Option<&mut dyn PrecalcStore>,
+    store: Option<&dyn PrecalcStore>,
 ) -> Result<MdmpRun, MdmpError> {
     if reference.dims() != query.dims() {
         return Err(MdmpError::DimensionalityMismatch {
@@ -158,34 +199,43 @@ fn run_generic<P: Real, M: Real>(
     let assignment = assign_tiles_weighted(&tiles, &weights, cfg.schedule);
     let mut streams = vec![0usize; n_gpu];
     let mut global = MatrixProfile::new_unset(n_q, d);
+    let host_workers = cfg.resolved_host_workers(n_gpu).min(tiles.len()).max(1);
     let wall_start = Instant::now();
 
+    // Per-tile production, shared verbatim by the inline single-worker
+    // path and the scoped-thread pool so both run the exact same code.
+    let produce = |tile: &Tile, bufs: &mut PlaneBuffers<M>| -> (TileOutput, bool) {
+        let mut compute = || {
+            Arc::new(compute_tile_precalc::<P>(
+                reference, query, tile, cfg, kahan,
+            ))
+        };
+        let (pre, cached) = match store {
+            Some(s) => s.fetch_or_compute(tile.index, &mut compute),
+            None => (compute(), false),
+        };
+        let out = execute_tile_from_precalc_pooled::<M>(&pre, tile, cfg, kahan, cached, bufs);
+        (out, cached)
+    };
+
+    // In-order consumption on the coordinating thread: cost submission
+    // bumps the per-device stream counters and the profile merge resolves
+    // ties exactly as the sequential loop did, so results and modelled
+    // times are bit-identical regardless of worker count.
     let mut precalc_hits = 0usize;
     let mut precalc_misses = 0usize;
-    for tile in &tiles {
-        let (pre, cached) = match store.as_mut().and_then(|s| s.lookup(tile.index)) {
-            Some(pre) => {
-                precalc_hits += 1;
-                (pre, true)
-            }
-            None => {
-                precalc_misses += 1;
-                let pre = Arc::new(compute_tile_precalc::<P>(
-                    reference, query, tile, cfg, kahan,
-                ));
-                if let Some(s) = store.as_mut() {
-                    s.store(tile.index, &pre);
-                }
-                (pre, false)
-            }
-        };
-        let out = execute_tile_from_precalc::<M>(&pre, tile, cfg, kahan, cached);
-        let dev_idx = assignment[tile.index];
+    let mut consume = |tile_index: usize, out: TileOutput, cached: bool| -> Result<(), MdmpError> {
+        if cached {
+            precalc_hits += 1;
+        } else {
+            precalc_misses += 1;
+        }
+        let dev_idx = assignment[tile_index];
         submit_tile_costs(
             system,
             dev_idx,
             streams[dev_idx],
-            tile.index,
+            tile_index,
             &out.kernel_costs,
             out.h2d_bytes,
             out.d2h_bytes,
@@ -193,8 +243,90 @@ fn run_generic<P: Real, M: Real>(
             overlap,
         )?;
         streams[dev_idx] += 1;
-        global.merge_min_columns(&out.profile, tile.col0);
+        global.merge_min_columns(&out.profile, tiles[tile_index].col0);
+        Ok(())
+    };
+
+    let mut worker_busy_seconds = vec![0.0f64; host_workers];
+    let mut buffer_pool_reuses = 0u64;
+    let mut buffer_pool_allocs = 0u64;
+    let mut outcome: Result<(), MdmpError> = Ok(());
+
+    if host_workers == 1 {
+        let mut bufs = PlaneBuffers::<M>::new();
+        let busy_start = Instant::now();
+        for tile in &tiles {
+            let (out, cached) = produce(tile, &mut bufs);
+            if let Err(e) = consume(tile.index, out, cached) {
+                outcome = Err(e);
+                break;
+            }
+        }
+        worker_busy_seconds[0] = busy_start.elapsed().as_secs_f64();
+        buffer_pool_reuses = bufs.reuses();
+        buffer_pool_allocs = u64::from(bufs.tiles_executed() > 0);
+    } else {
+        // Workers claim tiles from a shared counter and stream results to
+        // the coordinator, which reorders them through a BTreeMap and
+        // consumes strictly in ascending tile index.
+        let next_tile = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, TileOutput, bool)>();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..host_workers)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let next_tile = &next_tile;
+                    let cancel = &cancel;
+                    let tiles = &tiles;
+                    let produce = &produce;
+                    scope.spawn(move || {
+                        let mut bufs = PlaneBuffers::<M>::new();
+                        let mut busy = 0.0f64;
+                        loop {
+                            if cancel.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let idx = next_tile.fetch_add(1, Ordering::Relaxed);
+                            if idx >= tiles.len() {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let (out, cached) = produce(&tiles[idx], &mut bufs);
+                            busy += t0.elapsed().as_secs_f64();
+                            if tx.send((tiles[idx].index, out, cached)).is_err() {
+                                break;
+                            }
+                        }
+                        (busy, bufs.reuses(), bufs.tiles_executed())
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            let mut pending: BTreeMap<usize, (TileOutput, bool)> = BTreeMap::new();
+            let mut next_consume = 0usize;
+            'recv: while let Ok((tile_index, out, cached)) = rx.recv() {
+                pending.insert(tile_index, (out, cached));
+                while let Some((out, cached)) = pending.remove(&next_consume) {
+                    if let Err(e) = consume(next_consume, out, cached) {
+                        outcome = Err(e);
+                        cancel.store(true, Ordering::Relaxed);
+                        break 'recv;
+                    }
+                    next_consume += 1;
+                }
+            }
+            drop(rx);
+            for (slot, handle) in handles.into_iter().enumerate() {
+                let (busy, reuses, executed) = handle.join().expect("tile worker panicked");
+                worker_busy_seconds[slot] = busy;
+                buffer_pool_reuses += reuses;
+                buffer_pool_allocs += u64::from(executed > 0);
+            }
+        });
     }
+    outcome?;
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
     let (merge_seconds, merge_cost) = merge_model(&tiles, d, cfg.mode.main_format());
@@ -214,6 +346,10 @@ fn run_generic<P: Real, M: Real>(
         wall_seconds,
         precalc_hits,
         precalc_misses,
+        host_workers,
+        worker_busy_seconds,
+        buffer_pool_reuses,
+        buffer_pool_allocs,
     })
 }
 
@@ -409,15 +545,16 @@ mod tests {
     #[test]
     fn cached_rerun_is_identical_and_skips_precalc() {
         use std::collections::HashMap;
+        use std::sync::Mutex;
 
         #[derive(Default)]
-        struct MapStore(HashMap<usize, Arc<crate::tile_exec::TilePrecalc>>);
+        struct MapStore(Mutex<HashMap<usize, Arc<crate::tile_exec::TilePrecalc>>>);
         impl PrecalcStore for MapStore {
-            fn lookup(&mut self, tile_index: usize) -> Option<Arc<crate::tile_exec::TilePrecalc>> {
-                self.0.get(&tile_index).cloned()
+            fn lookup(&self, tile_index: usize) -> Option<Arc<crate::tile_exec::TilePrecalc>> {
+                self.0.lock().unwrap().get(&tile_index).cloned()
             }
-            fn store(&mut self, tile_index: usize, pre: &Arc<crate::tile_exec::TilePrecalc>) {
-                self.0.insert(tile_index, Arc::clone(pre));
+            fn store(&self, tile_index: usize, pre: &Arc<crate::tile_exec::TilePrecalc>) {
+                self.0.lock().unwrap().insert(tile_index, Arc::clone(pre));
             }
         }
 
@@ -427,10 +564,10 @@ mod tests {
         let plain = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
         assert_eq!(plain.precalc_hits, 0);
 
-        let mut store = MapStore::default();
-        let cold = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&mut store)).unwrap();
+        let store = MapStore::default();
+        let cold = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&store)).unwrap();
         assert_eq!((cold.precalc_hits, cold.precalc_misses), (0, 4));
-        let warm = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&mut store)).unwrap();
+        let warm = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&store)).unwrap();
         assert_eq!((warm.precalc_hits, warm.precalc_misses), (4, 0));
 
         // Bit-identical results across plain / cold / warm paths.

@@ -61,5 +61,8 @@ pub use estimate::{estimate_run, RunEstimate};
 pub use multinode::{estimate_cluster, run_on_cluster, ClusterRun};
 pub use profile::MatrixProfile;
 pub use streaming::StreamingProfile;
-pub use tile_exec::{compute_tile_precalc, execute_tile, execute_tile_from_precalc, TilePrecalc};
+pub use tile_exec::{
+    compute_tile_precalc, execute_tile, execute_tile_from_precalc,
+    execute_tile_from_precalc_pooled, PlaneBuffers, TilePrecalc,
+};
 pub use tiling::{assign_tiles, assign_tiles_weighted, compute_tile_list, Tile, TileSchedule};

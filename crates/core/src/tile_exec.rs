@@ -108,6 +108,72 @@ pub fn execute_tile<P: Real, M: Real>(
     execute_tile_from_precalc::<M>(&pre, tile, cfg, kahan, false)
 }
 
+/// Reusable per-worker scratch planes for the tile main loop — the six
+/// `n_q × d` working buffers of [`execute_tile_from_precalc`], allocated
+/// once per worker thread and recycled across tiles instead of re-`vec!`-ed
+/// per tile. Reuse only trades allocation for a fill: every buffer is reset
+/// to exactly the initial contents a fresh allocation would have (zeros,
+/// `+∞`, `-1`), so pooled execution is bit-identical to unpooled.
+#[derive(Debug, Default)]
+pub struct PlaneBuffers<M: Real> {
+    qt_prev: Vec<M>,
+    qt_next: Vec<M>,
+    dist_plane: Vec<M>,
+    scanned: Vec<M>,
+    p_plane: Vec<M>,
+    i_plane: Vec<i64>,
+    tiles_executed: u64,
+    reuses: u64,
+}
+
+impl<M: Real> PlaneBuffers<M> {
+    /// An empty pool entry; the first tile sizes it.
+    pub fn new() -> PlaneBuffers<M> {
+        PlaneBuffers {
+            qt_prev: Vec::new(),
+            qt_next: Vec::new(),
+            dist_plane: Vec::new(),
+            scanned: Vec::new(),
+            p_plane: Vec::new(),
+            i_plane: Vec::new(),
+            tiles_executed: 0,
+            reuses: 0,
+        }
+    }
+
+    /// Reset every plane to its initial contents for an `n_q × d` tile
+    /// (`d_pad` = `d` rounded up to a power of two for the scanned plane).
+    fn prepare(&mut self, n_q: usize, d: usize, d_pad: usize) {
+        let plane = n_q * d;
+        if self.tiles_executed > 0 {
+            self.reuses += 1;
+        }
+        self.tiles_executed += 1;
+        reset(&mut self.qt_prev, plane, M::zero());
+        reset(&mut self.qt_next, plane, M::zero());
+        reset(&mut self.dist_plane, plane, M::zero());
+        reset(&mut self.scanned, n_q * d_pad, M::zero());
+        reset(&mut self.p_plane, plane, M::infinity());
+        reset(&mut self.i_plane, plane, -1i64);
+    }
+
+    /// Tiles executed through this pool entry.
+    pub fn tiles_executed(&self) -> u64 {
+        self.tiles_executed
+    }
+
+    /// Tiles that reused an already-allocated set of planes (everything
+    /// after the worker's first tile).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
+
 /// Execute one tile's main loop from a (possibly cached) precalculation.
 ///
 /// With `precalc_cached = true` the modelled costs omit the `Precalc`
@@ -119,6 +185,21 @@ pub fn execute_tile_from_precalc<M: Real>(
     cfg: &MdmpConfig,
     kahan: bool,
     precalc_cached: bool,
+) -> TileOutput {
+    let mut bufs = PlaneBuffers::<M>::new();
+    execute_tile_from_precalc_pooled(pre, tile, cfg, kahan, precalc_cached, &mut bufs)
+}
+
+/// [`execute_tile_from_precalc`] with caller-owned scratch planes — the
+/// hot path of the concurrent tile pipeline, where each host worker owns
+/// one [`PlaneBuffers`] and runs many tiles through it.
+pub fn execute_tile_from_precalc_pooled<M: Real>(
+    pre: &TilePrecalc,
+    tile: &Tile,
+    cfg: &MdmpConfig,
+    kahan: bool,
+    precalc_cached: bool,
+    bufs: &mut PlaneBuffers<M>,
 ) -> TileOutput {
     let d = pre.rstats.d;
     let d_pad = d.next_power_of_two();
@@ -134,44 +215,33 @@ pub fn execute_tile_from_precalc<M: Real>(
     let qt_row0: Vec<M> = convert_qt(&pre.qt_row0);
     let qt_col0: Vec<M> = convert_qt(&pre.qt_col0);
 
-    // Working planes in the main-loop precision.
-    let mut qt_prev = vec![M::zero(); n_q * d];
-    let mut qt_next = vec![M::zero(); n_q * d];
-    let mut dist_plane = vec![M::zero(); n_q * d];
-    let mut scanned = vec![M::zero(); n_q * d_pad];
-    let mut p_plane = vec![M::infinity(); n_q * d];
-    let mut i_plane = vec![-1i64; n_q * d];
+    // Working planes in the main-loop precision, from the worker's pool.
+    bufs.prepare(n_q, d, d_pad);
+    let PlaneBuffers {
+        qt_prev,
+        qt_next,
+        dist_plane,
+        scanned,
+        p_plane,
+        i_plane,
+        ..
+    } = bufs;
 
     let params = DistParams::<M>::new(cfg.m, cfg.clamp, tile.row0, tile.col0, cfg.exclusion_zone);
 
     // Main iteration loop (Pseudocode 1, lines 3-7).
     for i in 0..n_r {
         dist_row(
-            i,
-            &qt_row0,
-            &qt_col0,
-            &qt_prev,
-            &mut qt_next,
-            &mut dist_plane,
-            &rstats,
-            &qstats,
-            &params,
+            i, &qt_row0, &qt_col0, qt_prev, qt_next, dist_plane, &rstats, &qstats, &params,
         );
-        sort_scan_row(&dist_plane, &mut scanned, n_q, d);
-        update_profile_row(
-            &scanned,
-            &mut p_plane,
-            &mut i_plane,
-            n_q,
-            d,
-            (tile.row0 + i) as i64,
-        );
-        std::mem::swap(&mut qt_prev, &mut qt_next);
+        sort_scan_row(dist_plane, scanned, n_q, d);
+        update_profile_row(scanned, p_plane, i_plane, n_q, d, (tile.row0 + i) as i64);
+        std::mem::swap(qt_prev, qt_next);
     }
 
-    // D2H: widen the profile exactly to f64.
+    // D2H: widen the profile exactly to f64 (the planes stay in the pool).
     let p_f64: Vec<f64> = p_plane.iter().map(|&v| v.to_f64()).collect();
-    let profile = MatrixProfile::from_raw(p_f64, i_plane, n_q, d);
+    let profile = MatrixProfile::from_raw(p_f64, i_plane.clone(), n_q, d);
 
     let (kernel_costs, h2d_bytes, d2h_bytes, device_bytes) =
         tile_cost_bundle_reused(tile, d, cfg, kahan, precalc_cached);

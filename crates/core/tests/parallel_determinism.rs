@@ -1,0 +1,161 @@
+//! Bitwise determinism of the concurrent tile pipeline.
+//!
+//! The host worker pool changes *when* tiles are computed, never *what* is
+//! computed or in which order results are merged: cost submission and
+//! `merge_min_columns` happen on the coordinating thread in ascending tile
+//! index, exactly like the sequential loop. These tests pin that contract —
+//! parallel runs must be bit-identical to the 1-worker run in every
+//! precision mode, including argmin ties that span tile boundaries.
+
+use mdmp_core::{run_with_mode, MdmpConfig, MdmpRun};
+use mdmp_data::synthetic::{generate_pair, SyntheticConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+
+const PAPER_MODES: [PrecisionMode; 5] = [
+    PrecisionMode::Fp64,
+    PrecisionMode::Fp32,
+    PrecisionMode::Fp16,
+    PrecisionMode::Mixed,
+    PrecisionMode::Fp16c,
+];
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn synthetic_pair(n: usize, d: usize, m: usize, seed: u64) -> (MultiDimSeries, MultiDimSeries) {
+    let cfg = SyntheticConfig {
+        n_subsequences: n,
+        dims: d,
+        m,
+        pattern: mdmp_data::Pattern::Sine,
+        embeddings: 3,
+        noise: 0.4,
+        pattern_amplitude: 1.0,
+        seed,
+    };
+    let pair = generate_pair(&cfg);
+    (pair.reference, pair.query)
+}
+
+fn run_with_workers(
+    r: &MultiDimSeries,
+    q: &MultiDimSeries,
+    cfg: &MdmpConfig,
+    workers: usize,
+) -> MdmpRun {
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+    let cfg = cfg.clone().with_host_workers(workers);
+    run_with_mode(r, q, &cfg, &mut sys).unwrap()
+}
+
+/// Compare profiles bit-for-bit: f64 values by their bit pattern (so a
+/// hypothetical -0.0 vs 0.0 or NaN-payload drift would be caught, not
+/// excused) and argmin indices exactly.
+fn assert_bit_identical(a: &MdmpRun, b: &MdmpRun, label: &str) {
+    let (pa, pb) = (&a.profile, &b.profile);
+    assert_eq!(pa.n_query(), pb.n_query(), "{label}: shape");
+    assert_eq!(pa.dims(), pb.dims(), "{label}: dims");
+    for j in 0..pa.n_query() {
+        for k in 0..pa.dims() {
+            assert_eq!(
+                pa.value(j, k).to_bits(),
+                pb.value(j, k).to_bits(),
+                "{label}: P[{j}][{k}] bits differ"
+            );
+            assert_eq!(
+                pa.index(j, k),
+                pb.index(j, k),
+                "{label}: I[{j}][{k}] differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_bit_identical_across_modes_and_worker_counts() {
+    let (r, q) = synthetic_pair(220, 3, 16, 41);
+    for mode in PAPER_MODES {
+        let cfg = MdmpConfig::new(16, mode).with_tiles(16);
+        let sequential = run_with_workers(&r, &q, &cfg, 1);
+        for workers in [2usize, 4, 8] {
+            let parallel = run_with_workers(&r, &q, &cfg, workers);
+            let label = format!("{mode} @ {workers} workers");
+            assert_bit_identical(&sequential, &parallel, &label);
+            // Modelled times come from in-order cost submission, so they
+            // must match exactly too — same streams, same timelines.
+            assert_eq!(
+                sequential.modeled_seconds.to_bits(),
+                parallel.modeled_seconds.to_bits(),
+                "{label}: modeled time differs"
+            );
+            assert_eq!(
+                sequential.device_makespans, parallel.device_makespans,
+                "{label}: device makespans differ"
+            );
+            assert_eq!(parallel.host_workers, workers, "{label}: worker count");
+        }
+    }
+}
+
+/// A constant series makes *every* distance tie at zero, so every tile
+/// proposes the same minimum for every column and the argmin is decided
+/// purely by merge order (first-merged tile wins ties). If the parallel
+/// pipeline merged in completion order instead of tile order, this test
+/// would flake immediately.
+#[test]
+fn argmin_ties_spanning_tile_boundaries_resolve_identically() {
+    let n = 96;
+    let d = 2;
+    let m = 8;
+    let len = n + m - 1;
+    let flat: Vec<Vec<f64>> = (0..d)
+        .map(|k| (0..len).map(|t| ((t + k) % 7) as f64).collect())
+        .collect();
+    let r = MultiDimSeries::from_dims(flat.clone());
+    let q = MultiDimSeries::from_dims(flat);
+    for mode in PAPER_MODES {
+        // 9 tiles on a 3×3 grid: each query column is covered by three
+        // row-tiles, so ties compete across tile boundaries.
+        let cfg = MdmpConfig::new(m, mode).with_tiles(9);
+        let sequential = run_with_workers(&r, &q, &cfg, 1);
+        for workers in WORKER_COUNTS {
+            let parallel = run_with_workers(&r, &q, &cfg, workers);
+            assert_bit_identical(&sequential, &parallel, &format!("ties {mode} x{workers}"));
+        }
+    }
+}
+
+/// Buffer-pool accounting: reuse everywhere after each worker's first tile,
+/// at most one allocation per worker, and per-worker busy times reported.
+#[test]
+fn buffer_pool_and_busy_accounting() {
+    let (r, q) = synthetic_pair(180, 2, 12, 7);
+    let cfg = MdmpConfig::new(12, PrecisionMode::Fp32).with_tiles(16);
+
+    let seq = run_with_workers(&r, &q, &cfg, 1);
+    assert_eq!(seq.buffer_pool_allocs, 1);
+    assert_eq!(seq.buffer_pool_reuses, 15, "16 tiles, one fresh allocation");
+    assert_eq!(seq.worker_busy_seconds.len(), 1);
+
+    let par = run_with_workers(&r, &q, &cfg, 4);
+    assert_eq!(par.worker_busy_seconds.len(), 4);
+    assert!(par.buffer_pool_allocs <= 4);
+    assert_eq!(
+        par.buffer_pool_reuses + par.buffer_pool_allocs,
+        16,
+        "every tile either reuses planes or is a worker's first"
+    );
+    assert!(par.worker_busy_seconds.iter().all(|&b| b >= 0.0));
+}
+
+/// More workers than tiles must not deadlock or over-report workers.
+#[test]
+fn workers_clamped_to_tile_count() {
+    let (r, q) = synthetic_pair(64, 2, 8, 3);
+    let cfg = MdmpConfig::new(8, PrecisionMode::Fp64).with_tiles(2);
+    let run = run_with_workers(&r, &q, &cfg, 8);
+    assert_eq!(run.host_workers, 2, "worker pool clamps to tile count");
+    let seq = run_with_workers(&r, &q, &cfg, 1);
+    assert_bit_identical(&seq, &run, "clamped workers");
+}

@@ -60,10 +60,28 @@ impl SimDevice {
 
 /// A node with one or more simulated devices (e.g. 8×V100 for the DGX-1
 /// experiments, 4×A100 for Raven).
+///
+/// # Threading contract
+///
+/// Submission mutates per-device timelines and stream clocks, so the
+/// modelled schedule depends on submission *order*. The concurrent tile
+/// pipeline in `mdmp-core` therefore keeps every `submit_*` call on one
+/// coordinating thread, feeding it results from worker threads in tile
+/// order — the system (and its devices) only ever needs to be `Send` so a
+/// run can move across threads wholesale, never `&mut`-shared between
+/// them. The assertions below pin `Send + Sync` for both types.
 #[derive(Debug)]
 pub struct GpuSystem {
     devices: Vec<SimDevice>,
 }
+
+// Compile-time proof that a run (device timelines included) may cross
+// threads; fails to build if a non-Send/non-Sync field ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimDevice>();
+    assert_send_sync::<GpuSystem>();
+};
 
 impl GpuSystem {
     /// A system of `n` identical devices.

@@ -15,9 +15,10 @@
 use mdmp_core::{PrecalcStore, TilePrecalc};
 use mdmp_data::MultiDimSeries;
 use mdmp_precision::{Format, PrecisionMode};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// 64-bit FNV-1a over a series' shape and raw f64 bit patterns.
 pub fn series_fingerprint(series: &MultiDimSeries) -> u64 {
@@ -97,17 +98,77 @@ pub struct CacheStats {
     pub bytes: u64,
     /// Cached runs.
     pub entries: usize,
+    /// Concurrent misses coalesced by single-flight: lookups that waited
+    /// for another thread's in-progress computation instead of repeating
+    /// it.
+    pub single_flight_waits: u64,
+}
+
+/// A computation in progress for one `(run, tile)` pair; followers block
+/// on `ready` until the leader publishes `Done` (or `Poisoned`, if the
+/// leader panicked mid-compute).
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Arc<TilePrecalc>),
+    Poisoned,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+enum FlightRole {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+}
+
+/// Publishes the leader's outcome when dropped — `Done` on success, the
+/// default `Poisoned` if `compute` unwound — then wakes all followers and
+/// retires the flight.
+struct FlightGuard<'a> {
+    cache: &'a PrecalcCache,
+    key: &'a CacheKey,
+    tile_index: usize,
+    flight: &'a Flight,
+    publish: FlightState,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let outcome = std::mem::replace(&mut self.publish, FlightState::Poisoned);
+        *self.flight.state.lock().unwrap() = outcome;
+        self.flight.ready.notify_all();
+        self.cache
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&(self.key.clone(), self.tile_index));
+    }
 }
 
 /// A thread-safe LRU cache of per-run tile precalculations.
 #[derive(Debug)]
 pub struct PrecalcCache {
     inner: Mutex<HashMap<CacheKey, CacheEntry>>,
+    inflight: Mutex<HashMap<(CacheKey, usize), Arc<Flight>>>,
     budget_bytes: u64,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    single_flight_waits: AtomicU64,
 }
 
 impl PrecalcCache {
@@ -115,27 +176,109 @@ impl PrecalcCache {
     pub fn new(budget_bytes: u64) -> PrecalcCache {
         PrecalcCache {
             inner: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             budget_bytes,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            single_flight_waits: AtomicU64::new(0),
         }
     }
 
-    /// Look up one tile's precalc.
+    /// Look up one tile's precalc, touching LRU state and counting a hit
+    /// or miss.
     pub fn lookup(&self, key: &CacheKey, tile_index: usize) -> Option<Arc<TilePrecalc>> {
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.lock().unwrap();
-        let found = map.get_mut(key).and_then(|entry| {
-            entry.last_used = stamp;
-            entry.tiles.get(&tile_index).cloned()
-        });
+        let found = self.peek(key, tile_index);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
+    }
+
+    /// [`PrecalcCache::lookup`] without hit/miss accounting (still touches
+    /// LRU recency) — the single-flight path does its own counting so a
+    /// coalesced miss is recorded exactly once.
+    fn peek(&self, key: &CacheKey, tile_index: usize) -> Option<Arc<TilePrecalc>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.inner.lock().unwrap();
+        map.get_mut(key).and_then(|entry| {
+            entry.last_used = stamp;
+            entry.tiles.get(&tile_index).cloned()
+        })
+    }
+
+    /// Single-flight fetch: return the cached precalc for `(key,
+    /// tile_index)` or compute it exactly once, no matter how many threads
+    /// miss concurrently. The first thread to miss (the *leader*) runs
+    /// `compute`, stores the result, and records one miss; every
+    /// concurrent caller (a *follower*) blocks until the result is
+    /// published and records a hit. Returns the precalc and whether this
+    /// caller was served without computing (`true`) or computed it itself
+    /// (`false`).
+    ///
+    /// If the leader panics, the flight is poisoned and a waiting follower
+    /// takes over as the new leader.
+    pub fn get_or_compute(
+        &self,
+        key: &CacheKey,
+        tile_index: usize,
+        compute: &mut dyn FnMut() -> Arc<TilePrecalc>,
+    ) -> (Arc<TilePrecalc>, bool) {
+        loop {
+            let role = {
+                let mut inflight = self.inflight.lock().unwrap();
+                // Re-check the cache under the inflight lock so a result
+                // that landed between iterations can't be missed.
+                if let Some(pre) = self.peek(key, tile_index) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (pre, true);
+                }
+                match inflight.entry((key.clone(), tile_index)) {
+                    Entry::Occupied(e) => FlightRole::Follower(Arc::clone(e.get())),
+                    Entry::Vacant(v) => {
+                        let f = Arc::new(Flight::new());
+                        v.insert(Arc::clone(&f));
+                        FlightRole::Leader(f)
+                    }
+                }
+            };
+            match role {
+                FlightRole::Leader(flight) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = FlightGuard {
+                        cache: self,
+                        key,
+                        tile_index,
+                        flight: &flight,
+                        publish: FlightState::Poisoned,
+                    };
+                    let pre = compute();
+                    self.insert(key, tile_index, &pre);
+                    guard.publish = FlightState::Done(Arc::clone(&pre));
+                    drop(guard);
+                    return (pre, false);
+                }
+                FlightRole::Follower(flight) => {
+                    self.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+                    let mut state = flight.state.lock().unwrap();
+                    while matches!(*state, FlightState::Pending) {
+                        state = flight.ready.wait(state).unwrap();
+                    }
+                    match &*state {
+                        FlightState::Done(pre) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return (Arc::clone(pre), true);
+                        }
+                        // Leader panicked: loop around and try to become
+                        // the new leader.
+                        FlightState::Poisoned => continue,
+                        FlightState::Pending => unreachable!(),
+                    }
+                }
+            }
+        }
     }
 
     /// Insert one tile's precalc, evicting least-recently-used runs if the
@@ -181,6 +324,7 @@ impl PrecalcCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             bytes: Self::total_bytes(&map),
             entries: map.len(),
+            single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -203,12 +347,23 @@ pub struct RunStore<'a> {
 }
 
 impl PrecalcStore for RunStore<'_> {
-    fn lookup(&mut self, tile_index: usize) -> Option<Arc<TilePrecalc>> {
+    fn lookup(&self, tile_index: usize) -> Option<Arc<TilePrecalc>> {
         self.cache.lookup(&self.key, tile_index)
     }
 
-    fn store(&mut self, tile_index: usize, pre: &Arc<TilePrecalc>) {
+    fn store(&self, tile_index: usize, pre: &Arc<TilePrecalc>) {
         self.cache.insert(&self.key, tile_index, pre);
+    }
+
+    /// Route through the cache's single-flight path: concurrent misses on
+    /// the same tile — whether from one run's workers or two runs over the
+    /// same series — compute once and record exactly one miss.
+    fn fetch_or_compute(
+        &self,
+        tile_index: usize,
+        compute: &mut dyn FnMut() -> Arc<TilePrecalc>,
+    ) -> (Arc<TilePrecalc>, bool) {
+        self.cache.get_or_compute(&self.key, tile_index, compute)
     }
 }
 
@@ -299,5 +454,81 @@ mod tests {
         assert!(cache.lookup(&k2, 0).is_none(), "LRU run evicted");
         assert!(cache.lookup(&k3, 0).is_some(), "incoming run kept");
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_compute_once_and_record_one_miss() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache = PrecalcCache::new(u64::MAX);
+        let r = series(1, 1, 64);
+        let q = series(2, 1, 64);
+        let key = CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp64, 1);
+        let computes = AtomicUsize::new(0);
+        let n_threads = 4;
+        let barrier = Barrier::new(n_threads);
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let mut compute = || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for the
+                            // other threads to become followers.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            sample_precalc(64)
+                        };
+                        cache.get_or_compute(&key, 0, &mut compute)
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let leaders = results.iter().filter(|(_, cached)| !cached).count();
+            assert_eq!(leaders, 1, "exactly one thread computes");
+            // All threads got the same block.
+            for (pre, _) in &results[1..] {
+                assert!(Arc::ptr_eq(pre, &results[0].0));
+            }
+        });
+
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "coalesced misses count once");
+        assert_eq!(stats.hits as usize, n_threads - 1);
+    }
+
+    #[test]
+    fn poisoned_flight_elects_new_leader() {
+        use std::sync::atomic::AtomicUsize;
+
+        let cache = Arc::new(PrecalcCache::new(u64::MAX));
+        let r = series(1, 1, 64);
+        let q = series(2, 1, 64);
+        let key = CacheKey::for_job(&r, &q, 8, PrecisionMode::Fp64, 1);
+
+        // Leader panics mid-compute.
+        {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            let _ = std::thread::spawn(move || {
+                let mut compute = || -> Arc<TilePrecalc> { panic!("simulated leader crash") };
+                cache.get_or_compute(&key, 0, &mut compute)
+            })
+            .join();
+        }
+
+        // The flight must be retired, not wedged: the next caller becomes
+        // a fresh leader and computes.
+        let computes = AtomicUsize::new(0);
+        let mut compute = || {
+            computes.fetch_add(1, Ordering::SeqCst);
+            sample_precalc(64)
+        };
+        let (_, cached) = cache.get_or_compute(&key, 0, &mut compute);
+        assert!(!cached, "new leader computes after poison");
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
     }
 }

@@ -191,12 +191,24 @@ pub struct MetricsRegistry {
     pub cache_evictions: Counter,
     /// Bytes currently held by the precalc cache.
     pub cache_bytes: Gauge,
+    /// Concurrent precalc misses coalesced by the cache's single-flight
+    /// path (followers that waited instead of recomputing).
+    pub single_flight_waits: Counter,
+    /// Host worker threads used by the most recent run.
+    pub host_workers: Gauge,
+    /// Tiles executed on reused (already-allocated) plane buffers.
+    pub buffer_pool_reuses: Counter,
+    /// Fresh plane-buffer allocations (at most one per host worker per
+    /// run).
+    pub buffer_pool_allocs: Counter,
     /// Queue wait (submit → start) per job.
     pub queue_wait: Histogram,
     /// Execution time (start → finish) per job.
     pub run_seconds: Histogram,
     /// Modelled device seconds per kernel class, accumulated over all jobs.
     kernel_seconds: Mutex<BTreeMap<&'static str, f64>>,
+    /// Busy seconds per host-worker slot, accumulated over all runs.
+    worker_busy_seconds: Mutex<Vec<f64>>,
 }
 
 impl MetricsRegistry {
@@ -214,6 +226,23 @@ impl MetricsRegistry {
         self.kernel_seconds.lock().unwrap().clone()
     }
 
+    /// Fold one run's per-worker busy seconds into the per-slot totals
+    /// (the vector grows to the largest worker count seen).
+    pub fn absorb_worker_busy(&self, busy: &[f64]) {
+        let mut slots = self.worker_busy_seconds.lock().unwrap();
+        if slots.len() < busy.len() {
+            slots.resize(busy.len(), 0.0);
+        }
+        for (slot, b) in busy.iter().enumerate() {
+            slots[slot] += b;
+        }
+    }
+
+    /// Busy seconds accumulated per host-worker slot.
+    pub fn worker_busy_seconds(&self) -> Vec<f64> {
+        self.worker_busy_seconds.lock().unwrap().clone()
+    }
+
     /// Cache hit rate in [0, 1] (0 with no lookups).
     pub fn cache_hit_rate(&self) -> f64 {
         let hits = self.cache_hits.get();
@@ -228,7 +257,7 @@ impl MetricsRegistry {
     /// Render the Prometheus-style text exposition page.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 9] = [
+        let counters: [(&str, &Counter); 12] = [
             ("mdmp_jobs_submitted_total", &self.jobs_submitted),
             ("mdmp_jobs_rejected_total", &self.jobs_rejected),
             ("mdmp_jobs_completed_total", &self.jobs_completed),
@@ -238,18 +267,31 @@ impl MetricsRegistry {
             ("mdmp_precalc_cache_hits_total", &self.cache_hits),
             ("mdmp_precalc_cache_misses_total", &self.cache_misses),
             ("mdmp_precalc_cache_evictions_total", &self.cache_evictions),
+            (
+                "mdmp_precalc_single_flight_waits_total",
+                &self.single_flight_waits,
+            ),
+            ("mdmp_buffer_pool_reuses_total", &self.buffer_pool_reuses),
+            ("mdmp_buffer_pool_allocs_total", &self.buffer_pool_allocs),
         ];
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
-        let gauges: [(&str, &Gauge); 4] = [
+        let gauges: [(&str, &Gauge); 5] = [
             ("mdmp_queue_depth", &self.queue_depth),
             ("mdmp_jobs_running", &self.jobs_running),
             ("mdmp_devices_leased", &self.devices_leased),
             ("mdmp_precalc_cache_bytes", &self.cache_bytes),
+            ("mdmp_host_workers", &self.host_workers),
         ];
         for (name, g) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        out.push_str("# TYPE mdmp_host_worker_busy_seconds_total counter\n");
+        for (slot, busy) in self.worker_busy_seconds().into_iter().enumerate() {
+            out.push_str(&format!(
+                "mdmp_host_worker_busy_seconds_total{{worker=\"{slot}\"}} {busy}\n"
+            ));
         }
         self.queue_wait
             .render(&mut out, "mdmp_job_queue_wait_seconds");
@@ -280,6 +322,11 @@ impl MetricsRegistry {
             precalc_cache_evictions: self.cache_evictions.get(),
             precalc_cache_bytes: self.cache_bytes.get().max(0) as u64,
             precalc_cache_hit_rate: self.cache_hit_rate(),
+            precalc_single_flight_waits: self.single_flight_waits.get(),
+            host_workers: self.host_workers.get().max(0) as u64,
+            buffer_pool_reuses: self.buffer_pool_reuses.get(),
+            buffer_pool_allocs: self.buffer_pool_allocs.get(),
+            worker_busy_seconds: self.worker_busy_seconds(),
             mean_queue_wait_seconds: self.queue_wait.mean(),
             mean_run_seconds: self.run_seconds.mean(),
             kernel_seconds: self
@@ -323,6 +370,16 @@ pub struct ServiceStats {
     pub precalc_cache_bytes: u64,
     /// Hit rate in [0, 1].
     pub precalc_cache_hit_rate: f64,
+    /// Concurrent misses coalesced by the cache's single-flight path.
+    pub precalc_single_flight_waits: u64,
+    /// Host worker threads used by the most recent run.
+    pub host_workers: u64,
+    /// Tiles executed on reused plane buffers.
+    pub buffer_pool_reuses: u64,
+    /// Fresh plane-buffer allocations.
+    pub buffer_pool_allocs: u64,
+    /// Busy seconds accumulated per host-worker slot.
+    pub worker_busy_seconds: Vec<f64>,
     /// Mean queue wait in seconds.
     pub mean_queue_wait_seconds: f64,
     /// Mean job execution time in seconds.

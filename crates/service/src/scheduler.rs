@@ -34,6 +34,9 @@ pub struct ServiceConfig {
     pub devices: usize,
     /// Precalc cache budget in bytes.
     pub cache_bytes: u64,
+    /// Host worker threads per run for the concurrent tile pipeline;
+    /// `0` = auto (env `MDMP_HOST_WORKERS`, else one per leased device).
+    pub host_workers: usize,
     /// First retry backoff; doubles per attempt.
     pub retry_base: Duration,
     /// Backoff cap.
@@ -48,6 +51,7 @@ impl Default for ServiceConfig {
             device: DeviceSpec::a100(),
             devices: 2,
             cache_bytes: 256 << 20,
+            host_workers: 0,
             retry_base: Duration::from_millis(10),
             retry_cap: Duration::from_secs(1),
         }
@@ -251,6 +255,10 @@ impl Service {
     fn sync_cache_metrics(&self) {
         let c = self.cache.stats();
         self.metrics.cache_bytes.set(c.bytes as i64);
+        let seen = self.metrics.single_flight_waits.get();
+        self.metrics
+            .single_flight_waits
+            .add(c.single_flight_waits.saturating_sub(seen));
     }
 
     /// Whether shutdown has begun.
@@ -345,7 +353,9 @@ impl Service {
         // Materialization failures (bad path, bad shape) are permanent —
         // no retry.
         let (reference, query) = spec.materialize()?;
-        let cfg = spec.config();
+        // Service-level host-worker setting applies to every job; `0`
+        // leaves the core driver's auto resolution in charge.
+        let cfg = spec.config().with_host_workers(self.cfg.host_workers);
         let key = CacheKey::for_job(&reference, &query, spec.m, spec.mode, spec.tiles);
         let mut attempt = 0u32;
         loop {
@@ -359,14 +369,18 @@ impl Service {
             let system = self.pool.lease(spec.gpus);
             self.metrics.devices_leased.add(spec.gpus as i64);
             let mut system = system;
-            let mut store = self.cache.store_for(key.clone());
-            let run = run_with_mode_cached(&reference, &query, &cfg, &mut system, Some(&mut store));
+            let store = self.cache.store_for(key.clone());
+            let run = run_with_mode_cached(&reference, &query, &cfg, &mut system, Some(&store));
             self.metrics.devices_leased.add(-(spec.gpus as i64));
             self.pool.release(system);
             match run {
                 Ok(run) => {
                     self.metrics.cache_hits.add(run.precalc_hits as u64);
                     self.metrics.cache_misses.add(run.precalc_misses as u64);
+                    self.metrics.host_workers.set(run.host_workers as i64);
+                    self.metrics.buffer_pool_reuses.add(run.buffer_pool_reuses);
+                    self.metrics.buffer_pool_allocs.add(run.buffer_pool_allocs);
+                    self.metrics.absorb_worker_busy(&run.worker_busy_seconds);
                     let cache = self.cache.stats();
                     self.metrics.cache_evictions.add(
                         cache.evictions - self.metrics.cache_evictions.get().min(cache.evictions),

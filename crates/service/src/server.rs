@@ -379,6 +379,22 @@ fn stats_json(service: &Service) -> Json {
             Json::num(s.precalc_cache_hit_rate),
         ),
         (
+            "precalc_single_flight_waits",
+            Json::num(s.precalc_single_flight_waits as f64),
+        ),
+        ("host_workers", Json::num(s.host_workers as f64)),
+        ("buffer_pool_reuses", Json::num(s.buffer_pool_reuses as f64)),
+        ("buffer_pool_allocs", Json::num(s.buffer_pool_allocs as f64)),
+        (
+            "worker_busy_seconds",
+            Json::Arr(
+                s.worker_busy_seconds
+                    .iter()
+                    .map(|&b| Json::num(b))
+                    .collect(),
+            ),
+        ),
+        (
             "mean_queue_wait_seconds",
             Json::num(s.mean_queue_wait_seconds),
         ),
