@@ -6,9 +6,12 @@ use crate::profile_io;
 use mdmp_core::{estimate_run, run_with_mode, top_discords, top_motifs, MdmpConfig, TileSchedule};
 use mdmp_data::io as data_io;
 use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_faults::FaultPlan;
 use mdmp_gpu_sim::{DeviceSpec, GpuSystem, UtilizationReport};
 use mdmp_precision::PrecisionMode;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 type CmdResult = Result<(), String>;
 
@@ -47,10 +50,19 @@ fn build_config(args: &ParsedArgs, m: usize) -> Result<MdmpConfig, String> {
             .get_or::<String>("schedule", "rr".into())
             .map_err(err)?,
     )?;
+    let fault_plan: Option<String> = args.get("fault-plan").map_err(err)?;
+    let tile_retries: u32 = args.get_or("tile-retries", 2).map_err(err)?;
+    let tile_timeout_ms: Option<u64> = args.get("tile-timeout-ms").map_err(err)?;
     let mut cfg = MdmpConfig::new(m, mode)
         .with_tiles(tiles)
         .with_schedule(sched)
-        .with_host_workers(host_workers);
+        .with_host_workers(host_workers)
+        .with_tile_retries(tile_retries)
+        .with_tile_deadline(tile_timeout_ms.map(Duration::from_millis));
+    if let Some(spec) = fault_plan {
+        let plan: FaultPlan = spec.parse().map_err(err)?;
+        cfg = cfg.with_fault_plan(Some(Arc::new(plan)));
+    }
     if args.flag("self-join") {
         cfg = cfg.self_join();
     }
@@ -138,6 +150,16 @@ pub fn compute(args: &ParsedArgs) -> CmdResult {
         run.host_workers,
         run.buffer_pool_reuses
     );
+    if run.faults_injected > 0 || run.tile_retries > 0 || !run.quarantined_devices.is_empty() {
+        println!(
+            "resilience: {} faults injected, {} tile retries, {} validation failures, \
+             quarantined devices {:?}",
+            run.faults_injected,
+            run.tile_retries,
+            run.plane_validation_failures,
+            run.quarantined_devices
+        );
+    }
     if report {
         let util = UtilizationReport::from_ledger(&device, &run.ledger);
         print!("{util}");
@@ -326,6 +348,9 @@ COMMANDS:
             [--schedule rr|balanced] [--self-join] [--no-clamp] [--report]
             [--anytime FRACTION] [--seed S] [--repair-dropouts]
             [--host-workers N]  (0 = auto: $MDMP_HOST_WORKERS, else #gpus)
+            [--fault-plan SPEC] [--tile-retries N] [--tile-timeout-ms MS]
+            fault-plan SPEC: comma-separated, e.g. \"seed=7,kernel@0,stall@3:40,
+            nan@5,flip@2:52,pkernel=0.01,attempts=1,budget=4,drop\"
   motifs    --profile <csv> --m <len> [--top N] [--k DIMS]
   discords  --profile <csv> --m <len> [--top N] [--k DIMS]
   generate  --kind synthetic|genome|turbine --output <csv>
@@ -336,6 +361,8 @@ COMMANDS:
             [--device a100|v100|cpu] [--cache-mb MB] [--host-workers N]
   submit    [--addr HOST:PORT] --m <len> [--mode ..] [--tiles N] [--gpus N]
             [--priority high|normal|low] [--retries N] [--wait] [--timeout S]
+            [--fault-plan SPEC] [--tile-retries N] [--tile-timeout-ms MS]
+            [--deadline-ms MS]
             with --reference <csv> [--query <csv>] (server-side paths), or
             synthetic: [--n N] [--d D] [--pattern 0..7] [--noise X] [--seed S]
   status    [--addr HOST:PORT] [--id JOB] [--metrics] [--shutdown | --abort]
@@ -584,6 +611,77 @@ mod tests {
         );
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn fault_plan_flag_retries_to_success_or_fails_typed() {
+        let data = tmp("faulty.csv");
+        let gen = parsed(&[
+            "generate",
+            "--kind",
+            "synthetic",
+            "--n",
+            "128",
+            "--d",
+            "1",
+            "--m",
+            "8",
+            "--output",
+            data.to_str().unwrap(),
+        ]);
+        generate(&gen).unwrap();
+        let out = tmp("faulty_profile.csv");
+        // A kernel fault on tile 0 with the default retry budget: the run
+        // must recover and write a profile.
+        let comp = parsed(&[
+            "compute",
+            "--reference",
+            data.to_str().unwrap(),
+            "--m",
+            "8",
+            "--tiles",
+            "2",
+            "--fault-plan",
+            "seed=7,kernel@0",
+            "--output",
+            out.to_str().unwrap(),
+        ]);
+        compute(&comp).unwrap();
+        assert!(profile_io::read_profile(&out).is_ok());
+        // The same fault on every attempt with retries disabled must fail.
+        let comp = parsed(&[
+            "compute",
+            "--reference",
+            data.to_str().unwrap(),
+            "--m",
+            "8",
+            "--tiles",
+            "2",
+            "--fault-plan",
+            "seed=7,kernel@0,attempts=all",
+            "--tile-retries",
+            "0",
+            "--output",
+            out.to_str().unwrap(),
+        ]);
+        let msg = compute(&comp).unwrap_err();
+        assert!(msg.contains("tile 0"), "typed tile error, got: {msg}");
+        // A malformed plan is rejected at parse time.
+        let comp = parsed(&[
+            "compute",
+            "--reference",
+            data.to_str().unwrap(),
+            "--m",
+            "8",
+            "--fault-plan",
+            "explode@0",
+            "--output",
+            out.to_str().unwrap(),
+        ]);
+        assert!(compute(&comp).is_err());
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(tmp("faulty_query.csv")).ok();
     }
 
     #[test]

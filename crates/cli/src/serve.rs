@@ -99,7 +99,7 @@ fn job_json(args: &ParsedArgs) -> Result<Json, String> {
             ])
         }
     };
-    Ok(Json::obj(vec![
+    let mut pairs = vec![
         ("input", input),
         ("m", Json::num(m as f64)),
         ("mode", Json::str(mode)),
@@ -107,7 +107,20 @@ fn job_json(args: &ParsedArgs) -> Result<Json, String> {
         ("gpus", Json::num(gpus as f64)),
         ("priority", Json::str(priority)),
         ("max_retries", Json::num(retries as f64)),
-    ]))
+    ];
+    if let Some(plan) = args.get::<String>("fault-plan").map_err(err)? {
+        pairs.push(("fault_plan", Json::str(plan)));
+    }
+    if let Some(tile_retries) = args.get::<u64>("tile-retries").map_err(err)? {
+        pairs.push(("tile_retries", Json::num(tile_retries as f64)));
+    }
+    if let Some(ms) = args.get::<u64>("tile-timeout-ms").map_err(err)? {
+        pairs.push(("tile_deadline_ms", Json::num(ms as f64)));
+    }
+    if let Some(ms) = args.get::<u64>("deadline-ms").map_err(err)? {
+        pairs.push(("deadline_ms", Json::num(ms as f64)));
+    }
+    Ok(Json::obj(pairs))
 }
 
 fn check_ok(response: &Json) -> Result<(), String> {

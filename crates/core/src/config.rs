@@ -1,9 +1,12 @@
 //! Run configuration and error types.
 
 use crate::tiling::TileSchedule;
+use mdmp_faults::FaultPlan;
 use mdmp_gpu_sim::AllocError;
 use mdmp_precision::PrecisionMode;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration of a matrix-profile computation (the tunables of
 /// Pseudocode 1 + 2 plus the precision mode of §III-C).
@@ -31,6 +34,26 @@ pub struct MdmpConfig {
     /// `0` means *auto*: the `MDMP_HOST_WORKERS` environment variable if
     /// set, otherwise one worker per simulated device.
     pub host_workers: usize,
+    /// Fault injection plan for chaos testing (DESIGN.md §9). `None` — the
+    /// default — injects nothing and adds no per-tile overhead.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-tile retry budget: a failing tile kernel is re-attempted up to
+    /// this many extra times (with capped exponential backoff and
+    /// re-dispatch away from quarantined devices) before the run fails
+    /// with [`MdmpError::TileFailed`].
+    pub tile_retries: u32,
+    /// First retry backoff; doubles per attempt up to
+    /// [`MdmpConfig::tile_retry_cap`].
+    pub tile_retry_base: Duration,
+    /// Upper bound on the per-tile retry backoff.
+    pub tile_retry_cap: Duration,
+    /// Per-kernel deadline: a tile attempt whose wall time exceeds this is
+    /// treated as a failed (stalled) kernel and retried. `None` disables
+    /// the deadline.
+    pub tile_deadline: Option<Duration>,
+    /// Kernel failures on one simulated device before the health ledger
+    /// quarantines it and re-dispatches its work to the survivors.
+    pub quarantine_threshold: u32,
 }
 
 impl MdmpConfig {
@@ -44,6 +67,12 @@ impl MdmpConfig {
             exclusion_zone: None,
             schedule: TileSchedule::RoundRobin,
             host_workers: 0,
+            fault_plan: None,
+            tile_retries: 2,
+            tile_retry_base: Duration::from_millis(1),
+            tile_retry_cap: Duration::from_millis(50),
+            tile_deadline: None,
+            quarantine_threshold: 3,
         }
     }
 
@@ -85,6 +114,40 @@ impl MdmpConfig {
         n_devices.max(1)
     }
 
+    /// Install a fault injection plan (builder style). `None` disables
+    /// injection.
+    pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> MdmpConfig {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Set the per-tile retry budget (builder style); `0` disables retries
+    /// so the first tile failure fails the run.
+    pub fn with_tile_retries(mut self, retries: u32) -> MdmpConfig {
+        self.tile_retries = retries;
+        self
+    }
+
+    /// Set the per-kernel deadline (builder style); `None` disables it.
+    pub fn with_tile_deadline(mut self, deadline: Option<Duration>) -> MdmpConfig {
+        self.tile_deadline = deadline;
+        self
+    }
+
+    /// Set the retry backoff range (builder style): first backoff `base`,
+    /// doubling per attempt, never above `cap`.
+    pub fn with_tile_backoff(mut self, base: Duration, cap: Duration) -> MdmpConfig {
+        self.tile_retry_base = base;
+        self.tile_retry_cap = cap;
+        self
+    }
+
+    /// Set the device quarantine threshold (builder style).
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> MdmpConfig {
+        self.quarantine_threshold = threshold;
+        self
+    }
+
     /// Configure a self-join with the standard `⌈m/4⌉` exclusion zone.
     pub fn self_join(mut self) -> MdmpConfig {
         self.exclusion_zone = Some(self.m.div_ceil(4).max(1));
@@ -117,6 +180,57 @@ impl MdmpConfig {
     }
 }
 
+/// One failed attempt at executing a tile kernel — the typed failures the
+/// fault-injection harness provokes and the retry loop absorbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// The tile kernel aborted without producing a result plane.
+    Kernel {
+        /// Index of the failed tile.
+        tile: usize,
+    },
+    /// The tile attempt exceeded its per-kernel deadline.
+    Timeout {
+        /// Index of the stalled tile.
+        tile: usize,
+        /// Wall milliseconds the attempt took.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The tile's result plane failed the NaN/Inf/bound validation gate.
+    PoisonedPlane {
+        /// Index of the poisoned tile.
+        tile: usize,
+        /// What the gate found.
+        violation: crate::tile_exec::PlaneViolation,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::Kernel { tile } => write!(f, "tile {tile}: kernel failed"),
+            TileError::Timeout {
+                tile,
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "tile {tile}: kernel stalled ({elapsed_ms} ms > {deadline_ms} ms deadline)"
+            ),
+            TileError::PoisonedPlane { tile, violation } => {
+                write!(
+                    f,
+                    "tile {tile}: result plane failed validation ({violation})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
 /// Errors of the matrix-profile driver.
 #[derive(Debug, Clone)]
 pub enum MdmpError {
@@ -136,6 +250,25 @@ pub enum MdmpError {
         /// Query dimensionality.
         query: usize,
     },
+    /// A tile kept failing after every allowed retry; the run was aborted
+    /// rather than returning a partial profile.
+    TileFailed {
+        /// Index of the failed tile.
+        tile: usize,
+        /// Attempts made (1 + configured retries).
+        attempts: u32,
+        /// The final attempt's failure.
+        source: TileError,
+    },
+    /// Tiles never reached the merge (a worker died without reporting) —
+    /// the reorder buffer surfaces this instead of waiting forever or
+    /// silently returning a partial profile.
+    TilesMissing {
+        /// Tiles merged before the pipeline drained.
+        merged: usize,
+        /// Tiles the run expected.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for MdmpError {
@@ -148,6 +281,15 @@ impl fmt::Display for MdmpError {
             MdmpError::DimensionalityMismatch { reference, query } => write!(
                 f,
                 "reference has {reference} dimensions but query has {query}"
+            ),
+            MdmpError::TileFailed {
+                tile,
+                attempts,
+                source,
+            } => write!(f, "tile {tile} failed after {attempts} attempts: {source}"),
+            MdmpError::TilesMissing { merged, expected } => write!(
+                f,
+                "only {merged} of {expected} tiles reached the merge (worker died without reporting)"
             ),
         }
     }

@@ -6,19 +6,23 @@
 //! with min/argmin. The modelled time is the slowest device's makespan plus
 //! the CPU merge.
 
-use crate::config::{MdmpConfig, MdmpError};
+use crate::config::{MdmpConfig, MdmpError, TileError};
 use crate::profile::MatrixProfile;
 use crate::tile_exec::{
-    compute_tile_precalc, execute_tile_from_precalc_pooled, PlaneBuffers, TileOutput, TilePrecalc,
+    apply_plane_fault, compute_tile_precalc, execute_tile_from_precalc_pooled, max_profile_value,
+    validate_profile_plane, PlaneBuffers, TileOutput, TilePrecalc,
 };
 use crate::tiling::{assign_tiles_weighted, compute_tile_list, Tile};
 use mdmp_data::MultiDimSeries;
-use mdmp_gpu_sim::{CostLedger, DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel};
+use mdmp_faults::FaultKind;
+use mdmp_gpu_sim::{
+    CostLedger, DeviceHealth, DeviceSpec, GpuSystem, KernelClass, KernelCost, TimingModel,
+};
 use mdmp_precision::{Bf16, Format, Fp8E4M3, Fp8E5M2, Half, PrecisionMode, Real, Tf32};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Host-side fixed cost per tile (stream setup, allocation, result
 /// handling) — the overhead that makes very high tile counts slightly
@@ -64,6 +68,15 @@ pub struct MdmpRun {
     /// Workers that allocated a fresh set of plane buffers (at most one
     /// allocation per worker).
     pub buffer_pool_allocs: u64,
+    /// Tile attempts that failed and were retried (fault injection or
+    /// genuine kernel failures).
+    pub tile_retries: u64,
+    /// Result planes rejected by the NaN/Inf/bound validation gate.
+    pub plane_validation_failures: u64,
+    /// Faults the configured [`mdmp_faults::FaultPlan`] actually injected.
+    pub faults_injected: u64,
+    /// Simulated devices the health ledger quarantined during the run.
+    pub quarantined_devices: Vec<usize>,
 }
 
 /// External storage for per-tile precalculation results, consulted by
@@ -202,9 +215,34 @@ fn run_generic<P: Real, M: Real>(
     let host_workers = cfg.resolved_host_workers(n_gpu).min(tiles.len()).max(1);
     let wall_start = Instant::now();
 
-    // Per-tile production, shared verbatim by the inline single-worker
-    // path and the scoped-thread pool so both run the exact same code.
-    let produce = |tile: &Tile, bufs: &mut PlaneBuffers<M>| -> (TileOutput, bool) {
+    // Resilience state shared by the workers and the coordinator: the
+    // device health ledger plus run-level fault accounting.
+    let health = DeviceHealth::new(n_gpu, cfg.quarantine_threshold);
+    let retry_ctr = AtomicU64::new(0);
+    let validation_ctr = AtomicU64::new(0);
+    let fault_ctr = AtomicU64::new(0);
+    let value_bound = max_profile_value(cfg.m);
+
+    // One attempt at a tile: inject the planned fault (if any), execute,
+    // poison the result plane if asked, then run the validation gate and
+    // the per-kernel deadline check.
+    let attempt_tile = |tile: &Tile,
+                        bufs: &mut PlaneBuffers<M>,
+                        attempt: u32|
+     -> Result<(TileOutput, bool), TileError> {
+        let start = Instant::now();
+        let fault = cfg
+            .fault_plan
+            .as_deref()
+            .and_then(|plan| plan.tile_fault(tile.index, attempt));
+        if fault.is_some() {
+            fault_ctr.fetch_add(1, Ordering::Relaxed);
+        }
+        match fault {
+            Some(FaultKind::Kernel) => return Err(TileError::Kernel { tile: tile.index }),
+            Some(FaultKind::Stall { millis }) => std::thread::sleep(Duration::from_millis(millis)),
+            _ => {}
+        }
         let mut compute = || {
             Arc::new(compute_tile_precalc::<P>(
                 reference, query, tile, cfg, kahan,
@@ -214,9 +252,63 @@ fn run_generic<P: Real, M: Real>(
             Some(s) => s.fetch_or_compute(tile.index, &mut compute),
             None => (compute(), false),
         };
-        let out = execute_tile_from_precalc_pooled::<M>(&pre, tile, cfg, kahan, cached, bufs);
-        (out, cached)
+        let mut out = execute_tile_from_precalc_pooled::<M>(&pre, tile, cfg, kahan, cached, bufs);
+        if let Some(kind) = fault {
+            apply_plane_fault(&mut out.profile, kind);
+        }
+        // The gate guards every result, faulted or not — but only when
+        // clamping is on; the unclamped ablation produces legitimate NaNs.
+        if cfg.clamp {
+            if let Err(violation) = validate_profile_plane(&out.profile, value_bound) {
+                validation_ctr.fetch_add(1, Ordering::Relaxed);
+                return Err(TileError::PoisonedPlane {
+                    tile: tile.index,
+                    violation,
+                });
+            }
+        }
+        if let Some(deadline) = cfg.tile_deadline {
+            let elapsed = start.elapsed();
+            if elapsed > deadline {
+                return Err(TileError::Timeout {
+                    tile: tile.index,
+                    elapsed_ms: elapsed.as_millis() as u64,
+                    deadline_ms: deadline.as_millis() as u64,
+                });
+            }
+        }
+        Ok((out, cached))
     };
+
+    // Per-tile production with retries, shared verbatim by the inline
+    // single-worker path and the scoped-thread pool so both run the exact
+    // same code. A failing attempt is retried with capped exponential
+    // backoff and re-dispatched away from quarantined devices; the device
+    // index a tile finally ran on rides along to the cost model.
+    let produce =
+        |tile: &Tile, bufs: &mut PlaneBuffers<M>| -> Result<(TileOutput, bool, usize), TileError> {
+            let preferred = assignment[tile.index];
+            let mut attempt: u32 = 0;
+            loop {
+                let dev = health.dispatch(preferred, attempt as usize);
+                match attempt_tile(tile, bufs, attempt) {
+                    Ok((out, cached)) => return Ok((out, cached, dev)),
+                    Err(err) => {
+                        health.record_failure(dev);
+                        if attempt >= cfg.tile_retries {
+                            return Err(err);
+                        }
+                        retry_ctr.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(retry_backoff(
+                            cfg.tile_retry_base,
+                            cfg.tile_retry_cap,
+                            attempt,
+                        ));
+                        attempt += 1;
+                    }
+                }
+            }
+        };
 
     // In-order consumption on the coordinating thread: cost submission
     // bumps the per-device stream counters and the profile merge resolves
@@ -224,13 +316,16 @@ fn run_generic<P: Real, M: Real>(
     // times are bit-identical regardless of worker count.
     let mut precalc_hits = 0usize;
     let mut precalc_misses = 0usize;
-    let mut consume = |tile_index: usize, out: TileOutput, cached: bool| -> Result<(), MdmpError> {
+    let mut consume = |tile_index: usize,
+                       out: TileOutput,
+                       cached: bool,
+                       dev_idx: usize|
+     -> Result<(), MdmpError> {
         if cached {
             precalc_hits += 1;
         } else {
             precalc_misses += 1;
         }
-        let dev_idx = assignment[tile_index];
         submit_tile_costs(
             system,
             dev_idx,
@@ -251,15 +346,34 @@ fn run_generic<P: Real, M: Real>(
     let mut buffer_pool_reuses = 0u64;
     let mut buffer_pool_allocs = 0u64;
     let mut outcome: Result<(), MdmpError> = Ok(());
+    let wrap_tile_error = |source: TileError| {
+        let tile = match source {
+            TileError::Kernel { tile }
+            | TileError::Timeout { tile, .. }
+            | TileError::PoisonedPlane { tile, .. } => tile,
+        };
+        MdmpError::TileFailed {
+            tile,
+            attempts: cfg.tile_retries + 1,
+            source,
+        }
+    };
 
     if host_workers == 1 {
         let mut bufs = PlaneBuffers::<M>::new();
         let busy_start = Instant::now();
         for tile in &tiles {
-            let (out, cached) = produce(tile, &mut bufs);
-            if let Err(e) = consume(tile.index, out, cached) {
-                outcome = Err(e);
-                break;
+            match produce(tile, &mut bufs) {
+                Ok((out, cached, dev)) => {
+                    if let Err(e) = consume(tile.index, out, cached, dev) {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                Err(source) => {
+                    outcome = Err(wrap_tile_error(source));
+                    break;
+                }
             }
         }
         worker_busy_seconds[0] = busy_start.elapsed().as_secs_f64();
@@ -271,7 +385,10 @@ fn run_generic<P: Real, M: Real>(
         // consumes strictly in ascending tile index.
         let next_tile = AtomicUsize::new(0);
         let cancel = AtomicBool::new(false);
-        let (tx, rx) = mpsc::channel::<(usize, TileOutput, bool)>();
+        type TileResult = Result<(TileOutput, bool, usize), TileError>;
+        let (tx, rx) = mpsc::channel::<(usize, TileResult)>();
+        let mut worker_panics = 0usize;
+        let mut tiles_merged = 0usize;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..host_workers)
                 .map(|_| {
@@ -292,9 +409,9 @@ fn run_generic<P: Real, M: Real>(
                                 break;
                             }
                             let t0 = Instant::now();
-                            let (out, cached) = produce(&tiles[idx], &mut bufs);
+                            let result = produce(&tiles[idx], &mut bufs);
                             busy += t0.elapsed().as_secs_f64();
-                            if tx.send((tiles[idx].index, out, cached)).is_err() {
+                            if tx.send((tiles[idx].index, result)).is_err() {
                                 break;
                             }
                         }
@@ -304,27 +421,51 @@ fn run_generic<P: Real, M: Real>(
                 .collect();
             drop(tx);
 
-            let mut pending: BTreeMap<usize, (TileOutput, bool)> = BTreeMap::new();
-            let mut next_consume = 0usize;
-            'recv: while let Ok((tile_index, out, cached)) = rx.recv() {
-                pending.insert(tile_index, (out, cached));
-                while let Some((out, cached)) = pending.remove(&next_consume) {
-                    if let Err(e) = consume(next_consume, out, cached) {
+            let mut pending: BTreeMap<usize, (TileOutput, bool, usize)> = BTreeMap::new();
+            'recv: while let Ok((tile_index, result)) = rx.recv() {
+                match result {
+                    Ok(payload) => {
+                        pending.insert(tile_index, payload);
+                    }
+                    Err(source) => {
+                        outcome = Err(wrap_tile_error(source));
+                        cancel.store(true, Ordering::Relaxed);
+                        break 'recv;
+                    }
+                }
+                while let Some((out, cached, dev)) = pending.remove(&tiles_merged) {
+                    if let Err(e) = consume(tiles_merged, out, cached, dev) {
                         outcome = Err(e);
                         cancel.store(true, Ordering::Relaxed);
                         break 'recv;
                     }
-                    next_consume += 1;
+                    tiles_merged += 1;
                 }
             }
             drop(rx);
+            // A panicked worker must not take the coordinator down with a
+            // secondary panic: its claimed tile never arrives, which the
+            // missing-tile check below converts into a typed error.
             for (slot, handle) in handles.into_iter().enumerate() {
-                let (busy, reuses, executed) = handle.join().expect("tile worker panicked");
-                worker_busy_seconds[slot] = busy;
-                buffer_pool_reuses += reuses;
-                buffer_pool_allocs += u64::from(executed > 0);
+                match handle.join() {
+                    Ok((busy, reuses, executed)) => {
+                        worker_busy_seconds[slot] = busy;
+                        buffer_pool_reuses += reuses;
+                        buffer_pool_allocs += u64::from(executed > 0);
+                    }
+                    Err(_) => worker_panics += 1,
+                }
             }
         });
+        // The channel drained without every tile reaching the merge: a
+        // worker died (panic) or went silent. Surfacing a typed error here
+        // is what keeps a dead worker from yielding a *partial* profile.
+        if outcome.is_ok() && (tiles_merged < tiles.len() || worker_panics > 0) {
+            outcome = Err(MdmpError::TilesMissing {
+                merged: tiles_merged,
+                expected: tiles.len(),
+            });
+        }
     }
     outcome?;
     let wall_seconds = wall_start.elapsed().as_secs_f64();
@@ -350,7 +491,16 @@ fn run_generic<P: Real, M: Real>(
         worker_busy_seconds,
         buffer_pool_reuses,
         buffer_pool_allocs,
+        tile_retries: retry_ctr.load(Ordering::Relaxed),
+        plane_validation_failures: validation_ctr.load(Ordering::Relaxed),
+        faults_injected: fault_ctr.load(Ordering::Relaxed),
+        quarantined_devices: health.quarantined(),
     })
+}
+
+/// Capped exponential backoff: `base · 2^attempt`, never above `cap`.
+pub(crate) fn retry_backoff(base: Duration, cap: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(16)).min(cap)
 }
 
 /// Overhead-overlap factor for a run (see [`OVERHEAD_OVERLAP_CAP`]): full
@@ -579,6 +729,147 @@ mod tests {
         // cost HBM bytes — but the kernel class must vanish.)
         assert_eq!(warm.ledger.seconds(KernelClass::Precalc), 0.0);
         assert!(cold.ledger.seconds(KernelClass::Precalc) > 0.0);
+    }
+
+    #[test]
+    fn injected_faults_with_retries_are_invisible() {
+        use mdmp_faults::{FaultKind, FaultPlan};
+        let (r, q) = small_pair(160, 2, 12);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp16).with_tiles(4);
+        let clean = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        assert_eq!(clean.tile_retries, 0);
+        assert_eq!(clean.faults_injected, 0);
+
+        let plan = FaultPlan::new()
+            .with_fault(0, FaultKind::Kernel)
+            .with_fault(1, FaultKind::Stall { millis: 600 })
+            .with_fault(2, FaultKind::PoisonNan);
+        // The deadline must sit well above the genuine (debug-build) tile
+        // compute time and well below the injected stall.
+        let faulted_cfg = cfg
+            .clone()
+            .with_fault_plan(Some(Arc::new(plan)))
+            .with_tile_deadline(Some(std::time::Duration::from_millis(250)));
+        let faulted = run_with_mode(&r, &q, &faulted_cfg, &mut sys).unwrap();
+        assert_eq!(
+            clean.profile, faulted.profile,
+            "retried faults must be invisible in the result"
+        );
+        assert_eq!(faulted.faults_injected, 3);
+        assert_eq!(faulted.tile_retries, 3, "one retry per faulted tile");
+        assert_eq!(faulted.plane_validation_failures, 1, "the NaN poison");
+    }
+
+    #[test]
+    fn exhausted_retries_yield_typed_error_not_partial_profile() {
+        use mdmp_faults::{FaultKind, FaultPlan};
+        let (r, q) = small_pair(160, 2, 12);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let plan = FaultPlan::new().with_fault(2, FaultKind::Kernel).always();
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp64)
+            .with_tiles(4)
+            .with_fault_plan(Some(Arc::new(plan)))
+            .with_tile_retries(1);
+        let err = run_with_mode(&r, &q, &cfg, &mut sys).unwrap_err();
+        match err {
+            MdmpError::TileFailed {
+                tile,
+                attempts,
+                source,
+            } => {
+                assert_eq!(tile, 2);
+                assert_eq!(attempts, 2);
+                assert_eq!(source, crate::config::TileError::Kernel { tile: 2 });
+            }
+            other => panic!("expected TileFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_kernel_times_out_and_retry_succeeds() {
+        use mdmp_faults::{FaultKind, FaultPlan};
+        let (r, q) = small_pair(128, 2, 8);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let plan = FaultPlan::new().with_fault(0, FaultKind::Stall { millis: 600 });
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp32)
+            .with_tiles(2)
+            .with_fault_plan(Some(Arc::new(plan)))
+            .with_tile_deadline(Some(std::time::Duration::from_millis(250)));
+        let run = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        assert_eq!(run.tile_retries, 1);
+        // And with the deadline disabled the stall is merely slow, not fatal.
+        let plan = FaultPlan::new().with_fault(0, FaultKind::Stall { millis: 5 });
+        let lax = MdmpConfig::new(8, PrecisionMode::Fp32)
+            .with_tiles(2)
+            .with_fault_plan(Some(Arc::new(plan)));
+        let slow = run_with_mode(&r, &q, &lax, &mut sys).unwrap();
+        assert_eq!(slow.tile_retries, 0);
+        assert_eq!(run.profile, slow.profile);
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_device_but_run_degrades_gracefully() {
+        use mdmp_faults::{FaultKind, FaultPlan};
+        let (r, q) = small_pair(240, 2, 16);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        let cfg = MdmpConfig::new(16, PrecisionMode::Fp64).with_tiles(8);
+        let clean = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        // Round-robin puts even tiles on device 0; fail three of them.
+        let plan = FaultPlan::new()
+            .with_fault(0, FaultKind::Kernel)
+            .with_fault(2, FaultKind::Kernel)
+            .with_fault(4, FaultKind::Kernel);
+        let chaotic_cfg = cfg
+            .clone()
+            .with_fault_plan(Some(Arc::new(plan)))
+            .with_quarantine_threshold(3);
+        let run = run_with_mode(&r, &q, &chaotic_cfg, &mut sys).unwrap();
+        assert_eq!(run.quarantined_devices, vec![0]);
+        assert_eq!(
+            clean.profile, run.profile,
+            "degraded run still produces the full, correct profile"
+        );
+    }
+
+    #[test]
+    fn dead_worker_surfaces_tiles_missing_instead_of_partial_result() {
+        struct PanickyStore;
+        impl PrecalcStore for PanickyStore {
+            fn lookup(&self, tile_index: usize) -> Option<Arc<crate::tile_exec::TilePrecalc>> {
+                assert!(tile_index != 1, "injected worker death on tile 1");
+                None
+            }
+            fn store(&self, _: usize, _: &Arc<crate::tile_exec::TilePrecalc>) {}
+        }
+        let (r, q) = small_pair(160, 2, 12);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp64)
+            .with_tiles(4)
+            .with_host_workers(2);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the injected panic quiet
+        let err = run_with_mode_cached(&r, &q, &cfg, &mut sys, Some(&PanickyStore)).unwrap_err();
+        std::panic::set_hook(prev_hook);
+        match err {
+            MdmpError::TilesMissing { merged, expected } => {
+                assert!(merged < expected, "{merged} vs {expected}");
+                assert_eq!(expected, 4);
+            }
+            other => panic!("expected TilesMissing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential() {
+        use std::time::Duration;
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(50);
+        assert_eq!(retry_backoff(base, cap, 0), Duration::from_millis(1));
+        assert_eq!(retry_backoff(base, cap, 1), Duration::from_millis(2));
+        assert_eq!(retry_backoff(base, cap, 5), Duration::from_millis(32));
+        assert_eq!(retry_backoff(base, cap, 6), cap);
+        assert_eq!(retry_backoff(base, cap, 63), cap);
     }
 
     #[test]

@@ -55,14 +55,15 @@ pub mod tiling;
 
 pub use analysis::{motif_subspace, top_discords, top_motifs, Discord, Motif};
 pub use anytime::{scrimp_anytime, AnytimeProgress};
-pub use config::{MdmpConfig, MdmpError};
+pub use config::{MdmpConfig, MdmpError, TileError};
 pub use driver::{run_with_mode, run_with_mode_cached, MdmpRun, PrecalcStore};
 pub use estimate::{estimate_run, RunEstimate};
 pub use multinode::{estimate_cluster, run_on_cluster, ClusterRun};
 pub use profile::MatrixProfile;
 pub use streaming::StreamingProfile;
 pub use tile_exec::{
-    compute_tile_precalc, execute_tile, execute_tile_from_precalc,
-    execute_tile_from_precalc_pooled, PlaneBuffers, TilePrecalc,
+    apply_plane_fault, compute_tile_precalc, execute_tile, execute_tile_from_precalc,
+    execute_tile_from_precalc_pooled, max_profile_value, validate_profile_plane, PlaneBuffers,
+    PlaneViolation, TilePrecalc,
 };
 pub use tiling::{assign_tiles, assign_tiles_weighted, compute_tile_list, Tile, TileSchedule};

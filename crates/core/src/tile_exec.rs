@@ -21,8 +21,10 @@ use crate::precalc::{compute_stats, convert_qt, initial_qt, SeriesDevice, Stats}
 use crate::profile::MatrixProfile;
 use crate::tiling::Tile;
 use mdmp_data::MultiDimSeries;
+use mdmp_faults::FaultKind;
 use mdmp_gpu_sim::KernelCost;
 use mdmp_precision::Real;
+use std::fmt;
 
 /// The functional result of one tile plus the costs to charge the device.
 #[derive(Debug)]
@@ -255,6 +257,112 @@ pub fn execute_tile_from_precalc_pooled<M: Real>(
     }
 }
 
+/// What the plane validation gate found wrong with a tile's result
+/// ([`validate_profile_plane`]). Counts cover the whole plane; the first
+/// offending `(column, dimension)` pair is kept for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlaneViolation {
+    /// NaN profile values.
+    pub nan: usize,
+    /// Non-finite values paired with a real match index (a genuine unset
+    /// entry is `+∞` with index `-1`, which is legal).
+    pub inf: usize,
+    /// Negative values (a z-normalized distance cannot be).
+    pub negative: usize,
+    /// Finite values above the analytic distance bound — the check that
+    /// catches saturated reduced-precision values, which are finite and
+    /// positive and would slip past a pure NaN/Inf scan.
+    pub out_of_bound: usize,
+    /// First offending `(column, dimension)`.
+    pub first: (usize, usize),
+}
+
+impl PlaneViolation {
+    fn any(&self) -> bool {
+        self.nan + self.inf + self.negative + self.out_of_bound > 0
+    }
+}
+
+impl fmt::Display for PlaneViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} NaN, {} Inf, {} negative, {} out-of-bound; first at column {} dim {}",
+            self.nan, self.inf, self.negative, self.out_of_bound, self.first.0, self.first.1
+        )
+    }
+}
+
+/// The largest value a correct profile entry can take for segment length
+/// `m`: the z-normalized distance bound `2√m`, widened by 25% of slack for
+/// reduced-precision rounding plus one absolute unit for the very short
+/// windows where the relative slack is thin.
+pub fn max_profile_value(m: usize) -> f64 {
+    2.5 * (m as f64).sqrt() + 1.0
+}
+
+/// Validate a tile's result plane: no NaN, no Inf outside genuine unset
+/// entries (`+∞` paired with index `-1`), no negative distances, nothing
+/// above `max_value` (see [`max_profile_value`]). The bound check is what
+/// catches *saturated* reduced-precision results — e.g. an FP16 plane
+/// pinned at `65504`, which is finite and would mask an overflow that FP32
+/// would have reported as Inf.
+pub fn validate_profile_plane(
+    profile: &MatrixProfile,
+    max_value: f64,
+) -> Result<(), PlaneViolation> {
+    let mut v = PlaneViolation::default();
+    let mut first: Option<(usize, usize)> = None;
+    for k in 0..profile.dims() {
+        let values = profile.profile_dim(k);
+        let indices = profile.index_dim(k);
+        for (j, (&p, &i)) in values.iter().zip(indices).enumerate() {
+            let bad = if p.is_nan() {
+                v.nan += 1;
+                true
+            } else if p.is_infinite() || i == -1 {
+                // Only the exact unset pair (+∞, -1) is legal.
+                let unset = p == f64::INFINITY && i == -1;
+                if !unset {
+                    v.inf += 1;
+                }
+                !unset
+            } else if p < 0.0 {
+                v.negative += 1;
+                true
+            } else if p > max_value {
+                v.out_of_bound += 1;
+                true
+            } else {
+                false
+            };
+            if bad && first.is_none() {
+                first = Some((j, k));
+            }
+        }
+    }
+    if v.any() {
+        v.first = first.unwrap_or((0, 0));
+        return Err(v);
+    }
+    Ok(())
+}
+
+/// Corrupt one entry of a tile's result plane according to a poison
+/// [`FaultKind`] — the functional stand-in for a device writing garbage.
+/// The first *set* entry is targeted so an injected `+∞` is distinguishable
+/// from a legitimate unset entry. Non-poison kinds are no-ops.
+pub fn apply_plane_fault(profile: &mut MatrixProfile, kind: FaultKind) {
+    let (p, idx) = profile.planes_mut();
+    let o = idx.iter().position(|&i| i != -1).unwrap_or(0);
+    match kind {
+        FaultKind::PoisonNan => p[o] = f64::NAN,
+        FaultKind::PoisonInf => p[o] = f64::INFINITY,
+        FaultKind::BitFlip { bit } => p[o] = f64::from_bits(p[o].to_bits() ^ (1u64 << bit)),
+        FaultKind::Kernel | FaultKind::Stall { .. } => {}
+    }
+}
+
 /// The modelled costs of one tile, independent of functional execution —
 /// shared by [`execute_tile`] and the paper-scale estimator
 /// (`crate::estimate`).
@@ -480,6 +588,127 @@ mod tests {
         // Costs: precalc in FP32 bytes, main kernels in FP16 bytes.
         assert_eq!(out.kernel_costs[0].format, mdmp_precision::Format::Fp32);
         assert_eq!(out.kernel_costs[1].format, mdmp_precision::Format::Fp16);
+    }
+
+    /// Execute one small tile in `mode` and return its (validated-clean)
+    /// profile for the gate tests to corrupt.
+    fn tile_profile(mode: PrecisionMode) -> (MatrixProfile, f64) {
+        let m = 10;
+        let r = series(1, 2, 80);
+        let q = series(5, 2, 70);
+        let tile = compute_tile_list(r.n_segments(m), q.n_segments(m), 1).unwrap()[0];
+        let cfg = MdmpConfig::new(m, mode);
+        let out = match mode {
+            PrecisionMode::Fp64 => execute_tile::<f64, f64>(&r, &q, &tile, &cfg, false),
+            PrecisionMode::Fp32 => execute_tile::<f32, f32>(&r, &q, &tile, &cfg, false),
+            PrecisionMode::Fp16 => execute_tile::<Half, Half>(&r, &q, &tile, &cfg, false),
+            PrecisionMode::Mixed => execute_tile::<f32, Half>(&r, &q, &tile, &cfg, false),
+            PrecisionMode::Fp16c => execute_tile::<Half, Half>(&r, &q, &tile, &cfg, true),
+            _ => unreachable!("gate tests cover the paper's five modes"),
+        };
+        (out.profile, max_profile_value(m))
+    }
+
+    const PAPER_MODES: [PrecisionMode; 5] = [
+        PrecisionMode::Fp64,
+        PrecisionMode::Fp32,
+        PrecisionMode::Fp16,
+        PrecisionMode::Mixed,
+        PrecisionMode::Fp16c,
+    ];
+
+    #[test]
+    fn gate_passes_clean_planes_in_every_mode() {
+        for mode in PAPER_MODES {
+            let (profile, bound) = tile_profile(mode);
+            assert!(
+                validate_profile_plane(&profile, bound).is_ok(),
+                "{mode}: clean plane rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_catches_nan_and_inf_in_every_mode() {
+        for mode in PAPER_MODES {
+            let (clean, bound) = tile_profile(mode);
+            let mut poisoned = clean.clone();
+            apply_plane_fault(&mut poisoned, FaultKind::PoisonNan);
+            let v = validate_profile_plane(&poisoned, bound).unwrap_err();
+            assert_eq!(v.nan, 1, "{mode}: NaN not counted");
+
+            let mut poisoned = clean.clone();
+            apply_plane_fault(&mut poisoned, FaultKind::PoisonInf);
+            let v = validate_profile_plane(&poisoned, bound).unwrap_err();
+            assert_eq!(v.inf, 1, "{mode}: Inf not counted");
+        }
+    }
+
+    #[test]
+    fn gate_catches_sign_flip_but_not_low_mantissa_flip() {
+        for mode in PAPER_MODES {
+            let (clean, bound) = tile_profile(mode);
+            // Sign-flip an entry with a clearly nonzero value (flipping an
+            // exact 0.0 yields -0.0, which is indistinguishable on purpose).
+            let mut flipped = clean.clone();
+            {
+                let (p, _) = flipped.planes_mut();
+                let o = p
+                    .iter()
+                    .position(|&v| v > 0.1)
+                    .expect("some distance is nonzero");
+                p[o] = f64::from_bits(p[o].to_bits() ^ (1u64 << 63));
+            }
+            let v = validate_profile_plane(&flipped, bound).unwrap_err();
+            assert_eq!(v.negative, 1, "{mode}: sign flip not caught");
+
+            // A low-mantissa flip perturbs the value by parts-per-trillion:
+            // finite, positive, in-bound — the documented blind spot of the
+            // gate (DESIGN.md §9).
+            let mut flipped = clean.clone();
+            apply_plane_fault(&mut flipped, FaultKind::BitFlip { bit: 2 });
+            assert!(
+                validate_profile_plane(&flipped, bound).is_ok(),
+                "{mode}: low-mantissa flips are undetectable by design"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_bound_check_catches_fp16c_saturation_that_masks_inf() {
+        // In FP16/FP16C an overflowing distance can saturate at
+        // Half::MAX = 65504 instead of reaching Inf (saturating arithmetic
+        // masks the overflow), so `is_infinite()` alone would pass the
+        // plane. The analytic bound 2.5√m + 1 is what catches it.
+        let (clean, bound) = tile_profile(PrecisionMode::Fp16c);
+        let saturated = Half::MAX.to_f64();
+        assert!(saturated.is_finite() && saturated > bound);
+        let mut poisoned = clean.clone();
+        {
+            let (p, idx) = poisoned.planes_mut();
+            let o = idx.iter().position(|&i| i != -1).unwrap();
+            p[o] = saturated;
+        }
+        let v = validate_profile_plane(&poisoned, bound).unwrap_err();
+        assert_eq!(v.out_of_bound, 1);
+        assert_eq!(v.nan + v.inf, 0, "saturation is invisible to NaN/Inf scans");
+    }
+
+    #[test]
+    fn gate_accepts_genuine_unset_entries_but_not_partial_ones() {
+        // Self-join exclusion zones leave legal (+Inf, -1) pairs.
+        let unset = MatrixProfile::new_unset(4, 2);
+        assert!(validate_profile_plane(&unset, 10.0).is_ok());
+
+        // A set value paired with index -1 is corruption, not unset.
+        let mut partial = MatrixProfile::new_unset(4, 2);
+        {
+            let (p, _) = partial.planes_mut();
+            p[0] = 1.0;
+        }
+        let v = validate_profile_plane(&partial, 10.0).unwrap_err();
+        assert_eq!(v.inf, 1);
+        assert_eq!(v.first, (0, 0));
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! # mdmp-faults
+//!
+//! Deterministic, seed-driven fault injection for the mdmp pipeline — the
+//! chaos-testing backbone behind DESIGN.md §9 ("Failure model").
+//!
+//! A [`FaultPlan`] decides, purely as a function of `(seed, tile, attempt)`
+//! plus an optional global fire budget, whether a simulated device should
+//! misbehave while executing a tile:
+//!
+//! * **kernel failure** — the tile kernel aborts and returns no result;
+//! * **stall** — the kernel sleeps past its deadline before completing;
+//! * **poisoned plane** — the result plane comes back with a NaN, an Inf,
+//!   or a flipped bit (silent data corruption in reduced precision);
+//! * **connection drop** — the service closes a client connection mid-job
+//!   (a plan-level property, not a per-tile one).
+//!
+//! Determinism is the whole point: the same plan string produces the same
+//! faults on every run, on every worker-thread count, because the decision
+//! never consults wall-clock time or ambient randomness. Probabilistic
+//! rates are derived by hashing `(seed, tile, kind)` with SplitMix64, so
+//! they too replay exactly.
+//!
+//! ## Plan grammar
+//!
+//! A plan is a comma-separated list of directives, e.g.
+//! `--fault-plan "kernel@0,stall@3:40,nan@5,seed=7,pkernel=0.1"`:
+//!
+//! | directive | meaning |
+//! |---|---|
+//! | `kernel@T` | tile `T`'s kernel fails |
+//! | `stall@T` / `stall@T:MS` | tile `T` stalls (default 30 ms) |
+//! | `nan@T` / `inf@T` | tile `T`'s plane is poisoned with NaN / +Inf |
+//! | `flip@T:B` | bit `B` (0–63) of one plane value is flipped |
+//! | `drop` | the service drops the client connection once mid-job |
+//! | `seed=N` | seed for the probabilistic directives |
+//! | `pkernel=F` / `pstall=F` / `pnan=F` | per-tile fault probabilities |
+//! | `stall-ms=MS` | stall length for probabilistic stalls |
+//! | `attempts=N` \| `attempts=all` | inject on attempts `< N` (default 1) |
+//! | `budget=N` | at most `N` injections total, across all tiles |
+//!
+//! With the default `attempts=1` every fault fires only on a tile's first
+//! attempt, so a single retry always succeeds and a retried run is
+//! bit-identical to a fault-free one. `attempts=all` makes retries futile —
+//! the exhausted-retry error paths. `budget=N` spans job attempts (the
+//! plan is shared via `Arc`), so a service-level retry of a whole job can
+//! observe the fault burning out.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default stall length when a directive does not specify one.
+pub const DEFAULT_STALL_MS: u64 = 30;
+
+/// What a fault injection does to one tile-kernel attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The kernel aborts; no result plane is produced.
+    Kernel,
+    /// The kernel completes, but only after sleeping `millis` — long
+    /// enough to blow a per-kernel deadline if one is configured.
+    Stall {
+        /// Injected delay in milliseconds.
+        millis: u64,
+    },
+    /// The result plane carries a NaN value.
+    PoisonNan,
+    /// The result plane carries a +Inf value where a finite distance
+    /// belongs.
+    PoisonInf,
+    /// One bit of a result value is XOR-flipped (bit 63 = sign,
+    /// 62–52 = exponent, 51–0 = mantissa).
+    BitFlip {
+        /// Bit index in the f64 representation, 0–63.
+        bit: u8,
+    },
+}
+
+impl FaultKind {
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::Kernel => 1,
+            FaultKind::Stall { .. } => 2,
+            FaultKind::PoisonNan => 3,
+            FaultKind::PoisonInf => 4,
+            FaultKind::BitFlip { .. } => 5,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Kernel => write!(f, "kernel"),
+            FaultKind::Stall { millis } => write!(f, "stall:{millis}"),
+            FaultKind::PoisonNan => write!(f, "nan"),
+            FaultKind::PoisonInf => write!(f, "inf"),
+            FaultKind::BitFlip { bit } => write!(f, "flip:{bit}"),
+        }
+    }
+}
+
+/// Error parsing a fault-plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError(String);
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A deterministic fault schedule for one run (or one service job).
+///
+/// Cheap to share behind an `Arc`; the only mutable state is the optional
+/// fire budget, which is an atomic so concurrent tile workers draw from it
+/// race-free.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Inject while a tile's attempt number is below this (1 = first
+    /// attempt only, `u32::MAX` = every attempt).
+    faulty_attempts: u32,
+    /// Remaining total injections; `None` = unlimited.
+    budget: Option<AtomicU64>,
+    /// Explicit `(tile, fault)` directives; first match wins.
+    directives: Vec<(usize, FaultKind)>,
+    p_kernel: f64,
+    p_stall: f64,
+    p_nan: f64,
+    stall_ms: u64,
+    drop_connection: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            faulty_attempts: 1,
+            budget: None,
+            directives: Vec::new(),
+            p_kernel: 0.0,
+            p_stall: 0.0,
+            p_nan: 0.0,
+            stall_ms: DEFAULT_STALL_MS,
+            drop_connection: false,
+        }
+    }
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            faulty_attempts: self.faulty_attempts,
+            budget: self
+                .budget
+                .as_ref()
+                .map(|b| AtomicU64::new(b.load(Ordering::Relaxed))),
+            directives: self.directives.clone(),
+            p_kernel: self.p_kernel,
+            p_stall: self.p_stall,
+            p_nan: self.p_nan,
+            stall_ms: self.stall_ms,
+            drop_connection: self.drop_connection,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan that injects nothing.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder: set the seed for probabilistic directives.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: add an explicit fault on tile `tile`.
+    pub fn with_fault(mut self, tile: usize, kind: FaultKind) -> FaultPlan {
+        self.directives.push((tile, kind));
+        self
+    }
+
+    /// Builder: inject on attempts `< n` (default 1; [`FaultPlan::always`]
+    /// for every attempt).
+    pub fn with_faulty_attempts(mut self, n: u32) -> FaultPlan {
+        self.faulty_attempts = n;
+        self
+    }
+
+    /// Builder: inject on every attempt — retries cannot outrun the fault.
+    pub fn always(self) -> FaultPlan {
+        self.with_faulty_attempts(u32::MAX)
+    }
+
+    /// Builder: cap the total number of injections across the plan's life.
+    pub fn with_budget(mut self, n: u64) -> FaultPlan {
+        self.budget = Some(AtomicU64::new(n));
+        self
+    }
+
+    /// Builder: per-tile kernel-failure probability.
+    pub fn with_p_kernel(mut self, p: f64) -> FaultPlan {
+        self.p_kernel = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: per-tile stall probability.
+    pub fn with_p_stall(mut self, p: f64) -> FaultPlan {
+        self.p_stall = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: per-tile NaN-poison probability.
+    pub fn with_p_nan(mut self, p: f64) -> FaultPlan {
+        self.p_nan = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: stall length for probabilistic stalls.
+    pub fn with_stall_ms(mut self, ms: u64) -> FaultPlan {
+        self.stall_ms = ms;
+        self
+    }
+
+    /// Builder: drop the client connection once mid-job (service level).
+    pub fn with_connection_drop(mut self) -> FaultPlan {
+        self.drop_connection = true;
+        self
+    }
+
+    /// Whether this plan asks the service to drop the client connection.
+    pub fn drops_connection(&self) -> bool {
+        self.drop_connection
+    }
+
+    /// Whether the plan can inject anything at the tile level.
+    pub fn has_tile_faults(&self) -> bool {
+        !self.directives.is_empty() || self.p_kernel > 0.0 || self.p_stall > 0.0 || self.p_nan > 0.0
+    }
+
+    /// The fault to inject on `attempt` (0-based) of `tile`, if any.
+    ///
+    /// Deterministic in `(seed, tile)`; the attempt number only gates the
+    /// `attempts=` window. A `Some` return consumes one unit of budget —
+    /// once the budget is spent the plan goes quiet.
+    pub fn tile_fault(&self, tile: usize, attempt: u32) -> Option<FaultKind> {
+        if attempt >= self.faulty_attempts {
+            return None;
+        }
+        let kind = self.decide(tile)?;
+        if let Some(budget) = &self.budget {
+            // Draw one unit; if the pool is already empty the fault fizzles.
+            let drawn = budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if !drawn {
+                return None;
+            }
+        }
+        Some(kind)
+    }
+
+    /// The fault `tile` would suffer, ignoring attempt window and budget.
+    fn decide(&self, tile: usize) -> Option<FaultKind> {
+        if let Some((_, kind)) = self.directives.iter().find(|(t, _)| *t == tile) {
+            return Some(*kind);
+        }
+        if self.p_kernel > 0.0 && unit(self.seed, tile, FaultKind::Kernel.tag()) < self.p_kernel {
+            return Some(FaultKind::Kernel);
+        }
+        let stall = FaultKind::Stall {
+            millis: self.stall_ms,
+        };
+        if self.p_stall > 0.0 && unit(self.seed, tile, stall.tag()) < self.p_stall {
+            return Some(stall);
+        }
+        if self.p_nan > 0.0 && unit(self.seed, tile, FaultKind::PoisonNan.tag()) < self.p_nan {
+            return Some(FaultKind::PoisonNan);
+        }
+        None
+    }
+
+    /// Remaining fire budget, if one is set.
+    pub fn budget_remaining(&self) -> Option<u64> {
+        self.budget.as_ref().map(|b| b.load(Ordering::Relaxed))
+    }
+}
+
+/// SplitMix64 — the same deterministic mixer the vendored `rand` uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A uniform draw in `[0, 1)` keyed by `(seed, tile, kind)`.
+fn unit(seed: u64, tile: usize, tag: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(tile as u64 ^ (tag << 56)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FromStr for FaultPlan {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new();
+        for raw in s.split(',') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part == "drop" {
+                plan.drop_connection = true;
+            } else if let Some((key, value)) = part.split_once('=') {
+                plan.apply_kv(key.trim(), value.trim())?;
+            } else if let Some((kind, target)) = part.split_once('@') {
+                plan.apply_directive(kind.trim(), target.trim())?;
+            } else {
+                return Err(PlanParseError(format!("unknown directive `{part}`")));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl FaultPlan {
+    fn apply_kv(&mut self, key: &str, value: &str) -> Result<(), PlanParseError> {
+        let bad = |what: &str| PlanParseError(format!("bad {what} value `{value}`"));
+        match key {
+            "seed" => self.seed = value.parse().map_err(|_| bad("seed"))?,
+            "pkernel" => self.p_kernel = parse_prob(value)?,
+            "pstall" => self.p_stall = parse_prob(value)?,
+            "pnan" => self.p_nan = parse_prob(value)?,
+            "stall-ms" => self.stall_ms = value.parse().map_err(|_| bad("stall-ms"))?,
+            "attempts" => {
+                self.faulty_attempts = if value == "all" {
+                    u32::MAX
+                } else {
+                    value.parse().map_err(|_| bad("attempts"))?
+                }
+            }
+            "budget" => {
+                self.budget = Some(AtomicU64::new(value.parse().map_err(|_| bad("budget"))?))
+            }
+            _ => return Err(PlanParseError(format!("unknown key `{key}`"))),
+        }
+        Ok(())
+    }
+
+    fn apply_directive(&mut self, kind: &str, target: &str) -> Result<(), PlanParseError> {
+        let (tile_str, arg) = match target.split_once(':') {
+            Some((t, a)) => (t, Some(a)),
+            None => (target, None),
+        };
+        let tile: usize = tile_str
+            .parse()
+            .map_err(|_| PlanParseError(format!("bad tile index `{tile_str}`")))?;
+        let fault = match (kind, arg) {
+            ("kernel", None) => FaultKind::Kernel,
+            ("stall", None) => FaultKind::Stall {
+                millis: self.stall_ms,
+            },
+            ("stall", Some(ms)) => FaultKind::Stall {
+                millis: ms
+                    .parse()
+                    .map_err(|_| PlanParseError(format!("bad stall millis `{ms}`")))?,
+            },
+            ("nan", None) => FaultKind::PoisonNan,
+            ("inf", None) => FaultKind::PoisonInf,
+            ("flip", Some(bit)) => {
+                let bit: u8 = bit
+                    .parse()
+                    .ok()
+                    .filter(|b| *b < 64)
+                    .ok_or_else(|| PlanParseError(format!("bad bit index `{bit}` (0-63)")))?;
+                FaultKind::BitFlip { bit }
+            }
+            ("flip", None) => {
+                return Err(PlanParseError("flip@T needs a bit index: flip@T:B".into()))
+            }
+            _ => return Err(PlanParseError(format!("unknown directive `{kind}@`"))),
+        };
+        self.directives.push((tile, fault));
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        for (tile, kind) in &self.directives {
+            parts.push(match kind {
+                FaultKind::Kernel => format!("kernel@{tile}"),
+                FaultKind::Stall { millis } => format!("stall@{tile}:{millis}"),
+                FaultKind::PoisonNan => format!("nan@{tile}"),
+                FaultKind::PoisonInf => format!("inf@{tile}"),
+                FaultKind::BitFlip { bit } => format!("flip@{tile}:{bit}"),
+            });
+        }
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.p_kernel > 0.0 {
+            parts.push(format!("pkernel={}", self.p_kernel));
+        }
+        if self.p_stall > 0.0 {
+            parts.push(format!("pstall={}", self.p_stall));
+        }
+        if self.p_nan > 0.0 {
+            parts.push(format!("pnan={}", self.p_nan));
+        }
+        if self.stall_ms != DEFAULT_STALL_MS {
+            parts.push(format!("stall-ms={}", self.stall_ms));
+        }
+        if self.faulty_attempts != 1 {
+            if self.faulty_attempts == u32::MAX {
+                parts.push("attempts=all".into());
+            } else {
+                parts.push(format!("attempts={}", self.faulty_attempts));
+            }
+        }
+        if let Some(b) = self.budget_remaining() {
+            parts.push(format!("budget={b}"));
+        }
+        if self.drop_connection {
+            parts.push("drop".into());
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+fn parse_prob(value: &str) -> Result<f64, PlanParseError> {
+    let p: f64 = value
+        .parse()
+        .map_err(|_| PlanParseError(format!("bad probability `{value}`")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(PlanParseError(format!(
+            "probability `{value}` outside [0, 1]"
+        )));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let plan = FaultPlan::new();
+        for tile in 0..64 {
+            assert_eq!(plan.tile_fault(tile, 0), None);
+        }
+        assert!(!plan.drops_connection());
+        assert!(!plan.has_tile_faults());
+    }
+
+    #[test]
+    fn explicit_directives_fire_on_first_attempt_only() {
+        let plan = FaultPlan::new()
+            .with_fault(3, FaultKind::Kernel)
+            .with_fault(5, FaultKind::PoisonNan);
+        assert_eq!(plan.tile_fault(3, 0), Some(FaultKind::Kernel));
+        assert_eq!(plan.tile_fault(3, 1), None, "retry must succeed");
+        assert_eq!(plan.tile_fault(5, 0), Some(FaultKind::PoisonNan));
+        assert_eq!(plan.tile_fault(4, 0), None);
+    }
+
+    #[test]
+    fn attempts_all_defeats_retries() {
+        let plan = FaultPlan::new().with_fault(0, FaultKind::Kernel).always();
+        for attempt in 0..10 {
+            assert_eq!(plan.tile_fault(0, attempt), Some(FaultKind::Kernel));
+        }
+    }
+
+    #[test]
+    fn budget_burns_out() {
+        let plan = FaultPlan::new()
+            .with_fault(0, FaultKind::Kernel)
+            .always()
+            .with_budget(2);
+        assert!(plan.tile_fault(0, 0).is_some());
+        assert!(plan.tile_fault(0, 1).is_some());
+        assert_eq!(plan.tile_fault(0, 2), None, "budget exhausted");
+        assert_eq!(plan.budget_remaining(), Some(0));
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::new().with_seed(42).with_p_kernel(0.25);
+        let fired: Vec<usize> = (0..1000).filter(|&t| plan.decide(t).is_some()).collect();
+        let again: Vec<usize> = (0..1000).filter(|&t| plan.decide(t).is_some()).collect();
+        assert_eq!(fired, again, "same seed, same faults");
+        assert!(
+            (150..350).contains(&fired.len()),
+            "p=0.25 fired {} of 1000",
+            fired.len()
+        );
+        let other = FaultPlan::new().with_seed(43).with_p_kernel(0.25);
+        let other_fired: Vec<usize> = (0..1000).filter(|&t| other.decide(t).is_some()).collect();
+        assert_ne!(fired, other_fired, "different seed, different faults");
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = "kernel@0,stall@3:40,nan@5,inf@7,flip@9:62,seed=7,pkernel=0.1,attempts=all,budget=4,drop";
+        let plan: FaultPlan = spec.parse().unwrap();
+        assert_eq!(plan.tile_fault(0, 0), Some(FaultKind::Kernel));
+        assert_eq!(plan.tile_fault(3, 1), Some(FaultKind::Stall { millis: 40 }));
+        assert_eq!(plan.tile_fault(5, 2), Some(FaultKind::PoisonNan));
+        assert_eq!(plan.budget_remaining(), Some(1), "three draws spent");
+        assert!(plan.drops_connection());
+        let rendered = plan.to_string();
+        let reparsed: FaultPlan = rendered.parse().unwrap();
+        assert_eq!(reparsed.to_string(), rendered, "Display/parse fixpoint");
+    }
+
+    #[test]
+    fn default_stall_applies_to_probabilistic_and_bare_directives() {
+        let plan: FaultPlan = "stall@2,stall-ms=75".parse().unwrap();
+        // `stall-ms` after the directive does not rewrite it (first parse
+        // wins), so the bare directive takes the default at parse time.
+        assert_eq!(
+            plan.tile_fault(2, 0),
+            Some(FaultKind::Stall {
+                millis: DEFAULT_STALL_MS
+            })
+        );
+        let plan: FaultPlan = "stall-ms=75,stall@2".parse().unwrap();
+        assert_eq!(plan.tile_fault(2, 0), Some(FaultKind::Stall { millis: 75 }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("bogus".parse::<FaultPlan>().is_err());
+        assert!("kernel@x".parse::<FaultPlan>().is_err());
+        assert!("flip@1".parse::<FaultPlan>().is_err());
+        assert!("flip@1:64".parse::<FaultPlan>().is_err());
+        assert!("pkernel=1.5".parse::<FaultPlan>().is_err());
+        assert!("attempts=maybe".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn clone_snapshots_budget() {
+        let plan = FaultPlan::new()
+            .with_fault(0, FaultKind::Kernel)
+            .always()
+            .with_budget(3);
+        assert!(plan.tile_fault(0, 0).is_some());
+        let copy = plan.clone();
+        assert_eq!(copy.budget_remaining(), Some(2));
+    }
+}

@@ -1,0 +1,167 @@
+//! Device health ledger: tracks per-device kernel failures and quarantines
+//! simulated GPUs that keep failing, so the driver degrades to fewer
+//! devices instead of failing the whole run.
+//!
+//! The ledger is shared by the coordinator and the host worker threads of
+//! the concurrent tile pipeline, so all state lives behind a `Mutex` and
+//! every method takes `&self`. Decisions are deterministic functions of the
+//! recorded failures — no clocks, no randomness — which keeps fault-plan
+//! replays reproducible.
+
+use std::sync::Mutex;
+
+/// Shared per-device failure accounting with quarantine.
+///
+/// A device that accumulates `threshold` failures is quarantined: the
+/// [`DeviceHealth::dispatch`] helper steers new work to the next healthy
+/// device instead. The last healthy device is never quarantined — a run
+/// degrades to one device rather than deadlocking with zero.
+#[derive(Debug)]
+pub struct DeviceHealth {
+    threshold: u32,
+    inner: Mutex<HealthInner>,
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    failures: Vec<u32>,
+    quarantined: Vec<bool>,
+}
+
+impl DeviceHealth {
+    /// A ledger for `n_devices` devices quarantining after `threshold`
+    /// failures (a `threshold` of 0 is treated as 1).
+    pub fn new(n_devices: usize, threshold: u32) -> DeviceHealth {
+        DeviceHealth {
+            threshold: threshold.max(1),
+            inner: Mutex::new(HealthInner {
+                failures: vec![0; n_devices],
+                quarantined: vec![false; n_devices],
+            }),
+        }
+    }
+
+    /// Record one failure on `dev`. Returns `true` when this failure newly
+    /// quarantines the device.
+    pub fn record_failure(&self, dev: usize) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        inner.failures[dev] = inner.failures[dev].saturating_add(1);
+        let over = inner.failures[dev] >= self.threshold;
+        let healthy_elsewhere = inner
+            .quarantined
+            .iter()
+            .enumerate()
+            .any(|(i, &q)| i != dev && !q);
+        if over && !inner.quarantined[dev] && healthy_elsewhere {
+            inner.quarantined[dev] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether `dev` is currently quarantined.
+    pub fn is_quarantined(&self, dev: usize) -> bool {
+        self.inner.lock().unwrap().quarantined[dev]
+    }
+
+    /// Indices of quarantined devices, ascending.
+    pub fn quarantined(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &q)| q.then_some(i))
+            .collect()
+    }
+
+    /// Number of devices still accepting work.
+    pub fn healthy_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Failures recorded against `dev`.
+    pub fn failures(&self, dev: usize) -> u32 {
+        self.inner.lock().unwrap().failures[dev]
+    }
+
+    /// The device that should run a piece of work preferring `preferred`:
+    /// `preferred` itself while healthy, otherwise the `salt`-th healthy
+    /// device after it (round-robin), so retries rotate across survivors.
+    /// With every device quarantined (impossible via
+    /// [`DeviceHealth::record_failure`], which spares the last one) the
+    /// preference stands.
+    pub fn dispatch(&self, preferred: usize, salt: usize) -> usize {
+        let inner = self.inner.lock().unwrap();
+        let n = inner.quarantined.len();
+        if n == 0 || !inner.quarantined[preferred] {
+            return preferred;
+        }
+        let healthy: Vec<usize> = (0..n).filter(|&i| !inner.quarantined[i]).collect();
+        if healthy.is_empty() {
+            return preferred;
+        }
+        // Start from the slot after the preferred device so re-dispatch
+        // spreads over the survivors deterministically.
+        let start = healthy.partition_point(|&i| i < preferred);
+        healthy[(start + salt) % healthy.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantines_at_threshold() {
+        let health = DeviceHealth::new(4, 3);
+        assert!(!health.record_failure(2));
+        assert!(!health.record_failure(2));
+        assert!(health.record_failure(2), "third failure quarantines");
+        assert!(health.is_quarantined(2));
+        assert!(!health.record_failure(2), "already quarantined");
+        assert_eq!(health.quarantined(), vec![2]);
+        assert_eq!(health.healthy_count(), 3);
+        assert_eq!(health.failures(2), 4);
+    }
+
+    #[test]
+    fn never_quarantines_last_healthy_device() {
+        let health = DeviceHealth::new(2, 1);
+        assert!(health.record_failure(0));
+        for _ in 0..10 {
+            assert!(!health.record_failure(1), "last device must stay up");
+        }
+        assert!(!health.is_quarantined(1));
+        assert_eq!(health.healthy_count(), 1);
+    }
+
+    #[test]
+    fn dispatch_prefers_assigned_then_rotates_healthy() {
+        let health = DeviceHealth::new(4, 1);
+        assert_eq!(health.dispatch(1, 0), 1);
+        health.record_failure(1);
+        // Healthy = [0, 2, 3]; slot after device 1 is 2.
+        assert_eq!(health.dispatch(1, 0), 2);
+        assert_eq!(health.dispatch(1, 1), 3);
+        assert_eq!(health.dispatch(1, 2), 0);
+        assert_eq!(health.dispatch(1, 3), 2);
+    }
+
+    #[test]
+    fn single_device_always_dispatches_to_itself() {
+        let health = DeviceHealth::new(1, 1);
+        health.record_failure(0);
+        health.record_failure(0);
+        assert_eq!(health.dispatch(0, 5), 0);
+        assert!(!health.is_quarantined(0));
+    }
+
+    #[test]
+    fn zero_threshold_behaves_like_one() {
+        let health = DeviceHealth::new(3, 0);
+        assert!(health.record_failure(0));
+        assert!(health.is_quarantined(0));
+    }
+}

@@ -31,6 +31,7 @@ pub mod cost;
 pub mod device;
 pub mod executor;
 pub mod grid;
+pub mod health;
 pub mod memory;
 pub mod profiler;
 pub mod simt;
@@ -41,6 +42,7 @@ pub use cluster::{ClusterSystem, Interconnect};
 pub use cost::{CostLedger, KernelClass, KernelCost};
 pub use device::{DeviceKind, DeviceSpec, LaunchConfig};
 pub use executor::{GpuSystem, SimDevice};
+pub use health::DeviceHealth;
 pub use memory::{AllocError, MemoryTracker};
 pub use profiler::UtilizationReport;
 pub use simt::{run_block, run_grid, BitonicScanKernel, BlockKernel, FiberState, ThreadOrder};

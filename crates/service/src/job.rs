@@ -4,11 +4,13 @@
 use mdmp_core::{MatrixProfile, MdmpConfig};
 use mdmp_data::synthetic::{Pattern, SyntheticConfig};
 use mdmp_data::MultiDimSeries;
+use mdmp_faults::FaultPlan;
 use mdmp_precision::PrecisionMode;
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Job identifier (monotone, assigned at submission).
 pub type JobId = u64;
@@ -101,6 +103,17 @@ pub struct JobSpec {
     pub priority: Priority,
     /// Additional attempts after a failed run.
     pub max_retries: u32,
+    /// Fault injection plan for this job (chaos testing); `None` injects
+    /// nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-tile retry budget inside a run (see
+    /// [`MdmpConfig::with_tile_retries`]).
+    pub tile_retries: u32,
+    /// Per-kernel deadline in milliseconds; `None` disables it.
+    pub tile_deadline_ms: Option<u64>,
+    /// Whole-job deadline in milliseconds: once exceeded, the scheduler
+    /// stops retrying and fails the job. `None` disables it.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -120,12 +133,20 @@ impl JobSpec {
             gpus: 1,
             priority: Priority::Normal,
             max_retries: 0,
+            fault_plan: None,
+            tile_retries: 2,
+            tile_deadline_ms: None,
+            deadline_ms: None,
         }
     }
 
     /// The core configuration this spec maps to.
     pub fn config(&self) -> MdmpConfig {
-        MdmpConfig::new(self.m, self.mode).with_tiles(self.tiles)
+        MdmpConfig::new(self.m, self.mode)
+            .with_tiles(self.tiles)
+            .with_fault_plan(self.fault_plan.clone())
+            .with_tile_retries(self.tile_retries)
+            .with_tile_deadline(self.tile_deadline_ms.map(Duration::from_millis))
     }
 
     /// Materialize the input series (generation or file I/O happens here,
@@ -275,6 +296,10 @@ mod tests {
             gpus: 1,
             priority: Priority::Normal,
             max_retries: 0,
+            fault_plan: None,
+            tile_retries: 2,
+            tile_deadline_ms: None,
+            deadline_ms: None,
         };
         let (r1, q1) = spec.materialize().unwrap();
         let (r2, q2) = spec.materialize().unwrap();

@@ -201,6 +201,15 @@ pub struct MetricsRegistry {
     /// Fresh plane-buffer allocations (at most one per host worker per
     /// run).
     pub buffer_pool_allocs: Counter,
+    /// Tile attempts that failed and were retried inside runs (fault
+    /// injection or genuine kernel failures).
+    pub tile_retries: Counter,
+    /// Result planes rejected by the NaN/Inf/bound validation gate.
+    pub plane_validation_failures: Counter,
+    /// Simulated devices quarantined by the health ledger across all runs.
+    pub devices_quarantined: Counter,
+    /// Client connections dropped mid-job by an injected fault plan.
+    pub connection_drops_injected: Counter,
     /// Queue wait (submit → start) per job.
     pub queue_wait: Histogram,
     /// Execution time (start → finish) per job.
@@ -257,7 +266,7 @@ impl MetricsRegistry {
     /// Render the Prometheus-style text exposition page.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 12] = [
+        let counters: [(&str, &Counter); 16] = [
             ("mdmp_jobs_submitted_total", &self.jobs_submitted),
             ("mdmp_jobs_rejected_total", &self.jobs_rejected),
             ("mdmp_jobs_completed_total", &self.jobs_completed),
@@ -273,6 +282,16 @@ impl MetricsRegistry {
             ),
             ("mdmp_buffer_pool_reuses_total", &self.buffer_pool_reuses),
             ("mdmp_buffer_pool_allocs_total", &self.buffer_pool_allocs),
+            ("mdmp_tile_retries_total", &self.tile_retries),
+            (
+                "mdmp_plane_validation_failures_total",
+                &self.plane_validation_failures,
+            ),
+            ("mdmp_device_quarantined", &self.devices_quarantined),
+            (
+                "mdmp_connection_drops_injected_total",
+                &self.connection_drops_injected,
+            ),
         ];
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
@@ -326,6 +345,10 @@ impl MetricsRegistry {
             host_workers: self.host_workers.get().max(0) as u64,
             buffer_pool_reuses: self.buffer_pool_reuses.get(),
             buffer_pool_allocs: self.buffer_pool_allocs.get(),
+            tile_retries: self.tile_retries.get(),
+            plane_validation_failures: self.plane_validation_failures.get(),
+            devices_quarantined: self.devices_quarantined.get(),
+            connection_drops_injected: self.connection_drops_injected.get(),
             worker_busy_seconds: self.worker_busy_seconds(),
             mean_queue_wait_seconds: self.queue_wait.mean(),
             mean_run_seconds: self.run_seconds.mean(),
@@ -378,6 +401,14 @@ pub struct ServiceStats {
     pub buffer_pool_reuses: u64,
     /// Fresh plane-buffer allocations.
     pub buffer_pool_allocs: u64,
+    /// Tile attempts retried inside runs.
+    pub tile_retries: u64,
+    /// Result planes rejected by the validation gate.
+    pub plane_validation_failures: u64,
+    /// Devices quarantined by the health ledger.
+    pub devices_quarantined: u64,
+    /// Connections dropped mid-job by injected fault plans.
+    pub connection_drops_injected: u64,
     /// Busy seconds accumulated per host-worker slot.
     pub worker_busy_seconds: Vec<f64>,
     /// Mean queue wait in seconds.

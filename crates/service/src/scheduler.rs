@@ -16,7 +16,7 @@ use crate::queue::{JobQueue, SubmitError};
 use crate::session::SessionManager;
 use mdmp_core::run_with_mode_cached;
 use mdmp_gpu_sim::DeviceSpec;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -87,6 +87,9 @@ pub struct Service {
     pub sessions: SessionManager,
     shutting_down: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Jobs whose fault plan asks the server to drop the client connection
+    /// once mid-job (consumed by the first `wait` on the job).
+    connection_faults: Mutex<HashSet<JobId>>,
 }
 
 impl Service {
@@ -104,6 +107,7 @@ impl Service {
             sessions: SessionManager::new(),
             shutting_down: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            connection_faults: Mutex::new(HashSet::new()),
             cfg,
         });
         let mut handles = service.workers.lock().unwrap();
@@ -142,6 +146,13 @@ impl Service {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let priority = spec.priority;
+        if spec
+            .fault_plan
+            .as_deref()
+            .is_some_and(|plan| plan.drops_connection())
+        {
+            self.connection_faults.lock().unwrap().insert(id);
+        }
         {
             let mut registry = self.registry.lock().unwrap();
             registry.insert(
@@ -238,6 +249,17 @@ impl Service {
                 .unwrap();
             registry = guard;
         }
+    }
+
+    /// Consume a pending injected connection drop for `id`: `true` exactly
+    /// once for a job whose fault plan carries `drop`, after which the
+    /// connection behaves normally again.
+    pub fn take_connection_fault(&self, id: JobId) -> bool {
+        let fired = self.connection_faults.lock().unwrap().remove(&id);
+        if fired {
+            self.metrics.connection_drops_injected.inc();
+        }
+        fired
     }
 
     /// A metrics snapshot.
@@ -357,6 +379,8 @@ impl Service {
         // leaves the core driver's auto resolution in charge.
         let cfg = spec.config().with_host_workers(self.cfg.host_workers);
         let key = CacheKey::for_job(&reference, &query, spec.m, spec.mode, spec.tiles);
+        let job_deadline = spec.deadline_ms.map(Duration::from_millis);
+        let job_start = Instant::now();
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -377,6 +401,13 @@ impl Service {
                 Ok(run) => {
                     self.metrics.cache_hits.add(run.precalc_hits as u64);
                     self.metrics.cache_misses.add(run.precalc_misses as u64);
+                    self.metrics.tile_retries.add(run.tile_retries);
+                    self.metrics
+                        .plane_validation_failures
+                        .add(run.plane_validation_failures);
+                    self.metrics
+                        .devices_quarantined
+                        .add(run.quarantined_devices.len() as u64);
                     self.metrics.host_workers.set(run.host_workers as i64);
                     self.metrics.buffer_pool_reuses.add(run.buffer_pool_reuses);
                     self.metrics.buffer_pool_allocs.add(run.buffer_pool_allocs);
@@ -397,6 +428,16 @@ impl Service {
                 Err(e) => {
                     if attempt > spec.max_retries {
                         return Err(e.to_string());
+                    }
+                    if let Some(deadline) = job_deadline {
+                        let elapsed = job_start.elapsed();
+                        if elapsed >= deadline {
+                            return Err(format!(
+                                "job deadline exceeded after {} ms ({} attempts); last error: {e}",
+                                elapsed.as_millis(),
+                                attempt
+                            ));
+                        }
                     }
                     self.metrics.jobs_retried.inc();
                     let backoff = self
@@ -485,6 +526,10 @@ mod tests {
                 gpus: 1,
                 priority: Priority::Normal,
                 max_retries: 3,
+                fault_plan: None,
+                tile_retries: 2,
+                tile_deadline_ms: None,
+                deadline_ms: None,
             })
             .unwrap();
         let status = svc.wait(id, Duration::from_secs(30)).unwrap();

@@ -26,6 +26,7 @@ use crate::scheduler::Service;
 use crate::session::{AppendSide, SessionSummary};
 use mdmp_core::MdmpConfig;
 use mdmp_data::MultiDimSeries;
+use mdmp_faults::FaultPlan;
 use mdmp_precision::PrecisionMode;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -134,12 +135,16 @@ fn handle_connection(
         }
         let mut shutdown_done = false;
         let response = match Json::parse(&line) {
-            Ok(request) => {
-                let response = dispatch(service, &request, stop);
-                shutdown_done = request.get("op").and_then(Json::as_str) == Some("shutdown")
-                    && response.get("ok").and_then(Json::as_bool) == Some(true);
-                response
-            }
+            Ok(request) => match dispatch(service, &request, stop) {
+                // An injected connection fault: sever the stream without a
+                // response line, as a crashed server would.
+                Reply::Drop => return Ok(()),
+                Reply::Json(response) => {
+                    shutdown_done = request.get("op").and_then(Json::as_str) == Some("shutdown")
+                        && response.get("ok").and_then(Json::as_bool) == Some(true);
+                    response
+                }
+            },
             Err(e) => error_response(&format!("bad request: {e}")),
         };
         let written = writeln!(writer, "{response}").and_then(|_| writer.flush());
@@ -156,6 +161,13 @@ fn handle_connection(
     Ok(())
 }
 
+/// What a dispatched request produces: a response line, or an instruction
+/// to drop the connection without replying (injected connection fault).
+enum Reply {
+    Json(Json),
+    Drop,
+}
+
 fn error_response(message: &str) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(false)),
@@ -169,15 +181,15 @@ fn ok_response(mut payload: Vec<(&str, Json)>) -> Json {
     Json::obj(pairs)
 }
 
-fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Json {
+fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Reply {
     let Some(op) = request.get("op").and_then(Json::as_str) else {
-        return error_response("missing 'op'");
+        return Reply::Json(error_response("missing 'op'"));
     };
-    match op {
+    Reply::Json(match op {
         "ping" => ok_response(vec![("pong", Json::Bool(true))]),
         "submit" => {
             let Some(job) = request.get("job") else {
-                return error_response("missing 'job'");
+                return Reply::Json(error_response("missing 'job'"));
             };
             match parse_job_spec(job) {
                 Err(e) => error_response(&e),
@@ -202,7 +214,14 @@ fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Json {
                     .and_then(Json::as_f64)
                     .unwrap_or(60.0)
                     .clamp(0.0, 3600.0);
-                match service.wait(id, Duration::from_secs_f64(timeout)) {
+                let status = service.wait(id, Duration::from_secs_f64(timeout));
+                // The job's fault plan may ask for the connection carrying
+                // its completion to be severed — once, after the wait, so
+                // the client observes a drop exactly where it hurts most.
+                if service.take_connection_fault(id) {
+                    return Reply::Drop;
+                }
+                match status {
                     None => error_response(&format!("unknown job {id}")),
                     Some(status) => ok_response(vec![("job", status_json(&status))]),
                 }
@@ -234,7 +253,7 @@ fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Json {
             ok_response(vec![("stopped", Json::Bool(true))])
         }
         other => error_response(&format!("unknown op '{other}'")),
-    }
+    })
 }
 
 /// Parse the wire form of a job spec.
@@ -248,6 +267,11 @@ fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Json {
 ///
 /// A CSV input instead reads `{"kind": "csv", "reference": "...",
 /// "query": "..."}` (omit `query` for a self-join).
+///
+/// Resilience fields (all optional): `fault_plan` is a fault-plan spec
+/// string (e.g. `"seed=7,kernel@0,stall@3:40"`), `tile_retries` the
+/// per-tile retry budget (default 2), `tile_deadline_ms` the per-kernel
+/// deadline, `deadline_ms` the whole-job deadline.
 pub fn parse_job_spec(job: &Json) -> Result<JobSpec, String> {
     let input = job.get("input").ok_or("missing 'input'")?;
     let kind = input
@@ -286,6 +310,13 @@ pub fn parse_job_spec(job: &Json) -> Result<JobSpec, String> {
         Some(s) => s.parse::<Priority>()?,
         None => Priority::Normal,
     };
+    let fault_plan = match job.get("fault_plan").and_then(Json::as_str) {
+        Some(spec) => Some(Arc::new(
+            spec.parse::<FaultPlan>()
+                .map_err(|e| format!("fault_plan: {e}"))?,
+        )),
+        None => None,
+    };
     Ok(JobSpec {
         input,
         m: job.get("m").and_then(Json::as_u64).ok_or("missing 'm'")? as usize,
@@ -294,6 +325,10 @@ pub fn parse_job_spec(job: &Json) -> Result<JobSpec, String> {
         gpus: job.get("gpus").and_then(Json::as_u64).unwrap_or(1) as usize,
         priority,
         max_retries: job.get("max_retries").and_then(Json::as_u64).unwrap_or(0) as u32,
+        fault_plan,
+        tile_retries: job.get("tile_retries").and_then(Json::as_u64).unwrap_or(2) as u32,
+        tile_deadline_ms: job.get("tile_deadline_ms").and_then(Json::as_u64),
+        deadline_ms: job.get("deadline_ms").and_then(Json::as_u64),
     })
 }
 
@@ -385,6 +420,19 @@ fn stats_json(service: &Service) -> Json {
         ("host_workers", Json::num(s.host_workers as f64)),
         ("buffer_pool_reuses", Json::num(s.buffer_pool_reuses as f64)),
         ("buffer_pool_allocs", Json::num(s.buffer_pool_allocs as f64)),
+        ("tile_retries", Json::num(s.tile_retries as f64)),
+        (
+            "plane_validation_failures",
+            Json::num(s.plane_validation_failures as f64),
+        ),
+        (
+            "devices_quarantined",
+            Json::num(s.devices_quarantined as f64),
+        ),
+        (
+            "connection_drops_injected",
+            Json::num(s.connection_drops_injected as f64),
+        ),
         (
             "worker_busy_seconds",
             Json::Arr(

@@ -1,0 +1,211 @@
+//! Service-level resilience tests: stalled workers reaped by the
+//! per-kernel deadline and the job re-leased, job-level deadlines capping
+//! scheduler retries, device quarantine surfacing in the metrics, the
+//! precalc single-flight staying consistent under a fault-injected
+//! leader, and injected connection drops on the wire.
+
+use mdmp_data::MultiDimSeries;
+use mdmp_faults::FaultPlan;
+use mdmp_precision::PrecisionMode;
+use mdmp_service::{request, serve, JobSpec, JobState, Json, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn wave(offset: usize, n: usize, d: usize) -> Arc<MultiDimSeries> {
+    let dims = (0..d)
+        .map(|k| {
+            (0..n)
+                .map(|t| {
+                    ((t + offset) as f64 * 0.13 + k as f64).sin()
+                        + 0.03 * ((t * 7 + k * 3) % 13) as f64
+                })
+                .collect()
+        })
+        .collect();
+    Arc::new(MultiDimSeries::from_dims(dims))
+}
+
+fn plan(spec: &str) -> Option<Arc<FaultPlan>> {
+    Some(Arc::new(spec.parse().unwrap()))
+}
+
+/// A worker stalled past the per-kernel deadline is reaped (the attempt
+/// fails with a timeout instead of hanging), the job is re-leased by the
+/// scheduler, and the retry — with the fault budget spent — succeeds.
+#[test]
+fn stalled_worker_is_reaped_and_job_re_leased() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 1,
+        retry_base: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let (r, q) = (wave(0, 96, 1), wave(31, 96, 1));
+    let mut spec = JobSpec::in_memory(r, q, 8, PrecisionMode::Fp32);
+    // One stall, 600 ms, budgeted to fire exactly once across attempts;
+    // the 250 ms deadline reaps it. Tile retries are off, so the stall
+    // fails the whole first run and the *scheduler* must re-lease.
+    spec.fault_plan = plan("stall@0:600,budget=1");
+    spec.tile_retries = 0;
+    spec.tile_deadline_ms = Some(250);
+    spec.max_retries = 2;
+    let id = svc.submit(spec).unwrap();
+    let status = svc.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    assert_eq!(status.attempts, 2, "first attempt reaped, second clean");
+    let stats = svc.stats();
+    assert!(stats.jobs_retried >= 1);
+    assert_eq!(stats.jobs_completed, 1);
+    svc.shutdown(true);
+}
+
+/// A job-level deadline stops scheduler retries: a permanently faulted
+/// job with a generous retry budget still fails promptly once the
+/// deadline passes, and says so.
+#[test]
+fn job_deadline_caps_scheduler_retries() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 1,
+        retry_base: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let (r, q) = (wave(0, 96, 1), wave(31, 96, 1));
+    let mut spec = JobSpec::in_memory(r, q, 8, PrecisionMode::Fp32);
+    spec.fault_plan = plan("kernel@0,attempts=all");
+    spec.tile_retries = 0;
+    spec.max_retries = 50;
+    spec.deadline_ms = Some(1);
+    let id = svc.submit(spec).unwrap();
+    let status = svc.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(status.state, JobState::Failed);
+    let error = status.error.unwrap();
+    assert!(error.contains("deadline"), "{error}");
+    assert!(
+        status.attempts < 50,
+        "deadline must cut retries short, got {} attempts",
+        status.attempts
+    );
+    svc.shutdown(true);
+}
+
+/// Repeated kernel failures on one device quarantine it; the run degrades
+/// onto the surviving device and the quarantine shows in the service
+/// counters.
+#[test]
+fn quarantined_device_surfaces_in_service_counters() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 2,
+        ..ServiceConfig::default()
+    });
+    let (r, q) = (wave(0, 160, 2), wave(31, 160, 2));
+    let mut spec = JobSpec::in_memory(r, q, 8, PrecisionMode::Fp16);
+    spec.tiles = 8;
+    spec.gpus = 2;
+    // Round-robin puts even tiles on device 0: three kernel faults there
+    // cross the default quarantine threshold.
+    spec.fault_plan = plan("seed=3,kernel@0,kernel@2,kernel@4");
+    let id = svc.submit(spec).unwrap();
+    let status = svc.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+    let stats = svc.stats();
+    assert_eq!(stats.devices_quarantined, 1);
+    assert!(stats.tile_retries >= 3);
+    svc.shutdown(true);
+}
+
+/// Two identical jobs race through the precalc cache while the leader's
+/// compute is fault-injected on every tile: the single-flight protocol
+/// must stay consistent and both jobs must produce the same profile.
+#[test]
+fn single_flight_cache_consistent_with_fault_injected_leader() {
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        devices: 2,
+        ..ServiceConfig::default()
+    });
+    let (r, q) = (wave(0, 256, 2), wave(57, 256, 2));
+    let faulted = {
+        let mut s = JobSpec::in_memory(Arc::clone(&r), Arc::clone(&q), 16, PrecisionMode::Fp16);
+        s.tiles = 4;
+        s.fault_plan = plan("seed=9,kernel@0,kernel@1,nan@2,inf@3");
+        s
+    };
+    let clean = {
+        let mut s = JobSpec::in_memory(Arc::clone(&r), Arc::clone(&q), 16, PrecisionMode::Fp16);
+        s.tiles = 4;
+        s
+    };
+    let id_faulted = svc.submit(faulted).unwrap();
+    let id_clean = svc.submit(clean).unwrap();
+    let s1 = svc.wait(id_faulted, Duration::from_secs(120)).unwrap();
+    let s2 = svc.wait(id_clean, Duration::from_secs(120)).unwrap();
+    assert_eq!(s1.state, JobState::Done, "{:?}", s1.error);
+    assert_eq!(s2.state, JobState::Done, "{:?}", s2.error);
+    assert_eq!(
+        *s1.outcome.unwrap().profile,
+        *s2.outcome.unwrap().profile,
+        "faulted leader must not corrupt the shared precalc"
+    );
+    let cache = svc.stats();
+    // Each job accounts every tile exactly once (hit or miss); which job
+    // computed a tile first is a race, but the totals are not.
+    assert_eq!(cache.precalc_cache_hits + cache.precalc_cache_misses, 8);
+    assert!(cache.precalc_cache_misses >= 1, "someone computed precalc");
+    svc.shutdown(true);
+}
+
+/// An injected connection drop severs exactly one `wait` response; the
+/// client reconnects and the job result is intact.
+#[test]
+fn connection_drop_severs_one_wait_then_recovers() {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 1,
+        ..ServiceConfig::default()
+    });
+    let mut server = serve(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    let job = Json::obj(vec![
+        (
+            "input",
+            Json::obj(vec![
+                ("kind", Json::str("synthetic")),
+                ("n", Json::num(48.0)),
+                ("d", Json::num(1.0)),
+                ("seed", Json::num(7.0)),
+            ]),
+        ),
+        ("m", Json::num(8.0)),
+        ("mode", Json::str("fp32")),
+        ("fault_plan", Json::str("drop")),
+    ]);
+    let submitted = request(
+        &addr,
+        &Json::obj(vec![("op", Json::str("submit")), ("job", job)]),
+    )
+    .unwrap();
+    assert_eq!(submitted.get("ok"), Some(&Json::Bool(true)), "{submitted}");
+    let id = submitted.get("id").unwrap().as_u64().unwrap();
+
+    let wait_req = Json::obj(vec![
+        ("op", Json::str("wait")),
+        ("id", Json::num(id as f64)),
+        ("timeout_seconds", Json::num(60.0)),
+    ]);
+    // First wait: the connection is dropped mid-job — no response line.
+    assert!(
+        request(&addr, &wait_req).is_err(),
+        "injected drop must sever the first wait"
+    );
+    // Reconnect: the fault is consumed, the job result is intact.
+    let done = request(&addr, &wait_req).unwrap();
+    let job = done.get("job").unwrap();
+    assert_eq!(job.get("state").unwrap().as_str(), Some("done"), "{done}");
+    assert_eq!(svc.stats().connection_drops_injected, 1);
+
+    server.stop();
+    svc.shutdown(true);
+}
