@@ -24,7 +24,7 @@
 //!   clamp       correlation-overshoot clamp ablation             [functional]
 //!   anytime     SCRIMP-style anytime convergence extension       [functional]
 //!   scaling     host-worker scaling of the tile pipeline,
-//!               also writes BENCH_PR2.json                       [measured]
+//!               also writes BENCH_PR4.json                       [measured]
 //!   all         everything above
 //!
 //! --quick shrinks the functional problem sizes (CI-friendly).
@@ -71,9 +71,9 @@ fn run(command: &str, quick: bool) -> bool {
         "anytime" => emit_all(vec![extensions::anytime_convergence(quick)]),
         "scaling" => {
             let table = driver_scaling::driver_scaling(quick);
-            match driver_scaling::write_bench_json(&table, std::path::Path::new("BENCH_PR2.json")) {
+            match driver_scaling::write_bench_json(&table, std::path::Path::new("BENCH_PR4.json")) {
                 Ok(path) => println!("   -> wrote {}", path.display()),
-                Err(e) => eprintln!("   !! could not write BENCH_PR2.json: {e}"),
+                Err(e) => eprintln!("   !! could not write BENCH_PR4.json: {e}"),
             }
             emit_all(vec![table]);
         }

@@ -1,17 +1,19 @@
-//! Host-worker scaling of the concurrent tile pipeline (PR 2).
+//! Host pipeline scaling: fused vs unfused row execution across worker
+//! counts (PR 2's worker sweep, extended by PR 4's fused row pipeline).
 //!
-//! Sweeps the `host_workers` knob over {1, 2, 4, N} for a ≥16-tile
-//! functional workload and reports real wall-clock (`wall_seconds`) per
-//! worker count, the speedup over the 1-worker baseline, and the
-//! buffer-pool accounting. Modelled device time is asserted invariant —
-//! the worker pool changes host wall-clock only, never the simulated
-//! schedule.
+//! For each worker count in {1, 2, 4, N} the ≥16-tile functional workload
+//! runs twice — once with the three-dispatch-per-row pipeline
+//! (`fused_rows(false)`) and once with the fused single-dispatch pass —
+//! and reports real wall-clock, the fused-over-unfused speedup at equal
+//! workers, and the dispatch/pool accounting. Modelled device time is
+//! asserted invariant: neither the worker pool nor row fusion changes the
+//! simulated schedule, only host wall-clock.
 //!
-//! These are *measured* numbers: the speedup attainable depends on the
+//! These are *measured* numbers: the attainable speedup depends on the
 //! machine running the benchmark (`host_cores` in the emitted JSON). On a
 //! single-core container the parallel runs cannot beat the sequential one
-//! and the table records that honestly; on a ≥4-core host the 4-worker
-//! wall time lands at or below half the 1-worker wall time.
+//! and the table records that honestly; the fused-vs-unfused ratio is
+//! meaningful at every core count because both sides run on the same pool.
 
 use crate::report::ExperimentTable;
 use mdmp_core::{run_with_mode, MdmpConfig, MdmpRun};
@@ -55,11 +57,20 @@ fn workload(quick: bool) -> (MultiDimSeries, MultiDimSeries) {
     (pair.reference, pair.query)
 }
 
-fn timed_run(r: &MultiDimSeries, q: &MultiDimSeries, workers: usize, repeats: usize) -> MdmpRun {
+/// One measured configuration: best-of-`repeats` wall clock for a worker
+/// count and pipeline choice on the 16-tile FP32 acceptance workload.
+fn timed_run(
+    r: &MultiDimSeries,
+    q: &MultiDimSeries,
+    workers: usize,
+    fused: bool,
+    repeats: usize,
+) -> MdmpRun {
     // 16 tiles (the acceptance workload) on 4 simulated devices.
     let cfg = MdmpConfig::new(32, PrecisionMode::Fp32)
         .with_tiles(16)
-        .with_host_workers(workers);
+        .with_host_workers(workers)
+        .with_fused_rows(Some(fused));
     let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 4);
     let mut best: Option<MdmpRun> = None;
     for _ in 0..repeats {
@@ -75,69 +86,113 @@ fn timed_run(r: &MultiDimSeries, q: &MultiDimSeries, workers: usize, repeats: us
     best.expect("at least one repeat")
 }
 
-/// The `driver_scaling` experiment: wall-clock per worker count.
+/// The `driver_scaling` experiment: fused vs unfused wall-clock per worker
+/// count. Panics if the two pipelines disagree on the profile or the
+/// modelled schedule — the bench doubles as an end-to-end identity check.
 pub fn driver_scaling(quick: bool) -> ExperimentTable {
     let (r, q) = workload(quick);
     let repeats = if quick { 1 } else { 3 };
     let mut table = ExperimentTable::new(
         "driver_scaling",
         &format!(
-            "host wall-clock vs worker count, 16-tile FP32 workload on {} host cores \
-             (best of {repeats}); modelled device time is worker-invariant",
+            "host wall-clock, fused vs unfused row pipeline per worker count, 16-tile FP32 \
+             workload on {} host cores (best of {repeats}); modelled device time is invariant",
             host_cores()
         ),
         &[
-            "workers",
+            "pipeline/workers",
             "wall_seconds",
-            "speedup_vs_1",
+            "fused_speedup",
             "modeled_s",
-            "buffer_reuses",
-            "buffer_allocs",
+            "elim_dispatch",
+            "pool_reuses",
             "busy_max_s",
         ],
     );
-    let mut baseline_wall = None;
     for workers in worker_sweep() {
-        let run = timed_run(&r, &q, workers, repeats);
-        let baseline = *baseline_wall.get_or_insert(run.wall_seconds);
-        let busy_max = run.worker_busy_seconds.iter().copied().fold(0.0, f64::max);
-        table.push(
-            format!("{workers}"),
-            vec![
-                run.wall_seconds,
-                baseline / run.wall_seconds,
-                run.modeled_seconds,
-                run.buffer_pool_reuses as f64,
-                run.buffer_pool_allocs as f64,
-                busy_max,
-            ],
+        let unfused = timed_run(&r, &q, workers, false, repeats);
+        let fused = timed_run(&r, &q, workers, true, repeats);
+        assert_eq!(
+            unfused.profile, fused.profile,
+            "fused and unfused profiles must be bit-identical"
         );
+        assert_eq!(
+            unfused.modeled_seconds, fused.modeled_seconds,
+            "fusion must not change the modelled schedule"
+        );
+        for (label, run) in [("unfused", &unfused), ("fused", &fused)] {
+            let busy_max = run.worker_busy_seconds.iter().copied().fold(0.0, f64::max);
+            table.push(
+                format!("{label}/{workers}"),
+                vec![
+                    run.wall_seconds,
+                    unfused.wall_seconds / run.wall_seconds,
+                    run.modeled_seconds,
+                    run.eliminated_dispatches as f64,
+                    run.pool_thread_reuses as f64,
+                    busy_max,
+                ],
+            );
+        }
     }
     table
 }
 
-/// Serialize the scaling table as `BENCH_PR2.json` next to `path`'s parent
-/// (pass the repo root to commit it). The JSON records the host core count
-/// so the numbers are interpretable off-machine.
+/// Serialize the scaling table as `BENCH_PR4.json` (pass the repo root's
+/// `BENCH_PR4.json` to commit it). The JSON records the host core count so
+/// the numbers are interpretable off-machine.
 pub fn write_bench_json(table: &ExperimentTable, path: &Path) -> io::Result<PathBuf> {
     let mut rows = String::new();
     for (i, (label, cells)) in table.rows.iter().enumerate() {
+        let (pipeline, workers) = label.split_once('/').unwrap_or((label.as_str(), "1"));
         if i > 0 {
             rows.push_str(",\n");
         }
         rows.push_str(&format!(
-            "    {{\"workers\": {label}, \"wall_seconds\": {:.6}, \"speedup_vs_1\": {:.4}, \
-             \"modeled_seconds\": {:.6}, \"buffer_reuses\": {}, \"buffer_allocs\": {}}}",
+            "    {{\"pipeline\": \"{pipeline}\", \"workers\": {workers}, \
+             \"wall_seconds\": {:.6}, \"fused_speedup_vs_unfused\": {:.4}, \
+             \"modeled_seconds\": {:.6}, \"eliminated_dispatches\": {}, \
+             \"pool_thread_reuses\": {}}}",
             cells[0], cells[1], cells[2], cells[3] as u64, cells[4] as u64
         ));
     }
+    // Cross-reference the committed PR 2 baseline (spawn-per-dispatch,
+    // unfused) when it sits next to the output file, so the headline
+    // "fused+pooled vs PR 2" ratio is recorded in the artifact itself.
+    let baseline = path
+        .parent()
+        .map(|dir| dir.join("BENCH_PR2.json"))
+        .filter(|p| p.exists())
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|text| pr2_single_worker_wall(&text));
+    let baseline_block = match (baseline, table.rows.iter().find(|(l, _)| l == "fused/1")) {
+        (Some(pr2_wall), Some((_, cells))) => format!(
+            "  \"pr2_unfused_baseline\": {{\"wall_seconds\": {pr2_wall:.6}, \
+             \"fused_speedup_vs_pr2\": {:.4}}},\n",
+            pr2_wall / cells[0]
+        ),
+        _ => String::new(),
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"driver_scaling\",\n  \"description\": \"{}\",\n  \
-         \"host_cores\": {},\n  \"workload\": {{\"tiles\": 16, \"mode\": \"fp32\", \
-         \"devices\": 4}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+         \"host_cores\": {},\n{baseline_block}  \"workload\": {{\"tiles\": 16, \
+         \"mode\": \"fp32\", \"devices\": 4}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
         table.description.replace('"', "'"),
         host_cores()
     );
     std::fs::write(path, json)?;
     Ok(path.to_path_buf())
+}
+
+/// The 1-worker `wall_seconds` from the PR 2 benchmark JSON (first result
+/// row with `"workers": 1`). Minimal extraction, not a JSON parser.
+fn pr2_single_worker_wall(text: &str) -> Option<f64> {
+    text.split("{\"workers\": 1,")
+        .nth(1)?
+        .split("\"wall_seconds\": ")
+        .nth(1)?
+        .split(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
 }

@@ -7,7 +7,7 @@
 //! | [`tradeoff`] | Fig. 7 (accuracy–performance vs tile count) |
 //! | [`case_studies`] | Fig. 9 (HPC-ODA), Fig. 10 (genome), Fig. 12 + Table I (turbines) |
 //! | [`extensions`] | beyond-paper studies: multi-node, scheduling & clamp ablations, all-modes table, Fig. 8 timeline, Fig. 11 shapes |
-//! | [`driver_scaling`] | host-worker scaling of the concurrent tile pipeline (BENCH_PR2.json) |
+//! | [`driver_scaling`] | fused-vs-unfused row pipeline scaling across host workers (BENCH_PR4.json) |
 
 pub mod accuracy;
 pub mod case_studies;

@@ -139,26 +139,34 @@ fn extended_modes_rank_by_mantissa_width() {
 }
 
 #[test]
-fn driver_scaling_sweeps_workers_with_invariant_model_time() {
+fn driver_scaling_sweeps_pipelines_with_invariant_model_time() {
     use mdmp_bench::experiments::driver_scaling;
     let t = driver_scaling::driver_scaling(true);
-    assert!(t.rows.len() >= 3, "sweep covers at least {{1, 2, 4}}");
-    let modeled_1 = t.cell("1", "modeled_s").unwrap();
+    // One unfused + one fused row per worker count, at least {1, 2, 4}.
+    assert!(
+        t.rows.len() >= 6,
+        "sweep covers both pipelines x {{1, 2, 4}}"
+    );
+    let modeled_1 = t.cell("unfused/1", "modeled_s").unwrap();
     for (label, _) in &t.rows {
         let wall = t.cell(label, "wall_seconds").unwrap();
-        assert!(wall > 0.0, "{label} workers: wall {wall}");
+        assert!(wall > 0.0, "{label}: wall {wall}");
         let modeled = t.cell(label, "modeled_s").unwrap();
         assert_eq!(
             modeled.to_bits(),
             modeled_1.to_bits(),
-            "{label} workers: modelled time must not depend on the worker pool"
+            "{label}: modelled time must depend on neither pool nor fusion"
         );
     }
-    assert_eq!(t.cell("1", "speedup_vs_1"), Some(1.0));
-    // 16 tiles: reuses + allocs == 16 at every worker count.
+    assert_eq!(t.cell("unfused/1", "fused_speedup"), Some(1.0));
+    // Fusion eliminates two dispatches per reference row; the unfused
+    // pipeline eliminates none.
     for (label, _) in &t.rows {
-        let reuses = t.cell(label, "buffer_reuses").unwrap();
-        let allocs = t.cell(label, "buffer_allocs").unwrap();
-        assert_eq!(reuses + allocs, 16.0, "{label} workers");
+        let eliminated = t.cell(label, "elim_dispatch").unwrap();
+        if label.starts_with("fused") {
+            assert!(eliminated > 0.0, "{label}: no dispatches eliminated");
+        } else {
+            assert_eq!(eliminated, 0.0, "{label}");
+        }
     }
 }

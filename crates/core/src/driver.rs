@@ -77,6 +77,21 @@ pub struct MdmpRun {
     pub faults_injected: u64,
     /// Simulated devices the health ledger quarantined during the run.
     pub quarantined_devices: Vec<usize>,
+    /// Whether tiles ran the fused per-row pass (one dispatch per row)
+    /// instead of the three-kernel pipeline (see
+    /// [`MdmpConfig::resolved_fused_rows`]).
+    pub fused_rows: bool,
+    /// Host dispatches the fused pass eliminated relative to the unfused
+    /// pipeline, summed over all tiles (two per reference row; zero when
+    /// `fused_rows` is off).
+    pub eliminated_dispatches: u64,
+    /// Multi-worker dispatches this run handed to the persistent worker
+    /// pool (delta of [`rayon::pool_stats`] across the run).
+    pub pool_dispatches: u64,
+    /// Of those, dispatches served entirely by already-running pool
+    /// threads — the launches that a scoped spawn-per-dispatch stub would
+    /// have paid thread creation for.
+    pub pool_thread_reuses: u64,
 }
 
 /// External storage for per-tile precalculation results, consulted by
@@ -213,6 +228,8 @@ fn run_generic<P: Real, M: Real>(
     let mut streams = vec![0usize; n_gpu];
     let mut global = MatrixProfile::new_unset(n_q, d);
     let host_workers = cfg.resolved_host_workers(n_gpu).min(tiles.len()).max(1);
+    let fused_rows = cfg.resolved_fused_rows();
+    let pool_before = rayon::pool_stats();
     let wall_start = Instant::now();
 
     // Resilience state shared by the workers and the coordinator: the
@@ -316,6 +333,7 @@ fn run_generic<P: Real, M: Real>(
     // times are bit-identical regardless of worker count.
     let mut precalc_hits = 0usize;
     let mut precalc_misses = 0usize;
+    let mut eliminated_dispatches = 0u64;
     let mut consume = |tile_index: usize,
                        out: TileOutput,
                        cached: bool,
@@ -326,6 +344,7 @@ fn run_generic<P: Real, M: Real>(
         } else {
             precalc_misses += 1;
         }
+        eliminated_dispatches += out.eliminated_dispatches;
         submit_tile_costs(
             system,
             dev_idx,
@@ -469,6 +488,11 @@ fn run_generic<P: Real, M: Real>(
     }
     outcome?;
     let wall_seconds = wall_start.elapsed().as_secs_f64();
+    let pool_after = rayon::pool_stats();
+    let pool_dispatches = pool_after.dispatches - pool_before.dispatches;
+    let pool_thread_reuses = pool_after
+        .thread_reuses()
+        .saturating_sub(pool_before.thread_reuses());
 
     let (merge_seconds, merge_cost) = merge_model(&tiles, d, cfg.mode.main_format());
     let mut ledger = system.total_ledger();
@@ -495,6 +519,10 @@ fn run_generic<P: Real, M: Real>(
         plane_validation_failures: validation_ctr.load(Ordering::Relaxed),
         faults_injected: fault_ctr.load(Ordering::Relaxed),
         quarantined_devices: health.quarantined(),
+        fused_rows,
+        eliminated_dispatches,
+        pool_dispatches,
+        pool_thread_reuses,
     })
 }
 
@@ -672,6 +700,97 @@ mod tests {
                 "{class:?} missing from ledger"
             );
         }
+    }
+
+    #[test]
+    fn fused_run_matches_unfused_with_identical_cost_model() {
+        let (r, q) = small_pair(160, 3, 12);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        for mode in [
+            PrecisionMode::Fp64,
+            PrecisionMode::Fp32,
+            PrecisionMode::Fp16,
+            PrecisionMode::Mixed,
+            PrecisionMode::Fp16c,
+        ] {
+            let base = MdmpConfig::new(12, mode).with_tiles(4);
+            let fused =
+                run_with_mode(&r, &q, &base.clone().with_fused_rows(Some(true)), &mut sys).unwrap();
+            let unfused =
+                run_with_mode(&r, &q, &base.with_fused_rows(Some(false)), &mut sys).unwrap();
+            assert_eq!(fused.profile, unfused.profile, "{mode}: fused != unfused");
+            // The ledger charges the same three per-class kernel costs either
+            // way — fusion removes host dispatches, not modelled device work.
+            assert_eq!(fused.modeled_seconds, unfused.modeled_seconds, "{mode}");
+            assert!(fused.fused_rows && !unfused.fused_rows);
+            assert_eq!(unfused.eliminated_dispatches, 0);
+            let total_rows: u64 = compute_tile_list(160, 160, 4)
+                .unwrap()
+                .iter()
+                .map(|t| t.rows as u64)
+                .sum();
+            assert_eq!(fused.eliminated_dispatches, 2 * total_rows, "{mode}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused_across_randomized_configs() {
+        // Seeded xorshift64* so the "random" configurations are stable
+        // across runs; one configuration per precision mode, spanning odd
+        // sizes, self- and AB-joins, and lane-remainder widths.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move |lo: usize, hi: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            lo + (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % (hi - lo + 1) as u64) as usize
+        };
+        for (trial, mode) in PrecisionMode::ALL.into_iter().enumerate() {
+            let n = next(90, 220);
+            let d = next(1, 4);
+            let m = next(8, 20);
+            let tiles = next(1, 9);
+            let self_join = trial % 2 == 0;
+            let (r, q_gen) = small_pair(n, d, m);
+            let q = if self_join { r.clone() } else { q_gen };
+            let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), next(1, 3));
+            let base = MdmpConfig::new(m, mode).with_tiles(tiles);
+            let fused =
+                run_with_mode(&r, &q, &base.clone().with_fused_rows(Some(true)), &mut sys).unwrap();
+            let unfused =
+                run_with_mode(&r, &q, &base.with_fused_rows(Some(false)), &mut sys).unwrap();
+            let what = format!("{mode} n={n} d={d} m={m} tiles={tiles} self_join={self_join}");
+            assert_eq!(fused.profile, unfused.profile, "{what}: profiles differ");
+            assert_eq!(fused.modeled_seconds, unfused.modeled_seconds, "{what}");
+        }
+    }
+
+    #[test]
+    fn fused_run_with_recoverable_faults_matches_fault_free() {
+        use mdmp_faults::{FaultKind, FaultPlan};
+        let (r, q) = small_pair(160, 2, 12);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp32)
+            .with_tiles(4)
+            .with_fused_rows(Some(true));
+        let clean = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        let plan = FaultPlan::new()
+            .with_fault(0, FaultKind::Kernel)
+            .with_fault(1, FaultKind::Stall { millis: 600 })
+            .with_fault(3, FaultKind::PoisonNan);
+        let faulted_cfg = cfg
+            .clone()
+            .with_fault_plan(Some(Arc::new(plan)))
+            .with_tile_deadline(Some(std::time::Duration::from_millis(250)));
+        let faulted = run_with_mode(&r, &q, &faulted_cfg, &mut sys).unwrap();
+        assert_eq!(
+            clean.profile, faulted.profile,
+            "fused path: retried faults must be invisible in the result"
+        );
+        assert_eq!(faulted.faults_injected, 3);
+        assert_eq!(faulted.tile_retries, 3);
+        assert!(faulted.fused_rows);
+        assert_eq!(clean.eliminated_dispatches, faulted.eliminated_dispatches);
     }
 
     #[test]

@@ -51,6 +51,78 @@ impl<T: Real> DistParams<T> {
     }
 }
 
+/// One step of the streaming QT recurrence (Eq. 1):
+/// `QT[i,j,k] = QT[i−1,j−1,k] + df_r·dg_q + df_q·dg_r`.
+///
+/// Shared by the unfused [`dist_row`] and the fused row pass
+/// (`kernels::fused`) so both paths evaluate the *same* floating-point
+/// expression — association order included — and stay bit-identical.
+#[inline(always)]
+pub fn qt_step<T: Real>(prev: T, dfr: T, dgq: T, dfq: T, dgr: T) -> T {
+    prev + dfr * dgq + dfq * dgr
+}
+
+/// The distance of one `(j, k)` element from its QT value:
+/// `sqrt(2m · (1 − QT · inv_r · inv_q))`, with optional clamping of finite
+/// negative correlation gaps and trivial-match exclusion. Shared by the
+/// unfused and fused paths (see [`qt_step`]).
+#[inline(always)]
+pub fn dist_value<T: Real>(qt: T, inv_r: T, inv_q: T, two_m: T, clamp: bool, excluded: bool) -> T {
+    if excluded {
+        return T::infinity();
+    }
+    let corr_gap = T::one() - qt * inv_r * inv_q;
+    // Clamp only *finite* overshoot (corr marginally above 1 from
+    // rounding). A NaN gap — flat windows, overflowed intermediates — must
+    // stay NaN so it can never win the min-update; `max(NaN, 0)` would
+    // silently turn broken statistics into perfect matches.
+    let gap = if clamp && corr_gap < T::zero() {
+        T::zero()
+    } else {
+        corr_gap
+    };
+    (two_m * gap).sqrt()
+}
+
+/// Lane-parallel [`dist_value`]: `out[lane] = dist_value(qt[lane], inv_r,
+/// inv_q[lane], two_m, clamp, excluded[lane])`, bit-for-bit (the unit test
+/// pins this). Phrased as elementary per-phase loops — multiply/subtract,
+/// clamp select, sqrt, exclusion select — so each phase vectorizes across
+/// the `N` independent lanes; per lane the expression tree is exactly
+/// [`dist_value`]'s (same association order, same select semantics: a NaN
+/// gap stays NaN because `NaN < 0` is false).
+#[inline(always)]
+pub fn dist_value_lanes<T: Real, const N: usize>(
+    qt: &[T; N],
+    inv_r: T,
+    inv_q: &[T],
+    two_m: T,
+    clamp: bool,
+    excluded: &[bool; N],
+    out: &mut [T],
+) {
+    let inv_q = &inv_q[..N];
+    let out = &mut out[..N];
+    let mut gap = [T::zero(); N];
+    for lane in 0..N {
+        gap[lane] = T::one() - qt[lane] * inv_r * inv_q[lane];
+    }
+    if clamp {
+        for g in gap.iter_mut() {
+            *g = if *g < T::zero() { T::zero() } else { *g };
+        }
+    }
+    for lane in 0..N {
+        out[lane] = (two_m * gap[lane]).sqrt();
+    }
+    // `select_unpredictable` keeps the exclusion mask a data select: left as
+    // an `if`, LLVM guards the whole mul/sub/sqrt chain behind a per-lane
+    // branch (sqrt is "expensive, don't speculate") and the loop scalarizes.
+    for lane in 0..N {
+        out[lane] = core::hint::select_unpredictable(excluded[lane], T::infinity(), out[lane]);
+    }
+}
+
 /// Compute row `i` of the tile's distance matrix.
 ///
 /// * `qt_row0` — precalculated `QT` for row 0 (`d × n_q`), used when `i == 0`;
@@ -74,8 +146,6 @@ pub fn dist_row<T: Real>(
     let n_q = qstats.n;
     debug_assert!(i < n_r);
     debug_assert_eq!(qt_next.len(), n_q * rstats.d);
-    let one = T::one();
-    let zero = T::zero();
     let global_i = params.row_offset + i;
 
     qt_next
@@ -97,28 +167,14 @@ pub fn dist_row<T: Real>(
                 } else if j == 0 {
                     qt_col0[k * n_r + i]
                 } else {
-                    prev_k[j - 1] + dfr * dgq[j] + dfq[j] * dgr
+                    qt_step(prev_k[j - 1], dfr, dgq[j], dfq[j], dgr)
                 };
                 qt_k[j] = qt;
-                let corr_gap = one - qt * inv_r * inv_q[j];
-                // Clamp only *finite* overshoot (corr marginally above 1
-                // from rounding). A NaN gap — flat windows, overflowed
-                // intermediates — must stay NaN so it can never win the
-                // min-update; `max(NaN, 0)` would silently turn broken
-                // statistics into perfect matches.
-                let gap = if params.clamp && corr_gap < zero {
-                    zero
-                } else {
-                    corr_gap
+                let excluded = match params.exclusion {
+                    Some(excl) => global_i.abs_diff(params.col_offset + j) < excl,
+                    None => false,
                 };
-                let mut dval = (params.two_m * gap).sqrt();
-                if let Some(excl) = params.exclusion {
-                    let global_j = params.col_offset + j;
-                    if global_i.abs_diff(global_j) < excl {
-                        dval = T::infinity();
-                    }
-                }
-                dist_k[j] = dval;
+                dist_k[j] = dist_value(qt, inv_r, inv_q[j], params.two_m, params.clamp, excluded);
             }
         });
 }
@@ -150,6 +206,42 @@ mod tests {
     use crate::precalc::{compute_stats, initial_qt, SeriesDevice};
     use mdmp_data::stats::znorm_distance;
     use mdmp_data::MultiDimSeries;
+
+    /// The lane-parallel form must be bit-identical to the scalar
+    /// [`dist_value`] per lane — including NaN gaps, negative gaps with
+    /// clamping on and off, and excluded lanes.
+    #[test]
+    fn dist_value_lanes_matches_scalar_bitwise() {
+        const N: usize = 8;
+        let qt: [f32; N] = [
+            0.5,
+            -3.25,
+            f32::NAN,
+            1.0e20,
+            -0.0,
+            7.125,
+            f32::INFINITY,
+            2.0,
+        ];
+        let inv_q: [f32; N] = [1.0, 0.25, 2.0, 1.0e-10, 3.0, -1.5, 0.5, 1.0];
+        let excluded: [bool; N] = [false, true, false, false, true, false, false, false];
+        for clamp in [false, true] {
+            for inv_r in [0.75f32, -2.0] {
+                let two_m = 16.0f32;
+                let mut out = [0.0f32; N];
+                dist_value_lanes::<f32, N>(&qt, inv_r, &inv_q, two_m, clamp, &excluded, &mut out);
+                for lane in 0..N {
+                    let scalar =
+                        dist_value(qt[lane], inv_r, inv_q[lane], two_m, clamp, excluded[lane]);
+                    assert_eq!(
+                        out[lane].to_bits(),
+                        scalar.to_bits(),
+                        "lane {lane} diverged (clamp={clamp}, inv_r={inv_r})"
+                    );
+                }
+            }
+        }
+    }
 
     fn series(seed: u64, d: usize, len: usize) -> MultiDimSeries {
         let dims: Vec<Vec<f64>> = (0..d)

@@ -10,11 +10,16 @@
 //! calibration documented in EXPERIMENTS.md.
 
 pub mod dist;
+pub mod fused;
 pub mod sort_scan;
 pub mod update;
 
 pub use dist::{dist_cost, dist_row, DistParams};
-pub use sort_scan::{bitonic_sort, inclusive_scan_avg, sort_scan_cost, sort_scan_row};
+pub use fused::{fused_row, fused_row_cost, DISPATCHES_ELIMINATED_PER_ROW};
+pub use sort_scan::{
+    bitonic_sort, comparator_schedule, inclusive_scan_avg, scan_divisors, sort_scan_cost,
+    sort_scan_row, Comparator,
+};
 pub use update::{update_cost, update_profile_row};
 
 use mdmp_gpu_sim::{KernelClass, KernelCost};

@@ -13,6 +13,8 @@
 use mdmp_gpu_sim::{KernelClass, KernelCost};
 use mdmp_precision::{Format, Real};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of compare-exchange stages of a Bitonic network over `len`
 /// (power-of-two) elements: `log·(log+1)/2`.
@@ -25,34 +27,181 @@ pub fn bitonic_stage_count(len: usize) -> usize {
     lg * (lg + 1) / 2
 }
 
-/// In-place ascending Bitonic sort of a power-of-two slice, using the
-/// total order (−∞ < finite < +∞ < NaN) so reduced-precision overflow
-/// artifacts sort deterministically to the tail like `+∞` padding.
-pub fn bitonic_sort<T: Real>(a: &mut [T]) {
-    let n = a.len();
-    assert!(n.is_power_of_two(), "bitonic length must be a power of two");
+/// One compare-exchange of the Bitonic network: `(i, l, ascending)` means
+/// compare positions `i < l` and order them ascending (or descending).
+pub type Comparator = (u32, u32, bool);
+
+/// The full comparator sequence of an ascending Bitonic sort over `len`
+/// (power-of-two) elements, cached per length. The sequence is generated in
+/// exactly the `(k, j, i)` loop order the network executes (`l = i ^ j`,
+/// keep `l > i`, ascending iff `(i & k) == 0`), so driving a sort from the
+/// schedule performs the *identical* comparisons in the identical order —
+/// it only removes the per-fiber re-derivation of `i ^ j` bounds, which is
+/// pure host overhead repeated `n_q` times per row.
+pub fn comparator_schedule(len: usize) -> Arc<[Comparator]> {
+    assert!(
+        len.is_power_of_two(),
+        "bitonic length must be a power of two"
+    );
+    static SCHEDULES: OnceLock<Mutex<HashMap<usize, Arc<[Comparator]>>>> = OnceLock::new();
+    let cache = SCHEDULES.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(s) = cache.lock().unwrap().get(&len) {
+        return Arc::clone(s);
+    }
+    let mut seq = Vec::with_capacity(bitonic_stage_count(len) * len / 2);
     let mut k = 2;
-    while k <= n {
+    while k <= len {
         let mut j = k / 2;
         while j > 0 {
-            for i in 0..n {
+            for i in 0..len {
                 let l = i ^ j;
                 if l > i {
-                    let ascending = (i & k) == 0;
-                    let out_of_order = match a[i].total_order(a[l]) {
-                        core::cmp::Ordering::Greater => ascending,
-                        core::cmp::Ordering::Less => !ascending,
-                        core::cmp::Ordering::Equal => false,
-                    };
-                    if out_of_order {
-                        a.swap(i, l);
-                    }
+                    seq.push((i as u32, l as u32, (i & k) == 0));
                 }
             }
             j >>= 1;
         }
         k <<= 1;
     }
+    let seq: Arc<[Comparator]> = seq.into();
+    cache
+        .lock()
+        .unwrap()
+        .entry(len)
+        .or_insert_with(|| Arc::clone(&seq))
+        .clone()
+}
+
+/// In-place sort of `a` by the given comparator schedule (see
+/// [`comparator_schedule`]). Comparisons use the total order
+/// (−∞ < finite < +∞ < NaN) so reduced-precision overflow artifacts sort
+/// deterministically to the tail like `+∞` padding; equal elements
+/// (including NaNs of different payloads) are never swapped.
+#[inline]
+pub fn bitonic_sort_scheduled<T: Real>(a: &mut [T], schedule: &[Comparator]) {
+    for &(i, l, ascending) in schedule {
+        let (i, l) = (i as usize, l as usize);
+        let x = a[i];
+        let y = a[l];
+        let out_of_order = if ascending {
+            x.total_gt(y)
+        } else {
+            x.total_lt(y)
+        };
+        if out_of_order {
+            a[i] = y;
+            a[l] = x;
+        }
+    }
+}
+
+/// One compare-exchange with the network's semantics: swap only on strict
+/// total-order violation (`ascending` is a const generic so the direction
+/// resolves at compile time), so equal elements — including NaNs of
+/// different payloads — keep their positions. Comparison happens on the
+/// hoisted integer keys ([`Real::sort_key`] is a monotone image of
+/// `total_order`, pinned by tests in `mdmp-precision`), and keys travel
+/// with their values so each exchange is one integer compare plus
+/// conditional moves — no float classify, no branch.
+#[inline(always)]
+fn compare_exchange_const<T: Real, const ASC: bool>(
+    keys: &mut [T::SortKey],
+    vals: &mut [T],
+    i: usize,
+    l: usize,
+) {
+    let (kx, ky) = (keys[i], keys[l]);
+    let out_of_order = if ASC { kx > ky } else { kx < ky };
+    let (x, y) = (vals[i], vals[l]);
+    keys[i] = if out_of_order { ky } else { kx };
+    keys[l] = if out_of_order { kx } else { ky };
+    vals[i] = if out_of_order { y } else { x };
+    vals[l] = if out_of_order { x } else { y };
+}
+
+/// Expand an explicit comparator list (generated from the same `(k, j, i)`
+/// derivation as [`comparator_schedule`]) into straight-line code with
+/// literal indices — no bounds checks, no index loads, fiber in registers.
+macro_rules! net {
+    ($k:ident, $v:ident, $( ($i:literal, $l:literal, $asc:literal) ),+ $(,)?) => {
+        $( compare_exchange_const::<T, $asc>(&mut $k, $v, $i, $l); )+
+    };
+}
+
+#[inline(always)]
+fn bitonic_sort_2<T: Real>(a: &mut [T; 2]) {
+    let mut k = a.map(Real::sort_key);
+    net!(k, a, (0, 1, true));
+}
+
+#[inline(always)]
+fn bitonic_sort_4<T: Real>(a: &mut [T; 4]) {
+    let mut k = a.map(Real::sort_key);
+    net!(
+        k,
+        a,
+        (0, 1, true),
+        (2, 3, false),
+        (0, 2, true),
+        (1, 3, true),
+        (0, 1, true),
+        (2, 3, true)
+    );
+}
+
+#[inline(always)]
+#[rustfmt::skip]
+fn bitonic_sort_8<T: Real>(a: &mut [T; 8]) {
+    let mut k = a.map(Real::sort_key);
+    net!(k, a, (0,1,true), (2,3,false), (4,5,true), (6,7,false), (0,2,true), (1,3,true),
+        (4,6,false), (5,7,false), (0,1,true), (2,3,true), (4,5,false), (6,7,false),
+        (0,4,true), (1,5,true), (2,6,true), (3,7,true), (0,2,true), (1,3,true),
+        (4,6,true), (5,7,true), (0,1,true), (2,3,true), (4,5,true), (6,7,true));
+}
+
+#[inline(always)]
+#[rustfmt::skip]
+fn bitonic_sort_16<T: Real>(a: &mut [T; 16]) {
+    let mut k = a.map(Real::sort_key);
+    net!(k, a, (0,1,true), (2,3,false), (4,5,true), (6,7,false), (8,9,true), (10,11,false),
+        (12,13,true), (14,15,false), (0,2,true), (1,3,true), (4,6,false), (5,7,false),
+        (8,10,true), (9,11,true), (12,14,false), (13,15,false), (0,1,true), (2,3,true),
+        (4,5,false), (6,7,false), (8,9,true), (10,11,true), (12,13,false), (14,15,false),
+        (0,4,true), (1,5,true), (2,6,true), (3,7,true), (8,12,false), (9,13,false),
+        (10,14,false), (11,15,false), (0,2,true), (1,3,true), (4,6,true), (5,7,true),
+        (8,10,false), (9,11,false), (12,14,false), (13,15,false), (0,1,true), (2,3,true),
+        (4,5,true), (6,7,true), (8,9,false), (10,11,false), (12,13,false), (14,15,false),
+        (0,8,true), (1,9,true), (2,10,true), (3,11,true), (4,12,true), (5,13,true),
+        (6,14,true), (7,15,true), (0,4,true), (1,5,true), (2,6,true), (3,7,true),
+        (8,12,true), (9,13,true), (10,14,true), (11,15,true), (0,2,true), (1,3,true),
+        (4,6,true), (5,7,true), (8,10,true), (9,11,true), (12,14,true), (13,15,true),
+        (0,1,true), (2,3,true), (4,5,true), (6,7,true), (8,9,true), (10,11,true),
+        (12,13,true), (14,15,true));
+}
+
+/// Sort a power-of-two fiber: straight-line unrolled network for the small
+/// paddings that dominate multi-dimensional profiles (`d_pad ≤ 16`),
+/// schedule-driven loop beyond. Both execute the identical comparator
+/// sequence ([`scheduled_sort_matches_triple_loop_bitwise`] and the
+/// cross-size test below pin this down).
+#[inline]
+pub fn bitonic_sort_fiber<T: Real>(a: &mut [T], schedule: &[Comparator]) {
+    match a.len() {
+        0 | 1 => {}
+        2 => bitonic_sort_2(a.try_into().unwrap()),
+        4 => bitonic_sort_4(a.try_into().unwrap()),
+        8 => bitonic_sort_8(a.try_into().unwrap()),
+        16 => bitonic_sort_16(a.try_into().unwrap()),
+        _ => bitonic_sort_scheduled(a, schedule),
+    }
+}
+
+/// In-place ascending Bitonic sort of a power-of-two slice, using the
+/// total order (−∞ < finite < +∞ < NaN) so reduced-precision overflow
+/// artifacts sort deterministically to the tail like `+∞` padding.
+pub fn bitonic_sort<T: Real>(a: &mut [T]) {
+    let schedule = comparator_schedule(a.len());
+    bitonic_sort_fiber(a, &schedule);
 }
 
 /// Hillis–Steele inclusive scan over the first `d` entries of `col`,
@@ -61,23 +210,36 @@ pub fn bitonic_sort<T: Real>(a: &mut [T]) {
 /// values, which is exactly the double-buffered fan-in order of the GPU
 /// kernel.
 pub fn inclusive_scan_avg<T: Real>(col: &mut [T], d: usize) {
+    let divisors = scan_divisors::<T>(d);
+    inclusive_scan_avg_with(col, d, &divisors);
+}
+
+/// The `1/(k+1)` average divisors `[1, 2, …, d]` in the working precision.
+/// `T::from_usize` is deterministic, so hoisting the conversion out of the
+/// per-fiber loop leaves every division bit-identical.
+pub fn scan_divisors<T: Real>(d: usize) -> Vec<T> {
+    (1..=d).map(T::from_usize).collect()
+}
+
+/// [`inclusive_scan_avg`] with the divisor table hoisted out (one table per
+/// row serves all `n_q` fibers). The fan-in adds run in the identical
+/// descending order; only the iterations the original loop skipped
+/// (`k < s`) are elided.
+#[inline]
+pub fn inclusive_scan_avg_with<T: Real>(col: &mut [T], d: usize, divisors: &[T]) {
     debug_assert!(d <= col.len());
+    debug_assert_eq!(divisors.len(), d);
     let mut s = 1;
     while s < d {
         let mut k = d - 1;
-        loop {
-            if k >= s {
-                col[k] += col[k - s];
-            }
-            if k == 0 {
-                break;
-            }
+        while k >= s {
+            col[k] += col[k - s];
             k -= 1;
         }
         s <<= 1;
     }
-    for (k, v) in col.iter_mut().take(d).enumerate() {
-        *v = *v / T::from_usize(k + 1);
+    for (v, div) in col.iter_mut().zip(divisors) {
+        *v = *v / *div;
     }
 }
 
@@ -91,6 +253,10 @@ pub fn sort_scan_row<T: Real>(dist: &[T], out: &mut [T], n_q: usize, d: usize) {
     let d_pad = d.next_power_of_two();
     debug_assert_eq!(dist.len(), n_q * d);
     debug_assert_eq!(out.len(), n_q * d_pad);
+    let schedule = comparator_schedule(d_pad);
+    let divisors = scan_divisors::<T>(d);
+    let schedule = &schedule[..];
+    let divisors = &divisors[..];
     out.par_chunks_mut(d_pad).enumerate().for_each(|(j, col)| {
         for k in 0..d {
             col[k] = dist[k * n_q + j];
@@ -98,8 +264,8 @@ pub fn sort_scan_row<T: Real>(dist: &[T], out: &mut [T], n_q: usize, d: usize) {
         for pad in col.iter_mut().take(d_pad).skip(d) {
             *pad = T::infinity();
         }
-        bitonic_sort(col);
-        inclusive_scan_avg(col, d);
+        bitonic_sort_fiber(col, schedule);
+        inclusive_scan_avg_with(col, d, divisors);
     });
 }
 
@@ -143,6 +309,89 @@ mod tests {
         assert_eq!(bitonic_stage_count(4), 3);
         assert_eq!(bitonic_stage_count(64), 21);
         assert_eq!(bitonic_stage_count(256), 36);
+    }
+
+    /// Reference implementation: the original triple loop, re-deriving
+    /// `i ^ j` per iteration. The cached schedule must reproduce it exactly.
+    fn bitonic_sort_reference<T: Real>(a: &mut [T]) {
+        let n = a.len();
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j > 0 {
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        let ascending = (i & k) == 0;
+                        let out_of_order = match a[i].total_order(a[l]) {
+                            core::cmp::Ordering::Greater => ascending,
+                            core::cmp::Ordering::Less => !ascending,
+                            core::cmp::Ordering::Equal => false,
+                        };
+                        if out_of_order {
+                            a.swap(i, l);
+                        }
+                    }
+                }
+                j >>= 1;
+            }
+            k <<= 1;
+        }
+    }
+
+    #[test]
+    fn schedule_has_one_comparator_per_pair_per_stage() {
+        for lg in 0..8usize {
+            let len = 1 << lg;
+            let s = comparator_schedule(len);
+            assert_eq!(s.len(), bitonic_stage_count(len) * len / 2);
+        }
+        // Cache returns the same allocation on repeat lookups.
+        assert!(Arc::ptr_eq(
+            &comparator_schedule(8),
+            &comparator_schedule(8)
+        ));
+    }
+
+    #[test]
+    fn scheduled_sort_matches_triple_loop_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let len = 1usize << rng.gen_range(0..7u32);
+            let vals: Vec<f32> = (0..len)
+                .map(|_| match rng.gen_range(0..10u32) {
+                    0 => f32::INFINITY,
+                    1 => f32::NAN,
+                    _ => rng.gen_range(-50.0..50.0),
+                })
+                .collect();
+            let mut by_schedule = vals.clone();
+            let mut by_loops = vals;
+            bitonic_sort(&mut by_schedule);
+            bitonic_sort_reference(&mut by_loops);
+            let sb: Vec<u32> = by_schedule.iter().map(|v| v.to_bits()).collect();
+            let lb: Vec<u32> = by_loops.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, lb, "schedule diverged from the loop derivation");
+        }
+    }
+
+    #[test]
+    fn hoisted_divisor_scan_matches_from_usize_scan() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for d in 1..=16usize {
+            let vals: Vec<Half> = (0..d)
+                .map(|_| Half::from_f64(rng.gen_range(0.0..8.0)))
+                .collect();
+            let mut a = vals.clone();
+            let mut b = vals;
+            inclusive_scan_avg(&mut a, d);
+            let div = scan_divisors::<Half>(d);
+            inclusive_scan_avg_with(&mut b, d, &div);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

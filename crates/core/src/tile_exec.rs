@@ -14,8 +14,8 @@
 
 use crate::config::MdmpConfig;
 use crate::kernels::{
-    self, dist_cost, dist_row, sort_scan_cost, sort_scan_row, update_cost, update_profile_row,
-    DistParams,
+    self, comparator_schedule, dist_cost, dist_row, fused_row, scan_divisors, sort_scan_cost,
+    sort_scan_row, update_cost, update_profile_row, DistParams, DISPATCHES_ELIMINATED_PER_ROW,
 };
 use crate::precalc::{compute_stats, convert_qt, initial_qt, SeriesDevice, Stats};
 use crate::profile::MatrixProfile;
@@ -41,6 +41,9 @@ pub struct TileOutput {
     pub d2h_bytes: u64,
     /// Device-memory working set of the tile.
     pub device_bytes: u64,
+    /// Host dispatches eliminated by the fused row pipeline
+    /// (`2 × rows` when fused, `0` on the three-kernel path).
+    pub eliminated_dispatches: u64,
 }
 
 /// The outputs of one tile's `precalculation` kernel, widened **exactly** to
@@ -110,12 +113,19 @@ pub fn execute_tile<P: Real, M: Real>(
     execute_tile_from_precalc::<M>(&pre, tile, cfg, kahan, false)
 }
 
-/// Reusable per-worker scratch planes for the tile main loop — the six
-/// `n_q × d` working buffers of [`execute_tile_from_precalc`], allocated
-/// once per worker thread and recycled across tiles instead of re-`vec!`-ed
-/// per tile. Reuse only trades allocation for a fill: every buffer is reset
-/// to exactly the initial contents a fresh allocation would have (zeros,
-/// `+∞`, `-1`), so pooled execution is bit-identical to unpooled.
+/// Reusable per-worker scratch planes for the tile main loop — the working
+/// buffers of [`execute_tile_from_precalc`], allocated once per worker
+/// thread and recycled across tiles instead of re-`vec!`-ed per tile. Reuse
+/// only trades allocation for a fill: every buffer is reset to exactly the
+/// initial contents a fresh allocation would have (zeros, `+∞`, `-1`), so
+/// pooled execution is bit-identical to unpooled.
+///
+/// The unfused pipeline uses six planes (`qt_prev`, `qt_next`, `dist`,
+/// `scanned`, `p`, `i`); the fused pipeline drops both `dist` and
+/// `scanned` — its fibers live in a small per-worker scratch block inside
+/// [`fused_row`] — shrinking the pool entry by two planes. The accounting
+/// in [`PlaneBuffers::plane_elems`] reflects whichever shape the last tile
+/// used.
 #[derive(Debug, Default)]
 pub struct PlaneBuffers<M: Real> {
     qt_prev: Vec<M>,
@@ -144,8 +154,11 @@ impl<M: Real> PlaneBuffers<M> {
     }
 
     /// Reset every plane to its initial contents for an `n_q × d` tile
-    /// (`d_pad` = `d` rounded up to a power of two for the scanned plane).
-    fn prepare(&mut self, n_q: usize, d: usize, d_pad: usize) {
+    /// (`d_pad` = `d` rounded up to a power of two).
+    ///
+    /// Unfused: `dist` is `n_q × d`, `scanned` is `n_q × d_pad`. Fused:
+    /// both are released — the fused pass never materializes either plane.
+    fn prepare(&mut self, n_q: usize, d: usize, d_pad: usize, fused: bool) {
         let plane = n_q * d;
         if self.tiles_executed > 0 {
             self.reuses += 1;
@@ -153,8 +166,13 @@ impl<M: Real> PlaneBuffers<M> {
         self.tiles_executed += 1;
         reset(&mut self.qt_prev, plane, M::zero());
         reset(&mut self.qt_next, plane, M::zero());
-        reset(&mut self.dist_plane, plane, M::zero());
-        reset(&mut self.scanned, n_q * d_pad, M::zero());
+        if fused {
+            reset(&mut self.dist_plane, 0, M::zero());
+            reset(&mut self.scanned, 0, M::zero());
+        } else {
+            reset(&mut self.dist_plane, plane, M::zero());
+            reset(&mut self.scanned, n_q * d_pad, M::zero());
+        }
         reset(&mut self.p_plane, plane, M::infinity());
         reset(&mut self.i_plane, plane, -1i64);
     }
@@ -168,6 +186,17 @@ impl<M: Real> PlaneBuffers<M> {
     /// after the worker's first tile).
     pub fn reuses(&self) -> u64 {
         self.reuses
+    }
+
+    /// Elements currently held across all planes of this pool entry (the
+    /// fused shape is one `n_q × d_pad` plane smaller than the unfused).
+    pub fn plane_elems(&self) -> usize {
+        self.qt_prev.len()
+            + self.qt_next.len()
+            + self.dist_plane.len()
+            + self.scanned.len()
+            + self.p_plane.len()
+            + self.i_plane.len()
     }
 }
 
@@ -217,8 +246,10 @@ pub fn execute_tile_from_precalc_pooled<M: Real>(
     let qt_row0: Vec<M> = convert_qt(&pre.qt_row0);
     let qt_col0: Vec<M> = convert_qt(&pre.qt_col0);
 
+    let fused = cfg.resolved_fused_rows();
+
     // Working planes in the main-loop precision, from the worker's pool.
-    bufs.prepare(n_q, d, d_pad);
+    bufs.prepare(n_q, d, d_pad, fused);
     let PlaneBuffers {
         qt_prev,
         qt_next,
@@ -231,16 +262,44 @@ pub fn execute_tile_from_precalc_pooled<M: Real>(
 
     let params = DistParams::<M>::new(cfg.m, cfg.clamp, tile.row0, tile.col0, cfg.exclusion_zone);
 
-    // Main iteration loop (Pseudocode 1, lines 3-7).
-    for i in 0..n_r {
-        dist_row(
-            i, &qt_row0, &qt_col0, qt_prev, qt_next, dist_plane, &rstats, &qstats, &params,
-        );
-        sort_scan_row(dist_plane, scanned, n_q, d);
-        update_profile_row(scanned, p_plane, i_plane, n_q, d, (tile.row0 + i) as i64);
-        std::mem::swap(qt_prev, qt_next);
-    }
-
+    let eliminated_dispatches = if fused {
+        // Fused main loop (DESIGN.md §10): one dispatch per row over the
+        // same k-major planes as the unfused path; neither the `dist` nor
+        // the `scanned` plane exists — fibers live in per-worker scratch
+        // inside `fused_row`.
+        let schedule = comparator_schedule(d_pad);
+        let divisors = scan_divisors::<M>(d);
+        for i in 0..n_r {
+            fused_row(
+                i,
+                &qt_row0,
+                &qt_col0,
+                qt_prev,
+                qt_next,
+                p_plane,
+                i_plane,
+                &rstats,
+                &qstats,
+                &params,
+                &schedule,
+                &divisors,
+                (tile.row0 + i) as i64,
+            );
+            std::mem::swap(qt_prev, qt_next);
+        }
+        DISPATCHES_ELIMINATED_PER_ROW * n_r as u64
+    } else {
+        // Main iteration loop (Pseudocode 1, lines 3-7).
+        for i in 0..n_r {
+            dist_row(
+                i, &qt_row0, &qt_col0, qt_prev, qt_next, dist_plane, &rstats, &qstats, &params,
+            );
+            sort_scan_row(dist_plane, scanned, n_q, d);
+            update_profile_row(scanned, p_plane, i_plane, n_q, d, (tile.row0 + i) as i64);
+            std::mem::swap(qt_prev, qt_next);
+        }
+        0
+    };
     // D2H: widen the profile exactly to f64 (the planes stay in the pool).
     let p_f64: Vec<f64> = p_plane.iter().map(|&v| v.to_f64()).collect();
     let profile = MatrixProfile::from_raw(p_f64, i_plane.clone(), n_q, d);
@@ -254,6 +313,7 @@ pub fn execute_tile_from_precalc_pooled<M: Real>(
         h2d_bytes,
         d2h_bytes,
         device_bytes,
+        eliminated_dispatches,
     }
 }
 

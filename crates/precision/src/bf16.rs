@@ -141,19 +141,22 @@ impl Bf16 {
     /// Total order for sorting: −∞ < finite < +∞ < NaN.
     #[inline]
     pub fn total_cmp(&self, other: &Bf16) -> Ordering {
-        fn key(h: Bf16) -> i32 {
-            if h.is_nan() {
-                return i32::MAX;
-            }
-            let bits = h.0 as i32;
-            if bits & 0x8000 != 0 {
-                // Map negatives below every non-negative; −0 maps to −1 < +0.
-                -(bits & 0x7FFF) - 1
-            } else {
-                bits
-            }
+        self.total_key().cmp(&other.total_key())
+    }
+
+    /// The monotone integer key behind [`Bf16::total_cmp`]: all NaNs map to
+    /// `i32::MAX`, negatives below every non-negative (−0 maps to −1 < +0).
+    #[inline]
+    pub fn total_key(self) -> i32 {
+        if self.is_nan() {
+            return i32::MAX;
         }
-        key(*self).cmp(&key(*other))
+        let bits = self.0 as i32;
+        if bits & 0x8000 != 0 {
+            -(bits & 0x7FFF) - 1
+        } else {
+            bits
+        }
     }
 }
 

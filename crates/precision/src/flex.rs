@@ -216,19 +216,23 @@ impl<const E: u32, const M: u32> Flex<E, M> {
     /// Total order for sorting: −∞ < finite < +∞ < NaN, −0 < +0.
     #[inline]
     pub fn total_cmp(&self, other: &Self) -> Ordering {
-        fn key<const E: u32, const M: u32>(h: Flex<E, M>) -> i64 {
-            if h.is_nan() {
-                return i64::MAX;
-            }
-            let bits = h.0 as i64;
-            let sign = 1i64 << (E + M);
-            if bits & sign != 0 {
-                -(bits & (sign - 1)) - 1
-            } else {
-                bits
-            }
+        self.total_key().cmp(&other.total_key())
+    }
+
+    /// The monotone integer key behind [`Flex::total_cmp`]: all NaNs map to
+    /// `i64::MAX`, negatives below every non-negative (−0 maps to −1 < +0).
+    #[inline]
+    pub fn total_key(self) -> i64 {
+        if self.is_nan() {
+            return i64::MAX;
         }
-        key(*self).cmp(&key(*other))
+        let bits = self.0 as i64;
+        let sign = 1i64 << (E + M);
+        if bits & sign != 0 {
+            -(bits & (sign - 1)) - 1
+        } else {
+            bits
+        }
     }
 }
 
@@ -352,6 +356,11 @@ impl<const E: u32, const M: u32> crate::Real for Flex<E, M> {
     #[inline]
     fn total_order(self, other: Self) -> Ordering {
         self.total_cmp(&other)
+    }
+    type SortKey = i64;
+    #[inline(always)]
+    fn sort_key(self) -> i64 {
+        self.total_key()
     }
 }
 

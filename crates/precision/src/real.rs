@@ -87,10 +87,63 @@ pub trait Real:
     /// Total order for the sort network: −∞ < finite < +∞ < NaN.
     fn total_order(self, other: Self) -> core::cmp::Ordering;
 
+    /// Integer image of [`Real::total_order`]: a monotone key such that
+    /// `a.total_order(b) == a.sort_key().cmp(&b.sort_key())` for every pair
+    /// of bit patterns (NaNs of any sign/payload collapse to the maximum
+    /// key, matching `total_order`'s NaN handling). The sort network hoists
+    /// keys once per fiber so each compare-exchange is a single integer
+    /// comparison plus conditional moves.
+    type SortKey: Copy + Ord + Send + Sync + Debug + 'static;
+
+    /// Compute the integer sort key (see [`Real::SortKey`]).
+    fn sort_key(self) -> Self::SortKey;
+
+    /// `self` strictly after `other` in [`Real::total_order`] — the swap
+    /// predicate of an ascending compare-exchange. Branchless via the
+    /// integer key; tests pin it to `total_order(..) == Greater` exactly.
+    #[inline]
+    fn total_gt(self, other: Self) -> bool {
+        self.sort_key() > other.sort_key()
+    }
+
+    /// `self` strictly before `other` in [`Real::total_order`] — the swap
+    /// predicate of a descending compare-exchange.
+    #[inline]
+    fn total_lt(self, other: Self) -> bool {
+        self.sort_key() < other.sort_key()
+    }
+
     /// Convert a small non-negative integer (segment length, dimension
     /// index, …) into this format.
     fn from_usize(x: usize) -> Self {
         Self::from_f64(x as f64)
+    }
+}
+
+/// Monotone integer key for the f32 total order with NaNs collapsed to the
+/// maximum: `total_order(a, b) == key(a).cmp(&key(b))` for every pair of
+/// bit patterns. Standard sign-magnitude-to-two's-complement flip, then all
+/// NaNs (any sign, any payload) pinned to `i32::MAX`.
+#[inline(always)]
+fn sort_key_f32(v: f32) -> i32 {
+    let bits = v.to_bits() as i32;
+    let flipped = bits ^ (((bits >> 31) as u32) >> 1) as i32;
+    if v.is_nan() {
+        i32::MAX
+    } else {
+        flipped
+    }
+}
+
+/// f64 counterpart of [`sort_key_f32`].
+#[inline(always)]
+fn sort_key_f64(v: f64) -> i64 {
+    let bits = v.to_bits() as i64;
+    let flipped = bits ^ (((bits >> 63) as u64) >> 1) as i64;
+    if v.is_nan() {
+        i64::MAX
+    } else {
+        flipped
     }
 }
 
@@ -155,6 +208,11 @@ impl Real for f64 {
             (false, false) => self.total_cmp(&other),
         }
     }
+    type SortKey = i64;
+    #[inline(always)]
+    fn sort_key(self) -> i64 {
+        sort_key_f64(self)
+    }
 }
 
 impl Real for f32 {
@@ -216,6 +274,11 @@ impl Real for f32 {
             (false, false) => self.total_cmp(&other),
         }
     }
+    type SortKey = i32;
+    #[inline(always)]
+    fn sort_key(self) -> i32 {
+        sort_key_f32(self)
+    }
 }
 
 impl Real for Half {
@@ -271,6 +334,11 @@ impl Real for Half {
     #[inline]
     fn total_order(self, other: Self) -> core::cmp::Ordering {
         self.total_cmp(&other)
+    }
+    type SortKey = i32;
+    #[inline(always)]
+    fn sort_key(self) -> i32 {
+        self.total_key()
     }
 }
 
@@ -328,6 +396,11 @@ impl Real for Bf16 {
     fn total_order(self, other: Self) -> core::cmp::Ordering {
         self.total_cmp(&other)
     }
+    type SortKey = i32;
+    #[inline(always)]
+    fn sort_key(self) -> i32 {
+        self.total_key()
+    }
 }
 
 impl Real for Tf32 {
@@ -384,6 +457,11 @@ impl Real for Tf32 {
     fn total_order(self, other: Self) -> core::cmp::Ordering {
         self.total_cmp(&other)
     }
+    type SortKey = i32;
+    #[inline(always)]
+    fn sort_key(self) -> i32 {
+        self.total_key()
+    }
 }
 
 /// Convert a slice of `f64` into any [`Real`] format (one rounding per
@@ -439,6 +517,121 @@ mod tests {
             T::from_f64(f64::NAN).total_order(T::infinity()),
             Ordering::Greater
         );
+    }
+
+    /// The branchless predicates must agree with `total_order` for every
+    /// pair, including NaN (any payload), ±0 and ±∞ — they feed the sort
+    /// network, so any divergence breaks bit-identity.
+    fn check_predicates<T: Real>(values: &[T]) {
+        use core::cmp::Ordering;
+        for &x in values {
+            for &y in values {
+                let ord = x.total_order(y);
+                assert_eq!(
+                    x.sort_key().cmp(&y.sort_key()),
+                    ord,
+                    "{}: sort_key order for ({x:?}, {y:?}) disagrees with total_order",
+                    T::NAME
+                );
+                assert_eq!(
+                    x.total_gt(y),
+                    ord == Ordering::Greater,
+                    "{}: total_gt({x:?}, {y:?}) disagrees with total_order",
+                    T::NAME
+                );
+                assert_eq!(
+                    x.total_lt(y),
+                    ord == Ordering::Less,
+                    "{}: total_lt({x:?}, {y:?}) disagrees with total_order",
+                    T::NAME
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_predicates_match_total_order_f32() {
+        let mut values: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            f32::from_bits(0x7F80_0001), // signalling-NaN payload
+            f32::from_bits(0xFFC0_1234), // negative NaN, nonzero payload
+            f32::from_bits(0x0000_0001), // smallest subnormal
+            f32::from_bits(0x8000_0001),
+        ];
+        // Deterministic pseudo-random bit patterns cover the rest.
+        let mut state = 0x1234_5678_u32;
+        for _ in 0..64 {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            values.push(f32::from_bits(state));
+        }
+        check_predicates(&values);
+    }
+
+    #[test]
+    fn branchless_predicates_match_total_order_f64() {
+        let mut values: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001),
+            f64::from_bits(0xFFF8_0000_0000_1234),
+            f64::from_bits(0x0000_0000_0000_0001),
+            f64::from_bits(0x8000_0000_0000_0001),
+        ];
+        let mut state = 0x1234_5678_9ABC_DEF0_u64;
+        for _ in 0..64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            values.push(f64::from_bits(state));
+        }
+        check_predicates(&values);
+    }
+
+    #[test]
+    fn branchless_predicates_match_total_order_reduced() {
+        let bits: Vec<u16> = (0..=u16::MAX).step_by(257).collect();
+        let halves: Vec<Half> = bits.iter().map(|&b| Half::from_bits(b)).collect();
+        check_predicates(&halves);
+        let bf16s: Vec<Bf16> = bits.iter().map(|&b| Bf16::from_bits(b)).collect();
+        check_predicates(&bf16s);
+        let flexes: Vec<crate::Flex<5, 10>> = bits
+            .iter()
+            .map(|&b| crate::Flex::<5, 10>::from_bits(b as u32))
+            .collect();
+        check_predicates(&flexes);
+        let samples = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1e30,
+            -1e30,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        let tf32s: Vec<Tf32> = samples.iter().map(|&x| Tf32::from_f64(x)).collect();
+        check_predicates(&tf32s);
     }
 
     #[test]

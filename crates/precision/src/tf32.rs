@@ -123,6 +123,19 @@ impl Tf32 {
             (false, false) => self.0.total_cmp(&other.0),
         }
     }
+
+    /// The monotone integer key behind [`Tf32::total_cmp`]: the standard
+    /// sign-magnitude flip of the f32 payload bits, with all NaNs (any
+    /// sign/payload) collapsed to `i32::MAX` — equal keys exactly where
+    /// `total_cmp` returns `Equal`.
+    #[inline]
+    pub fn total_key(self) -> i32 {
+        if self.is_nan() {
+            return i32::MAX;
+        }
+        let bits = self.0.to_bits() as i32;
+        bits ^ (((bits >> 31) as u32) >> 1) as i32
+    }
 }
 
 macro_rules! tf32_binop {

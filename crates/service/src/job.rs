@@ -109,6 +109,9 @@ pub struct JobSpec {
     /// Per-tile retry budget inside a run (see
     /// [`MdmpConfig::with_tile_retries`]).
     pub tile_retries: u32,
+    /// Force the fused row pipeline on or off for this job; `None` uses
+    /// the auto default (env `MDMP_FUSED_ROWS`, else on).
+    pub fused_rows: Option<bool>,
     /// Per-kernel deadline in milliseconds; `None` disables it.
     pub tile_deadline_ms: Option<u64>,
     /// Whole-job deadline in milliseconds: once exceeded, the scheduler
@@ -135,6 +138,7 @@ impl JobSpec {
             max_retries: 0,
             fault_plan: None,
             tile_retries: 2,
+            fused_rows: None,
             tile_deadline_ms: None,
             deadline_ms: None,
         }
@@ -146,6 +150,7 @@ impl JobSpec {
             .with_tiles(self.tiles)
             .with_fault_plan(self.fault_plan.clone())
             .with_tile_retries(self.tile_retries)
+            .with_fused_rows(self.fused_rows)
             .with_tile_deadline(self.tile_deadline_ms.map(Duration::from_millis))
     }
 
@@ -298,6 +303,7 @@ mod tests {
             max_retries: 0,
             fault_plan: None,
             tile_retries: 2,
+            fused_rows: None,
             tile_deadline_ms: None,
             deadline_ms: None,
         };

@@ -204,6 +204,15 @@ pub struct MetricsRegistry {
     /// Tile attempts that failed and were retried inside runs (fault
     /// injection or genuine kernel failures).
     pub tile_retries: Counter,
+    /// Whether the most recent run used the fused per-row pipeline (1) or
+    /// the three-kernel pipeline (0).
+    pub fused_rows_enabled: Gauge,
+    /// Host dispatches eliminated by the fused row pipeline, accumulated
+    /// over all runs (two per reference row when fusion is on).
+    pub eliminated_dispatches: Counter,
+    /// Pool dispatches served entirely by already-running persistent-pool
+    /// threads, accumulated over all runs.
+    pub pool_thread_reuses: Counter,
     /// Result planes rejected by the NaN/Inf/bound validation gate.
     pub plane_validation_failures: Counter,
     /// Simulated devices quarantined by the health ledger across all runs.
@@ -266,7 +275,7 @@ impl MetricsRegistry {
     /// Render the Prometheus-style text exposition page.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 16] = [
+        let counters: [(&str, &Counter); 18] = [
             ("mdmp_jobs_submitted_total", &self.jobs_submitted),
             ("mdmp_jobs_rejected_total", &self.jobs_rejected),
             ("mdmp_jobs_completed_total", &self.jobs_completed),
@@ -284,6 +293,11 @@ impl MetricsRegistry {
             ("mdmp_buffer_pool_allocs_total", &self.buffer_pool_allocs),
             ("mdmp_tile_retries_total", &self.tile_retries),
             (
+                "mdmp_eliminated_dispatches_total",
+                &self.eliminated_dispatches,
+            ),
+            ("mdmp_pool_thread_reuses_total", &self.pool_thread_reuses),
+            (
                 "mdmp_plane_validation_failures_total",
                 &self.plane_validation_failures,
             ),
@@ -296,12 +310,13 @@ impl MetricsRegistry {
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
-        let gauges: [(&str, &Gauge); 5] = [
+        let gauges: [(&str, &Gauge); 6] = [
             ("mdmp_queue_depth", &self.queue_depth),
             ("mdmp_jobs_running", &self.jobs_running),
             ("mdmp_devices_leased", &self.devices_leased),
             ("mdmp_precalc_cache_bytes", &self.cache_bytes),
             ("mdmp_host_workers", &self.host_workers),
+            ("mdmp_fused_rows_enabled", &self.fused_rows_enabled),
         ];
         for (name, g) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
@@ -346,6 +361,9 @@ impl MetricsRegistry {
             buffer_pool_reuses: self.buffer_pool_reuses.get(),
             buffer_pool_allocs: self.buffer_pool_allocs.get(),
             tile_retries: self.tile_retries.get(),
+            fused_rows_enabled: self.fused_rows_enabled.get() != 0,
+            eliminated_dispatches: self.eliminated_dispatches.get(),
+            pool_thread_reuses: self.pool_thread_reuses.get(),
             plane_validation_failures: self.plane_validation_failures.get(),
             devices_quarantined: self.devices_quarantined.get(),
             connection_drops_injected: self.connection_drops_injected.get(),
@@ -403,6 +421,12 @@ pub struct ServiceStats {
     pub buffer_pool_allocs: u64,
     /// Tile attempts retried inside runs.
     pub tile_retries: u64,
+    /// Whether the most recent run used the fused per-row pipeline.
+    pub fused_rows_enabled: bool,
+    /// Host dispatches eliminated by the fused row pipeline across runs.
+    pub eliminated_dispatches: u64,
+    /// Pool dispatches served by already-running persistent-pool threads.
+    pub pool_thread_reuses: u64,
     /// Result planes rejected by the validation gate.
     pub plane_validation_failures: u64,
     /// Devices quarantined by the health ledger.

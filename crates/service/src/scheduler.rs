@@ -409,6 +409,13 @@ impl Service {
                         .devices_quarantined
                         .add(run.quarantined_devices.len() as u64);
                     self.metrics.host_workers.set(run.host_workers as i64);
+                    self.metrics
+                        .fused_rows_enabled
+                        .set(i64::from(run.fused_rows));
+                    self.metrics
+                        .eliminated_dispatches
+                        .add(run.eliminated_dispatches);
+                    self.metrics.pool_thread_reuses.add(run.pool_thread_reuses);
                     self.metrics.buffer_pool_reuses.add(run.buffer_pool_reuses);
                     self.metrics.buffer_pool_allocs.add(run.buffer_pool_allocs);
                     self.metrics.absorb_worker_busy(&run.worker_busy_seconds);
@@ -528,6 +535,7 @@ mod tests {
                 max_retries: 3,
                 fault_plan: None,
                 tile_retries: 2,
+                fused_rows: None,
                 tile_deadline_ms: None,
                 deadline_ms: None,
             })

@@ -327,6 +327,7 @@ pub fn parse_job_spec(job: &Json) -> Result<JobSpec, String> {
         max_retries: job.get("max_retries").and_then(Json::as_u64).unwrap_or(0) as u32,
         fault_plan,
         tile_retries: job.get("tile_retries").and_then(Json::as_u64).unwrap_or(2) as u32,
+        fused_rows: job.get("fused_rows").and_then(Json::as_bool),
         tile_deadline_ms: job.get("tile_deadline_ms").and_then(Json::as_u64),
         deadline_ms: job.get("deadline_ms").and_then(Json::as_u64),
     })
@@ -418,6 +419,15 @@ fn stats_json(service: &Service) -> Json {
             Json::num(s.precalc_single_flight_waits as f64),
         ),
         ("host_workers", Json::num(s.host_workers as f64)),
+        (
+            "fused_rows_enabled",
+            Json::num(f64::from(u8::from(s.fused_rows_enabled))),
+        ),
+        (
+            "eliminated_dispatches",
+            Json::num(s.eliminated_dispatches as f64),
+        ),
+        ("pool_thread_reuses", Json::num(s.pool_thread_reuses as f64)),
         ("buffer_pool_reuses", Json::num(s.buffer_pool_reuses as f64)),
         ("buffer_pool_allocs", Json::num(s.buffer_pool_allocs as f64)),
         ("tile_retries", Json::num(s.tile_retries as f64)),

@@ -4,16 +4,36 @@
 //! uses (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `into_par_iter`,
 //! `with_min_len`, `enumerate`, `zip`, `map`, `for_each`, `collect`,
 //! `ThreadPoolBuilder::install`, `current_num_threads`), executed by
-//! splitting the materialized item list into contiguous batches run on
-//! `std::thread::scope` workers. Every call site in this workspace only
+//! splitting the materialized item list into contiguous batches run on a
+//! **persistent worker pool**. Every call site in this workspace only
 //! parallelizes over independent elements, so batch execution is
 //! observationally identical to rayon's work stealing — including bitwise
 //! determinism of the results.
+//!
+//! ## The persistent pool
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` workers on every
+//! dispatch, which put a thread create + join on the critical path of every
+//! per-row kernel launch. The pool here is created lazily on the first
+//! multi-batch dispatch and lives for the process: dispatches hand batches
+//! to the resident workers over a mutex/condvar queue, the calling thread
+//! executes batches itself while it waits (so a dispatch can never deadlock
+//! on a saturated pool), and a per-dispatch latch provides the join. Batch
+//! splitting is unchanged — one contiguous batch per logical worker — so
+//! results remain bitwise identical to both the scoped-thread version and
+//! plain sequential execution.
+//!
+//! Worker panics are caught, forwarded to the dispatching thread, and
+//! re-raised there; pool threads never die, so the pool cannot shrink under
+//! chaos testing.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
     /// Thread-count override installed by [`ThreadPool::install`].
@@ -26,6 +46,211 @@ pub fn current_num_threads() -> usize {
         Some(n) => n,
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased batch job. Safety: the dispatching call blocks on the
+/// job's latch before returning, so every borrow the closure captures
+/// outlives its execution (the same argument `std::thread::scope` makes).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch shared by one dispatch's jobs.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(pending: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            state: Mutex::new(LatchState {
+                pending,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        state.pending -= 1;
+        if let Some(p) = panic {
+            state.panic.get_or_insert(p);
+        }
+        if state.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Wait for all jobs, re-raising the first captured panic.
+    fn wait(&self) {
+        let mut state = self.state.lock().unwrap();
+        while state.pending > 0 {
+            state = self.done.wait(state).unwrap();
+        }
+        if let Some(p) = state.panic.take() {
+            drop(state);
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// The process-wide persistent pool.
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Resident worker threads (spawned lazily, at most once each).
+    threads_spawned: AtomicU64,
+    /// Multi-batch dispatches handed to the pool.
+    dispatches: AtomicU64,
+    /// Batches executed by resident pool workers (the rest ran inline on
+    /// the dispatching thread).
+    pool_batches: AtomicU64,
+    /// Upper bound on resident workers.
+    max_threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        threads_spawned: AtomicU64::new(0),
+        dispatches: AtomicU64::new(0),
+        pool_batches: AtomicU64::new(0),
+        max_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+impl Pool {
+    /// Ensure at least `wanted` resident workers exist (capped at
+    /// `max_threads`; the dispatching thread itself covers the rest).
+    fn ensure_threads(&'static self, wanted: usize) {
+        let target = wanted.min(self.max_threads) as u64;
+        loop {
+            let have = self.threads_spawned.load(Ordering::Relaxed);
+            if have >= target {
+                return;
+            }
+            if self
+                .threads_spawned
+                .compare_exchange(have, have + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-stub-{have}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn rayon-stub pool worker");
+        }
+    }
+
+    /// Run `batches` to completion: queue them for the resident workers and
+    /// drain the queue from the calling thread until everything finished.
+    fn run_batches(&'static self, batches: Vec<Job>) {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.ensure_threads(batches.len());
+        let latch = Latch::new(batches.len());
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            for job in batches {
+                let latch = Arc::clone(&latch);
+                let counted: Job = Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    latch.complete(result.err());
+                });
+                queue.push_back(counted);
+            }
+        }
+        self.shared.available.notify_all();
+        // Help out: execute queued jobs (this dispatch's or another's) on
+        // the calling thread while waiting. This guarantees progress even
+        // when every resident worker is busy with nested dispatches.
+        loop {
+            let job = self.shared.queue.lock().unwrap().pop_front();
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        latch.wait();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        pool().pool_batches.fetch_add(1, Ordering::Relaxed);
+        // The job wrapper catches panics; nothing can unwind through here.
+        job();
+    }
+}
+
+/// A snapshot of the persistent pool's lifetime counters (monotone; take
+/// deltas across a region of interest to attribute work to it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Resident worker threads spawned so far (bounded by the host's
+    /// available parallelism for the life of the process).
+    pub threads_spawned: u64,
+    /// Multi-batch dispatches handed to the pool.
+    pub dispatches: u64,
+    /// Batches executed by resident pool workers. `dispatches` served
+    /// after the pool is warm reuse these threads instead of spawning.
+    pub pool_batches: u64,
+}
+
+impl PoolStats {
+    /// Dispatches that reused already-running pool threads (every dispatch
+    /// after the ones that grew the pool).
+    pub fn thread_reuses(&self) -> u64 {
+        self.dispatches.saturating_sub(self.threads_spawned)
+    }
+}
+
+/// Current persistent-pool counters.
+pub fn pool_stats() -> PoolStats {
+    // Read through the OnceLock without forcing pool creation.
+    match POOL.get() {
+        Some(p) => PoolStats {
+            threads_spawned: p.threads_spawned.load(Ordering::Relaxed),
+            dispatches: p.dispatches.load(Ordering::Relaxed),
+            pool_batches: p.pool_batches.load(Ordering::Relaxed),
+        },
+        None => PoolStats::default(),
+    }
+}
+
+/// Erase a batch closure's lifetime so it can ride the persistent pool's
+/// queue. Safety: [`Pool::run_batches`] blocks on the dispatch latch before
+/// returning, so the closure cannot outlive the borrows it captures.
+unsafe fn erase_job<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) }
 }
 
 /// Run `items` through `f`, split into one contiguous batch per worker.
@@ -42,61 +267,23 @@ where
         return;
     }
     let per = items.len().div_ceil(workers);
-    let mut batches: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let f = &f;
+    let mut batches: Vec<Job> = Vec::with_capacity(workers);
     let mut it = items.into_iter();
     loop {
         let batch: Vec<T> = it.by_ref().take(per).collect();
         if batch.is_empty() {
             break;
         }
-        batches.push(batch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            for item in batch {
+                f(item);
+            }
+        });
+        // SAFETY: run_batches joins every batch before returning.
+        batches.push(unsafe { erase_job(job) });
     }
-    let f = &f;
-    std::thread::scope(|s| {
-        for batch in batches {
-            s.spawn(move || {
-                for item in batch {
-                    f(item);
-                }
-            });
-        }
-    });
-}
-
-/// Map `items` through `f` in parallel, preserving order.
-fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let workers = current_num_threads().max(1);
-    if workers == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let per = items.len().div_ceil(workers);
-    let mut batches: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut it = items.into_iter();
-    loop {
-        let batch: Vec<T> = it.by_ref().take(per).collect();
-        if batch.is_empty() {
-            break;
-        }
-        batches.push(batch);
-    }
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = batches
-            .into_iter()
-            .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        // Batches are contiguous and handles are joined in spawn order, so
-        // concatenation preserves the original item order.
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rayon-stub worker panicked"))
-            .collect()
-    })
+    pool().run_batches(batches);
 }
 
 /// A "parallel" iterator: a plain iterator whose consuming adapters run on
@@ -180,8 +367,55 @@ impl<I: Iterator, R, F: Fn(I::Item) -> R> ParMap<I, F> {
         F: Sync,
         C: From<Vec<R>>,
     {
-        parallel_map(self.inner.collect(), self.f).into()
+        parallel_map_ordered(self.inner.collect(), self.f).into()
     }
+}
+
+/// Map `items` through `f` in parallel, preserving order (pool-backed).
+fn parallel_map_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().max(1);
+    if workers == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per = items.len().div_ceil(workers);
+    let f = &f;
+    let mut raw_batches: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let batch: Vec<T> = it.by_ref().take(per).collect();
+        if batch.is_empty() {
+            break;
+        }
+        raw_batches.push(batch);
+    }
+    let slots: Vec<Mutex<Vec<R>>> = (0..raw_batches.len())
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+    let slots_ref = &slots;
+    let jobs: Vec<Job> = raw_batches
+        .into_iter()
+        .enumerate()
+        .map(|(slot, batch)| {
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let mapped: Vec<R> = batch.into_iter().map(f).collect();
+                *slots_ref[slot].lock().unwrap() = mapped;
+            });
+            // SAFETY: run_batches joins every batch before returning.
+            unsafe { erase_job(job) }
+        })
+        .collect();
+    pool().run_batches(jobs);
+    // Batches are contiguous and slots are drained in batch order, so
+    // concatenation preserves the original item order.
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().unwrap())
+        .collect()
 }
 
 /// Conversion into a parallel iterator (by value).
@@ -313,7 +547,7 @@ impl ThreadPoolBuilder {
 }
 
 /// A "thread pool": a scoped override of the worker count used by the
-/// batch executor.
+/// batch executor (batches land on the shared persistent pool).
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -383,5 +617,63 @@ mod tests {
         let blocks: Vec<usize> = (0..10).collect();
         let out: Vec<usize> = blocks.par_iter().map(|&b| b + 1).collect();
         assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_persists_across_dispatches() {
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool4.install(|| {
+            (0..64).into_par_iter().for_each(|_| {});
+        });
+        let before = pool_stats();
+        pool4.install(|| {
+            for _ in 0..8 {
+                (0..64).into_par_iter().for_each(|_| {});
+            }
+        });
+        let after = pool_stats();
+        assert_eq!(
+            after.threads_spawned, before.threads_spawned,
+            "warm dispatches must not spawn threads"
+        );
+        assert!(after.dispatches >= before.dispatches + 8);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| {
+            pool2.install(|| {
+                (0..16).into_par_iter().for_each(|i| {
+                    assert!(i != 7, "injected batch panic");
+                });
+            });
+        });
+        std::panic::set_hook(prev_hook);
+        assert!(caught.is_err(), "batch panic must reach the dispatcher");
+        // The pool still works after the panic.
+        let hits = AtomicUsize::new(0);
+        pool2.install(|| {
+            (0..32).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn nested_dispatches_complete() {
+        let pool2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool2.install(|| {
+            (0..4).into_par_iter().for_each(|_| {
+                (0..4).into_par_iter().for_each(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 }
