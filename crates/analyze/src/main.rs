@@ -1,0 +1,140 @@
+//! `mdmp-analyze` CLI: run the workspace invariant linter.
+//!
+//! ```text
+//! mdmp-analyze [--root PATH] [--baseline PATH] [--json] [--deny-warnings]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or stale baseline entries under
+//! `--deny-warnings`), 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mdmp_analyze::{analyze, to_json, Baseline, RULES};
+
+struct Opts {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: mdmp-analyze [--root PATH] [--baseline PATH] [--json] [--deny-warnings]\n\
+     \n\
+     Lints crates/*/src under --root (default: .) against rules R1-R5\n\
+     (see DESIGN.md §11). --baseline defaults to <root>/analyze/baseline.toml\n\
+     (missing file = empty baseline). --deny-warnings also fails on stale\n\
+     baseline entries."
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        deny_warnings: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("mdmp-analyze: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyze/baseline.toml"));
+    let baseline = if baseline_path.is_file() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mdmp-analyze: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("mdmp-analyze: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let analysis = match analyze(&opts.root, &baseline) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mdmp-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        print!("{}", to_json(&analysis));
+    } else {
+        for v in &analysis.violations {
+            let name = RULES.iter().find(|r| r.id == v.rule).map_or("", |r| r.name);
+            println!(
+                "{}:{}: {} [{}]: {}",
+                v.file, v.line, v.rule, name, v.message
+            );
+            println!("    {}", v.snippet);
+        }
+        for e in &analysis.stale_baseline {
+            eprintln!(
+                "warning: stale baseline entry: rule {} file {} contains {:?} (fix shipped? \
+                 remove the entry)",
+                e.rule, e.file, e.contains
+            );
+        }
+        println!(
+            "mdmp-analyze: {} file(s) scanned, {} violation(s), {} stale baseline entr{}",
+            analysis.files_scanned,
+            analysis.violations.len(),
+            analysis.stale_baseline.len(),
+            if analysis.stale_baseline.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+
+    if !analysis.violations.is_empty()
+        || (opts.deny_warnings && !analysis.stale_baseline.is_empty())
+    {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,153 @@
+//! Negative-fixture suite: each `tests/fixtures/rN/` tree contains one
+//! minimal bad file; `mdmp-analyze` must flag it with rule `RN` and exit
+//! nonzero. The real workspace tree (with its checked-in baseline) must
+//! exit zero.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run_analyze(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdmp-analyze"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run mdmp-analyze")
+}
+
+fn fixture_root(rule: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[track_caller]
+fn assert_flags(rule: &str) {
+    let out = run_analyze(&fixture_root(rule), &["--json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fixture {rule} must exit 1; stdout:\n{stdout}"
+    );
+    let marker = format!("\"rule\": \"{}\"", rule.to_uppercase());
+    assert!(
+        stdout.contains(&marker),
+        "fixture {rule} must be flagged as {}; stdout:\n{stdout}",
+        rule.to_uppercase()
+    );
+    // No cross-talk: the minimal fixture trips exactly one rule.
+    for other in ["R1", "R2", "R3", "R4", "R5"] {
+        if other != rule.to_uppercase() {
+            assert!(
+                !stdout.contains(&format!("\"rule\": \"{other}\"")),
+                "fixture {rule} unexpectedly tripped {other}; stdout:\n{stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn r1_precision_hygiene_fixture_is_flagged() {
+    assert_flags("r1");
+}
+
+#[test]
+fn r2_iteration_determinism_fixture_is_flagged() {
+    assert_flags("r2");
+}
+
+#[test]
+fn r3_relaxed_ordering_fixture_is_flagged() {
+    assert_flags("r3");
+}
+
+#[test]
+fn r4_panic_hygiene_fixture_is_flagged() {
+    assert_flags("r4");
+}
+
+#[test]
+fn r5_float_compare_fixture_is_flagged() {
+    assert_flags("r5");
+}
+
+#[test]
+fn clean_workspace_tree_exits_zero() {
+    let out = run_analyze(&workspace_root(), &["--deny-warnings"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must be lint-clean\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn human_output_carries_file_line_spans() {
+    let out = run_analyze(&fixture_root("r3"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/core/src/bad.rs:5: R3"),
+        "diagnostic must lead with file:line; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn stale_baseline_entry_warns_and_gates_under_deny_warnings() {
+    let dir = std::env::temp_dir().join(format!("mdmp-analyze-stale-{}", std::process::id()));
+    let src = dir.join("crates/clean/src");
+    std::fs::create_dir_all(&src).expect("mkdir fixture");
+    std::fs::write(src.join("lib.rs"), "pub fn nothing() {}\n").expect("write clean file");
+    let baseline = dir.join("baseline.toml");
+    std::fs::write(
+        &baseline,
+        "[[allow]]\nrule = \"R5\"\nfile = \"crates/clean/src/lib.rs\"\ncontains = \"gone\"\nreason = \"obsolete\"\n",
+    )
+    .expect("write baseline");
+
+    let lenient = run_analyze(&dir, &["--baseline", baseline.to_str().expect("utf8 path")]);
+    assert_eq!(
+        lenient.status.code(),
+        Some(0),
+        "stale entry is only a warning"
+    );
+    assert!(
+        String::from_utf8_lossy(&lenient.stderr).contains("stale baseline entry"),
+        "warning must name the stale entry"
+    );
+
+    let strict = run_analyze(
+        &dir,
+        &[
+            "--baseline",
+            baseline.to_str().expect("utf8 path"),
+            "--deny-warnings",
+        ],
+    );
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "--deny-warnings promotes stale entries to failures"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_baseline_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("mdmp-analyze-badbase-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("crates/clean/src")).expect("mkdir fixture");
+    std::fs::write(dir.join("crates/clean/src/lib.rs"), "pub fn nothing() {}\n")
+        .expect("write clean file");
+    let baseline = dir.join("baseline.toml");
+    std::fs::write(&baseline, "[[allow]]\nrule = \"R5\"\n").expect("write baseline");
+    let out = run_analyze(&dir, &["--baseline", baseline.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2), "incomplete entry is rejected");
+    std::fs::remove_dir_all(&dir).ok();
+}

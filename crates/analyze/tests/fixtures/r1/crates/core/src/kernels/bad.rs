@@ -1,0 +1,4 @@
+// R1 fixture: raw sqrt in kernel code outside the blessed call sites.
+pub fn sneaky_distance(gap: f64, two_m: f64) -> f64 {
+    (two_m * gap).sqrt()
+}

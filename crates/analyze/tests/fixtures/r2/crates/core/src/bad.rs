@@ -1,0 +1,6 @@
+// R2 fixture: HashMap in a merge path.
+use std::collections::HashMap;
+
+pub fn merge(parts: HashMap<usize, f64>) -> Vec<f64> {
+    parts.into_values().collect()
+}

@@ -1,0 +1,6 @@
+// R3 fixture: Relaxed atomic without a relaxed-ok justification.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(n: &AtomicUsize) -> usize {
+    n.fetch_add(1, Ordering::Relaxed)
+}

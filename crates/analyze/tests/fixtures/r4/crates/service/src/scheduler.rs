@@ -1,0 +1,6 @@
+// R4 fixture: unwrap on a request path.
+use std::sync::Mutex;
+
+pub fn touch(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

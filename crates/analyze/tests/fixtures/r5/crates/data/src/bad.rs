@@ -1,0 +1,4 @@
+// R5 fixture: float equality outside the precision crate.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

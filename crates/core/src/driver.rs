@@ -253,6 +253,8 @@ fn run_generic<P: Real, M: Real>(
             .as_deref()
             .and_then(|plan| plan.tile_fault(tile.index, attempt));
         if fault.is_some() {
+            // relaxed-ok: reporting tally, read once after every worker
+            // has joined (the scope join is the synchronization point).
             fault_ctr.fetch_add(1, Ordering::Relaxed);
         }
         match fault {
@@ -277,6 +279,7 @@ fn run_generic<P: Real, M: Real>(
         // clamping is on; the unclamped ablation produces legitimate NaNs.
         if cfg.clamp {
             if let Err(violation) = validate_profile_plane(&out.profile, value_bound) {
+                // relaxed-ok: reporting tally, read after scope join.
                 validation_ctr.fetch_add(1, Ordering::Relaxed);
                 return Err(TileError::PoisonedPlane {
                     tile: tile.index,
@@ -315,6 +318,7 @@ fn run_generic<P: Real, M: Real>(
                         if attempt >= cfg.tile_retries {
                             return Err(err);
                         }
+                        // relaxed-ok: reporting tally, read after scope join.
                         retry_ctr.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(retry_backoff(
                             cfg.tile_retry_base,
@@ -420,9 +424,16 @@ fn run_generic<P: Real, M: Real>(
                         let mut bufs = PlaneBuffers::<M>::new();
                         let mut busy = 0.0f64;
                         loop {
+                            // relaxed-ok: cancellation is advisory — a
+                            // worker that misses the flag merely finishes
+                            // one extra tile; the coordinator discards it.
                             if cancel.load(Ordering::Relaxed) {
                                 break;
                             }
+                            // relaxed-ok: the claim counter only needs
+                            // atomicity for unique indices; tile results
+                            // travel through the mpsc channel, which
+                            // orders their payloads.
                             let idx = next_tile.fetch_add(1, Ordering::Relaxed);
                             if idx >= tiles.len() {
                                 break;
@@ -448,6 +459,8 @@ fn run_generic<P: Real, M: Real>(
                     }
                     Err(source) => {
                         outcome = Err(wrap_tile_error(source));
+                        // relaxed-ok: advisory cancellation (see the
+                        // worker-side load).
                         cancel.store(true, Ordering::Relaxed);
                         break 'recv;
                     }
@@ -455,6 +468,7 @@ fn run_generic<P: Real, M: Real>(
                 while let Some((out, cached, dev)) = pending.remove(&tiles_merged) {
                     if let Err(e) = consume(tiles_merged, out, cached, dev) {
                         outcome = Err(e);
+                        // relaxed-ok: advisory cancellation (see above).
                         cancel.store(true, Ordering::Relaxed);
                         break 'recv;
                     }
@@ -515,9 +529,11 @@ fn run_generic<P: Real, M: Real>(
         worker_busy_seconds,
         buffer_pool_reuses,
         buffer_pool_allocs,
+        // relaxed-ok: all workers have joined (scope exit) before these
+        // reads, so the tallies are complete and stable.
         tile_retries: retry_ctr.load(Ordering::Relaxed),
-        plane_validation_failures: validation_ctr.load(Ordering::Relaxed),
-        faults_injected: fault_ctr.load(Ordering::Relaxed),
+        plane_validation_failures: validation_ctr.load(Ordering::Relaxed), // relaxed-ok: same
+        faults_injected: fault_ctr.load(Ordering::Relaxed),                // relaxed-ok: same
         quarantined_devices: health.quarantined(),
         fused_rows,
         eliminated_dispatches,

@@ -13,7 +13,7 @@
 use mdmp_gpu_sim::{KernelClass, KernelCost};
 use mdmp_precision::{Format, Real};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of compare-exchange stages of a Bitonic network over `len`
@@ -43,8 +43,8 @@ pub fn comparator_schedule(len: usize) -> Arc<[Comparator]> {
         len.is_power_of_two(),
         "bitonic length must be a power of two"
     );
-    static SCHEDULES: OnceLock<Mutex<HashMap<usize, Arc<[Comparator]>>>> = OnceLock::new();
-    let cache = SCHEDULES.get_or_init(|| Mutex::new(HashMap::new()));
+    static SCHEDULES: OnceLock<Mutex<BTreeMap<usize, Arc<[Comparator]>>>> = OnceLock::new();
+    let cache = SCHEDULES.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(s) = cache.lock().unwrap().get(&len) {
         return Arc::clone(s);
     }

@@ -382,6 +382,8 @@ pub fn validate_profile_plane(
                 true
             } else if p.is_infinite() || i == -1 {
                 // Only the exact unset pair (+∞, -1) is legal.
+                // float-eq-ok: exact sentinel-value test; +∞ is a single
+                // bit pattern, no rounding is involved.
                 let unset = p == f64::INFINITY && i == -1;
                 if !unset {
                     v.inf += 1;

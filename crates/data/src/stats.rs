@@ -44,6 +44,9 @@ pub fn znormalize(seg: &[f64]) -> Vec<f64> {
     let mu = seg.iter().sum::<f64>() / m;
     let var = seg.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / m;
     let sd = var.sqrt();
+    // float-eq-ok: exact-zero guard against dividing by a true zero
+    // deviation (constant segment); near-zero must NOT be caught, it
+    // still normalizes deterministically.
     if sd == 0.0 {
         return vec![0.0; seg.len()];
     }

@@ -161,6 +161,8 @@ impl Clone for FaultPlan {
             budget: self
                 .budget
                 .as_ref()
+                // relaxed-ok: cloning snapshots a lone counter; the clone
+                // is published to other threads by its owner, not here.
                 .map(|b| AtomicU64::new(b.load(Ordering::Relaxed))),
             directives: self.directives.clone(),
             p_kernel: self.p_kernel,
@@ -261,6 +263,8 @@ impl FaultPlan {
         if let Some(budget) = &self.budget {
             // Draw one unit; if the pool is already empty the fault fizzles.
             let drawn = budget
+                // relaxed-ok: the budget only needs an atomic decrement
+                // so at most N faults fire; it orders no other data.
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                 .is_ok();
             if !drawn {
@@ -292,6 +296,7 @@ impl FaultPlan {
 
     /// Remaining fire budget, if one is set.
     pub fn budget_remaining(&self) -> Option<u64> {
+        // relaxed-ok: reporting read of a lone counter.
         self.budget.as_ref().map(|b| b.load(Ordering::Relaxed))
     }
 }

@@ -130,6 +130,8 @@ impl<L: Ord + Copy> ClassificationReport<L> {
     pub fn f1(&self, class: L) -> f64 {
         let p = self.precision(class);
         let r = self.recall(class);
+        // float-eq-ok: exact-zero guard — both terms are nonnegative, so
+        // the sum is 0.0 only when both are true zeros (0/0 protection).
         if p + r == 0.0 {
             0.0
         } else {

@@ -19,7 +19,7 @@ use core::fmt;
 use core::str::FromStr;
 
 /// A floating-point format identifier (storage + arithmetic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Format {
     /// IEEE binary64.
     Fp64,

@@ -12,11 +12,12 @@
 //!
 //! Eviction is LRU under a byte budget, whole runs at a time.
 
+use crate::sync;
 use mdmp_core::{PrecalcStore, TilePrecalc};
 use mdmp_data::MultiDimSeries;
 use mdmp_precision::{Format, PrecisionMode};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -42,7 +43,10 @@ pub fn series_fingerprint(series: &MultiDimSeries) -> u64 {
 }
 
 /// Everything the `precalculation` kernel's output depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` so the cache maps can be `BTreeMap`s: eviction scans iterate
+/// them, and ordered iteration keeps LRU tie-breaks deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheKey {
     /// Reference series fingerprint.
     pub reference: u64,
@@ -80,7 +84,7 @@ impl CacheKey {
 
 #[derive(Debug)]
 struct CacheEntry {
-    tiles: HashMap<usize, Arc<TilePrecalc>>,
+    tiles: BTreeMap<usize, Arc<TilePrecalc>>,
     bytes: u64,
     last_used: u64,
 }
@@ -148,21 +152,17 @@ struct FlightGuard<'a> {
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
         let outcome = std::mem::replace(&mut self.publish, FlightState::Poisoned);
-        *self.flight.state.lock().unwrap() = outcome;
+        *sync::lock(&self.flight.state) = outcome;
         self.flight.ready.notify_all();
-        self.cache
-            .inflight
-            .lock()
-            .unwrap()
-            .remove(&(self.key.clone(), self.tile_index));
+        sync::lock(&self.cache.inflight).remove(&(self.key.clone(), self.tile_index));
     }
 }
 
 /// A thread-safe LRU cache of per-run tile precalculations.
 #[derive(Debug)]
 pub struct PrecalcCache {
-    inner: Mutex<HashMap<CacheKey, CacheEntry>>,
-    inflight: Mutex<HashMap<(CacheKey, usize), Arc<Flight>>>,
+    inner: Mutex<BTreeMap<CacheKey, CacheEntry>>,
+    inflight: Mutex<BTreeMap<(CacheKey, usize), Arc<Flight>>>,
     budget_bytes: u64,
     clock: AtomicU64,
     hits: AtomicU64,
@@ -175,8 +175,8 @@ impl PrecalcCache {
     /// A cache bounded by `budget_bytes` of precalc payload.
     pub fn new(budget_bytes: u64) -> PrecalcCache {
         PrecalcCache {
-            inner: Mutex::new(HashMap::new()),
-            inflight: Mutex::new(HashMap::new()),
+            inner: Mutex::new(BTreeMap::new()),
+            inflight: Mutex::new(BTreeMap::new()),
             budget_bytes,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -191,8 +191,10 @@ impl PrecalcCache {
     pub fn lookup(&self, key: &CacheKey, tile_index: usize) -> Option<Arc<TilePrecalc>> {
         let found = self.peek(key, tile_index);
         match &found {
+            // relaxed-ok: hit/miss tallies are reported, never ordered
+            // against the cached data (the map mutex orders that).
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed), // relaxed-ok: same
         };
         found
     }
@@ -201,8 +203,10 @@ impl PrecalcCache {
     /// LRU recency) — the single-flight path does its own counting so a
     /// coalesced miss is recorded exactly once.
     fn peek(&self, key: &CacheKey, tile_index: usize) -> Option<Arc<TilePrecalc>> {
+        // relaxed-ok: the clock only needs unique monotone stamps for LRU
+        // recency; it orders no other data.
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.lock().unwrap();
+        let mut map = sync::lock(&self.inner);
         map.get_mut(key).and_then(|entry| {
             entry.last_used = stamp;
             entry.tiles.get(&tile_index).cloned()
@@ -228,10 +232,11 @@ impl PrecalcCache {
     ) -> (Arc<TilePrecalc>, bool) {
         loop {
             let role = {
-                let mut inflight = self.inflight.lock().unwrap();
+                let mut inflight = sync::lock(&self.inflight);
                 // Re-check the cache under the inflight lock so a result
                 // that landed between iterations can't be missed.
                 if let Some(pre) = self.peek(key, tile_index) {
+                    // relaxed-ok: reporting-only tally (see lookup).
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return (pre, true);
                 }
@@ -246,6 +251,7 @@ impl PrecalcCache {
             };
             match role {
                 FlightRole::Leader(flight) => {
+                    // relaxed-ok: reporting-only tally (see lookup).
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     let mut guard = FlightGuard {
                         cache: self,
@@ -261,19 +267,23 @@ impl PrecalcCache {
                     return (pre, false);
                 }
                 FlightRole::Follower(flight) => {
+                    // relaxed-ok: reporting-only tally (see lookup).
                     self.single_flight_waits.fetch_add(1, Ordering::Relaxed);
-                    let mut state = flight.state.lock().unwrap();
+                    let mut state = sync::lock(&flight.state);
                     while matches!(*state, FlightState::Pending) {
-                        state = flight.ready.wait(state).unwrap();
+                        state = sync::wait(&flight.ready, state);
                     }
                     match &*state {
                         FlightState::Done(pre) => {
+                            // relaxed-ok: reporting-only tally (see lookup).
                             self.hits.fetch_add(1, Ordering::Relaxed);
                             return (Arc::clone(pre), true);
                         }
                         // Leader panicked: loop around and try to become
                         // the new leader.
                         FlightState::Poisoned => continue,
+                        // panic-ok: the wait loop above only exits once the
+                        // state left Pending; this arm cannot run.
                         FlightState::Pending => unreachable!(),
                     }
                 }
@@ -284,11 +294,12 @@ impl PrecalcCache {
     /// Insert one tile's precalc, evicting least-recently-used runs if the
     /// byte budget is exceeded (the incoming run is never evicted).
     pub fn insert(&self, key: &CacheKey, tile_index: usize, pre: &Arc<TilePrecalc>) {
+        // relaxed-ok: LRU recency stamp only (see peek).
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let added = pre.approx_bytes();
-        let mut map = self.inner.lock().unwrap();
+        let mut map = sync::lock(&self.inner);
         let entry = map.entry(key.clone()).or_insert_with(|| CacheEntry {
-            tiles: HashMap::new(),
+            tiles: BTreeMap::new(),
             bytes: 0,
             last_used: stamp,
         });
@@ -296,7 +307,9 @@ impl PrecalcCache {
         if entry.tiles.insert(tile_index, Arc::clone(pre)).is_none() {
             entry.bytes += added;
         }
-        // Evict whole runs, oldest first, until within budget.
+        // Evict whole runs, oldest first, until within budget. The map is
+        // a BTreeMap, so a last_used tie always evicts the same (lowest)
+        // key — eviction order is deterministic.
         while Self::total_bytes(&map) > self.budget_bytes {
             let Some(victim) = map
                 .iter()
@@ -307,30 +320,34 @@ impl PrecalcCache {
                 break; // only the incoming run remains; keep it
             };
             map.remove(&victim);
+            // relaxed-ok: reporting-only tally (see lookup).
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    fn total_bytes(map: &HashMap<CacheKey, CacheEntry>) -> u64 {
+    fn total_bytes(map: &BTreeMap<CacheKey, CacheEntry>) -> u64 {
         map.values().map(|e| e.bytes).sum()
     }
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
-        let map = self.inner.lock().unwrap();
+        let map = sync::lock(&self.inner);
         CacheStats {
+            // relaxed-ok: point-in-time reporting reads of independent
+            // tallies; slight skew between them is acceptable.
             hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed), // relaxed-ok: same
+            evictions: self.evictions.load(Ordering::Relaxed), // relaxed-ok: same
             bytes: Self::total_bytes(&map),
             entries: map.len(),
+            // relaxed-ok: same point-in-time reporting read.
             single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
         }
     }
 
     /// Drop every entry.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
+        sync::lock(&self.inner).clear();
     }
 
     /// A [`PrecalcStore`] view of this cache scoped to one run's key, for

@@ -36,6 +36,7 @@ pub mod queue;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub(crate) mod sync;
 
 pub use cache::{series_fingerprint, CacheKey, CacheStats, PrecalcCache};
 pub use job::{JobId, JobInput, JobOutcome, JobSpec, JobState, JobStatus, Priority};

@@ -15,17 +15,19 @@ pub struct Counter(AtomicU64);
 impl Counter {
     /// Increment by one.
     pub fn inc(&self) {
+        // relaxed-ok: a counter is an independent tally; readers only
+        // need eventual totals, never cross-metric ordering.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increment by `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // relaxed-ok: see inc
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // relaxed-ok: see inc
     }
 }
 
@@ -36,27 +38,29 @@ pub struct Gauge(AtomicI64);
 impl Gauge {
     /// Increment by one.
     pub fn inc(&self) {
+        // relaxed-ok: a gauge is an independent reading; readers only
+        // need eventual values, never cross-metric ordering.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Decrement by one.
     pub fn dec(&self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.0.fetch_sub(1, Ordering::Relaxed); // relaxed-ok: see inc
     }
 
     /// Add a (possibly negative) delta.
     pub fn add(&self, delta: i64) {
-        self.0.fetch_add(delta, Ordering::Relaxed);
+        self.0.fetch_add(delta, Ordering::Relaxed); // relaxed-ok: see inc
     }
 
     /// Set to an absolute value.
     pub fn set(&self, value: i64) {
-        self.0.store(value, Ordering::Relaxed);
+        self.0.store(value, Ordering::Relaxed); // relaxed-ok: see inc
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // relaxed-ok: see inc
     }
 }
 
@@ -67,11 +71,14 @@ pub struct FloatSum(AtomicU64);
 impl FloatSum {
     /// Add a value.
     pub fn add(&self, v: f64) {
+        // relaxed-ok: the CAS loop already makes each accumulation
+        // atomic; the sum is a reporting value with no ordering ties.
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + v).to_bits();
             match self
                 .0
+                // relaxed-ok: see the load above.
                 .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
@@ -82,7 +89,7 @@ impl FloatSum {
 
     /// Current value.
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.load(Ordering::Relaxed)) // relaxed-ok: see add
     }
 }
 
@@ -118,6 +125,8 @@ impl Histogram {
     pub fn observe(&self, seconds: f64) {
         for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
             if seconds <= *bound {
+                // relaxed-ok: bucket tallies are reporting-only; the page
+                // renderer tolerates a mid-observation snapshot.
                 self.buckets[i].fetch_add(1, Ordering::Relaxed);
                 break;
             }
@@ -150,7 +159,7 @@ impl Histogram {
         out.push_str(&format!("# TYPE {name} histogram\n"));
         let mut cumulative = 0u64;
         for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            cumulative += self.buckets[i].load(Ordering::Relaxed); // relaxed-ok: see observe
             out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
         }
         out.push_str(&format!(

@@ -14,9 +14,10 @@ use crate::metrics::MetricsRegistry;
 use crate::pool::DevicePool;
 use crate::queue::{JobQueue, SubmitError};
 use crate::session::SessionManager;
+use crate::sync;
 use mdmp_core::run_with_mode_cached;
 use mdmp_gpu_sim::DeviceSpec;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -75,7 +76,7 @@ struct JobRecord {
 pub struct Service {
     cfg: ServiceConfig,
     queue: JobQueue,
-    registry: Mutex<HashMap<JobId, JobRecord>>,
+    registry: Mutex<BTreeMap<JobId, JobRecord>>,
     state_changed: Condvar,
     next_id: AtomicU64,
     /// The shared precalculation cache.
@@ -89,7 +90,7 @@ pub struct Service {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Jobs whose fault plan asks the server to drop the client connection
     /// once mid-job (consumed by the first `wait` on the job).
-    connection_faults: Mutex<HashSet<JobId>>,
+    connection_faults: Mutex<BTreeSet<JobId>>,
 }
 
 impl Service {
@@ -98,7 +99,7 @@ impl Service {
         assert!(cfg.workers > 0, "need at least one worker");
         let service = Arc::new(Service {
             queue: JobQueue::new(cfg.queue_capacity),
-            registry: Mutex::new(HashMap::new()),
+            registry: Mutex::new(BTreeMap::new()),
             state_changed: Condvar::new(),
             next_id: AtomicU64::new(0),
             cache: PrecalcCache::new(cfg.cache_bytes),
@@ -107,16 +108,18 @@ impl Service {
             sessions: SessionManager::new(),
             shutting_down: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
-            connection_faults: Mutex::new(HashSet::new()),
+            connection_faults: Mutex::new(BTreeSet::new()),
             cfg,
         });
-        let mut handles = service.workers.lock().unwrap();
+        let mut handles = sync::lock(&service.workers);
         for i in 0..service.cfg.workers {
             let svc = Arc::clone(&service);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mdmp-worker-{i}"))
                     .spawn(move || svc.worker_loop())
+                    // panic-ok: startup path, before any request is
+                    // admitted — failing to spawn the pool is fatal.
                     .expect("spawn worker"),
             );
         }
@@ -144,6 +147,8 @@ impl Service {
                 self.pool.total()
             )));
         }
+        // relaxed-ok: id allocation only needs uniqueness; the registry
+        // insert below is ordered by its mutex.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let priority = spec.priority;
         if spec
@@ -151,10 +156,10 @@ impl Service {
             .as_deref()
             .is_some_and(|plan| plan.drops_connection())
         {
-            self.connection_faults.lock().unwrap().insert(id);
+            sync::lock(&self.connection_faults).insert(id);
         }
         {
-            let mut registry = self.registry.lock().unwrap();
+            let mut registry = sync::lock(&self.registry);
             registry.insert(
                 id,
                 JobRecord {
@@ -176,7 +181,7 @@ impl Service {
                 Ok(id)
             }
             Err(e) => {
-                self.registry.lock().unwrap().remove(&id);
+                sync::lock(&self.registry).remove(&id);
                 self.metrics.jobs_rejected.inc();
                 Err(e)
             }
@@ -185,7 +190,7 @@ impl Service {
 
     /// A status snapshot, or `None` for an unknown id.
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        let registry = self.registry.lock().unwrap();
+        let registry = sync::lock(&self.registry);
         registry.get(&id).map(|r| Self::snapshot(id, r))
     }
 
@@ -216,7 +221,7 @@ impl Service {
         if !self.queue.remove(id) {
             return false;
         }
-        let mut registry = self.registry.lock().unwrap();
+        let mut registry = sync::lock(&self.registry);
         let Some(record) = registry.get_mut(&id) else {
             return false;
         };
@@ -233,7 +238,7 @@ impl Service {
     /// passes), returning the final status.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
         let deadline = Instant::now() + timeout;
-        let mut registry = self.registry.lock().unwrap();
+        let mut registry = sync::lock(&self.registry);
         loop {
             let status = registry.get(&id).map(|r| Self::snapshot(id, r))?;
             if status.state.is_terminal() {
@@ -243,10 +248,7 @@ impl Service {
             if now >= deadline {
                 return Some(status);
             }
-            let (guard, _) = self
-                .state_changed
-                .wait_timeout(registry, deadline - now)
-                .unwrap();
+            let (guard, _) = sync::wait_timeout(&self.state_changed, registry, deadline - now);
             registry = guard;
         }
     }
@@ -255,7 +257,7 @@ impl Service {
     /// once for a job whose fault plan carries `drop`, after which the
     /// connection behaves normally again.
     pub fn take_connection_fault(&self, id: JobId) -> bool {
-        let fired = self.connection_faults.lock().unwrap().remove(&id);
+        let fired = sync::lock(&self.connection_faults).remove(&id);
         if fired {
             self.metrics.connection_drops_injected.inc();
         }
@@ -285,6 +287,8 @@ impl Service {
 
     /// Whether shutdown has begun.
     pub fn is_shutting_down(&self) -> bool {
+        // relaxed-ok: advisory flag; the authoritative shutdown signal is
+        // the queue closing (mutex-ordered in JobQueue).
         self.shutting_down.load(Ordering::Relaxed)
     }
 
@@ -292,12 +296,13 @@ impl Service {
     /// to completion; with `drain = false` queued jobs are cancelled and
     /// only in-flight ones finish. Blocks until all workers exit.
     pub fn shutdown(&self, drain: bool) {
+        // relaxed-ok: advisory flag (see is_shutting_down).
         self.shutting_down.store(true, Ordering::Relaxed);
         if drain {
             self.queue.close();
         } else {
             let dropped = self.queue.close_and_drain();
-            let mut registry = self.registry.lock().unwrap();
+            let mut registry = sync::lock(&self.registry);
             for id in dropped {
                 if let Some(record) = registry.get_mut(&id) {
                     record.state = JobState::Cancelled;
@@ -309,7 +314,7 @@ impl Service {
             drop(registry);
             self.state_changed.notify_all();
         }
-        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = sync::lock(&self.workers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -320,7 +325,7 @@ impl Service {
             self.metrics.queue_depth.dec();
             // Claim: queued → running (skip if cancelled in between).
             let spec = {
-                let mut registry = self.registry.lock().unwrap();
+                let mut registry = sync::lock(&self.registry);
                 let Some(record) = registry.get_mut(&id) else {
                     continue;
                 };
@@ -335,7 +340,7 @@ impl Service {
             self.state_changed.notify_all();
             let started = Instant::now();
             let queue_wait = {
-                let registry = self.registry.lock().unwrap();
+                let registry = sync::lock(&self.registry);
                 registry
                     .get(&id)
                     .map(|r| started.duration_since(r.submitted).as_secs_f64())
@@ -350,7 +355,7 @@ impl Service {
                 .run_seconds
                 .observe(finished.duration_since(started).as_secs_f64());
             self.metrics.jobs_running.dec();
-            let mut registry = self.registry.lock().unwrap();
+            let mut registry = sync::lock(&self.registry);
             if let Some(record) = registry.get_mut(&id) {
                 record.finished = Some(finished);
                 match result {
@@ -385,7 +390,7 @@ impl Service {
         loop {
             attempt += 1;
             {
-                let mut registry = self.registry.lock().unwrap();
+                let mut registry = sync::lock(&self.registry);
                 if let Some(record) = registry.get_mut(&id) {
                     record.attempts = attempt;
                 }

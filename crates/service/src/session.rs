@@ -3,9 +3,10 @@
 //! [`mdmp_core::streaming`] — FP64 sessions therefore match the batch
 //! result exactly no matter how arrivals are chunked.
 
+use crate::sync;
 use mdmp_core::{MatrixProfile, MdmpConfig, StreamingProfile};
 use mdmp_data::MultiDimSeries;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -50,7 +51,7 @@ pub struct SessionSummary {
 #[derive(Debug, Default)]
 pub struct SessionManager {
     next_id: AtomicU64,
-    sessions: Mutex<HashMap<SessionId, StreamingProfile>>,
+    sessions: Mutex<BTreeMap<SessionId, StreamingProfile>>,
 }
 
 impl SessionManager {
@@ -68,6 +69,8 @@ impl SessionManager {
         cfg: MdmpConfig,
     ) -> Result<SessionSummary, String> {
         let sp = StreamingProfile::new(reference, query, cfg).map_err(|e| e.to_string())?;
+        // relaxed-ok: id allocation only needs uniqueness; the table
+        // insert below is ordered by its mutex.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let summary = SessionSummary {
             id,
@@ -75,7 +78,7 @@ impl SessionManager {
             n_reference: sp.n_reference(),
             dims: sp.profile().dims(),
         };
-        self.sessions.lock().unwrap().insert(id, sp);
+        sync::lock(&self.sessions).insert(id, sp);
         Ok(summary)
     }
 
@@ -86,7 +89,7 @@ impl SessionManager {
         side: AppendSide,
         samples: &[Vec<f64>],
     ) -> Result<SessionSummary, String> {
-        let mut sessions = self.sessions.lock().unwrap();
+        let mut sessions = sync::lock(&self.sessions);
         let sp = sessions
             .get_mut(&id)
             .ok_or_else(|| format!("unknown session {id}"))?;
@@ -111,18 +114,14 @@ impl SessionManager {
 
     /// The session's current profile (cloned snapshot).
     pub fn profile(&self, id: SessionId) -> Option<MatrixProfile> {
-        self.sessions
-            .lock()
-            .unwrap()
+        sync::lock(&self.sessions)
             .get(&id)
             .map(|sp| sp.profile().clone())
     }
 
     /// The session's shape.
     pub fn summary(&self, id: SessionId) -> Option<SessionSummary> {
-        self.sessions
-            .lock()
-            .unwrap()
+        sync::lock(&self.sessions)
             .get(&id)
             .map(|sp| SessionSummary {
                 id,
@@ -134,12 +133,12 @@ impl SessionManager {
 
     /// Close a session; returns whether it existed.
     pub fn close(&self, id: SessionId) -> bool {
-        self.sessions.lock().unwrap().remove(&id).is_some()
+        sync::lock(&self.sessions).remove(&id).is_some()
     }
 
     /// Open sessions right now.
     pub fn len(&self) -> usize {
-        self.sessions.lock().unwrap().len()
+        sync::lock(&self.sessions).len()
     }
 
     /// Whether no session is open.

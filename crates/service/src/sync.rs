@@ -1,0 +1,34 @@
+//! Poison-tolerant lock helpers for request-path modules.
+//!
+//! `Mutex::lock().unwrap()` turns one worker's panic into a cascading
+//! panic in every thread that later touches the same lock — exactly what
+//! the service's panic-hygiene rule (mdmp-analyze R4) forbids on request
+//! paths. These helpers recover the guard from a poisoned lock instead:
+//! every structure the service guards this way (job registry, session
+//! table, precalc cache maps, flight state) is kept consistent by
+//! updating it in a single statement or by publish-on-drop guards, so the
+//! data is valid even if the panicking thread died mid-request. Higher
+//! layers then surface the original panic as a typed job failure.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`], recovering the guard on poison.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`], recovering the guard on poison.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}

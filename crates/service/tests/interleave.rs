@@ -1,0 +1,389 @@
+//! Deterministic-interleaving model checks (vendor/interleave) of the
+//! three riskiest concurrent structures in the pipeline:
+//!
+//! 1. the single-flight leader/follower protocol of
+//!    `crates/service/src/cache.rs` (exactly one compute and one recorded
+//!    miss, poisoned leaders re-elected, no lost wakeup);
+//! 2. the device-pool lease of `crates/service/src/pool.rs` (no
+//!    over-lease, batch release must `notify_all`);
+//! 3. the tile reorder buffer of `crates/core/src/driver.rs` (atomic
+//!    claim + BTreeMap reorder ⇒ strictly in-order merge, each tile
+//!    exactly once).
+//!
+//! Each model is written against the checker's `Mutex`/`Condvar`/atomics
+//! with the same lock protocol as the production code, so every schedule
+//! the checker explores is a schedule the real structure could see.
+//! Deadlocks (= lost wakeups) and assertion failures abort with the
+//! failing schedule's decision trace.
+//!
+//! The `full_*` tests sweep thousands of schedules and are skipped under
+//! Miri (each schedule spawns real threads); the `smoke_*` tests run a
+//! small bound everywhere, including `cargo miri test`.
+
+use interleave::{explore, spawn, AtomicUsize, Condvar, Config, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Model 1: single-flight cache fill (cache.rs).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum FlightState {
+    Pending,
+    Done(u32),
+    Poisoned,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+struct SingleFlight {
+    /// `None` = no computation in progress for the (one) key.
+    inflight: Mutex<Option<Arc<Flight>>>,
+    /// The cached value, once computed.
+    cache: Mutex<Option<u32>>,
+    computes: AtomicUsize,
+    misses: AtomicUsize,
+    /// Leader crashes left to inject (the poisoned-leader variant).
+    crashes: AtomicUsize,
+}
+
+enum Role {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+}
+
+/// The model's `get_or_compute`, with the same lock protocol as
+/// `PrecalcCache::get_or_compute`: the cache re-check happens under the
+/// inflight lock, the leader publishes state *then* retires the flight,
+/// and followers loop on `Poisoned` to re-elect. Returns `None` if this
+/// thread was a leader that crashed.
+fn get_or_compute(sf: &SingleFlight) -> Option<u32> {
+    loop {
+        let role = {
+            let mut inflight = sf.inflight.lock();
+            if let Some(v) = *sf.cache.lock() {
+                return Some(v);
+            }
+            match &*inflight {
+                Some(f) => Role::Follower(Arc::clone(f)),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        ready: Condvar::new(),
+                    });
+                    *inflight = Some(Arc::clone(&f));
+                    Role::Leader(f)
+                }
+            }
+        };
+        match role {
+            Role::Leader(flight) => {
+                sf.misses.fetch_add(1);
+                // A crashing leader publishes Poisoned without computing
+                // (the production FlightGuard does this on unwind) and
+                // still retires the flight.
+                let crashed = sf.crashes.load() > 0 && {
+                    sf.crashes.fetch_sub(1);
+                    true
+                };
+                let publish = if crashed {
+                    FlightState::Poisoned
+                } else {
+                    sf.computes.fetch_add(1);
+                    *sf.cache.lock() = Some(42);
+                    FlightState::Done(42)
+                };
+                *flight.state.lock() = publish;
+                flight.ready.notify_all();
+                *sf.inflight.lock() = None;
+                return if crashed { None } else { Some(42) };
+            }
+            Role::Follower(flight) => {
+                let mut state = flight.state.lock();
+                while *state == FlightState::Pending {
+                    state = flight.ready.wait(state);
+                }
+                match *state {
+                    FlightState::Done(v) => return Some(v),
+                    FlightState::Poisoned => continue,
+                    FlightState::Pending => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+fn single_flight_model(threads: usize, crashes: usize) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sf = Arc::new(SingleFlight {
+            inflight: Mutex::new(None),
+            cache: Mutex::new(None),
+            computes: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            crashes: AtomicUsize::new(crashes),
+        });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                spawn(move || {
+                    if let Some(v) = get_or_compute(&sf) {
+                        assert_eq!(v, 42, "every served caller sees the one value");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(sf.computes.load(), 1, "exactly one compute");
+        assert_eq!(
+            sf.misses.load(),
+            1 + crashes,
+            "exactly one recorded miss per elected leader"
+        );
+        assert_eq!(*sf.cache.lock(), Some(42), "result is published");
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_single_flight_exactly_one_miss() {
+    let report = explore(Config::quick(2500), single_flight_model(3, 0));
+    assert!(
+        report.schedules > 1000,
+        "acceptance: >1000 distinct schedules, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_single_flight_poisoned_leader_reelects() {
+    let report = explore(Config::quick(2500), single_flight_model(3, 1));
+    assert!(report.schedules > 1000, "got {}", report.schedules);
+}
+
+#[test]
+fn smoke_single_flight() {
+    explore(Config::quick(48), single_flight_model(2, 0));
+    explore(Config::quick(48), single_flight_model(2, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Model 2: device-pool lease (pool.rs).
+// ---------------------------------------------------------------------------
+
+struct Pool {
+    free: Mutex<Vec<u32>>,
+    available: Condvar,
+}
+
+impl Pool {
+    /// `DevicePool::lease`: wait until `n` devices are free, take them.
+    fn lease(&self, n: usize) -> Vec<u32> {
+        let mut free = self.free.lock();
+        while free.len() < n {
+            free = self.available.wait(free);
+        }
+        let at = free.len() - n;
+        free.split_off(at)
+    }
+
+    /// `DevicePool::release`: return devices, wake *all* waiters — a
+    /// single `notify_one` after a batch release strands a waiter (see
+    /// the should_panic demo below).
+    fn release(&self, devices: Vec<u32>, notify_all: bool) {
+        let mut free = self.free.lock();
+        free.extend(devices);
+        drop(free);
+        if notify_all {
+            self.available.notify_all();
+        } else {
+            self.available.notify_one();
+        }
+    }
+}
+
+/// One holder starts with both devices; two pinners then each lease one
+/// device and keep it (a drain's last jobs). Completion under every
+/// schedule means no lost wakeup; the checker's deadlock detection is
+/// the oracle.
+fn pool_model(notify_all: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let pool = Arc::new(Pool {
+            free: Mutex::new(Vec::new()),
+            available: Condvar::new(),
+        });
+        let outstanding = Arc::new(AtomicUsize::new(2)); // holder owns both
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let outstanding = Arc::clone(&outstanding);
+                spawn(move || {
+                    let got = pool.lease(1);
+                    assert_eq!(got.len(), 1);
+                    let total = outstanding.fetch_add(1) + 1;
+                    assert!(total <= 2, "over-lease: {total} devices out");
+                })
+            })
+            .collect();
+        // The holder returns both devices in one batch release.
+        outstanding.fetch_sub(2);
+        pool.release(vec![0, 1], notify_all);
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_pool_lease_no_lost_wakeup() {
+    let report = explore(Config::quick(2500), pool_model(true));
+    assert!(report.schedules > 1000, "got {}", report.schedules);
+}
+
+#[test]
+fn smoke_pool_lease() {
+    explore(Config::quick(48), pool_model(true));
+}
+
+/// The negative control: with `notify_one`, a batch release wakes only
+/// one of the two pinners — the other waits forever while a device sits
+/// free. The checker reports the lost wakeup as a deadlock.
+#[test]
+#[cfg_attr(miri, ignore = "deadlock exploration spawns many OS threads")]
+#[should_panic(expected = "deadlock")]
+fn pool_batch_release_with_notify_one_strands_a_waiter() {
+    explore(Config::quick(60_000), pool_model(false));
+}
+
+// ---------------------------------------------------------------------------
+// Model 3: tile reorder buffer (driver.rs).
+// ---------------------------------------------------------------------------
+
+/// Workers claim tile indices from an atomic counter and send results
+/// over a channel in completion order; the coordinator parks them in a
+/// BTreeMap and merges strictly ascending — the driver's bit-identity
+/// argument under host parallelism, shrunk to its skeleton.
+fn reorder_model(n_tiles: usize, n_workers: usize) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let next_tile = Arc::new(AtomicUsize::new(0));
+        let channel = Arc::new(Mutex::new(Vec::<(usize, u32)>::new()));
+        let sent = Arc::new(Condvar::new());
+        let done_workers = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let next_tile = Arc::clone(&next_tile);
+                let channel = Arc::clone(&channel);
+                let sent = Arc::clone(&sent);
+                let done_workers = Arc::clone(&done_workers);
+                spawn(move || {
+                    loop {
+                        let idx = next_tile.fetch_add(1);
+                        if idx >= n_tiles {
+                            break;
+                        }
+                        // "Compute" the tile: payload is a pure function
+                        // of the index, like a real tile of the profile.
+                        let payload = (idx as u32) * 10 + 7;
+                        channel.lock().push((idx, payload));
+                        sent.notify_all();
+                    }
+                    done_workers.fetch_add(1);
+                    sent.notify_all();
+                })
+            })
+            .collect();
+
+        // Coordinator: drain the channel, reorder, merge in order.
+        let mut pending = BTreeMap::new();
+        let mut merged = Vec::new();
+        while merged.len() < n_tiles {
+            let batch: Vec<(usize, u32)> = {
+                let mut ch = channel.lock();
+                while ch.is_empty() {
+                    assert!(
+                        done_workers.load() < n_workers,
+                        "workers exited with tiles missing"
+                    );
+                    ch = sent.wait(ch);
+                }
+                std::mem::take(&mut *ch)
+            };
+            for (idx, payload) in batch {
+                let prev = pending.insert(idx, payload);
+                assert!(prev.is_none(), "tile {idx} produced twice");
+            }
+            while let Some(payload) = pending.remove(&merged.len()) {
+                merged.push(payload);
+            }
+        }
+        for h in handles {
+            h.join();
+        }
+        // In-order merge of every tile exactly once, regardless of the
+        // completion order the schedule imposed.
+        let expect: Vec<u32> = (0..n_tiles as u32).map(|i| i * 10 + 7).collect();
+        assert_eq!(merged, expect);
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_reorder_buffer_merges_in_order() {
+    let report = explore(Config::quick(2500), reorder_model(3, 2));
+    assert!(report.schedules > 1000, "got {}", report.schedules);
+}
+
+#[test]
+fn smoke_reorder_buffer() {
+    explore(Config::quick(48), reorder_model(2, 2));
+}
+
+/// Beyond the DFS bound, the seeded-random tail keeps sampling distinct
+/// deep interleavings deterministically.
+#[test]
+fn random_tail_extends_coverage() {
+    let cfg = Config {
+        max_schedules: 64,
+        random_tail: 16,
+        ..Config::default()
+    };
+    let report = explore(cfg, single_flight_model(2, 0));
+    assert_eq!(report.schedules, 64 + 16);
+}
+
+// Keep the checker honest: an actually-broken protocol must fail.
+#[test]
+#[cfg_attr(miri, ignore = "exploration spawns many OS threads")]
+#[should_panic(expected = "model assertion failed")]
+fn checker_catches_double_compute_without_single_flight() {
+    explore(Config::quick(512), || {
+        let cache = Arc::new(Mutex::new(None::<u32>));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                spawn(move || {
+                    // Check-then-act WITHOUT holding the lock across the
+                    // compute: both threads can see None and both compute.
+                    let hit = cache.lock().is_some();
+                    if !hit {
+                        computes.fetch_add(1);
+                        *cache.lock() = Some(42);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(computes.load(), 1, "single-flight violated");
+    });
+}

@@ -213,6 +213,65 @@ fn spec_string_plan_behaves_like_the_built_one() {
     assert_bit_identical(&clean.profile, &faulted.profile, "fp16 spec string");
 }
 
+/// Strategy: one arbitrary explicit directive, spanning every [`FaultKind`].
+fn arb_directive() -> impl Strategy<Value = (usize, FaultKind)> {
+    (0usize..64, 0u8..5, 0u64..10_000, 0u8..64).prop_map(|(tile, tag, millis, bit)| {
+        let kind = match tag {
+            0 => FaultKind::Kernel,
+            1 => FaultKind::Stall { millis },
+            2 => FaultKind::PoisonNan,
+            3 => FaultKind::PoisonInf,
+            _ => FaultKind::BitFlip { bit },
+        };
+        (tile, kind)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property: the spec-string grammar is a fixpoint under
+    /// `Display -> parse -> Display`. Rendering any plan, parsing it
+    /// back, and rendering again yields the identical string, so specs
+    /// logged by the service replay the exact same plan.
+    #[test]
+    fn spec_string_display_parse_fixpoint(
+        directives in prop::collection::vec(arb_directive(), 0..=5),
+        seed in prop::option::of(1u64..u64::MAX),
+        pkernel in prop::option::of(0.0f64..=1.0),
+        pstall in prop::option::of(0.0f64..=1.0),
+        pnan in prop::option::of(0.0f64..=1.0),
+        stall_ms in prop::option::of(0u64..10_000),
+        attempts in prop::option::of(prop_oneof![2u32..100, Just(u32::MAX)]),
+        budget in prop::option::of(0u64..1_000_000),
+        drop_conn in any::<bool>(),
+    ) {
+        let mut plan = FaultPlan::new();
+        for &(tile, kind) in &directives {
+            plan = plan.with_fault(tile, kind);
+        }
+        if let Some(s) = seed { plan = plan.with_seed(s); }
+        if let Some(p) = pkernel { plan = plan.with_p_kernel(p); }
+        if let Some(p) = pstall { plan = plan.with_p_stall(p); }
+        if let Some(p) = pnan { plan = plan.with_p_nan(p); }
+        if let Some(ms) = stall_ms { plan = plan.with_stall_ms(ms); }
+        if let Some(n) = attempts { plan = plan.with_faulty_attempts(n); }
+        if let Some(b) = budget { plan = plan.with_budget(b); }
+        if drop_conn { plan = plan.with_connection_drop(); }
+
+        let rendered = plan.to_string();
+        let reparsed: FaultPlan = rendered.parse().unwrap_or_else(|e| {
+            panic!("rendered spec `{rendered}` must reparse: {e}")
+        });
+        prop_assert_eq!(
+            reparsed.to_string(),
+            rendered.clone(),
+            "Display -> parse -> Display is not a fixpoint for `{}`",
+            rendered
+        );
+    }
+}
+
 mod wire {
     use super::*;
     use mdmp_service::{parse_job_spec, request, serve, Json, Service, ServiceConfig};

@@ -1,0 +1,889 @@
+//! # interleave — a miniature deterministic-interleaving model checker
+//!
+//! A vendored mini-[loom]: small concurrent *models* are executed many
+//! times, each time under a different thread schedule, and every schedule
+//! is driven deterministically by the explorer. The model uses this
+//! crate's [`Mutex`], [`Condvar`], [`AtomicUsize`]/[`AtomicBool`] and
+//! [`spawn`]/[`JoinHandle::join`] in place of `std::sync` — every one of
+//! those operations is a *yield point* where the explorer picks which
+//! thread runs next.
+//!
+//! Exploration is a bounded depth-first search over the schedule tree:
+//! the first execution always picks the lowest-numbered enabled thread,
+//! and each subsequent execution backtracks the most recent decision that
+//! still has an untried alternative. When the DFS budget
+//! ([`Config::max_schedules`]) runs out before the tree is exhausted, an
+//! optional seeded-random tail ([`Config::random_tail`]) samples further
+//! schedules — deterministically, from [`Config::seed`] — so rare deep
+//! interleavings still get coverage.
+//!
+//! What the checker reports, for **every explored schedule**:
+//!
+//! * **assertion failures** — any panic inside the model (including
+//!   `assert!`) aborts exploration and re-panics with the failing
+//!   schedule's decision trace;
+//! * **deadlock** — no thread is runnable, yet not all have finished
+//!   (this is also how a *lost wakeup* manifests: a `wait` whose `notify`
+//!   fired early is never woken again);
+//! * **livelock** — an execution exceeding [`Config::max_steps`] steps.
+//!
+//! The primitives are sequentially consistent: one thread runs at a time
+//! and every shared-memory operation is a scheduling point, so the
+//! explored semantics are an *over*-approximation of what a `Relaxed`
+//! atomic permits on hardware but exactly what `Mutex`/`Condvar` code
+//! observes. That is the right level for the structures modeled here
+//! (single-flight, pool lease, reorder buffer), whose invariants are
+//! lock-protocol properties, not fence orderings.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+//!
+//! ```
+//! use interleave::{explore, Config};
+//! use std::sync::Arc;
+//!
+//! let report = explore(Config::default(), || {
+//!     let counter = Arc::new(interleave::AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             interleave::spawn(move || {
+//!                 counter.fetch_add(1);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join();
+//!     }
+//!     assert_eq!(counter.load(), 2);
+//! });
+//! assert!(report.complete, "two increments fully explored");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Exploration budget and determinism knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum schedules explored by the depth-first search.
+    pub max_schedules: usize,
+    /// Additional schedules sampled with seeded-random choices after the
+    /// DFS budget is spent (ignored when the DFS completes the tree).
+    pub random_tail: usize,
+    /// Per-execution step bound; exceeding it is reported as a livelock.
+    pub max_steps: usize,
+    /// Seed for the random tail.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            max_schedules: 4096,
+            random_tail: 0,
+            max_steps: 20_000,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl Config {
+    /// A small budget for smoke tests (and Miri, where executions are
+    /// expensive): explores `n` schedules, no random tail.
+    pub fn quick(n: usize) -> Config {
+        Config {
+            max_schedules: n,
+            ..Config::default()
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules executed (DFS + random tail).
+    pub schedules: usize,
+    /// Whether the DFS exhausted the whole schedule tree within budget.
+    pub complete: bool,
+    /// Length of the longest explored schedule, in scheduling decisions.
+    pub max_depth: usize,
+}
+
+/// Why a thread cannot run right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiting {
+    /// Wants the mutex; runnable once it is free (the scheduler grants
+    /// ownership atomically with the scheduling decision).
+    Mutex(usize),
+    /// Parked on a condvar; only a notify can move it on (to `Mutex`).
+    Cond(usize, usize),
+    /// Waiting for another thread to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(Waiting),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ExecInner {
+    /// The one thread currently allowed to run, or `None` while the
+    /// scheduler decides.
+    active: Option<usize>,
+    threads: Vec<TState>,
+    /// Mutex owner table (`None` = free).
+    mutexes: Vec<Option<usize>>,
+    n_condvars: usize,
+    /// First model panic (message), if any.
+    panic_msg: Option<String>,
+    /// Set when the explorer gives up on this execution; parked threads
+    /// unwind out instead of waiting forever.
+    abandoned: bool,
+}
+
+/// One execution's shared scheduling state.
+struct Exec {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Exec>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("interleave primitive used outside explore()")
+    })
+}
+
+/// Panic payload used to unwind parked threads of an abandoned execution.
+struct Abandoned;
+
+impl Exec {
+    fn new() -> Exec {
+        Exec {
+            inner: StdMutex::new(ExecInner {
+                active: None,
+                threads: Vec::new(),
+                mutexes: Vec::new(),
+                n_condvars: 0,
+                panic_msg: None,
+                abandoned: false,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_inner(&self) -> StdMutexGuard<'_, ExecInner> {
+        // The inner mutex is only poisoned if the *scheduler* panicked,
+        // at which point the whole exploration is already failing.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Transition `me` to `state` (releasing `release` first, if given),
+    /// hand control back to the scheduler, and block until scheduled
+    /// again.
+    fn block_on(&self, me: usize, state: TState, release: Option<usize>) {
+        let mut g = self.lock_inner();
+        if let Some(m) = release {
+            g.mutexes[m] = None;
+        }
+        g.threads[me] = state;
+        g.active = None;
+        self.cv.notify_all();
+        while g.active != Some(me) {
+            if g.abandoned {
+                drop(g);
+                std::panic::panic_any(Abandoned);
+            }
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// A plain yield point: let the scheduler interleave other threads.
+    fn yield_op(&self, me: usize) {
+        self.block_on(me, TState::Runnable, None);
+    }
+
+    /// Register a new controlled thread; returns its id.
+    fn register_thread(&self) -> usize {
+        let mut g = self.lock_inner();
+        g.threads.push(TState::Runnable);
+        g.threads.len() - 1
+    }
+
+    fn thread_done(&self, me: usize, panic_msg: Option<String>) {
+        let mut g = self.lock_inner();
+        if g.panic_msg.is_none() {
+            g.panic_msg = panic_msg;
+        }
+        g.threads[me] = TState::Finished;
+        if g.active == Some(me) {
+            g.active = None;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// The entry point of every controlled thread (including thread 0, which
+/// runs the model closure itself).
+fn controlled_entry<F: FnOnce()>(exec: Arc<Exec>, me: usize, body: F) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    // Wait to be scheduled for the first time.
+    {
+        let mut g = exec.lock_inner();
+        while g.active != Some(me) {
+            if g.abandoned {
+                drop(g);
+                exec.thread_done(me, None);
+                return;
+            }
+            g = exec.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let panic_msg = match result {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<Abandoned>().is_some() {
+                None // scheduler-initiated unwind, not a model failure
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Some((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                Some("model panicked with a non-string payload".to_string())
+            }
+        }
+    };
+    exec.thread_done(me, panic_msg);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Spawn a controlled model thread. Must be called from inside a model.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    let (exec, me) = current();
+    let id = exec.register_thread();
+    let exec2 = Arc::clone(&exec);
+    let os = std::thread::Builder::new()
+        .name(format!("interleave-{id}"))
+        .spawn(move || controlled_entry(Arc::clone(&exec2), id, f))
+        .expect("spawn controlled thread");
+    exec.os_handles
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(os);
+    // Spawning is itself a yield point: the child may run before the
+    // parent's next instruction.
+    exec.yield_op(me);
+    JoinHandle { id }
+}
+
+/// Handle to a controlled thread; join is a blocking yield point.
+pub struct JoinHandle {
+    id: usize,
+}
+
+impl JoinHandle {
+    /// Block until the thread finishes. A panic in the target thread is
+    /// reported by the explorer, not by `join`.
+    pub fn join(self) {
+        let (exec, me) = current();
+        exec.block_on(me, TState::Blocked(Waiting::Join(self.id)), None);
+    }
+}
+
+/// Let the scheduler interleave other threads here (an explicit yield
+/// point with no memory effect).
+pub fn yield_now() {
+    let (exec, me) = current();
+    exec.yield_op(me);
+}
+
+/// A model mutex: mutual exclusion is enforced by the scheduler, so a
+/// blocked `lock` parks the thread at a yield point instead of spinning.
+pub struct Mutex<T> {
+    id: usize,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new model mutex holding `value`. Must be created inside a model.
+    pub fn new(value: T) -> Mutex<T> {
+        let (exec, _) = current();
+        let mut g = exec.lock_inner();
+        g.mutexes.push(None);
+        Mutex {
+            id: g.mutexes.len() - 1,
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, blocking (at a yield point) while it is held.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (exec, me) = current();
+        // The scheduler grants ownership atomically with scheduling us.
+        exec.block_on(me, TState::Blocked(Waiting::Mutex(self.id)), None);
+        let std = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        MutexGuard {
+            mutex: self,
+            std: Some(std),
+        }
+    }
+}
+
+/// RAII guard of a [`Mutex`]; dropping it releases the lock at a yield
+/// point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    std: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let Some(std) = self.std.take() else { return };
+        drop(std);
+        let (exec, me) = current();
+        {
+            let mut g = exec.lock_inner();
+            g.mutexes[self.mutex.id] = None;
+            if g.abandoned {
+                return;
+            }
+        }
+        if std::thread::panicking() {
+            // Unwinding out of the model (assertion failure): release
+            // without a yield so the unwind cannot panic again.
+            return;
+        }
+        exec.yield_op(me);
+    }
+}
+
+/// A model condition variable with deterministic wakeups and no spurious
+/// ones — a lost wakeup therefore deadlocks *every* schedule that hits it
+/// instead of hiding behind spurious-wakeup recovery.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// A new model condvar. Must be created inside a model.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Condvar {
+        let (exec, _) = current();
+        let mut g = exec.lock_inner();
+        g.n_condvars += 1;
+        Condvar {
+            id: g.n_condvars - 1,
+        }
+    }
+
+    /// Atomically release the guard's mutex and park until notified, then
+    /// reacquire the mutex and return a fresh guard.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        let std = guard.std.take().expect("guard already released");
+        drop(std);
+        drop(guard); // std is None: no release side effects
+        let (exec, me) = current();
+        exec.block_on(
+            me,
+            TState::Blocked(Waiting::Cond(self.id, mutex.id)),
+            Some(mutex.id),
+        );
+        // Scheduled again means a notify moved us to the mutex queue and
+        // the scheduler granted us ownership.
+        let std = mutex.data.lock().unwrap_or_else(|p| p.into_inner());
+        MutexGuard {
+            mutex,
+            std: Some(std),
+        }
+    }
+
+    /// Wake every thread parked on this condvar (they move to the mutex
+    /// queue). A yield point.
+    pub fn notify_all(&self) {
+        let (exec, me) = current();
+        {
+            let mut g = exec.lock_inner();
+            for t in g.threads.iter_mut() {
+                if let TState::Blocked(Waiting::Cond(cv, m)) = *t {
+                    if cv == self.id {
+                        *t = TState::Blocked(Waiting::Mutex(m));
+                    }
+                }
+            }
+        }
+        exec.yield_op(me);
+    }
+
+    /// Wake the single longest-registered parked thread (lowest thread
+    /// id), if any. A yield point. Deliberately deterministic, so a model
+    /// that *needs* `notify_all` fails the same way on every run.
+    pub fn notify_one(&self) {
+        let (exec, me) = current();
+        {
+            let mut g = exec.lock_inner();
+            if let Some(t) = g
+                .threads
+                .iter_mut()
+                .find(|t| matches!(**t, TState::Blocked(Waiting::Cond(cv, _)) if cv == self.id))
+            {
+                let TState::Blocked(Waiting::Cond(_, m)) = *t else {
+                    unreachable!()
+                };
+                *t = TState::Blocked(Waiting::Mutex(m));
+            }
+        }
+        exec.yield_op(me);
+    }
+}
+
+macro_rules! model_atomic {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name(StdMutex<$ty>);
+
+        impl $name {
+            /// A new atomic. May be created anywhere (no registration).
+            pub fn new(v: $ty) -> $name {
+                $name(StdMutex::new(v))
+            }
+
+            fn cell(&self) -> StdMutexGuard<'_, $ty> {
+                self.0.lock().unwrap_or_else(|p| p.into_inner())
+            }
+
+            /// Atomic load (a yield point).
+            pub fn load(&self) -> $ty {
+                yield_now();
+                *self.cell()
+            }
+
+            /// Atomic store (a yield point).
+            pub fn store(&self, v: $ty) {
+                yield_now();
+                *self.cell() = v;
+            }
+        }
+    };
+}
+
+model_atomic! {
+    /// A model `AtomicUsize`; every operation is a yield point.
+    AtomicUsize, usize
+}
+
+impl AtomicUsize {
+    /// Atomic fetch-add returning the previous value (a yield point).
+    /// Wraps on overflow, like the hardware atomic it models.
+    pub fn fetch_add(&self, n: usize) -> usize {
+        yield_now();
+        let mut g = self.cell();
+        let prev = *g;
+        *g = prev.wrapping_add(n);
+        prev
+    }
+
+    /// Atomic fetch-sub returning the previous value (a yield point).
+    /// Wraps on underflow, like the hardware atomic it models.
+    pub fn fetch_sub(&self, n: usize) -> usize {
+        yield_now();
+        let mut g = self.cell();
+        let prev = *g;
+        *g = prev.wrapping_sub(n);
+        prev
+    }
+}
+
+model_atomic! {
+    /// A model `AtomicBool`; every operation is a yield point.
+    AtomicBool, bool
+}
+
+/// Outcome of one execution, private to the explorer.
+enum ExecOutcome {
+    /// All threads finished; the recorded decisions are returned.
+    Done,
+    /// A model thread panicked.
+    Panic(String),
+    /// No thread runnable, not all finished.
+    Deadlock(Vec<(usize, String)>),
+    /// Step bound exceeded.
+    Livelock,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Run one execution of `model` under the schedule `prefix` (DFS ranks;
+/// positions beyond the prefix pick rank 0, or seeded-random ranks when
+/// `random_seed` is set). Returns the outcome and the full decision
+/// record `(rank, enabled_count)` per step.
+fn run_once<F>(
+    cfg: &Config,
+    model: &Arc<F>,
+    prefix: &[usize],
+    random_seed: Option<u64>,
+) -> (ExecOutcome, Vec<(usize, usize)>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Exec::new());
+    let root_id = exec.register_thread();
+    debug_assert_eq!(root_id, 0);
+    let exec2 = Arc::clone(&exec);
+    let model2 = Arc::clone(model);
+    let os = std::thread::Builder::new()
+        .name("interleave-0".into())
+        .spawn(move || controlled_entry(Arc::clone(&exec2), root_id, move || model2()))
+        .expect("spawn model root thread");
+    exec.os_handles
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(os);
+
+    let mut choices: Vec<(usize, usize)> = Vec::new();
+    let mut rng = random_seed.unwrap_or(0);
+    let outcome = loop {
+        let mut g = exec.lock_inner();
+        while g.active.is_some() {
+            g = exec.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        if let Some(msg) = g.panic_msg.take() {
+            g.abandoned = true;
+            exec.cv.notify_all();
+            break ExecOutcome::Panic(msg);
+        }
+        let enabled: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| match s {
+                TState::Runnable => true,
+                TState::Blocked(Waiting::Mutex(m)) => g.mutexes[*m].is_none(),
+                TState::Blocked(Waiting::Cond(_, _)) => false,
+                TState::Blocked(Waiting::Join(t)) => g.threads[*t] == TState::Finished,
+                TState::Finished => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if g.threads.iter().all(|t| *t == TState::Finished) {
+                break ExecOutcome::Done;
+            }
+            let stuck: Vec<(usize, String)> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, TState::Finished))
+                .map(|(i, s)| (i, format!("{s:?}")))
+                .collect();
+            g.abandoned = true;
+            exec.cv.notify_all();
+            break ExecOutcome::Deadlock(stuck);
+        }
+        if choices.len() >= cfg.max_steps {
+            g.abandoned = true;
+            exec.cv.notify_all();
+            break ExecOutcome::Livelock;
+        }
+        let rank = match prefix.get(choices.len()) {
+            Some(&r) => r.min(enabled.len() - 1),
+            None => match random_seed {
+                Some(_) => {
+                    rng = splitmix64(rng);
+                    (rng % enabled.len() as u64) as usize
+                }
+                None => 0,
+            },
+        };
+        choices.push((rank, enabled.len()));
+        let id = enabled[rank];
+        if let TState::Blocked(Waiting::Mutex(m)) = g.threads[id] {
+            g.mutexes[m] = Some(id);
+        }
+        g.threads[id] = TState::Runnable;
+        g.active = Some(id);
+        exec.cv.notify_all();
+    };
+
+    // Every parked thread either finished normally or unwinds on the
+    // abandoned flag, so joining is always bounded.
+    let handles: Vec<_> = exec
+        .os_handles
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .drain(..)
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    (outcome, choices)
+}
+
+fn fail(kind: &str, detail: &str, trace: &[(usize, usize)], schedule_no: usize) -> ! {
+    let ranks: Vec<String> = trace.iter().map(|(r, n)| format!("{r}/{n}")).collect();
+    panic!(
+        "interleave: {kind} in schedule #{schedule_no} (decision trace [{}]): {detail}",
+        ranks.join(" ")
+    );
+}
+
+/// Explore `model` under `cfg`, panicking on the first schedule that
+/// fails (assertion, deadlock, or livelock) with its decision trace.
+pub fn explore<F>(cfg: Config, model: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model = Arc::new(model);
+    let mut report = Report {
+        schedules: 0,
+        complete: false,
+        max_depth: 0,
+    };
+    let mut prefix: Vec<usize> = Vec::new();
+    // Depth-first sweep.
+    loop {
+        if report.schedules >= cfg.max_schedules {
+            break;
+        }
+        let (outcome, choices) = run_once(&cfg, &model, &prefix, None);
+        report.schedules += 1;
+        report.max_depth = report.max_depth.max(choices.len());
+        check(outcome, &choices, report.schedules);
+        // Backtrack: find the deepest decision with an untried sibling.
+        let mut next: Option<Vec<usize>> = None;
+        for (depth, &(rank, count)) in choices.iter().enumerate().rev() {
+            if rank + 1 < count {
+                let mut p: Vec<usize> = choices[..depth].iter().map(|&(r, _)| r).collect();
+                p.push(rank + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => {
+                report.complete = true;
+                return report;
+            }
+        }
+    }
+    // Random tail beyond the DFS budget.
+    for i in 0..cfg.random_tail {
+        let seed = splitmix64(cfg.seed ^ (i as u64 + 1));
+        let (outcome, choices) = run_once(&cfg, &model, &[], Some(seed));
+        report.schedules += 1;
+        report.max_depth = report.max_depth.max(choices.len());
+        check(outcome, &choices, report.schedules);
+    }
+    report
+}
+
+fn check(outcome: ExecOutcome, choices: &[(usize, usize)], schedule_no: usize) {
+    match outcome {
+        ExecOutcome::Done => {}
+        ExecOutcome::Panic(msg) => fail("model assertion failed", &msg, choices, schedule_no),
+        ExecOutcome::Deadlock(stuck) => {
+            let detail: Vec<String> = stuck
+                .iter()
+                .map(|(id, state)| format!("thread {id} {state}"))
+                .collect();
+            fail(
+                "deadlock (possible lost wakeup)",
+                &detail.join(", "),
+                choices,
+                schedule_no,
+            );
+        }
+        ExecOutcome::Livelock => fail("livelock: step bound exceeded", "", choices, schedule_no),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_model_explores_one_schedule() {
+        let report = explore(Config::default(), || {
+            let m = Mutex::new(1);
+            let mut g = m.lock();
+            *g += 1;
+            drop(g);
+            assert_eq!(*m.lock(), 2);
+        });
+        assert!(report.complete);
+        assert_eq!(report.schedules, 1);
+    }
+
+    #[test]
+    fn two_racing_increments_are_fully_explored() {
+        let report = explore(Config::default(), || {
+            let total = Arc::new(Mutex::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let total = Arc::clone(&total);
+                    spawn(move || {
+                        let mut g = total.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*total.lock(), 2);
+        });
+        assert!(report.complete, "small model must exhaust its tree");
+        assert!(report.schedules > 1, "a race has multiple interleavings");
+    }
+
+    #[test]
+    fn atomic_counter_is_exact_under_all_schedules() {
+        let report = explore(Config::default(), || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    spawn(move || {
+                        c.fetch_add(1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(c.load(), 3);
+        });
+        assert!(report.schedules > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn wait_without_notifier_is_reported_as_deadlock() {
+        explore(Config::default(), || {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g); // nobody will ever notify
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "model assertion failed")]
+    fn racy_read_modify_write_is_caught() {
+        // A classic lost update: load, yield, store — some schedule
+        // interleaves the two threads between load and store.
+        explore(Config::default(), || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    spawn(move || {
+                        let v = c.load();
+                        c.store(v + 1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(c.load(), 2, "non-atomic increment lost an update");
+        });
+    }
+
+    #[test]
+    fn notify_all_wakes_every_waiter() {
+        let report = explore(Config::default(), || {
+            let state = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let state = Arc::clone(&state);
+                    let cv = Arc::clone(&cv);
+                    spawn(move || {
+                        let mut g = state.lock();
+                        while !*g {
+                            g = cv.wait(g);
+                        }
+                    })
+                })
+                .collect();
+            {
+                let state = Arc::clone(&state);
+                let cv = Arc::clone(&cv);
+                spawn(move || {
+                    let mut g = state.lock();
+                    *g = true;
+                    drop(g);
+                    cv.notify_all();
+                })
+                .join();
+            }
+            for w in waiters {
+                w.join();
+            }
+        });
+        assert!(report.schedules > 1);
+    }
+
+    #[test]
+    fn budget_caps_dfs_and_random_tail_extends_it() {
+        let cfg = Config {
+            max_schedules: 5,
+            random_tail: 3,
+            ..Config::default()
+        };
+        let report = explore(cfg, || {
+            let c = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    spawn(move || {
+                        c.fetch_add(1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert!(!report.complete);
+        assert_eq!(report.schedules, 5 + 3);
+    }
+}

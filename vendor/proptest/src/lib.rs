@@ -3,7 +3,8 @@
 //! Supports the subset of the proptest API this workspace's property tests
 //! use: the [`proptest!`] macro with an optional `#![proptest_config(..)]`
 //! attribute, `any::<T>()`, numeric range strategies, [`Just`],
-//! [`prop_oneof!`], `prop::collection::vec`, and the `prop_assert*` macros.
+//! [`prop_oneof!`], `prop::collection::vec`, `prop::option::of`, tuple
+//! strategies with [`Strategy::prop_map`], and the `prop_assert*` macros.
 //! Cases are generated from a deterministic per-test stream; there is no
 //! shrinking — a failure reports the failing inputs via the assertion
 //! message instead.
@@ -111,7 +112,53 @@ pub trait Strategy {
     type Value;
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (mirrors proptest's
+    /// `Strategy::prop_map`; no shrinking, so this is a plain map).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
 
 impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     type Value = T;
@@ -322,9 +369,37 @@ pub mod collection {
     }
 }
 
+/// Optional-value strategies, mirroring `proptest::option`.
+pub mod option {
+    use crate::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of the inner strategy's value, or `None` (about 1 in 4).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { inner: element }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.index(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Namespaced re-exports, mirroring `proptest::prop`.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// Run one property test: `cases` deterministic cases through `body`.
