@@ -71,12 +71,17 @@ pub const RULES: [RuleInfo; 5] = [
 /// arithmetic: the single audited distance expression and its lane form.
 const BLESSED_KERNEL_FNS: [&str; 2] = ["dist_value", "dist_value_lanes"];
 
-/// Service modules on the request path (R4 scope).
-const REQUEST_PATH_MODULES: [&str; 4] = [
+/// Service and cluster modules on the request path (R4 scope): code a
+/// remote client's request flows through must return typed errors, never
+/// panic.
+const REQUEST_PATH_MODULES: [&str; 7] = [
     "crates/service/src/scheduler.rs",
     "crates/service/src/server.rs",
     "crates/service/src/session.rs",
     "crates/service/src/cache.rs",
+    "crates/cluster/src/coordinator.rs",
+    "crates/cluster/src/client.rs",
+    "crates/cluster/src/lease.rs",
 ];
 
 /// One finding.
@@ -529,6 +534,7 @@ fn check_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
     let in_kernels = rel.starts_with("crates/core/src/kernels/");
     let r2_scope = rel.starts_with("crates/core/src/")
         || rel.starts_with("crates/service/src/")
+        || rel.starts_with("crates/cluster/src/")
         || rel.starts_with("crates/cli/src/");
     let r4_scope = REQUEST_PATH_MODULES.contains(&rel);
     let r5_scope = !rel.starts_with("crates/precision/");

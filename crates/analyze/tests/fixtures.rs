@@ -27,25 +27,29 @@ fn workspace_root() -> PathBuf {
 
 #[track_caller]
 fn assert_flags(rule: &str) {
-    let out = run_analyze(&fixture_root(rule), &["--json"]);
+    assert_flags_in(rule, &rule.to_uppercase());
+}
+
+#[track_caller]
+fn assert_flags_in(dir: &str, rule: &str) {
+    let out = run_analyze(&fixture_root(dir), &["--json"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         out.status.code(),
         Some(1),
-        "fixture {rule} must exit 1; stdout:\n{stdout}"
+        "fixture {dir} must exit 1; stdout:\n{stdout}"
     );
-    let marker = format!("\"rule\": \"{}\"", rule.to_uppercase());
+    let marker = format!("\"rule\": \"{rule}\"");
     assert!(
         stdout.contains(&marker),
-        "fixture {rule} must be flagged as {}; stdout:\n{stdout}",
-        rule.to_uppercase()
+        "fixture {dir} must be flagged as {rule}; stdout:\n{stdout}"
     );
     // No cross-talk: the minimal fixture trips exactly one rule.
     for other in ["R1", "R2", "R3", "R4", "R5"] {
-        if other != rule.to_uppercase() {
+        if other != rule {
             assert!(
                 !stdout.contains(&format!("\"rule\": \"{other}\"")),
-                "fixture {rule} unexpectedly tripped {other}; stdout:\n{stdout}"
+                "fixture {dir} unexpectedly tripped {other}; stdout:\n{stdout}"
             );
         }
     }
@@ -74,6 +78,21 @@ fn r4_panic_hygiene_fixture_is_flagged() {
 #[test]
 fn r5_float_compare_fixture_is_flagged() {
     assert_flags("r5");
+}
+
+/// PR 6: the determinism rule must also cover the cluster crate — a
+/// `HashMap` in the coordinator's merge path is exactly the bug the rule
+/// exists for.
+#[test]
+fn r2_fires_inside_the_cluster_crate() {
+    assert_flags_in("r2-cluster", "R2");
+}
+
+/// PR 6: the coordinator/client/lease modules are a request path — a
+/// panic there kills a node thread mid-job.
+#[test]
+fn r4_fires_inside_the_cluster_crate() {
+    assert_flags_in("r4-cluster", "R4");
 }
 
 #[test]

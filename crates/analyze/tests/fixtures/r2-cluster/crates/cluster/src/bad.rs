@@ -1,0 +1,6 @@
+// R2 fixture: HashMap in the cluster coordinator's merge path.
+use std::collections::HashMap;
+
+pub fn pending(tiles: HashMap<usize, u64>) -> Vec<u64> {
+    tiles.into_values().collect()
+}

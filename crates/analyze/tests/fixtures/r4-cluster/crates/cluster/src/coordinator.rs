@@ -1,0 +1,6 @@
+// R4 fixture: unwrap on the cluster request path.
+use std::sync::Mutex;
+
+pub fn claim(table: &Mutex<u64>) -> u64 {
+    *table.lock().unwrap()
+}

@@ -25,6 +25,8 @@
 //!   anytime     SCRIMP-style anytime convergence extension       [functional]
 //!   scaling     host-worker scaling of the tile pipeline,
 //!               also writes BENCH_PR4.json                       [measured]
+//!   cluster     tile-sharding throughput vs worker node count,
+//!               also writes BENCH_PR6.json                       [modelled]
 //!   all         everything above
 //!
 //! --quick shrinks the functional problem sizes (CI-friendly).
@@ -32,7 +34,7 @@
 //! ```
 
 use mdmp_bench::experiments::{
-    accuracy, case_studies, driver_scaling, extensions, performance, tradeoff,
+    accuracy, case_studies, cluster_scaling, driver_scaling, extensions, performance, tradeoff,
 };
 use mdmp_bench::report::{self, ExperimentTable};
 use std::time::Instant;
@@ -77,6 +79,15 @@ fn run(command: &str, quick: bool) -> bool {
             }
             emit_all(vec![table]);
         }
+        "cluster" => {
+            let table = cluster_scaling::cluster_scaling(quick);
+            match cluster_scaling::write_bench_json(&table, std::path::Path::new("BENCH_PR6.json"))
+            {
+                Ok(path) => println!("   -> wrote {}", path.display()),
+                Err(e) => eprintln!("   !! could not write BENCH_PR6.json: {e}"),
+            }
+            emit_all(vec![table]);
+        }
         "all" => {
             for cmd in [
                 "table1",
@@ -99,6 +110,7 @@ fn run(command: &str, quick: bool) -> bool {
                 "clamp",
                 "anytime",
                 "scaling",
+                "cluster",
             ] {
                 println!("\n########## repro {cmd} ##########");
                 run(cmd, quick);
@@ -122,7 +134,7 @@ fn main() {
     let commands: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if commands.is_empty() {
         eprintln!(
-            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|all> [--quick]"
+            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|all> [--quick]"
         );
         std::process::exit(2);
     }

@@ -15,7 +15,7 @@
 //! and the table records that honestly; the fused-vs-unfused ratio is
 //! meaningful at every core count because both sides run on the same pool.
 
-use crate::report::ExperimentTable;
+use crate::report::{BenchReport, BenchValue, ExperimentTable};
 use mdmp_core::{run_with_mode, MdmpConfig, MdmpRun};
 use mdmp_data::synthetic::{generate_pair, SyntheticConfig};
 use mdmp_data::MultiDimSeries;
@@ -139,23 +139,15 @@ pub fn driver_scaling(quick: bool) -> ExperimentTable {
 }
 
 /// Serialize the scaling table as `BENCH_PR4.json` (pass the repo root's
-/// `BENCH_PR4.json` to commit it). The JSON records the host core count so
-/// the numbers are interpretable off-machine.
+/// `BENCH_PR4.json` to commit it), through the shared [`BenchReport`]
+/// schema. The JSON records the host core count so the numbers are
+/// interpretable off-machine.
 pub fn write_bench_json(table: &ExperimentTable, path: &Path) -> io::Result<PathBuf> {
-    let mut rows = String::new();
-    for (i, (label, cells)) in table.rows.iter().enumerate() {
-        let (pipeline, workers) = label.split_once('/').unwrap_or((label.as_str(), "1"));
-        if i > 0 {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"pipeline\": \"{pipeline}\", \"workers\": {workers}, \
-             \"wall_seconds\": {:.6}, \"fused_speedup_vs_unfused\": {:.4}, \
-             \"modeled_seconds\": {:.6}, \"eliminated_dispatches\": {}, \
-             \"pool_thread_reuses\": {}}}",
-            cells[0], cells[1], cells[2], cells[3] as u64, cells[4] as u64
-        ));
-    }
+    let mut report = BenchReport::new("driver_scaling", &table.description)
+        .workload("tiles", BenchValue::int(16))
+        .workload("mode", BenchValue::str("fp32"))
+        .workload("devices", BenchValue::int(4));
+    report.host_cores = host_cores();
     // Cross-reference the committed PR 2 baseline (spawn-per-dispatch,
     // unfused) when it sits next to the output file, so the headline
     // "fused+pooled vs PR 2" ratio is recorded in the artifact itself.
@@ -165,23 +157,45 @@ pub fn write_bench_json(table: &ExperimentTable, path: &Path) -> io::Result<Path
         .filter(|p| p.exists())
         .and_then(|p| std::fs::read_to_string(p).ok())
         .and_then(|text| pr2_single_worker_wall(&text));
-    let baseline_block = match (baseline, table.rows.iter().find(|(l, _)| l == "fused/1")) {
-        (Some(pr2_wall), Some((_, cells))) => format!(
-            "  \"pr2_unfused_baseline\": {{\"wall_seconds\": {pr2_wall:.6}, \
-             \"fused_speedup_vs_pr2\": {:.4}}},\n",
-            pr2_wall / cells[0]
-        ),
-        _ => String::new(),
-    };
-    let json = format!(
-        "{{\n  \"benchmark\": \"driver_scaling\",\n  \"description\": \"{}\",\n  \
-         \"host_cores\": {},\n{baseline_block}  \"workload\": {{\"tiles\": 16, \
-         \"mode\": \"fp32\", \"devices\": 4}},\n  \"results\": [\n{rows}\n  ]\n}}\n",
-        table.description.replace('"', "'"),
-        host_cores()
-    );
-    std::fs::write(path, json)?;
-    Ok(path.to_path_buf())
+    if let (Some(pr2_wall), Some((_, cells))) =
+        (baseline, table.rows.iter().find(|(l, _)| l == "fused/1"))
+    {
+        report = report.extra_block(
+            "pr2_unfused_baseline",
+            vec![
+                ("wall_seconds".to_string(), BenchValue::secs(pr2_wall)),
+                (
+                    "fused_speedup_vs_pr2".to_string(),
+                    BenchValue::ratio(pr2_wall / cells[0]),
+                ),
+            ],
+        );
+    }
+    for (label, cells) in &table.rows {
+        let (pipeline, workers) = label.split_once('/').unwrap_or((label.as_str(), "1"));
+        report.push_result(vec![
+            ("pipeline".to_string(), BenchValue::str(pipeline)),
+            (
+                "workers".to_string(),
+                BenchValue::int(workers.parse().unwrap_or(1)),
+            ),
+            ("wall_seconds".to_string(), BenchValue::secs(cells[0])),
+            (
+                "fused_speedup_vs_unfused".to_string(),
+                BenchValue::ratio(cells[1]),
+            ),
+            ("modeled_seconds".to_string(), BenchValue::secs(cells[2])),
+            (
+                "eliminated_dispatches".to_string(),
+                BenchValue::int(cells[3] as u64),
+            ),
+            (
+                "pool_thread_reuses".to_string(),
+                BenchValue::int(cells[4] as u64),
+            ),
+        ]);
+    }
+    report.write(path)
 }
 
 /// The 1-worker `wall_seconds` from the PR 2 benchmark JSON (first result

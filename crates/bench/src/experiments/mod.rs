@@ -8,9 +8,11 @@
 //! | [`case_studies`] | Fig. 9 (HPC-ODA), Fig. 10 (genome), Fig. 12 + Table I (turbines) |
 //! | [`extensions`] | beyond-paper studies: multi-node, scheduling & clamp ablations, all-modes table, Fig. 8 timeline, Fig. 11 shapes |
 //! | [`driver_scaling`] | fused-vs-unfused row pipeline scaling across host workers (BENCH_PR4.json) |
+//! | [`cluster_scaling`] | tile-sharding throughput vs worker node count (BENCH_PR6.json) |
 
 pub mod accuracy;
 pub mod case_studies;
+pub mod cluster_scaling;
 pub mod driver_scaling;
 pub mod extensions;
 pub mod performance;

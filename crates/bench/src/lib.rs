@@ -19,4 +19,4 @@
 pub mod experiments;
 pub mod report;
 
-pub use report::{print_table, save_table, ExperimentTable};
+pub use report::{print_table, save_table, BenchReport, BenchValue, ExperimentTable};

@@ -112,9 +112,183 @@ pub fn emit(table: &ExperimentTable) {
     }
 }
 
+/// One value in a benchmark JSON artifact, with explicit formatting so
+/// every `BENCH_PR*.json` renders numbers the same way.
+#[derive(Debug, Clone)]
+pub enum BenchValue {
+    /// Fixed-point float rendered with the given number of decimals.
+    Num {
+        /// The value.
+        value: f64,
+        /// Decimals to render.
+        decimals: usize,
+    },
+    /// Integer counter.
+    Int(u64),
+    /// String field (quoted).
+    Str(String),
+}
+
+impl BenchValue {
+    /// Seconds-style value (6 decimals), the convention of every bench
+    /// artifact in this repo.
+    pub fn secs(value: f64) -> BenchValue {
+        BenchValue::Num { value, decimals: 6 }
+    }
+
+    /// Ratio/speedup-style value (4 decimals).
+    pub fn ratio(value: f64) -> BenchValue {
+        BenchValue::Num { value, decimals: 4 }
+    }
+
+    /// Integer counter.
+    pub fn int(value: u64) -> BenchValue {
+        BenchValue::Int(value)
+    }
+
+    /// String field.
+    pub fn str(value: impl Into<String>) -> BenchValue {
+        BenchValue::Str(value.into())
+    }
+
+    fn render(&self) -> String {
+        match self {
+            BenchValue::Num { value, decimals } => format!("{value:.decimals$}"),
+            BenchValue::Int(v) => v.to_string(),
+            BenchValue::Str(s) => format!("\"{}\"", s.replace('"', "'")),
+        }
+    }
+}
+
+/// The shared schema of the committed `BENCH_PR*.json` artifacts:
+/// `benchmark`, `description`, `host_cores`, optional named extra blocks
+/// (e.g. a cross-referenced baseline), a `workload` object, and a
+/// `results` array of uniform rows. Field order is preserved as inserted.
+///
+/// Earlier PRs hand-rolled this shape per benchmark and the row schemas
+/// drifted; every new artifact must be emitted through this struct.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark identifier (`"driver_scaling"`, `"cluster_scaling"`, …).
+    pub benchmark: String,
+    /// Human description of what was measured and on what machine.
+    pub description: String,
+    /// Logical host cores the measurement ran on.
+    pub host_cores: usize,
+    /// Named extra objects rendered between `host_cores` and `workload`.
+    pub extra: Vec<(String, Vec<(String, BenchValue)>)>,
+    /// The workload the rows share.
+    pub workload: Vec<(String, BenchValue)>,
+    /// Result rows (key order should match across rows).
+    pub results: Vec<Vec<(String, BenchValue)>>,
+}
+
+impl BenchReport {
+    /// An empty report; `host_cores` defaults to this process's
+    /// parallelism.
+    pub fn new(benchmark: &str, description: &str) -> BenchReport {
+        BenchReport {
+            benchmark: benchmark.to_string(),
+            description: description.to_string(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            extra: Vec::new(),
+            workload: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Add a workload field (builder-style).
+    pub fn workload(mut self, key: &str, value: BenchValue) -> BenchReport {
+        self.workload.push((key.to_string(), value));
+        self
+    }
+
+    /// Add a named extra block (builder-style).
+    pub fn extra_block(mut self, name: &str, fields: Vec<(String, BenchValue)>) -> BenchReport {
+        self.extra.push((name.to_string(), fields));
+        self
+    }
+
+    /// Append one result row.
+    pub fn push_result(&mut self, row: Vec<(String, BenchValue)>) {
+        self.results.push(row);
+    }
+
+    fn render_fields(fields: &[(String, BenchValue)]) -> String {
+        fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {}", v.render()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The artifact's JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"benchmark\": \"{}\",\n  \"description\": \"{}\",\n  \"host_cores\": {},\n",
+            self.benchmark.replace('"', "'"),
+            self.description.replace('"', "'"),
+            self.host_cores
+        );
+        for (name, fields) in &self.extra {
+            out.push_str(&format!(
+                "  \"{name}\": {{{}}},\n",
+                Self::render_fields(fields)
+            ));
+        }
+        out.push_str(&format!(
+            "  \"workload\": {{{}}},\n  \"results\": [\n",
+            Self::render_fields(&self.workload)
+        ));
+        for (i, row) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("    {{{}}}", Self::render_fields(row)));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write the artifact to `path`.
+    pub fn write(&self, path: &std::path::Path) -> io::Result<PathBuf> {
+        std::fs::write(path, self.to_json())?;
+        Ok(path.to_path_buf())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_report_schema_is_stable() {
+        let mut report = BenchReport::new("demo", "a \"quoted\" description")
+            .workload("tiles", BenchValue::int(16))
+            .workload("mode", BenchValue::str("fp32"))
+            .extra_block(
+                "baseline",
+                vec![("wall_seconds".to_string(), BenchValue::secs(0.5))],
+            );
+        report.host_cores = 4;
+        report.push_result(vec![
+            ("workers".to_string(), BenchValue::int(1)),
+            ("wall_seconds".to_string(), BenchValue::secs(0.25)),
+            ("speedup".to_string(), BenchValue::ratio(2.0)),
+        ]);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"benchmark\": \"demo\",\n"));
+        assert!(json.contains("\"description\": \"a 'quoted' description\""));
+        assert!(json.contains("\"host_cores\": 4"));
+        assert!(json.contains("\"baseline\": {\"wall_seconds\": 0.500000}"));
+        assert!(json.contains("\"workload\": {\"tiles\": 16, \"mode\": \"fp32\"}"));
+        assert!(
+            json.contains("    {\"workers\": 1, \"wall_seconds\": 0.250000, \"speedup\": 2.0000}")
+        );
+        assert!(json.ends_with("  ]\n}\n"));
+    }
 
     #[test]
     fn table_roundtrip_and_cell_lookup() {

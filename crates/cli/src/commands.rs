@@ -385,6 +385,8 @@ COMMANDS:
             with --reference <csv> [--query <csv>] (server-side paths), or
             synthetic: [--n N] [--d D] [--pattern 0..7] [--noise X] [--seed S]
   status    [--addr HOST:PORT] [--id JOB] [--metrics] [--shutdown | --abort]
+  cluster   serve | submit — shard a job's tiles across worker nodes
+            (run `mdmp cluster` for the full option list)
   info      list devices and precision modes
 "
     .to_string()

@@ -16,6 +16,16 @@ fn main() {
         print!("{}", commands::usage());
         std::process::exit(if raw.is_empty() { 2 } else { 0 });
     }
+    // `cluster` takes its own subcommand ("cluster serve …"), which the
+    // ParsedArgs grammar rejects as a positional — dispatch it before
+    // parsing.
+    if raw[0] == "cluster" {
+        if let Err(e) = mdmp_cluster::cli::run(&raw[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let parsed = match ParsedArgs::parse(&raw) {
         Ok(p) => p,
         Err(e) => {

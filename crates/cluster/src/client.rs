@@ -1,0 +1,257 @@
+//! One node's client half of the tile-lease protocol: a persistent
+//! JSON-lines TCP connection to an `mdmp-service` worker, reconnected on
+//! demand, plus the decoding of `tile_exec` replies back into result
+//! planes (bit-exact, via the hex `f64` encoding).
+
+use mdmp_service::{decode_plane_hex, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One decoded tile result from a worker: the tile's identity in the
+/// global tiling, its partial profile planes (k-major, bit-exact), and
+/// the modelled device seconds it cost the node.
+#[derive(Debug, Clone)]
+pub struct DecodedTile {
+    /// Tile index in the job's global tiling.
+    pub tile: usize,
+    /// First query column the tile covers.
+    pub col0: usize,
+    /// Query columns the tile covers.
+    pub n_query: usize,
+    /// Profile dimensions.
+    pub dims: usize,
+    /// Value plane, k-major (`dims * n_query` elements).
+    pub p: Vec<f64>,
+    /// Index plane, k-major.
+    pub i: Vec<i64>,
+    /// Modelled device seconds the tile cost the node.
+    pub device_seconds: f64,
+    /// Whether the worker served the precalculation from its cache.
+    pub precalc_hit: bool,
+}
+
+/// Why a node request failed, as the coordinator's health ledger sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// Transport failure: connect refused, connection dropped, read
+    /// timeout (deadline overrun), or an injected cluster fault.
+    Io(String),
+    /// The worker answered, but with an error (bad spec, exhausted tile
+    /// retries) or a malformed reply.
+    Remote(String),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Io(e) => write!(f, "io: {e}"),
+            NodeError::Remote(e) => write!(f, "remote: {e}"),
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A lazily (re)connected JSON-lines client for one worker node.
+pub struct NodeClient {
+    addr: String,
+    timeout: Duration,
+    conn: Option<Conn>,
+    killed: bool,
+}
+
+impl NodeClient {
+    /// A client for the worker at `addr`; `timeout` bounds each reply
+    /// read (a node that overruns it is treated as failed).
+    pub fn new(addr: &str, timeout: Duration) -> NodeClient {
+        NodeClient {
+            addr: addr.to_string(),
+            timeout,
+            conn: None,
+            killed: false,
+        }
+    }
+
+    /// The node's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Mark the node as killed: the connection is severed and every later
+    /// request fails as a crashed machine's would (injected
+    /// [`mdmp_faults::NodeFaultKind::Kill`]).
+    pub fn kill(&mut self) {
+        self.killed = true;
+        self.conn = None;
+    }
+
+    /// Whether the node was killed.
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Sever the connection (it reconnects on the next request).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn connect(&mut self) -> Result<&mut Conn, NodeError> {
+        if self.killed {
+            return Err(NodeError::Io(format!("node {} is killed", self.addr)));
+        }
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| NodeError::Io(format!("connect {}: {e}", self.addr)))?;
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .map_err(|e| NodeError::Io(format!("set timeout: {e}")))?;
+            let writer = stream
+                .try_clone()
+                .map_err(|e| NodeError::Io(format!("clone stream: {e}")))?;
+            self.conn = Some(Conn {
+                reader: BufReader::new(stream),
+                writer,
+            });
+        }
+        match self.conn.as_mut() {
+            Some(conn) => Ok(conn),
+            None => Err(NodeError::Io("connection unavailable".into())),
+        }
+    }
+
+    /// Send one request line and read one response line. Any transport
+    /// error severs the connection so the next request reconnects.
+    pub fn request(&mut self, request: &Json) -> Result<Json, NodeError> {
+        let conn = self.connect()?;
+        let sent = writeln!(conn.writer, "{request}").and_then(|_| conn.writer.flush());
+        if let Err(e) = sent {
+            self.conn = None;
+            return Err(NodeError::Io(format!("send: {e}")));
+        }
+        let mut line = String::new();
+        match conn.reader.read_line(&mut line) {
+            Ok(0) => {
+                self.conn = None;
+                Err(NodeError::Io("connection closed by worker".into()))
+            }
+            Ok(_) => Json::parse(line.trim())
+                .map_err(|e| NodeError::Remote(format!("bad response: {e}"))),
+            Err(e) => {
+                self.conn = None;
+                Err(NodeError::Io(format!("read: {e}")))
+            }
+        }
+    }
+
+    /// Send a request, then sever the connection *without reading the
+    /// reply* — the injected
+    /// [`mdmp_faults::NodeFaultKind::DropConnection`] fault. The worker
+    /// may still execute the tile; the coordinator re-dispatches it, and
+    /// the merge's first-delivery-wins rule keeps the output exact.
+    pub fn send_and_drop(&mut self, request: &Json) -> NodeError {
+        if let Ok(conn) = self.connect() {
+            let _ = writeln!(conn.writer, "{request}").and_then(|_| conn.writer.flush());
+        }
+        self.conn = None;
+        NodeError::Io("injected connection drop".into())
+    }
+
+    /// Execute one tile on the node: a `tile_exec` request for exactly
+    /// one tile of `job`, decoded to its result planes.
+    pub fn exec_tile(&mut self, job: &Json, tile: usize) -> Result<DecodedTile, NodeError> {
+        let request = tile_exec_request(job, tile);
+        let reply = self.request(&request)?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            let message = reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("worker error without message");
+            return Err(NodeError::Remote(message.to_string()));
+        }
+        let tiles = reply
+            .get("tiles")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| NodeError::Remote("reply missing 'tiles'".into()))?;
+        let entry = tiles
+            .first()
+            .ok_or_else(|| NodeError::Remote("reply carries no tile".into()))?;
+        let decoded = decode_tile(entry).map_err(NodeError::Remote)?;
+        if decoded.tile != tile {
+            return Err(NodeError::Remote(format!(
+                "asked for tile {tile}, worker answered tile {}",
+                decoded.tile
+            )));
+        }
+        Ok(decoded)
+    }
+}
+
+/// The wire form of a one-tile lease execution request.
+pub fn tile_exec_request(job: &Json, tile: usize) -> Json {
+    Json::obj(vec![
+        ("op", Json::str("tile_exec")),
+        ("job", job.clone()),
+        ("tiles", Json::Arr(vec![Json::num(tile as f64)])),
+    ])
+}
+
+/// Decode one entry of a `tile_exec` reply's `tiles` array.
+pub fn decode_tile(entry: &Json) -> Result<DecodedTile, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        entry
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("tile entry missing numeric '{name}'"))
+    };
+    let tile = field("tile")? as usize;
+    let col0 = field("col0")? as usize;
+    let n_query = field("n_query")? as usize;
+    let dims = field("dims")? as usize;
+    let len = n_query
+        .checked_mul(dims)
+        .ok_or_else(|| "tile plane size overflows".to_string())?;
+    let p_hex = entry
+        .get("p_hex")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "tile entry missing 'p_hex'".to_string())?;
+    let p = decode_plane_hex(p_hex, len)?;
+    let raw_i = entry
+        .get("i")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "tile entry missing 'i'".to_string())?;
+    if raw_i.len() != len {
+        return Err(format!(
+            "index plane has {} elements, expected {len}",
+            raw_i.len()
+        ));
+    }
+    let mut i = Vec::with_capacity(len);
+    for v in raw_i {
+        let x = v
+            .as_f64()
+            .ok_or_else(|| "index plane entries must be numbers".to_string())?;
+        i.push(x as i64);
+    }
+    let device_seconds = entry
+        .get("device_seconds")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "tile entry missing 'device_seconds'".to_string())?;
+    let precalc_hit = entry
+        .get("precalc_hit")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    Ok(DecodedTile {
+        tile,
+        col0,
+        n_query,
+        dims,
+        p,
+        i,
+        device_seconds,
+        precalc_hit,
+    })
+}

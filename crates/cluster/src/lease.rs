@@ -1,0 +1,345 @@
+//! The coordinator's lease table: which node holds which tile, what is
+//! still queued, and what has been merged.
+//!
+//! The table is pure bookkeeping — no I/O, no time — guarded by one mutex
+//! in the coordinator, so every transition is atomic with respect to the
+//! node threads. The `vendor/interleave` model in `tests/interleave.rs`
+//! mirrors exactly this structure and checks its two safety invariants
+//! under exhaustive schedule exploration: **no tile is merged twice** and
+//! **no lease is lost** when a node is quarantined mid-steal.
+//!
+//! Scheduling policy, in claim order (DESIGN.md §12):
+//!
+//! 1. re-dispatched tiles from failed nodes (`requeue`) — highest urgency
+//!    because they are the oldest unfinished work;
+//! 2. the node's own shard, front to back;
+//! 3. **steal** from the longest remaining shard, back to front, so the
+//!    victim's locality at its front is preserved;
+//! 4. with speculation on, **duplicate-lease** the smallest in-flight tile
+//!    held only by other nodes — straggler insurance; the merge keeps the
+//!    first result and drops the rest.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What `next_for` hands a node asking for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextLease {
+    /// A tile to execute.
+    Tile {
+        /// The tile's index in the job's global tiling.
+        tile: usize,
+        /// Whether the tile was stolen from another node's shard.
+        stolen: bool,
+        /// Whether this is a speculative duplicate of an in-flight lease.
+        duplicate: bool,
+    },
+    /// Nothing claimable right now, but leases are in flight — wait for a
+    /// completion or a re-dispatch.
+    Wait,
+    /// Every tile is merged; the node can disconnect.
+    Finished,
+}
+
+/// What a completed tile execution turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// First result for the tile: merge it.
+    Merged,
+    /// A duplicate (speculation race or a re-dispatched tile whose
+    /// original holder answered after all): drop it.
+    Duplicate,
+}
+
+/// The lease table (see the module docs for the scheduling policy).
+#[derive(Debug)]
+pub struct LeaseTable {
+    shards: Vec<VecDeque<usize>>,
+    requeue: VecDeque<usize>,
+    leased: BTreeMap<usize, BTreeSet<usize>>,
+    done: BTreeSet<usize>,
+    total: usize,
+    steals: u64,
+    redispatches: u64,
+    duplicates_dropped: u64,
+}
+
+impl LeaseTable {
+    /// Shard tiles `0..total` across `nodes` contiguous shards of
+    /// near-equal size (earlier shards get the remainder).
+    pub fn new(total: usize, nodes: usize) -> LeaseTable {
+        let nodes = nodes.max(1);
+        let base = total / nodes;
+        let rem = total % nodes;
+        let mut shards = Vec::with_capacity(nodes);
+        let mut next = 0usize;
+        for node in 0..nodes {
+            let len = base + usize::from(node < rem);
+            shards.push((next..next + len).collect());
+            next += len;
+        }
+        LeaseTable {
+            shards,
+            requeue: VecDeque::new(),
+            leased: BTreeMap::new(),
+            done: BTreeSet::new(),
+            total,
+            steals: 0,
+            redispatches: 0,
+            duplicates_dropped: 0,
+        }
+    }
+
+    /// Claim the next tile for `node` (see the module docs for the
+    /// policy). `speculate` enables duplicate leases of in-flight tiles.
+    pub fn next_for(&mut self, node: usize, speculate: bool) -> NextLease {
+        if self.done.len() == self.total {
+            return NextLease::Finished;
+        }
+        if let Some(tile) = self.requeue.pop_front() {
+            self.lease(node, tile);
+            return NextLease::Tile {
+                tile,
+                stolen: false,
+                duplicate: false,
+            };
+        }
+        if let Some(tile) = self.shards[node].pop_front() {
+            self.lease(node, tile);
+            return NextLease::Tile {
+                tile,
+                stolen: false,
+                duplicate: false,
+            };
+        }
+        // Steal from the longest remaining shard (ties: lowest node index,
+        // for determinism of the decision given the same table state).
+        let victim = (0..self.shards.len())
+            .filter(|&j| j != node && !self.shards[j].is_empty())
+            .max_by_key(|&j| (self.shards[j].len(), usize::MAX - j));
+        if let Some(victim) = victim {
+            if let Some(tile) = self.shards[victim].pop_back() {
+                self.steals += 1;
+                self.lease(node, tile);
+                return NextLease::Tile {
+                    tile,
+                    stolen: true,
+                    duplicate: false,
+                };
+            }
+        }
+        if speculate {
+            let candidate = self
+                .leased
+                .iter()
+                .find(|(tile, holders)| !holders.contains(&node) && !self.done.contains(tile))
+                .map(|(&tile, _)| tile);
+            if let Some(tile) = candidate {
+                self.lease(node, tile);
+                return NextLease::Tile {
+                    tile,
+                    stolen: false,
+                    duplicate: true,
+                };
+            }
+        }
+        NextLease::Wait
+    }
+
+    fn lease(&mut self, node: usize, tile: usize) {
+        self.leased.entry(tile).or_default().insert(node);
+    }
+
+    /// Record that `node` delivered `tile`. The first delivery wins; later
+    /// ones (speculation races, re-dispatch races) are reported as
+    /// duplicates for the caller to drop.
+    pub fn complete(&mut self, node: usize, tile: usize) -> Completion {
+        if let Some(holders) = self.leased.get_mut(&tile) {
+            holders.remove(&node);
+            if holders.is_empty() {
+                self.leased.remove(&tile);
+            }
+        }
+        if self.done.insert(tile) {
+            // First result: retire every outstanding lease on the tile so
+            // speculation stops targeting it.
+            self.leased.remove(&tile);
+            Completion::Merged
+        } else {
+            self.duplicates_dropped += 1;
+            Completion::Duplicate
+        }
+    }
+
+    /// Record that `node`'s attempt at `tile` failed. The lease is
+    /// released; if no other node holds one and the tile is not merged, it
+    /// is queued for re-dispatch.
+    pub fn fail(&mut self, node: usize, tile: usize) {
+        let mut orphaned = false;
+        if let Some(holders) = self.leased.get_mut(&tile) {
+            holders.remove(&node);
+            if holders.is_empty() {
+                self.leased.remove(&tile);
+                orphaned = true;
+            }
+        }
+        if orphaned && !self.done.contains(&tile) {
+            self.requeue.push_back(tile);
+            self.redispatches += 1;
+        }
+    }
+
+    /// Remove `node` from the cluster: release every lease it holds (each
+    /// re-dispatched via [`LeaseTable::fail`] semantics) and move its
+    /// unclaimed shard to the re-dispatch queue.
+    pub fn quarantine(&mut self, node: usize) {
+        let held: Vec<usize> = self
+            .leased
+            .iter()
+            .filter(|(_, holders)| holders.contains(&node))
+            .map(|(&tile, _)| tile)
+            .collect();
+        for tile in held {
+            self.fail(node, tile);
+        }
+        while let Some(tile) = self.shards[node].pop_front() {
+            self.requeue.push_back(tile);
+        }
+    }
+
+    /// Tiles merged so far.
+    pub fn merged(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Total tiles in the job.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Tiles stolen across shards.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Tiles queued for re-dispatch after a failed lease.
+    pub fn redispatches(&self) -> u64 {
+        self.redispatches
+    }
+
+    /// Duplicate results dropped by the first-delivery-wins rule.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_near_equal_shards() {
+        let mut table = LeaseTable::new(8, 3);
+        // Shards: [0,1,2], [3,4,5], [6,7].
+        assert_eq!(
+            table.next_for(0, false),
+            NextLease::Tile {
+                tile: 0,
+                stolen: false,
+                duplicate: false
+            }
+        );
+        assert_eq!(
+            table.next_for(2, false),
+            NextLease::Tile {
+                tile: 6,
+                stolen: false,
+                duplicate: false
+            }
+        );
+    }
+
+    #[test]
+    fn drained_node_steals_from_longest_shard() {
+        let mut table = LeaseTable::new(6, 2);
+        // Node 0 drains its shard [0,1,2].
+        for expect in 0..3 {
+            match table.next_for(0, false) {
+                NextLease::Tile { tile, stolen, .. } => {
+                    assert_eq!(tile, expect);
+                    assert!(!stolen);
+                    table.complete(0, tile);
+                }
+                other => panic!("expected a tile, got {other:?}"),
+            }
+        }
+        // Node 1 untouched: node 0 now steals from the back of [3,4,5].
+        match table.next_for(0, false) {
+            NextLease::Tile { tile, stolen, .. } => {
+                assert_eq!(tile, 5);
+                assert!(stolen);
+            }
+            other => panic!("expected a steal, got {other:?}"),
+        }
+        assert_eq!(table.steals(), 1);
+    }
+
+    #[test]
+    fn first_completion_wins_duplicates_dropped() {
+        let mut table = LeaseTable::new(2, 2);
+        let NextLease::Tile { tile, .. } = table.next_for(0, false) else {
+            panic!("no tile");
+        };
+        // Node 1 drains its own shard, then speculative-leases node 0's
+        // in-flight tile.
+        let NextLease::Tile { tile: own, .. } = table.next_for(1, true) else {
+            panic!("no tile");
+        };
+        table.complete(1, own);
+        let NextLease::Tile { duplicate, .. } = table.next_for(1, true) else {
+            panic!("no speculative tile");
+        };
+        assert!(duplicate);
+        assert_eq!(table.complete(1, tile), Completion::Merged);
+        assert_eq!(table.complete(0, tile), Completion::Duplicate);
+        assert_eq!(table.duplicates_dropped(), 1);
+        assert_eq!(table.merged(), 2);
+        assert_eq!(table.next_for(0, true), NextLease::Finished);
+    }
+
+    #[test]
+    fn failed_lease_is_redispatched_and_quarantine_drains_the_shard() {
+        let mut table = LeaseTable::new(4, 2);
+        let NextLease::Tile { tile, .. } = table.next_for(1, false) else {
+            panic!("no tile");
+        };
+        assert_eq!(tile, 2);
+        table.fail(1, tile);
+        table.quarantine(1);
+        assert_eq!(table.redispatches(), 1);
+        // Node 0 now sees the re-dispatch queue first (the failed tile,
+        // then the quarantined node's drained shard), then its own shard.
+        let mut order = Vec::new();
+        loop {
+            match table.next_for(0, false) {
+                NextLease::Tile { tile, .. } => {
+                    order.push(tile);
+                    table.complete(0, tile);
+                }
+                NextLease::Finished => break,
+                NextLease::Wait => panic!("nothing should be in flight"),
+            }
+        }
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn wait_only_while_leases_are_in_flight() {
+        let mut table = LeaseTable::new(1, 2);
+        let NextLease::Tile { tile, .. } = table.next_for(0, false) else {
+            panic!("no tile");
+        };
+        assert_eq!(table.next_for(1, false), NextLease::Wait);
+        table.complete(0, tile);
+        assert_eq!(table.next_for(1, false), NextLease::Finished);
+    }
+}

@@ -1,0 +1,14 @@
+//! `mdmp-cluster` binary: worker node (`serve`) and cluster job
+//! submission (`submit`). `mdmp cluster …` forwards here.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        println!("{}", mdmp_cluster::cli::usage());
+        std::process::exit(2);
+    }
+    if let Err(e) = mdmp_cluster::cli::run(&raw) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

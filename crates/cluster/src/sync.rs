@@ -1,0 +1,24 @@
+//! Poison-absorbing lock helpers (same contract as the service's): every
+//! structure the coordinator guards stays consistent under unwinding
+//! because updates are single-assignment or re-checked by the caller, so a
+//! poisoned mutex carries no torn state worth propagating as a panic on
+//! the request path.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock `mutex`, absorbing poison.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `condvar` with a timeout, absorbing poison.
+pub(crate) fn wait_timeout<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}

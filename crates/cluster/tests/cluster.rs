@@ -1,0 +1,205 @@
+//! In-process cluster integration: three real `mdmp-service` worker nodes
+//! behind real TCP sockets, driven by the coordinator. The acceptance bar
+//! is **bit-identity**: the merged cluster profile must equal a
+//! single-node run of the same job down to the last `f64` bit, in every
+//! precision mode, with or without nodes dying mid-job.
+
+use mdmp_cluster::{run_cluster, ClusterConfig, ClusterError};
+use mdmp_core::{run_with_mode, MatrixProfile};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_service::{serve, JobInput, JobSpec, Priority, Server, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Start one in-process worker node on an ephemeral port.
+fn start_node() -> (Server, String) {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 1,
+        ..ServiceConfig::default()
+    });
+    let server = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind node");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn start_nodes(n: usize) -> (Vec<Server>, Vec<String>) {
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (server, addr) = start_node();
+        servers.push(server);
+        addrs.push(addr);
+    }
+    (servers, addrs)
+}
+
+/// The distributed workload used throughout: synthetic, multi-dim, enough
+/// tiles that every node gets a shard and stealing has material to work
+/// with.
+fn spec(mode: &str) -> JobSpec {
+    JobSpec {
+        input: JobInput::Synthetic {
+            n: 192,
+            d: 2,
+            pattern: 1,
+            noise: 0.3,
+            seed: 11,
+        },
+        m: 16,
+        mode: mode.parse().expect("mode"),
+        tiles: 8,
+        gpus: 1,
+        priority: Priority::Normal,
+        max_retries: 0,
+        fault_plan: None,
+        tile_retries: 2,
+        fused_rows: None,
+        tile_deadline_ms: None,
+        deadline_ms: None,
+    }
+}
+
+/// The single-node ground truth for a spec, via the ordinary driver.
+fn single_node_profile(spec: &JobSpec) -> MatrixProfile {
+    let (reference, query) = spec.materialize().expect("materialize");
+    let mut system = GpuSystem::homogeneous(DeviceSpec::a100(), spec.gpus);
+    run_with_mode(&reference, &query, &spec.config(), &mut system)
+        .expect("single-node run")
+        .profile
+}
+
+/// Bit-level equality, strictly stronger than `PartialEq` (which would
+/// also pass for numerically equal but differently produced values and
+/// fail for identical NaN bits).
+fn assert_bit_identical(cluster: &MatrixProfile, local: &MatrixProfile, what: &str) {
+    assert_eq!(cluster.n_query(), local.n_query(), "{what}: n_query");
+    assert_eq!(cluster.dims(), local.dims(), "{what}: dims");
+    for k in 0..local.dims() {
+        for j in 0..local.n_query() {
+            assert_eq!(
+                cluster.value(j, k).to_bits(),
+                local.value(j, k).to_bits(),
+                "{what}: value bits differ at dim {k} column {j}"
+            );
+            assert_eq!(
+                cluster.index(j, k),
+                local.index(j, k),
+                "{what}: index differs at dim {k} column {j}"
+            );
+        }
+    }
+}
+
+fn cluster_config(addrs: &[String]) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(addrs.to_vec());
+    cfg.request_timeout = Duration::from_secs(30);
+    cfg
+}
+
+/// Tentpole acceptance: a 3-node cluster is bit-identical to a
+/// single-node run in all five precision modes of the paper.
+#[test]
+fn three_node_cluster_is_bit_identical_in_all_modes() {
+    let (_servers, addrs) = start_nodes(3);
+    for mode in ["fp64", "fp32", "fp16", "mixed", "fp16c"] {
+        let spec = spec(mode);
+        let local = single_node_profile(&spec);
+        let run = run_cluster(&spec, &cluster_config(&addrs))
+            .unwrap_or_else(|e| panic!("cluster run in {mode}: {e}"));
+        assert_eq!(run.tiles_total, 8);
+        assert_bit_identical(&run.profile, &local, mode);
+        let merged: u64 = run.nodes.iter().map(|n| n.tiles_merged).sum();
+        assert_eq!(merged as usize, run.tiles_total);
+        assert!(run.quarantined_nodes().is_empty(), "{mode}: no node died");
+    }
+}
+
+/// Node loss mid-job: node 1 is killed on its second request; its leased
+/// tile and unclaimed shard are re-dispatched to the survivors, the job
+/// completes, and the output is still bit-identical.
+#[test]
+fn node_kill_mid_job_redispatches_and_stays_bit_identical() {
+    let (_servers, addrs) = start_nodes(3);
+    for mode in ["fp64", "fp32", "fp16", "mixed", "fp16c"] {
+        let spec = spec(mode);
+        let local = single_node_profile(&spec);
+        let mut cluster = cluster_config(&addrs);
+        cluster.fault_plan = "nodekill@1:1".parse().expect("fault plan");
+        let run = run_cluster(&spec, &cluster)
+            .unwrap_or_else(|e| panic!("cluster run with node loss in {mode}: {e}"));
+        assert_bit_identical(&run.profile, &local, mode);
+        assert_eq!(run.quarantined_nodes(), vec![1], "{mode}");
+        assert!(run.nodes[1].quarantined, "{mode}");
+        assert!(
+            run.redispatches >= 1,
+            "{mode}: the killed node's leased tile must be re-dispatched"
+        );
+        let merged: u64 = run.nodes.iter().map(|n| n.tiles_merged).sum();
+        assert_eq!(merged as usize, run.tiles_total, "{mode}");
+    }
+}
+
+/// A dropped connection is transient: the node fails one request, the
+/// tile is re-dispatched, the node reconnects and keeps serving.
+#[test]
+fn connection_drop_is_transient_not_fatal() {
+    let (_servers, addrs) = start_nodes(2);
+    let spec = spec("fp32");
+    let local = single_node_profile(&spec);
+    let mut cluster = cluster_config(&addrs);
+    cluster.fault_plan = "nodedrop@0:0".parse().expect("fault plan");
+    let run = run_cluster(&spec, &cluster).expect("cluster run");
+    assert_bit_identical(&run.profile, &local, "fp32 after drop");
+    assert_eq!(run.nodes[0].failures, 1);
+    assert!(!run.nodes[0].quarantined, "one drop must not quarantine");
+    assert!(run.redispatches >= 1);
+}
+
+/// Every node dead before the job finishes is the typed
+/// [`ClusterError::AllNodesDown`] — never a hang, never a partial
+/// profile pretending to be complete.
+#[test]
+fn losing_every_node_is_a_typed_error() {
+    let (_servers, addrs) = start_nodes(2);
+    let spec = spec("fp16");
+    let mut cluster = cluster_config(&addrs);
+    cluster.fault_plan = "nodekill@0:0,nodekill@1:0".parse().expect("fault plan");
+    match run_cluster(&spec, &cluster) {
+        Err(ClusterError::AllNodesDown { merged, expected }) => {
+            assert_eq!(merged, 0);
+            assert_eq!(expected, 8);
+        }
+        other => panic!("expected AllNodesDown, got {other:?}"),
+    }
+}
+
+/// An unreachable address is also just a node failure: the cluster
+/// quarantines it and the survivors finish the job.
+#[test]
+fn unreachable_node_is_quarantined_and_survivors_finish() {
+    let (_servers, mut addrs) = start_nodes(2);
+    // A port nothing listens on (reserved port 1 refuses immediately).
+    addrs.push("127.0.0.1:1".to_string());
+    let spec = spec("mixed");
+    let local = single_node_profile(&spec);
+    let run = run_cluster(&spec, &cluster_config(&addrs)).expect("cluster run");
+    assert_bit_identical(&run.profile, &local, "mixed with dead node");
+    assert!(run.nodes[2].quarantined);
+    assert_eq!(run.nodes[2].tiles_merged, 0);
+}
+
+/// In-memory jobs cannot be shipped to remote nodes: typed `BadSpec`.
+#[test]
+fn in_memory_jobs_are_rejected() {
+    let spec = spec("fp64");
+    let (reference, query) = spec.materialize().expect("materialize");
+    let in_memory = JobSpec {
+        input: JobInput::InMemory { reference, query },
+        ..spec
+    };
+    match run_cluster(&in_memory, &cluster_config(&["127.0.0.1:1".to_string()])) {
+        Err(ClusterError::BadSpec(e)) => assert!(e.contains("in-memory"), "{e}"),
+        other => panic!("expected BadSpec, got {other:?}"),
+    }
+}

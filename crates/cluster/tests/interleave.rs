@@ -1,0 +1,164 @@
+//! Deterministic-interleaving model check (vendor/interleave) of the
+//! coordinator's lease table.
+//!
+//! The model wraps the *real* [`mdmp_cluster::LeaseTable`] — it is pure
+//! bookkeeping with no internal locks — in the checker's mutex/condvar,
+//! with exactly the production lock protocol of `coordinator.rs`:
+//! claim under the lock (wait on the condvar while nothing is claimable),
+//! execute outside it, then `complete`/`fail`+`quarantine` under the lock
+//! followed by `notify_all`. Every schedule the checker explores is a
+//! schedule the real coordinator could see.
+//!
+//! Checked invariants, across all interleavings:
+//!
+//! - **no tile is merged twice** (`complete` reports `Merged` at most
+//!   once per tile, even with speculative duplicate leases racing);
+//! - **no lease is lost** when a node fails and is quarantined mid-job —
+//!   even while the survivor is concurrently stealing from the dying
+//!   node's shard — so every tile is merged exactly once;
+//! - the wait/notify protocol has **no lost wakeup** (a deadlock would
+//!   abort the exploration); the negative control shows the checker
+//!   catches the bug if the failure path forgets `notify_all`.
+
+use interleave::{explore, spawn, Condvar, Config, Mutex};
+use mdmp_cluster::{Completion, LeaseTable, NextLease};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Model {
+    table: Mutex<LeaseTable>,
+    work: Condvar,
+    /// tile -> times `complete` reported `Merged` for it.
+    merged: Mutex<BTreeMap<usize, usize>>,
+    speculate: bool,
+    /// Whether the failure path notifies waiters (true in production; the
+    /// negative control turns it off to demonstrate the lost wakeup).
+    notify_on_fail: bool,
+    /// Whether the dying node actually reached its failure (in some
+    /// schedules the survivor finishes the whole job first).
+    fail_fired: Mutex<bool>,
+}
+
+/// One node thread, with the production claim/execute/complete protocol.
+/// `fail_first` makes the node fail its first executed tile and be
+/// quarantined (threshold 1), like a killed worker.
+fn node_loop(model: &Model, node: usize, fail_first: bool) {
+    loop {
+        let tile = {
+            let mut table = model.table.lock();
+            loop {
+                match table.next_for(node, model.speculate) {
+                    NextLease::Finished => return,
+                    NextLease::Tile { tile, .. } => break tile,
+                    NextLease::Wait => table = model.work.wait(table),
+                }
+            }
+        };
+        // "Execute" happens outside the lock, like the real RPC.
+        if fail_first {
+            {
+                let mut table = model.table.lock();
+                table.fail(node, tile);
+                table.quarantine(node);
+            }
+            *model.fail_fired.lock() = true;
+            if model.notify_on_fail {
+                model.work.notify_all();
+            }
+            return;
+        }
+        let completion = {
+            let mut table = model.table.lock();
+            table.complete(node, tile)
+        };
+        model.work.notify_all();
+        if completion == Completion::Merged {
+            *model.merged.lock().entry(tile).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Two nodes over `tiles` tiles; node 1 dies on its first tile when
+/// `kill_node_1`. Asserts the exactly-once invariants after both join.
+fn lease_model(
+    tiles: usize,
+    speculate: bool,
+    kill_node_1: bool,
+    notify_on_fail: bool,
+) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let model = Arc::new(Model {
+            table: Mutex::new(LeaseTable::new(tiles, 2)),
+            work: Condvar::new(),
+            merged: Mutex::new(BTreeMap::new()),
+            speculate,
+            notify_on_fail,
+            fail_fired: Mutex::new(false),
+        });
+        let a = {
+            let model = Arc::clone(&model);
+            spawn(move || node_loop(&model, 0, false))
+        };
+        let b = {
+            let model = Arc::clone(&model);
+            spawn(move || node_loop(&model, 1, kill_node_1))
+        };
+        a.join();
+        b.join();
+        let merged = model.merged.lock();
+        assert_eq!(merged.len(), tiles, "a lease was lost: {:?}", &*merged);
+        for (tile, count) in merged.iter() {
+            assert_eq!(*count, 1, "tile {tile} merged {count} times");
+        }
+        let table = model.table.lock();
+        assert_eq!(table.merged(), tiles);
+        // Without speculation a tile has exactly one holder, so a fired
+        // failure always orphans its lease into the re-dispatch queue.
+        // (Under speculation a surviving duplicate holder may make the
+        // re-dispatch unnecessary — the exactly-once checks above still
+        // hold.)
+        if kill_node_1 && !speculate && *model.fail_fired.lock() {
+            assert!(
+                table.redispatches() >= 1,
+                "the dead node's lease must be re-dispatched"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore)]
+fn full_no_tile_merged_twice_under_speculation() {
+    let report = explore(Config::quick(2500), lease_model(3, true, false, true));
+    assert!(report.schedules > 1000, "explored {}", report.schedules);
+}
+
+#[test]
+#[cfg_attr(miri, ignore)]
+fn full_no_lease_lost_when_node_quarantined_mid_steal() {
+    let report = explore(Config::quick(2500), lease_model(4, false, true, true));
+    assert!(report.schedules > 1000, "explored {}", report.schedules);
+}
+
+#[test]
+#[cfg_attr(miri, ignore)]
+fn full_quarantine_under_speculation_still_exactly_once() {
+    let report = explore(Config::quick(2500), lease_model(3, true, true, true));
+    assert!(report.schedules > 1000, "explored {}", report.schedules);
+}
+
+/// Negative control: if the failure path forgets `notify_all`, a survivor
+/// parked on the condvar never learns about the re-dispatched tile — the
+/// checker reports the deadlock.
+#[test]
+#[cfg_attr(miri, ignore)]
+#[should_panic]
+fn full_missing_notify_on_fail_is_caught() {
+    explore(Config::quick(60_000), lease_model(4, false, true, false));
+}
+
+#[test]
+fn smoke_lease_table() {
+    explore(Config::quick(48), lease_model(2, true, false, true));
+    explore(Config::quick(48), lease_model(3, false, true, true));
+}

@@ -1,0 +1,195 @@
+//! Satellite property: **any** permutation of tile completion order —
+//! including duplicate deliveries from steal-then-original-returns races —
+//! merges every tile exactly once, in ascending tile order, and the
+//! result is bit-identical to the single-node driver's profile.
+
+use mdmp_cluster::{DecodedTile, ReorderMerge};
+use mdmp_core::{run_tile_subset, run_with_mode, MatrixProfile};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+use mdmp_service::{JobInput, JobSpec, Priority};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const MODES: [&str; 5] = ["fp64", "fp32", "fp16", "mixed", "fp16c"];
+const TILES: usize = 6;
+
+struct Case {
+    local: MatrixProfile,
+    tiles: Vec<DecodedTile>,
+    n_query: usize,
+    dims: usize,
+}
+
+fn spec(mode: &str) -> JobSpec {
+    JobSpec {
+        input: JobInput::Synthetic {
+            n: 96,
+            d: 2,
+            pattern: 0,
+            noise: 0.3,
+            seed: 23,
+        },
+        m: 8,
+        mode: mode.parse::<PrecisionMode>().expect("mode"),
+        tiles: TILES,
+        gpus: 1,
+        priority: Priority::Normal,
+        max_retries: 0,
+        fault_plan: None,
+        tile_retries: 2,
+        fused_rows: None,
+        tile_deadline_ms: None,
+        deadline_ms: None,
+    }
+}
+
+/// A worker's wire-form result for one tile, built from a local subset
+/// run exactly as `crates/service`'s `tile_exec` encodes it (k-major
+/// planes).
+fn decoded_tiles(spec: &JobSpec) -> (MatrixProfile, Vec<DecodedTile>, usize, usize) {
+    let (reference, query) = spec.materialize().expect("materialize");
+    let cfg = spec.config();
+    let mut system = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let local = run_with_mode(&reference, &query, &cfg, &mut system)
+        .expect("local run")
+        .profile;
+    let indices: Vec<usize> = (0..TILES).collect();
+    let mut system = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let run =
+        run_tile_subset(&reference, &query, &cfg, &mut system, None, &indices).expect("subset run");
+    let tiles = run
+        .results
+        .iter()
+        .map(|r| {
+            let dims = r.profile.dims();
+            let mut p = Vec::with_capacity(dims * r.profile.n_query());
+            let mut i = Vec::with_capacity(dims * r.profile.n_query());
+            for k in 0..dims {
+                p.extend_from_slice(r.profile.profile_dim(k));
+                i.extend_from_slice(r.profile.index_dim(k));
+            }
+            DecodedTile {
+                tile: r.tile.index,
+                col0: r.tile.col0,
+                n_query: r.profile.n_query(),
+                dims,
+                p,
+                i,
+                device_seconds: r.device_seconds,
+                precalc_hit: r.precalc_cached,
+            }
+        })
+        .collect();
+    (local, tiles, query.n_segments(spec.m), reference.dims())
+}
+
+fn cases() -> &'static Vec<Case> {
+    static CASES: OnceLock<Vec<Case>> = OnceLock::new();
+    CASES.get_or_init(|| {
+        MODES
+            .iter()
+            .map(|mode| {
+                let spec = spec(mode);
+                let (local, tiles, n_query, dims) = decoded_tiles(&spec);
+                Case {
+                    local,
+                    tiles,
+                    n_query,
+                    dims,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Deterministic Fisher–Yates from a seed (xorshift64*), so every failing
+/// permutation is replayable from the proptest seed alone.
+fn permute<T>(items: &mut [T], mut state: u64) {
+    state |= 1;
+    for i in (1..items.len()).rev() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let j = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+fn assert_bits(a: &MatrixProfile, b: &MatrixProfile) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.n_query(), b.n_query());
+    prop_assert_eq!(a.dims(), b.dims());
+    for k in 0..b.dims() {
+        for j in 0..b.n_query() {
+            prop_assert_eq!(
+                a.value(j, k).to_bits(),
+                b.value(j, k).to_bits(),
+                "value bits differ at dim {} column {}",
+                k,
+                j
+            );
+            prop_assert_eq!(a.index(j, k), b.index(j, k));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Permute completion order, duplicate a few deliveries (a stolen
+    /// tile whose original holder answers late), merge — bit-identical,
+    /// each tile exactly once.
+    #[test]
+    fn any_completion_order_merges_bit_identically(
+        mode_ix in 0usize..MODES.len(),
+        seed in any::<u64>(),
+        dups in proptest::collection::vec(0usize..TILES * 7, 0..4),
+    ) {
+        let case = &cases()[mode_ix];
+        let mut order: Vec<DecodedTile> = case.tiles.clone();
+        permute(&mut order, seed);
+        // Inject duplicate deliveries at seed-determined positions.
+        for (i, d) in dups.iter().enumerate() {
+            let dup = order[d % TILES].clone();
+            let at = (d.wrapping_mul(13) + i) % (order.len() + 1);
+            order.insert(at, dup);
+        }
+        let injected = dups.len() as u64;
+
+        let mut merge = ReorderMerge::new(case.n_query, case.dims, TILES);
+        let mut accepted = 0usize;
+        for tile in order {
+            if merge.offer(tile).expect("valid tile") {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(accepted, TILES, "each tile merges exactly once");
+        prop_assert_eq!(merge.duplicates(), injected);
+        prop_assert!(merge.is_complete());
+        let profile = merge.finish().expect("complete");
+        assert_bits(&profile, &case.local)?;
+    }
+}
+
+/// Deterministic spot check plus the malformed-plane rejections (the
+/// `Err` arm `offer` reserves for protocol violations).
+#[test]
+fn reorder_merge_rejects_planes_that_cannot_belong_to_the_job() {
+    let case = &cases()[0];
+    let mut merge = ReorderMerge::new(case.n_query, case.dims, TILES);
+    let mut bad = case.tiles[0].clone();
+    bad.tile = TILES + 5;
+    assert!(merge.offer(bad).is_err(), "out-of-range tile index");
+    let mut bad = case.tiles[0].clone();
+    bad.p.pop();
+    assert!(merge.offer(bad).is_err(), "truncated value plane");
+    let mut bad = case.tiles[0].clone();
+    bad.dims += 1;
+    assert!(merge.offer(bad).is_err(), "wrong dimensionality");
+    // The table is untouched by rejected offers: a clean merge still works.
+    for tile in case.tiles.clone().into_iter().rev() {
+        merge.offer(tile).expect("valid tile");
+    }
+    assert!(merge.is_complete());
+}

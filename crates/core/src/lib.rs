@@ -49,6 +49,7 @@ pub mod kernels;
 pub mod multinode;
 pub mod precalc;
 pub mod profile;
+pub mod remote;
 pub mod streaming;
 pub mod tile_exec;
 pub mod tiling;
@@ -60,6 +61,7 @@ pub use driver::{run_with_mode, run_with_mode_cached, MdmpRun, PrecalcStore};
 pub use estimate::{estimate_run, RunEstimate};
 pub use multinode::{estimate_cluster, run_on_cluster, ClusterRun};
 pub use profile::MatrixProfile;
+pub use remote::{job_tile_count, run_tile_subset, SubsetTileResult, TileSubsetRun};
 pub use streaming::StreamingProfile;
 pub use tile_exec::{
     apply_plane_fault, compute_tile_precalc, execute_tile, execute_tile_from_precalc,

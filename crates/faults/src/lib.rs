@@ -457,6 +457,121 @@ fn parse_prob(value: &str) -> Result<f64, PlanParseError> {
     Ok(p)
 }
 
+/// A cluster-scope fault, applied by the `mdmp-cluster` coordinator to
+/// one worker *node* rather than to one tile (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// Sever the node's TCP connection before the coordinator reads the
+    /// reply for the matching request. The node itself is fine, so the
+    /// coordinator may reconnect and keep using it; the in-flight tile
+    /// lease is re-dispatched.
+    DropConnection,
+    /// Kill the node: sever the connection and refuse every reconnection
+    /// attempt for the rest of the job, as a crashed machine would.
+    Kill,
+}
+
+/// A deterministic cluster-scope fault plan: directives keyed by
+/// `(node, tile_seq)` where `tile_seq` counts the tile-execution requests
+/// the coordinator has sent to that node (0-based). Purely directive
+/// driven — no probabilities — so a replay of the same shard schedule
+/// injects exactly the same faults.
+///
+/// Spec-string grammar, comma-separated (mirrors [`FaultPlan`]):
+/// `nodedrop@N:S` drops node `N`'s connection on its `S`-th request,
+/// `nodekill@N:S` kills node `N` at its `S`-th request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterFaultPlan {
+    directives: Vec<(usize, u64, NodeFaultKind)>,
+}
+
+impl ClusterFaultPlan {
+    /// An empty plan injecting nothing.
+    pub fn new() -> ClusterFaultPlan {
+        ClusterFaultPlan::default()
+    }
+
+    /// Add a directive: inject `kind` on node `node`'s `tile_seq`-th tile
+    /// request (builder style).
+    pub fn with_node_fault(
+        mut self,
+        node: usize,
+        tile_seq: u64,
+        kind: NodeFaultKind,
+    ) -> ClusterFaultPlan {
+        self.directives.push((node, tile_seq, kind));
+        self
+    }
+
+    /// The fault to inject when node `node` issues its `tile_seq`-th tile
+    /// request, if any (first matching directive wins).
+    pub fn node_fault(&self, node: usize, tile_seq: u64) -> Option<NodeFaultKind> {
+        self.directives
+            .iter()
+            .find(|(n, s, _)| *n == node && *s == tile_seq)
+            .map(|(_, _, k)| *k)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Whether the plan ever kills `node` (at any sequence number).
+    pub fn kills_node(&self, node: usize) -> bool {
+        self.directives
+            .iter()
+            .any(|(n, _, k)| *n == node && *k == NodeFaultKind::Kill)
+    }
+}
+
+impl FromStr for ClusterFaultPlan {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<ClusterFaultPlan, PlanParseError> {
+        let mut plan = ClusterFaultPlan::new();
+        for raw in s.split(',') {
+            let part = raw.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, target) = part
+                .split_once('@')
+                .ok_or_else(|| PlanParseError(format!("unknown node directive `{part}`")))?;
+            let (node_str, seq_str) = target.split_once(':').ok_or_else(|| {
+                PlanParseError(format!("node directive needs `@N:S`, got `{part}`"))
+            })?;
+            let node: usize = node_str
+                .parse()
+                .map_err(|_| PlanParseError(format!("bad node index `{node_str}`")))?;
+            let seq: u64 = seq_str
+                .parse()
+                .map_err(|_| PlanParseError(format!("bad tile sequence `{seq_str}`")))?;
+            let fault = match kind.trim() {
+                "nodedrop" => NodeFaultKind::DropConnection,
+                "nodekill" => NodeFaultKind::Kill,
+                other => return Err(PlanParseError(format!("unknown node fault `{other}@`"))),
+            };
+            plan.directives.push((node, seq, fault));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for ClusterFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .directives
+            .iter()
+            .map(|(node, seq, kind)| match kind {
+                NodeFaultKind::DropConnection => format!("nodedrop@{node}:{seq}"),
+                NodeFaultKind::Kill => format!("nodekill@{node}:{seq}"),
+            })
+            .collect();
+        write!(f, "{}", parts.join(","))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,5 +681,50 @@ mod tests {
         assert!(plan.tile_fault(0, 0).is_some());
         let copy = plan.clone();
         assert_eq!(copy.budget_remaining(), Some(2));
+    }
+
+    #[test]
+    fn empty_cluster_plan_is_quiet() {
+        let plan = ClusterFaultPlan::new();
+        assert!(plan.is_empty());
+        for node in 0..4 {
+            for seq in 0..8 {
+                assert_eq!(plan.node_fault(node, seq), None);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_directives_fire_at_exact_coordinates() {
+        let plan = ClusterFaultPlan::new()
+            .with_node_fault(1, 2, NodeFaultKind::DropConnection)
+            .with_node_fault(2, 0, NodeFaultKind::Kill);
+        assert_eq!(plan.node_fault(1, 2), Some(NodeFaultKind::DropConnection));
+        assert_eq!(plan.node_fault(2, 0), Some(NodeFaultKind::Kill));
+        assert_eq!(plan.node_fault(1, 1), None);
+        assert_eq!(plan.node_fault(0, 2), None);
+        assert!(plan.kills_node(2));
+        assert!(!plan.kills_node(1));
+    }
+
+    #[test]
+    fn cluster_plan_parse_display_fixpoint() {
+        let spec = "nodedrop@1:2,nodekill@2:0";
+        let plan: ClusterFaultPlan = spec.parse().unwrap();
+        assert_eq!(plan.to_string(), spec);
+        let reparsed: ClusterFaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(reparsed, plan);
+        let empty: ClusterFaultPlan = "".parse().unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_string(), "");
+    }
+
+    #[test]
+    fn bad_cluster_specs_are_rejected() {
+        assert!("nodedrop".parse::<ClusterFaultPlan>().is_err());
+        assert!("nodedrop@1".parse::<ClusterFaultPlan>().is_err());
+        assert!("nodedrop@x:0".parse::<ClusterFaultPlan>().is_err());
+        assert!("nodedrop@0:y".parse::<ClusterFaultPlan>().is_err());
+        assert!("nodeburn@0:0".parse::<ClusterFaultPlan>().is_err());
     }
 }

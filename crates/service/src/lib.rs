@@ -45,5 +45,5 @@ pub use pool::DevicePool;
 pub use proto::Json;
 pub use queue::{JobQueue, SubmitError};
 pub use scheduler::{Service, ServiceConfig};
-pub use server::{parse_job_spec, request, serve, Server};
+pub use server::{decode_plane_hex, encode_plane_hex, parse_job_spec, request, serve, Server};
 pub use session::{AppendSide, SessionId, SessionManager, SessionSummary};

@@ -228,6 +228,12 @@ pub struct MetricsRegistry {
     pub devices_quarantined: Counter,
     /// Client connections dropped mid-job by an injected fault plan.
     pub connection_drops_injected: Counter,
+    /// `tile_exec` requests served for a cluster coordinator.
+    pub tile_exec_requests: Counter,
+    /// Tiles executed on behalf of a cluster coordinator.
+    pub tiles_served: Counter,
+    /// `tile_exec` requests that failed (bad spec or exhausted retries).
+    pub tile_exec_failures: Counter,
     /// Queue wait (submit → start) per job.
     pub queue_wait: Histogram,
     /// Execution time (start → finish) per job.
@@ -284,7 +290,7 @@ impl MetricsRegistry {
     /// Render the Prometheus-style text exposition page.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 18] = [
+        let counters: [(&str, &Counter); 21] = [
             ("mdmp_jobs_submitted_total", &self.jobs_submitted),
             ("mdmp_jobs_rejected_total", &self.jobs_rejected),
             ("mdmp_jobs_completed_total", &self.jobs_completed),
@@ -315,6 +321,9 @@ impl MetricsRegistry {
                 "mdmp_connection_drops_injected_total",
                 &self.connection_drops_injected,
             ),
+            ("mdmp_tile_exec_requests_total", &self.tile_exec_requests),
+            ("mdmp_tiles_served_total", &self.tiles_served),
+            ("mdmp_tile_exec_failures_total", &self.tile_exec_failures),
         ];
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
@@ -376,6 +385,9 @@ impl MetricsRegistry {
             plane_validation_failures: self.plane_validation_failures.get(),
             devices_quarantined: self.devices_quarantined.get(),
             connection_drops_injected: self.connection_drops_injected.get(),
+            tile_exec_requests: self.tile_exec_requests.get(),
+            tiles_served: self.tiles_served.get(),
+            tile_exec_failures: self.tile_exec_failures.get(),
             worker_busy_seconds: self.worker_busy_seconds(),
             mean_queue_wait_seconds: self.queue_wait.mean(),
             mean_run_seconds: self.run_seconds.mean(),
@@ -442,6 +454,12 @@ pub struct ServiceStats {
     pub devices_quarantined: u64,
     /// Connections dropped mid-job by injected fault plans.
     pub connection_drops_injected: u64,
+    /// `tile_exec` requests served for a cluster coordinator.
+    pub tile_exec_requests: u64,
+    /// Tiles executed on behalf of a cluster coordinator.
+    pub tiles_served: u64,
+    /// `tile_exec` requests that failed.
+    pub tile_exec_failures: u64,
     /// Busy seconds accumulated per host-worker slot.
     pub worker_busy_seconds: Vec<f64>,
     /// Mean queue wait in seconds.

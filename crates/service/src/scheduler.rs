@@ -15,7 +15,7 @@ use crate::pool::DevicePool;
 use crate::queue::{JobQueue, SubmitError};
 use crate::session::SessionManager;
 use crate::sync;
-use mdmp_core::run_with_mode_cached;
+use mdmp_core::{run_tile_subset, run_with_mode_cached, TileSubsetRun};
 use mdmp_gpu_sim::DeviceSpec;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -374,6 +374,56 @@ impl Service {
             drop(registry);
             self.state_changed.notify_all();
         }
+    }
+
+    /// Execute a subset of a job's tiles synchronously on this node, on
+    /// behalf of a cluster coordinator (the worker half of the tile-lease
+    /// protocol, DESIGN.md §12). Bypasses the job queue — the coordinator
+    /// owns scheduling — but leases devices from the same pool and shares
+    /// the fingerprint-keyed precalc cache, so repeated shards of the same
+    /// job reuse bit-identical precalc.
+    pub fn execute_tile_subset(
+        &self,
+        spec: &JobSpec,
+        tiles: &[usize],
+    ) -> Result<TileSubsetRun, String> {
+        self.metrics.tile_exec_requests.inc();
+        let run = self.execute_tile_subset_inner(spec, tiles);
+        match &run {
+            Ok(run) => self.metrics.tiles_served.add(run.results.len() as u64),
+            Err(_) => self.metrics.tile_exec_failures.inc(),
+        }
+        run
+    }
+
+    fn execute_tile_subset_inner(
+        &self,
+        spec: &JobSpec,
+        tiles: &[usize],
+    ) -> Result<TileSubsetRun, String> {
+        if spec.gpus == 0 || spec.gpus > self.pool.total() {
+            return Err(format!("gpus must be in 1..={}", self.pool.total()));
+        }
+        let (reference, query) = spec.materialize()?;
+        let cfg = spec.config().with_host_workers(self.cfg.host_workers);
+        let key = CacheKey::for_job(&reference, &query, spec.m, spec.mode, spec.tiles);
+        let mut system = self.pool.lease(spec.gpus);
+        self.metrics.devices_leased.add(spec.gpus as i64);
+        let store = self.cache.store_for(key);
+        let run = run_tile_subset(&reference, &query, &cfg, &mut system, Some(&store), tiles);
+        self.metrics.devices_leased.add(-(spec.gpus as i64));
+        self.pool.release(system);
+        let run = run.map_err(|e| e.to_string())?;
+        self.metrics.cache_hits.add(run.precalc_hits as u64);
+        self.metrics.cache_misses.add(run.precalc_misses as u64);
+        self.metrics.tile_retries.add(run.tile_retries);
+        self.metrics
+            .plane_validation_failures
+            .add(run.plane_validation_failures);
+        self.metrics
+            .devices_quarantined
+            .add(run.quarantined_devices.len() as u64);
+        Ok(run)
     }
 
     fn run_with_retries(&self, id: JobId, spec: &JobSpec) -> Result<JobOutcome, String> {

@@ -18,7 +18,15 @@
 //! | `stream_append` | `session`, `side`, `samples` (array per dimension)     |
 //! | `stream_status` | `session`                                              |
 //! | `stream_close`  | `session`                                              |
+//! | `tile_exec`     | `job` object, `tiles` (array of tile indices)          |
 //! | `shutdown`      | optional `drain` (default true)                        |
+//!
+//! `tile_exec` is the worker half of the cluster tile-lease protocol
+//! (DESIGN.md §12): it executes the listed tiles of the job synchronously
+//! and returns one entry per tile with the partial profile planes. Value
+//! planes travel as hex-encoded `f64` bit patterns ([`encode_plane_hex`])
+//! because JSON has no `+Inf` and the unset sentinel must survive the trip
+//! bit-exactly; index planes are plain integers.
 
 use crate::job::{JobInput, JobOutcome, JobSpec, JobStatus, Priority};
 use crate::proto::Json;
@@ -246,6 +254,7 @@ fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Reply {
             None => error_response("missing numeric 'session'"),
             Some(id) => ok_response(vec![("closed", Json::Bool(service.sessions.close(id)))]),
         },
+        "tile_exec" => tile_exec(service, request),
         "shutdown" => {
             let drain = request.get("drain").and_then(Json::as_bool).unwrap_or(true);
             stop.store(true, Ordering::SeqCst);
@@ -466,6 +475,115 @@ fn stats_json(service: &Service) -> Json {
                     .collect(),
             ),
         ),
+    ])
+}
+
+/// Encode a value plane as the concatenated hex `f64` bit patterns, 16
+/// lowercase hex chars per element. JSON numbers cannot carry `+Inf` (the
+/// profile's unset sentinel) or guarantee bit-exact round-trips, so the
+/// tile-lease protocol ships value planes through this encoding.
+pub fn encode_plane_hex(plane: &[f64]) -> String {
+    let mut out = String::with_capacity(plane.len() * 16);
+    for v in plane {
+        out.push_str(&format!("{:016x}", v.to_bits()));
+    }
+    out
+}
+
+/// Decode a value plane produced by [`encode_plane_hex`], checking the
+/// expected element count.
+pub fn decode_plane_hex(hex: &str, len: usize) -> Result<Vec<f64>, String> {
+    if hex.len() != len * 16 {
+        return Err(format!(
+            "plane hex length {} does not match {} elements",
+            hex.len(),
+            len
+        ));
+    }
+    let bytes = hex.as_bytes();
+    let mut out = Vec::with_capacity(len);
+    for chunk in bytes.chunks_exact(16) {
+        let s = std::str::from_utf8(chunk).map_err(|_| "plane hex is not ASCII".to_string())?;
+        let bits = u64::from_str_radix(s, 16).map_err(|_| format!("bad plane hex chunk `{s}`"))?;
+        out.push(f64::from_bits(bits));
+    }
+    Ok(out)
+}
+
+/// Serve a `tile_exec` request: parse the job spec and tile list, execute
+/// the subset synchronously, and return the per-tile partial profiles.
+fn tile_exec(service: &Service, request: &Json) -> Json {
+    let Some(job) = request.get("job") else {
+        return error_response("missing 'job'");
+    };
+    let spec = match parse_job_spec(job) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(&e),
+    };
+    let Some(tiles) = request.get("tiles").and_then(Json::as_arr) else {
+        return error_response("missing 'tiles' array");
+    };
+    if tiles.is_empty() {
+        return error_response("'tiles' must name at least one tile");
+    }
+    let mut indices = Vec::with_capacity(tiles.len());
+    for t in tiles {
+        match t.as_u64() {
+            Some(i) => indices.push(i as usize),
+            None => return error_response("tile indices must be non-negative integers"),
+        }
+    }
+    match service.execute_tile_subset(&spec, &indices) {
+        Err(e) => error_response(&e),
+        Ok(run) => {
+            let tiles: Vec<Json> = run.results.iter().map(tile_result_json).collect();
+            ok_response(vec![
+                ("tiles", Json::Arr(tiles)),
+                ("precalc_hits", Json::num(run.precalc_hits as f64)),
+                ("precalc_misses", Json::num(run.precalc_misses as f64)),
+                ("tile_retries", Json::num(run.tile_retries as f64)),
+                (
+                    "plane_validation_failures",
+                    Json::num(run.plane_validation_failures as f64),
+                ),
+                (
+                    "quarantined_devices",
+                    Json::Arr(
+                        run.quarantined_devices
+                            .iter()
+                            .map(|&d| Json::num(d as f64))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+    }
+}
+
+/// The wire form of one executed tile: identity (`tile`, `col0`), shape
+/// (`n_query`, `dims`), the value plane as hex bit patterns (k-major, the
+/// [`mdmp_core::MatrixProfile::from_raw`] order), the index plane as plain
+/// integers, and the modelled device seconds the tile cost.
+fn tile_result_json(result: &mdmp_core::SubsetTileResult) -> Json {
+    let profile = &result.profile;
+    let (n_query, dims) = (profile.n_query(), profile.dims());
+    let mut values = Vec::with_capacity(dims * n_query);
+    let mut indices = Vec::with_capacity(dims * n_query);
+    for k in 0..dims {
+        for j in 0..n_query {
+            values.push(profile.value(j, k));
+            indices.push(Json::num(profile.index(j, k) as f64));
+        }
+    }
+    Json::obj(vec![
+        ("tile", Json::num(result.tile.index as f64)),
+        ("col0", Json::num(result.tile.col0 as f64)),
+        ("n_query", Json::num(n_query as f64)),
+        ("dims", Json::num(dims as f64)),
+        ("p_hex", Json::str(encode_plane_hex(&values))),
+        ("i", Json::Arr(indices)),
+        ("device_seconds", Json::num(result.device_seconds)),
+        ("precalc_hit", Json::Bool(result.precalc_cached)),
     ])
 }
 
@@ -690,6 +808,107 @@ mod tests {
         )
         .unwrap();
         assert_eq!(closed.get("closed"), Some(&Json::Bool(true)));
+
+        server.stop();
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn plane_hex_round_trips_inf_and_nan_bits() {
+        let plane = vec![f64::INFINITY, -1.5, 0.0, f64::NAN, 1e-300];
+        let hex = encode_plane_hex(&plane);
+        assert_eq!(hex.len(), plane.len() * 16);
+        let back = decode_plane_hex(&hex, plane.len()).unwrap();
+        for (a, b) in plane.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(decode_plane_hex(&hex, 4).is_err());
+        assert!(decode_plane_hex("zz", 0).is_err());
+    }
+
+    #[test]
+    fn tile_exec_round_trips_partial_profiles() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        let mut server = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let job = Json::obj(vec![
+            (
+                "input",
+                Json::obj(vec![
+                    ("kind", Json::str("synthetic")),
+                    ("n", Json::num(96.0)),
+                    ("d", Json::num(2.0)),
+                    ("seed", Json::num(7.0)),
+                ]),
+            ),
+            ("m", Json::num(8.0)),
+            ("mode", Json::str("fp32")),
+            ("tiles", Json::num(4.0)),
+        ]);
+        let reply = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("tile_exec")),
+                ("job", job),
+                ("tiles", Json::Arr(vec![Json::num(1.0), Json::num(3.0)])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        let tiles = reply.get("tiles").unwrap().as_arr().unwrap();
+        assert_eq!(tiles.len(), 2);
+        for (expect, tile) in [1.0, 3.0].iter().zip(tiles) {
+            assert_eq!(tile.get("tile").unwrap().as_f64(), Some(*expect));
+            let n_query = tile.get("n_query").unwrap().as_u64().unwrap() as usize;
+            let dims = tile.get("dims").unwrap().as_u64().unwrap() as usize;
+            let hex = tile.get("p_hex").unwrap().as_str().unwrap();
+            let plane = decode_plane_hex(hex, n_query * dims).unwrap();
+            assert!(plane.iter().all(|v| v.is_finite() || *v == f64::INFINITY));
+            assert_eq!(
+                tile.get("i").unwrap().as_arr().unwrap().len(),
+                n_query * dims
+            );
+            assert!(tile.get("device_seconds").unwrap().as_f64().unwrap() > 0.0);
+        }
+        assert_eq!(service.stats().tile_exec_requests, 1);
+        assert_eq!(service.stats().tiles_served, 2);
+
+        // Bad requests: missing tiles, empty tiles, out-of-range index.
+        let job = || {
+            Json::obj(vec![
+                (
+                    "input",
+                    Json::obj(vec![
+                        ("kind", Json::str("synthetic")),
+                        ("n", Json::num(96.0)),
+                    ]),
+                ),
+                ("m", Json::num(8.0)),
+                ("tiles", Json::num(4.0)),
+            ])
+        };
+        let r = request(
+            &addr,
+            &Json::obj(vec![("op", Json::str("tile_exec")), ("job", job())]),
+        )
+        .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let r = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("tile_exec")),
+                ("job", job()),
+                ("tiles", Json::Arr(vec![Json::num(99.0)])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(service.stats().tile_exec_failures, 1);
 
         server.stop();
         service.shutdown(true);
