@@ -6,7 +6,7 @@
 //!
 //! | id | rule | protects |
 //! |----|------|----------|
-//! | R1 | precision hygiene: no raw `.sqrt()`/`.powi()`/`as f32`/`as f64` in `crates/core/src/kernels/*` outside the blessed `dist_value`/`dist_value_lanes` call sites | every rounding decision happens in one audited expression |
+//! | R1 | precision hygiene: no raw `.sqrt()`/`.powi()`/`as f32`/`as f64` in `crates/core/src/kernels/*` outside the blessed `dist_value`/`dist_value_lanes`/`gemm_accumulate` call sites | every rounding decision happens in one audited expression |
 //! | R2 | determinism: no `HashMap`/`HashSet` in merge/profile/serialization paths | iteration order never reaches results |
 //! | R3 | atomic-ordering audit: every `Ordering::Relaxed` carries a `// relaxed-ok:` justification | each relaxed access is argued not to order data |
 //! | R4 | panic hygiene: no `unwrap()`/`expect()`/`panic!` in service request-path modules | a bad request cannot take the worker down |
@@ -68,8 +68,10 @@ pub const RULES: [RuleInfo; 5] = [
 ];
 
 /// Functions in `crates/core/src/kernels/` allowed to perform raw float
-/// arithmetic: the single audited distance expression and its lane form.
-const BLESSED_KERNEL_FNS: [&str; 2] = ["dist_value", "dist_value_lanes"];
+/// arithmetic: the audited distance expression, its lane form, and the
+/// simulated-MMA accumulation choke point of the tensor-core GEMM path
+/// (all narrowing there is delegated to `mdmp_gpu_sim::mma_dot`).
+const BLESSED_KERNEL_FNS: [&str; 3] = ["dist_value", "dist_value_lanes", "gemm_accumulate"];
 
 /// Service and cluster modules on the request path (R4 scope): code a
 /// remote client's request flows through must return typed errors, never

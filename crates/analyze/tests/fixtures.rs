@@ -95,6 +95,14 @@ fn r4_fires_inside_the_cluster_crate() {
     assert_flags_in("r4-cluster", "R4");
 }
 
+/// PR 7: blessing `gemm_accumulate` must not open the door to *other*
+/// functions doing their own GEMM-flavoured narrowing — a look-alike
+/// accumulator with raw `as f32` casts is still flagged.
+#[test]
+fn r1_fires_on_unblessed_gemm_accumulator() {
+    assert_flags_in("r1-gemm", "R1");
+}
+
 #[test]
 fn clean_workspace_tree_exits_zero() {
     let out = run_analyze(&workspace_root(), &["--deny-warnings"]);

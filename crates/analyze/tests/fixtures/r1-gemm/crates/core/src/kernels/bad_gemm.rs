@@ -1,0 +1,9 @@
+// R1 fixture: a GEMM-style accumulator doing its own narrowing instead of
+// delegating to the blessed `gemm_accumulate` / simulated MMA unit.
+pub fn rogue_gemm_accumulate(base: f64, a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = base as f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += (*x as f32) * (*y as f32);
+    }
+    acc as f64
+}

@@ -27,6 +27,8 @@
 //!               also writes BENCH_PR4.json                       [measured]
 //!   cluster     tile-sharding throughput vs worker node count,
 //!               also writes BENCH_PR6.json                       [modelled]
+//!   tc          tensor-core GEMM modes vs the FP64 pipeline,
+//!               also writes BENCH_PR7.json                       [both]
 //!   all         everything above
 //!
 //! --quick shrinks the functional problem sizes (CI-friendly).
@@ -34,7 +36,7 @@
 //! ```
 
 use mdmp_bench::experiments::{
-    accuracy, case_studies, cluster_scaling, driver_scaling, extensions, performance, tradeoff,
+    accuracy, case_studies, cluster_scaling, driver_scaling, extensions, performance, tc, tradeoff,
 };
 use mdmp_bench::report::{self, ExperimentTable};
 use std::time::Instant;
@@ -88,6 +90,14 @@ fn run(command: &str, quick: bool) -> bool {
             }
             emit_all(vec![table]);
         }
+        "tc" => {
+            let table = tc::tc_sweep(quick);
+            match tc::write_bench_json(&table, quick, std::path::Path::new("BENCH_PR7.json")) {
+                Ok(path) => println!("   -> wrote {}", path.display()),
+                Err(e) => eprintln!("   !! could not write BENCH_PR7.json: {e}"),
+            }
+            emit_all(vec![table]);
+        }
         "all" => {
             for cmd in [
                 "table1",
@@ -111,6 +121,7 @@ fn run(command: &str, quick: bool) -> bool {
                 "anytime",
                 "scaling",
                 "cluster",
+                "tc",
             ] {
                 println!("\n########## repro {cmd} ##########");
                 run(cmd, quick);
@@ -134,7 +145,7 @@ fn main() {
     let commands: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if commands.is_empty() {
         eprintln!(
-            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|all> [--quick]"
+            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|tc|all> [--quick]"
         );
         std::process::exit(2);
     }

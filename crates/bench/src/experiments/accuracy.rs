@@ -28,7 +28,16 @@ fn synthetic_cfg(n: usize, d: usize, m: usize, pattern: Pattern, seed: u64) -> S
     }
 }
 
-/// One Fig. 2 sweep: for each parameter value, run all paper modes against
+/// The modes the Fig. 2 sweeps cover: the paper's five plus the three
+/// simulated tensor-core GEMM modes (PR 7 extension — the paper's Fig. 2
+/// with three extra columns per sweep).
+fn swept_modes() -> impl Iterator<Item = PrecisionMode> {
+    PrecisionMode::PAPER_MODES
+        .into_iter()
+        .chain(PrecisionMode::TC_MODES)
+}
+
+/// One Fig. 2 sweep: for each parameter value, run all swept modes against
 /// the mSTAMP CPU reference and report relative accuracy `A` and recall `R`.
 fn sweep(
     name: &str,
@@ -36,7 +45,7 @@ fn sweep(
     points: &[(String, usize, usize, usize)], // (label, n, d, m)
 ) -> ExperimentTable {
     let mut header: Vec<String> = vec!["point".into()];
-    for mode in PrecisionMode::PAPER_MODES {
+    for mode in swept_modes() {
         header.push(format!("A_{mode}"));
         header.push(format!("R_{mode}"));
     }
@@ -48,7 +57,7 @@ fn sweep(
         let pair = generate_pair(&cfg);
         let reference = mstamp(&pair.reference, &pair.query, *m, None, None);
         let mut cells = Vec::new();
-        for mode in PrecisionMode::PAPER_MODES {
+        for mode in swept_modes() {
             let profile = run_profile(&pair.reference, &pair.query, *m, mode, 1);
             cells.push(relative_accuracy(&reference, &profile) * 100.0);
             cells.push(recall_rate(&reference, &profile) * 100.0);

@@ -44,6 +44,7 @@ fn spec(quick: bool) -> JobSpec {
         fault_plan: None,
         tile_retries: 2,
         fused_rows: None,
+        tc_chunk_k: None,
         tile_deadline_ms: None,
         deadline_ms: None,
     }

@@ -90,6 +90,11 @@ fn timed_run(
 /// count. Panics if the two pipelines disagree on the profile or the
 /// modelled schedule — the bench doubles as an end-to-end identity check.
 pub fn driver_scaling(quick: bool) -> ExperimentTable {
+    // Let the pool actually grow past the container's core count: on a
+    // narrow (1-core) host the vendored pool otherwise caps every run at
+    // one inline worker, so `pool_thread_reuses` would read 0 and the
+    // sweep would not exercise reuse at all (the PR 4 artifact bug).
+    rayon::set_global_threads(host_cores().max(2));
     let (r, q) = workload(quick);
     let repeats = if quick { 1 } else { 3 };
     let mut table = ExperimentTable::new(
@@ -121,6 +126,15 @@ pub fn driver_scaling(quick: bool) -> ExperimentTable {
             "fusion must not change the modelled schedule"
         );
         for (label, run) in [("unfused", &unfused), ("fused", &fused)] {
+            // A multi-worker run over ≥16 tiles dispatches many times per
+            // worker; if no thread was ever reused the pool is broken (or
+            // silently capped) and the wall-clock column is meaningless.
+            if workers >= 2 {
+                assert!(
+                    run.pool_thread_reuses > 0,
+                    "{label}/{workers}: pool recorded zero thread reuses"
+                );
+            }
             let busy_max = run.worker_busy_seconds.iter().copied().fold(0.0, f64::max);
             table.push(
                 format!("{label}/{workers}"),
@@ -135,6 +149,7 @@ pub fn driver_scaling(quick: bool) -> ExperimentTable {
             );
         }
     }
+    rayon::set_global_threads(0);
     table
 }
 

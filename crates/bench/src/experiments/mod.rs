@@ -9,6 +9,7 @@
 //! | [`extensions`] | beyond-paper studies: multi-node, scheduling & clamp ablations, all-modes table, Fig. 8 timeline, Fig. 11 shapes |
 //! | [`driver_scaling`] | fused-vs-unfused row pipeline scaling across host workers (BENCH_PR4.json) |
 //! | [`cluster_scaling`] | tile-sharding throughput vs worker node count (BENCH_PR6.json) |
+//! | [`tc`] | simulated tensor-core GEMM modes vs the FP64 pipeline (BENCH_PR7.json) |
 
 pub mod accuracy;
 pub mod case_studies;
@@ -16,6 +17,7 @@ pub mod cluster_scaling;
 pub mod driver_scaling;
 pub mod extensions;
 pub mod performance;
+pub mod tc;
 pub mod tradeoff;
 
 use mdmp_core::{run_with_mode, MatrixProfile, MdmpConfig};

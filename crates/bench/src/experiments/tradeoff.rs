@@ -16,10 +16,18 @@ use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
 use mdmp_metrics::{embedded_recall, relative_accuracy};
 use mdmp_precision::PrecisionMode;
 
+/// The modes Fig. 7 covers: the paper's five plus the tensor-core GEMM
+/// modes (PR 7 extension).
+fn swept_modes() -> impl Iterator<Item = PrecisionMode> {
+    PrecisionMode::PAPER_MODES
+        .into_iter()
+        .chain(PrecisionMode::TC_MODES)
+}
+
 /// Modelled time vs tile count at paper scale, per mode.
 pub fn fig7_time() -> ExperimentTable {
     let mut header: Vec<String> = vec!["tiles".into()];
-    for mode in PrecisionMode::PAPER_MODES {
+    for mode in swept_modes() {
         header.push(format!("t_{mode}_s"));
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -30,7 +38,7 @@ pub fn fig7_time() -> ExperimentTable {
     );
     for tiles in [1usize, 4, 16, 64, 256, 1024] {
         let mut cells = Vec::new();
-        for mode in PrecisionMode::PAPER_MODES {
+        for mode in swept_modes() {
             let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
             let cfg = MdmpConfig::new(64, mode).with_tiles(tiles);
             cells.push(
@@ -67,7 +75,7 @@ pub fn fig7_accuracy(quick: bool) -> ExperimentTable {
     let reference = mstamp(&pair.reference, &pair.query, m, None, None);
 
     let mut header: Vec<String> = vec!["tiles".into()];
-    for mode in PrecisionMode::PAPER_MODES {
+    for mode in swept_modes() {
         header.push(format!("A_{mode}"));
         header.push(format!("Remb_{mode}"));
     }
@@ -79,7 +87,7 @@ pub fn fig7_accuracy(quick: bool) -> ExperimentTable {
     );
     for &tiles in tile_counts {
         let mut cells = Vec::new();
-        for mode in PrecisionMode::PAPER_MODES {
+        for mode in swept_modes() {
             let profile = run_profile(&pair.reference, &pair.query, m, mode, tiles);
             cells.push(relative_accuracy(&reference, &profile) * 100.0);
             let (recall, _, _) =

@@ -36,6 +36,23 @@ fn schedule(name: &str) -> Result<TileSchedule, String> {
     }
 }
 
+/// `--tc-chunk-k 4|8|16`: MMA accumulator chunk width for the tensor-core
+/// modes. Omitted = auto (env `MDMP_TC_CHUNK_K`, else the input format's
+/// hardware shape). Validated here so a bad value fails at the flag, not
+/// mid-run.
+pub fn tc_chunk_k_arg(args: &ParsedArgs) -> Result<Option<usize>, String> {
+    let k: Option<usize> = args.get("tc-chunk-k").map_err(err)?;
+    if let Some(k) = k {
+        if !mdmp_gpu_sim::MMA_CHUNK_SIZES.contains(&k) {
+            return Err(format!(
+                "--tc-chunk-k must be one of {:?}, got {k}",
+                mdmp_gpu_sim::MMA_CHUNK_SIZES
+            ));
+        }
+    }
+    Ok(k)
+}
+
 /// `--fused-rows on|off|auto`: `auto` (the default) defers to the env
 /// variable `MDMP_FUSED_ROWS`, else the fused pipeline is on.
 pub fn fused_rows_arg(args: &ParsedArgs) -> Result<Option<bool>, String> {
@@ -70,12 +87,14 @@ fn build_config(args: &ParsedArgs, m: usize) -> Result<MdmpConfig, String> {
     let tile_retries: u32 = args.get_or("tile-retries", 2).map_err(err)?;
     let tile_timeout_ms: Option<u64> = args.get("tile-timeout-ms").map_err(err)?;
     let fused_rows = fused_rows_arg(args)?;
+    let tc_chunk_k = tc_chunk_k_arg(args)?;
     let mut cfg = MdmpConfig::new(m, mode)
         .with_tiles(tiles)
         .with_schedule(sched)
         .with_host_workers(host_workers)
         .with_tile_retries(tile_retries)
         .with_fused_rows(fused_rows)
+        .with_tc_chunk_k(tc_chunk_k)
         .with_tile_deadline(tile_timeout_ms.map(Duration::from_millis));
     if let Some(spec) = fault_plan {
         let plan: FaultPlan = spec.parse().map_err(err)?;
@@ -361,12 +380,14 @@ USAGE: mdmp <command> [options]
 
 COMMANDS:
   compute   --reference <csv> [--query <csv>] --m <len> --output <csv>
-            [--mode fp64|fp32|fp16|mixed|fp16c|bf16|tf32|e4m3|e5m2]
+            [--mode fp64|fp32|fp16|mixed|fp16c|bf16|tf32|e4m3|e5m2
+                    |fp16-tc|bf16-tc|tf32-tc]
             [--tiles N] [--gpus N] [--device a100|v100|cpu]
             [--schedule rr|balanced] [--self-join] [--no-clamp] [--report]
             [--anytime FRACTION] [--seed S] [--repair-dropouts]
             [--host-workers N]  (0 = auto: $MDMP_HOST_WORKERS, else #gpus)
             [--fused-rows on|off|auto]  (auto: $MDMP_FUSED_ROWS, else on)
+            [--tc-chunk-k 4|8|16]  (TC modes; auto: $MDMP_TC_CHUNK_K)
             [--fault-plan SPEC] [--tile-retries N] [--tile-timeout-ms MS]
             fault-plan SPEC: comma-separated, e.g. \"seed=7,kernel@0,stall@3:40,
             nan@5,flip@2:52,pkernel=0.01,attempts=1,budget=4,drop\"
@@ -381,7 +402,7 @@ COMMANDS:
   submit    [--addr HOST:PORT] --m <len> [--mode ..] [--tiles N] [--gpus N]
             [--priority high|normal|low] [--retries N] [--wait] [--timeout S]
             [--fault-plan SPEC] [--tile-retries N] [--tile-timeout-ms MS]
-            [--deadline-ms MS] [--fused-rows on|off|auto]
+            [--deadline-ms MS] [--fused-rows on|off|auto] [--tc-chunk-k 4|8|16]
             with --reference <csv> [--query <csv>] (server-side paths), or
             synthetic: [--n N] [--d D] [--pattern 0..7] [--noise X] [--seed S]
   status    [--addr HOST:PORT] [--id JOB] [--metrics] [--shutdown | --abort]
@@ -748,6 +769,24 @@ mod tests {
         }
         let bad = parsed(&["estimate", "--n", "512", "--fused-rows", "sometimes"]);
         assert!(estimate(&bad).unwrap_err().contains("--fused-rows"));
+    }
+
+    #[test]
+    fn tc_chunk_flag_parses_and_rejects() {
+        for value in ["4", "8", "16"] {
+            let est = parsed(&[
+                "estimate",
+                "--n",
+                "512",
+                "--mode",
+                "fp16-tc",
+                "--tc-chunk-k",
+                value,
+            ]);
+            estimate(&est).unwrap();
+        }
+        let bad = parsed(&["estimate", "--n", "512", "--tc-chunk-k", "5"]);
+        assert!(estimate(&bad).unwrap_err().contains("--tc-chunk-k"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! `mdmp cluster …` here, so both entry points share one implementation.
 
 use crate::coordinator::{run_cluster, ClusterConfig};
+use mdmp_core::MdmpConfig;
 use mdmp_faults::{ClusterFaultPlan, FaultPlan};
 use mdmp_gpu_sim::DeviceSpec;
 use mdmp_precision::PrecisionMode;
@@ -114,7 +115,9 @@ pub fn usage() -> &'static str {
 
   submit  shard a job across worker nodes and merge bit-identically
           --nodes host:port,host:port,…   (required)
-          --m N (required) --mode fp64|fp32|fp16|mixed|fp16c (fp64)
+          --m N (required)
+          --mode fp64|fp32|fp16|mixed|fp16c|fp16-tc|bf16-tc|tf32-tc (fp64)
+          --tc-chunk-k 4|8|16 (TC modes: env MDMP_TC_CHUNK_K, else format default)
           --tiles N (4 per node) --gpus N (1) --priority P (normal)
           --n N (4096) --d N (1) --pattern N (0) --noise X (0.3) --seed N (42)
           --reference FILE [--query FILE]   (CSV instead of synthetic)
@@ -212,12 +215,33 @@ fn job_spec(args: &Args, n_nodes: usize) -> Result<JobSpec, String> {
         )),
         None => None,
     };
+    let m: usize = args.require("m")?;
+    let mode = args
+        .get_or("mode", "fp64".to_string())?
+        .parse::<PrecisionMode>()?;
+    let tc_chunk_k = match args.get_opt::<usize>("tc-chunk-k")? {
+        Some(k) => {
+            if !mdmp_gpu_sim::MMA_CHUNK_SIZES.contains(&k) {
+                return Err(format!(
+                    "--tc-chunk-k must be one of {:?}, got {k}",
+                    mdmp_gpu_sim::MMA_CHUNK_SIZES
+                ));
+            }
+            Some(k)
+        }
+        // For TC modes, pin the chunk at the coordinator (env override or
+        // format default, same precedence as a local run): the accumulator
+        // layout is part of the numerical contract, and letting each node
+        // resolve its own MDMP_TC_CHUNK_K would let differing node
+        // environments break cluster-vs-single-node bit-identity.
+        None => mode
+            .tc_input()
+            .map(|input| MdmpConfig::new(m, mode).resolved_tc_chunk_k(input)),
+    };
     Ok(JobSpec {
         input,
-        m: args.require("m")?,
-        mode: args
-            .get_or("mode", "fp64".to_string())?
-            .parse::<PrecisionMode>()?,
+        m,
+        mode,
         // Default to a few tiles per node so sharding and stealing have
         // something to work with.
         tiles: args.get_or("tiles", (n_nodes * 4).max(1))?,
@@ -229,6 +253,7 @@ fn job_spec(args: &Args, n_nodes: usize) -> Result<JobSpec, String> {
         fault_plan,
         tile_retries: args.get_or("tile-retries", 2)?,
         fused_rows: None,
+        tc_chunk_k,
         tile_deadline_ms: args.get_opt("tile-timeout-ms")?,
         deadline_ms: None,
     })

@@ -292,6 +292,9 @@ pub fn job_spec_json(spec: &JobSpec) -> Result<Json, String> {
     if let Some(fused) = spec.fused_rows {
         pairs.push(("fused_rows", Json::Bool(fused)));
     }
+    if let Some(k) = spec.tc_chunk_k {
+        pairs.push(("tc_chunk_k", Json::num(k as f64)));
+    }
     if let Some(ms) = spec.tile_deadline_ms {
         pairs.push(("tile_deadline_ms", Json::num(ms as f64)));
     }

@@ -55,6 +55,7 @@ fn spec(mode: &str) -> JobSpec {
         fault_plan: None,
         tile_retries: 2,
         fused_rows: None,
+        tc_chunk_k: None,
         tile_deadline_ms: None,
         deadline_ms: None,
     }
@@ -98,11 +99,13 @@ fn cluster_config(addrs: &[String]) -> ClusterConfig {
 }
 
 /// Tentpole acceptance: a 3-node cluster is bit-identical to a
-/// single-node run in all five precision modes of the paper.
+/// single-node run in all five precision modes of the paper — and in the
+/// PR 7 tensor-core GEMM mode, whose tile-restarted recurrence must not
+/// depend on which node computes a tile.
 #[test]
 fn three_node_cluster_is_bit_identical_in_all_modes() {
     let (_servers, addrs) = start_nodes(3);
-    for mode in ["fp64", "fp32", "fp16", "mixed", "fp16c"] {
+    for mode in ["fp64", "fp32", "fp16", "mixed", "fp16c", "fp16-tc"] {
         let spec = spec(mode);
         let local = single_node_profile(&spec);
         let run = run_cluster(&spec, &cluster_config(&addrs))
@@ -121,7 +124,7 @@ fn three_node_cluster_is_bit_identical_in_all_modes() {
 #[test]
 fn node_kill_mid_job_redispatches_and_stays_bit_identical() {
     let (_servers, addrs) = start_nodes(3);
-    for mode in ["fp64", "fp32", "fp16", "mixed", "fp16c"] {
+    for mode in ["fp64", "fp32", "fp16", "mixed", "fp16c", "fp16-tc"] {
         let spec = spec(mode);
         let local = single_node_profile(&spec);
         let mut cluster = cluster_config(&addrs);

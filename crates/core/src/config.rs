@@ -3,7 +3,7 @@
 use crate::tiling::TileSchedule;
 use mdmp_faults::FaultPlan;
 use mdmp_gpu_sim::AllocError;
-use mdmp_precision::PrecisionMode;
+use mdmp_precision::{Format, PrecisionMode};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,6 +61,12 @@ pub struct MdmpConfig {
     /// Kernel failures on one simulated device before the health ledger
     /// quarantines it and re-dispatches its work to the survivors.
     pub quarantine_threshold: u32,
+    /// Tensor-core accumulator chunk width for the TC precision modes
+    /// (products summed per FP32 chunk *and* the GEMM row-panel height;
+    /// must be 4, 8 or 16). `None` means *auto*: the `MDMP_TC_CHUNK_K`
+    /// environment variable if set, otherwise the input format's hardware
+    /// default (8 for FP16/BF16, 4 for TF32). Ignored by non-TC modes.
+    pub tc_chunk_k: Option<usize>,
 }
 
 impl MdmpConfig {
@@ -81,6 +87,7 @@ impl MdmpConfig {
             tile_retry_cap: Duration::from_millis(50),
             tile_deadline: None,
             quarantine_threshold: 3,
+            tc_chunk_k: None,
         }
     }
 
@@ -144,6 +151,33 @@ impl MdmpConfig {
         true
     }
 
+    /// Set the tensor-core accumulator chunk width (builder style); `None`
+    /// restores the auto default (env `MDMP_TC_CHUNK_K`, else the format's
+    /// hardware chunk).
+    pub fn with_tc_chunk_k(mut self, chunk_k: Option<usize>) -> MdmpConfig {
+        self.tc_chunk_k = chunk_k;
+        self
+    }
+
+    /// The effective MMA chunk width for a TC-mode run with the given input
+    /// format: an explicit `tc_chunk_k` wins, then a valid `MDMP_TC_CHUNK_K`
+    /// environment override, then the format's hardware default — mirroring
+    /// [`MdmpConfig::resolved_host_workers`]. Values outside {4, 8, 16} are
+    /// rejected by [`MdmpConfig::validate`] (explicit) or ignored (env).
+    pub fn resolved_tc_chunk_k(&self, input: Format) -> usize {
+        if let Some(k) = self.tc_chunk_k {
+            return k;
+        }
+        if let Ok(raw) = std::env::var("MDMP_TC_CHUNK_K") {
+            if let Ok(k) = raw.trim().parse::<usize>() {
+                if mdmp_gpu_sim::MMA_CHUNK_SIZES.contains(&k) {
+                    return k;
+                }
+            }
+        }
+        mdmp_gpu_sim::default_chunk_k(input)
+    }
+
     /// Install a fault injection plan (builder style). `None` disables
     /// injection.
     pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> MdmpConfig {
@@ -205,6 +239,14 @@ impl MdmpConfig {
                 "n_tiles {} exceeds the number of distance-matrix cells",
                 self.n_tiles
             )));
+        }
+        if let Some(k) = self.tc_chunk_k {
+            if !mdmp_gpu_sim::MMA_CHUNK_SIZES.contains(&k) {
+                return Err(MdmpError::BadConfig(format!(
+                    "tc_chunk_k must be one of {:?}, got {k}",
+                    mdmp_gpu_sim::MMA_CHUNK_SIZES
+                )));
+            }
         }
         Ok(())
     }
@@ -397,6 +439,31 @@ mod tests {
                 );
                 assert_eq!(auto.resolved_fused_rows(), !disabled);
             }
+        }
+    }
+
+    #[test]
+    fn tc_chunk_resolution_order() {
+        // Explicit setting wins regardless of the environment.
+        let cfg = MdmpConfig::new(8, PrecisionMode::Fp16Tc).with_tc_chunk_k(Some(16));
+        assert_eq!(cfg.resolved_tc_chunk_k(Format::Fp16), 16);
+        // Invalid explicit widths are caught by validate.
+        let bad = MdmpConfig::new(8, PrecisionMode::Fp16Tc).with_tc_chunk_k(Some(5));
+        assert!(matches!(bad.validate(10, 10), Err(MdmpError::BadConfig(_))));
+        // Auto: env override if valid, else the format's hardware chunk.
+        let auto = MdmpConfig::new(8, PrecisionMode::Fp16Tc);
+        match std::env::var("MDMP_TC_CHUNK_K") {
+            Err(_) => {
+                assert_eq!(auto.resolved_tc_chunk_k(Format::Fp16), 8);
+                assert_eq!(auto.resolved_tc_chunk_k(Format::Bf16), 8);
+                assert_eq!(auto.resolved_tc_chunk_k(Format::Tf32), 4);
+            }
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(k) if mdmp_gpu_sim::MMA_CHUNK_SIZES.contains(&k) => {
+                    assert_eq!(auto.resolved_tc_chunk_k(Format::Fp16), k);
+                }
+                _ => assert_eq!(auto.resolved_tc_chunk_k(Format::Fp16), 8),
+            },
         }
     }
 

@@ -85,6 +85,10 @@ pub struct MdmpRun {
     /// pipeline, summed over all tiles (two per reference row; zero when
     /// `fused_rows` is off).
     pub eliminated_dispatches: u64,
+    /// MMA accumulator chunk width (= panel height) the run used, when the
+    /// mode drives the simulated tensor cores (see
+    /// [`MdmpConfig::resolved_tc_chunk_k`]); `None` for vector modes.
+    pub tc_chunk_k: Option<usize>,
     /// Multi-worker dispatches this run handed to the persistent worker
     /// pool (delta of [`rayon::pool_stats`] across the run).
     pub pool_dispatches: u64,
@@ -187,6 +191,11 @@ pub fn run_with_mode_cached(
         PrecisionMode::Fp8E5M2 => {
             run_generic::<f32, Fp8E5M2>(reference, query, cfg, system, false, store)
         }
+        // Tensor-core GEMM modes: FP32 storage + accumulation; the operand
+        // narrowing happens inside the blocked-GEMM dist_calc path.
+        PrecisionMode::Fp16Tc | PrecisionMode::Bf16Tc | PrecisionMode::Tf32Tc => {
+            run_generic::<f32, f32>(reference, query, cfg, system, false, store)
+        }
     }
 }
 
@@ -228,7 +237,9 @@ fn run_generic<P: Real, M: Real>(
     let mut streams = vec![0usize; n_gpu];
     let mut global = MatrixProfile::new_unset(n_q, d);
     let host_workers = cfg.resolved_host_workers(n_gpu).min(tiles.len()).max(1);
-    let fused_rows = cfg.resolved_fused_rows();
+    // TC modes run the blocked-GEMM pipeline, which supersedes row fusion.
+    let tc_chunk_k = cfg.mode.tc_input().map(|f| cfg.resolved_tc_chunk_k(f));
+    let fused_rows = tc_chunk_k.is_none() && cfg.resolved_fused_rows();
     let pool_before = rayon::pool_stats();
     let wall_start = Instant::now();
 
@@ -537,6 +548,7 @@ fn run_generic<P: Real, M: Real>(
         quarantined_devices: health.quarantined(),
         fused_rows,
         eliminated_dispatches,
+        tc_chunk_k,
         pool_dispatches,
         pool_thread_reuses,
     })
@@ -696,6 +708,51 @@ mod tests {
             .unwrap()
             .modeled_seconds;
         assert!(t16 < t64, "FP16 modeled time {t16} not below FP64 {t64}");
+    }
+
+    #[test]
+    fn tensor_core_run_reports_chunk_and_beats_fp64_model() {
+        let (r, q) = small_pair(192, 3, 12);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+        let t64 = run_with_mode(
+            &r,
+            &q,
+            &MdmpConfig::new(12, PrecisionMode::Fp64).with_tiles(4),
+            &mut sys,
+        )
+        .unwrap()
+        .modeled_seconds;
+        // Fusion requests are superseded by the GEMM pipeline, and the run
+        // surfaces the resolved chunk width.
+        let cfg = MdmpConfig::new(12, PrecisionMode::Fp16Tc)
+            .with_tiles(4)
+            .with_fused_rows(Some(true))
+            // pinned so a CI-wide MDMP_TC_CHUNK_K cannot shift it
+            .with_tc_chunk_k(Some(8));
+        let run = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        assert_eq!(run.tc_chunk_k, Some(8));
+        assert!(!run.fused_rows, "GEMM path supersedes row fusion");
+        assert_eq!(run.eliminated_dispatches, 0);
+        assert!(
+            run.modeled_seconds < t64,
+            "Fp16Tc model {} not below FP64 {}",
+            run.modeled_seconds,
+            t64
+        );
+        // Bit-reproducible across tile and GPU counts (reorder-buffer merge
+        // over panel-sequential tiles).
+        let mut sys3 = GpuSystem::homogeneous(DeviceSpec::a100(), 3);
+        let cfg9 = MdmpConfig::new(12, PrecisionMode::Fp16Tc).with_tiles(9);
+        let run9 = run_with_mode(&r, &q, &cfg9, &mut sys3).unwrap();
+        // Tilings restart panels at tile boundaries, so values may differ in
+        // the last ulps between tilings — but the same tiling on a different
+        // system must be identical.
+        let run9b = run_with_mode(&r, &q, &cfg9, &mut sys).unwrap();
+        assert_eq!(run9.profile, run9b.profile, "TC profile depends on system");
+        // Vector modes report no chunk width.
+        let plain =
+            run_with_mode(&r, &q, &MdmpConfig::new(12, PrecisionMode::Fp32), &mut sys).unwrap();
+        assert_eq!(plain.tc_chunk_k, None);
     }
 
     #[test]

@@ -189,14 +189,11 @@ pub fn dist_cost(n_q: usize, d: usize, format: Format) -> KernelCost {
     let elems = (n_q * d) as u64;
     let b = format.bytes() as u64;
     KernelCost {
-        class: KernelClass::DistCalc,
-        format,
         bytes_read: elems * b,
         bytes_written: 2 * elems * b,
         flops: 8 * elems,
-        smem_ops: 0,
         launches: 1,
-        barriers: 0,
+        ..KernelCost::new(KernelClass::DistCalc, format)
     }
 }
 

@@ -11,11 +11,13 @@
 
 pub mod dist;
 pub mod fused;
+pub mod gemm;
 pub mod sort_scan;
 pub mod update;
 
 pub use dist::{dist_cost, dist_row, DistParams};
 pub use fused::{fused_row, fused_row_cost, DISPATCHES_ELIMINATED_PER_ROW};
+pub use gemm::{gemm_accumulate, gemm_cost, gemm_row};
 pub use sort_scan::{
     bitonic_sort, comparator_schedule, inclusive_scan_avg, scan_divisors, sort_scan_cost,
     sort_scan_row, Comparator,
@@ -47,14 +49,11 @@ pub fn precalc_cost(
     let sum_flops = 10 * nd * if kahan { 4 } else { 1 };
     let dot_flops = (2 * (n_r + n_q) * m * d) as u64 * if kahan { 4 } else { 1 };
     KernelCost {
-        class: KernelClass::Precalc,
-        format,
         bytes_read: input * b,
         bytes_written: 4 * nd * b, // mu, inv, df, dg
         flops: sum_flops + dot_flops,
-        smem_ops: 0,
         launches: 2,
-        barriers: 0,
+        ..KernelCost::new(KernelClass::Precalc, format)
     }
 }
 

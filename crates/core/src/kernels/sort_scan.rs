@@ -285,14 +285,12 @@ pub fn sort_scan_cost(n_q: usize, d: usize, format: Format) -> KernelCost {
     let ce_ops = n_q as u64 * (d_pad as u64 / 2) * stages;
     let scan_ops = n_q as u64 * (d_pad as u64 * lg + d as u64);
     KernelCost {
-        class: KernelClass::SortScan,
-        format,
         bytes_read: elems * b,
         bytes_written: elems * b,
-        flops: 0,
         smem_ops: ce_ops + scan_ops,
         launches: 1,
         barriers: stages + lg,
+        ..KernelCost::new(KernelClass::SortScan, format)
     }
 }
 

@@ -53,14 +53,11 @@ pub fn update_cost(n_q: usize, d: usize, format: Format) -> KernelCost {
     let elems = (n_q * d) as u64;
     let b = format.bytes() as u64;
     KernelCost {
-        class: KernelClass::UpdateProfile,
-        format,
         bytes_read: 2 * elems * b,
         bytes_written: elems * b / 2 + elems * 8 / 2,
         flops: elems,
-        smem_ops: 0,
         launches: 1,
-        barriers: 0,
+        ..KernelCost::new(KernelClass::UpdateProfile, format)
     }
 }
 

@@ -75,6 +75,10 @@ pub fn run_on_cluster(
         PrecisionMode::Fp8E5M2 => {
             run_cluster_generic::<f32, Fp8E5M2>(reference, query, cfg, cluster, false)
         }
+        // Tensor-core GEMM modes: FP32 storage + accumulation.
+        PrecisionMode::Fp16Tc | PrecisionMode::Bf16Tc | PrecisionMode::Tf32Tc => {
+            run_cluster_generic::<f32, f32>(reference, query, cfg, cluster, false)
+        }
     }
 }
 

@@ -122,6 +122,10 @@ pub fn run_tile_subset(
         PrecisionMode::Fp8E5M2 => {
             run_subset_generic::<f32, Fp8E5M2>(reference, query, cfg, system, false, store, indices)
         }
+        // Tensor-core GEMM modes: FP32 storage + accumulation.
+        PrecisionMode::Fp16Tc | PrecisionMode::Bf16Tc | PrecisionMode::Tf32Tc => {
+            run_subset_generic::<f32, f32>(reference, query, cfg, system, false, store, indices)
+        }
     }
 }
 

@@ -172,6 +172,9 @@ impl StreamingProfile {
             PrecisionMode::Tf32 => run!(Tf32, Tf32),
             PrecisionMode::Fp8E4M3 => run!(f32, Fp8E4M3),
             PrecisionMode::Fp8E5M2 => run!(f32, Fp8E5M2),
+            PrecisionMode::Fp16Tc | PrecisionMode::Bf16Tc | PrecisionMode::Tf32Tc => {
+                run!(f32, f32)
+            }
         }
     }
 }

@@ -14,15 +14,16 @@
 
 use crate::config::MdmpConfig;
 use crate::kernels::{
-    self, comparator_schedule, dist_cost, dist_row, fused_row, scan_divisors, sort_scan_cost,
-    sort_scan_row, update_cost, update_profile_row, DistParams, DISPATCHES_ELIMINATED_PER_ROW,
+    self, comparator_schedule, dist_cost, dist_row, fused_row, gemm_cost, gemm_row, scan_divisors,
+    sort_scan_cost, sort_scan_row, update_cost, update_profile_row, DistParams,
+    DISPATCHES_ELIMINATED_PER_ROW,
 };
 use crate::precalc::{compute_stats, convert_qt, initial_qt, SeriesDevice, Stats};
 use crate::profile::MatrixProfile;
 use crate::tiling::Tile;
 use mdmp_data::MultiDimSeries;
 use mdmp_faults::FaultKind;
-use mdmp_gpu_sim::KernelCost;
+use mdmp_gpu_sim::{KernelCost, MmaConfig};
 use mdmp_precision::Real;
 use std::fmt;
 
@@ -246,7 +247,10 @@ pub fn execute_tile_from_precalc_pooled<M: Real>(
     let qt_row0: Vec<M> = convert_qt(&pre.qt_row0);
     let qt_col0: Vec<M> = convert_qt(&pre.qt_col0);
 
-    let fused = cfg.resolved_fused_rows();
+    // Tensor-core modes take the blocked-GEMM dist_calc path, which needs
+    // the materialized dist/scanned planes — it supersedes row fusion.
+    let tc = cfg.mode.tc_input();
+    let fused = tc.is_none() && cfg.resolved_fused_rows();
 
     // Working planes in the main-loop precision, from the worker's pool.
     bufs.prepare(n_q, d, d_pad, fused);
@@ -262,7 +266,28 @@ pub fn execute_tile_from_precalc_pooled<M: Real>(
 
     let params = DistParams::<M>::new(cfg.m, cfg.clamp, tile.row0, tile.col0, cfg.exclusion_zone);
 
-    let eliminated_dispatches = if fused {
+    let eliminated_dispatches = if let Some(input) = tc {
+        // Blocked-GEMM main loop (DESIGN.md §13): `qt_prev` doubles as the
+        // panel base plane. Each row is a rank-2t update of the base row
+        // through the simulated MMA unit; every `chunk_k` rows (and after
+        // row 0, whose QT comes straight from the precalculation) the fresh
+        // row is promoted to the new base — the tile-restarted recurrence.
+        let mma = MmaConfig::new(input).with_chunk_k(cfg.resolved_tc_chunk_k(input));
+        let mut base_idx = 0usize;
+        for i in 0..n_r {
+            gemm_row(
+                i, base_idx, &qt_row0, &qt_col0, qt_prev, qt_next, dist_plane, &rstats, &qstats,
+                &params, &mma,
+            );
+            sort_scan_row(dist_plane, scanned, n_q, d);
+            update_profile_row(scanned, p_plane, i_plane, n_q, d, (tile.row0 + i) as i64);
+            if i - base_idx == mma.chunk_k || i == 0 {
+                qt_prev.copy_from_slice(qt_next);
+                base_idx = i;
+            }
+        }
+        0
+    } else if fused {
         // Fused main loop (DESIGN.md §10): one dispatch per row over the
         // same k-major planes as the unfused path; neither the `dist` nor
         // the `scanned` plane exists — fibers live in per-worker scratch
@@ -460,7 +485,15 @@ pub fn tile_cost_bundle_reused(
     if !precalc_cached {
         kernel_costs.push(kernels::precalc_cost(n_r, n_q, m, d, pre_fmt, kahan));
     }
-    kernel_costs.push(dist_cost(n_q, d, main_fmt).repeated(rows));
+    match cfg.mode.tc_input() {
+        // TC modes: one blocked-GEMM dist_calc covers the whole tile, with
+        // panel-amortized QT traffic instead of `rows` streaming launches.
+        Some(input) => {
+            let panel = cfg.resolved_tc_chunk_k(input);
+            kernel_costs.push(gemm_cost(n_r, n_q, d, panel, input));
+        }
+        None => kernel_costs.push(dist_cost(n_q, d, main_fmt).repeated(rows)),
+    }
     kernel_costs.push(sort_scan_cost(n_q, d, main_fmt).repeated(rows));
     kernel_costs.push(update_cost(n_q, d, main_fmt).repeated(rows));
     let h2d = if precalc_cached {
@@ -666,7 +699,10 @@ mod tests {
             PrecisionMode::Fp16 => execute_tile::<Half, Half>(&r, &q, &tile, &cfg, false),
             PrecisionMode::Mixed => execute_tile::<f32, Half>(&r, &q, &tile, &cfg, false),
             PrecisionMode::Fp16c => execute_tile::<Half, Half>(&r, &q, &tile, &cfg, true),
-            _ => unreachable!("gate tests cover the paper's five modes"),
+            PrecisionMode::Fp16Tc | PrecisionMode::Bf16Tc | PrecisionMode::Tf32Tc => {
+                execute_tile::<f32, f32>(&r, &q, &tile, &cfg, false)
+            }
+            _ => unreachable!("gate tests cover the paper and TC modes"),
         };
         (out.profile, max_profile_value(m))
     }
@@ -681,7 +717,7 @@ mod tests {
 
     #[test]
     fn gate_passes_clean_planes_in_every_mode() {
-        for mode in PAPER_MODES {
+        for mode in PAPER_MODES.into_iter().chain(PrecisionMode::TC_MODES) {
             let (profile, bound) = tile_profile(mode);
             assert!(
                 validate_profile_plane(&profile, bound).is_ok(),
@@ -692,7 +728,7 @@ mod tests {
 
     #[test]
     fn gate_catches_nan_and_inf_in_every_mode() {
-        for mode in PAPER_MODES {
+        for mode in PAPER_MODES.into_iter().chain(PrecisionMode::TC_MODES) {
             let (clean, bound) = tile_profile(mode);
             let mut poisoned = clean.clone();
             apply_plane_fault(&mut poisoned, FaultKind::PoisonNan);
@@ -771,6 +807,65 @@ mod tests {
         let v = validate_profile_plane(&partial, 10.0).unwrap_err();
         assert_eq!(v.inf, 1);
         assert_eq!(v.first, (0, 0));
+    }
+
+    #[test]
+    fn tensor_core_tile_tracks_fp32_and_charges_gemm_cost() {
+        let m = 10;
+        let r = series(1, 3, 80);
+        let q = series(5, 3, 70);
+        let tile = compute_tile_list(r.n_segments(m), q.n_segments(m), 1).unwrap()[0];
+        let cfg32 = MdmpConfig::new(m, PrecisionMode::Fp32);
+        // Pin the chunk so a CI-wide `MDMP_TC_CHUNK_K` cannot shift the
+        // panel count or collapse the k=4 comparison below.
+        let cfg_tc = MdmpConfig::new(m, PrecisionMode::Fp16Tc).with_tc_chunk_k(Some(8));
+        let out32 = execute_tile::<f32, f32>(&r, &q, &tile, &cfg32, false);
+        let out_tc = execute_tile::<f32, f32>(&r, &q, &tile, &cfg_tc, false);
+        let n_q = q.n_segments(m);
+        // Same storage precision, operands narrowed per-MMA: the profile
+        // tracks FP32 within the FP16 input-rounding envelope. Near-zero
+        // distances amplify the 2⁻¹⁰ roundoff through the sqrt (as in the
+        // plain-FP16 mode), so the check is on the error mass, not a tight
+        // pointwise relative bound.
+        let mut total = 0.0;
+        for k in 0..3 {
+            for j in 0..n_q {
+                let a = out32.profile.value(j, k);
+                let b = out_tc.profile.value(j, k);
+                let err = (a - b).abs();
+                assert!(err < 1.0, "P[{j}][{k}]: {a} vs {b}");
+                total += err;
+            }
+        }
+        assert!(total / ((3 * n_q) as f64) < 0.05, "mean TC drift too large");
+        // Cost descriptor: one blocked GEMM (panel-count launches, tc
+        // tagged, fragment traffic) instead of `rows` streaming dispatches,
+        // and no fused-eliminated dispatches.
+        let gemm = &out_tc.kernel_costs[1];
+        assert_eq!(gemm.tc, Some(mdmp_precision::Format::Fp16));
+        assert_eq!(gemm.launches, (tile.rows as u64).div_ceil(8));
+        assert!(gemm.frag_bytes > 0);
+        assert_eq!(out_tc.eliminated_dispatches, 0);
+        // Deterministic: a rerun is bit-identical.
+        let rerun = execute_tile::<f32, f32>(&r, &q, &tile, &cfg_tc, false);
+        for k in 0..3 {
+            for j in 0..n_q {
+                assert_eq!(
+                    out_tc.profile.value(j, k).to_bits(),
+                    rerun.profile.value(j, k).to_bits()
+                );
+                assert_eq!(out_tc.profile.index(j, k), rerun.profile.index(j, k));
+            }
+        }
+        // The chunk width is part of the numerical contract: k=4 differs.
+        let cfg_k4 = MdmpConfig::new(m, PrecisionMode::Fp16Tc).with_tc_chunk_k(Some(4));
+        let out_k4 = execute_tile::<f32, f32>(&r, &q, &tile, &cfg_k4, false);
+        let differs = (0..3).any(|k| {
+            (0..n_q).any(|j| {
+                out_tc.profile.value(j, k).to_bits() != out_k4.profile.value(j, k).to_bits()
+            })
+        });
+        assert!(differs, "chunk width must change result bits");
     }
 
     #[test]

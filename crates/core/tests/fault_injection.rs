@@ -1,0 +1,102 @@
+//! Fault-injection recovery on the tensor-core GEMM path.
+//!
+//! The driver's retry machinery treats a tile as a transaction: a faulted
+//! attempt throws away its planes and the retry starts from the tile's
+//! precalculation. For the vector modes that contract is pinned by the
+//! driver's own tests; the GEMM path adds a new wrinkle — the
+//! tile-restarted panel recurrence carries state (`qt_prev`, `base_idx`)
+//! across rows inside one attempt — so a recovered run must still be
+//! **bit-identical** to a fault-free one in every TC mode.
+
+use mdmp_core::{run_with_mode, MdmpConfig, MdmpRun};
+use mdmp_data::synthetic::{generate_pair, SyntheticConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_faults::{FaultKind, FaultPlan};
+use mdmp_gpu_sim::{DeviceSpec, GpuSystem};
+use mdmp_precision::PrecisionMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn synthetic_pair(n: usize, d: usize, m: usize, seed: u64) -> (MultiDimSeries, MultiDimSeries) {
+    let cfg = SyntheticConfig {
+        n_subsequences: n,
+        dims: d,
+        m,
+        pattern: mdmp_data::Pattern::Sine,
+        embeddings: 3,
+        noise: 0.4,
+        pattern_amplitude: 1.0,
+        seed,
+    };
+    let pair = generate_pair(&cfg);
+    (pair.reference, pair.query)
+}
+
+fn assert_bit_identical(a: &MdmpRun, b: &MdmpRun, label: &str) {
+    let (pa, pb) = (&a.profile, &b.profile);
+    assert_eq!(pa.n_query(), pb.n_query(), "{label}: shape");
+    for j in 0..pa.n_query() {
+        for k in 0..pa.dims() {
+            assert_eq!(
+                pa.value(j, k).to_bits(),
+                pb.value(j, k).to_bits(),
+                "{label}: P[{j}][{k}] bits differ"
+            );
+            assert_eq!(pa.index(j, k), pb.index(j, k), "{label}: I[{j}][{k}]");
+        }
+    }
+}
+
+/// Every TC mode, hit with one recoverable fault of each kind on distinct
+/// tiles, must retry back to the exact fault-free bits — values by bit
+/// pattern, argmin indices exactly, and the injection counters accounted.
+#[test]
+fn tensor_core_runs_recover_bit_identical_under_faults() {
+    let (r, q) = synthetic_pair(160, 2, 12, 29);
+    for mode in PrecisionMode::TC_MODES {
+        let cfg = MdmpConfig::new(12, mode).with_tiles(4);
+        let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 2);
+        let clean = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+        assert_eq!(clean.faults_injected, 0);
+        assert!(clean.tc_chunk_k.is_some(), "{mode} must report a chunk");
+
+        let plan = FaultPlan::new()
+            .with_fault(0, FaultKind::Kernel)
+            .with_fault(1, FaultKind::Stall { millis: 600 })
+            .with_fault(3, FaultKind::PoisonNan);
+        let faulted_cfg = cfg
+            .clone()
+            .with_fault_plan(Some(Arc::new(plan)))
+            .with_tile_deadline(Some(Duration::from_millis(250)));
+        let faulted = run_with_mode(&r, &q, &faulted_cfg, &mut sys).unwrap();
+
+        assert_bit_identical(&clean, &faulted, &format!("{mode} recovered"));
+        assert_eq!(faulted.faults_injected, 3, "{mode}: all three fired");
+        assert_eq!(faulted.tile_retries, 3, "{mode}: one retry per fault");
+        assert_eq!(
+            faulted.plane_validation_failures, 1,
+            "{mode}: the NaN poison is caught by the plane gate"
+        );
+        assert_eq!(clean.tc_chunk_k, faulted.tc_chunk_k);
+    }
+}
+
+/// A mid-run retry must not perturb the *modelled* schedule either: cost
+/// submission replays the clean tile costs, so the ledger and makespans of
+/// a recovered TC run match the fault-free run exactly.
+#[test]
+fn recovered_tc_run_keeps_the_clean_cost_model() {
+    let (r, q) = synthetic_pair(128, 2, 12, 31);
+    let cfg = MdmpConfig::new(12, PrecisionMode::Fp16Tc).with_tiles(4);
+    let mut sys = GpuSystem::homogeneous(DeviceSpec::a100(), 1);
+    let clean = run_with_mode(&r, &q, &cfg, &mut sys).unwrap();
+    let plan = FaultPlan::new().with_fault(2, FaultKind::Kernel);
+    let faulted_cfg = cfg.clone().with_fault_plan(Some(Arc::new(plan)));
+    let faulted = run_with_mode(&r, &q, &faulted_cfg, &mut sys).unwrap();
+    assert_eq!(
+        clean.modeled_seconds.to_bits(),
+        faulted.modeled_seconds.to_bits(),
+        "retries are host-side; the device schedule must not change"
+    );
+    assert_eq!(clean.device_makespans, faulted.device_makespans);
+}

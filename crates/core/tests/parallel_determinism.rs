@@ -23,6 +23,13 @@ const PAPER_MODES: [PrecisionMode; 5] = [
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// All modes the pipeline dispatches: the paper's five plus the PR 7
+/// tensor-core GEMM modes, whose tile-restarted recurrence must be just as
+/// schedule-independent as the streaming kernels.
+fn all_modes() -> impl Iterator<Item = PrecisionMode> {
+    PAPER_MODES.into_iter().chain(PrecisionMode::TC_MODES)
+}
+
 fn synthetic_pair(n: usize, d: usize, m: usize, seed: u64) -> (MultiDimSeries, MultiDimSeries) {
     let cfg = SyntheticConfig {
         n_subsequences: n,
@@ -75,7 +82,7 @@ fn assert_bit_identical(a: &MdmpRun, b: &MdmpRun, label: &str) {
 #[test]
 fn parallel_runs_bit_identical_across_modes_and_worker_counts() {
     let (r, q) = synthetic_pair(220, 3, 16, 41);
-    for mode in PAPER_MODES {
+    for mode in all_modes() {
         let cfg = MdmpConfig::new(16, mode).with_tiles(16);
         let sequential = run_with_workers(&r, &q, &cfg, 1);
         for workers in [2usize, 4, 8] {
@@ -114,7 +121,7 @@ fn argmin_ties_spanning_tile_boundaries_resolve_identically() {
         .collect();
     let r = MultiDimSeries::from_dims(flat.clone());
     let q = MultiDimSeries::from_dims(flat);
-    for mode in PAPER_MODES {
+    for mode in all_modes() {
         // 9 tiles on a 3×3 grid: each query column is covered by three
         // row-tiles, so ties compete across tile boundaries.
         let cfg = MdmpConfig::new(m, mode).with_tiles(9);

@@ -74,6 +74,13 @@ pub struct KernelCost {
     pub launches: u64,
     /// Number of coarse-grained group barriers executed.
     pub barriers: u64,
+    /// Tensor-core MMA input format when the kernel's FLOPs run on the
+    /// tensor cores instead of the vector pipelines; `None` otherwise.
+    /// `format` stays the accumulator/storage format (FP32 for TC modes).
+    pub tc: Option<Format>,
+    /// Shared-memory fragment bytes staged into the MMA units (on-chip
+    /// traffic — deliberately *not* part of [`KernelCost::bytes`]).
+    pub frag_bytes: u64,
 }
 
 impl KernelCost {
@@ -88,6 +95,8 @@ impl KernelCost {
             smem_ops: 0,
             launches: 0,
             barriers: 0,
+            tc: None,
+            frag_bytes: 0,
         }
     }
 
@@ -106,12 +115,17 @@ impl KernelCost {
             self.format, other.format,
             "cannot merge costs across formats"
         );
+        assert_eq!(
+            self.tc, other.tc,
+            "cannot merge tensor-core and vector costs"
+        );
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.flops += other.flops;
         self.smem_ops += other.smem_ops;
         self.launches += other.launches;
         self.barriers += other.barriers;
+        self.frag_bytes += other.frag_bytes;
     }
 
     /// Fuse several kernel launches into a single [`KernelClass::FusedRow`]
@@ -128,16 +142,19 @@ impl KernelCost {
         let first = parts.first().expect("fuse requires at least one part");
         let mut fused = KernelCost::new(KernelClass::FusedRow, first.format);
         fused.launches = 1;
+        fused.tc = first.tc;
         for part in parts {
             assert_eq!(
                 part.format, first.format,
                 "cannot fuse costs across formats"
             );
+            assert_eq!(part.tc, first.tc, "cannot fuse tensor-core and vector");
             fused.bytes_read += part.bytes_read;
             fused.bytes_written += part.bytes_written;
             fused.flops += part.flops;
             fused.smem_ops += part.smem_ops;
             fused.barriers += part.barriers;
+            fused.frag_bytes += part.frag_bytes;
         }
         // One grid sync per eliminated launch boundary.
         fused.barriers += (parts.len() as u64).saturating_sub(1);
@@ -153,6 +170,7 @@ impl KernelCost {
         self.smem_ops *= times;
         self.launches *= times;
         self.barriers *= times;
+        self.frag_bytes *= times;
         self
     }
 }
@@ -246,6 +264,8 @@ mod tests {
             smem_ops: 5,
             launches: 1,
             barriers: 2,
+            tc: None,
+            frag_bytes: 0,
         }
     }
 
@@ -259,6 +279,30 @@ mod tests {
         let r = sample(KernelClass::DistCalc).repeated(10);
         assert_eq!(r.bytes_read, 1000);
         assert_eq!(r.barriers, 20);
+    }
+
+    #[test]
+    fn tc_and_frag_traffic_accounting() {
+        let mut a = sample(KernelClass::DistCalc);
+        a.tc = Some(Format::Fp16);
+        a.frag_bytes = 64;
+        let r = a.repeated(4);
+        assert_eq!(r.frag_bytes, 256);
+        assert_eq!(r.tc, Some(Format::Fp16));
+        let mut merged = a;
+        merged.merge(&a);
+        assert_eq!(merged.frag_bytes, 128);
+        // Fragment traffic is on-chip: it never counts as DRAM bytes.
+        assert_eq!(merged.bytes(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor-core")]
+    fn merge_rejects_tc_mismatch() {
+        let mut a = sample(KernelClass::DistCalc);
+        let mut b = a;
+        b.tc = Some(Format::Fp16);
+        a.merge(&b);
     }
 
     #[test]

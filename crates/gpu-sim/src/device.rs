@@ -19,6 +19,29 @@ pub enum DeviceKind {
     Cpu,
 }
 
+/// Tensor-core throughput of a device, per MMA input format, plus the
+/// shared-memory fragment-load bandwidth that feeds the units.
+///
+/// Peaks follow the vendor datasheets (dense, no sparsity): V100 supports
+/// FP16 inputs only at ~112 TFLOP/s; A100 runs FP16 and BF16 at 312
+/// TFLOP/s and TF32 at 156 TFLOP/s against 9.7 TFLOP/s FP64. The units
+/// read their operands from shared-memory fragments (WMMA `load_matrix_sync`
+/// / WGMMA descriptors), so a kernel that underfeeds fragments is bound by
+/// `frag_bandwidth` rather than the MMA peak — the timing model charges
+/// both and takes the max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcThroughput {
+    /// Dense FP16-input MMA peak, FLOP/s.
+    pub fp16_flops: f64,
+    /// Dense BF16-input MMA peak, FLOP/s (`None` before Ampere).
+    pub bf16_flops: Option<f64>,
+    /// Dense TF32-input MMA peak, FLOP/s (`None` before Ampere).
+    pub tf32_flops: Option<f64>,
+    /// Aggregate shared-memory fragment-load bandwidth in bytes/second
+    /// (SMs × smem bytes/clock × clock).
+    pub frag_bandwidth: f64,
+}
+
 /// Static description of one compute device.
 #[derive(Debug, Clone)]
 pub struct DeviceSpec {
@@ -61,6 +84,8 @@ pub struct DeviceSpec {
     /// this cache-unfriendly workload (calibrated against the paper's 54×
     /// A100-vs-CPU headline).
     pub mem_eff_fp64: f64,
+    /// Tensor-core unit throughput, `None` when the device has none.
+    pub tc: Option<TcThroughput>,
 }
 
 impl DeviceSpec {
@@ -82,6 +107,14 @@ impl DeviceSpec {
             d2h_bandwidth: 12.0e9,
             max_streams: 16,
             mem_eff_fp64: 0.92,
+            // Volta: first-generation tensor cores, FP16 inputs only.
+            // 80 SMs × 128 B/clock × 1.53 GHz of shared-memory fragment feed.
+            tc: Some(TcThroughput {
+                fp16_flops: 112.0e12,
+                bf16_flops: None,
+                tf32_flops: None,
+                frag_bandwidth: 15.7e12,
+            }),
         }
     }
 
@@ -103,6 +136,14 @@ impl DeviceSpec {
             d2h_bandwidth: 25.0e9,
             max_streams: 16,
             mem_eff_fp64: 0.82,
+            // Ampere third-generation tensor cores (dense, no sparsity).
+            // 108 SMs × 128 B/clock × 1.41 GHz of fragment feed.
+            tc: Some(TcThroughput {
+                fp16_flops: 312.0e12,
+                bf16_flops: Some(312.0e12),
+                tf32_flops: Some(156.0e12),
+                frag_bandwidth: 19.5e12,
+            }),
         }
     }
 
@@ -128,6 +169,7 @@ impl DeviceSpec {
             d2h_bandwidth: f64::INFINITY,
             max_streams: 1,
             mem_eff_fp64: 0.14,
+            tc: None,
         }
     }
 
@@ -142,6 +184,19 @@ impl DeviceSpec {
                 Format::Fp64 => self.fp64_flops,
                 _ => self.fp64_flops * 2.0,
             },
+        }
+    }
+
+    /// Tensor-core peak FLOP/s for an MMA *input* format, `None` when this
+    /// device (or this device's generation) cannot run that format on its
+    /// tensor cores — the caller falls back to the vector pipelines.
+    pub fn tc_flops(&self, input: Format) -> Option<f64> {
+        let tc = self.tc.as_ref()?;
+        match input {
+            Format::Fp16 => Some(tc.fp16_flops),
+            Format::Bf16 => tc.bf16_flops,
+            Format::Tf32 => tc.tf32_flops,
+            _ => None,
         }
     }
 
@@ -237,6 +292,20 @@ mod tests {
         assert_eq!(a.peak_flops(Format::Fp16), 4.0 * a.fp64_flops);
         let c = DeviceSpec::skylake_16c();
         assert_eq!(c.peak_flops(Format::Fp16), 2.0 * c.fp64_flops);
+    }
+
+    #[test]
+    fn tensor_core_generations() {
+        let a = DeviceSpec::a100();
+        assert_eq!(a.tc_flops(Format::Fp16), Some(312.0e12));
+        assert_eq!(a.tc_flops(Format::Bf16), Some(312.0e12));
+        assert_eq!(a.tc_flops(Format::Tf32), Some(156.0e12));
+        assert_eq!(a.tc_flops(Format::Fp64), None);
+        let v = DeviceSpec::v100();
+        assert_eq!(v.tc_flops(Format::Fp16), Some(112.0e12));
+        assert_eq!(v.tc_flops(Format::Bf16), None, "Volta has no BF16 MMA");
+        assert_eq!(v.tc_flops(Format::Tf32), None, "Volta has no TF32 MMA");
+        assert_eq!(DeviceSpec::skylake_16c().tc_flops(Format::Fp16), None);
     }
 
     #[test]

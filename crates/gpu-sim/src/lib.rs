@@ -33,6 +33,7 @@ pub mod executor;
 pub mod grid;
 pub mod health;
 pub mod memory;
+pub mod mma;
 pub mod profiler;
 pub mod simt;
 pub mod stream;
@@ -40,10 +41,11 @@ pub mod timing;
 
 pub use cluster::{ClusterSystem, Interconnect};
 pub use cost::{CostLedger, KernelClass, KernelCost};
-pub use device::{DeviceKind, DeviceSpec, LaunchConfig};
+pub use device::{DeviceKind, DeviceSpec, LaunchConfig, TcThroughput};
 pub use executor::{GpuSystem, SimDevice};
 pub use health::DeviceHealth;
 pub use memory::{AllocError, MemoryTracker};
+pub use mma::{default_chunk_k, mma_dot, round_operand, MmaConfig, MMA_CHUNK_SIZES};
 pub use profiler::UtilizationReport;
 pub use simt::{run_block, run_grid, BitonicScanKernel, BlockKernel, FiberState, ThreadOrder};
 pub use stream::{DeviceTimeline, Op, OpRecord};

@@ -1,0 +1,218 @@
+//! Simulated tensor-core matrix-multiply-accumulate (MMA) unit.
+//!
+//! Models the numerical contract of NVIDIA tensor cores as established by
+//! Khattak & Mikaitis ("Numerical behavior of NVIDIA tensor cores", Part I)
+//! and used by the mixed-precision Euclidean-distance GEMM literature:
+//!
+//! 1. **Operand rounding.** The A/B multiply operands are rounded to the
+//!    unit's input format (FP16, BF16, or TF32) with round-to-nearest-even
+//!    *per operation* — the surrounding kernel keeps its data in FP32.
+//! 2. **Exact products.** Products of two rounded operands are exact in
+//!    FP32: every supported input format has ≤ 11 significand bits, so a
+//!    product needs ≤ 22 bits — under binary32's 24.
+//! 3. **Chunked FP32 accumulation.** The hardware dot-product unit sums a
+//!    fixed-width chunk of products into an FP32 accumulator in a fixed
+//!    order, then adds the chunk sum to the running FP32 accumulator. The
+//!    chunk width is a hardware constant (4 on Volta, 8/16 on Ampere
+//!    depending on the instruction shape); we expose it as
+//!    [`MmaConfig::chunk_k`] so its effect on rounding is testable.
+//!
+//! The simulation is *functional*: it produces the exact bit pattern such a
+//! unit would produce for a given chunk width and operand order, which is
+//! what the reproducibility and accuracy experiments need. Throughput is
+//! modelled separately by [`crate::device::TcThroughput`] and the timing
+//! model's fragment-traffic term (operands are staged through shared-memory
+//! fragments before they reach the unit, as in WMMA/WGMMA).
+
+use mdmp_precision::{Bf16, Format, Half, Tf32};
+
+/// Chunk widths the simulated unit supports (hardware dot-product sizes).
+pub const MMA_CHUNK_SIZES: [usize; 3] = [4, 8, 16];
+
+/// Configuration of one simulated MMA issue: input format + accumulator
+/// chunk width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmaConfig {
+    /// Format the A/B operands are rounded to before multiplying.
+    pub input: Format,
+    /// Products summed per FP32 accumulator chunk (4, 8, or 16).
+    pub chunk_k: usize,
+}
+
+impl MmaConfig {
+    /// Config with the format's default hardware chunk width.
+    ///
+    /// # Panics
+    /// Panics if `input` is not a tensor-core input format.
+    pub fn new(input: Format) -> MmaConfig {
+        MmaConfig {
+            input,
+            chunk_k: default_chunk_k(input),
+        }
+    }
+
+    /// Override the chunk width.
+    ///
+    /// # Panics
+    /// Panics if `chunk_k` is not one of [`MMA_CHUNK_SIZES`].
+    pub fn with_chunk_k(mut self, chunk_k: usize) -> MmaConfig {
+        assert!(
+            MMA_CHUNK_SIZES.contains(&chunk_k),
+            "MMA chunk width must be one of {MMA_CHUNK_SIZES:?}, got {chunk_k}"
+        );
+        self.chunk_k = chunk_k;
+        self
+    }
+}
+
+/// The default hardware accumulator chunk width for an input format:
+/// FP16/BF16 MMA shapes accumulate 8 products per chunk on Ampere, TF32
+/// shapes 4 (half the k extent, same instruction).
+///
+/// # Panics
+/// Panics if `input` is not a tensor-core input format.
+pub fn default_chunk_k(input: Format) -> usize {
+    match input {
+        Format::Fp16 | Format::Bf16 => 8,
+        Format::Tf32 => 4,
+        other => panic!("{other} is not a tensor-core input format"),
+    }
+}
+
+/// Round a value (carried in f64) to the MMA input format and back.
+///
+/// Every supported input format embeds exactly in binary32 (and hence in
+/// f64), so the round trip loses nothing beyond the format's own rounding.
+///
+/// # Panics
+/// Panics if `fmt` is not a tensor-core input format.
+#[inline]
+pub fn round_operand(x: f64, fmt: Format) -> f64 {
+    match fmt {
+        Format::Fp16 => Half::from_f64(x).to_f64(),
+        Format::Bf16 => Bf16::from_f64(x).to_f64(),
+        Format::Tf32 => Tf32::from_f64(x).to_f64(),
+        other => panic!("{other} is not a tensor-core input format"),
+    }
+}
+
+/// One simulated MMA dot product: `base + Σ round(a[i]) · round(b[i])`,
+/// with FP32 chunked accumulation.
+///
+/// `base` and the result are FP32 values carried exactly in f64 (the
+/// accumulator register). Chunk boundaries fall at multiples of
+/// `cfg.chunk_k` from the start of `a`, so the association order — and
+/// therefore the exact result bits — is a deterministic function of
+/// `(operands, input format, chunk_k)` alone.
+///
+/// # Panics
+/// Panics if `a` and `b` differ in length.
+#[inline]
+pub fn mma_dot(base: f64, a: &[f64], b: &[f64], cfg: &MmaConfig) -> f64 {
+    assert_eq!(a.len(), b.len(), "MMA operand vectors must match");
+    let mut acc = base as f32;
+    for (ca, cb) in a.chunks(cfg.chunk_k).zip(b.chunks(cfg.chunk_k)) {
+        let mut chunk = 0.0f32;
+        for (&x, &y) in ca.iter().zip(cb.iter()) {
+            // Product of two ≤11-bit significands is exact in binary32.
+            chunk += (round_operand(x, cfg.input) as f32) * (round_operand(y, cfg.input) as f32);
+        }
+        acc += chunk;
+    }
+    acc as f64
+}
+
+/// Analytic forward-error bound for [`mma_dot`] against the exact real
+/// dot product: operand rounding contributes `≤ (2ε_in + ε_in²)·Σ|a·b|`,
+/// and the FP32 chunked summation of `n` products contributes at most
+/// `(n + ⌈n/k⌉)·ε₃₂ / (1 − n·ε₃₂)` relative to the magnitude sum (standard
+/// recursive-summation bound over the two-level tree; `ε₃₂ = 2⁻²⁴` unit
+/// roundoff). The caller supplies `mag = Σ|a[i]·b[i]| + |base|`.
+pub fn mma_error_bound(n: usize, mag: f64, cfg: &MmaConfig) -> f64 {
+    let eps_in = cfg.input.epsilon() / 2.0; // Format::epsilon is 2u, we need u
+    let eps32 = 2f64.powi(-24);
+    let adds = (n + n.div_ceil(cfg.chunk_k) + 1) as f64;
+    let input_term = (2.0 * eps_in + eps_in * eps_in) * mag;
+    let sum_term = adds * eps32 / (1.0 - adds * eps32) * mag;
+    input_term + sum_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        // Small deterministic LCG so the test needs no external RNG.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn exact_on_representable_operands() {
+        // Powers of two are exact in every input format; products and sums
+        // stay exact in FP32, so the MMA result must equal the f64 dot.
+        let a = [1.0, 0.5, 2.0, 0.25, 4.0, 0.125, 8.0, 1.0];
+        let b = [2.0, 2.0, 0.5, 4.0, 0.25, 8.0, 0.125, 1.0];
+        let exact: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        for fmt in [Format::Fp16, Format::Bf16, Format::Tf32] {
+            let got = mma_dot(0.0, &a, &b, &MmaConfig::new(fmt));
+            assert_eq!(got, exact, "{fmt} MMA drifted on exact inputs");
+        }
+    }
+
+    #[test]
+    fn within_analytic_bound() {
+        for seed in 0..32u64 {
+            let n = 4 + (seed as usize % 29);
+            let (a, b) = panel(seed, n);
+            let exact: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+            let mag: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x * y).abs()).sum();
+            for fmt in [Format::Fp16, Format::Bf16, Format::Tf32] {
+                for k in MMA_CHUNK_SIZES {
+                    let cfg = MmaConfig::new(fmt).with_chunk_k(k);
+                    let got = mma_dot(0.0, &a, &b, &cfg);
+                    let bound = mma_error_bound(n, mag, &cfg);
+                    assert!(
+                        (got - exact).abs() <= bound,
+                        "{fmt} k={k} n={n}: |{got} - {exact}| > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_width_changes_bits_deterministically() {
+        let (a, b) = panel(7, 48);
+        let cfg8 = MmaConfig::new(Format::Fp16);
+        let cfg4 = cfg8.with_chunk_k(4);
+        let r8a = mma_dot(1.0, &a, &b, &cfg8);
+        let r8b = mma_dot(1.0, &a, &b, &cfg8);
+        let r4 = mma_dot(1.0, &a, &b, &cfg4);
+        // Same config → identical bits; different chunking → a different
+        // association order that is allowed (and here does) change them.
+        assert_eq!(r8a.to_bits(), r8b.to_bits());
+        assert_ne!(r8a.to_bits(), r4.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk width")]
+    fn rejects_bad_chunk() {
+        let _ = MmaConfig::new(Format::Fp16).with_chunk_k(5);
+    }
+
+    #[test]
+    fn default_chunks_match_hardware_shapes() {
+        assert_eq!(default_chunk_k(Format::Fp16), 8);
+        assert_eq!(default_chunk_k(Format::Bf16), 8);
+        assert_eq!(default_chunk_k(Format::Tf32), 4);
+    }
+}

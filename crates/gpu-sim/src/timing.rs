@@ -81,14 +81,39 @@ impl TimingModel {
         }
     }
 
+    /// FLOP and fragment-traffic terms of a kernel. When the cost is tagged
+    /// with a tensor-core input format *and* this device's tensor cores
+    /// support it, the FLOPs are charged against the MMA peak and the
+    /// operand fragments against the shared-memory fragment bandwidth;
+    /// otherwise the FLOPs fall back to the vector pipelines at the
+    /// accumulator format's rate (a TF32-TC kernel on V100 runs as an
+    /// ordinary FP32 kernel) and the fragment term vanishes.
+    fn flop_and_frag_seconds(&self, cost: &KernelCost) -> (f64, f64) {
+        if let Some(input) = cost.tc {
+            if let Some(tc_peak) = self.spec.tc_flops(input) {
+                let frag_bw = self
+                    .spec
+                    .tc
+                    .as_ref()
+                    .map(|tc| tc.frag_bandwidth)
+                    .unwrap_or(f64::INFINITY);
+                return (
+                    cost.flops as f64 / tc_peak,
+                    cost.frag_bytes as f64 / frag_bw,
+                );
+            }
+        }
+        (cost.flops as f64 / self.spec.peak_flops(cost.format), 0.0)
+    }
+
     /// Modelled duration of a kernel execution (or an aggregate of many
     /// launches folded into one [`KernelCost`]).
     pub fn kernel_seconds(&self, cost: &KernelCost) -> f64 {
         let bw = self.spec.mem_bandwidth * self.mem_efficiency(cost.format);
         let mem_t = cost.bytes() as f64 / bw;
-        let flop_t = cost.flops as f64 / self.spec.peak_flops(cost.format);
+        let (flop_t, frag_t) = self.flop_and_frag_seconds(cost);
         let smem_t = cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
-        let base = mem_t.max(flop_t).max(smem_t);
+        let base = mem_t.max(flop_t).max(smem_t).max(frag_t);
         base + cost.launches as f64 * self.spec.launch_overhead
             + cost.barriers as f64 * self.spec.barrier_overhead
     }
@@ -113,10 +138,13 @@ impl TimingModel {
     pub fn bounding_resource(&self, cost: &KernelCost) -> Resource {
         let bw = self.spec.mem_bandwidth * self.mem_efficiency(cost.format);
         let mem_t = cost.bytes() as f64 / bw;
-        let flop_t = cost.flops as f64 / self.spec.peak_flops(cost.format);
+        let (flop_t, frag_t) = self.flop_and_frag_seconds(cost);
         let smem_t = cost.smem_ops as f64 * self.smem_op_cost(cost.format) / self.spec.sm_op_rate;
         let overhead = cost.launches as f64 * self.spec.launch_overhead
             + cost.barriers as f64 * self.spec.barrier_overhead;
+        // Fragment staging lives in shared memory, so a fragment-bound MMA
+        // kernel is classified with the other shared-memory-bound kernels.
+        let smem_t = smem_t.max(frag_t);
         let base = mem_t.max(flop_t).max(smem_t);
         if overhead > base {
             Resource::Synchronization
@@ -160,6 +188,8 @@ mod tests {
             smem_ops: 0,
             launches: n,
             barriers: 0,
+            tc: None,
+            frag_bytes: 0,
         }
     }
 
@@ -219,6 +249,55 @@ mod tests {
         comp.flops = 1 << 40;
         comp.bytes_read = 8;
         assert_eq!(model.bounding_resource(&comp), Resource::Compute);
+    }
+
+    #[test]
+    fn tensor_core_flops_charged_against_mma_peak() {
+        let model = TimingModel::new(DeviceSpec::a100());
+        // Compute-heavy kernel: almost no DRAM traffic, all FLOPs.
+        let mut c = KernelCost::new(KernelClass::DistCalc, Format::Fp32);
+        c.flops = 1 << 44;
+        c.bytes_read = 8;
+        let vector_t = model.kernel_seconds(&c);
+        c.tc = Some(Format::Fp16);
+        let tc_t = model.kernel_seconds(&c);
+        // FP32 vector peak 19.4 TF vs FP16-TC 312 TF ≈ 16×.
+        let ratio = vector_t / tc_t;
+        assert!(
+            (ratio - 312.0 / 19.4).abs() < 0.5,
+            "TC speedup {ratio} should match the spec ratio"
+        );
+        assert_eq!(model.bounding_resource(&c), Resource::Compute);
+    }
+
+    #[test]
+    fn fragment_traffic_can_bound_an_mma_kernel() {
+        let model = TimingModel::new(DeviceSpec::a100());
+        let mut c = KernelCost::new(KernelClass::DistCalc, Format::Fp32);
+        c.tc = Some(Format::Fp16);
+        c.flops = 1 << 20;
+        c.frag_bytes = 1 << 44; // grossly underfed fragments
+        assert_eq!(model.bounding_resource(&c), Resource::SharedMemory);
+        let starved = model.kernel_seconds(&c);
+        c.frag_bytes = 0;
+        assert!(model.kernel_seconds(&c) < starved);
+    }
+
+    #[test]
+    fn unsupported_tc_format_falls_back_to_vector() {
+        // V100 has no TF32 tensor cores; the kernel must run (and cost)
+        // exactly like its plain-FP32 vector formulation.
+        let v100 = TimingModel::new(DeviceSpec::v100());
+        let mut c = KernelCost::new(KernelClass::DistCalc, Format::Fp32);
+        c.flops = 1 << 40;
+        c.bytes_read = 1 << 20;
+        c.frag_bytes = 1 << 40;
+        let plain = KernelCost { tc: None, ..c };
+        c.tc = Some(Format::Tf32);
+        assert_eq!(v100.kernel_seconds(&c), v100.kernel_seconds(&plain));
+        // The CPU baseline likewise has no tensor cores at all.
+        let cpu = TimingModel::new(DeviceSpec::skylake_16c());
+        assert_eq!(cpu.kernel_seconds(&c), cpu.kernel_seconds(&plain));
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //! | FP16C | FP16 + compensation  | FP16      |
 //! | BF16  | BF16                 | BF16      |
 //! | TF32  | TF32                 | TF32      |
+//!
+//! The three tensor-core modes (`FP16-TC`, `BF16-TC`, `TF32-TC`) are a
+//! different axis: storage and accumulation stay FP32, but the `dist_calc`
+//! kernel is reformulated as a blocked GEMM whose multiply operands are
+//! rounded to the tensor-core input format per operation and whose dot
+//! products accumulate in FP32 in hardware-sized chunks (Khattak &
+//! Mikaitis). [`PrecisionMode::tc_input`] exposes the input format.
 
 use core::fmt;
 use core::str::FromStr;
@@ -113,6 +120,15 @@ pub enum PrecisionMode {
     Fp8E4M3,
     /// FP32 precalculation, FP8-E5M2 main loop (extension).
     Fp8E5M2,
+    /// Tensor-core GEMM `dist_calc`: FP16 multiply inputs, FP32 chunked
+    /// accumulation, FP32 everywhere else.
+    Fp16Tc,
+    /// Tensor-core GEMM `dist_calc`: BF16 multiply inputs, FP32 chunked
+    /// accumulation, FP32 everywhere else.
+    Bf16Tc,
+    /// Tensor-core GEMM `dist_calc`: TF32 multiply inputs, FP32 chunked
+    /// accumulation, FP32 everywhere else.
+    Tf32Tc,
 }
 
 impl PrecisionMode {
@@ -125,8 +141,15 @@ impl PrecisionMode {
         PrecisionMode::Fp16c,
     ];
 
+    /// The tensor-core GEMM modes, in throughput order (highest first).
+    pub const TC_MODES: [PrecisionMode; 3] = [
+        PrecisionMode::Fp16Tc,
+        PrecisionMode::Bf16Tc,
+        PrecisionMode::Tf32Tc,
+    ];
+
     /// All supported modes including the extensions.
-    pub const ALL: [PrecisionMode; 9] = [
+    pub const ALL: [PrecisionMode; 12] = [
         PrecisionMode::Fp64,
         PrecisionMode::Fp32,
         PrecisionMode::Fp16,
@@ -136,6 +159,9 @@ impl PrecisionMode {
         PrecisionMode::Tf32,
         PrecisionMode::Fp8E4M3,
         PrecisionMode::Fp8E5M2,
+        PrecisionMode::Fp16Tc,
+        PrecisionMode::Bf16Tc,
+        PrecisionMode::Tf32Tc,
     ];
 
     /// Format used by the main iteration loop (and for storing the active
@@ -149,6 +175,20 @@ impl PrecisionMode {
             PrecisionMode::Tf32 => Format::Tf32,
             PrecisionMode::Fp8E4M3 => Format::Fp8E4M3,
             PrecisionMode::Fp8E5M2 => Format::Fp8E5M2,
+            // TC modes store planes and accumulate in FP32; only the GEMM
+            // multiply operands are narrowed (see `tc_input`).
+            PrecisionMode::Fp16Tc | PrecisionMode::Bf16Tc | PrecisionMode::Tf32Tc => Format::Fp32,
+        }
+    }
+
+    /// For the tensor-core GEMM modes, the format the MMA unit rounds its
+    /// multiply operands to; `None` for every vector-pipeline mode.
+    pub fn tc_input(self) -> Option<Format> {
+        match self {
+            PrecisionMode::Fp16Tc => Some(Format::Fp16),
+            PrecisionMode::Bf16Tc => Some(Format::Bf16),
+            PrecisionMode::Tf32Tc => Some(Format::Tf32),
+            _ => None,
         }
     }
 
@@ -161,6 +201,12 @@ impl PrecisionMode {
             PrecisionMode::Fp8E4M3 | PrecisionMode::Fp8E5M2 => Format::Fp32,
             other => other.main_format(),
         }
+    }
+
+    /// Whether this mode routes `dist_calc` through the simulated
+    /// tensor-core GEMM path.
+    pub fn uses_tensor_cores(self) -> bool {
+        self.tc_input().is_some()
     }
 
     /// Whether precalculation uses Kahan compensated summation.
@@ -180,6 +226,9 @@ impl PrecisionMode {
             PrecisionMode::Tf32 => "TF32",
             PrecisionMode::Fp8E4M3 => "FP8-E4M3",
             PrecisionMode::Fp8E5M2 => "FP8-E5M2",
+            PrecisionMode::Fp16Tc => "FP16-TC",
+            PrecisionMode::Bf16Tc => "BF16-TC",
+            PrecisionMode::Tf32Tc => "TF32-TC",
         }
     }
 }
@@ -204,8 +253,11 @@ impl FromStr for PrecisionMode {
             "tf32" => Ok(PrecisionMode::Tf32),
             "fp8-e4m3" | "fp8e4m3" | "e4m3" => Ok(PrecisionMode::Fp8E4M3),
             "fp8-e5m2" | "fp8e5m2" | "e5m2" => Ok(PrecisionMode::Fp8E5M2),
+            "fp16-tc" | "fp16tc" => Ok(PrecisionMode::Fp16Tc),
+            "bf16-tc" | "bf16tc" => Ok(PrecisionMode::Bf16Tc),
+            "tf32-tc" | "tf32tc" => Ok(PrecisionMode::Tf32Tc),
             other => Err(format!(
-                "unknown precision mode '{other}' (expected one of fp64, fp32, fp16, mixed, fp16c, bf16, tf32)"
+                "unknown precision mode '{other}' (expected one of fp64, fp32, fp16, mixed, fp16c, bf16, tf32, fp16-tc, bf16-tc, tf32-tc)"
             )),
         }
     }
@@ -250,6 +302,22 @@ mod tests {
             assert_eq!(parsed, mode);
         }
         assert!("fp8".parse::<PrecisionMode>().is_err());
+    }
+
+    #[test]
+    fn tc_modes_accumulate_in_fp32() {
+        for mode in PrecisionMode::TC_MODES {
+            assert!(mode.uses_tensor_cores());
+            assert_eq!(mode.main_format(), Format::Fp32);
+            assert_eq!(mode.precalc_format(), Format::Fp32);
+            assert!(!mode.compensated_precalc());
+        }
+        assert_eq!(PrecisionMode::Fp16Tc.tc_input(), Some(Format::Fp16));
+        assert_eq!(PrecisionMode::Bf16Tc.tc_input(), Some(Format::Bf16));
+        assert_eq!(PrecisionMode::Tf32Tc.tc_input(), Some(Format::Tf32));
+        for mode in PrecisionMode::PAPER_MODES {
+            assert!(!mode.uses_tensor_cores());
+        }
     }
 
     #[test]

@@ -112,6 +112,10 @@ pub struct JobSpec {
     /// Force the fused row pipeline on or off for this job; `None` uses
     /// the auto default (env `MDMP_FUSED_ROWS`, else on).
     pub fused_rows: Option<bool>,
+    /// MMA accumulator chunk width for the tensor-core modes (4, 8 or 16);
+    /// `None` uses the auto default (env `MDMP_TC_CHUNK_K`, else the input
+    /// format's hardware shape). Ignored by the vector modes.
+    pub tc_chunk_k: Option<usize>,
     /// Per-kernel deadline in milliseconds; `None` disables it.
     pub tile_deadline_ms: Option<u64>,
     /// Whole-job deadline in milliseconds: once exceeded, the scheduler
@@ -139,6 +143,7 @@ impl JobSpec {
             fault_plan: None,
             tile_retries: 2,
             fused_rows: None,
+            tc_chunk_k: None,
             tile_deadline_ms: None,
             deadline_ms: None,
         }
@@ -151,6 +156,7 @@ impl JobSpec {
             .with_fault_plan(self.fault_plan.clone())
             .with_tile_retries(self.tile_retries)
             .with_fused_rows(self.fused_rows)
+            .with_tc_chunk_k(self.tc_chunk_k)
             .with_tile_deadline(self.tile_deadline_ms.map(Duration::from_millis))
     }
 
@@ -304,6 +310,7 @@ mod tests {
             fault_plan: None,
             tile_retries: 2,
             fused_rows: None,
+            tc_chunk_k: None,
             tile_deadline_ms: None,
             deadline_ms: None,
         };

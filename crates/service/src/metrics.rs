@@ -219,6 +219,9 @@ pub struct MetricsRegistry {
     /// Host dispatches eliminated by the fused row pipeline, accumulated
     /// over all runs (two per reference row when fusion is on).
     pub eliminated_dispatches: Counter,
+    /// MMA accumulator chunk width of the most recent run (0 when the run
+    /// used a vector mode instead of the simulated tensor cores).
+    pub tc_chunk_k: Gauge,
     /// Pool dispatches served entirely by already-running persistent-pool
     /// threads, accumulated over all runs.
     pub pool_thread_reuses: Counter,
@@ -328,13 +331,14 @@ impl MetricsRegistry {
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
-        let gauges: [(&str, &Gauge); 6] = [
+        let gauges: [(&str, &Gauge); 7] = [
             ("mdmp_queue_depth", &self.queue_depth),
             ("mdmp_jobs_running", &self.jobs_running),
             ("mdmp_devices_leased", &self.devices_leased),
             ("mdmp_precalc_cache_bytes", &self.cache_bytes),
             ("mdmp_host_workers", &self.host_workers),
             ("mdmp_fused_rows_enabled", &self.fused_rows_enabled),
+            ("mdmp_tc_chunk_k", &self.tc_chunk_k),
         ];
         for (name, g) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
@@ -381,6 +385,7 @@ impl MetricsRegistry {
             tile_retries: self.tile_retries.get(),
             fused_rows_enabled: self.fused_rows_enabled.get() != 0,
             eliminated_dispatches: self.eliminated_dispatches.get(),
+            tc_chunk_k: self.tc_chunk_k.get().max(0) as u64,
             pool_thread_reuses: self.pool_thread_reuses.get(),
             plane_validation_failures: self.plane_validation_failures.get(),
             devices_quarantined: self.devices_quarantined.get(),
@@ -446,6 +451,9 @@ pub struct ServiceStats {
     pub fused_rows_enabled: bool,
     /// Host dispatches eliminated by the fused row pipeline across runs.
     pub eliminated_dispatches: u64,
+    /// MMA accumulator chunk width of the most recent run (0 = vector
+    /// mode).
+    pub tc_chunk_k: u64,
     /// Pool dispatches served by already-running persistent-pool threads.
     pub pool_thread_reuses: u64,
     /// Result planes rejected by the validation gate.

@@ -468,6 +468,9 @@ impl Service {
                         .fused_rows_enabled
                         .set(i64::from(run.fused_rows));
                     self.metrics
+                        .tc_chunk_k
+                        .set(run.tc_chunk_k.unwrap_or(0) as i64);
+                    self.metrics
                         .eliminated_dispatches
                         .add(run.eliminated_dispatches);
                     self.metrics.pool_thread_reuses.add(run.pool_thread_reuses);
@@ -591,6 +594,7 @@ mod tests {
                 fault_plan: None,
                 tile_retries: 2,
                 fused_rows: None,
+                tc_chunk_k: None,
                 tile_deadline_ms: None,
                 deadline_ms: None,
             })

@@ -337,6 +337,10 @@ pub fn parse_job_spec(job: &Json) -> Result<JobSpec, String> {
         fault_plan,
         tile_retries: job.get("tile_retries").and_then(Json::as_u64).unwrap_or(2) as u32,
         fused_rows: job.get("fused_rows").and_then(Json::as_bool),
+        tc_chunk_k: job
+            .get("tc_chunk_k")
+            .and_then(Json::as_u64)
+            .map(|k| k as usize),
         tile_deadline_ms: job.get("tile_deadline_ms").and_then(Json::as_u64),
         deadline_ms: job.get("deadline_ms").and_then(Json::as_u64),
     })
@@ -436,6 +440,7 @@ fn stats_json(service: &Service) -> Json {
             "eliminated_dispatches",
             Json::num(s.eliminated_dispatches as f64),
         ),
+        ("tc_chunk_k", Json::num(s.tc_chunk_k as f64)),
         ("pool_thread_reuses", Json::num(s.pool_thread_reuses as f64)),
         ("buffer_pool_reuses", Json::num(s.buffer_pool_reuses as f64)),
         ("buffer_pool_allocs", Json::num(s.buffer_pool_allocs as f64)),

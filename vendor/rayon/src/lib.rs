@@ -32,7 +32,7 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
@@ -40,11 +40,31 @@ thread_local! {
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// The number of worker threads the current scope would use.
+/// Process-wide worker-count override installed by
+/// [`set_global_threads`] (`0` = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Install a process-wide worker-thread count, used whenever no scoped
+/// [`ThreadPool::install`] override is active. `0` clears the override.
+///
+/// Single-hart hosts default to one worker, and one-worker dispatches run
+/// inline without touching the pool — so benchmarks that want to exercise
+/// (and assert on) multi-worker dispatch and thread reuse call this first
+/// to pin a deterministic worker count regardless of host width.
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads the current scope would use: the scoped
+/// [`ThreadPool::install`] override, else the process-wide
+/// [`set_global_threads`] override, else the host's available parallelism.
 pub fn current_num_threads() -> usize {
     POOL_THREADS.with(|t| match t.get() {
         Some(n) => n,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        None => match GLOBAL_THREADS.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        },
     })
 }
 
@@ -118,8 +138,6 @@ struct Pool {
     /// Batches executed by resident pool workers (the rest ran inline on
     /// the dispatching thread).
     pool_batches: AtomicU64,
-    /// Upper bound on resident workers.
-    max_threads: usize,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -133,15 +151,23 @@ fn pool() -> &'static Pool {
         threads_spawned: AtomicU64::new(0),
         dispatches: AtomicU64::new(0),
         pool_batches: AtomicU64::new(0),
-        max_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
     })
 }
 
 impl Pool {
+    /// Upper bound on resident workers: the host's available parallelism,
+    /// or the [`set_global_threads`] override when it asks for more (read
+    /// fresh so the override also works after the pool exists).
+    fn max_threads(&self) -> usize {
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        avail.max(GLOBAL_THREADS.load(Ordering::Relaxed))
+    }
+
     /// Ensure at least `wanted` resident workers exist (capped at
-    /// `max_threads`; the dispatching thread itself covers the rest).
+    /// [`Pool::max_threads`]; the dispatching thread itself covers the
+    /// rest).
     fn ensure_threads(&'static self, wanted: usize) {
-        let target = wanted.min(self.max_threads) as u64;
+        let target = wanted.min(self.max_threads()) as u64;
         loop {
             let have = self.threads_spawned.load(Ordering::Relaxed);
             if have >= target {
@@ -637,6 +663,26 @@ mod tests {
             "warm dispatches must not spawn threads"
         );
         assert!(after.dispatches >= before.dispatches + 8);
+    }
+
+    #[test]
+    fn global_thread_override_enables_reuse_on_narrow_hosts() {
+        // Pin 3 workers process-wide (as the scaling benchmark does on
+        // small CI hosts) and check that warm dispatches are counted as
+        // thread reuses even if the host itself has one hart.
+        set_global_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        let before = pool_stats();
+        for _ in 0..4 {
+            (0..64).into_par_iter().for_each(|_| {});
+        }
+        let after = pool_stats();
+        set_global_threads(0);
+        assert!(after.dispatches >= before.dispatches + 4);
+        assert!(
+            after.thread_reuses() > before.thread_reuses(),
+            "warm multi-worker dispatches must register as reuses"
+        );
     }
 
     #[test]
