@@ -76,11 +76,12 @@ const BLESSED_KERNEL_FNS: [&str; 3] = ["dist_value", "dist_value_lanes", "gemm_a
 /// Service and cluster modules on the request path (R4 scope): code a
 /// remote client's request flows through must return typed errors, never
 /// panic.
-const REQUEST_PATH_MODULES: [&str; 7] = [
+const REQUEST_PATH_MODULES: [&str; 8] = [
     "crates/service/src/scheduler.rs",
     "crates/service/src/server.rs",
     "crates/service/src/session.rs",
     "crates/service/src/cache.rs",
+    "crates/core/src/streaming.rs",
     "crates/cluster/src/coordinator.rs",
     "crates/cluster/src/client.rs",
     "crates/cluster/src/lease.rs",
@@ -848,6 +849,7 @@ mod tests {
     fn r4_scope_is_request_path_modules_only() {
         let src = "let g = m.lock().unwrap();\n";
         assert_eq!(run("crates/service/src/scheduler.rs", src).len(), 1);
+        assert_eq!(run("crates/core/src/streaming.rs", src).len(), 1);
         assert_eq!(run("crates/service/src/metrics.rs", src).len(), 0);
     }
 

@@ -95,6 +95,14 @@ fn r4_fires_inside_the_cluster_crate() {
     assert_flags_in("r4-cluster", "R4");
 }
 
+/// PR 8: `streaming.rs` feeds the `stream_append` request path — a panic
+/// there takes down a live session's server thread, so it joins the R4
+/// scope.
+#[test]
+fn r4_fires_inside_the_streaming_module() {
+    assert_flags_in("r4-streaming", "R4");
+}
+
 /// PR 7: blessing `gemm_accumulate` must not open the door to *other*
 /// functions doing their own GEMM-flavoured narrowing — a look-alike
 /// accumulator with raw `as f32` casts is still flagged.

@@ -1,0 +1,5 @@
+// R4 fixture: unwrap on the streaming append path (reachable from the
+// server's stream_append handler).
+pub fn apply_append(samples: &[Vec<f64>]) -> usize {
+    samples.first().unwrap().len()
+}

@@ -29,6 +29,9 @@
 //!               also writes BENCH_PR6.json                       [modelled]
 //!   tc          tensor-core GEMM modes vs the FP64 pipeline,
 //!               also writes BENCH_PR7.json                       [both]
+//!   session_multiplex
+//!               concurrent streaming sessions + incremental
+//!               append cost, also writes BENCH_PR8.json          [measured]
 //!   all         everything above
 //!
 //! --quick shrinks the functional problem sizes (CI-friendly).
@@ -36,7 +39,8 @@
 //! ```
 
 use mdmp_bench::experiments::{
-    accuracy, case_studies, cluster_scaling, driver_scaling, extensions, performance, tc, tradeoff,
+    accuracy, case_studies, cluster_scaling, driver_scaling, extensions, performance,
+    session_multiplex, tc, tradeoff,
 };
 use mdmp_bench::report::{self, ExperimentTable};
 use std::time::Instant;
@@ -98,6 +102,24 @@ fn run(command: &str, quick: bool) -> bool {
             }
             emit_all(vec![table]);
         }
+        "session_multiplex" => {
+            let outcome = session_multiplex::session_multiplex(quick);
+            match session_multiplex::write_bench_json(
+                &outcome,
+                std::path::Path::new("BENCH_PR8.json"),
+            ) {
+                Ok(path) => println!("   -> wrote {}", path.display()),
+                Err(e) => eprintln!("   !! could not write BENCH_PR8.json: {e}"),
+            }
+            println!(
+                "   multiplex: {} sessions on {} threads, {:.0} appends/sec, {:.1}% reuse",
+                outcome.sessions,
+                outcome.threads,
+                outcome.appends_per_sec,
+                100.0 * outcome.reuse_ratio
+            );
+            emit_all(vec![outcome.table]);
+        }
         "all" => {
             for cmd in [
                 "table1",
@@ -122,6 +144,7 @@ fn run(command: &str, quick: bool) -> bool {
                 "scaling",
                 "cluster",
                 "tc",
+                "session_multiplex",
             ] {
                 println!("\n########## repro {cmd} ##########");
                 run(cmd, quick);
@@ -145,7 +168,7 @@ fn main() {
     let commands: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if commands.is_empty() {
         eprintln!(
-            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|tc|all> [--quick]"
+            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|tc|session_multiplex|all> [--quick]"
         );
         std::process::exit(2);
     }

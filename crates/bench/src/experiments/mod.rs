@@ -10,6 +10,7 @@
 //! | [`driver_scaling`] | fused-vs-unfused row pipeline scaling across host workers (BENCH_PR4.json) |
 //! | [`cluster_scaling`] | tile-sharding throughput vs worker node count (BENCH_PR6.json) |
 //! | [`tc`] | simulated tensor-core GEMM modes vs the FP64 pipeline (BENCH_PR7.json) |
+//! | [`session_multiplex`] | concurrent streaming sessions + incremental-vs-recompute append cost (BENCH_PR8.json) |
 
 pub mod accuracy;
 pub mod case_studies;
@@ -17,6 +18,7 @@ pub mod cluster_scaling;
 pub mod driver_scaling;
 pub mod extensions;
 pub mod performance;
+pub mod session_multiplex;
 pub mod tc;
 pub mod tradeoff;
 

@@ -406,6 +406,10 @@ COMMANDS:
             with --reference <csv> [--query <csv>] (server-side paths), or
             synthetic: [--n N] [--d D] [--pattern 0..7] [--noise X] [--seed S]
   status    [--addr HOST:PORT] [--id JOB] [--metrics] [--shutdown | --abort]
+  stream    [--addr HOST:PORT] --reference <csv> [--query <csv>] --m <len>
+            [--mode ..] [--initial N] [--chunk N] — open a streaming
+            session on the query head, append the tail chunk by chunk
+            (incremental delta tiles server-side), then close
   cluster   serve | submit — shard a job's tiles across worker nodes
             (run `mdmp cluster` for the full option list)
   info      list devices and precision modes

@@ -42,6 +42,7 @@ fn main() {
         "serve" => serve::serve(&parsed),
         "submit" => serve::submit(&parsed),
         "status" => serve::status(&parsed),
+        "stream" => serve::stream(&parsed),
         "info" => commands::info(),
         other => Err(format!(
             "unknown command '{other}'\n\n{}",

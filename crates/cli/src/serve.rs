@@ -1,9 +1,12 @@
-//! The `serve`, `submit` and `status` subcommands: run the job service
-//! behind a TCP JSON-lines endpoint and talk to it as a client.
+//! The `serve`, `submit`, `status` and `stream` subcommands: run the job
+//! service behind a TCP JSON-lines endpoint and talk to it as a client.
 
 use crate::args::ParsedArgs;
 use crate::commands::device_spec;
+use mdmp_data::io as data_io;
+use mdmp_data::MultiDimSeries;
 use mdmp_service::{request, serve as serve_tcp, Json, Service, ServiceConfig};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -224,6 +227,118 @@ fn print_job(job: &Json) {
     }
 }
 
+/// A window of a series as the wire form: one array of samples per
+/// dimension.
+fn samples_json(series: &MultiDimSeries, start: usize, len: usize) -> Json {
+    Json::Arr(
+        (0..series.dims())
+            .map(|k| {
+                Json::Arr(
+                    series.dim(k)[start..start + len]
+                        .iter()
+                        .map(|&v| Json::num(v))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// `mdmp stream` — drive a live streaming session against a running
+/// service: open it on the head of the query series, append the rest in
+/// chunks (each an incremental delta-tile append on the server), then
+/// close. Prints the per-append reuse accounting the server reports.
+pub fn stream(args: &ParsedArgs) -> CmdResult {
+    let addr: String = args.get_or("addr", "127.0.0.1:7661".into()).map_err(err)?;
+    let m: usize = args.require("m").map_err(err)?;
+    let mode: String = args.get_or("mode", "fp64".into()).map_err(err)?;
+    let reference_path: String = args.require("reference").map_err(err)?;
+    let query_path: Option<String> = args.get("query").map_err(err)?;
+    // Samples the session opens with; the rest arrive as appends.
+    let initial: usize = args.get_or("initial", 4 * m).map_err(err)?;
+    let chunk: usize = args.get_or("chunk", m).map_err(err)?;
+    args.reject_unknown().map_err(err)?;
+    if chunk == 0 {
+        return Err("--chunk must be positive".into());
+    }
+
+    let reference = data_io::read_csv(Path::new(&reference_path)).map_err(err)?;
+    let query = match &query_path {
+        Some(p) => data_io::read_csv(Path::new(p)).map_err(err)?,
+        None => reference.clone(),
+    };
+    let initial = initial.clamp(m, query.len());
+
+    let response = request(
+        &addr,
+        &Json::obj(vec![
+            ("op", Json::str("stream_open")),
+            ("m", Json::num(m as f64)),
+            ("mode", Json::str(mode)),
+            ("reference", samples_json(&reference, 0, reference.len())),
+            ("query", samples_json(&query, 0, initial)),
+        ]),
+    )
+    .map_err(err)?;
+    check_ok(&response)?;
+    let session = response
+        .get("session")
+        .and_then(|s| s.get("session"))
+        .and_then(Json::as_u64)
+        .ok_or("malformed response: no session id")?;
+    println!(
+        "session {session} open: {} reference segments, {} of {} query samples",
+        reference.len() + 1 - m,
+        initial,
+        query.len()
+    );
+
+    let mut at = initial;
+    while at < query.len() {
+        let len = chunk.min(query.len() - at);
+        let response = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("stream_append")),
+                ("session", Json::num(session as f64)),
+                ("side", Json::str("query")),
+                ("samples", samples_json(&query, at, len)),
+            ]),
+        )
+        .map_err(err)?;
+        check_ok(&response)?;
+        at += len;
+        let field = |k: &str| response.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "  +{len} samples -> {} profile columns ({} segments reused, {} fresh{})",
+            response
+                .get("session")
+                .and_then(|s| s.get("n_query"))
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+            field("reused_segments"),
+            field("fresh_segments"),
+            if response.get("reused_precalc").and_then(Json::as_bool) == Some(true) {
+                ", cached precalc"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let response = request(
+        &addr,
+        &Json::obj(vec![
+            ("op", Json::str("stream_close")),
+            ("session", Json::num(session as f64)),
+        ]),
+    )
+    .map_err(err)?;
+    check_ok(&response)?;
+    println!("session {session} closed");
+    Ok(())
+}
+
 /// `mdmp status` — query a job, the service stats, the metrics page, or
 /// request shutdown.
 pub fn status(args: &ParsedArgs) -> CmdResult {
@@ -366,6 +481,61 @@ mod tests {
         assert!(service.is_shutting_down());
         assert!(server.shutdown_served());
         drop(server);
+    }
+
+    /// `mdmp stream` end to end: serve in-process, stream a CSV in
+    /// chunks, and confirm the session metrics landed.
+    #[test]
+    fn stream_round_trip() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        let server = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let pair = mdmp_data::synthetic::generate_pair(&mdmp_data::synthetic::SyntheticConfig {
+            n_subsequences: 57,
+            dims: 2,
+            m: 8,
+            pattern: mdmp_data::synthetic::Pattern::Sine,
+            embeddings: 1,
+            noise: 0.3,
+            pattern_amplitude: 1.0,
+            seed: 11,
+        });
+        let mut csv = std::env::temp_dir();
+        csv.push(format!("mdmp_cli_stream_{}.csv", std::process::id()));
+        data_io::write_csv(&csv, &pair.query).unwrap();
+
+        stream(&parsed(&[
+            "stream",
+            "--addr",
+            &addr,
+            "--reference",
+            csv.to_str().unwrap(),
+            "--m",
+            "8",
+            "--mode",
+            "fp16",
+            "--initial",
+            "40",
+            "--chunk",
+            "6",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&csv).ok();
+
+        let stats = service.stats();
+        assert_eq!(stats.stream_opens, 1);
+        // 64 samples: 40 initial + 6+6+6+6 appends.
+        assert_eq!(stats.stream_appends, 4);
+        assert_eq!(stats.stream_append_failures, 0);
+        assert_eq!(stats.stream_precalc_reuses, 4);
+        assert_eq!(stats.stream_sessions_open, 0, "session was closed");
+
+        status(&parsed(&["status", "--addr", &addr, "--shutdown"])).unwrap();
     }
 
     #[test]

@@ -60,9 +60,13 @@ pub use config::{MdmpConfig, MdmpError, TileError};
 pub use driver::{run_with_mode, run_with_mode_cached, MdmpRun, PrecalcStore};
 pub use estimate::{estimate_run, RunEstimate};
 pub use multinode::{estimate_cluster, run_on_cluster, ClusterRun};
+pub use precalc::{
+    compute_stats, compute_stats_checkpointed, convert_qt, extend_stats, initial_qt,
+    initial_qt_pooled, SeriesDevice, Stats, StatsCheckpoint,
+};
 pub use profile::MatrixProfile;
 pub use remote::{job_tile_count, run_tile_subset, SubsetTileResult, TileSubsetRun};
-pub use streaming::StreamingProfile;
+pub use streaming::{StreamingProfile, StreamingStats};
 pub use tile_exec::{
     apply_plane_fault, compute_tile_precalc, execute_tile, execute_tile_from_precalc,
     execute_tile_from_precalc_pooled, max_profile_value, validate_profile_plane, PlaneBuffers,

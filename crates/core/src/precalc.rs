@@ -104,6 +104,16 @@ impl<T: Real> RunningSum<T> {
         }
     }
 
+    /// Rebuild a sum from a checkpointed `(value, compensation)` pair;
+    /// continuing the fold reproduces the original bit sequence exactly.
+    fn resume(value: T, compensation: T, kahan: bool) -> RunningSum<T> {
+        if kahan {
+            RunningSum::Kahan(KahanSum::from_parts(value, compensation))
+        } else {
+            RunningSum::Plain(value)
+        }
+    }
+
     #[inline]
     fn add(&mut self, x: T) {
         match self {
@@ -119,12 +129,47 @@ impl<T: Real> RunningSum<T> {
             RunningSum::Kahan(k) => k.value(),
         }
     }
+
+    #[inline]
+    fn parts(&self) -> (T, T) {
+        match self {
+            RunningSum::Plain(s) => (*s, T::zero()),
+            RunningSum::Kahan(k) => (k.value(), k.compensation()),
+        }
+    }
+}
+
+/// The exact f64 image of one side's running-sum accumulators after the
+/// last emitted segment — the resume point for [`extend_stats`].
+///
+/// Every supported precision embeds in f64 without rounding, so storing the
+/// accumulators widened and narrowing them back on resume is the identity;
+/// the extension therefore continues the *same* fold [`compute_stats`]
+/// performs, making incremental statistics bit-identical to a recompute
+/// over the grown window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsCheckpoint {
+    /// Per-dimension `[Σx, Σx compensation, Σx², Σx² compensation]`
+    /// (compensations are zero for plain accumulation).
+    pub sums: Vec<[f64; 4]>,
+    /// Whether the accumulators are Kahan-compensated.
+    pub kahan: bool,
 }
 
 /// Compute the rolling statistics of every dimension in precision `T`.
 ///
 /// `kahan = true` selects the compensated-summation variant (FP16C mode).
 pub fn compute_stats<T: Real>(dev: &SeriesDevice<T>, m: usize, kahan: bool) -> Stats<T> {
+    compute_stats_checkpointed(dev, m, kahan).0
+}
+
+/// [`compute_stats`] plus the final accumulator state, so the fold can be
+/// resumed later by [`extend_stats`] without reprocessing the window.
+pub fn compute_stats_checkpointed<T: Real>(
+    dev: &SeriesDevice<T>,
+    m: usize,
+    kahan: bool,
+) -> (Stats<T>, StatsCheckpoint) {
     assert!(m >= 2, "segment length must be at least 2");
     let n = dev.n_segments(m);
     let d = dev.d;
@@ -134,6 +179,10 @@ pub fn compute_stats<T: Real>(dev: &SeriesDevice<T>, m: usize, kahan: bool) -> S
     let mut df = vec![T::zero(); d * n];
     let mut dg = vec![T::zero(); d * n];
     let half = T::from_f64(0.5);
+    let mut ckpt = StatsCheckpoint {
+        sums: Vec::with_capacity(d),
+        kahan,
+    };
 
     for k in 0..d {
         let x = dev.dim(k);
@@ -168,15 +217,110 @@ pub fn compute_stats<T: Real>(dev: &SeriesDevice<T>, m: usize, kahan: bool) -> S
                 dg_k[i] = (x[i + m - 1] - mu_k[i]) + (x[i - 1] - mu_k[i - 1]);
             }
         }
+        let (sv, sc) = sum.parts();
+        let (qv, qc) = sumsq.parts();
+        ckpt.sums
+            .push([sv.to_f64(), sc.to_f64(), qv.to_f64(), qc.to_f64()]);
     }
-    Stats {
-        n,
+    (
+        Stats {
+            n,
+            d,
+            mu,
+            inv,
+            df,
+            dg,
+        },
+        ckpt,
+    )
+}
+
+/// Extend side statistics forward over appended samples — O(new) instead of
+/// O(n) — **bit-identically** to recomputing from scratch over the grown
+/// window.
+///
+/// `prior`/`ckpt` describe segments `0..n₀` of `series[..old_len]` as
+/// captured by [`compute_stats_checkpointed`] in precision `T` and widened
+/// exactly to f64. The extension re-reads only the last `m − 1` old samples
+/// (the boundary band every spanning segment needs) plus the appended
+/// suffix, narrows the checkpointed accumulators back to `T` (exact, since
+/// each f64 is the image of a `T` value), and continues the identical
+/// left-to-right fold of [`compute_stats`]. A from-scratch recompute
+/// performs exactly the same operation sequence — its first `n₀` segments
+/// are the already-emitted prefix — so the appended segments carry the same
+/// bits either way.
+pub fn extend_stats<T: Real>(
+    series: &MultiDimSeries,
+    old_len: usize,
+    m: usize,
+    prior: &Stats<f64>,
+    ckpt: &StatsCheckpoint,
+) -> (Stats<f64>, StatsCheckpoint) {
+    let new_len = series.len();
+    assert!(m >= 2, "segment length must be at least 2");
+    assert!(old_len >= m, "checkpoint must cover at least one segment");
+    assert!(new_len > old_len, "nothing to extend");
+    let n0 = prior.n;
+    assert_eq!(n0, old_len - m + 1, "checkpoint does not match old length");
+    assert_eq!(prior.d, series.dims(), "dimensionality mismatch");
+    assert_eq!(ckpt.sums.len(), prior.d, "checkpoint dimensionality");
+    let n1 = new_len - m + 1;
+    let add = n1 - n0;
+    // Local window: the checkpointed segment's first sample onward — the
+    // m − 1 boundary samples plus the appended suffix.
+    let base = n0 - 1;
+    let dev = SeriesDevice::<T>::load(series, base, new_len - base);
+    let d = prior.d;
+    let m_inv = T::one() / T::from_usize(m);
+    let half = T::from_f64(0.5);
+    let kahan = ckpt.kahan;
+
+    let mut out = Stats {
+        n: n1,
         d,
-        mu,
-        inv,
-        df,
-        dg,
+        mu: Vec::with_capacity(d * n1),
+        inv: Vec::with_capacity(d * n1),
+        df: Vec::with_capacity(d * n1),
+        dg: Vec::with_capacity(d * n1),
+    };
+    let mut next = StatsCheckpoint {
+        sums: Vec::with_capacity(d),
+        kahan,
+    };
+
+    for k in 0..d {
+        out.mu.extend_from_slice(&prior.mu[k * n0..(k + 1) * n0]);
+        out.inv.extend_from_slice(&prior.inv[k * n0..(k + 1) * n0]);
+        out.df.extend_from_slice(&prior.df[k * n0..(k + 1) * n0]);
+        out.dg.extend_from_slice(&prior.dg[k * n0..(k + 1) * n0]);
+
+        let x = dev.dim(k);
+        let [sv, sc, qv, qc] = ckpt.sums[k];
+        let mut sum = RunningSum::resume(T::from_f64(sv), T::from_f64(sc), kahan);
+        let mut sumsq = RunningSum::resume(T::from_f64(qv), T::from_f64(qc), kahan);
+        let mut mu_prev = T::from_f64(prior.mu[k * n0 + (n0 - 1)]);
+        for j in 1..=add {
+            let enter = x[j + m - 1];
+            let leave = x[j - 1];
+            sum.add(enter);
+            sum.add(-leave);
+            sumsq.add(enter * enter);
+            sumsq.add(-(leave * leave));
+            let s = sum.value();
+            let mui = s * m_inv;
+            let ss = sumsq.value() - s * mui;
+            out.mu.push(mui.to_f64());
+            out.inv.push((T::one() / ss.sqrt()).to_f64());
+            out.df.push((half * (enter - leave)).to_f64());
+            out.dg.push(((enter - mui) + (leave - mu_prev)).to_f64());
+            mu_prev = mui;
+        }
+        let (sv, sc) = sum.parts();
+        let (qv, qc) = sumsq.parts();
+        next.sums
+            .push([sv.to_f64(), sc.to_f64(), qv.to_f64(), qc.to_f64()]);
     }
+    (out, next)
 }
 
 /// Mean-centered dot product of the segment at `a_start` in `a` and the
@@ -230,6 +374,81 @@ pub fn initial_qt<T: Real>(
             *slot = centered_dot(rx, i, mu_r[i], qx, 0, mu_q[0], m, kahan);
         }
     }
+    (row0, col0)
+}
+
+/// [`initial_qt`] with the dot products split across `workers` host
+/// threads.
+///
+/// Each output element is an independent mean-centered dot product, so the
+/// partition changes nothing about the arithmetic — the result is
+/// bit-identical to the sequential computation for any worker count. This
+/// is the worker-pool route for large streaming delta tiles, whose O(n·m·d)
+/// initial column dominates an append's precalculation.
+#[allow(clippy::too_many_arguments)]
+pub fn initial_qt_pooled<T: Real>(
+    refd: &SeriesDevice<T>,
+    rstats: &Stats<T>,
+    qd: &SeriesDevice<T>,
+    qstats: &Stats<T>,
+    m: usize,
+    kahan: bool,
+    workers: usize,
+) -> (Vec<T>, Vec<T>) {
+    if workers <= 1 {
+        return initial_qt(refd, rstats, qd, qstats, m, kahan);
+    }
+    let n_r = rstats.n;
+    let n_q = qstats.n;
+    let d = refd.d;
+    assert_eq!(qd.d, d, "dimensionality mismatch");
+    let mut row0 = vec![T::zero(); d * n_q];
+    let mut col0 = vec![T::zero(); d * n_r];
+    // One flat index space over both planes: [0, d·n_q) is row0,
+    // [d·n_q, d·n_q + d·n_r) is col0. Contiguous chunks keep each worker's
+    // writes disjoint.
+    let total = d * n_q + d * n_r;
+    let chunk = total.div_ceil(workers);
+    let fill = |flat: usize, slot: &mut T| {
+        if flat < d * n_q {
+            let (k, j) = (flat / n_q, flat % n_q);
+            let mu_r = rstats.mu[k * n_r];
+            let mu_q = qstats.mu[k * n_q + j];
+            *slot = centered_dot(refd.dim(k), 0, mu_r, qd.dim(k), j, mu_q, m, kahan);
+        } else {
+            let local = flat - d * n_q;
+            let (k, i) = (local / n_r, local % n_r);
+            let mu_r = rstats.mu[k * n_r + i];
+            let mu_q = qstats.mu[k * n_q];
+            *slot = centered_dot(refd.dim(k), i, mu_r, qd.dim(k), 0, mu_q, m, kahan);
+        }
+    };
+    std::thread::scope(|scope| {
+        let mut rest_row: &mut [T] = &mut row0;
+        let mut rest_col: &mut [T] = &mut col0;
+        let mut offset = 0usize;
+        while offset < total {
+            let take = chunk.min(total - offset);
+            // Carve this worker's span out of whichever plane(s) it covers.
+            let row_take = take.min(rest_row.len());
+            let (row_span, row_tail) = rest_row.split_at_mut(row_take);
+            rest_row = row_tail;
+            let col_take = take - row_take;
+            let (col_span, col_tail) = rest_col.split_at_mut(col_take);
+            rest_col = col_tail;
+            let start = offset;
+            let fill = &fill;
+            scope.spawn(move || {
+                for (off, slot) in row_span.iter_mut().enumerate() {
+                    fill(start + off, slot);
+                }
+                for (off, slot) in col_span.iter_mut().enumerate() {
+                    fill(start + row_take + off, slot);
+                }
+            });
+            offset += take;
+        }
+    });
     (row0, col0)
 }
 
@@ -384,6 +603,89 @@ mod tests {
         for i in 0..stats16.n {
             let expected = Half::from_f64(stats32.mu[i] as f64).to_f64();
             assert_eq!(stats16.mu[i].to_f64(), expected);
+        }
+    }
+
+    fn assert_stats_bits_equal(a: &Stats<f64>, b: &Stats<f64>, what: &str) {
+        assert_eq!(a.n, b.n, "{what}: segment count");
+        assert_eq!(a.d, b.d, "{what}: dims");
+        for (name, xs, ys) in [
+            ("mu", &a.mu, &b.mu),
+            ("inv", &a.inv, &b.inv),
+            ("df", &a.df, &b.df),
+            ("dg", &a.dg, &b.dg),
+        ] {
+            for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what}: {name}[{i}] {x} vs {y}");
+            }
+        }
+    }
+
+    fn extend_matches_scratch<T: Real>(kahan: bool) {
+        let series = test_series(2, 300);
+        let m = 16;
+        let old_len = 220;
+        let head = series.window(0, old_len);
+        let dev_head = SeriesDevice::<T>::load(&head, 0, old_len);
+        let (stats_head, ckpt) = compute_stats_checkpointed(&dev_head, m, kahan);
+        let (extended, next_ckpt) =
+            extend_stats::<T>(&series, old_len, m, &stats_head.convert(), &ckpt);
+        let dev_full = SeriesDevice::<T>::load(&series, 0, 300);
+        let (scratch, scratch_ckpt) = compute_stats_checkpointed(&dev_full, m, kahan);
+        assert_stats_bits_equal(
+            &extended,
+            &scratch.convert(),
+            &format!("{} kahan={kahan}", T::NAME),
+        );
+        assert_eq!(next_ckpt, scratch_ckpt, "{} kahan={kahan}", T::NAME);
+    }
+
+    #[test]
+    fn extend_stats_is_bit_identical_to_scratch_in_every_precision() {
+        extend_matches_scratch::<f64>(false);
+        extend_matches_scratch::<f32>(false);
+        extend_matches_scratch::<Half>(false);
+        extend_matches_scratch::<Half>(true);
+        extend_matches_scratch::<mdmp_precision::Bf16>(false);
+        extend_matches_scratch::<mdmp_precision::Tf32>(false);
+    }
+
+    #[test]
+    fn extend_stats_single_sample_appends_chain() {
+        // Append one sample at a time; the chained extensions must land on
+        // the same bits as one big recompute.
+        let series = test_series(1, 96);
+        let m = 8;
+        let mut len = 64;
+        let dev = SeriesDevice::<Half>::load(&series.window(0, len), 0, len);
+        let (stats, mut ckpt) = compute_stats_checkpointed(&dev, m, true);
+        let mut stats: Stats<f64> = stats.convert();
+        while len < 96 {
+            len += 1;
+            let grown = series.window(0, len);
+            let (s, c) = extend_stats::<Half>(&grown, len - 1, m, &stats, &ckpt);
+            stats = s;
+            ckpt = c;
+        }
+        let dev_full = SeriesDevice::<Half>::load(&series, 0, 96);
+        let scratch: Stats<f64> = compute_stats(&dev_full, m, true).convert();
+        assert_stats_bits_equal(&stats, &scratch, "chained single-sample appends");
+    }
+
+    #[test]
+    fn pooled_initial_qt_matches_sequential_for_any_worker_count() {
+        let series_r = test_series(3, 140);
+        let series_q = test_series(3, 90);
+        let m = 12;
+        let rd = SeriesDevice::<f32>::load(&series_r, 0, 140);
+        let qd = SeriesDevice::<f32>::load(&series_q, 0, 90);
+        let rs = compute_stats(&rd, m, false);
+        let qs = compute_stats(&qd, m, false);
+        let (row_seq, col_seq) = initial_qt(&rd, &rs, &qd, &qs, m, false);
+        for workers in [2, 3, 7, 64] {
+            let (row_p, col_p) = initial_qt_pooled(&rd, &rs, &qd, &qs, m, false, workers);
+            assert_eq!(row_p, row_seq, "row0 with {workers} workers");
+            assert_eq!(col_p, col_seq, "col0 with {workers} workers");
         }
     }
 

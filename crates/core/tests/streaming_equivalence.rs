@@ -1,0 +1,196 @@
+//! PR 8 headline property suite: **streamed ≡ batch, bit for bit.**
+//!
+//! Two properties, each over random series, random append chunkings
+//! (query / reference / interleaved, including chunks smaller than `m`),
+//! and every precision mode including the tensor-core ones:
+//!
+//! 1. a streamed profile is bit-identical to a batch run tiled by the
+//!    arrival pattern — replaying the session's tile log over the final
+//!    series and min-merging in arrival order reproduces the streamed
+//!    plane exactly;
+//! 2. incremental appends (cached side statistics extended by the
+//!    checkpointed fold) are bit-identical to recompute-from-scratch
+//!    appends, and actually reuse cached segments while doing so.
+
+use mdmp_core::{MatrixProfile, MdmpConfig, StreamingProfile};
+use mdmp_data::synthetic::{generate_pair, Pattern, SyntheticConfig};
+use mdmp_data::MultiDimSeries;
+use mdmp_precision::PrecisionMode;
+use proptest::prelude::*;
+
+/// Every mode the engine supports — the tensor-core trio included.
+const MODES: [&str; 12] = [
+    "fp64", "fp32", "fp16", "mixed", "fp16c", "bf16", "tf32", "fp8-e4m3", "fp8-e5m2", "fp16-tc",
+    "bf16-tc", "tf32-tc",
+];
+
+/// Segment length; append chunks are drawn from 1..2m, so both sub-`m`
+/// and super-`m` chunks occur.
+const M: usize = 10;
+
+fn full_pair(seed: u64) -> (MultiDimSeries, MultiDimSeries) {
+    let pair = generate_pair(&SyntheticConfig {
+        n_subsequences: 130,
+        dims: 2,
+        m: M,
+        pattern: Pattern::Sine,
+        embeddings: 2,
+        noise: 0.3,
+        pattern_amplitude: 1.0,
+        seed,
+    });
+    (pair.reference, pair.query)
+}
+
+fn chunk(series: &MultiDimSeries, start: usize, len: usize) -> Vec<Vec<f64>> {
+    (0..series.dims())
+        .map(|k| series.dim(k)[start..start + len].to_vec())
+        .collect()
+}
+
+/// An arrival plan applied identically to every profile under test: each
+/// step appends `len` samples (clipped to the remaining tail) to one side.
+#[derive(Debug, Clone)]
+struct Plan {
+    head_r: usize,
+    head_q: usize,
+    steps: Vec<(bool, usize)>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (
+        M..3 * M,
+        M..3 * M,
+        proptest::collection::vec((any::<bool>(), 1usize..2 * M), 1..6),
+    )
+        .prop_map(|(hr, hq, steps)| Plan {
+            head_r: hr,
+            head_q: hq,
+            steps,
+        })
+}
+
+/// Run the plan against one profile; returns the final (consumed) series
+/// lengths so the replay knows the ground truth.
+fn apply_plan(
+    sp: &mut StreamingProfile,
+    plan: &Plan,
+    full_r: &MultiDimSeries,
+    full_q: &MultiDimSeries,
+) -> Result<(usize, usize), TestCaseError> {
+    let mut cur_r = plan.head_r;
+    let mut cur_q = plan.head_q;
+    for &(to_query, len) in &plan.steps {
+        if to_query {
+            let len = len.min(full_q.len() - cur_q);
+            if len == 0 {
+                continue;
+            }
+            sp.append_query(&chunk(full_q, cur_q, len))
+                .map_err(|e| TestCaseError::fail(format!("append_query: {e}")))?;
+            cur_q += len;
+        } else {
+            let len = len.min(full_r.len() - cur_r);
+            if len == 0 {
+                continue;
+            }
+            sp.append_reference(&chunk(full_r, cur_r, len))
+                .map_err(|e| TestCaseError::fail(format!("append_reference: {e}")))?;
+            cur_r += len;
+        }
+    }
+    Ok((cur_r, cur_q))
+}
+
+fn assert_bits(a: &MatrixProfile, b: &MatrixProfile, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.n_query(), b.n_query(), "{}: shape", what);
+    prop_assert_eq!(a.dims(), b.dims(), "{}: dims", what);
+    for k in 0..b.dims() {
+        for j in 0..b.n_query() {
+            prop_assert_eq!(
+                a.value(j, k).to_bits(),
+                b.value(j, k).to_bits(),
+                "{}: value bits differ at dim {} column {} ({} vs {})",
+                what,
+                k,
+                j,
+                a.value(j, k),
+                b.value(j, k)
+            );
+            prop_assert_eq!(
+                a.index(j, k),
+                b.index(j, k),
+                "{}: index at {} {}",
+                what,
+                k,
+                j
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streamed profile ≡ batch run with arrival-pattern tiling, bit for
+    /// bit, in every precision mode.
+    #[test]
+    fn streamed_equals_arrival_tiling_batch_replay(
+        mode_ix in 0usize..MODES.len(),
+        seed in any::<u64>(),
+        plan in plan_strategy(),
+    ) {
+        let mode = MODES[mode_ix].parse::<PrecisionMode>().expect("mode");
+        let cfg = MdmpConfig::new(M, mode);
+        let (full_r, full_q) = full_pair(seed);
+        let mut sp = StreamingProfile::new(
+            full_r.window(0, plan.head_r),
+            full_q.window(0, plan.head_q),
+            cfg.clone(),
+        )
+        .map_err(|e| TestCaseError::fail(format!("open: {e}")))?;
+        let (end_r, end_q) = apply_plan(&mut sp, &plan, &full_r, &full_q)?;
+
+        // Batch equivalent: the same tiles, computed from scratch over the
+        // final series, min-merged in arrival order.
+        let final_r = full_r.window(0, end_r);
+        let final_q = full_q.window(0, end_q);
+        let mut replayed = MatrixProfile::new_unset(end_q - M + 1, full_q.dims());
+        for tile in sp.arrival_tiles() {
+            let part = StreamingProfile::replay_tile(&final_r, &final_q, tile, &cfg);
+            replayed.merge_min_columns(&part, tile.col0);
+        }
+        assert_bits(sp.profile(), &replayed, MODES[mode_ix])?;
+    }
+
+    /// Incremental-statistics appends ≡ recompute-from-scratch appends,
+    /// bit for bit, in every precision mode — and the incremental session
+    /// really does serve segments from its caches.
+    #[test]
+    fn incremental_appends_equal_scratch_appends(
+        mode_ix in 0usize..MODES.len(),
+        seed in any::<u64>(),
+        plan in plan_strategy(),
+    ) {
+        let mode = MODES[mode_ix].parse::<PrecisionMode>().expect("mode");
+        let cfg = MdmpConfig::new(M, mode);
+        let (full_r, full_q) = full_pair(seed);
+        let head_r = full_r.window(0, plan.head_r);
+        let head_q = full_q.window(0, plan.head_q);
+        let mut inc = StreamingProfile::new(head_r.clone(), head_q.clone(), cfg.clone())
+            .map_err(|e| TestCaseError::fail(format!("open inc: {e}")))?;
+        let mut scr = StreamingProfile::new_scratch(head_r, head_q, cfg)
+            .map_err(|e| TestCaseError::fail(format!("open scratch: {e}")))?;
+        let inc_ends = apply_plan(&mut inc, &plan, &full_r, &full_q)?;
+        let scr_ends = apply_plan(&mut scr, &plan, &full_r, &full_q)?;
+        prop_assert_eq!(inc_ends, scr_ends);
+        assert_bits(inc.profile(), scr.profile(), MODES[mode_ix])?;
+        if inc.stats().appends > 0 {
+            prop_assert_eq!(inc.stats().appends, inc.stats().incremental_appends);
+            prop_assert!(inc.stats().segments_reused > 0, "caches never used");
+        }
+        prop_assert_eq!(scr.stats().segments_reused, 0);
+        prop_assert_eq!(scr.stats().segments_extended, 0);
+    }
+}

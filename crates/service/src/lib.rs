@@ -46,4 +46,4 @@ pub use proto::Json;
 pub use queue::{JobQueue, SubmitError};
 pub use scheduler::{Service, ServiceConfig};
 pub use server::{decode_plane_hex, encode_plane_hex, parse_job_spec, request, serve, Server};
-pub use session::{AppendSide, SessionId, SessionManager, SessionSummary};
+pub use session::{AppendReport, AppendSide, SessionId, SessionManager, SessionSummary};

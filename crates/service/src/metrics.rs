@@ -237,6 +237,25 @@ pub struct MetricsRegistry {
     pub tiles_served: Counter,
     /// `tile_exec` requests that failed (bad spec or exhausted retries).
     pub tile_exec_failures: Counter,
+    /// Streaming sessions opened.
+    pub stream_opens: Counter,
+    /// Streaming appends applied.
+    pub stream_appends: Counter,
+    /// Streaming appends rejected (bad shape, unknown session, or tile
+    /// failure).
+    pub stream_append_failures: Counter,
+    /// Appends that reused a cached per-session precalculation unit.
+    pub stream_precalc_reuses: Counter,
+    /// Statistics segments served from session side caches instead of
+    /// recomputed.
+    pub stream_segments_reused: Counter,
+    /// Statistics segments computed fresh for append delta windows.
+    pub stream_segments_fresh: Counter,
+    /// Streaming sessions open right now.
+    pub stream_sessions_open: Gauge,
+    /// Wall time per streaming append — its mean is the amortized append
+    /// cost.
+    pub stream_append_seconds: Histogram,
     /// Queue wait (submit → start) per job.
     pub queue_wait: Histogram,
     /// Execution time (start → finish) per job.
@@ -293,7 +312,7 @@ impl MetricsRegistry {
     /// Render the Prometheus-style text exposition page.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 21] = [
+        let counters: [(&str, &Counter); 27] = [
             ("mdmp_jobs_submitted_total", &self.jobs_submitted),
             ("mdmp_jobs_rejected_total", &self.jobs_rejected),
             ("mdmp_jobs_completed_total", &self.jobs_completed),
@@ -327,11 +346,29 @@ impl MetricsRegistry {
             ("mdmp_tile_exec_requests_total", &self.tile_exec_requests),
             ("mdmp_tiles_served_total", &self.tiles_served),
             ("mdmp_tile_exec_failures_total", &self.tile_exec_failures),
+            ("mdmp_stream_opens_total", &self.stream_opens),
+            ("mdmp_stream_appends_total", &self.stream_appends),
+            (
+                "mdmp_stream_append_failures_total",
+                &self.stream_append_failures,
+            ),
+            (
+                "mdmp_stream_precalc_reuses_total",
+                &self.stream_precalc_reuses,
+            ),
+            (
+                "mdmp_stream_segments_reused_total",
+                &self.stream_segments_reused,
+            ),
+            (
+                "mdmp_stream_segments_fresh_total",
+                &self.stream_segments_fresh,
+            ),
         ];
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
-        let gauges: [(&str, &Gauge); 7] = [
+        let gauges: [(&str, &Gauge); 8] = [
             ("mdmp_queue_depth", &self.queue_depth),
             ("mdmp_jobs_running", &self.jobs_running),
             ("mdmp_devices_leased", &self.devices_leased),
@@ -339,6 +376,7 @@ impl MetricsRegistry {
             ("mdmp_host_workers", &self.host_workers),
             ("mdmp_fused_rows_enabled", &self.fused_rows_enabled),
             ("mdmp_tc_chunk_k", &self.tc_chunk_k),
+            ("mdmp_stream_sessions_open", &self.stream_sessions_open),
         ];
         for (name, g) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
@@ -352,6 +390,8 @@ impl MetricsRegistry {
         self.queue_wait
             .render(&mut out, "mdmp_job_queue_wait_seconds");
         self.run_seconds.render(&mut out, "mdmp_job_run_seconds");
+        self.stream_append_seconds
+            .render(&mut out, "mdmp_stream_append_seconds");
         out.push_str("# TYPE mdmp_kernel_seconds_total counter\n");
         for (label, seconds) in self.kernel_seconds() {
             out.push_str(&format!(
@@ -393,6 +433,14 @@ impl MetricsRegistry {
             tile_exec_requests: self.tile_exec_requests.get(),
             tiles_served: self.tiles_served.get(),
             tile_exec_failures: self.tile_exec_failures.get(),
+            stream_opens: self.stream_opens.get(),
+            stream_appends: self.stream_appends.get(),
+            stream_append_failures: self.stream_append_failures.get(),
+            stream_precalc_reuses: self.stream_precalc_reuses.get(),
+            stream_segments_reused: self.stream_segments_reused.get(),
+            stream_segments_fresh: self.stream_segments_fresh.get(),
+            stream_sessions_open: self.stream_sessions_open.get().max(0) as u64,
+            mean_stream_append_seconds: self.stream_append_seconds.mean(),
             worker_busy_seconds: self.worker_busy_seconds(),
             mean_queue_wait_seconds: self.queue_wait.mean(),
             mean_run_seconds: self.run_seconds.mean(),
@@ -468,6 +516,22 @@ pub struct ServiceStats {
     pub tiles_served: u64,
     /// `tile_exec` requests that failed.
     pub tile_exec_failures: u64,
+    /// Streaming sessions opened.
+    pub stream_opens: u64,
+    /// Streaming appends applied.
+    pub stream_appends: u64,
+    /// Streaming appends rejected.
+    pub stream_append_failures: u64,
+    /// Appends that reused a cached per-session precalculation unit.
+    pub stream_precalc_reuses: u64,
+    /// Statistics segments served from session side caches.
+    pub stream_segments_reused: u64,
+    /// Statistics segments computed fresh for append delta windows.
+    pub stream_segments_fresh: u64,
+    /// Streaming sessions open right now.
+    pub stream_sessions_open: u64,
+    /// Mean streaming append wall time — the amortized append cost.
+    pub mean_stream_append_seconds: f64,
     /// Busy seconds accumulated per host-worker slot.
     pub worker_busy_seconds: Vec<f64>,
     /// Mean queue wait in seconds.
@@ -520,12 +584,22 @@ mod tests {
         m.cache_hits.add(2);
         m.cache_misses.add(2);
         m.queue_depth.set(1);
+        m.stream_opens.inc();
+        m.stream_appends.add(4);
+        m.stream_sessions_open.set(2);
+        m.stream_append_seconds.observe(0.02);
         let stats = m.stats();
         assert_eq!(stats.jobs_submitted, 3);
         assert_eq!(stats.precalc_cache_hit_rate, 0.5);
+        assert_eq!(stats.stream_appends, 4);
+        assert_eq!(stats.stream_sessions_open, 2);
+        assert!(stats.mean_stream_append_seconds > 0.0);
         let text = m.render_text();
         assert!(text.contains("mdmp_jobs_submitted_total 3"));
         assert!(text.contains("mdmp_jobs_rejected_total 1"));
         assert!(text.contains("mdmp_queue_depth 1"));
+        assert!(text.contains("mdmp_stream_appends_total 4"));
+        assert!(text.contains("mdmp_stream_sessions_open 2"));
+        assert!(text.contains("mdmp_stream_append_seconds_count 1"));
     }
 }

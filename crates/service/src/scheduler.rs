@@ -264,6 +264,61 @@ impl Service {
         fired
     }
 
+    /// Open a streaming session and account for it in the streaming
+    /// metrics.
+    pub fn stream_open(
+        &self,
+        reference: mdmp_data::MultiDimSeries,
+        query: mdmp_data::MultiDimSeries,
+        cfg: mdmp_core::MdmpConfig,
+    ) -> Result<crate::session::SessionSummary, String> {
+        let summary = self.sessions.open(reference, query, cfg)?;
+        self.metrics.stream_opens.inc();
+        self.metrics
+            .stream_sessions_open
+            .set(self.sessions.len() as i64);
+        Ok(summary)
+    }
+
+    /// Append to a streaming session, folding the append's reuse accounting
+    /// into the streaming metrics.
+    pub fn stream_append(
+        &self,
+        id: crate::session::SessionId,
+        side: crate::session::AppendSide,
+        samples: &[Vec<f64>],
+    ) -> Result<crate::session::AppendReport, String> {
+        match self.sessions.append(id, side, samples) {
+            Ok(report) => {
+                self.metrics.stream_appends.inc();
+                self.metrics.stream_append_seconds.observe(report.seconds);
+                if report.reused_precalc {
+                    self.metrics.stream_precalc_reuses.inc();
+                }
+                self.metrics
+                    .stream_segments_reused
+                    .add(report.reused_segments);
+                self.metrics
+                    .stream_segments_fresh
+                    .add(report.fresh_segments);
+                Ok(report)
+            }
+            Err(e) => {
+                self.metrics.stream_append_failures.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Close a streaming session, keeping the open-sessions gauge in step.
+    pub fn stream_close(&self, id: crate::session::SessionId) -> bool {
+        let existed = self.sessions.close(id);
+        self.metrics
+            .stream_sessions_open
+            .set(self.sessions.len() as i64);
+        existed
+    }
+
     /// A metrics snapshot.
     pub fn stats(&self) -> crate::metrics::ServiceStats {
         self.sync_cache_metrics();

@@ -252,7 +252,7 @@ fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Reply {
         },
         "stream_close" => match request.get("session").and_then(Json::as_u64) {
             None => error_response("missing numeric 'session'"),
-            Some(id) => ok_response(vec![("closed", Json::Bool(service.sessions.close(id)))]),
+            Some(id) => ok_response(vec![("closed", Json::Bool(service.stream_close(id)))]),
         },
         "tile_exec" => tile_exec(service, request),
         "shutdown" => {
@@ -457,6 +457,32 @@ fn stats_json(service: &Service) -> Json {
             "connection_drops_injected",
             Json::num(s.connection_drops_injected as f64),
         ),
+        ("stream_opens", Json::num(s.stream_opens as f64)),
+        ("stream_appends", Json::num(s.stream_appends as f64)),
+        (
+            "stream_append_failures",
+            Json::num(s.stream_append_failures as f64),
+        ),
+        (
+            "stream_precalc_reuses",
+            Json::num(s.stream_precalc_reuses as f64),
+        ),
+        (
+            "stream_segments_reused",
+            Json::num(s.stream_segments_reused as f64),
+        ),
+        (
+            "stream_segments_fresh",
+            Json::num(s.stream_segments_fresh as f64),
+        ),
+        (
+            "stream_sessions_open",
+            Json::num(s.stream_sessions_open as f64),
+        ),
+        (
+            "mean_stream_append_seconds",
+            Json::num(s.mean_stream_append_seconds),
+        ),
         (
             "worker_busy_seconds",
             Json::Arr(
@@ -602,6 +628,19 @@ fn summary_json(summary: &SessionSummary) -> Json {
 }
 
 fn parse_series(value: &Json) -> Result<MultiDimSeries, String> {
+    let out = parse_samples(value)?;
+    // `from_dims` asserts equal lengths; a ragged wire payload must be a
+    // typed error, not a dropped connection.
+    let len = out[0].len();
+    if out.iter().any(|d| d.len() != len) {
+        return Err("all dimensions must have the same length".into());
+    }
+    Ok(MultiDimSeries::from_dims(out))
+}
+
+/// Parse per-dimension sample slices without requiring equal lengths — the
+/// session layer reports shape mismatches as typed errors.
+fn parse_samples(value: &Json) -> Result<Vec<Vec<f64>>, String> {
     let dims = value.as_arr().ok_or("series must be an array of arrays")?;
     if dims.is_empty() {
         return Err("series needs at least one dimension".into());
@@ -615,11 +654,7 @@ fn parse_series(value: &Json) -> Result<MultiDimSeries, String> {
         }
         out.push(xs);
     }
-    Ok(MultiDimSeries::from_dims(out))
-}
-
-fn parse_samples(value: &Json) -> Result<Vec<Vec<f64>>, String> {
-    parse_series(value).map(|s| (0..s.dims()).map(|k| s.dim(k).to_vec()).collect())
+    Ok(out)
 }
 
 fn stream_open(service: &Service, request: &Json) -> Json {
@@ -644,10 +679,7 @@ fn stream_open(service: &Service, request: &Json) -> Json {
         Some(Err(e)) => return error_response(&format!("query: {e}")),
         None => reference.clone(),
     };
-    match service
-        .sessions
-        .open(reference, query, MdmpConfig::new(m, mode))
-    {
+    match service.stream_open(reference, query, MdmpConfig::new(m, mode)) {
         Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
         Err(e) => error_response(&e),
     }
@@ -669,8 +701,13 @@ fn stream_append(service: &Service, request: &Json) -> Json {
         Some(Err(e)) => return error_response(&format!("samples: {e}")),
         None => return error_response("missing 'samples'"),
     };
-    match service.sessions.append(id, side, &samples) {
-        Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
+    match service.stream_append(id, side, &samples) {
+        Ok(report) => ok_response(vec![
+            ("session", summary_json(&report.summary)),
+            ("reused_precalc", Json::Bool(report.reused_precalc)),
+            ("reused_segments", Json::num(report.reused_segments as f64)),
+            ("fresh_segments", Json::num(report.fresh_segments as f64)),
+        ]),
         Err(e) => error_response(&e),
     }
 }
@@ -803,6 +840,11 @@ mod tests {
             .as_u64()
             .unwrap();
         assert_eq!(n_query, (48 - 8 + 1) + 16);
+        assert_eq!(
+            appended.get("reused_precalc"),
+            Some(&Json::Bool(true)),
+            "{appended}"
+        );
 
         let closed = request(
             &addr,
@@ -914,6 +956,136 @@ mod tests {
         .unwrap();
         assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(service.stats().tile_exec_failures, 1);
+
+        server.stop();
+        service.shutdown(true);
+    }
+
+    #[test]
+    fn stream_append_malformed_payloads_get_typed_errors() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            devices: 1,
+            ..ServiceConfig::default()
+        });
+        let mut server = serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+
+        let dim =
+            |off: usize, n: usize| Json::Arr(wave(off, n).into_iter().map(Json::num).collect());
+
+        // Ragged open payload: typed error, connection stays alive.
+        let r = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(8.0)),
+                ("reference", Json::Arr(vec![dim(0, 64), dim(3, 63)])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert!(
+            r.get("error").unwrap().as_str().unwrap().contains("length"),
+            "{r}"
+        );
+
+        // A healthy two-dimensional session to append against.
+        let opened = request(
+            &addr,
+            &Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(8.0)),
+                ("reference", Json::Arr(vec![dim(0, 64), dim(7, 64)])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opened.get("ok"), Some(&Json::Bool(true)), "{opened}");
+        let session = opened
+            .get("session")
+            .unwrap()
+            .get("session")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let append = |samples: Json, id: u64| {
+            request(
+                &addr,
+                &Json::obj(vec![
+                    ("op", Json::str("stream_append")),
+                    ("session", Json::num(id as f64)),
+                    ("samples", samples),
+                ]),
+            )
+            .unwrap()
+        };
+
+        // Mismatched dimension count.
+        let r = append(Json::Arr(vec![dim(0, 8)]), session);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert!(
+            r.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("dimension"),
+            "{r}"
+        );
+        // Unequal slice lengths.
+        let r = append(Json::Arr(vec![dim(0, 8), dim(1, 7)]), session);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert!(
+            r.get("error").unwrap().as_str().unwrap().contains("equal"),
+            "{r}"
+        );
+        // Empty append.
+        let r = append(
+            Json::Arr(vec![Json::Arr(vec![]), Json::Arr(vec![])]),
+            session,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert!(
+            r.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("no samples"),
+            "{r}"
+        );
+        // Unknown session.
+        let r = append(Json::Arr(vec![dim(0, 8), dim(1, 8)]), 4040);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{r}");
+        assert!(
+            r.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("unknown session"),
+            "{r}"
+        );
+
+        // The server is still up and a well-formed append succeeds and
+        // shows on the metrics surfaces.
+        let r = append(Json::Arr(vec![dim(64, 8), dim(71, 8)]), session);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        let stats = service.stats();
+        assert_eq!(stats.stream_opens, 1);
+        assert_eq!(stats.stream_appends, 1);
+        assert_eq!(stats.stream_append_failures, 4);
+        assert_eq!(stats.stream_precalc_reuses, 1);
+        assert_eq!(stats.stream_sessions_open, 1);
+        assert!(stats.stream_segments_reused > 0);
+        assert!(stats.mean_stream_append_seconds > 0.0);
+        let text = request(&addr, &Json::obj(vec![("op", Json::str("metrics"))]))
+            .unwrap()
+            .get("text")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(text.contains("mdmp_stream_appends_total 1"), "{text}");
+        assert!(text.contains("mdmp_stream_append_failures_total 4"));
+        assert!(text.contains("mdmp_stream_sessions_open 1"));
 
         server.stop();
         service.shutdown(true);

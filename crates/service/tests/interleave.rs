@@ -1,5 +1,5 @@
 //! Deterministic-interleaving model checks (vendor/interleave) of the
-//! three riskiest concurrent structures in the pipeline:
+//! four riskiest concurrent structures in the pipeline:
 //!
 //! 1. the single-flight leader/follower protocol of
 //!    `crates/service/src/cache.rs` (exactly one compute and one recorded
@@ -8,7 +8,11 @@
 //!    over-lease, batch release must `notify_all`);
 //! 3. the tile reorder buffer of `crates/core/src/driver.rs` (atomic
 //!    claim + BTreeMap reorder ⇒ strictly in-order merge, each tile
-//!    exactly once).
+//!    exactly once);
+//! 4. the per-session locking of `crates/service/src/session.rs`
+//!    (distinct sessions never serialize on a common lock, same-session
+//!    appends apply exactly once in order, close-vs-append races are
+//!    clean — plus a deadlock control modelling the old global mutex).
 //!
 //! Each model is written against the checker's `Mutex`/`Condvar`/atomics
 //! with the same lock protocol as the production code, so every schedule
@@ -343,6 +347,209 @@ fn full_reorder_buffer_merges_in_order() {
 #[test]
 fn smoke_reorder_buffer() {
     explore(Config::quick(48), reorder_model(2, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Model 4: per-session locking (session.rs).
+// ---------------------------------------------------------------------------
+
+/// `SessionManager` shrunk to its lock protocol: a table mutex held only
+/// to fetch/insert/remove a session's `Arc`, and a per-session mutex held
+/// across the append itself. Session state is the append log, so ordering
+/// and exactly-once are directly observable.
+/// One session's append log: (writer id, sequence number) entries.
+type SessionLog = Arc<Mutex<Vec<(usize, usize)>>>;
+
+struct SessionTable {
+    sessions: Mutex<BTreeMap<u64, SessionLog>>,
+}
+
+impl SessionTable {
+    fn with_sessions(ids: &[u64]) -> SessionTable {
+        let mut map = BTreeMap::new();
+        for &id in ids {
+            map.insert(id, Arc::new(Mutex::new(Vec::new())));
+        }
+        SessionTable {
+            sessions: Mutex::new(map),
+        }
+    }
+
+    /// `SessionManager::append`: table lock only for the Arc fetch, the
+    /// session's own lock for the work. Returns false for unknown ids.
+    fn append(&self, id: u64, entry: (usize, usize)) -> bool {
+        let session = match self.sessions.lock().get(&id) {
+            Some(s) => Arc::clone(s),
+            None => return false,
+        };
+        session.lock().push(entry);
+        true
+    }
+
+    /// `SessionManager::close`: drop the Arc from the table; an in-flight
+    /// append finishes on the detached session.
+    fn close(&self, id: u64) -> bool {
+        self.sessions.lock().remove(&id).is_some()
+    }
+
+    fn log(&self, id: u64) -> Vec<(usize, usize)> {
+        let session = Arc::clone(self.sessions.lock().get(&id).expect("session"));
+        let log = session.lock();
+        log.clone()
+    }
+}
+
+/// Distinct sessions must not serialize behind a common lock: thread A
+/// parks *inside* session 1's critical section until thread B's append to
+/// session 2 has completed. With per-session locks (`global = false`)
+/// every schedule completes; with the old global-mutex protocol
+/// (`global = true`) the schedule where A enters first is a deadlock —
+/// the should_panic control below.
+fn session_blocking_model(global: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let table = Arc::new(SessionTable::with_sessions(&[1, 2]));
+        let global_lock = Arc::new(Mutex::new(()));
+        let b_done = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let a = {
+            let table = Arc::clone(&table);
+            let global_lock = Arc::clone(&global_lock);
+            let b_done = Arc::clone(&b_done);
+            spawn(move || {
+                let _g = global.then(|| global_lock.lock());
+                let session = Arc::clone(table.sessions.lock().get(&1).expect("session 1"));
+                let mut log = session.lock();
+                log.push((1, 0));
+                // Hold session 1 while waiting for B — legal for a slow
+                // append; must never block a session-2 append.
+                let mut done = b_done.0.lock();
+                while !*done {
+                    done = b_done.1.wait(done);
+                }
+            })
+        };
+        let b = {
+            let table = Arc::clone(&table);
+            let global_lock = Arc::clone(&global_lock);
+            let b_done = Arc::clone(&b_done);
+            spawn(move || {
+                {
+                    let _g = global.then(|| global_lock.lock());
+                    assert!(table.append(2, (2, 0)));
+                }
+                *b_done.0.lock() = true;
+                b_done.1.notify_all();
+            })
+        };
+        a.join();
+        b.join();
+        assert_eq!(table.log(1), vec![(1, 0)]);
+        assert_eq!(table.log(2), vec![(2, 0)]);
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_distinct_sessions_never_serialize_on_a_common_lock() {
+    let report = explore(Config::quick(2500), session_blocking_model(false));
+    assert!(report.schedules > 1000, "got {}", report.schedules);
+}
+
+/// Negative control: the pre-PR8 protocol (one global session mutex held
+/// across appends) deadlocks as soon as a slow append waits for another
+/// session's progress. The checker reports the blocked schedule.
+#[test]
+#[cfg_attr(miri, ignore = "deadlock exploration spawns many OS threads")]
+#[should_panic(expected = "deadlock")]
+fn global_session_mutex_deadlocks_cross_session_appends() {
+    explore(Config::quick(60_000), session_blocking_model(true));
+}
+
+/// Same-session appends: two writers, two appends each, every schedule.
+/// Each append applies exactly once and each writer's entries appear in
+/// its program order (the session lock is the serialization point).
+fn session_order_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let table = Arc::new(SessionTable::with_sessions(&[7]));
+        let handles: Vec<_> = (0..2)
+            .map(|tid| {
+                let table = Arc::clone(&table);
+                spawn(move || {
+                    assert!(table.append(7, (tid, 0)));
+                    assert!(table.append(7, (tid, 1)));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let log = table.log(7);
+        assert_eq!(log.len(), 4, "every append applies exactly once");
+        for tid in 0..2 {
+            let first = log.iter().position(|&e| e == (tid, 0));
+            let second = log.iter().position(|&e| e == (tid, 1));
+            assert!(
+                first.expect("first append present") < second.expect("second append present"),
+                "writer {tid} appends out of order: {log:?}"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_same_session_appends_apply_exactly_once_in_order() {
+    let report = explore(Config::quick(2500), session_order_model());
+    assert!(report.schedules > 1000, "got {}", report.schedules);
+}
+
+/// Close racing an append: under every schedule both threads terminate
+/// (no lost wakeup — the checker's deadlock oracle), the table ends
+/// empty, and the append either landed on the detached session or
+/// reported unknown-session — never half-applied.
+fn session_close_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let table = Arc::new(SessionTable::with_sessions(&[3]));
+        let applied = Arc::new(AtomicUsize::new(0));
+        let appender = {
+            let table = Arc::clone(&table);
+            let applied = Arc::clone(&applied);
+            spawn(move || {
+                if table.append(3, (9, 0)) {
+                    applied.fetch_add(1);
+                }
+            })
+        };
+        let closer = {
+            let table = Arc::clone(&table);
+            spawn(move || assert!(table.close(3), "close finds the session"))
+        };
+        appender.join();
+        closer.join();
+        assert!(
+            table.sessions.lock().is_empty(),
+            "closed session must leave the table"
+        );
+        // The append may have landed on the detached session (applied = 1)
+        // or seen unknown-session (applied = 0) — both are consistent;
+        // what cannot happen is a deadlock or a table entry resurrected by
+        // the append.
+        assert!(applied.load() <= 1);
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full exploration spawns thousands of OS threads")]
+fn full_session_close_during_append_loses_no_wakeup() {
+    let report = explore(Config::quick(2500), session_close_model());
+    assert!(report.schedules > 1000, "got {}", report.schedules);
+}
+
+#[test]
+fn smoke_session_locking() {
+    explore(Config::quick(48), session_blocking_model(false));
+    explore(Config::quick(48), session_order_model());
+    explore(Config::quick(48), session_close_model());
 }
 
 /// Beyond the DFS bound, the seeded-random tail keeps sampling distinct

@@ -69,7 +69,7 @@ fn main() {
                 }
             }
         }
-        monitor.append_query(&chunk);
+        monitor.append_query(&chunk).expect("append failed");
         let motifs = top_motifs(monitor.profile(), d - 1, m, 1);
         let best = motifs.first();
         println!(

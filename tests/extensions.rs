@@ -52,7 +52,7 @@ fn four_ways_to_compute_the_same_profile_agree() {
         MdmpConfig::new(m, PrecisionMode::Fp64),
     )
     .unwrap();
-    streamed.append_query(&tail);
+    streamed.append_query(&tail).expect("append failed");
     assert!(
         recall_rate(&base, streamed.profile()) > 0.999,
         "streaming differs"
