@@ -103,6 +103,14 @@ fn r4_fires_inside_the_streaming_module() {
     assert_flags_in("r4-streaming", "R4");
 }
 
+/// PR 9: the binary frame codec sits on every request a binary-wire
+/// client sends — a panic while decoding attacker-controlled bytes kills
+/// the connection thread, so `wire.rs` joins the R4 scope.
+#[test]
+fn r4_fires_inside_the_wire_module() {
+    assert_flags_in("r4-wire", "R4");
+}
+
 /// PR 7: blessing `gemm_accumulate` must not open the door to *other*
 /// functions doing their own GEMM-flavoured narrowing — a look-alike
 /// accumulator with raw `as f32` casts is still flagged.

@@ -1,0 +1,4 @@
+// R4 fixture: unwrap while decoding a frame off the wire.
+pub fn payload_len(header: &[u8]) -> u32 {
+    u32::from_le_bytes(header[4..8].try_into().unwrap())
+}

@@ -32,6 +32,8 @@
 //!   session_multiplex
 //!               concurrent streaming sessions + incremental
 //!               append cost, also writes BENCH_PR8.json          [measured]
+//!   wire        binary frame wire protocol vs JSON lines,
+//!               also writes BENCH_PR9.json                       [measured]
 //!   all         everything above
 //!
 //! --quick shrinks the functional problem sizes (CI-friendly).
@@ -40,7 +42,7 @@
 
 use mdmp_bench::experiments::{
     accuracy, case_studies, cluster_scaling, driver_scaling, extensions, performance,
-    session_multiplex, tc, tradeoff,
+    session_multiplex, tc, tradeoff, wire,
 };
 use mdmp_bench::report::{self, ExperimentTable};
 use std::time::Instant;
@@ -120,6 +122,18 @@ fn run(command: &str, quick: bool) -> bool {
             );
             emit_all(vec![outcome.table]);
         }
+        "wire" => {
+            let outcome = wire::wire_bench(quick);
+            match wire::write_bench_json(&outcome, std::path::Path::new("BENCH_PR9.json")) {
+                Ok(path) => println!("   -> wrote {}", path.display()),
+                Err(e) => eprintln!("   !! could not write BENCH_PR9.json: {e}"),
+            }
+            println!(
+                "   wire: fp32 planes {:.2}x smaller than JSON, 3-node binary scaling {:.4}",
+                outcome.f32_reduction, outcome.scaling_vs_1_at_3
+            );
+            emit_all(vec![outcome.encoding, outcome.cluster]);
+        }
         "all" => {
             for cmd in [
                 "table1",
@@ -145,6 +159,7 @@ fn run(command: &str, quick: bool) -> bool {
                 "cluster",
                 "tc",
                 "session_multiplex",
+                "wire",
             ] {
                 println!("\n########## repro {cmd} ##########");
                 run(cmd, quick);
@@ -168,7 +183,7 @@ fn main() {
     let commands: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if commands.is_empty() {
         eprintln!(
-            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|tc|session_multiplex|all> [--quick]"
+            "usage: repro <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|headline|utilization|multinode|schedule|modes-ext|clamp|anytime|scaling|cluster|tc|session_multiplex|wire|all> [--quick]"
         );
         std::process::exit(2);
     }

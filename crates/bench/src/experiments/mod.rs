@@ -11,6 +11,7 @@
 //! | [`cluster_scaling`] | tile-sharding throughput vs worker node count (BENCH_PR6.json) |
 //! | [`tc`] | simulated tensor-core GEMM modes vs the FP64 pipeline (BENCH_PR7.json) |
 //! | [`session_multiplex`] | concurrent streaming sessions + incremental-vs-recompute append cost (BENCH_PR8.json) |
+//! | [`wire`] | binary frame wire protocol vs JSON lines: plane bytes + cluster rerun (BENCH_PR9.json) |
 
 pub mod accuracy;
 pub mod case_studies;
@@ -21,6 +22,7 @@ pub mod performance;
 pub mod session_multiplex;
 pub mod tc;
 pub mod tradeoff;
+pub mod wire;
 
 use mdmp_core::{run_with_mode, MatrixProfile, MdmpConfig};
 use mdmp_data::MultiDimSeries;

@@ -5,7 +5,10 @@ use crate::args::ParsedArgs;
 use crate::commands::device_spec;
 use mdmp_data::io as data_io;
 use mdmp_data::MultiDimSeries;
-use mdmp_service::{request, serve as serve_tcp, Json, Service, ServiceConfig};
+use mdmp_service::{
+    request, serve as serve_tcp, wire_preference, Chunk, Json, Message, Service, ServiceConfig,
+    WireConn,
+};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
@@ -227,7 +230,7 @@ fn print_job(job: &Json) {
     }
 }
 
-/// A window of a series as the wire form: one array of samples per
+/// A window of a series as the JSON wire form: one array of samples per
 /// dimension.
 fn samples_json(series: &MultiDimSeries, start: usize, len: usize) -> Json {
     Json::Arr(
@@ -242,6 +245,22 @@ fn samples_json(series: &MultiDimSeries, start: usize, len: usize) -> Json {
             })
             .collect(),
     )
+}
+
+/// A window of a series as binary chunks: one float chunk per dimension,
+/// appended to `out`.
+fn samples_chunks(series: &MultiDimSeries, start: usize, len: usize, out: &mut Vec<Chunk>) {
+    for k in 0..series.dims() {
+        out.push(Chunk::F64(series.dim(k)[start..start + len].to_vec()));
+    }
+}
+
+/// One request/response on the streaming session's persistent connection,
+/// checked for `ok`.
+fn stream_request(conn: &mut WireConn, msg: &Message) -> Result<Json, String> {
+    let reply = conn.request(msg).map_err(err)?;
+    check_ok(&reply.json)?;
+    Ok(reply.json)
 }
 
 /// `mdmp stream` — drive a live streaming session against a running
@@ -269,25 +288,41 @@ pub fn stream(args: &ParsedArgs) -> CmdResult {
     };
     let initial = initial.clamp(m, query.len());
 
-    let response = request(
-        &addr,
-        &Json::obj(vec![
+    // One persistent connection for the whole session; binary frames when
+    // the server accepts the upgrade (MDMP_WIRE=json forces JSON lines).
+    let mut conn = WireConn::connect(&addr, None, wire_preference()).map_err(err)?;
+    let open = if conn.is_binary() {
+        let mut chunks = Vec::with_capacity(reference.dims() + query.dims());
+        samples_chunks(&reference, 0, reference.len(), &mut chunks);
+        samples_chunks(&query, 0, initial, &mut chunks);
+        Message {
+            json: Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(m as f64)),
+                ("mode", Json::str(mode)),
+                ("reference_chunks", Json::num(reference.dims() as f64)),
+                ("query_chunks", Json::num(query.dims() as f64)),
+            ]),
+            chunks,
+        }
+    } else {
+        Message::json(Json::obj(vec![
             ("op", Json::str("stream_open")),
             ("m", Json::num(m as f64)),
             ("mode", Json::str(mode)),
             ("reference", samples_json(&reference, 0, reference.len())),
             ("query", samples_json(&query, 0, initial)),
-        ]),
-    )
-    .map_err(err)?;
-    check_ok(&response)?;
+        ]))
+    };
+    let response = stream_request(&mut conn, &open)?;
     let session = response
         .get("session")
         .and_then(|s| s.get("session"))
         .and_then(Json::as_u64)
         .ok_or("malformed response: no session id")?;
     println!(
-        "session {session} open: {} reference segments, {} of {} query samples",
+        "session {session} open ({} wire): {} reference segments, {} of {} query samples",
+        if conn.is_binary() { "binary" } else { "json" },
         reference.len() + 1 - m,
         initial,
         query.len()
@@ -296,17 +331,27 @@ pub fn stream(args: &ParsedArgs) -> CmdResult {
     let mut at = initial;
     while at < query.len() {
         let len = chunk.min(query.len() - at);
-        let response = request(
-            &addr,
-            &Json::obj(vec![
+        let append = if conn.is_binary() {
+            let mut chunks = Vec::with_capacity(query.dims());
+            samples_chunks(&query, at, len, &mut chunks);
+            Message {
+                json: Json::obj(vec![
+                    ("op", Json::str("stream_append")),
+                    ("session", Json::num(session as f64)),
+                    ("side", Json::str("query")),
+                    ("samples_chunks", Json::num(query.dims() as f64)),
+                ]),
+                chunks,
+            }
+        } else {
+            Message::json(Json::obj(vec![
                 ("op", Json::str("stream_append")),
                 ("session", Json::num(session as f64)),
                 ("side", Json::str("query")),
                 ("samples", samples_json(&query, at, len)),
-            ]),
-        )
-        .map_err(err)?;
-        check_ok(&response)?;
+            ]))
+        };
+        let response = stream_request(&mut conn, &append)?;
         at += len;
         let field = |k: &str| response.get(k).and_then(Json::as_f64).unwrap_or(0.0);
         println!(
@@ -326,16 +371,18 @@ pub fn stream(args: &ParsedArgs) -> CmdResult {
         );
     }
 
-    let response = request(
-        &addr,
-        &Json::obj(vec![
+    stream_request(
+        &mut conn,
+        &Message::json(Json::obj(vec![
             ("op", Json::str("stream_close")),
             ("session", Json::num(session as f64)),
-        ]),
-    )
-    .map_err(err)?;
-    check_ok(&response)?;
-    println!("session {session} closed");
+        ])),
+    )?;
+    println!(
+        "session {session} closed ({}B sent, {}B received)",
+        conn.bytes_sent(),
+        conn.bytes_received()
+    );
     Ok(())
 }
 

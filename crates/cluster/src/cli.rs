@@ -123,7 +123,8 @@ pub fn usage() -> &'static str {
           --reference FILE [--query FILE]   (CSV instead of synthetic)
           --tile-retries N (2) --tile-timeout-ms MS --fault-plan SPEC
           --quarantine-threshold N (3) --timeout-s S (60) --no-speculate
-          --cluster-faults SPEC (nodedrop@N:S,nodekill@N:S,…) --metrics"
+          --cluster-faults SPEC (nodedrop@N:S,nodekill@N:S,…) --metrics
+          --wire auto|json (auto; env MDMP_WIRE=json forces JSON lines)"
 }
 
 /// Run one cluster subcommand from raw arguments (`raw[0]` is the
@@ -281,6 +282,13 @@ fn submit(args: &Args) -> Result<(), String> {
             .parse::<ClusterFaultPlan>()
             .map_err(|e| format!("--cluster-faults: {e}"))?;
     }
+    if let Some(wire) = args.get_opt::<String>("wire")? {
+        cluster.wire = match wire.to_ascii_lowercase().as_str() {
+            "auto" | "binary" => mdmp_service::WirePreference::Auto,
+            "json" => mdmp_service::WirePreference::Json,
+            other => return Err(format!("--wire must be auto or json, got '{other}'")),
+        };
+    }
     let metrics = args.flag("metrics");
     args.reject_unknown()?;
 
@@ -305,14 +313,24 @@ fn submit(args: &Args) -> Result<(), String> {
         run.modelled_makespan_seconds(),
         run.modelled_tiles_per_second()
     );
+    println!(
+        "wire: {} sent / {} received over {}/{} binary-frame nodes",
+        run.wire_bytes_sent(),
+        run.wire_bytes_received(),
+        run.binary_wire_nodes(),
+        run.nodes.len()
+    );
     for (i, node) in run.nodes.iter().enumerate() {
         println!(
-            "node {i} {}: merged {} stolen {} failures {} device {:.6}s{}",
+            "node {i} {}: merged {} stolen {} failures {} device {:.6}s wire {}/{}B {}{}",
             node.addr,
             node.tiles_merged,
             node.tiles_stolen,
             node.failures,
             node.device_seconds,
+            node.bytes_sent,
+            node.bytes_received,
+            if node.binary_wire { "binary" } else { "json" },
             if node.quarantined { " QUARANTINED" } else { "" }
         );
     }

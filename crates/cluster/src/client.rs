@@ -1,11 +1,14 @@
-//! One node's client half of the tile-lease protocol: a persistent
-//! JSON-lines TCP connection to an `mdmp-service` worker, reconnected on
-//! demand, plus the decoding of `tile_exec` replies back into result
-//! planes (bit-exact, via the hex `f64` encoding).
+//! One node's client half of the tile-lease protocol: a persistent TCP
+//! connection to an `mdmp-service` worker, reconnected on demand. Each
+//! connection negotiates the binary frame upgrade (DESIGN.md §15) and
+//! falls back to JSON lines against old workers or under
+//! `MDMP_WIRE=json`; tile result planes decode bit-exactly from either
+//! transport — binary chunks, or the hex `f64`/`i64` encodings.
 
-use mdmp_service::{decode_plane_hex, Json};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use mdmp_service::{
+    decode_index_plane_hex, decode_plane_hex, wire_preference, Chunk, Json, Message, WireConn,
+    WireError, WirePreference,
+};
 use std::time::Duration;
 
 /// One decoded tile result from a worker: the tile's identity in the
@@ -51,28 +54,37 @@ impl std::fmt::Display for NodeError {
     }
 }
 
-struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-/// A lazily (re)connected JSON-lines client for one worker node.
+/// A lazily (re)connected client for one worker node.
 pub struct NodeClient {
     addr: String,
     timeout: Duration,
-    conn: Option<Conn>,
+    prefer: WirePreference,
+    conn: Option<WireConn>,
     killed: bool,
+    bytes_sent: u64,
+    bytes_received: u64,
+    binary_wire: bool,
 }
 
 impl NodeClient {
     /// A client for the worker at `addr`; `timeout` bounds each reply
-    /// read (a node that overruns it is treated as failed).
+    /// read (a node that overruns it is treated as failed). The wire
+    /// transport follows the process-wide [`wire_preference`].
     pub fn new(addr: &str, timeout: Duration) -> NodeClient {
+        NodeClient::with_wire(addr, timeout, wire_preference())
+    }
+
+    /// A client with an explicit transport preference.
+    pub fn with_wire(addr: &str, timeout: Duration, prefer: WirePreference) -> NodeClient {
         NodeClient {
             addr: addr.to_string(),
             timeout,
+            prefer,
             conn: None,
             killed: false,
+            bytes_sent: 0,
+            bytes_received: 0,
+            binary_wire: false,
         }
     }
 
@@ -81,12 +93,28 @@ impl NodeClient {
         &self.addr
     }
 
+    /// Whether the most recent connection negotiated the binary frame
+    /// upgrade.
+    pub fn is_binary(&self) -> bool {
+        self.binary_wire
+    }
+
+    /// Bytes this client has written to the node across all connections.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent + self.conn.as_ref().map_or(0, WireConn::bytes_sent)
+    }
+
+    /// Bytes this client has read from the node across all connections.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received + self.conn.as_ref().map_or(0, WireConn::bytes_received)
+    }
+
     /// Mark the node as killed: the connection is severed and every later
     /// request fails as a crashed machine's would (injected
     /// [`mdmp_faults::NodeFaultKind::Kill`]).
     pub fn kill(&mut self) {
         self.killed = true;
-        self.conn = None;
+        self.drop_conn();
     }
 
     /// Whether the node was killed.
@@ -96,26 +124,27 @@ impl NodeClient {
 
     /// Sever the connection (it reconnects on the next request).
     pub fn disconnect(&mut self) {
-        self.conn = None;
+        self.drop_conn();
     }
 
-    fn connect(&mut self) -> Result<&mut Conn, NodeError> {
+    /// Sever the connection, folding its byte counters into the client's
+    /// running totals first so accounting survives reconnects.
+    fn drop_conn(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.bytes_sent += conn.bytes_sent();
+            self.bytes_received += conn.bytes_received();
+        }
+    }
+
+    fn connect(&mut self) -> Result<&mut WireConn, NodeError> {
         if self.killed {
             return Err(NodeError::Io(format!("node {} is killed", self.addr)));
         }
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)
+            let conn = WireConn::connect(&self.addr, Some(self.timeout), self.prefer)
                 .map_err(|e| NodeError::Io(format!("connect {}: {e}", self.addr)))?;
-            stream
-                .set_read_timeout(Some(self.timeout))
-                .map_err(|e| NodeError::Io(format!("set timeout: {e}")))?;
-            let writer = stream
-                .try_clone()
-                .map_err(|e| NodeError::Io(format!("clone stream: {e}")))?;
-            self.conn = Some(Conn {
-                reader: BufReader::new(stream),
-                writer,
-            });
+            self.binary_wire = conn.is_binary();
+            self.conn = Some(conn);
         }
         match self.conn.as_mut() {
             Some(conn) => Ok(conn),
@@ -123,28 +152,30 @@ impl NodeClient {
         }
     }
 
-    /// Send one request line and read one response line. Any transport
-    /// error severs the connection so the next request reconnects.
-    pub fn request(&mut self, request: &Json) -> Result<Json, NodeError> {
+    /// Send one request and read one response on the negotiated
+    /// transport. Any transport error severs the connection so the next
+    /// request reconnects.
+    pub fn request_msg(&mut self, request: &Message) -> Result<Message, NodeError> {
         let conn = self.connect()?;
-        let sent = writeln!(conn.writer, "{request}").and_then(|_| conn.writer.flush());
-        if let Err(e) = sent {
-            self.conn = None;
-            return Err(NodeError::Io(format!("send: {e}")));
-        }
-        let mut line = String::new();
-        match conn.reader.read_line(&mut line) {
-            Ok(0) => {
-                self.conn = None;
-                Err(NodeError::Io("connection closed by worker".into()))
+        match conn.request(request) {
+            Ok(reply) => Ok(reply),
+            Err(WireError::Io(e)) => {
+                self.drop_conn();
+                Err(NodeError::Io(format!("request: {e}")))
             }
-            Ok(_) => Json::parse(line.trim())
-                .map_err(|e| NodeError::Remote(format!("bad response: {e}"))),
-            Err(e) => {
-                self.conn = None;
-                Err(NodeError::Io(format!("read: {e}")))
+            Err(e @ (WireError::Desync(_) | WireError::Corrupt(_))) => {
+                // The response stream is unreliable; resynchronize by
+                // reconnecting.
+                self.drop_conn();
+                Err(NodeError::Remote(format!("bad response: {e}")))
             }
         }
+    }
+
+    /// Send one chunkless request and read one response.
+    pub fn request(&mut self, request: &Json) -> Result<Json, NodeError> {
+        self.request_msg(&Message::json(request.clone()))
+            .map(|reply| reply.json)
     }
 
     /// Send a request, then sever the connection *without reading the
@@ -154,32 +185,35 @@ impl NodeClient {
     /// the merge's first-delivery-wins rule keeps the output exact.
     pub fn send_and_drop(&mut self, request: &Json) -> NodeError {
         if let Ok(conn) = self.connect() {
-            let _ = writeln!(conn.writer, "{request}").and_then(|_| conn.writer.flush());
+            let _ = conn.send(&Message::json(request.clone()));
         }
-        self.conn = None;
+        self.drop_conn();
         NodeError::Io("injected connection drop".into())
     }
 
     /// Execute one tile on the node: a `tile_exec` request for exactly
     /// one tile of `job`, decoded to its result planes.
     pub fn exec_tile(&mut self, job: &Json, tile: usize) -> Result<DecodedTile, NodeError> {
-        let request = tile_exec_request(job, tile);
-        let reply = self.request(&request)?;
-        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        let request = Message::json(tile_exec_request(job, tile));
+        let reply = self.request_msg(&request)?;
+        if reply.json.get("ok").and_then(Json::as_bool) != Some(true) {
             let message = reply
+                .json
                 .get("error")
                 .and_then(Json::as_str)
                 .unwrap_or("worker error without message");
             return Err(NodeError::Remote(message.to_string()));
         }
+        let mut chunks: Vec<Option<Chunk>> = reply.chunks.into_iter().map(Some).collect();
         let tiles = reply
+            .json
             .get("tiles")
             .and_then(Json::as_arr)
             .ok_or_else(|| NodeError::Remote("reply missing 'tiles'".into()))?;
         let entry = tiles
             .first()
             .ok_or_else(|| NodeError::Remote("reply carries no tile".into()))?;
-        let decoded = decode_tile(entry).map_err(NodeError::Remote)?;
+        let decoded = decode_tile(entry, &mut chunks).map_err(NodeError::Remote)?;
         if decoded.tile != tile {
             return Err(NodeError::Remote(format!(
                 "asked for tile {tile}, worker answered tile {}",
@@ -199,8 +233,28 @@ pub fn tile_exec_request(job: &Json, tile: usize) -> Json {
     ])
 }
 
-/// Decode one entry of a `tile_exec` reply's `tiles` array.
-pub fn decode_tile(entry: &Json) -> Result<DecodedTile, String> {
+fn take_chunk(
+    entry: &Json,
+    chunks: &mut [Option<Chunk>],
+    field: &str,
+) -> Result<Option<Chunk>, String> {
+    let Some(index) = entry.get(field).and_then(Json::as_u64) else {
+        return Ok(None);
+    };
+    let slot = chunks
+        .get_mut(index as usize)
+        .ok_or_else(|| format!("'{field}' points past the frame's chunks"))?;
+    slot.take()
+        .map(Some)
+        .ok_or_else(|| format!("'{field}' reuses an already-consumed chunk"))
+}
+
+/// Decode one entry of a `tile_exec` reply's `tiles` array. `chunks` are
+/// the reply frame's chunk slots (empty on a JSON-lines reply); each
+/// `p_chunk`/`i_chunk` reference consumes its slot. The JSON forms —
+/// `p_hex`/`i_hex`, and the pre-PR9 `i` number array — decode from the
+/// entry itself.
+pub fn decode_tile(entry: &Json, chunks: &mut [Option<Chunk>]) -> Result<DecodedTile, String> {
     let field = |name: &str| -> Result<u64, String> {
         entry
             .get(name)
@@ -214,27 +268,52 @@ pub fn decode_tile(entry: &Json) -> Result<DecodedTile, String> {
     let len = n_query
         .checked_mul(dims)
         .ok_or_else(|| "tile plane size overflows".to_string())?;
-    let p_hex = entry
-        .get("p_hex")
-        .and_then(Json::as_str)
-        .ok_or_else(|| "tile entry missing 'p_hex'".to_string())?;
-    let p = decode_plane_hex(p_hex, len)?;
-    let raw_i = entry
-        .get("i")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| "tile entry missing 'i'".to_string())?;
-    if raw_i.len() != len {
+    let p = match take_chunk(entry, chunks, "p_chunk")? {
+        Some(Chunk::F64(plane)) => plane,
+        Some(Chunk::I64(_)) => return Err("'p_chunk' names an index chunk".into()),
+        None => {
+            let p_hex = entry
+                .get("p_hex")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "tile entry missing 'p_chunk'/'p_hex'".to_string())?;
+            decode_plane_hex(p_hex, len)?
+        }
+    };
+    if p.len() != len {
         return Err(format!(
-            "index plane has {} elements, expected {len}",
-            raw_i.len()
+            "value plane has {} elements, expected {len}",
+            p.len()
         ));
     }
-    let mut i = Vec::with_capacity(len);
-    for v in raw_i {
-        let x = v
-            .as_f64()
-            .ok_or_else(|| "index plane entries must be numbers".to_string())?;
-        i.push(x as i64);
+    let i = match take_chunk(entry, chunks, "i_chunk")? {
+        Some(Chunk::I64(plane)) => plane,
+        Some(Chunk::F64(_)) => return Err("'i_chunk' names a float chunk".into()),
+        None => {
+            if let Some(i_hex) = entry.get("i_hex").and_then(Json::as_str) {
+                decode_index_plane_hex(i_hex, len)?
+            } else {
+                // Pre-PR9 workers ship the index plane as a JSON number
+                // array; keep decoding it so mixed-version clusters work.
+                let raw_i = entry
+                    .get("i")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "tile entry missing 'i_chunk'/'i_hex'/'i'".to_string())?;
+                let mut i = Vec::with_capacity(raw_i.len());
+                for v in raw_i {
+                    let x = v
+                        .as_f64()
+                        .ok_or_else(|| "index plane entries must be numbers".to_string())?;
+                    i.push(x as i64);
+                }
+                i
+            }
+        }
+    };
+    if i.len() != len {
+        return Err(format!(
+            "index plane has {} elements, expected {len}",
+            i.len()
+        ));
     }
     let device_seconds = entry
         .get("device_seconds")

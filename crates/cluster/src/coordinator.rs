@@ -27,7 +27,7 @@ use crate::sync;
 use mdmp_core::{job_tile_count, MatrixProfile};
 use mdmp_faults::{ClusterFaultPlan, NodeFaultKind};
 use mdmp_gpu_sim::DeviceHealth;
-use mdmp_service::{JobInput, JobSpec, Json};
+use mdmp_service::{wire_preference, JobInput, JobSpec, Json, WirePreference};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -48,6 +48,9 @@ pub struct ClusterConfig {
     pub speculate: bool,
     /// Injected cluster-scope faults (tests and chaos benches).
     pub fault_plan: ClusterFaultPlan,
+    /// Wire transport preference for node connections: negotiate the
+    /// binary frame upgrade (DESIGN.md §15), or force JSON lines.
+    pub wire: WirePreference,
 }
 
 impl ClusterConfig {
@@ -59,6 +62,7 @@ impl ClusterConfig {
             request_timeout: Duration::from_secs(60),
             speculate: true,
             fault_plan: ClusterFaultPlan::new(),
+            wire: wire_preference(),
         }
     }
 }
@@ -84,6 +88,13 @@ pub struct NodeReport {
     pub precalc_misses: u64,
     /// Whether the node was quarantined before the job finished.
     pub quarantined: bool,
+    /// Bytes the coordinator wrote to this node, across reconnects.
+    pub bytes_sent: u64,
+    /// Bytes the coordinator read from this node, across reconnects.
+    pub bytes_received: u64,
+    /// Whether the node's last connection negotiated the binary frame
+    /// upgrade.
+    pub binary_wire: bool,
 }
 
 impl NodeReport {
@@ -98,7 +109,16 @@ impl NodeReport {
             precalc_hits: 0,
             precalc_misses: 0,
             quarantined: false,
+            bytes_sent: 0,
+            bytes_received: 0,
+            binary_wire: false,
         }
+    }
+
+    fn absorb_wire(&mut self, client: &NodeClient) {
+        self.bytes_sent = client.bytes_sent();
+        self.bytes_received = client.bytes_received();
+        self.binary_wire = client.is_binary();
     }
 }
 
@@ -130,6 +150,21 @@ impl ClusterRun {
     /// Total precalc cache misses across nodes.
     pub fn precalc_misses(&self) -> u64 {
         self.nodes.iter().map(|n| n.precalc_misses).sum()
+    }
+
+    /// Total bytes the coordinator wrote to nodes.
+    pub fn wire_bytes_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total bytes the coordinator read from nodes.
+    pub fn wire_bytes_received(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_received).sum()
+    }
+
+    /// Nodes whose last connection used the binary frame transport.
+    pub fn binary_wire_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.binary_wire).count()
     }
 
     /// Indices of nodes that were quarantined.
@@ -179,7 +214,7 @@ impl ClusterRun {
             out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
         }
         type NodeSeries = fn(&NodeReport) -> String;
-        let series: [(&str, NodeSeries); 5] = [
+        let series: [(&str, NodeSeries); 8] = [
             ("mdmp_cluster_node_tiles_merged_total", |n| {
                 n.tiles_merged.to_string()
             }),
@@ -194,6 +229,15 @@ impl ClusterRun {
             }),
             ("mdmp_cluster_node_quarantined", |n| {
                 u8::from(n.quarantined).to_string()
+            }),
+            ("mdmp_cluster_node_wire_bytes_sent_total", |n| {
+                n.bytes_sent.to_string()
+            }),
+            ("mdmp_cluster_node_wire_bytes_received_total", |n| {
+                n.bytes_received.to_string()
+            }),
+            ("mdmp_cluster_node_wire_binary", |n| {
+                u8::from(n.binary_wire).to_string()
             }),
         ];
         for (name, value_of) in series {
@@ -413,6 +457,7 @@ struct Shared {
     speculate: bool,
     threshold: u32,
     timeout: Duration,
+    wire: WirePreference,
 }
 
 /// How long a node with nothing claimable waits before re-checking the
@@ -447,6 +492,7 @@ pub fn run_cluster(spec: &JobSpec, cluster: &ClusterConfig) -> Result<ClusterRun
         speculate: cluster.speculate,
         threshold: cluster.quarantine_threshold.max(1),
         timeout: cluster.request_timeout,
+        wire: cluster.wire,
     });
 
     let (tx, rx) = mpsc::channel::<DecodedTile>();
@@ -522,7 +568,7 @@ fn node_loop(
     tx: &mpsc::Sender<DecodedTile>,
 ) -> NodeReport {
     let mut report = NodeReport::new(addr);
-    let mut client = NodeClient::new(addr, shared.timeout);
+    let mut client = NodeClient::with_wire(addr, shared.timeout, shared.wire);
     let mut seq = 0u64;
     let mut consecutive = 0u32;
     loop {
@@ -548,7 +594,10 @@ fn node_loop(
             }
             match claimed {
                 Some(tile) => tile,
-                None => return report,
+                None => {
+                    report.absorb_wire(&client);
+                    return report;
+                }
             }
         };
 
@@ -607,6 +656,7 @@ fn node_loop(
                 shared.work.notify_all();
                 if dead {
                     report.quarantined = true;
+                    report.absorb_wire(&client);
                     return report;
                 }
                 // Transient failure: reconnect on the next request.

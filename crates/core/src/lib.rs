@@ -65,7 +65,9 @@ pub use precalc::{
     initial_qt_pooled, SeriesDevice, Stats, StatsCheckpoint,
 };
 pub use profile::MatrixProfile;
-pub use remote::{job_tile_count, run_tile_subset, SubsetTileResult, TileSubsetRun};
+pub use remote::{
+    job_tile_count, profile_planes_k_major, run_tile_subset, SubsetTileResult, TileSubsetRun,
+};
 pub use streaming::{StreamingProfile, StreamingStats};
 pub use tile_exec::{
     apply_plane_fault, compute_tile_precalc, execute_tile, execute_tile_from_precalc,

@@ -66,6 +66,28 @@ pub struct TileSubsetRun {
     pub quarantined_devices: Vec<usize>,
 }
 
+/// Flatten a profile's value and index planes in k-major order (all of
+/// dimension 0's columns, then dimension 1's, …) into the caller's
+/// buffers — the layout every wire encoding of tile results uses, and the
+/// order [`MatrixProfile::from_raw`] accepts on the way back in.
+pub fn profile_planes_k_major(
+    profile: &MatrixProfile,
+    values: &mut Vec<f64>,
+    indices: &mut Vec<i64>,
+) {
+    let (n_query, dims) = (profile.n_query(), profile.dims());
+    values.clear();
+    indices.clear();
+    values.reserve(dims * n_query);
+    indices.reserve(dims * n_query);
+    for k in 0..dims {
+        for j in 0..n_query {
+            values.push(profile.value(j, k));
+            indices.push(profile.index(j, k));
+        }
+    }
+}
+
 /// The number of tiles a job's configuration partitions into, after shape
 /// validation — what a coordinator shards before any node runs anything.
 pub fn job_tile_count(

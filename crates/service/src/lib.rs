@@ -22,7 +22,9 @@
 //!   histograms, exposed as a structured [`ServiceStats`] snapshot and a
 //!   Prometheus-style text page.
 //! - **TCP front end** ([`serve`]): a JSON-lines protocol over
-//!   `std::net`, one request/response object per line.
+//!   `std::net`, one request/response object per line, upgradable
+//!   per-connection to the checksummed binary frame protocol in
+//!   [`wire`] for bulk plane payloads.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -37,6 +39,7 @@ pub mod scheduler;
 pub mod server;
 pub mod session;
 pub(crate) mod sync;
+pub mod wire;
 
 pub use cache::{series_fingerprint, CacheKey, CacheStats, PrecalcCache};
 pub use job::{JobId, JobInput, JobOutcome, JobSpec, JobState, JobStatus, Priority};
@@ -45,5 +48,12 @@ pub use pool::DevicePool;
 pub use proto::Json;
 pub use queue::{JobQueue, SubmitError};
 pub use scheduler::{Service, ServiceConfig};
-pub use server::{decode_plane_hex, encode_plane_hex, parse_job_spec, request, serve, Server};
+pub use server::{
+    decode_index_plane_hex, decode_plane_hex, encode_index_plane_hex, encode_plane_hex,
+    parse_job_spec, request, serve, Server,
+};
 pub use session::{AppendReport, AppendSide, SessionId, SessionManager, SessionSummary};
+pub use wire::{
+    narrowest_width, wire_preference, Chunk, FrameCodec, Message, WireConn, WireError,
+    WirePreference,
+};

@@ -93,6 +93,45 @@ impl FloatSum {
     }
 }
 
+/// A byte tally labeled by (encoding, op) — the wire layer's traffic
+/// accounting. A `BTreeMap` keeps the rendered label order deterministic.
+#[derive(Debug, Default)]
+pub struct LabeledBytes {
+    map: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
+}
+
+impl LabeledBytes {
+    /// Add `bytes` under the (encoding, op) label pair.
+    pub fn add(&self, encoding: &'static str, op: &'static str, bytes: u64) {
+        let mut map = self.map.lock().unwrap();
+        *map.entry((encoding, op)).or_insert(0) += bytes;
+    }
+
+    /// Total bytes across all labels.
+    pub fn total(&self) -> u64 {
+        self.map.lock().unwrap().values().sum()
+    }
+
+    /// All (encoding, op, bytes) rows in deterministic label order.
+    pub fn rows(&self) -> Vec<(&'static str, &'static str, u64)> {
+        self.map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&(enc, op), &bytes)| (enc, op, bytes))
+            .collect()
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        for (enc, op, bytes) in self.rows() {
+            out.push_str(&format!(
+                "{name}{{encoding=\"{enc}\",op=\"{op}\"}} {bytes}\n"
+            ));
+        }
+    }
+}
+
 /// Histogram bucket upper bounds in seconds: 1-3 steps per decade from 1 µs
 /// to 100 s, plus +Inf.
 pub const LATENCY_BOUNDS: [f64; 17] = [
@@ -256,6 +295,14 @@ pub struct MetricsRegistry {
     /// Wall time per streaming append — its mean is the amortized append
     /// cost.
     pub stream_append_seconds: Histogram,
+    /// Bytes written to client sockets, labeled by encoding and op.
+    pub wire_bytes_sent: LabeledBytes,
+    /// Bytes read from client sockets, labeled by encoding and op.
+    pub wire_bytes_received: LabeledBytes,
+    /// Connections currently upgraded to the binary frame protocol.
+    pub wire_binary_sessions: Gauge,
+    /// Binary frames rejected for checksum/decode/framing failures.
+    pub wire_frame_errors: Counter,
     /// Queue wait (submit → start) per job.
     pub queue_wait: Histogram,
     /// Execution time (start → finish) per job.
@@ -312,7 +359,7 @@ impl MetricsRegistry {
     /// Render the Prometheus-style text exposition page.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 27] = [
+        let counters: [(&str, &Counter); 28] = [
             ("mdmp_jobs_submitted_total", &self.jobs_submitted),
             ("mdmp_jobs_rejected_total", &self.jobs_rejected),
             ("mdmp_jobs_completed_total", &self.jobs_completed),
@@ -364,11 +411,12 @@ impl MetricsRegistry {
                 "mdmp_stream_segments_fresh_total",
                 &self.stream_segments_fresh,
             ),
+            ("mdmp_wire_frame_errors_total", &self.wire_frame_errors),
         ];
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
-        let gauges: [(&str, &Gauge); 8] = [
+        let gauges: [(&str, &Gauge); 9] = [
             ("mdmp_queue_depth", &self.queue_depth),
             ("mdmp_jobs_running", &self.jobs_running),
             ("mdmp_devices_leased", &self.devices_leased),
@@ -377,10 +425,15 @@ impl MetricsRegistry {
             ("mdmp_fused_rows_enabled", &self.fused_rows_enabled),
             ("mdmp_tc_chunk_k", &self.tc_chunk_k),
             ("mdmp_stream_sessions_open", &self.stream_sessions_open),
+            ("mdmp_wire_binary_sessions", &self.wire_binary_sessions),
         ];
         for (name, g) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
         }
+        self.wire_bytes_sent
+            .render(&mut out, "mdmp_wire_bytes_sent_total");
+        self.wire_bytes_received
+            .render(&mut out, "mdmp_wire_bytes_received_total");
         out.push_str("# TYPE mdmp_host_worker_busy_seconds_total counter\n");
         for (slot, busy) in self.worker_busy_seconds().into_iter().enumerate() {
             out.push_str(&format!(
@@ -440,6 +493,10 @@ impl MetricsRegistry {
             stream_segments_reused: self.stream_segments_reused.get(),
             stream_segments_fresh: self.stream_segments_fresh.get(),
             stream_sessions_open: self.stream_sessions_open.get().max(0) as u64,
+            wire_bytes_sent: self.wire_bytes_sent.total(),
+            wire_bytes_received: self.wire_bytes_received.total(),
+            wire_binary_sessions: self.wire_binary_sessions.get().max(0) as u64,
+            wire_frame_errors: self.wire_frame_errors.get(),
             mean_stream_append_seconds: self.stream_append_seconds.mean(),
             worker_busy_seconds: self.worker_busy_seconds(),
             mean_queue_wait_seconds: self.queue_wait.mean(),
@@ -530,6 +587,14 @@ pub struct ServiceStats {
     pub stream_segments_fresh: u64,
     /// Streaming sessions open right now.
     pub stream_sessions_open: u64,
+    /// Bytes written to client sockets across both wire encodings.
+    pub wire_bytes_sent: u64,
+    /// Bytes read from client sockets across both wire encodings.
+    pub wire_bytes_received: u64,
+    /// Connections currently upgraded to the binary frame protocol.
+    pub wire_binary_sessions: u64,
+    /// Binary frames rejected for checksum/decode/framing failures.
+    pub wire_frame_errors: u64,
     /// Mean streaming append wall time — the amortized append cost.
     pub mean_stream_append_seconds: f64,
     /// Busy seconds accumulated per host-worker slot.

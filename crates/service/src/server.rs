@@ -19,24 +19,31 @@
 //! | `stream_status` | `session`                                              |
 //! | `stream_close`  | `session`                                              |
 //! | `tile_exec`     | `job` object, `tiles` (array of tile indices)          |
+//! | `wire_upgrade`  | `version` — switch the connection to binary frames     |
 //! | `shutdown`      | optional `drain` (default true)                        |
 //!
 //! `tile_exec` is the worker half of the cluster tile-lease protocol
 //! (DESIGN.md §12): it executes the listed tiles of the job synchronously
-//! and returns one entry per tile with the partial profile planes. Value
-//! planes travel as hex-encoded `f64` bit patterns ([`encode_plane_hex`])
-//! because JSON has no `+Inf` and the unset sentinel must survive the trip
-//! bit-exactly; index planes are plain integers.
+//! and returns one entry per tile with the partial profile planes. On the
+//! JSON transport value planes travel as hex-encoded `f64` bit patterns
+//! ([`encode_plane_hex`]) because JSON has no `+Inf` and the unset
+//! sentinel must survive the trip bit-exactly; index planes use the same
+//! cell shape ([`encode_index_plane_hex`]). After a `wire_upgrade`
+//! (DESIGN.md §15, [`crate::wire`]) both planes instead ride as binary
+//! chunks referenced by `p_chunk`/`i_chunk` indices, and streaming series
+//! ride as one chunk per dimension counted by `reference_chunks`/
+//! `query_chunks`/`samples_chunks`.
 
 use crate::job::{JobInput, JobOutcome, JobSpec, JobStatus, Priority};
 use crate::proto::Json;
 use crate::scheduler::Service;
 use crate::session::{AppendSide, SessionSummary};
+use crate::wire::{Chunk, FrameCodec, Message, WireError, WIRE_VERSION};
 use mdmp_core::MdmpConfig;
 use mdmp_data::MultiDimSeries;
 use mdmp_faults::FaultPlan;
 use mdmp_precision::PrecisionMode;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -128,34 +135,93 @@ pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<Server> {
     })
 }
 
+/// The metric label for a request's op — a fixed vocabulary so the
+/// labeled byte counters can use `&'static str` keys without leaking
+/// attacker-chosen label values into the metrics page.
+fn op_label(json: Option<&Json>) -> &'static str {
+    match json.and_then(|j| j.get("op")).and_then(Json::as_str) {
+        Some("ping") => "ping",
+        Some("submit") => "submit",
+        Some("status") => "status",
+        Some("wait") => "wait",
+        Some("cancel") => "cancel",
+        Some("stats") => "stats",
+        Some("metrics") => "metrics",
+        Some("stream_open") => "stream_open",
+        Some("stream_append") => "stream_append",
+        Some("stream_status") => "stream_status",
+        Some("stream_close") => "stream_close",
+        Some("tile_exec") => "tile_exec",
+        Some("wire_upgrade") => "wire_upgrade",
+        Some("shutdown") => "shutdown",
+        Some(_) => "other",
+        None => "invalid",
+    }
+}
+
 fn handle_connection(
     service: &Service,
     stream: TcpStream,
     stop: &AtomicBool,
     served_shutdown: &AtomicBool,
 ) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    // Request/response traffic: Nagle delays hurt and help nothing.
+    let _ = stream.set_nodelay(true);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
         if line.trim().is_empty() {
             continue;
         }
+        let parsed = Json::parse(line.trim());
+        let label = op_label(parsed.as_ref().ok());
+        service
+            .metrics
+            .wire_bytes_received
+            .add("json", label, line.len() as u64);
+        if label == "wire_upgrade" {
+            let version = parsed
+                .as_ref()
+                .ok()
+                .and_then(|r| r.get("version"))
+                .and_then(Json::as_u64)
+                .unwrap_or(u64::from(WIRE_VERSION));
+            if version != u64::from(WIRE_VERSION) {
+                let response = error_response(&format!("unsupported wire version {version}"));
+                write_json_line(service, &mut writer, &response, label)?;
+                continue;
+            }
+            let response = ok_response(vec![
+                ("wire", Json::str("binary")),
+                ("version", Json::num(f64::from(WIRE_VERSION))),
+            ]);
+            write_json_line(service, &mut writer, &response, label)?;
+            // From here on the connection speaks frames until it closes.
+            service.metrics.wire_binary_sessions.inc();
+            let result = serve_binary(service, &mut reader, &mut writer, stop, served_shutdown);
+            service.metrics.wire_binary_sessions.dec();
+            return result;
+        }
         let mut shutdown_done = false;
-        let response = match Json::parse(&line) {
-            Ok(request) => match dispatch(service, &request, stop) {
+        let response = match &parsed {
+            Ok(request) => match dispatch(service, request, stop) {
                 // An injected connection fault: sever the stream without a
                 // response line, as a crashed server would.
                 Reply::Drop => return Ok(()),
                 Reply::Json(response) => {
-                    shutdown_done = request.get("op").and_then(Json::as_str) == Some("shutdown")
+                    shutdown_done = label == "shutdown"
                         && response.get("ok").and_then(Json::as_bool) == Some(true);
                     response
                 }
             },
             Err(e) => error_response(&format!("bad request: {e}")),
         };
-        let written = writeln!(writer, "{response}").and_then(|_| writer.flush());
+        let written = write_json_line(service, &mut writer, &response, label);
         if shutdown_done {
             // Mark the shutdown as served only after the response reached
             // the socket (or the write definitively failed), so a host
@@ -166,6 +232,99 @@ fn handle_connection(
         }
         written?;
     }
+}
+
+fn write_json_line(
+    service: &Service,
+    writer: &mut BufWriter<TcpStream>,
+    response: &Json,
+    label: &'static str,
+) -> io::Result<()> {
+    let text = response.to_string();
+    // Account before the write so a client that has read the reply always
+    // sees the counter bumped (a failed write overcounts by one frame,
+    // which is the lesser evil).
+    service
+        .metrics
+        .wire_bytes_sent
+        .add("json", label, text.len() as u64 + 1);
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// The binary half of a connection after a successful `wire_upgrade`:
+/// read frames, dispatch, answer with frames. Error containment follows
+/// the [`WireError`] taxonomy — a corrupt frame gets a typed error reply
+/// and the connection continues; lost framing gets one error reply and
+/// the connection closes; either way the server stays up.
+fn serve_binary(
+    service: &Service,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    stop: &AtomicBool,
+    served_shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut codec = FrameCodec::new();
+    loop {
+        match codec.read(reader) {
+            Ok(None) => return Ok(()),
+            Err(WireError::Io(e)) => {
+                // EOF mid-frame or a dead socket: nothing to answer on.
+                return Err(e);
+            }
+            Err(WireError::Desync(e)) => {
+                service.metrics.wire_frame_errors.inc();
+                let reply = Message::json(error_response(&format!("framing lost: {e}")));
+                let _ = write_frame(service, &mut codec, writer, &reply, "invalid");
+                return Ok(());
+            }
+            Err(WireError::Corrupt(e)) => {
+                service.metrics.wire_frame_errors.inc();
+                let reply = Message::json(error_response(&format!("corrupt frame: {e}")));
+                write_frame(service, &mut codec, writer, &reply, "invalid")?;
+            }
+            Ok(Some((msg, frame_bytes))) => {
+                let label = op_label(Some(&msg.json));
+                service
+                    .metrics
+                    .wire_bytes_received
+                    .add("binary", label, frame_bytes);
+                let reply = match dispatch_binary(service, msg, stop) {
+                    BinaryReply::Drop => return Ok(()),
+                    BinaryReply::Message(reply) => reply,
+                };
+                let shutdown_done = label == "shutdown"
+                    && reply.json.get("ok").and_then(Json::as_bool) == Some(true);
+                let written = write_frame(service, &mut codec, writer, &reply, label);
+                if shutdown_done {
+                    served_shutdown.store(true, Ordering::SeqCst);
+                    return written;
+                }
+                written?;
+            }
+        }
+    }
+}
+
+fn write_frame(
+    service: &Service,
+    codec: &mut FrameCodec,
+    writer: &mut BufWriter<TcpStream>,
+    reply: &Message,
+    label: &'static str,
+) -> io::Result<()> {
+    let frame = codec
+        .encode(reply, true)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    // Account before the write: see `write_json_line`.
+    service
+        .metrics
+        .wire_bytes_sent
+        .add("binary", label, frame.len() as u64);
+    writer.write_all(frame)?;
+    writer.flush()?;
     Ok(())
 }
 
@@ -263,6 +422,33 @@ fn dispatch(service: &Service, request: &Json, stop: &AtomicBool) -> Reply {
         }
         other => error_response(&format!("unknown op '{other}'")),
     })
+}
+
+/// What a binary-mode dispatch produces: a response frame, or an
+/// instruction to drop the connection (injected connection fault).
+enum BinaryReply {
+    Message(Message),
+    Drop,
+}
+
+/// Dispatch one decoded frame. Bulk ops (`tile_exec`, `stream_open`,
+/// `stream_append`) get chunk-aware handling; everything else reuses the
+/// JSON dispatch wrapped in a chunkless frame. Takes the message by value
+/// so chunk planes move instead of copying.
+fn dispatch_binary(service: &Service, msg: Message, stop: &AtomicBool) -> BinaryReply {
+    match msg.json.get("op").and_then(Json::as_str) {
+        Some("tile_exec") => BinaryReply::Message(tile_exec_binary(service, &msg.json)),
+        Some("stream_open") if msg.json.get("reference_chunks").is_some() => {
+            BinaryReply::Message(Message::json(stream_open_binary(service, msg)))
+        }
+        Some("stream_append") if msg.json.get("samples_chunks").is_some() => {
+            BinaryReply::Message(Message::json(stream_append_binary(service, msg)))
+        }
+        _ => match dispatch(service, &msg.json, stop) {
+            Reply::Drop => BinaryReply::Drop,
+            Reply::Json(response) => BinaryReply::Message(Message::json(response)),
+        },
+    }
 }
 
 /// Parse the wire form of a job spec.
@@ -479,6 +665,16 @@ fn stats_json(service: &Service) -> Json {
             "stream_sessions_open",
             Json::num(s.stream_sessions_open as f64),
         ),
+        ("wire_bytes_sent", Json::num(s.wire_bytes_sent as f64)),
+        (
+            "wire_bytes_received",
+            Json::num(s.wire_bytes_received as f64),
+        ),
+        (
+            "wire_binary_sessions",
+            Json::num(s.wire_binary_sessions as f64),
+        ),
+        ("wire_frame_errors", Json::num(s.wire_frame_errors as f64)),
         (
             "mean_stream_append_seconds",
             Json::num(s.mean_stream_append_seconds),
@@ -541,78 +737,158 @@ pub fn decode_plane_hex(hex: &str, len: usize) -> Result<Vec<f64>, String> {
     Ok(out)
 }
 
-/// Serve a `tile_exec` request: parse the job spec and tile list, execute
-/// the subset synchronously, and return the per-tile partial profiles.
-fn tile_exec(service: &Service, request: &Json) -> Json {
-    let Some(job) = request.get("job") else {
-        return error_response("missing 'job'");
-    };
-    let spec = match parse_job_spec(job) {
-        Ok(spec) => spec,
-        Err(e) => return error_response(&e),
-    };
-    let Some(tiles) = request.get("tiles").and_then(Json::as_arr) else {
-        return error_response("missing 'tiles' array");
-    };
+/// Encode an index plane as concatenated hex `i64` bit patterns — the
+/// same 16-char cell as [`encode_plane_hex`], so the JSON fallback stops
+/// shipping (and parsing) one JSON number token per cell.
+pub fn encode_index_plane_hex(plane: &[i64]) -> String {
+    let mut out = String::with_capacity(plane.len() * 16);
+    for v in plane {
+        out.push_str(&format!("{:016x}", *v as u64));
+    }
+    out
+}
+
+/// Decode an index plane produced by [`encode_index_plane_hex`], checking
+/// the expected element count.
+pub fn decode_index_plane_hex(hex: &str, len: usize) -> Result<Vec<i64>, String> {
+    if hex.len() != len * 16 {
+        return Err(format!(
+            "index hex length {} does not match {} elements",
+            hex.len(),
+            len
+        ));
+    }
+    let bytes = hex.as_bytes();
+    let mut out = Vec::with_capacity(len);
+    for chunk in bytes.chunks_exact(16) {
+        let s = std::str::from_utf8(chunk).map_err(|_| "index hex is not ASCII".to_string())?;
+        let bits = u64::from_str_radix(s, 16).map_err(|_| format!("bad index hex chunk `{s}`"))?;
+        out.push(bits as i64);
+    }
+    Ok(out)
+}
+
+/// Parse a `tile_exec` request's job spec and tile list (shared by the
+/// JSON and binary transports).
+fn parse_tile_exec(request: &Json) -> Result<(JobSpec, Vec<usize>), String> {
+    let job = request.get("job").ok_or("missing 'job'")?;
+    let spec = parse_job_spec(job)?;
+    let tiles = request
+        .get("tiles")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'tiles' array")?;
     if tiles.is_empty() {
-        return error_response("'tiles' must name at least one tile");
+        return Err("'tiles' must name at least one tile".into());
     }
     let mut indices = Vec::with_capacity(tiles.len());
     for t in tiles {
         match t.as_u64() {
             Some(i) => indices.push(i as usize),
-            None => return error_response("tile indices must be non-negative integers"),
+            None => return Err("tile indices must be non-negative integers".into()),
         }
     }
+    Ok((spec, indices))
+}
+
+/// The response trailer shared by both `tile_exec` transports.
+fn tile_exec_trailer(run: &mdmp_core::TileSubsetRun) -> Vec<(&'static str, Json)> {
+    vec![
+        ("precalc_hits", Json::num(run.precalc_hits as f64)),
+        ("precalc_misses", Json::num(run.precalc_misses as f64)),
+        ("tile_retries", Json::num(run.tile_retries as f64)),
+        (
+            "plane_validation_failures",
+            Json::num(run.plane_validation_failures as f64),
+        ),
+        (
+            "quarantined_devices",
+            Json::Arr(
+                run.quarantined_devices
+                    .iter()
+                    .map(|&d| Json::num(d as f64))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Serve a `tile_exec` request: parse the job spec and tile list, execute
+/// the subset synchronously, and return the per-tile partial profiles.
+fn tile_exec(service: &Service, request: &Json) -> Json {
+    let (spec, indices) = match parse_tile_exec(request) {
+        Ok(parsed) => parsed,
+        Err(e) => return error_response(&e),
+    };
     match service.execute_tile_subset(&spec, &indices) {
         Err(e) => error_response(&e),
         Ok(run) => {
             let tiles: Vec<Json> = run.results.iter().map(tile_result_json).collect();
-            ok_response(vec![
-                ("tiles", Json::Arr(tiles)),
-                ("precalc_hits", Json::num(run.precalc_hits as f64)),
-                ("precalc_misses", Json::num(run.precalc_misses as f64)),
-                ("tile_retries", Json::num(run.tile_retries as f64)),
-                (
-                    "plane_validation_failures",
-                    Json::num(run.plane_validation_failures as f64),
-                ),
-                (
-                    "quarantined_devices",
-                    Json::Arr(
-                        run.quarantined_devices
-                            .iter()
-                            .map(|&d| Json::num(d as f64))
-                            .collect(),
-                    ),
-                ),
-            ])
+            let mut payload = vec![("tiles", Json::Arr(tiles))];
+            payload.append(&mut tile_exec_trailer(&run));
+            ok_response(payload)
+        }
+    }
+}
+
+/// Serve a `tile_exec` request on the binary transport: the per-tile
+/// planes ride as frame chunks referenced by `p_chunk`/`i_chunk` indices
+/// instead of ASCII encodings.
+fn tile_exec_binary(service: &Service, request: &Json) -> Message {
+    let (spec, indices) = match parse_tile_exec(request) {
+        Ok(parsed) => parsed,
+        Err(e) => return Message::json(error_response(&e)),
+    };
+    match service.execute_tile_subset(&spec, &indices) {
+        Err(e) => Message::json(error_response(&e)),
+        Ok(run) => {
+            let mut chunks = Vec::with_capacity(run.results.len() * 2);
+            let mut tiles = Vec::with_capacity(run.results.len());
+            let mut values = Vec::new();
+            let mut indices = Vec::new();
+            for result in &run.results {
+                let profile = &result.profile;
+                mdmp_core::profile_planes_k_major(profile, &mut values, &mut indices);
+                let p_chunk = chunks.len();
+                chunks.push(Chunk::F64(std::mem::take(&mut values)));
+                let i_chunk = chunks.len();
+                chunks.push(Chunk::I64(std::mem::take(&mut indices)));
+                tiles.push(Json::obj(vec![
+                    ("tile", Json::num(result.tile.index as f64)),
+                    ("col0", Json::num(result.tile.col0 as f64)),
+                    ("n_query", Json::num(profile.n_query() as f64)),
+                    ("dims", Json::num(profile.dims() as f64)),
+                    ("p_chunk", Json::num(p_chunk as f64)),
+                    ("i_chunk", Json::num(i_chunk as f64)),
+                    ("device_seconds", Json::num(result.device_seconds)),
+                    ("precalc_hit", Json::Bool(result.precalc_cached)),
+                ]));
+            }
+            let mut payload = vec![("tiles", Json::Arr(tiles))];
+            payload.append(&mut tile_exec_trailer(&run));
+            Message {
+                json: ok_response(payload),
+                chunks,
+            }
         }
     }
 }
 
 /// The wire form of one executed tile: identity (`tile`, `col0`), shape
-/// (`n_query`, `dims`), the value plane as hex bit patterns (k-major, the
-/// [`mdmp_core::MatrixProfile::from_raw`] order), the index plane as plain
-/// integers, and the modelled device seconds the tile cost.
+/// (`n_query`, `dims`), both planes as hex bit patterns (k-major, the
+/// [`mdmp_core::MatrixProfile::from_raw`] order), and the modelled device
+/// seconds the tile cost.
 fn tile_result_json(result: &mdmp_core::SubsetTileResult) -> Json {
     let profile = &result.profile;
-    let (n_query, dims) = (profile.n_query(), profile.dims());
-    let mut values = Vec::with_capacity(dims * n_query);
-    let mut indices = Vec::with_capacity(dims * n_query);
-    for k in 0..dims {
-        for j in 0..n_query {
-            values.push(profile.value(j, k));
-            indices.push(Json::num(profile.index(j, k) as f64));
-        }
-    }
+    let mut values = Vec::new();
+    let mut indices = Vec::new();
+    mdmp_core::profile_planes_k_major(profile, &mut values, &mut indices);
     Json::obj(vec![
         ("tile", Json::num(result.tile.index as f64)),
         ("col0", Json::num(result.tile.col0 as f64)),
-        ("n_query", Json::num(n_query as f64)),
-        ("dims", Json::num(dims as f64)),
+        ("n_query", Json::num(profile.n_query() as f64)),
+        ("dims", Json::num(profile.dims() as f64)),
         ("p_hex", Json::str(encode_plane_hex(&values))),
-        ("i", Json::Arr(indices)),
+        ("i_hex", Json::str(encode_index_plane_hex(&indices))),
         ("device_seconds", Json::num(result.device_seconds)),
         ("precalc_hit", Json::Bool(result.precalc_cached)),
     ])
@@ -628,14 +904,9 @@ fn summary_json(summary: &SessionSummary) -> Json {
 }
 
 fn parse_series(value: &Json) -> Result<MultiDimSeries, String> {
-    let out = parse_samples(value)?;
     // `from_dims` asserts equal lengths; a ragged wire payload must be a
     // typed error, not a dropped connection.
-    let len = out[0].len();
-    if out.iter().any(|d| d.len() != len) {
-        return Err("all dimensions must have the same length".into());
-    }
-    Ok(MultiDimSeries::from_dims(out))
+    series_from_dims(parse_samples(value)?)
 }
 
 /// Parse per-dimension sample slices without requiring equal lengths — the
@@ -657,17 +928,24 @@ fn parse_samples(value: &Json) -> Result<Vec<Vec<f64>>, String> {
     Ok(out)
 }
 
-fn stream_open(service: &Service, request: &Json) -> Json {
+/// Parse the `m` and `mode` fields shared by both `stream_open`
+/// transports.
+fn parse_stream_config(request: &Json) -> Result<(usize, PrecisionMode), String> {
     let m = match request.get("m").and_then(Json::as_u64) {
         Some(m) if m >= 2 => m as usize,
-        _ => return error_response("missing 'm' (>= 2)"),
+        _ => return Err("missing 'm' (>= 2)".into()),
     };
     let mode = match request.get("mode").and_then(Json::as_str) {
-        Some(s) => match s.parse::<PrecisionMode>() {
-            Ok(mode) => mode,
-            Err(e) => return error_response(&e),
-        },
+        Some(s) => s.parse::<PrecisionMode>()?,
         None => PrecisionMode::Fp64,
+    };
+    Ok((m, mode))
+}
+
+fn stream_open(service: &Service, request: &Json) -> Json {
+    let (m, mode) = match parse_stream_config(request) {
+        Ok(config) => config,
+        Err(e) => return error_response(&e),
     };
     let reference = match request.get("reference").map(parse_series) {
         Some(Ok(series)) => series,
@@ -683,6 +961,15 @@ fn stream_open(service: &Service, request: &Json) -> Json {
         Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
         Err(e) => error_response(&e),
     }
+}
+
+fn append_report_json(report: &crate::session::AppendReport) -> Json {
+    ok_response(vec![
+        ("session", summary_json(&report.summary)),
+        ("reused_precalc", Json::Bool(report.reused_precalc)),
+        ("reused_segments", Json::num(report.reused_segments as f64)),
+        ("fresh_segments", Json::num(report.fresh_segments as f64)),
+    ])
 }
 
 fn stream_append(service: &Service, request: &Json) -> Json {
@@ -702,12 +989,101 @@ fn stream_append(service: &Service, request: &Json) -> Json {
         None => return error_response("missing 'samples'"),
     };
     match service.stream_append(id, side, &samples) {
-        Ok(report) => ok_response(vec![
-            ("session", summary_json(&report.summary)),
-            ("reused_precalc", Json::Bool(report.reused_precalc)),
-            ("reused_segments", Json::num(report.reused_segments as f64)),
-            ("fresh_segments", Json::num(report.fresh_segments as f64)),
-        ]),
+        Ok(report) => append_report_json(&report),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Pull `count` float chunks off the frame as per-dimension sample
+/// slices.
+fn chunk_series(
+    chunks: &mut std::vec::IntoIter<Chunk>,
+    count: usize,
+    what: &str,
+) -> Result<Vec<Vec<f64>>, String> {
+    if count == 0 {
+        return Err(format!("{what} needs at least one dimension"));
+    }
+    let mut dims = Vec::with_capacity(count);
+    for _ in 0..count {
+        match chunks.next() {
+            Some(Chunk::F64(samples)) => dims.push(samples),
+            Some(Chunk::I64(_)) => return Err(format!("{what}: expected float chunks")),
+            None => return Err(format!("{what}: frame carries fewer chunks than declared")),
+        }
+    }
+    Ok(dims)
+}
+
+/// Build a series from per-dimension slices, reporting raggedness as a
+/// typed error (`from_dims` asserts equal lengths).
+fn series_from_dims(dims: Vec<Vec<f64>>) -> Result<MultiDimSeries, String> {
+    let len = dims.first().map_or(0, Vec::len);
+    if dims.iter().any(|d| d.len() != len) {
+        return Err("all dimensions must have the same length".into());
+    }
+    Ok(MultiDimSeries::from_dims(dims))
+}
+
+/// Serve a `stream_open` whose series arrive as binary chunks — one float
+/// chunk per dimension, `reference_chunks` of them, then `query_chunks`
+/// (omit for a self-join).
+fn stream_open_binary(service: &Service, msg: Message) -> Json {
+    let request = &msg.json;
+    let (m, mode) = match parse_stream_config(request) {
+        Ok(config) => config,
+        Err(e) => return error_response(&e),
+    };
+    let Some(ref_count) = request.get("reference_chunks").and_then(Json::as_u64) else {
+        return error_response("missing numeric 'reference_chunks'");
+    };
+    let query_count = request.get("query_chunks").and_then(Json::as_u64);
+    let mut chunks = msg.chunks.into_iter();
+    let reference = match chunk_series(&mut chunks, ref_count as usize, "reference")
+        .and_then(series_from_dims)
+    {
+        Ok(series) => series,
+        Err(e) => return error_response(&format!("reference: {e}")),
+    };
+    let query = match query_count {
+        Some(count) => {
+            match chunk_series(&mut chunks, count as usize, "query").and_then(series_from_dims) {
+                Ok(series) => series,
+                Err(e) => return error_response(&format!("query: {e}")),
+            }
+        }
+        None => reference.clone(),
+    };
+    match service.stream_open(reference, query, MdmpConfig::new(m, mode)) {
+        Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
+        Err(e) => error_response(&e),
+    }
+}
+
+/// Serve a `stream_append` whose samples arrive as binary chunks — one
+/// float chunk per dimension, `samples_chunks` of them.
+fn stream_append_binary(service: &Service, msg: Message) -> Json {
+    let request = &msg.json;
+    let Some(id) = request.get("session").and_then(Json::as_u64) else {
+        return error_response("missing numeric 'session'");
+    };
+    let side = match request.get("side").and_then(Json::as_str) {
+        Some(s) => match s.parse::<AppendSide>() {
+            Ok(side) => side,
+            Err(e) => return error_response(&e),
+        },
+        None => AppendSide::Query,
+    };
+    let Some(count) = request.get("samples_chunks").and_then(Json::as_u64) else {
+        return error_response("missing numeric 'samples_chunks'");
+    };
+    let mut chunks = msg.chunks.into_iter();
+    let samples = match chunk_series(&mut chunks, count as usize, "samples") {
+        Ok(samples) => samples,
+        Err(e) => return error_response(&format!("samples: {e}")),
+    };
+    match service.stream_append(id, side, &samples) {
+        Ok(report) => append_report_json(&report),
         Err(e) => error_response(&e),
     }
 }
@@ -716,6 +1092,7 @@ fn stream_append(service: &Service, request: &Json) -> Json {
 /// response line.
 pub fn request(addr: &str, request: &Json) -> io::Result<Json> {
     let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
     writeln!(stream, "{request}")?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
@@ -916,10 +1293,10 @@ mod tests {
             let hex = tile.get("p_hex").unwrap().as_str().unwrap();
             let plane = decode_plane_hex(hex, n_query * dims).unwrap();
             assert!(plane.iter().all(|v| v.is_finite() || *v == f64::INFINITY));
-            assert_eq!(
-                tile.get("i").unwrap().as_arr().unwrap().len(),
-                n_query * dims
-            );
+            let i_hex = tile.get("i_hex").unwrap().as_str().unwrap();
+            let index_plane = decode_index_plane_hex(i_hex, n_query * dims).unwrap();
+            assert_eq!(index_plane.len(), n_query * dims);
+            assert!(index_plane.iter().all(|&i| i >= -1));
             assert!(tile.get("device_seconds").unwrap().as_f64().unwrap() > 0.0);
         }
         assert_eq!(service.stats().tile_exec_requests, 1);

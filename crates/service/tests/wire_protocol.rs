@@ -1,0 +1,491 @@
+//! Wire-protocol acceptance over real TCP sockets: the binary frame
+//! transport must be **bit-identical** to the JSON-lines transport in
+//! every precision mode, survive injected corruption with typed errors
+//! (server stays up, counters bump), and round-trip arbitrary planes —
+//! NaN payloads, infinities, `-0.0`, subnormals — exactly.
+
+use mdmp_precision::PrecisionMode;
+use mdmp_service::{
+    decode_index_plane_hex, decode_plane_hex, serve, Chunk, FrameCodec, Json, Message, Server,
+    Service, ServiceConfig, WireConn, WirePreference,
+};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn start_node() -> (Arc<Service>, Server, String) {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        devices: 1,
+        ..ServiceConfig::default()
+    });
+    let server = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    (service, server, addr)
+}
+
+/// A `tile_exec` request for two tiles of a small synthetic job.
+fn tile_exec_request(mode: &str) -> Json {
+    Json::obj(vec![
+        ("op", Json::str("tile_exec")),
+        (
+            "job",
+            Json::obj(vec![
+                (
+                    "input",
+                    Json::obj(vec![
+                        ("kind", Json::str("synthetic")),
+                        ("n", Json::num(192.0)),
+                        ("d", Json::num(2.0)),
+                        ("pattern", Json::num(1.0)),
+                        ("noise", Json::num(0.3)),
+                        ("seed", Json::num(7.0)),
+                    ]),
+                ),
+                ("m", Json::num(16.0)),
+                ("mode", Json::str(mode)),
+                ("tiles", Json::num(2.0)),
+                ("gpus", Json::num(1.0)),
+                ("tile_retries", Json::num(2.0)),
+            ]),
+        ),
+        ("tiles", Json::Arr(vec![Json::num(0.0), Json::num(1.0)])),
+    ])
+}
+
+/// One decoded tile: (tile, col0, value bits, indices).
+type TilePlanes = (usize, usize, Vec<u64>, Vec<i64>);
+
+/// One tile's planes, decoded from either transport's reply entry.
+fn planes_of(entry: &Json, chunks: &[Chunk]) -> TilePlanes {
+    let field = |k: &str| entry.get(k).and_then(Json::as_u64).expect(k) as usize;
+    let len = field("n_query") * field("dims");
+    let p = if let Some(at) = entry.get("p_chunk").and_then(Json::as_u64) {
+        chunks[at as usize].clone().into_f64().expect("float chunk")
+    } else {
+        let hex = entry.get("p_hex").and_then(Json::as_str).expect("p_hex");
+        decode_plane_hex(hex, len).expect("p_hex decode")
+    };
+    let i = if let Some(at) = entry.get("i_chunk").and_then(Json::as_u64) {
+        chunks[at as usize].clone().into_i64().expect("index chunk")
+    } else {
+        let hex = entry.get("i_hex").and_then(Json::as_str).expect("i_hex");
+        decode_index_plane_hex(hex, len).expect("i_hex decode")
+    };
+    let bits = p.iter().map(|v| v.to_bits()).collect();
+    (field("tile"), field("col0"), bits, i)
+}
+
+/// Run one `tile_exec` on a fresh connection with the given transport
+/// preference; return the decoded tiles plus the connection's byte
+/// counters.
+fn exec_tiles(
+    addr: &str,
+    mode: &str,
+    prefer: WirePreference,
+) -> (Vec<TilePlanes>, u64, u64) {
+    let mut conn = WireConn::connect(addr, None, prefer).expect("connect");
+    assert_eq!(conn.is_binary(), prefer == WirePreference::Auto);
+    let reply = conn
+        .request(&Message::json(tile_exec_request(mode)))
+        .expect("tile_exec");
+    assert_eq!(
+        reply.json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        reply.json.get("error")
+    );
+    let entries = reply
+        .json
+        .get("tiles")
+        .and_then(Json::as_arr)
+        .expect("tiles");
+    let mut tiles: Vec<_> = entries
+        .iter()
+        .map(|e| planes_of(e, &reply.chunks))
+        .collect();
+    tiles.sort_by_key(|t| t.0);
+    (tiles, conn.bytes_sent(), conn.bytes_received())
+}
+
+/// Tentpole acceptance: for every one of the 12 precision modes, the
+/// binary transport's planes are bit-identical to the JSON transport's —
+/// and materially smaller on the wire.
+#[test]
+fn binary_transport_is_bit_identical_to_json_in_all_modes() {
+    let (_service, _server, addr) = start_node();
+    for mode in PrecisionMode::ALL {
+        let label = mode.label();
+        let (json_tiles, _, json_in) = exec_tiles(&addr, label, WirePreference::Json);
+        let (bin_tiles, _, bin_in) = exec_tiles(&addr, label, WirePreference::Auto);
+        assert_eq!(json_tiles.len(), 2, "{label}");
+        assert_eq!(
+            json_tiles, bin_tiles,
+            "{label}: binary and JSON planes must be bit-identical"
+        );
+        assert!(
+            bin_in * 2 < json_in,
+            "{label}: binary reply ({bin_in} B) must be well under the JSON reply ({json_in} B)"
+        );
+    }
+}
+
+/// The narrowing pays: an FP32-mode reply (4-byte elements) is at least
+/// 4x smaller than the same reply over JSON (16 ASCII bytes per element).
+#[test]
+fn fp32_planes_shrink_at_least_four_fold() {
+    let (_service, _server, addr) = start_node();
+    let (_, _, json_in) = exec_tiles(&addr, "fp32", WirePreference::Json);
+    let (_, _, bin_in) = exec_tiles(&addr, "fp32", WirePreference::Auto);
+    assert!(
+        bin_in * 4 <= json_in,
+        "fp32 binary reply {bin_in} B vs JSON {json_in} B: expected >= 4x reduction"
+    );
+}
+
+/// Streaming over the binary transport reports the same per-append reuse
+/// accounting as the JSON transport fed the same samples.
+#[test]
+fn binary_streaming_matches_json_streaming() {
+    let (_service, _server, addr) = start_node();
+    let m = 8usize;
+    let dims: Vec<Vec<f64>> = (0..2)
+        .map(|k| {
+            (0..48)
+                .map(|t| ((t + k * 3) as f64 * 0.31).sin() + 0.02 * ((t * 5 + k) % 11) as f64)
+                .collect()
+        })
+        .collect();
+    let initial = 32usize;
+    let series_json = |start: usize, len: usize| {
+        Json::Arr(
+            dims.iter()
+                .map(|d| {
+                    Json::Arr(
+                        d[start..start + len]
+                            .iter()
+                            .map(|&v| Json::num(v))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    };
+    let series_chunks = |start: usize, len: usize| -> Vec<Chunk> {
+        dims.iter()
+            .map(|d| Chunk::F64(d[start..start + len].to_vec()))
+            .collect()
+    };
+
+    let mut json_conn = WireConn::connect(&addr, None, WirePreference::Json).expect("connect");
+    let mut bin_conn = WireConn::connect(&addr, None, WirePreference::Auto).expect("connect");
+    assert!(bin_conn.is_binary());
+
+    let json_open = json_conn
+        .request(&Message::json(Json::obj(vec![
+            ("op", Json::str("stream_open")),
+            ("m", Json::num(m as f64)),
+            ("mode", Json::str("fp16")),
+            ("reference", series_json(0, dims[0].len())),
+            ("query", series_json(0, initial)),
+        ])))
+        .expect("json open");
+    let mut open_chunks = series_chunks(0, dims[0].len());
+    open_chunks.append(&mut series_chunks(0, initial));
+    let bin_open = bin_conn
+        .request(&Message {
+            json: Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(m as f64)),
+                ("mode", Json::str("fp16")),
+                ("reference_chunks", Json::num(dims.len() as f64)),
+                ("query_chunks", Json::num(dims.len() as f64)),
+            ]),
+            chunks: open_chunks,
+        })
+        .expect("binary open");
+    let session_of = |reply: &Message| {
+        assert_eq!(
+            reply.json.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{:?}",
+            reply.json.get("error")
+        );
+        reply
+            .json
+            .get("session")
+            .and_then(|s| s.get("session"))
+            .and_then(Json::as_u64)
+            .expect("session id")
+    };
+    let json_session = session_of(&json_open);
+    let bin_session = session_of(&bin_open);
+
+    let mut at = initial;
+    while at < dims[0].len() {
+        let len = 8.min(dims[0].len() - at);
+        let json_reply = json_conn
+            .request(&Message::json(Json::obj(vec![
+                ("op", Json::str("stream_append")),
+                ("session", Json::num(json_session as f64)),
+                ("side", Json::str("query")),
+                ("samples", series_json(at, len)),
+            ])))
+            .expect("json append");
+        let bin_reply = bin_conn
+            .request(&Message {
+                json: Json::obj(vec![
+                    ("op", Json::str("stream_append")),
+                    ("session", Json::num(bin_session as f64)),
+                    ("side", Json::str("query")),
+                    ("samples_chunks", Json::num(dims.len() as f64)),
+                ]),
+                chunks: series_chunks(at, len),
+            })
+            .expect("binary append");
+        at += len;
+        for key in ["reused_segments", "fresh_segments", "reused_precalc"] {
+            assert_eq!(
+                json_reply.json.get(key).map(Json::to_string),
+                bin_reply.json.get(key).map(Json::to_string),
+                "append accounting '{key}' diverged at sample {at}"
+            );
+        }
+        assert_eq!(
+            json_reply
+                .json
+                .get("session")
+                .and_then(|s| s.get("n_query"))
+                .map(Json::to_string),
+            bin_reply
+                .json
+                .get("session")
+                .and_then(|s| s.get("n_query"))
+                .map(Json::to_string),
+            "profile columns diverged at sample {at}"
+        );
+    }
+}
+
+/// Upgrade, then read/write raw frames on the socket — the corruption
+/// harness needs byte-level control the `WireConn` client hides.
+fn upgrade_raw(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(
+        writer,
+        "{}",
+        Json::obj(vec![
+            ("op", Json::str("wire_upgrade")),
+            ("version", Json::num(1.0)),
+        ])
+    )
+    .expect("upgrade write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("upgrade reply");
+    let reply = Json::parse(line.trim()).expect("upgrade json");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    (reader, stream)
+}
+
+fn ping_frame() -> Vec<u8> {
+    FrameCodec::new()
+        .encode(
+            &Message::json(Json::obj(vec![("op", Json::str("ping"))])),
+            true,
+        )
+        .expect("encode")
+        .to_vec()
+}
+
+/// A flipped checksum gets a typed error reply and the connection keeps
+/// serving; an oversized length prefix gets a typed error and a close;
+/// the server survives both and counts each frame error.
+#[test]
+fn corrupted_frames_get_typed_errors_and_the_server_survives() {
+    let (service, _server, addr) = start_node();
+    let (mut reader, mut writer) = upgrade_raw(&addr);
+    let mut codec = FrameCodec::new();
+
+    // Baseline: a valid ping round-trips.
+    writer.write_all(&ping_frame()).expect("write");
+    let (reply, _) = codec.read(&mut reader).expect("read").expect("frame");
+    assert_eq!(reply.json.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Corrupt payload: flip the checksum's last byte. Typed error, then
+    // the very same connection still serves.
+    let mut corrupt = ping_frame();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    writer.write_all(&corrupt).expect("write");
+    let (reply, _) = codec.read(&mut reader).expect("read").expect("frame");
+    assert_eq!(reply.json.get("ok").and_then(Json::as_bool), Some(false));
+    let error = reply.json.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(error.contains("corrupt"), "{error}");
+    writer.write_all(&ping_frame()).expect("write");
+    let (reply, _) = codec.read(&mut reader).expect("read").expect("frame");
+    assert_eq!(
+        reply.json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "connection must keep serving after a corrupt frame"
+    );
+
+    // Lost framing: an oversized length prefix. Typed error, then close.
+    let mut oversized = ping_frame();
+    oversized[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    writer.write_all(&oversized).expect("write");
+    let (reply, _) = codec.read(&mut reader).expect("read").expect("frame");
+    assert_eq!(reply.json.get("ok").and_then(Json::as_bool), Some(false));
+    let error = reply.json.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(error.contains("framing lost"), "{error}");
+    assert!(
+        matches!(codec.read(&mut reader), Ok(None)),
+        "server must close after lost framing"
+    );
+
+    assert!(
+        service.stats().wire_frame_errors >= 2,
+        "both injections must be counted"
+    );
+
+    // The server itself is unharmed: a fresh connection works.
+    let (tiles, _, _) = exec_tiles(&addr, "fp16", WirePreference::Auto);
+    assert_eq!(tiles.len(), 2);
+}
+
+/// A frame truncated mid-payload (client dies) severs only that
+/// connection; the server keeps accepting.
+#[test]
+fn truncated_frame_kills_only_its_connection() {
+    let (_service, _server, addr) = start_node();
+    {
+        let (mut reader, mut writer) = upgrade_raw(&addr);
+        let frame = ping_frame();
+        writer.write_all(&frame[..frame.len() / 2]).expect("write");
+        writer
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+        let mut rest = Vec::new();
+        // The server reads EOF mid-frame and closes without a reply.
+        std::io::Read::read_to_end(&mut reader, &mut rest).expect("drain");
+        assert!(rest.is_empty(), "no reply to an unfinished frame");
+    }
+    let (tiles, _, _) = exec_tiles(&addr, "fp32", WirePreference::Auto);
+    assert_eq!(tiles.len(), 2);
+}
+
+/// A version the server does not speak is declined — and the connection
+/// stays on JSON lines, still serving.
+#[test]
+fn unsupported_upgrade_version_falls_back_to_json() {
+    let (_service, _server, addr) = start_node();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writeln!(
+        writer,
+        "{}",
+        Json::obj(vec![
+            ("op", Json::str("wire_upgrade")),
+            ("version", Json::num(99.0)),
+        ])
+    )
+    .expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    let reply = Json::parse(line.trim()).expect("json");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    writeln!(writer, "{}", Json::obj(vec![("op", Json::str("ping"))])).expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("reply");
+    let reply = Json::parse(line.trim()).expect("json");
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "connection must keep speaking JSON after a declined upgrade"
+    );
+}
+
+/// The labeled byte counters reach the metrics page with encoding and op
+/// labels, and the stats op totals them.
+#[test]
+fn wire_bytes_are_surfaced_in_metrics_and_stats() {
+    let (service, _server, addr) = start_node();
+    let _ = exec_tiles(&addr, "fp32", WirePreference::Auto);
+    let text = service.metrics_text();
+    assert!(
+        text.contains("mdmp_wire_bytes_sent_total{encoding=\"binary\",op=\"tile_exec\"}"),
+        "missing labeled sent counter:\n{text}"
+    );
+    assert!(
+        text.contains("mdmp_wire_bytes_received_total{encoding=\"binary\",op=\"tile_exec\"}"),
+        "missing labeled received counter:\n{text}"
+    );
+    assert!(text.contains("mdmp_wire_binary_sessions"));
+    let stats = service.stats();
+    assert!(stats.wire_bytes_sent > 0);
+    assert!(stats.wire_bytes_received > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode ∘ decode is the identity on arbitrary bit patterns — NaN
+    /// payloads, infinities, `-0.0`, subnormals — at both widths, with
+    /// and without narrowing.
+    #[test]
+    fn frame_round_trip_is_identity(
+        bits in proptest::collection::vec(any::<u64>(), 0..96),
+        idx in proptest::collection::vec(any::<i64>(), 0..96),
+        narrow in any::<bool>(),
+    ) {
+        let plane: Vec<f64> = bits.iter().copied().map(f64::from_bits).collect();
+        let msg = Message {
+            json: Json::obj(vec![("op", Json::str("tile_exec"))]),
+            chunks: vec![Chunk::F64(plane), Chunk::I64(idx.clone())],
+        };
+        let mut codec = FrameCodec::new();
+        let frame = codec.encode(&msg, narrow).expect("encode").to_vec();
+        let mut reader = BufReader::new(&frame[..]);
+        let (back, n) = codec.read(&mut reader).expect("read").expect("frame");
+        prop_assert_eq!(n as usize, frame.len());
+        prop_assert_eq!(&back.json, &msg.json);
+        let back_plane = back.chunks[0].clone().into_f64().expect("float chunk");
+        let back_bits: Vec<u64> = back_plane.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(back_bits, bits);
+        prop_assert_eq!(back.chunks[1].clone().into_i64().expect("index chunk"), idx);
+    }
+
+    /// Special values survive narrowing bit-exactly alongside ordinary
+    /// samples.
+    #[test]
+    fn special_values_round_trip_narrowed(
+        extra in proptest::collection::vec(-1e4f64..1e4, 0..32),
+    ) {
+        let mut plane = vec![
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE,
+            5e-324,
+            f64::from_bits(0x7FF0_0000_0000_0001),
+        ];
+        plane.extend(extra);
+        let msg = Message {
+            json: Json::obj(vec![("op", Json::str("stream_append"))]),
+            chunks: vec![Chunk::F64(plane.clone())],
+        };
+        let mut codec = FrameCodec::new();
+        let frame = codec.encode(&msg, true).expect("encode").to_vec();
+        let mut reader = BufReader::new(&frame[..]);
+        let (back, _) = codec.read(&mut reader).expect("read").expect("frame");
+        let back_plane = back.chunks[0].clone().into_f64().expect("float chunk");
+        prop_assert_eq!(back_plane.len(), plane.len());
+        for (a, b) in plane.iter().zip(&back_plane) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+    }
+}
