@@ -1004,6 +1004,12 @@ fn chunk_series(
     if count == 0 {
         return Err(format!("{what} needs at least one dimension"));
     }
+    // The declared count is client-controlled (any u64 the JSON header
+    // carries); cap it by what the frame actually holds before sizing
+    // the allocation.
+    if count > chunks.len() {
+        return Err(format!("{what}: frame carries fewer chunks than declared"));
+    }
     let mut dims = Vec::with_capacity(count);
     for _ in 0..count {
         match chunks.next() {
@@ -1054,6 +1060,9 @@ fn stream_open_binary(service: &Service, msg: Message) -> Json {
         }
         None => reference.clone(),
     };
+    if chunks.next().is_some() {
+        return error_response("frame carries more chunks than declared");
+    }
     match service.stream_open(reference, query, MdmpConfig::new(m, mode)) {
         Ok(summary) => ok_response(vec![("session", summary_json(&summary))]),
         Err(e) => error_response(&e),
@@ -1082,6 +1091,9 @@ fn stream_append_binary(service: &Service, msg: Message) -> Json {
         Ok(samples) => samples,
         Err(e) => return error_response(&format!("samples: {e}")),
     };
+    if chunks.next().is_some() {
+        return error_response("frame carries more chunks than declared");
+    }
     match service.stream_append(id, side, &samples) {
         Ok(report) => append_report_json(&report),
         Err(e) => error_response(&e),

@@ -237,6 +237,11 @@ fn take_varint(bytes: &[u8], at: &mut usize) -> Result<u64, String> {
         if shift >= 64 {
             return Err("varint longer than 64 bits".into());
         }
+        // At shift 63 only the low bit of the payload fits; higher bits
+        // would be silently shifted out, decoding a wrong value.
+        if shift == 63 && byte & 0x7E != 0 {
+            return Err("varint longer than 64 bits".into());
+        }
         value |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
             return Ok(value);
@@ -323,9 +328,13 @@ fn encode_chunk(out: &mut Vec<u8>, chunk: &Chunk, narrow: bool) -> Result<(), St
     match chunk {
         Chunk::F64(plane) => {
             let width = if narrow { narrowest_width(plane) } else { 8 };
+            let byte_len = u64::from(count)
+                .checked_mul(u64::from(width))
+                .and_then(|b| u32::try_from(b).ok())
+                .ok_or_else(|| "chunk longer than u32 bytes".to_string())?;
             out.push(width);
             push_u32(out, count);
-            push_u32(out, count * u32::from(width));
+            push_u32(out, byte_len);
             match width {
                 2 => {
                     for &v in plane {
@@ -732,6 +741,34 @@ mod tests {
             assert_eq!(unzigzag(take_varint(&buf, &mut at).unwrap()), v);
             assert_eq!(at, buf.len());
         }
+    }
+
+    #[test]
+    fn varint_rejects_overflowing_tenth_byte() {
+        // Canonical u64::MAX: nine continuation bytes, then 0x01.
+        let mut buf = Vec::new();
+        push_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        let mut at = 0;
+        assert_eq!(take_varint(&buf, &mut at).unwrap(), u64::MAX);
+        // A 10th byte with payload bits beyond the one that fits at
+        // shift 63 must error, not silently drop the high bits.
+        let bad = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        let mut at = 0;
+        assert!(take_varint(&bad, &mut at).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_byte_len_overflow() {
+        // A plane whose element count * width overflows u32 bytes must
+        // be a typed error, not a wrapped length. 2^29 elements at
+        // width 8 is the smallest overflow; the all-zero plane is an
+        // untouched lazy-zero allocation and the encoder errors before
+        // reading any element.
+        let plane = vec![0.0f64; 1usize << 29];
+        let mut out = Vec::new();
+        let err = encode_chunk(&mut out, &Chunk::F64(plane), false).unwrap_err();
+        assert!(err.contains("u32"), "{err}");
     }
 
     #[test]

@@ -80,11 +80,7 @@ fn planes_of(entry: &Json, chunks: &[Chunk]) -> TilePlanes {
 /// Run one `tile_exec` on a fresh connection with the given transport
 /// preference; return the decoded tiles plus the connection's byte
 /// counters.
-fn exec_tiles(
-    addr: &str,
-    mode: &str,
-    prefer: WirePreference,
-) -> (Vec<TilePlanes>, u64, u64) {
+fn exec_tiles(addr: &str, mode: &str, prefer: WirePreference) -> (Vec<TilePlanes>, u64, u64) {
     let mut conn = WireConn::connect(addr, None, prefer).expect("connect");
     assert_eq!(conn.is_binary(), prefer == WirePreference::Auto);
     let reply = conn
@@ -265,6 +261,93 @@ fn binary_streaming_matches_json_streaming() {
                 .map(Json::to_string),
             "profile columns diverged at sample {at}"
         );
+    }
+}
+
+/// A frame declaring an absurd chunk count (far beyond what it carries)
+/// gets a typed error — not a count-sized allocation that aborts the
+/// server — and declared counts must also match the frame exactly:
+/// extra undeclared chunks are rejected, not silently dropped.
+#[test]
+fn binary_chunk_counts_must_match_the_frame() {
+    let (_service, _server, addr) = start_node();
+    let mut conn = WireConn::connect(&addr, None, WirePreference::Auto).expect("connect");
+    assert!(conn.is_binary());
+
+    // Declared count is client-controlled: 1e15 chunks "declared", one
+    // carried. Must be a typed error, and the connection keeps serving.
+    let reply = conn
+        .request(&Message {
+            json: Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(8.0)),
+                ("reference_chunks", Json::num(1e15)),
+            ]),
+            chunks: vec![Chunk::F64(vec![0.0; 16])],
+        })
+        .expect("request survives");
+    assert_eq!(reply.json.get("ok").and_then(Json::as_bool), Some(false));
+    let error = reply.json.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(error.contains("fewer chunks"), "{error}");
+
+    // Extra chunks beyond the declared counts are an error, mirroring
+    // parse_payload's trailing-bytes rejection.
+    let samples: Vec<f64> = (0..32).map(|t| (t as f64 * 0.3).sin()).collect();
+    let reply = conn
+        .request(&Message {
+            json: Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(8.0)),
+                ("reference_chunks", Json::num(1.0)),
+            ]),
+            chunks: vec![Chunk::F64(samples.clone()), Chunk::F64(samples.clone())],
+        })
+        .expect("request survives");
+    assert_eq!(reply.json.get("ok").and_then(Json::as_bool), Some(false));
+    let error = reply.json.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(error.contains("more chunks"), "{error}");
+
+    // The same connection still opens a well-formed session afterwards.
+    let reply = conn
+        .request(&Message {
+            json: Json::obj(vec![
+                ("op", Json::str("stream_open")),
+                ("m", Json::num(8.0)),
+                ("reference_chunks", Json::num(1.0)),
+            ]),
+            chunks: vec![Chunk::F64(samples.clone())],
+        })
+        .expect("request survives");
+    assert_eq!(
+        reply.json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        reply.json.get("error")
+    );
+    let session = reply
+        .json
+        .get("session")
+        .and_then(|s| s.get("session"))
+        .and_then(Json::as_u64)
+        .expect("session id");
+
+    // stream_append enforces the same two rules.
+    for (declared, carried, needle) in
+        [(1e15, 1usize, "fewer chunks"), (1.0, 2usize, "more chunks")]
+    {
+        let reply = conn
+            .request(&Message {
+                json: Json::obj(vec![
+                    ("op", Json::str("stream_append")),
+                    ("session", Json::num(session as f64)),
+                    ("samples_chunks", Json::num(declared)),
+                ]),
+                chunks: vec![Chunk::F64(samples.clone()); carried],
+            })
+            .expect("request survives");
+        assert_eq!(reply.json.get("ok").and_then(Json::as_bool), Some(false));
+        let error = reply.json.get("error").and_then(Json::as_str).unwrap_or("");
+        assert!(error.contains(needle), "{error}");
     }
 }
 
