@@ -1,0 +1,356 @@
+//! Phase 2 of the interprocedural lock analysis: resolve the call
+//! references extracted by [`crate::facts`] into an approximate
+//! intra-crate call graph and propagate per-function summaries to a
+//! fixpoint.
+//!
+//! A function's [`Summary`] answers two questions for its callers:
+//!
+//! * **acquires** — which locks may be taken anywhere below this call,
+//!   each with a first-witness `file:line` chain showing how;
+//! * **blocks** — whether any path below this call may block, keyed by
+//!   the lock a `Condvar` wait releases (`Some(lock)`) or `None` for
+//!   unconditional blocking (join/recv/sleep/socket I/O). The key matters
+//!   to R7: waiting on lock `L` is *not* a hold-across-wait violation for
+//!   a caller that holds `L` itself (the wait releases it), but is for
+//!   every other held lock.
+//!
+//! Resolution is deliberately conservative (miss rather than guess):
+//!
+//! * `self.name(...)` → a `fn name` in the same file;
+//! * `recv.name(...)` → a `fn name` in `recv.rs` of the same crate (the
+//!   field-stem idiom: `self.queue.pop()` → `queue.rs::pop`), else — for
+//!   names not too generic — a `fn name` in the same file (the
+//!   `report.absorb_wire(&client)` shape);
+//! * `qual::name(...)` → a `fn name` in `qual.rs` of the same crate;
+//! * `name(...)` → a `fn name` in the same file.
+//!
+//! Unresolved calls contribute nothing. Recursion is handled by the
+//! fixpoint: summaries only grow, paths are first-witness (never
+//! replaced), so iteration terminates.
+
+use std::collections::BTreeMap;
+
+use crate::facts::{CallRef, EventKind, FileFacts, FnFacts};
+
+/// Longest `file:line` chain kept in a summary path. Deep chains are
+/// truncated at the tail; the anchor (first steps) is what a reader needs.
+const MAX_PATH: usize = 6;
+
+/// One hop of a witness chain.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Step {
+    pub file: String,
+    pub line: usize,
+    pub what: String,
+}
+
+impl Step {
+    pub(crate) fn render(&self) -> String {
+        format!("{}:{}: {}", self.file, self.line, self.what)
+    }
+}
+
+/// What a call to this function may do, transitively.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Summary {
+    /// Lock id → first-witness acquisition chain.
+    pub acquires: BTreeMap<String, Vec<Step>>,
+    /// Blocking behaviour keyed by the released lock (`None` = releases
+    /// nothing). Value: human description + first-witness chain.
+    pub blocks: BTreeMap<Option<String>, (String, Vec<Step>)>,
+}
+
+/// The resolved whole-program fact base.
+pub(crate) struct Program {
+    pub fns: Vec<FnFacts>,
+    /// Per function, per event: resolved callee index (None for
+    /// non-call events and unresolved calls).
+    pub resolved: Vec<Vec<Option<usize>>>,
+    pub summaries: Vec<Summary>,
+}
+
+fn crate_of(file: &str) -> &str {
+    // "crates/<name>/src/..." → "<name>"; anything else keeps its first
+    // two components so vendored trees never alias a workspace crate.
+    let mut parts = file.splitn(3, '/');
+    let root = parts.next().unwrap_or("");
+    let name = parts.next().unwrap_or("");
+    if root == "crates" {
+        name
+    } else {
+        root
+    }
+}
+
+fn stem_of(file: &str) -> &str {
+    file.rsplit('/')
+        .next()
+        .unwrap_or(file)
+        .trim_end_matches(".rs")
+}
+
+/// Method names too generic for the same-file fallback, so `inner.pop()`
+/// inside `queue.rs` does not resolve to `queue.rs::pop` and fabricate
+/// recursion through a container call.
+fn too_generic(name: &str) -> bool {
+    crate::facts::GENERIC_METHODS.contains(&name)
+}
+
+/// Build the program: resolve every call event and run the summary
+/// fixpoint.
+pub(crate) fn build(files: &[FileFacts]) -> Program {
+    let mut fns: Vec<FnFacts> = Vec::new();
+    for f in files {
+        fns.extend(f.fns.iter().cloned());
+    }
+
+    // Indexes. Synthetic spawn roots contain "::<" and are never call
+    // targets.
+    let mut by_file_name: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    let mut by_crate_stem_name: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        if f.name.contains("::<") {
+            continue;
+        }
+        by_file_name
+            .entry((f.file.as_str(), f.name.as_str()))
+            .or_insert(i);
+        by_crate_stem_name
+            .entry((crate_of(&f.file), stem_of(&f.file), f.name.as_str()))
+            .or_insert(i);
+    }
+
+    let resolve = |file: &str, callee: &CallRef| -> Option<usize> {
+        let krate = crate_of(file);
+        match callee {
+            CallRef::Method { recv, name } if recv == "self" => {
+                by_file_name.get(&(file, name.as_str())).copied()
+            }
+            CallRef::Method { recv, name } => by_crate_stem_name
+                .get(&(krate, recv.as_str(), name.as_str()))
+                .copied()
+                .or_else(|| {
+                    if too_generic(name) {
+                        None
+                    } else {
+                        by_file_name.get(&(file, name.as_str())).copied()
+                    }
+                }),
+            CallRef::Path { qual, name } => by_crate_stem_name
+                .get(&(krate, qual.as_str(), name.as_str()))
+                .copied(),
+            CallRef::Bare { name } => by_file_name.get(&(file, name.as_str())).copied(),
+        }
+    };
+
+    let resolved: Vec<Vec<Option<usize>>> = fns
+        .iter()
+        .map(|f| {
+            f.events
+                .iter()
+                .map(|e| match &e.kind {
+                    EventKind::Call { callee } => resolve(&f.file, callee),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut summaries = vec![Summary::default(); fns.len()];
+    // Monotone fixpoint: entries are only ever added (first witness
+    // wins), so this terminates; the iteration cap is a safety net.
+    for _ in 0..64 {
+        let mut changed = false;
+        for fi in 0..fns.len() {
+            let mut next = summaries[fi].clone();
+            for (ei, ev) in fns[fi].events.iter().enumerate() {
+                match &ev.kind {
+                    EventKind::Acquire { lock } => {
+                        next.acquires.entry(lock.clone()).or_insert_with(|| {
+                            vec![Step {
+                                file: fns[fi].file.clone(),
+                                line: ev.line,
+                                what: format!("acquires `{lock}`"),
+                            }]
+                        });
+                    }
+                    EventKind::Wait { lock } => {
+                        next.blocks.entry(lock.clone()).or_insert_with(|| {
+                            let desc = match lock {
+                                Some(l) => format!("a Condvar wait releasing `{l}`"),
+                                None => "a Condvar wait".to_string(),
+                            };
+                            (
+                                desc.clone(),
+                                vec![Step {
+                                    file: fns[fi].file.clone(),
+                                    line: ev.line,
+                                    what: desc,
+                                }],
+                            )
+                        });
+                    }
+                    EventKind::Blocking { what } => {
+                        next.blocks.entry(None).or_insert_with(|| {
+                            (
+                                what.clone(),
+                                vec![Step {
+                                    file: fns[fi].file.clone(),
+                                    line: ev.line,
+                                    what: format!("blocks on {what}"),
+                                }],
+                            )
+                        });
+                    }
+                    EventKind::Call { .. } => {
+                        let Some(ci) = resolved[fi][ei] else { continue };
+                        let call_step = Step {
+                            file: fns[fi].file.clone(),
+                            line: ev.line,
+                            what: format!("calls `{}`", fns[ci].name),
+                        };
+                        let callee = summaries[ci].clone();
+                        for (lock, path) in &callee.acquires {
+                            next.acquires.entry(lock.clone()).or_insert_with(|| {
+                                let mut p = vec![call_step.clone()];
+                                p.extend(path.iter().cloned());
+                                p.truncate(MAX_PATH);
+                                p
+                            });
+                        }
+                        for (rel, (desc, path)) in &callee.blocks {
+                            next.blocks.entry(rel.clone()).or_insert_with(|| {
+                                let mut p = vec![call_step.clone()];
+                                p.extend(path.iter().cloned());
+                                p.truncate(MAX_PATH);
+                                (desc.clone(), p)
+                            });
+                        }
+                    }
+                }
+            }
+            if next != summaries[fi] {
+                summaries[fi] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Program {
+        fns,
+        resolved,
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+
+    fn program(files: &[(&str, &str)]) -> Program {
+        let facts: Vec<FileFacts> = files.iter().map(|(rel, src)| extract(rel, src)).collect();
+        build(&facts)
+    }
+
+    fn fn_idx(p: &Program, name: &str) -> usize {
+        p.fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn field_stem_beats_same_file_for_method_calls() {
+        // `self.queue.pop()` must resolve into queue.rs even though the
+        // caller's own file also defines a `pop`.
+        let p = program(&[
+            (
+                "crates/s/src/worker.rs",
+                "fn run(s: &S) { s.queue.pop(); }\nfn pop() { other_marker(); }\n",
+            ),
+            (
+                "crates/s/src/queue.rs",
+                "pub fn pop(q: &Q) { let mut g = q.inner.lock().unwrap(); \
+                 g = q.cv.wait(g).unwrap(); }\n",
+            ),
+        ]);
+        let run = fn_idx(&p, "run");
+        let queue_pop = p
+            .fns
+            .iter()
+            .position(|f| f.name == "pop" && f.file.ends_with("queue.rs"))
+            .expect("queue.rs::pop");
+        assert_eq!(p.resolved[run][0], Some(queue_pop));
+    }
+
+    #[test]
+    fn generic_names_never_resolve_same_file() {
+        // `inner.pop()` inside queue.rs must NOT resolve to the file's own
+        // `pop` (that would fabricate recursion through a container call).
+        let p = program(&[(
+            "crates/s/src/queue.rs",
+            "pub fn pop(q: &Q) { q.items.pop(); marker(q); }\n",
+        )]);
+        let pop = fn_idx(&p, "pop");
+        // The container pop stays unresolved (generic name, no `items.rs`)
+        // and the `marker` bare call has no same-file target.
+        assert!(p.resolved[pop].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn recursion_reaches_a_fixpoint_with_transitive_acquires() {
+        let p = program(&[(
+            "crates/s/src/a.rs",
+            "fn f(s: &S) { g(s); }\n\
+             fn g(s: &S) { let l = sync::lock(&s.thing); f(s); l.use_it(); }\n",
+        )]);
+        let f = fn_idx(&p, "f");
+        let g = fn_idx(&p, "g");
+        assert!(
+            p.summaries[f].acquires.contains_key("s/a.rs::thing"),
+            "f transitively acquires through g: {:?}",
+            p.summaries[f]
+        );
+        assert!(p.summaries[g].acquires.contains_key("s/a.rs::thing"));
+        // Witness path through the recursion stays bounded.
+        for path in p.summaries[f].acquires.values() {
+            assert!(path.len() <= MAX_PATH);
+        }
+    }
+
+    #[test]
+    fn wait_blocking_is_keyed_by_the_released_lock() {
+        let p = program(&[(
+            "crates/s/src/q.rs",
+            "pub fn pop(q: &Q) {\n\
+             let mut inner = q.inner.lock().unwrap();\n\
+             inner = q.cv.wait(inner).unwrap();\n\
+             }\n",
+        )]);
+        let pop = fn_idx(&p, "pop");
+        let s = &p.summaries[pop];
+        assert!(
+            s.blocks.contains_key(&Some("s/q.rs::inner".to_string())),
+            "{s:?}"
+        );
+        assert!(!s.blocks.contains_key(&None));
+    }
+
+    #[test]
+    fn cross_crate_calls_stay_unresolved() {
+        let p = program(&[
+            ("crates/a/src/m.rs", "fn f(x: &X) { x.helper.enrich(); }\n"),
+            (
+                "crates/b/src/enrich.rs",
+                "pub fn enrich(s: &S) { let g = sync::lock(&s.q); g.touch(); }\n",
+            ),
+        ]);
+        let f = fn_idx(&p, "f");
+        assert!(p.resolved[f].iter().all(|r| r.is_none()));
+        assert!(p.summaries[f].acquires.is_empty());
+    }
+}

@@ -1,0 +1,1102 @@
+//! Phase 1 of the interprocedural lock analysis (R6/R7): extract
+//! per-function *facts* from one source file — which locks a function
+//! acquires (and where), where it waits on a `Condvar`, where it blocks
+//! (TCP I/O, `join`, channel `recv`, `sleep`), and which intra-crate
+//! functions it calls — each annotated with the set of locks held at that
+//! point.
+//!
+//! The extractor is a token-level approximation, not a type checker. The
+//! load-bearing design decisions:
+//!
+//! * **Canonical lock identity.** A lock is named by the last field
+//!   component of the receiver expression (`self.cache.inflight` →
+//!   `inflight`), then canonicalized through [`LOCK_TABLE`] keyed by
+//!   `(file, field)`; unknown locks fall back to `"{file}::{field}"` with
+//!   the `crates//src` noise stripped. Two syntactic paths to the same
+//!   mutex (`self.flight.state` in a guard's `Drop`, `flight.state` in
+//!   the follower path) therefore collide onto one identity.
+//! * **Guard lifetimes.** A *bound* guard (`let g = <acquire>;` where the
+//!   call chain after the acquisition is only guard-preserving —
+//!   `unwrap`/`expect`/`unwrap_or_else`) lives until `drop(g)` or the end
+//!   of the block it was born in. An *ephemeral* guard (a temporary:
+//!   `sync::lock(&x).clear();`) dies at the next `;` or `}`. This is
+//!   slightly over-long for plain-`if` condition temporaries and slightly
+//!   short for `if let` temporaries; combined with the self-edge
+//!   suppression in `lockorder` neither approximation produces findings
+//!   on the current tree.
+//! * **Condvar waits release their own lock.** `cv.wait(guard)` /
+//!   `sync::wait_timeout(&cv, guard, d)` emit a [`EventKind::Wait`] whose
+//!   held-set *excludes* the waited guard's lock (the mutex is released
+//!   for the duration). The guard stays alive afterwards (it is
+//!   reacquired), and a tuple rebinding (`let (g, _) = …`) aliases the new
+//!   name onto the same guard.
+//! * **Spawn closures are roots.** A closure passed to any `spawn(...)`
+//!   call becomes a *synthetic root function*: its events do not inherit
+//!   the spawner's held locks (the new thread starts with none), which is
+//!   what keeps `Service::start` — which holds the `workers` lock while
+//!   spawning workers that block on the job queue — from being a false
+//!   R7.
+//! * **`sync.rs` helpers are modeled at the call site.** Files named
+//!   `sync.rs` are skipped entirely; `sync::lock(&x)` / `sync::wait(…)`
+//!   call sites are consumed as acquisition/wait events instead, so the
+//!   helpers' internal `m.lock().unwrap_or_else(…)` never pollutes the
+//!   fact base.
+
+use std::collections::BTreeSet;
+
+use crate::{mask_source, scan_lines};
+
+/// Canonical lock identity table: `(file, receiver field)` → stable name.
+/// R6/R7 messages and interleave-model suggestions are keyed by these
+/// names; the stale-scope detector warns when a listed file disappears.
+pub(crate) const LOCK_TABLE: [(&str, &str, &str); 17] = [
+    ("crates/service/src/cache.rs", "inner", "cache.map"),
+    ("crates/service/src/cache.rs", "inflight", "cache.inflight"),
+    ("crates/service/src/cache.rs", "state", "cache.flight_state"),
+    ("crates/service/src/pool.rs", "free", "pool.free"),
+    ("crates/service/src/queue.rs", "inner", "queue.state"),
+    (
+        "crates/service/src/scheduler.rs",
+        "registry",
+        "scheduler.registry",
+    ),
+    (
+        "crates/service/src/scheduler.rs",
+        "workers",
+        "scheduler.workers",
+    ),
+    (
+        "crates/service/src/scheduler.rs",
+        "connection_faults",
+        "scheduler.connection_faults",
+    ),
+    ("crates/service/src/session.rs", "sessions", "session.table"),
+    ("crates/service/src/session.rs", "session", "session.entry"),
+    (
+        "crates/service/src/metrics.rs",
+        "map",
+        "metrics.labeled_bytes",
+    ),
+    (
+        "crates/service/src/metrics.rs",
+        "kernel_seconds",
+        "metrics.kernel_seconds",
+    ),
+    (
+        "crates/service/src/metrics.rs",
+        "worker_busy_seconds",
+        "metrics.worker_busy",
+    ),
+    (
+        "crates/cluster/src/coordinator.rs",
+        "table",
+        "cluster.lease_table",
+    ),
+    ("crates/core/src/driver.rs", "0", "driver.precalc_store"),
+    (
+        "crates/core/src/kernels/sort_scan.rs",
+        "cache",
+        "sort_scan.schedules",
+    ),
+    ("crates/gpu-sim/src/health.rs", "inner", "health.state"),
+];
+
+/// Files whose raw socket/stream calls count as blocking (R7): the TCP
+/// surface. Everything else reaches a socket only through these modules,
+/// so the call graph propagates the blocking fact outward.
+pub(crate) const BLOCKING_IO_FILES: [&str; 3] = [
+    "crates/service/src/server.rs",
+    "crates/service/src/wire.rs",
+    "crates/cluster/src/client.rs",
+];
+
+const IO_NAMES: [&str; 10] = [
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "accept",
+    "connect_timeout",
+    "incoming",
+];
+
+/// Method names too generic to resolve by name alone: `callgraph` only
+/// resolves one on a non-`self` receiver when the receiver matches a file
+/// stem (`self.queue.pop()` → `queue.rs::pop`); the same-file fallback is
+/// reserved for distinctive names so `inner.pop()` inside `queue.rs` never
+/// fabricates recursion through a container call.
+pub(crate) const GENERIC_METHODS: [&str; 78] = [
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "clone",
+    "drain",
+    "contains",
+    "contains_key",
+    "entry",
+    "or_insert_with",
+    "or_default",
+    "extend",
+    "retain",
+    "clear",
+    "take",
+    "replace",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map",
+    "map_err",
+    "map_or",
+    "and_then",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "err",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_deref",
+    "send",
+    "next",
+    "last",
+    "first",
+    "min",
+    "max",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "values",
+    "keys",
+    "sum",
+    "count",
+    "fold",
+    "filter",
+    "rev",
+    "enumerate",
+    "zip",
+    "any",
+    "all",
+    "position",
+    "find",
+    "cloned",
+    "copied",
+    "collect",
+    "join",
+    "into_inner",
+    "is_some_and",
+    "notify_one",
+    "notify_all",
+    "elapsed",
+];
+
+const KEYWORDS: [&str; 20] = [
+    "if", "while", "match", "for", "loop", "return", "in", "as", "move", "fn", "let", "mut", "ref",
+    "break", "continue", "else", "impl", "pub", "use", "where",
+];
+
+/// How a call site names its target; resolution happens in `callgraph`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CallRef {
+    /// `qual::name(...)` — resolved by file stem `qual` in the same crate.
+    Path { qual: String, name: String },
+    /// `recv.name(...)` — `recv == "self"` resolves same-file; otherwise
+    /// by file stem `recv`, then (non-generic names only) same-file.
+    Method { recv: String, name: String },
+    /// `name(...)` — resolved same-file only.
+    Bare { name: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A lock acquisition (by canonical lock id).
+    Acquire { lock: String },
+    /// A `Condvar` wait. `lock` is the waited guard's lock when the guard
+    /// variable was tracked (that lock is released during the wait);
+    /// `None` means an untracked wait, treated as plain blocking.
+    Wait { lock: Option<String> },
+    /// A blocking operation that is not a wait: join/recv/sleep/TCP I/O.
+    Blocking { what: String },
+    /// A call to a possibly-intra-crate function.
+    Call { callee: CallRef },
+}
+
+/// One fact: something happened at `line` with `held` locks
+/// (`(lock id, acquisition line)`, sorted, deduped, never containing the
+/// lock the event itself acquires/waits on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub kind: EventKind,
+    pub line: usize,
+    pub held: Vec<(String, usize)>,
+}
+
+/// All facts for one function (or one synthetic spawn-closure root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FnFacts {
+    /// Function name; synthetic roots are `"{fn}::<spawn@{line}>"` and are
+    /// never resolvable as call targets.
+    pub name: String,
+    pub file: String,
+    pub line: usize,
+    pub events: Vec<Event>,
+}
+
+/// Facts for one file, plus the waiver line sets for the two lock rules.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FileFacts {
+    pub file: String,
+    pub fns: Vec<FnFacts>,
+    /// 1-based lines waived by `lock-order-ok:` (R6).
+    pub waive_r6: BTreeSet<usize>,
+    /// 1-based lines waived by `lock-hold-ok:` (R7).
+    pub waive_r7: BTreeSet<usize>,
+}
+
+/// Canonicalize a lock identity from `(file, receiver field)`.
+pub(crate) fn lock_id(file: &str, field: &str) -> String {
+    for (f, fld, canon) in LOCK_TABLE {
+        if f == file && fld == field {
+            return canon.to_string();
+        }
+    }
+    let trimmed = file
+        .strip_prefix("crates/")
+        .unwrap_or(file)
+        .replace("/src/", "/");
+    format!("{trimmed}::{field}")
+}
+
+#[derive(Debug)]
+struct Tok {
+    text: String,
+    line: usize,
+}
+
+fn lex(masked: &str) -> Vec<Tok> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            toks.push(Tok {
+                text: "::".into(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok {
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+struct Guard {
+    lock: String,
+    vars: Vec<String>,
+    /// Brace depth at acquisition; a bound guard dies when depth drops
+    /// below this.
+    depth: i64,
+    line: usize,
+    ephemeral: bool,
+}
+
+enum CtxKind {
+    Fn,
+    /// Closure passed to `spawn(...)`: pops when paren depth returns to
+    /// the recorded level.
+    Spawn {
+        outer_paren: i64,
+    },
+}
+
+struct Ctx {
+    name: String,
+    line: usize,
+    start_depth: i64,
+    kind: CtxKind,
+    guards: Vec<Guard>,
+    events: Vec<Event>,
+}
+
+impl Ctx {
+    fn held_excluding(&self, lock: Option<&str>) -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> = Vec::new();
+        for g in &self.guards {
+            if Some(g.lock.as_str()) == lock {
+                continue;
+            }
+            if !v.iter().any(|(l, _)| l == &g.lock) {
+                v.push((g.lock.clone(), g.line));
+            }
+        }
+        v.sort();
+        v
+    }
+}
+
+fn is_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Extract facts from one file. `rel` is the repo-relative path.
+pub(crate) fn extract(rel: &str, text: &str) -> FileFacts {
+    let mut out = FileFacts {
+        file: rel.to_string(),
+        ..FileFacts::default()
+    };
+    let lines = scan_lines(text);
+    for (idx, _) in lines.iter().enumerate() {
+        if crate::annotated(&lines, idx, "lock-order-ok:") {
+            out.waive_r6.insert(idx + 1);
+        }
+        if crate::annotated(&lines, idx, "lock-hold-ok:") {
+            out.waive_r7.insert(idx + 1);
+        }
+    }
+    // sync.rs poison-absorbing helpers are modeled at their call sites.
+    if rel.ends_with("/sync.rs") {
+        return out;
+    }
+    let in_test: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+    let io_file = BLOCKING_IO_FILES.contains(&rel);
+    let toks = lex(&mask_source(text));
+
+    let mut brace: i64 = 0;
+    let mut paren: i64 = 0;
+    let mut pending_fn: Option<(String, usize, bool)> = None; // name, line, in_test
+    let mut pending_paren: i64 = 0;
+    let mut ctxs: Vec<Ctx> = Vec::new();
+    // Token index where the current statement started (reset at ;/{/}).
+    let mut stmt_start: usize = 0;
+
+    let tok = |i: usize| -> &str { toks.get(i).map_or("", |t| t.text.as_str()) };
+    let line_of = |i: usize| -> usize { toks.get(i).map_or(0, |t| t.line) };
+    let tested = |i: usize| -> bool {
+        let l = line_of(i);
+        l >= 1 && in_test.get(l - 1).copied().unwrap_or(false)
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = tok(i);
+        match t {
+            "fn" => {
+                if !tok(i + 1).is_empty() && tok(i + 1) != "(" {
+                    pending_fn = Some((tok(i + 1).to_string(), line_of(i), tested(i)));
+                    pending_paren = paren;
+                }
+            }
+            "{" => {
+                if let Some((name, line, test)) = pending_fn.take() {
+                    if !test {
+                        ctxs.push(Ctx {
+                            name,
+                            line,
+                            start_depth: brace,
+                            kind: CtxKind::Fn,
+                            guards: Vec::new(),
+                            events: Vec::new(),
+                        });
+                    }
+                }
+                brace += 1;
+                stmt_start = i + 1;
+            }
+            "}" => {
+                brace -= 1;
+                for c in ctxs.iter_mut() {
+                    c.guards.retain(|g| !(g.ephemeral || g.depth > brace));
+                }
+                while ctxs
+                    .last()
+                    .is_some_and(|c| matches!(c.kind, CtxKind::Fn) && brace <= c.start_depth)
+                {
+                    let done = ctxs.pop().expect("ctx");
+                    out.fns.push(FnFacts {
+                        name: done.name,
+                        file: rel.to_string(),
+                        line: done.line,
+                        events: done.events,
+                    });
+                }
+                stmt_start = i + 1;
+            }
+            ";" => {
+                if pending_fn.is_some() && paren == pending_paren {
+                    pending_fn = None; // trait method without a body
+                }
+                if let Some(c) = ctxs.last_mut() {
+                    c.guards.retain(|g| !g.ephemeral);
+                }
+                stmt_start = i + 1;
+            }
+            "(" => paren += 1,
+            ")" => {
+                paren -= 1;
+                while ctxs.last().is_some_and(
+                    |c| matches!(c.kind, CtxKind::Spawn { outer_paren } if paren <= outer_paren),
+                ) {
+                    let done = ctxs.pop().expect("ctx");
+                    out.fns.push(FnFacts {
+                        name: done.name,
+                        file: rel.to_string(),
+                        line: done.line,
+                        events: done.events,
+                    });
+                }
+            }
+            _ => {
+                if !ctxs.is_empty() && !tested(i) {
+                    i = scan_event(rel, io_file, &toks, i, stmt_start, &mut ctxs, brace, paren);
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    // Unterminated contexts (shouldn't happen on real code) still flush.
+    while let Some(done) = ctxs.pop() {
+        out.fns.push(FnFacts {
+            name: done.name,
+            file: rel.to_string(),
+            line: done.line,
+            events: done.events,
+        });
+    }
+    out
+}
+
+/// `let`-statement binding variables: lowercase idents before the `=`.
+fn stmt_let_vars(toks: &[Tok], stmt_start: usize, upto: usize) -> Option<Vec<String>> {
+    if toks.get(stmt_start).map(|t| t.text.as_str()) != Some("let") {
+        return None;
+    }
+    let mut vars = Vec::new();
+    for t in &toks[stmt_start + 1..upto] {
+        match t.text.as_str() {
+            "=" => return Some(vars),
+            "mut" | "_" => {}
+            s if s.chars().next().is_some_and(|c| c.is_ascii_lowercase()) => {
+                vars.push(s.to_string());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Receiver field: walking back from `dot_idx` (the `.` before the method
+/// name) over an `a.b.c` chain, return the last field component.
+fn recv_field(toks: &[Tok], dot_idx: usize) -> Option<String> {
+    let prev = toks.get(dot_idx.wrapping_sub(1))?;
+    let is_ident = prev.text.chars().all(|c| c.is_alphanumeric() || c == '_');
+    if is_ident && !prev.text.is_empty() {
+        Some(prev.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Field component of the first `&expr` argument of `sync::lock(&a.b.c)`:
+/// the last ident before the closing paren at the same level.
+fn arg_field(toks: &[Tok], open_paren: usize) -> Option<(String, usize)> {
+    let mut depth = 0i64;
+    let mut last_ident: Option<String> = None;
+    let mut j = open_paren;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return last_ident.map(|s| (s, j));
+                }
+            }
+            "," if depth == 1 => return last_ident.map(|s| (s, j)),
+            s if s.chars().all(|c| c.is_alphanumeric() || c == '_') && !s.is_empty() => {
+                last_ident = Some(s.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// First ident after the first top-level `,` inside the parens at
+/// `open_paren` — the guard argument of `sync::wait(&cv, guard)`.
+fn second_arg_ident(toks: &[Tok], open_paren: usize) -> Option<String> {
+    let mut depth = 0i64;
+    let mut seen_comma = false;
+    let mut j = open_paren;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            "," if depth == 1 => seen_comma = true,
+            s if seen_comma
+                && s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_') =>
+            {
+                return Some(s.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// First ident inside the parens at `open_paren`, before any `,`.
+fn first_arg_ident(toks: &[Tok], open_paren: usize) -> Option<String> {
+    let mut depth = 0i64;
+    let mut j = open_paren;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" | "," if depth <= 1 => return None,
+            ")" => depth -= 1,
+            s if depth == 1
+                && s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_') =>
+            {
+                return Some(s.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// After the acquisition expression ends at token `after` (just past its
+/// closing paren), is the rest of the statement only guard-preserving
+/// method calls followed by `;`?
+fn guard_preserving_chain(toks: &[Tok], mut after: usize) -> bool {
+    loop {
+        match toks.get(after).map(|t| t.text.as_str()) {
+            Some(";") => return true,
+            Some(".") => {
+                let name = toks.get(after + 1).map(|t| t.text.as_str()).unwrap_or("");
+                if !matches!(name, "unwrap" | "expect" | "unwrap_or_else") {
+                    return false;
+                }
+                if toks.get(after + 2).map(|t| t.text.as_str()) != Some("(") {
+                    return false;
+                }
+                // Skip the balanced argument list.
+                let mut depth = 0i64;
+                let mut j = after + 2;
+                loop {
+                    match toks.get(j).map(|t| t.text.as_str()) {
+                        Some("(") => depth += 1,
+                        Some(")") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        None => return false,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                after = j + 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Record an acquisition at token `name_idx`, classifying the guard as
+/// bound or ephemeral from the statement shape.
+#[allow(clippy::too_many_arguments)]
+fn push_acquire(
+    toks: &[Tok],
+    name_idx: usize,
+    chain_from: usize,
+    stmt_start: usize,
+    lock: String,
+    ctx: &mut Ctx,
+    brace: i64,
+) {
+    let line = toks[name_idx].line;
+    let held = ctx.held_excluding(Some(&lock));
+    ctx.events.push(Event {
+        kind: EventKind::Acquire { lock: lock.clone() },
+        line,
+        held,
+    });
+    let vars = stmt_let_vars(toks, stmt_start, name_idx);
+    let bound = vars.is_some() && guard_preserving_chain(toks, chain_from);
+    ctx.guards.push(Guard {
+        lock,
+        vars: vars.unwrap_or_default(),
+        depth: brace,
+        line,
+        ephemeral: !bound,
+    });
+}
+
+/// Scan one token position for an event; returns the next index.
+#[allow(clippy::too_many_arguments)] // one cursor into one token stream
+fn scan_event(
+    rel: &str,
+    io_file: bool,
+    toks: &[Tok],
+    i: usize,
+    stmt_start: usize,
+    ctxs: &mut Vec<Ctx>,
+    brace: i64,
+    paren: i64,
+) -> usize {
+    let tok = |k: usize| -> &str { toks.get(k).map_or("", |t| t.text.as_str()) };
+    let t = tok(i);
+    let prev = if i > 0 { tok(i - 1) } else { "" };
+    let prev2 = if i > 1 { tok(i - 2) } else { "" };
+    let next = tok(i + 1);
+    let next2 = tok(i + 2);
+    let line = toks[i].line;
+
+    // `sync::lock(&expr)` — poison-absorbing helper acquisition.
+    if t == "lock" && prev == "::" && prev2 == "sync" && next == "(" {
+        if let Some((field, close)) = arg_field(toks, i + 1) {
+            let lock = lock_id(rel, &field);
+            let ctx = ctxs.last_mut().expect("ctx");
+            push_acquire(toks, i, close + 1, stmt_start, lock, ctx, brace);
+        }
+        return i + 1;
+    }
+    // `expr.lock()` / RwLock `expr.read()` / `expr.write()` (no args).
+    if matches!(t, "lock" | "read" | "write") && prev == "." && next == "(" && next2 == ")" {
+        if let Some(field) = recv_field(toks, i - 1) {
+            let lock = lock_id(rel, &field);
+            let ctx = ctxs.last_mut().expect("ctx");
+            push_acquire(toks, i, i + 3, stmt_start, lock, ctx, brace);
+        }
+        return i + 1;
+    }
+    // `sync::wait(&cv, guard)` / `sync::wait_timeout(&cv, guard, d)`.
+    if matches!(t, "wait" | "wait_timeout") && prev == "::" && prev2 == "sync" && next == "(" {
+        let guard_var = second_arg_ident(toks, i + 1);
+        record_wait(toks, i, stmt_start, guard_var, ctxs);
+        return i + 1;
+    }
+    // `cv.wait(guard)` / `cv.wait_timeout(guard, d)` / `cv.wait_while(…)`,
+    // and any other blocking `.wait(…)` (e.g. `service.wait(id, dur)`).
+    if matches!(t, "wait" | "wait_timeout" | "wait_while") && prev == "." && next == "(" {
+        let guard_var = first_arg_ident(toks, i + 1);
+        record_wait(toks, i, stmt_start, guard_var, ctxs);
+        return i + 1;
+    }
+    // `handle.join()` — thread join (PathBuf::join takes an argument).
+    if t == "join" && prev == "." && next == "(" && next2 == ")" {
+        push_blocking(ctxs, line, "a thread join");
+        return i + 1;
+    }
+    // Channel receives.
+    if matches!(t, "recv" | "recv_timeout" | "recv_deadline") && prev == "." && next == "(" {
+        push_blocking(ctxs, line, "a channel recv");
+        return i + 1;
+    }
+    // `thread::sleep(...)` or a bare `sleep(...)`.
+    if t == "sleep" && next == "(" && prev != "." {
+        push_blocking(ctxs, line, "a sleep");
+        return i + 1;
+    }
+    // Raw socket/stream operations, only inside the TCP surface files.
+    if io_file && IO_NAMES.contains(&t) && next == "(" && (prev == "." || prev == "::") {
+        push_blocking(ctxs, line, "socket I/O");
+        return i + 1;
+    }
+    // `drop(g)` kills the guard; it is never treated as a call.
+    if t == "drop" && prev != "." && prev != "::" && next == "(" {
+        if let Some(var) = first_arg_ident(toks, i + 1) {
+            for c in ctxs.iter_mut() {
+                c.guards.retain(|g| !g.vars.contains(&var));
+            }
+        }
+        return i + 1;
+    }
+    // `spawn(...)`: the closure inside runs on a fresh thread → synthetic
+    // root context with an empty held-set.
+    if t == "spawn" && next == "(" {
+        let outer_fn = ctxs
+            .iter()
+            .rev()
+            .find(|c| matches!(c.kind, CtxKind::Fn))
+            .map_or_else(|| "?".to_string(), |c| c.name.clone());
+        // The main loop increments the paren depth when it passes the
+        // spawn's `(`; the context pops when it drops back to this level.
+        ctxs.push(Ctx {
+            name: format!("{outer_fn}::<spawn@{line}>"),
+            line,
+            start_depth: brace,
+            kind: CtxKind::Spawn { outer_paren: paren },
+            guards: Vec::new(),
+            events: Vec::new(),
+        });
+        return i + 1;
+    }
+    // Plain calls.
+    if next == "("
+        && !t.is_empty()
+        && t.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && !KEYWORDS.contains(&t)
+        && prev != "fn"
+    {
+        let callee = if prev == "." {
+            recv_field(toks, i - 1).map(|recv| CallRef::Method {
+                recv,
+                name: t.to_string(),
+            })
+        } else if prev == "::" {
+            let qual = prev2;
+            if qual.is_empty() || is_upper(qual) {
+                None
+            } else {
+                Some(CallRef::Path {
+                    qual: qual.to_string(),
+                    name: t.to_string(),
+                })
+            }
+        } else {
+            Some(CallRef::Bare {
+                name: t.to_string(),
+            })
+        };
+        if let Some(callee) = callee {
+            let ctx = ctxs.last_mut().expect("ctx");
+            let held = ctx.held_excluding(None);
+            ctx.events.push(Event {
+                kind: EventKind::Call { callee },
+                line,
+                held,
+            });
+        }
+        return i + 1;
+    }
+    i + 1
+}
+
+/// Record a wait event. When the guard argument names a live tracked
+/// guard, the wait releases that lock (excluded from the held-set) and
+/// any `let (new, _) = …` binding aliases onto the same guard.
+fn record_wait(
+    toks: &[Tok],
+    name_idx: usize,
+    stmt_start: usize,
+    guard_var: Option<String>,
+    ctxs: &mut [Ctx],
+) {
+    let line = toks[name_idx].line;
+    let ctx = ctxs.last_mut().expect("ctx");
+    let waited = guard_var.and_then(|v| {
+        ctx.guards
+            .iter()
+            .find(|g| g.vars.contains(&v))
+            .map(|g| g.lock.clone())
+    });
+    let held = ctx.held_excluding(waited.as_deref());
+    ctx.events.push(Event {
+        kind: EventKind::Wait {
+            lock: waited.clone(),
+        },
+        line,
+        held,
+    });
+    if let (Some(lock), Some(vars)) = (waited, stmt_let_vars(toks, stmt_start, name_idx)) {
+        for g in ctx.guards.iter_mut() {
+            if g.lock == lock {
+                for v in &vars {
+                    if !g.vars.contains(v) {
+                        g.vars.push(v.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push_blocking(ctxs: &mut [Ctx], line: usize, what: &str) {
+    let ctx = ctxs.last_mut().expect("ctx");
+    let held = ctx.held_excluding(None);
+    ctx.events.push(Event {
+        kind: EventKind::Blocking {
+            what: what.to_string(),
+        },
+        line,
+        held,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(src: &str) -> FileFacts {
+        extract("crates/x/src/lib.rs", src)
+    }
+
+    fn fn_named<'a>(f: &'a FileFacts, name: &str) -> &'a FnFacts {
+        f.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name} in {:?}", f.fns))
+    }
+
+    #[test]
+    fn sync_lock_and_method_lock_share_an_identity() {
+        let src = "impl S {\n\
+                   fn a(&self) { let g = sync::lock(&self.q); use_it(&g); }\n\
+                   fn b(&self) { let g = self.q.lock().unwrap(); use_it(&g); }\n\
+                   }\n";
+        let f = facts(src);
+        let acq = |name: &str| {
+            fn_named(&f, name)
+                .events
+                .iter()
+                .find_map(|e| match &e.kind {
+                    EventKind::Acquire { lock } => Some(lock.clone()),
+                    _ => None,
+                })
+                .expect("acquire")
+        };
+        assert_eq!(acq("a"), acq("b"));
+        assert_eq!(acq("a"), "x/lib.rs::q");
+    }
+
+    #[test]
+    fn bare_self_lock_is_tracked_without_a_field() {
+        let f = facts("impl S { fn a(&self) { let g = self.lock().unwrap(); touch(&g); } }\n");
+        let ev = &fn_named(&f, "a").events[0];
+        assert_eq!(
+            ev.kind,
+            EventKind::Acquire {
+                lock: "x/lib.rs::self".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bound_guard_spans_statements_ephemeral_does_not() {
+        let src = "fn a(s: &S) {\n\
+                   let g = sync::lock(&s.first);\n\
+                   sync::lock(&s.second).clear();\n\
+                   sync::lock(&s.third);\n\
+                   }\n";
+        let f = facts(src);
+        let evs = &fn_named(&f, "a").events;
+        // second acquired while first held (bound guard alive)…
+        assert_eq!(evs[1].held, vec![("x/lib.rs::first".into(), 2usize)]);
+        // …but the ephemeral second guard is dead by the third statement.
+        assert_eq!(evs[2].held, vec![("x/lib.rs::first".into(), 2usize)]);
+    }
+
+    #[test]
+    fn drop_releases_a_bound_guard_and_is_not_a_call() {
+        let src = "fn a(s: &S) {\n\
+                   let g = sync::lock(&s.first);\n\
+                   drop(g);\n\
+                   sync::lock(&s.second);\n\
+                   }\n";
+        let f = facts(src);
+        let evs = &fn_named(&f, "a").events;
+        assert!(evs[1].held.is_empty(), "{evs:?}");
+        assert!(!evs
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::Call { .. })));
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_block_end() {
+        let src = "fn a(s: &S) {\n\
+                   let v = {\n\
+                   let g = sync::lock(&s.first);\n\
+                   g.len()\n\
+                   };\n\
+                   sync::lock(&s.second);\n\
+                   }\n";
+        let f = facts(src);
+        let evs = &fn_named(&f, "a").events;
+        let second = evs
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Acquire { lock } if lock.ends_with("second")))
+            .expect("second acquire");
+        assert!(second.held.is_empty(), "{second:?}");
+    }
+
+    #[test]
+    fn condvar_wait_releases_its_own_lock_and_rebinds() {
+        let src = "fn pop(q: &Q) {\n\
+                   let mut inner = q.inner.lock().unwrap();\n\
+                   while inner.is_empty() {\n\
+                   inner = q.nonempty.wait(inner).unwrap();\n\
+                   }\n\
+                   inner.take()\n\
+                   }\n";
+        let f = facts(src);
+        let evs = &fn_named(&f, "pop").events;
+        let wait = evs
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Wait { .. }))
+            .expect("wait event");
+        assert_eq!(
+            wait.kind,
+            EventKind::Wait {
+                lock: Some("x/lib.rs::inner".into())
+            }
+        );
+        assert!(wait.held.is_empty(), "wait releases its own lock: {wait:?}");
+    }
+
+    #[test]
+    fn spawn_closures_are_roots_with_empty_held_sets() {
+        let src = "fn start(s: &S) {\n\
+                   let mut handles = sync::lock(&s.workers);\n\
+                   handles.push(thread::Builder::new().spawn(move || s.worker_loop()).expect(\"x\"));\n\
+                   }\n";
+        let f = facts(src);
+        let root = f
+            .fns
+            .iter()
+            .find(|f| f.name.contains("<spawn@"))
+            .expect("synthetic spawn root");
+        assert!(root.name.starts_with("start::<spawn@"));
+        let call = root
+            .events
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::Call { .. }))
+            .expect("call inside closure");
+        assert!(
+            call.held.is_empty(),
+            "spawned thread starts with no locks: {call:?}"
+        );
+        // The spawner's own fact list does not contain the closure's call
+        // (its `push`/`expect` container calls are fine — resolution drops
+        // those).
+        assert!(!fn_named(&f, "start").events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Call {
+                callee: CallRef::Method { name, .. }
+            } if name == "worker_loop"
+        )));
+    }
+
+    #[test]
+    fn method_calls_carry_receivers_for_resolution() {
+        let src = "fn a(v: &mut Vec<u8>, q: &Q) { v.push(1); q.absorb(2); }\n";
+        let f = facts(src);
+        let calls: Vec<_> = fn_named(&f, "a")
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call {
+                    callee: CallRef::Method { recv, name },
+                } => Some((recv.clone(), name.clone())),
+                _ => None,
+            })
+            .collect();
+        // Both are emitted; callgraph resolution decides that `v.push`
+        // resolves nowhere (generic name, no `v.rs`) while `q.absorb`
+        // may stem-match a `q.rs`.
+        assert_eq!(
+            calls,
+            vec![
+                ("v".to_string(), "push".to_string()),
+                ("q".to_string(), "absorb".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn sync_helper_file_contributes_no_facts() {
+        let f = extract(
+            "crates/service/src/sync.rs",
+            "pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+             m.lock().unwrap_or_else(PoisonError::into_inner)\n\
+             }\n",
+        );
+        assert!(f.fns.iter().all(|f| f.events.is_empty()));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn a(s: &S) { let g = sync::lock(&s.q); g.len(); }\n\
+                   }\n";
+        let f = facts(src);
+        assert!(f.fns.iter().all(|f| f.events.is_empty()), "{f:?}");
+    }
+
+    #[test]
+    fn lock_table_canonicalizes_known_fields() {
+        assert_eq!(
+            lock_id("crates/service/src/cache.rs", "inflight"),
+            "cache.inflight"
+        );
+        assert_eq!(
+            lock_id("crates/service/src/cache.rs", "state"),
+            "cache.flight_state"
+        );
+        assert_eq!(
+            lock_id("crates/other/src/m.rs", "thing"),
+            "other/m.rs::thing"
+        );
+    }
+}

@@ -1,8 +1,8 @@
 //! # mdmp-analyze — workspace invariant linter
 //!
-//! A token/line-level static-analysis pass over `crates/*/src` that
-//! enforces the invariants the paper's bit-identity claims rest on
-//! (DESIGN.md §11). Five rules:
+//! A static-analysis pass over `crates/*/src` (plus `vendor/interleave`
+//! for R3) that enforces the invariants the paper's bit-identity claims
+//! rest on (DESIGN.md §11, §16). Seven rules:
 //!
 //! | id | rule | protects |
 //! |----|------|----------|
@@ -11,17 +11,35 @@
 //! | R3 | atomic-ordering audit: every `Ordering::Relaxed` carries a `// relaxed-ok:` justification | each relaxed access is argued not to order data |
 //! | R4 | panic hygiene: no `unwrap()`/`expect()`/`panic!` in service request-path modules | a bad request cannot take the worker down |
 //! | R5 | float-compare: no `==`/`!=` on float operands outside `crates/precision` | bit-equality goes through the pinned helpers |
+//! | R6 | lock-order: no two locks acquired in opposite orders on any two interprocedural paths | no schedule can deadlock two threads meeting in the middle |
+//! | R7 | lock-across-blocking: no lock held across socket I/O, `join`, channel `recv`, sleep, or a `Condvar` wait on a different lock | a slow peer or lost wakeup cannot stall every thread needing the lock |
+//!
+//! R1–R5 are line-level token rules. R6/R7 are a two-phase
+//! interprocedural analysis: [`facts`] extracts per-function events
+//! (acquisitions with canonical lock identities, waits, blocking calls,
+//! intra-crate callees, each with the held-lock set), [`callgraph`]
+//! propagates summaries over the approximate call graph to a fixpoint,
+//! and [`lockorder`] reports inversions and hold-across-blocking with
+//! full `file:line` acquisition chains in [`Violation::path`].
 //!
 //! Escapes: an annotation comment on the same or previous line
 //! (`precision-ok:`, `order-ok:`, `relaxed-ok:`, `panic-ok:`,
-//! `float-eq-ok:`) or a `[[allow]]` entry in `analyze/baseline.toml`.
-//! `#[cfg(test)]` modules are exempt from every rule.
+//! `float-eq-ok:`, `lock-order-ok:`, `lock-hold-ok:`) or a `[[allow]]`
+//! entry in `analyze/baseline.toml`. `#[cfg(test)]` modules are exempt
+//! from every rule.
 //!
 //! The scanner masks string literals and comments before matching, tracks
 //! nested block comments and raw strings, and records the enclosing
 //! function per line so R1 can bless the audited distance expressions.
-//! All output (diagnostics and JSON) is sorted, so the tool itself is
-//! deterministic.
+//! All output (diagnostics, JSON, SARIF) is sorted, so the tool itself is
+//! deterministic. Hardcoded scope lists (request-path modules, kernel
+//! dir, blessed kernel fns, lock table files) are checked against the
+//! tree on every run and rot is reported as a warning (an error under
+//! `--deny-warnings`).
+
+mod callgraph;
+mod facts;
+mod lockorder;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -39,7 +57,7 @@ pub struct RuleInfo {
 }
 
 /// The rule table, in report order.
-pub const RULES: [RuleInfo; 5] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         id: "R1",
         name: "precision-hygiene",
@@ -64,6 +82,16 @@ pub const RULES: [RuleInfo; 5] = [
         id: "R5",
         name: "float-compare",
         annotation: "float-eq-ok:",
+    },
+    RuleInfo {
+        id: "R6",
+        name: "lock-order-inversion",
+        annotation: "lock-order-ok:",
+    },
+    RuleInfo {
+        id: "R7",
+        name: "lock-across-blocking",
+        annotation: "lock-hold-ok:",
     },
 ];
 
@@ -95,12 +123,15 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`R1`..`R5`).
+    /// Rule id (`R1`..`R7`).
     pub rule: &'static str,
     /// What went wrong.
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For R6/R7: the acquisition chain (`file:line: what` per hop)
+    /// leading to the finding. Empty for the line-level rules.
+    pub path: Vec<String>,
 }
 
 /// One `[[allow]]` entry from the baseline file.
@@ -208,12 +239,15 @@ pub struct Analysis {
     pub violations: Vec<Violation>,
     /// Baseline entries that matched nothing (stale).
     pub stale_baseline: Vec<BaselineEntry>,
+    /// Scope-rot warnings: hardcoded scope paths that no longer exist on
+    /// disk. Fatal under `--deny-warnings`.
+    pub warnings: Vec<String>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 /// Per-line scan product.
-struct LineInfo {
+pub(crate) struct LineInfo {
     raw: String,
     masked: String,
     in_test: bool,
@@ -222,7 +256,7 @@ struct LineInfo {
 
 /// Mask string/char literals and comments with spaces, preserving line
 /// structure and column positions, so rules match code tokens only.
-fn mask_source(text: &str) -> String {
+pub(crate) fn mask_source(text: &str) -> String {
     #[derive(PartialEq)]
     enum St {
         Code,
@@ -386,7 +420,7 @@ fn tokens(line: &str) -> Vec<&str> {
 
 /// Build per-line info: masked text, `#[cfg(test)]` membership, and the
 /// enclosing function name (tracked by brace depth on masked lines).
-fn scan_lines(text: &str) -> Vec<LineInfo> {
+pub(crate) fn scan_lines(text: &str) -> Vec<LineInfo> {
     let masked = mask_source(text);
     let raw_lines: Vec<&str> = text.lines().collect();
     let masked_lines: Vec<&str> = masked.lines().collect();
@@ -461,7 +495,7 @@ fn scan_lines(text: &str) -> Vec<LineInfo> {
 
 /// Is the finding waived by an annotation on this line or in the
 /// contiguous comment block directly above it?
-fn annotated(lines: &[LineInfo], idx: usize, marker: &str) -> bool {
+pub(crate) fn annotated(lines: &[LineInfo], idx: usize, marker: &str) -> bool {
     if lines[idx].raw.contains(marker) {
         return true;
     }
@@ -538,16 +572,20 @@ fn float_ish(op: &str) -> bool {
         }
 }
 
-/// Run every rule over one file.
+/// Run the line-level rules (R1–R5) over one file. Vendored sources
+/// (`vendor/interleave`) are in scope for R3 only: the model checker's
+/// own atomics must be audited, but its internal style is its own.
 fn check_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
     let lines = scan_lines(text);
-    let in_kernels = rel.starts_with("crates/core/src/kernels/");
-    let r2_scope = rel.starts_with("crates/core/src/")
-        || rel.starts_with("crates/service/src/")
-        || rel.starts_with("crates/cluster/src/")
-        || rel.starts_with("crates/cli/src/");
-    let r4_scope = REQUEST_PATH_MODULES.contains(&rel);
-    let r5_scope = !rel.starts_with("crates/precision/");
+    let vendored = rel.starts_with("vendor/");
+    let in_kernels = !vendored && rel.starts_with("crates/core/src/kernels/");
+    let r2_scope = !vendored
+        && (rel.starts_with("crates/core/src/")
+            || rel.starts_with("crates/service/src/")
+            || rel.starts_with("crates/cluster/src/")
+            || rel.starts_with("crates/cli/src/"));
+    let r4_scope = !vendored && REQUEST_PATH_MODULES.contains(&rel);
+    let r5_scope = !vendored && !rel.starts_with("crates/precision/");
 
     for (idx, li) in lines.iter().enumerate() {
         if li.in_test {
@@ -562,6 +600,7 @@ fn check_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
                 rule,
                 message,
                 snippet: li.raw.trim().to_string(),
+                path: Vec::new(),
             });
         };
 
@@ -661,8 +700,9 @@ fn check_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
     }
 }
 
-/// Walk `root/crates/*/src` collecting `.rs` files, sorted by relative
-/// path for deterministic output.
+/// Walk `root/crates/*/src` — plus `root/vendor/interleave/src` when
+/// present (R3 scope) — collecting `.rs` files, sorted by relative path
+/// for deterministic output.
 fn collect_sources(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
     let crates_dir = root.join("crates");
     let mut out = Vec::new();
@@ -677,6 +717,10 @@ fn collect_sources(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
         if src.is_dir() {
             walk(&src, root, &mut out)?;
         }
+    }
+    let vendored = root.join("vendor/interleave/src");
+    if vendored.is_dir() {
+        walk(&vendored, root, &mut out)?;
     }
     out.sort();
     Ok(out)
@@ -705,15 +749,40 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(),
     Ok(())
 }
 
-/// Analyze the tree at `root` against `baseline`.
+/// Analyze the tree at `root` against `baseline`: the line-level rules
+/// R1–R5 per file, then the two-phase interprocedural R6/R7 pass over
+/// the `crates/*/src` facts.
 pub fn analyze(root: &Path, baseline: &Baseline) -> Result<Analysis, String> {
     let sources = collect_sources(root)?;
     let mut violations = Vec::new();
+    let mut file_facts = Vec::new();
+    let mut raw_lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut kernel_fns_seen: Vec<&'static str> = Vec::new();
     for (rel, path) in &sources {
         let text =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         check_file(rel, &text, &mut violations);
+        if rel.starts_with("crates/core/src/kernels/") {
+            for f in BLESSED_KERNEL_FNS {
+                if text.contains(&format!("fn {f}")) && !kernel_fns_seen.contains(&f) {
+                    kernel_fns_seen.push(f);
+                }
+            }
+        }
+        // R6/R7 facts come from the workspace crates only; the vendored
+        // model checker's own locking is out of scope by design.
+        if rel.starts_with("crates/") {
+            file_facts.push(facts::extract(rel, &text));
+            raw_lines.insert(rel.clone(), text.lines().map(str::to_string).collect());
+        }
     }
+    let program = callgraph::build(&file_facts);
+    violations.extend(lockorder::check(&program, &file_facts, &raw_lines));
+
+    let scanned_kernels = sources
+        .iter()
+        .any(|(rel, _)| rel.starts_with("crates/core/src/kernels/"));
+    let warnings = scope_warnings(root, scanned_kernels, &kernel_fns_seen);
 
     let mut used = vec![false; baseline.entries.len()];
     violations.retain(|v| {
@@ -737,8 +806,65 @@ pub fn analyze(root: &Path, baseline: &Baseline) -> Result<Analysis, String> {
     Ok(Analysis {
         violations,
         stale_baseline,
+        warnings,
         files_scanned: sources.len(),
     })
+}
+
+/// Stale-scope detection: every hardcoded scope path must still exist on
+/// disk, so the lists cannot rot silently when files are renamed. Each
+/// check is gated on its crate's `src` dir existing, so fixture trees
+/// (which contain only the crates under test) stay warning-free.
+fn scope_warnings(
+    root: &Path,
+    scanned_kernels: bool,
+    kernel_fns_seen: &[&'static str],
+) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let crate_src_of = |rel: &str| -> Option<PathBuf> {
+        let mut parts = rel.split('/');
+        let (a, b) = (parts.next()?, parts.next()?);
+        Some(root.join(a).join(b).join("src"))
+    };
+    let mut stale_file = |list_name: &str, rel: &str| {
+        let Some(src) = crate_src_of(rel) else { return };
+        if src.is_dir() && !root.join(rel).is_file() {
+            warnings.push(format!(
+                "stale scope path: {list_name} lists `{rel}` but it no longer exists on disk \
+                 (renamed? update the list)"
+            ));
+        }
+    };
+    for rel in REQUEST_PATH_MODULES {
+        stale_file("REQUEST_PATH_MODULES (R4)", rel);
+    }
+    for rel in facts::BLOCKING_IO_FILES {
+        stale_file("BLOCKING_IO_FILES (R7)", rel);
+    }
+    let mut lock_files: Vec<&str> = facts::LOCK_TABLE.iter().map(|(f, _, _)| *f).collect();
+    lock_files.sort_unstable();
+    lock_files.dedup();
+    for rel in lock_files {
+        stale_file("LOCK_TABLE (R6/R7)", rel);
+    }
+    if root.join("crates/core/src").is_dir() && !root.join("crates/core/src/kernels").is_dir() {
+        warnings.push(
+            "stale scope path: R1 scopes `crates/core/src/kernels/` but the directory no longer \
+             exists on disk"
+                .to_string(),
+        );
+    }
+    if scanned_kernels {
+        for f in BLESSED_KERNEL_FNS {
+            if !kernel_fns_seen.contains(&f) {
+                warnings.push(format!(
+                    "stale scope entry: BLESSED_KERNEL_FNS (R1) blesses `{f}` but no kernel file \
+                     defines it (renamed? update the list)"
+                ));
+            }
+        }
+    }
+    warnings
 }
 
 fn json_escape(s: &str) -> String {
@@ -773,13 +899,20 @@ pub fn to_json(a: &Analysis) -> String {
         let _ = write!(
             s,
             "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
-             \"snippet\": \"{}\"}}",
+             \"snippet\": \"{}\", \"path\": [",
             v.rule,
             json_escape(&v.file),
             v.line,
             json_escape(&v.message),
             json_escape(&v.snippet)
         );
+        for (j, hop) in v.path.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", json_escape(hop));
+        }
+        s.push_str("]}");
     }
     if !a.violations.is_empty() {
         s.push_str("\n  ");
@@ -800,7 +933,65 @@ pub fn to_json(a: &Analysis) -> String {
     if !a.stale_baseline.is_empty() {
         s.push_str("\n  ");
     }
+    s.push_str("],\n  \"warnings\": [");
+    for (i, w) in a.warnings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n    \"{}\"", json_escape(w));
+    }
+    if !a.warnings.is_empty() {
+        s.push_str("\n  ");
+    }
     s.push_str("]\n}\n");
+    s
+}
+
+/// Render the analysis as a SARIF 2.1.0 document so CI can surface
+/// findings as code-scanning annotations. Same hand-rolled approach as
+/// [`to_json`].
+pub fn to_sarif(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [{\n");
+    s.push_str("    \"tool\": {\"driver\": {\"name\": \"mdmp-analyze\", \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "\n      {{\"id\": \"{}\", \"name\": \"{}\"}}",
+            r.id, r.name
+        );
+    }
+    s.push_str("\n    ]}},\n    \"results\": [");
+    for (i, v) in a.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mut text = v.message.clone();
+        for hop in &v.path {
+            text.push('\n');
+            text.push_str(hop);
+        }
+        let _ = write!(
+            s,
+            "\n      {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            v.rule,
+            json_escape(&text),
+            json_escape(&v.file),
+            v.line.max(1)
+        );
+    }
+    if !a.violations.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  }]\n}\n");
     s
 }
 
@@ -906,12 +1097,40 @@ mod tests {
                 rule: "R2",
                 message: "msg \"quoted\"".into(),
                 snippet: "let m: HashMap<u8, u8>;".into(),
+                path: vec!["crates/x/src/lib.rs:3: acquires `x`".into()],
             }],
             stale_baseline: vec![],
+            warnings: vec!["stale scope path: example".into()],
             files_scanned: 1,
         };
         let j = to_json(&a);
         assert!(j.contains("\"rule\": \"R2\""));
         assert!(j.contains("msg \\\"quoted\\\""));
+        assert!(j.contains("\"path\": [\"crates/x/src/lib.rs:3: acquires `x`\"]"));
+        assert!(j.contains("\"warnings\": [\n    \"stale scope path: example\"\n  ]"));
+    }
+
+    #[test]
+    fn sarif_output_has_tool_rules_and_results() {
+        let a = Analysis {
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "R6",
+                message: "lock-order inversion".into(),
+                snippet: "sync::lock(&s.b)".into(),
+                path: vec!["crates/x/src/lib.rs:7: acquires `b`".into()],
+            }],
+            stale_baseline: vec![],
+            warnings: vec![],
+            files_scanned: 1,
+        };
+        let s = to_sarif(&a);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"mdmp-analyze\""));
+        assert!(s.contains("\"id\": \"R6\", \"name\": \"lock-order-inversion\""));
+        assert!(s.contains("\"ruleId\": \"R6\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("acquires `b`"));
     }
 }

@@ -1,0 +1,395 @@
+//! R6/R7: turn the resolved fact base into findings.
+//!
+//! **R6 — lock-order inversion.** Every event records the locks held when
+//! it ran; an acquisition of `B` (direct, or anywhere below a resolved
+//! call) while `A` is held contributes a directed edge `A → B` with a
+//! first-witness `file:line` chain. If both `A → B` and `B → A` exist on
+//! *any* two interprocedural paths, two threads can deadlock by meeting
+//! in the middle — exactly the schedule-dependent bug `vendor/interleave`
+//! can only find if someone hand-models the component.
+//!
+//! **R7 — lock held across blocking.** Holding `A` while blocking —
+//! socket I/O, `join`, channel `recv`, sleep, or a `Condvar` wait that
+//! releases some *other* lock — stalls every thread that needs `A` for
+//! as long as the blocking op takes (forever, for a lost wakeup). A wait
+//! that releases `A` itself is the normal condvar protocol and is not
+//! flagged; the self-edge `A → A` (guard rebinding in wait loops) is
+//! likewise suppressed.
+//!
+//! Findings carry the acquisition chain in [`crate::Violation::path`] and
+//! name the interleave model to write when the order is intentional; they
+//! can be waived in place (`lock-order-ok:` / `lock-hold-ok:` on the
+//! anchor line) or through `baseline.toml` like every other rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{Program, Step};
+use crate::facts::{EventKind, FileFacts};
+use crate::Violation;
+
+/// Sanitize a lock id into an interleave-model-name fragment.
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn held_step(file: &str, lock: &str, line: usize) -> Step {
+    Step {
+        file: file.to_string(),
+        line,
+        what: format!("acquires `{lock}`"),
+    }
+}
+
+/// Run R6/R7 over the program. `waived` maps file → (R6 lines, R7 lines);
+/// `raw` maps file → raw source lines for snippets.
+pub(crate) fn check(
+    program: &Program,
+    files: &[FileFacts],
+    raw: &BTreeMap<String, Vec<String>>,
+) -> Vec<Violation> {
+    let waived_r6: BTreeMap<&str, &BTreeSet<usize>> = files
+        .iter()
+        .map(|f| (f.file.as_str(), &f.waive_r6))
+        .collect();
+    let waived_r7: BTreeMap<&str, &BTreeSet<usize>> = files
+        .iter()
+        .map(|f| (f.file.as_str(), &f.waive_r7))
+        .collect();
+
+    // Directed acquisition-order edges, first witness wins. BTreeMap +
+    // the sorted function list keep the output deterministic.
+    let mut edges: BTreeMap<(String, String), Vec<Step>> = BTreeMap::new();
+    // R7 witnesses keyed by (held lock, blocking anchor) to dedupe the
+    // same hold reached through several callers.
+    let mut holds: BTreeMap<(String, String, usize), (String, Vec<Step>)> = BTreeMap::new();
+
+    for (fi, f) in program.fns.iter().enumerate() {
+        for (ei, ev) in f.events.iter().enumerate() {
+            match &ev.kind {
+                EventKind::Acquire { lock } => {
+                    for (a, aline) in &ev.held {
+                        if a == lock {
+                            continue;
+                        }
+                        edges.entry((a.clone(), lock.clone())).or_insert_with(|| {
+                            vec![
+                                held_step(&f.file, a, *aline),
+                                Step {
+                                    file: f.file.clone(),
+                                    line: ev.line,
+                                    what: format!("acquires `{lock}`"),
+                                },
+                            ]
+                        });
+                    }
+                }
+                EventKind::Wait { lock } => {
+                    for (a, aline) in &ev.held {
+                        if Some(a.as_str()) == lock.as_deref() {
+                            continue;
+                        }
+                        let desc = match lock {
+                            Some(l) => format!("a Condvar wait releasing `{l}`"),
+                            None => "a Condvar wait".to_string(),
+                        };
+                        holds
+                            .entry((a.clone(), f.file.clone(), ev.line))
+                            .or_insert_with(|| {
+                                (
+                                    desc.clone(),
+                                    vec![
+                                        held_step(&f.file, a, *aline),
+                                        Step {
+                                            file: f.file.clone(),
+                                            line: ev.line,
+                                            what: format!("blocks on {desc}"),
+                                        },
+                                    ],
+                                )
+                            });
+                    }
+                }
+                EventKind::Blocking { what } => {
+                    for (a, aline) in &ev.held {
+                        holds
+                            .entry((a.clone(), f.file.clone(), ev.line))
+                            .or_insert_with(|| {
+                                (
+                                    what.clone(),
+                                    vec![
+                                        held_step(&f.file, a, *aline),
+                                        Step {
+                                            file: f.file.clone(),
+                                            line: ev.line,
+                                            what: format!("blocks on {what}"),
+                                        },
+                                    ],
+                                )
+                            });
+                    }
+                }
+                EventKind::Call { .. } => {
+                    let Some(ci) = program.resolved[fi][ei] else {
+                        continue;
+                    };
+                    if ev.held.is_empty() {
+                        continue;
+                    }
+                    let callee = &program.summaries[ci];
+                    let call_step = Step {
+                        file: f.file.clone(),
+                        line: ev.line,
+                        what: format!("calls `{}`", program.fns[ci].name),
+                    };
+                    for (a, aline) in &ev.held {
+                        for (b, path) in &callee.acquires {
+                            if b == a {
+                                continue;
+                            }
+                            edges.entry((a.clone(), b.clone())).or_insert_with(|| {
+                                let mut p = vec![held_step(&f.file, a, *aline), call_step.clone()];
+                                p.extend(path.iter().cloned());
+                                p
+                            });
+                        }
+                        for (released, (desc, path)) in &callee.blocks {
+                            if released.as_deref() == Some(a.as_str()) {
+                                continue;
+                            }
+                            holds
+                                .entry((a.clone(), f.file.clone(), ev.line))
+                                .or_insert_with(|| {
+                                    let mut p =
+                                        vec![held_step(&f.file, a, *aline), call_step.clone()];
+                                    p.extend(path.iter().cloned());
+                                    (desc.clone(), p)
+                                });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // R6: a pair of locks with edges in both directions.
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((a, b), path_ab) in &edges {
+        if a >= b {
+            continue;
+        }
+        let Some(path_ba) = edges.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        if !reported.insert((a.clone(), b.clone())) {
+            continue;
+        }
+        let anchor = path_ab.last().expect("nonempty path");
+        if waived_r6
+            .get(anchor.file.as_str())
+            .is_some_and(|w| w.contains(&anchor.line))
+        {
+            continue;
+        }
+        let mut path: Vec<String> = Vec::new();
+        path.push(format!("order `{a}` -> `{b}`:"));
+        path.extend(path_ab.iter().map(Step::render));
+        path.push(format!("order `{b}` -> `{a}`:"));
+        path.extend(path_ba.iter().map(Step::render));
+        out.push(Violation {
+            file: anchor.file.clone(),
+            line: anchor.line,
+            rule: "R6",
+            message: format!(
+                "lock-order inversion: `{a}` and `{b}` are acquired in both orders on \
+                 different paths (two threads meeting in the middle deadlock); pick one \
+                 order, or prove this schedule safe in an interleave model \
+                 `lock_order_{}_{}`",
+                slug(a),
+                slug(b)
+            ),
+            snippet: snippet_at(raw, &anchor.file, anchor.line),
+            path,
+        });
+    }
+
+    // R7: lock held across blocking.
+    for ((lock, file, line), (desc, path)) in &holds {
+        if waived_r7
+            .get(file.as_str())
+            .is_some_and(|w| w.contains(line))
+        {
+            continue;
+        }
+        out.push(Violation {
+            file: file.clone(),
+            line: *line,
+            rule: "R7",
+            message: format!(
+                "`{lock}` is held across {desc}: every thread needing `{lock}` stalls for \
+                 as long as the blocking op takes; release the guard first, or prove the \
+                 hold safe in an interleave model `hold_{}_across_blocking`",
+                slug(lock)
+            ),
+            snippet: snippet_at(raw, file, *line),
+            path: path.iter().map(Step::render).collect(),
+        });
+    }
+
+    out
+}
+
+fn snippet_at(raw: &BTreeMap<String, Vec<String>>, file: &str, line: usize) -> String {
+    raw.get(file)
+        .and_then(|lines| lines.get(line.saturating_sub(1)))
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+    use crate::facts::extract;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let facts: Vec<FileFacts> = files.iter().map(|(rel, src)| extract(rel, src)).collect();
+        let program = build(&facts);
+        let raw: BTreeMap<String, Vec<String>> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), src.lines().map(str::to_string).collect()))
+            .collect();
+        check(&program, &facts, &raw)
+    }
+
+    const INVERSION: &str = "impl P {\n\
+        pub fn forward(&self) {\n\
+        let a = self.alpha.lock().unwrap();\n\
+        self.bump_beta(*a);\n\
+        }\n\
+        fn bump_beta(&self, v: u64) {\n\
+        let mut b = self.beta.lock().unwrap();\n\
+        *b += v;\n\
+        }\n\
+        pub fn backward(&self) {\n\
+        let b = self.beta.lock().unwrap();\n\
+        self.bump_alpha(*b);\n\
+        }\n\
+        fn bump_alpha(&self, v: u64) {\n\
+        let mut a = self.alpha.lock().unwrap();\n\
+        *a += v;\n\
+        }\n\
+        }\n";
+
+    #[test]
+    fn interprocedural_inversion_is_one_r6_with_both_chains() {
+        let v = run(&[("crates/p/src/lib.rs", INVERSION)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R6");
+        // Both directed chains are in the path, each at least two hops.
+        let joined = v[0].path.join("\n");
+        assert!(joined.contains("acquires `p/lib.rs::alpha`"), "{joined}");
+        assert!(joined.contains("calls `bump_beta`"), "{joined}");
+        assert!(joined.contains("calls `bump_alpha`"), "{joined}");
+        assert!(
+            v[0].message.contains("interleave model"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "impl P {\n\
+            pub fn forward(&self) {\n\
+            let a = self.alpha.lock().unwrap();\n\
+            self.bump_beta(*a);\n\
+            }\n\
+            fn bump_beta(&self, v: u64) {\n\
+            let mut b = self.beta.lock().unwrap();\n\
+            *b += v;\n\
+            }\n\
+            }\n";
+        assert!(run(&[("crates/p/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn hold_across_foreign_wait_is_r7_but_own_wait_is_not() {
+        let src = "impl W {\n\
+            pub fn drain(&self) {\n\
+            let held = self.outer.lock().unwrap();\n\
+            self.wait_ready(*held);\n\
+            }\n\
+            fn wait_ready(&self, t: u64) {\n\
+            let mut flag = self.inner.lock().unwrap();\n\
+            while !*flag {\n\
+            flag = self.ready.wait(flag).unwrap();\n\
+            }\n\
+            }\n\
+            }\n";
+        let v = run(&[("crates/w/src/lib.rs", src)]);
+        let r7: Vec<_> = v.iter().filter(|v| v.rule == "R7").collect();
+        assert_eq!(r7.len(), 1, "{v:?}");
+        assert!(
+            r7[0].message.contains("w/lib.rs::outer"),
+            "{}",
+            r7[0].message
+        );
+        // The chain crosses the call: acquire outer -> call -> wait.
+        assert!(r7[0].path.len() >= 3, "{:?}", r7[0].path);
+    }
+
+    #[test]
+    fn guard_rebinding_wait_loop_is_clean() {
+        let src = "pub fn lease(p: &P) {\n\
+            let mut free = p.free.lock().unwrap();\n\
+            while free.is_empty() {\n\
+            free = p.available.wait(free).unwrap();\n\
+            }\n\
+            }\n";
+        assert!(run(&[("crates/p/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_under_a_lock_is_r7() {
+        let src = "pub fn push_frame(s: &S, stream: &mut TcpStream) {\n\
+            let g = sync::lock(&s.state);\n\
+            stream.write_all(&g.bytes);\n\
+            }\n";
+        let v = run(&[("crates/service/src/wire.rs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R7");
+    }
+
+    #[test]
+    fn anchor_line_waiver_suppresses_r7() {
+        let src = "pub fn push_frame(s: &S, stream: &mut TcpStream) {\n\
+            let g = sync::lock(&s.state);\n\
+            // lock-hold-ok: single-writer socket, modeled in wire_hold\n\
+            stream.write_all(&g.bytes);\n\
+            }\n";
+        assert!(run(&[("crates/service/src/wire.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn spawning_workers_under_a_lock_is_clean() {
+        // Service::start shape: the workers lock is held while spawning,
+        // but the closure runs on a fresh thread with an empty held-set.
+        let src = "impl S {\n\
+            pub fn start(&self) {\n\
+            let mut handles = sync::lock(&self.workers);\n\
+            handles.push(thread::spawn(move || self.worker_loop()));\n\
+            }\n\
+            fn worker_loop(&self) {\n\
+            let mut inner = self.queue.lock().unwrap();\n\
+            while inner.is_empty() {\n\
+            inner = self.nonempty.wait(inner).unwrap();\n\
+            }\n\
+            }\n\
+            }\n";
+        assert!(run(&[("crates/s/src/lib.rs", src)]).is_empty());
+    }
+}

@@ -1,38 +1,48 @@
 //! `mdmp-analyze` CLI: run the workspace invariant linter.
 //!
 //! ```text
-//! mdmp-analyze [--root PATH] [--baseline PATH] [--json] [--deny-warnings]
+//! mdmp-analyze [--root PATH] [--baseline PATH] [--emit human|json|sarif]
+//!              [--json] [--deny-warnings]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations (or stale baseline entries under
-//! `--deny-warnings`), 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 violations (or stale baseline entries /
+//! stale-scope warnings under `--deny-warnings`), 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mdmp_analyze::{analyze, to_json, Baseline, RULES};
+use mdmp_analyze::{analyze, to_json, to_sarif, Baseline, RULES};
+
+#[derive(PartialEq)]
+enum Emit {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Opts {
     root: PathBuf,
     baseline: Option<PathBuf>,
-    json: bool,
+    emit: Emit,
     deny_warnings: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: mdmp-analyze [--root PATH] [--baseline PATH] [--json] [--deny-warnings]\n\
+    "usage: mdmp-analyze [--root PATH] [--baseline PATH] [--emit human|json|sarif]\n\
+     \x20                 [--json] [--deny-warnings]\n\
      \n\
-     Lints crates/*/src under --root (default: .) against rules R1-R5\n\
-     (see DESIGN.md §11). --baseline defaults to <root>/analyze/baseline.toml\n\
-     (missing file = empty baseline). --deny-warnings also fails on stale\n\
-     baseline entries."
+     Lints crates/*/src (plus vendor/interleave/src for R3) under --root\n\
+     (default: .) against rules R1-R7 (see DESIGN.md §11, §16). --baseline\n\
+     defaults to <root>/analyze/baseline.toml (missing file = empty\n\
+     baseline). --json is shorthand for --emit json. --deny-warnings also\n\
+     fails on stale baseline entries and stale-scope warnings."
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         root: PathBuf::from("."),
         baseline: None,
-        json: false,
+        emit: Emit::Human,
         deny_warnings: false,
     };
     let mut args = std::env::args().skip(1);
@@ -46,7 +56,15 @@ fn parse_args() -> Result<Opts, String> {
                     args.next().ok_or("--baseline needs a value")?,
                 ));
             }
-            "--json" => opts.json = true,
+            "--emit" => {
+                opts.emit = match args.next().ok_or("--emit needs a value")?.as_str() {
+                    "human" => Emit::Human,
+                    "json" => Emit::Json,
+                    "sarif" => Emit::Sarif,
+                    other => return Err(format!("unknown emit mode `{other}`")),
+                };
+            }
+            "--json" => opts.emit = Emit::Json,
             "--deny-warnings" => opts.deny_warnings = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -99,39 +117,50 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.json {
-        print!("{}", to_json(&analysis));
-    } else {
-        for v in &analysis.violations {
-            let name = RULES.iter().find(|r| r.id == v.rule).map_or("", |r| r.name);
-            println!(
-                "{}:{}: {} [{}]: {}",
-                v.file, v.line, v.rule, name, v.message
-            );
-            println!("    {}", v.snippet);
-        }
-        for e in &analysis.stale_baseline {
-            eprintln!(
-                "warning: stale baseline entry: rule {} file {} contains {:?} (fix shipped? \
-                 remove the entry)",
-                e.rule, e.file, e.contains
-            );
-        }
-        println!(
-            "mdmp-analyze: {} file(s) scanned, {} violation(s), {} stale baseline entr{}",
-            analysis.files_scanned,
-            analysis.violations.len(),
-            analysis.stale_baseline.len(),
-            if analysis.stale_baseline.len() == 1 {
-                "y"
-            } else {
-                "ies"
+    match opts.emit {
+        Emit::Json => print!("{}", to_json(&analysis)),
+        Emit::Sarif => print!("{}", to_sarif(&analysis)),
+        Emit::Human => {
+            for v in &analysis.violations {
+                let name = RULES.iter().find(|r| r.id == v.rule).map_or("", |r| r.name);
+                println!(
+                    "{}:{}: {} [{}]: {}",
+                    v.file, v.line, v.rule, name, v.message
+                );
+                println!("    {}", v.snippet);
+                for hop in &v.path {
+                    println!("      {hop}");
+                }
             }
-        );
+            for e in &analysis.stale_baseline {
+                eprintln!(
+                    "warning: stale baseline entry: rule {} file {} contains {:?} (fix shipped? \
+                     remove the entry)",
+                    e.rule, e.file, e.contains
+                );
+            }
+            for w in &analysis.warnings {
+                eprintln!("warning: {w}");
+            }
+            println!(
+                "mdmp-analyze: {} file(s) scanned, {} violation(s), {} stale baseline entr{}, \
+                 {} warning(s)",
+                analysis.files_scanned,
+                analysis.violations.len(),
+                analysis.stale_baseline.len(),
+                if analysis.stale_baseline.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                analysis.warnings.len()
+            );
+        }
     }
 
     if !analysis.violations.is_empty()
-        || (opts.deny_warnings && !analysis.stale_baseline.is_empty())
+        || (opts.deny_warnings
+            && (!analysis.stale_baseline.is_empty() || !analysis.warnings.is_empty()))
     {
         ExitCode::from(1)
     } else {

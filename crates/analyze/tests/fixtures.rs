@@ -45,7 +45,7 @@ fn assert_flags_in(dir: &str, rule: &str) {
         "fixture {dir} must be flagged as {rule}; stdout:\n{stdout}"
     );
     // No cross-talk: the minimal fixture trips exactly one rule.
-    for other in ["R1", "R2", "R3", "R4", "R5"] {
+    for other in ["R1", "R2", "R3", "R4", "R5", "R6", "R7"] {
         if other != rule {
             assert!(
                 !stdout.contains(&format!("\"rule\": \"{other}\"")),
@@ -117,6 +117,117 @@ fn r4_fires_inside_the_wire_module() {
 #[test]
 fn r1_fires_on_unblessed_gemm_accumulator() {
     assert_flags_in("r1-gemm", "R1");
+}
+
+/// PR 10: lock-order inversion across two call chains. The diagnostic
+/// must carry both directed acquisition chains, each at least two hops
+/// (acquire → call → acquire), and trip nothing else.
+#[test]
+fn r6_inversion_fixture_is_flagged_with_interprocedural_chains() {
+    assert_flags_in("r6-inversion", "R6");
+    let out = run_analyze(&fixture_root("r6-inversion"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for hop in [
+        "acquires `pair/lib.rs::alpha`",
+        "calls `bump_beta`",
+        "acquires `pair/lib.rs::beta`",
+        "calls `bump_alpha`",
+    ] {
+        assert!(
+            stdout.contains(hop),
+            "R6 chain must show hop {hop:?}; stdout:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("interleave model `lock_order_"),
+        "R6 must name the interleave model to write; stdout:\n{stdout}"
+    );
+}
+
+/// PR 10: a lock held across a Condvar wait on a *different* lock. The
+/// chain must cross the call (acquire outer → call → wait), and the
+/// callee's own wait loop must not be flagged.
+#[test]
+fn r7_hold_across_wait_fixture_is_flagged_with_chain() {
+    assert_flags_in("r7-hold-across-wait", "R7");
+    let out = run_analyze(&fixture_root("r7-hold-across-wait"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for hop in [
+        "acquires `waiter/lib.rs::outer`",
+        "calls `wait_ready`",
+        "Condvar wait releasing `waiter/lib.rs::inner`",
+    ] {
+        assert!(
+            stdout.contains(hop),
+            "R7 chain must show hop {hop:?}; stdout:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("interleave model `hold_"),
+        "R7 must name the interleave model to write; stdout:\n{stdout}"
+    );
+}
+
+/// PR 10: the vendored model checker's own atomics are in R3 scope.
+#[test]
+fn r3_fires_inside_vendored_interleave() {
+    assert_flags_in("r3-interleave", "R3");
+    let out = run_analyze(&fixture_root("r3-interleave"), &["--json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("vendor/interleave/src/bad.rs"),
+        "finding must point into the vendored tree; stdout:\n{stdout}"
+    );
+}
+
+/// PR 10: `--emit sarif` produces a SARIF 2.1.0 document CI can upload
+/// for code-scanning annotations.
+#[test]
+fn sarif_emit_mode_produces_annotatable_results() {
+    let out = run_analyze(&fixture_root("r6-inversion"), &["--emit", "sarif"]);
+    assert_eq!(out.status.code(), Some(1), "violations still gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"version\": \"2.1.0\"",
+        "\"name\": \"mdmp-analyze\"",
+        "\"ruleId\": \"R6\"",
+        "\"uri\": \"crates/pair/src/lib.rs\"",
+        "\"startLine\":",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "SARIF output missing {needle:?}; stdout:\n{stdout}"
+        );
+    }
+}
+
+/// PR 10: hardcoded scope lists can't rot silently — a tree where a
+/// scoped crate exists but a listed file is gone warns, and
+/// `--deny-warnings` turns that into a failure.
+#[test]
+fn stale_scope_path_warns_and_gates_under_deny_warnings() {
+    let dir = std::env::temp_dir().join(format!("mdmp-analyze-scope-{}", std::process::id()));
+    let src = dir.join("crates/service/src");
+    std::fs::create_dir_all(&src).expect("mkdir fixture");
+    // service/src exists but none of the scoped files do.
+    std::fs::write(src.join("other.rs"), "pub fn nothing() {}\n").expect("write file");
+
+    let lenient = run_analyze(&dir, &[]);
+    assert_eq!(lenient.status.code(), Some(0), "stale scope is a warning");
+    let stderr = String::from_utf8_lossy(&lenient.stderr);
+    assert!(
+        stderr.contains("stale scope path") && stderr.contains("crates/service/src/scheduler.rs"),
+        "warning must name the rotted scope entry; stderr:\n{stderr}"
+    );
+
+    let strict = run_analyze(&dir, &["--deny-warnings"]);
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "--deny-warnings promotes stale scope paths to failures"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,3 @@
+// The scanner requires a crates/ tree; this one is deliberately clean so
+// the only finding comes from the vendored file.
+pub fn nothing() {}

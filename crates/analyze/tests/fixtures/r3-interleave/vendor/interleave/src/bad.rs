@@ -1,0 +1,7 @@
+// R3 fixture: an unjustified Relaxed load inside the vendored model
+// checker — its own atomics are in audit scope like everything else.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn peek(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,33 @@
+// R6 fixture: `alpha` and `beta` are acquired in opposite orders on two
+// interprocedural paths — `forward` holds alpha while `bump_beta` takes
+// beta, `backward` holds beta while `bump_alpha` takes alpha. Two threads
+// running `forward` and `backward` concurrently deadlock meeting in the
+// middle.
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock().unwrap();
+        self.bump_beta(*a);
+    }
+
+    fn bump_beta(&self, v: u64) {
+        let mut b = self.beta.lock().unwrap();
+        *b += v;
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock().unwrap();
+        self.bump_alpha(*b);
+    }
+
+    fn bump_alpha(&self, v: u64) {
+        let mut a = self.alpha.lock().unwrap();
+        *a += v;
+    }
+}

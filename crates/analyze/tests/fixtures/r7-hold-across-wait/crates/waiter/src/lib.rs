@@ -1,0 +1,25 @@
+// R7 fixture: `drain` holds `outer` across `wait_ready`, which parks on
+// a Condvar releasing only `inner` — so `outer` stays locked for the full
+// wait, and a lost wakeup stalls every thread needing `outer` forever.
+// (`wait_ready` on its own is the normal condvar protocol and is clean.)
+use std::sync::{Condvar, Mutex};
+
+pub struct Waiter {
+    outer: Mutex<u64>,
+    inner: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl Waiter {
+    pub fn drain(&self) {
+        let held = self.outer.lock().unwrap();
+        self.wait_ready(*held);
+    }
+
+    fn wait_ready(&self, _token: u64) {
+        let mut flag = self.inner.lock().unwrap();
+        while !*flag {
+            flag = self.ready.wait(flag).unwrap();
+        }
+    }
+}
